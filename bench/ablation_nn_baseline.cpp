@@ -1,0 +1,80 @@
+// Ablation (invited by the paper's framing): if HDC "is" a wide neural
+// network, how does the HDC class-hypervector update compare against just
+// training that network's classifier layer with softmax + SGD on the same
+// encodings? Compares held-out accuracy and the CPU-resident update cost
+// per epoch (the phase the paper moves heaven and earth — bagging — to
+// shrink).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/trainer.hpp"
+#include "nn/logistic.hpp"
+#include "runtime/results.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hdc;
+
+  const std::uint32_t samples = bench::arg_u32(argc, argv, "--samples", 1200);
+  const std::uint32_t dim = bench::arg_u32(argc, argv, "--dim", 2048);
+
+  bench::print_header(
+      "Ablation: HDC update rule vs softmax-SGD on the same wide-NN encodings");
+  std::printf("(functional, %u samples, d = %u, 15 epochs each)\n\n", samples, dim);
+
+  runtime::ResultTable table({"dataset", "HDC update", "softmax SGD",
+                              "HDC ops/epoch", "SGD ops/epoch"});
+
+  for (const auto& spec : data::paper_datasets()) {
+    const auto prepared = bench::prepare(spec.name, samples);
+    core::HdConfig cfg;
+    cfg.dim = dim;
+    cfg.epochs = 15;
+    core::Encoder encoder(static_cast<std::uint32_t>(prepared.train.num_features()), dim,
+                          cfg.seed);
+    const tensor::MatrixF train_enc = encoder.encode_batch(prepared.train.features);
+    const tensor::MatrixF test_enc = encoder.encode_batch(prepared.test.features);
+
+    // HDC rule.
+    const core::Trainer trainer(cfg);
+    const auto hdc_result =
+        trainer.fit_encoded(train_enc, prepared.train.labels, prepared.train.num_classes);
+    const double hdc_acc = data::accuracy(
+        hdc_result.model.predict_batch(test_enc, core::Similarity::kCosine),
+        prepared.test.labels);
+
+    // Softmax SGD on the identical encodings.
+    nn::LogisticConfig lcfg;
+    lcfg.epochs = 15;
+    const auto sgd_result = nn::train_logistic(train_enc, prepared.train.labels,
+                                               prepared.train.num_classes, lcfg);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < test_enc.rows(); ++i) {
+      correct += nn::logistic_predict(sgd_result.weights, test_enc.row(i)) ==
+                 prepared.test.labels[i];
+    }
+    const double sgd_acc = static_cast<double>(correct) / test_enc.rows();
+
+    // Update-phase arithmetic per epoch (per sample): HDC = similarity
+    // d*k MACs + updates on the mispredicted fraction; SGD = logits d*k +
+    // gradient outer product d*k, every sample.
+    const double rho = static_cast<double>(hdc_result.total_updates) /
+                       (static_cast<double>(cfg.epochs) * train_enc.rows());
+    const double hdc_ops = static_cast<double>(dim) * prepared.train.num_classes +
+                           rho * 2.0 * dim;
+    const double sgd_ops = 2.0 * static_cast<double>(dim) * prepared.train.num_classes;
+
+    table.add_row({spec.name, runtime::ResultTable::cell(100.0 * hdc_acc, 2) + "%",
+                   runtime::ResultTable::cell(100.0 * sgd_acc, 2) + "%",
+                   runtime::ResultTable::cell(hdc_ops / 1000.0, 1) + "k",
+                   runtime::ResultTable::cell(sgd_ops / 1000.0, 1) + "k"});
+  }
+
+  std::printf("%s", table.to_text().c_str());
+  std::printf("\nreading: softmax SGD reaches comparable accuracy but touches every "
+              "class row for every sample, every epoch (~2x the arithmetic of the "
+              "HDC similarity pass, and it cannot skip converged samples) — the "
+              "HDC rule's sparse, misprediction-driven updates are what make "
+              "frequent on-host retraining cheap.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation (paper motivation, Section I): HDC's holographic robustness.
+// Information is spread across all d components, so a trained classifier
+// should degrade gracefully as class-hypervector components are corrupted —
+// the property that makes HDC attractive for unreliable edge hardware
+// ("noisy and broken neuron cells", battery brown-outs, bit flips).
+//
+// Sweeps three fault models over the fraction of corrupted components and
+// reports held-out accuracy on ISOLET (the paper's parameter-search task).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/noise.hpp"
+#include "core/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hdc;
+
+  const std::uint32_t samples = bench::arg_u32(argc, argv, "--samples", 1200);
+  const std::uint32_t dim = bench::arg_u32(argc, argv, "--dim", 4096);
+
+  bench::print_header("Ablation: robustness to class-hypervector corruption (ISOLET)");
+  std::printf("(functional, %u samples, d = %u; accuracy after corrupting a fraction "
+              "of every class hypervector)\n\n",
+              samples, dim);
+
+  const auto prepared = bench::prepare("ISOLET", samples);
+  core::HdConfig cfg;
+  cfg.dim = dim;
+  cfg.epochs = 15;
+  core::Encoder encoder(static_cast<std::uint32_t>(prepared.train.num_features()), dim,
+                        cfg.seed);
+  const core::Trainer trainer(cfg);
+  core::TrainResult trained = trainer.fit(encoder, prepared.train);
+
+  const tensor::MatrixF encoded_test = encoder.encode_batch(prepared.test.features);
+  const auto evaluate = [&](const core::HdModel& model) {
+    return data::accuracy(model.predict_batch(encoded_test, core::Similarity::kCosine),
+                          prepared.test.labels);
+  };
+
+  std::printf("%-10s %14s %16s %14s\n", "fraction", "stuck-at-zero", "gaussian(sigma)",
+              "sign flips");
+  bench::print_rule(60);
+  for (const double fraction : {0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    core::HdModel zeroed = trained.model;
+    core::HdModel noisy = trained.model;
+    core::HdModel flipped = trained.model;
+    Rng rng(0xC0FFEE + static_cast<std::uint64_t>(fraction * 1000));
+    core::inject_stuck_at_zero(zeroed, fraction, rng);
+    core::inject_gaussian_noise(noisy, static_cast<float>(fraction), rng);
+    core::inject_sign_flips(flipped, fraction, rng);
+    std::printf("%-10.2f %13.2f%% %15.2f%% %13.2f%%\n", fraction,
+                100.0 * evaluate(zeroed), 100.0 * evaluate(noisy),
+                100.0 * evaluate(flipped));
+  }
+  bench::print_rule(60);
+  std::printf("\nexpected shape: stuck-at-zero and relative Gaussian noise barely "
+              "move accuracy even at 50%% corruption (holographic redundancy); "
+              "sign flips stay graceful to ~30%% and then collapse — a vector "
+              "with half its signs flipped carries no signal at all, so the "
+              "cliff at 0.5 is information-theoretic, not a fragility of HDC.\n");
+  return 0;
+}

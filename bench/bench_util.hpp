@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
+#include "runtime/cost.hpp"
+
+namespace hdc::bench {
+
+/// Normalized train/test split of a paper dataset at reduced functional
+/// scale (`max_samples` rows before the split).
+struct PreparedDataset {
+  data::Dataset train;
+  data::Dataset test;
+  data::SyntheticSpec spec;  ///< full-scale Table-I shape for timing
+};
+
+inline PreparedDataset prepare(const std::string& name, std::uint32_t max_samples,
+                               double test_fraction = 0.25) {
+  const data::SyntheticSpec& spec = data::paper_dataset(name);
+  data::Dataset all = data::generate_synthetic(spec, max_samples);
+  auto split = data::split_dataset(all, test_fraction, spec.seed ^ 0x5EED);
+  data::MinMaxNormalizer norm;
+  norm.fit(split.train);
+  norm.apply(split.train);
+  norm.apply(split.test);
+  return PreparedDataset{std::move(split.train), std::move(split.test), spec};
+}
+
+/// Full-paper-scale workload shape for the analytic timing experiments.
+inline runtime::WorkloadShape full_scale_shape(const data::SyntheticSpec& spec,
+                                               std::uint32_t dim = 10000,
+                                               std::uint32_t epochs = 20) {
+  runtime::WorkloadShape shape;
+  shape.name = spec.name;
+  // The paper reports training cost over the training split and inference
+  // over the held-out split; use an 80/20 partition of the Table-I counts.
+  shape.train_samples = spec.samples - spec.samples / 5;
+  shape.test_samples = spec.samples / 5;
+  shape.features = spec.features;
+  shape.classes = spec.classes;
+  shape.dim = dim;
+  shape.epochs = epochs;
+  return shape;
+}
+
+/// The paper's chosen bagging operating point (Section IV-A).
+inline runtime::BaggingShape paper_bagging_shape() {
+  runtime::BaggingShape bag;
+  bag.num_models = 4;
+  bag.sub_dim = 2500;
+  bag.epochs = 6;
+  bag.alpha = 0.6;
+  bag.beta = 1.0;
+  return bag;
+}
+
+/// Parses "--key value" style overrides: returns the value after `flag` or
+/// `fallback` when absent/malformed.
+inline std::uint32_t arg_u32(int argc, char** argv, const std::string& flag,
+                             std::uint32_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) {
+      return static_cast<std::uint32_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  return fallback;
+}
+
+inline void print_rule(int width = 100) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+}  // namespace hdc::bench

@@ -1,0 +1,46 @@
+// Reproduces Fig. 10: encoding runtime speedup of the accelerated framework
+// over the CPU baseline for synthetic datasets whose feature count sweeps
+// from 20 to 700 (d = 10,000). This is the experiment that explains PAMAP2:
+// with few input features, invocation and transfer overheads dominate and
+// the accelerator stops paying off.
+//
+// Paper anchors: ~1.06x at 20 features, ~8.25x at 700.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace hdc;
+
+  const runtime::CostModel cost;
+  const auto host = platform::host_cpu_profile();
+  constexpr std::uint32_t kDim = 10000;
+  constexpr std::uint64_t kSamples = 10000;
+
+  bench::print_header(
+      "Fig. 10: Encoding speedup (TPU vs CPU baseline) over input feature count");
+  std::printf("(d = %u, %llu samples, streamed batch-1 invocations)\n\n", kDim,
+              static_cast<unsigned long long>(kSamples));
+  std::printf("%-10s %16s %16s %10s\n", "#features", "CPU us/sample", "TPU us/sample",
+              "speedup");
+  bench::print_rule(60);
+
+  for (const std::uint32_t n : {20U, 50U, 100U, 200U, 300U, 400U, 500U, 600U, 700U}) {
+    const double cpu_us =
+        cost.encode_cpu(kSamples, n, kDim, host).to_micros() / kSamples;
+    const double tpu_us = cost.encode_tpu(kSamples, n, kDim).to_micros() / kSamples;
+    std::printf("%-10u %16.1f %16.1f %9.2fx\n", n, cpu_us, tpu_us, cpu_us / tpu_us);
+  }
+  bench::print_rule(60);
+
+  std::printf("\npaper anchors: 20 features -> 1.06x, 700 features -> 8.25x\n");
+  std::printf("measured:      20 features -> %.2fx, 700 features -> %.2fx\n",
+              cost.encode_cpu(kSamples, 20, kDim, host) /
+                  cost.encode_tpu(kSamples, 20, kDim),
+              cost.encode_cpu(kSamples, 700, kDim, host) /
+                  cost.encode_tpu(kSamples, 700, kDim));
+  std::printf("\ncontext: PAMAP2 has 27 features (3.4%% of MNIST's 784) — the "
+              "counterexample dataset sits at the flat left end of this curve.\n");
+  return 0;
+}

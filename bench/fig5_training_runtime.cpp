@@ -1,0 +1,65 @@
+// Reproduces Fig. 5: training runtime of the three framework settings —
+// CPU baseline, TPU (co-design without bagging) and TPU_B (with bagging) —
+// split into encoding / class-hypervector update / model generation, all
+// normalized to the CPU baseline per dataset.
+//
+// Full paper scale (d = 10,000, Table-I sample counts, 20 iterations for the
+// non-bagged settings, M=4 / d'=2500 / I'=6 / alpha=0.6 for TPU_B), priced
+// by the analytic timing model in timing-only mode.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace hdc;
+
+  const runtime::CostModel cost;
+  const auto host = platform::host_cpu_profile();
+  const auto bag = bench::paper_bagging_shape();
+
+  bench::print_header(
+      "Fig. 5: Training runtime (normalized to CPU baseline per dataset)");
+  std::printf("settings: CPU (d=10000, 20 iters) | TPU (encode on accelerator) | "
+              "TPU_B (M=4, d'=2500, I'=6, alpha=0.6)\n\n");
+  std::printf("%-8s %-6s %10s %10s %10s %10s %10s %9s\n", "dataset", "mode", "encode",
+              "update", "model_gen", "total", "total(s)", "speedup");
+  bench::print_rule();
+
+  for (const auto& spec : data::paper_datasets()) {
+    const auto shape = bench::full_scale_shape(spec);
+    const auto cpu = cost.train_cpu(shape, host);
+    const auto tpu = cost.train_tpu(shape);
+    const auto tpu_b = cost.train_tpu_bagging(shape, bag);
+    const double base = cpu.total().to_seconds();
+
+    const auto row = [&](const char* mode, const runtime::TrainTimings& t) {
+      std::printf("%-8s %-6s %10.4f %10.4f %10.4f %10.4f %10.2f %8.2fx\n",
+                  spec.name.c_str(), mode, t.encode.to_seconds() / base,
+                  t.update.to_seconds() / base, t.model_gen.to_seconds() / base,
+                  t.total().to_seconds() / base, t.total().to_seconds(),
+                  base / t.total().to_seconds());
+    };
+    row("CPU", cpu);
+    row("TPU", tpu);
+    row("TPU_B", tpu_b);
+    bench::print_rule();
+  }
+
+  // The per-phase speedups the paper calls out explicitly.
+  const auto mnist = bench::full_scale_shape(data::paper_dataset("MNIST"));
+  const auto face = bench::full_scale_shape(data::paper_dataset("FACE"));
+  std::printf("\nheadline comparisons (paper -> measured):\n");
+  std::printf("  MNIST encode speedup (TPU vs CPU):    paper 9.37x -> %.2fx\n",
+              cost.train_cpu(mnist, host).encode / cost.train_tpu(mnist).encode);
+  std::printf("  MNIST update speedup (TPU_B vs CPU):  paper 4.74x -> %.2fx\n",
+              cost.train_cpu(mnist, host).update /
+                  cost.train_tpu_bagging(mnist, bag).update);
+  std::printf("  MNIST overall speedup (TPU_B vs CPU): paper 4.49x -> %.2fx\n",
+              cost.train_cpu(mnist, host).total().to_seconds() /
+                  cost.train_tpu_bagging(mnist, bag).total().to_seconds());
+  std::printf("  FACE  overall speedup (TPU_B vs CPU): paper 3.49x -> %.2fx\n",
+              cost.train_cpu(face, host).total().to_seconds() /
+                  cost.train_tpu_bagging(face, bag).total().to_seconds());
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Microbenchmarks (google-benchmark) of the kernels everything else is
+// built on: float GEMM/vecmat, HDC encoding, the int8 systolic tile engine
+// and the quantized interpreter. These measure *host wall-clock* (unlike the
+// figure harnesses, which report simulated time) and exist to keep the
+// simulator's functional paths honest about their own cost.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/encoder.hpp"
+#include "core/binary.hpp"
+#include "core/level_encoder.hpp"
+#include "core/trainer.hpp"
+#include "lite/builder.hpp"
+#include "lite/interpreter.hpp"
+#include "lite/quantize.hpp"
+#include "nn/wide_nn.hpp"
+#include "tensor/ops.hpp"
+#include "tpu/systolic.hpp"
+
+namespace {
+
+using namespace hdc;
+
+tensor::MatrixF random_f(std::size_t r, std::size_t c, std::uint64_t seed) {
+  tensor::MatrixF m(r, c);
+  Rng rng(seed);
+  rng.fill_gaussian(m.data(), m.size());
+  return m;
+}
+
+tensor::MatrixI8 random_i8(std::size_t r, std::size_t c, std::uint64_t seed) {
+  tensor::MatrixI8 m(r, c);
+  Rng rng(seed);
+  for (auto& v : m.storage()) {
+    v = static_cast<std::int8_t>(static_cast<std::int64_t>(rng.next_below(256)) - 128);
+  }
+  return m;
+}
+
+void BM_MatmulFloat(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_f(n, n, 1);
+  const auto b = random_f(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulFloat)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Vecmat(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto a = random_f(617, d, 3);
+  const auto x = random_f(1, 617, 4);
+  std::vector<float> y(d);
+  for (auto _ : state) {
+    tensor::vecmat(x.row(0), a, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 617 * d);
+}
+BENCHMARK(BM_Vecmat)->Arg(1024)->Arg(4096)->Arg(10000);
+
+void BM_HdcEncodeSample(benchmark::State& state) {
+  const auto d = static_cast<std::uint32_t>(state.range(0));
+  const core::Encoder encoder(617, d, 5);
+  std::vector<float> sample(617, 0.5F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(sample));
+  }
+  state.SetItemsProcessed(state.iterations() * 617 * d);
+}
+BENCHMARK(BM_HdcEncodeSample)->Arg(2048)->Arg(10000);
+
+void BM_SystolicMatmulI8(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const tpu::SystolicArray mxu;
+  const auto a = random_i8(1, n, 6);
+  const auto w = random_i8(n, 2500, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mxu.matmul(a, w));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2500);
+}
+BENCHMARK(BM_SystolicMatmulI8)->Arg(128)->Arg(617);
+
+void BM_QuantizedInterpreterSample(benchmark::State& state) {
+  const auto d = static_cast<std::uint32_t>(state.range(0));
+  const core::Encoder encoder(128, d, 8);
+  nn::Graph graph = nn::build_encode_graph(encoder);
+  const auto float_model = lite::build_float_model(graph);
+  const auto calib = random_f(32, 128, 9);
+  const auto quantized = lite::quantize_model(float_model, calib);
+  const lite::LiteInterpreter interpreter(quantized);
+  const auto input = random_f(1, 128, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interpreter.run(input));
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * d);
+}
+BENCHMARK(BM_QuantizedInterpreterSample)->Arg(1024)->Arg(4096);
+
+void BM_LevelEncodeSample(benchmark::State& state) {
+  const auto d = static_cast<std::uint32_t>(state.range(0));
+  core::LevelEncoderConfig cfg;
+  cfg.dim = d;
+  const core::LevelEncoder encoder(128, cfg);
+  std::vector<float> sample(128, 0.5F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(sample));
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * d);
+}
+BENCHMARK(BM_LevelEncodeSample)->Arg(2048)->Arg(10000);
+
+void BM_BinaryHammingPredict(benchmark::State& state) {
+  const auto d = static_cast<std::uint32_t>(state.range(0));
+  const core::Encoder encoder(128, d, 21);
+  core::HdModel model(10, d);
+  Rng rng(22);
+  rng.fill_gaussian(model.class_hypervectors().data(), model.class_hypervectors().size());
+  const auto binary =
+      core::BinaryClassifier::binarize(core::TrainedClassifier{
+          core::Encoder(encoder.base()), core::HdModel(model.class_hypervectors())});
+  std::vector<float> sample(128, 0.4F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(binary.predict(sample));
+  }
+  state.SetItemsProcessed(state.iterations() * 10 * d);
+}
+BENCHMARK(BM_BinaryHammingPredict)->Arg(2048)->Arg(10000);
+
+void BM_TrainerEpoch(benchmark::State& state) {
+  // One update iteration over 256 pre-encoded samples at d = 2048, k = 10.
+  const auto encoded = random_f(256, 2048, 11);
+  std::vector<std::uint32_t> labels(256);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<std::uint32_t>(i % 10);
+  }
+  core::HdConfig cfg;
+  cfg.dim = 2048;
+  cfg.epochs = 1;
+  const core::Trainer trainer(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.fit_encoded(encoded, labels, 10));
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 2048 * 10);
+}
+BENCHMARK(BM_TrainerEpoch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

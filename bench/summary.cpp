@@ -1,0 +1,167 @@
+// Capstone harness: the whole paper-vs-measured index in one table, with
+// optional CSV export for plotting (--csv <path>). Timing rows come from the
+// full-scale analytic models (fast); pass --full to also run the functional
+// accuracy experiments (slower).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util.hpp"
+#include "runtime/framework.hpp"
+#include "runtime/results.hpp"
+
+namespace {
+
+const char* arg_value(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return argv[i + 1];
+    }
+  }
+  return nullptr;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hdc;
+
+  bench::print_header("Paper-vs-measured summary (all headline quantities)");
+
+  const runtime::CostModel cost;
+  const auto host = platform::host_cpu_profile();
+  const auto pi = platform::raspberry_pi3_profile();
+  const auto bag = bench::paper_bagging_shape();
+
+  runtime::ResultTable table({"experiment", "quantity", "paper", "measured"});
+
+  // Fig. 10 anchors.
+  const double s20 =
+      cost.encode_cpu(1000, 20, 10000, host) / cost.encode_tpu(1000, 20, 10000);
+  const double s700 =
+      cost.encode_cpu(1000, 700, 10000, host) / cost.encode_tpu(1000, 700, 10000);
+  table.add_row({"Fig10", "encode speedup @ 20 features", "1.06x",
+                 runtime::ResultTable::cell(s20, 2) + "x"});
+  table.add_row({"Fig10", "encode speedup @ 700 features", "8.25x",
+                 runtime::ResultTable::cell(s700, 2) + "x"});
+
+  // Fig. 5 headline speedups.
+  const struct {
+    const char* name;
+    double paper_overall;
+  } fig5[] = {{"MNIST", 4.49}, {"FACE", 3.49}, {"ISOLET", 2.45}, {"UCIHAR", 1.81}};
+  for (const auto& row : fig5) {
+    const auto shape = bench::full_scale_shape(data::paper_dataset(row.name));
+    const double measured = cost.train_cpu(shape, host).total().to_seconds() /
+                            cost.train_tpu_bagging(shape, bag).total().to_seconds();
+    table.add_row({"Fig5", std::string(row.name) + " training speedup (TPU_B)",
+                   runtime::ResultTable::cell(row.paper_overall, 2) + "x",
+                   runtime::ResultTable::cell(measured, 2) + "x"});
+  }
+  {
+    const auto mnist = bench::full_scale_shape(data::paper_dataset("MNIST"));
+    table.add_row({"Fig5", "MNIST encode speedup (TPU)", "9.37x",
+                   runtime::ResultTable::cell(
+                       cost.train_cpu(mnist, host).encode / cost.train_tpu(mnist).encode,
+                       2) +
+                       "x"});
+    table.add_row(
+        {"Fig5", "MNIST update speedup (TPU_B)", "4.74x",
+         runtime::ResultTable::cell(cost.train_cpu(mnist, host).update /
+                                        cost.train_tpu_bagging(mnist, bag).update,
+                                    2) +
+             "x"});
+  }
+
+  // Fig. 6 inference speedups.
+  const struct {
+    const char* name;
+    double paper;
+  } fig6[] = {{"MNIST", 4.19}, {"FACE", 3.16}, {"ISOLET", 2.13}, {"UCIHAR", 3.08}};
+  for (const auto& row : fig6) {
+    const auto shape = bench::full_scale_shape(data::paper_dataset(row.name));
+    const double measured = cost.infer_cpu(shape, host).per_sample /
+                            cost.infer_tpu_stacked(shape, bag).per_sample;
+    table.add_row({"Fig6", std::string(row.name) + " inference speedup",
+                   runtime::ResultTable::cell(row.paper, 2) + "x",
+                   runtime::ResultTable::cell(measured, 2) + "x"});
+  }
+  {
+    const auto shape = bench::full_scale_shape(data::paper_dataset("PAMAP2"));
+    table.add_row({"Fig6", "PAMAP2 inference speedup", "<1x",
+                   runtime::ResultTable::cell(
+                       cost.infer_cpu(shape, host).per_sample /
+                           cost.infer_tpu_stacked(shape, bag).per_sample,
+                       2) +
+                       "x"});
+  }
+
+  // Table II.
+  const struct {
+    const char* name;
+    double paper_train;
+    double paper_infer;
+  } table2[] = {{"FACE", 21.5, 11.4},
+                {"ISOLET", 15.6, 7.2},
+                {"UCIHAR", 17.9, 7.9},
+                {"MNIST", 23.6, 11.1},
+                {"PAMAP2", 18.6, 6.8}};
+  for (const auto& row : table2) {
+    const auto shape = bench::full_scale_shape(data::paper_dataset(row.name));
+    table.add_row({"TableII", std::string(row.name) + " training vs RasPi",
+                   runtime::ResultTable::cell(row.paper_train, 1) + "x",
+                   runtime::ResultTable::cell(
+                       cost.train_cpu(shape, pi).total().to_seconds() /
+                           cost.train_tpu_bagging(shape, bag).total().to_seconds(),
+                       1) +
+                       "x"});
+    table.add_row({"TableII", std::string(row.name) + " inference vs RasPi",
+                   runtime::ResultTable::cell(row.paper_infer, 1) + "x",
+                   runtime::ResultTable::cell(cost.infer_cpu(shape, pi).per_sample /
+                                                  cost.infer_tpu_stacked(shape, bag)
+                                                      .per_sample,
+                                              1) +
+                       "x"});
+  }
+
+  // Optional functional accuracy rows (slower).
+  if (has_flag(argc, argv, "--full")) {
+    const runtime::CoDesignFramework framework;
+    for (const auto& spec : data::paper_datasets()) {
+      const auto prepared = bench::prepare(spec.name, 1200);
+      core::HdConfig cfg;
+      cfg.dim = 2048;
+      cfg.epochs = 20;
+      const auto cpu_trained = framework.train_cpu(prepared.train, cfg);
+      const auto cpu_acc =
+          framework.infer_cpu(cpu_trained.classifier, prepared.test).accuracy;
+      const auto tpu_acc =
+          framework.infer_tpu(cpu_trained.classifier, prepared.test, prepared.train)
+              .accuracy;
+      table.add_row({"Fig7", spec.name + std::string(" int8 vs float accuracy delta"),
+                     "~0 pts",
+                     runtime::ResultTable::cell(100.0 * (tpu_acc - cpu_acc), 2) + " pts"});
+    }
+  }
+
+  std::printf("%s", table.to_text().c_str());
+
+  if (const char* csv_path = arg_value(argc, argv, "--csv")) {
+    table.save_csv(csv_path);
+    std::printf("\nwrote %s (%zu rows)\n", csv_path, table.num_rows());
+  } else {
+    std::printf("\n(pass --csv <path> to export, --full to add functional "
+                "accuracy rows)\n");
+  }
+  return 0;
+}

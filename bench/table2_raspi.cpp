@@ -1,0 +1,47 @@
+// Reproduces Table II: training and inference speedup of the Edge TPU-based
+// framework (with bagging) over a Raspberry Pi 3 running the same HDC
+// workload entirely on its Cortex-A53 CPU — the "similar power budget"
+// comparison (USB Edge TPU + idle host core vs ~4 W embedded board).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace hdc;
+
+  const runtime::CostModel cost;
+  const auto pi = platform::raspberry_pi3_profile();
+  const auto bag = bench::paper_bagging_shape();
+
+  bench::print_header("Table II: Edge TPU-based efficiency vs. Raspberry Pi 3");
+  std::printf("(RasPi runs the full CPU baseline: d=10000, 20 iterations)\n\n");
+
+  const struct {
+    const char* name;
+    double paper_train;
+    double paper_infer;
+  } anchors[] = {{"FACE", 21.5, 11.4},
+                 {"ISOLET", 15.6, 7.2},
+                 {"UCIHAR", 17.9, 7.9},
+                 {"MNIST", 23.6, 11.1},
+                 {"PAMAP2", 18.6, 6.8}};
+
+  std::printf("%-10s %18s %18s %18s %18s\n", "dataset", "train paper", "train measured",
+              "infer paper", "infer measured");
+  bench::print_rule();
+  for (const auto& a : anchors) {
+    const auto shape = bench::full_scale_shape(data::paper_dataset(a.name));
+    const double train_speedup = cost.train_cpu(shape, pi).total().to_seconds() /
+                                 cost.train_tpu_bagging(shape, bag).total().to_seconds();
+    const double infer_speedup = cost.infer_cpu(shape, pi).per_sample /
+                                 cost.infer_tpu_stacked(shape, bag).per_sample;
+    std::printf("%-10s %17.1fx %17.1fx %17.1fx %17.1fx\n", a.name, a.paper_train,
+                train_speedup, a.paper_infer, infer_speedup);
+  }
+  bench::print_rule();
+  std::printf("\nplatform profiles: %s (%.1f W) vs %s (%.1f W)\n",
+              platform::host_cpu_profile().name.c_str(),
+              platform::host_cpu_profile().power_watts, pi.name.c_str(), pi.power_watts);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Human-activity recognition on the edge — the PAMAP2-style scenario from
+// the paper's motivation: a wearable streams sensor windows, the model runs
+// locally in real time, and it must retrain quickly when conditions change.
+//
+// This example drives the full co-design pipeline:
+//   1. train with bagging (encode on the simulated Edge TPU, update on the
+//      host CPU),
+//   2. deploy the stacked int8 inference model to the accelerator,
+//   3. stream "live" sensor windows through it and report per-sample
+//      simulated latency,
+//   4. retrain from scratch when the activity distribution drifts and show
+//      how cheap the bagged retrain is versus the full model.
+
+#include <cstdio>
+
+#include "data/synthetic.hpp"
+#include "runtime/framework.hpp"
+
+int main() {
+  using namespace hdc;
+
+  // Sensor data: PAMAP2 shape (27 features, 5 activities).
+  data::SyntheticSpec spec = data::paper_dataset("PAMAP2");
+  data::Dataset all = data::generate_synthetic(spec, 2500);
+  auto split = data::split_dataset(all, 0.2, 99);
+  data::MinMaxNormalizer normalizer;
+  normalizer.fit(split.train);
+  normalizer.apply(split.train);
+  normalizer.apply(split.test);
+
+  const runtime::CoDesignFramework framework;
+
+  // --- Training: bagged co-design (paper TPU_B operating point, scaled) ---
+  core::BaggingConfig bagging;
+  bagging.num_models = 4;
+  bagging.epochs = 6;
+  bagging.base.dim = 4096;  // full width; sub-models get d' = 1024
+  bagging.bootstrap.dataset_ratio = 0.6;
+
+  std::printf("training (bagged, M=%u, d'=%u, %u iterations, alpha=%.1f)...\n",
+              bagging.num_models, bagging.effective_sub_dim(), bagging.epochs,
+              bagging.bootstrap.dataset_ratio);
+  const auto bagged = framework.train_tpu_bagging(split.train, bagging);
+  std::printf("  simulated training time: encode %s, update %s, model-gen %s\n",
+              bagged.timings.encode.to_string().c_str(),
+              bagged.timings.update.to_string().c_str(),
+              bagged.timings.model_gen.to_string().c_str());
+
+  // Reference: the full-width, fully-trained model.
+  core::HdConfig full_config;
+  full_config.dim = 4096;
+  full_config.epochs = 20;
+  const auto full = framework.train_tpu(split.train, full_config);
+  std::printf("  full model for comparison:  encode %s, update %s\n",
+              full.timings.encode.to_string().c_str(),
+              full.timings.update.to_string().c_str());
+  std::printf("  bagging cut the CPU update phase by %.2fx\n",
+              full.timings.update / bagged.timings.update);
+
+  // --- Deployment: single stacked int8 model on the accelerator ---
+  const auto deployed =
+      framework.infer_tpu(bagged.classifier, split.test, split.train);
+  std::printf("\ndeployed stacked int8 model:\n%s",
+              deployed.compile_report.to_string().c_str());
+  std::printf("held-out accuracy: %.2f%%  (full model: %.2f%%)\n",
+              100.0 * deployed.accuracy,
+              100.0 * framework.infer_tpu(full.classifier, split.test, split.train)
+                          .accuracy);
+
+  // --- "Live" streaming window ---
+  std::printf("\nstreaming 10 sensor windows:\n");
+  const char* activities[] = {"walking", "running", "cycling", "sitting", "stairs"};
+  for (std::size_t i = 0; i < 10; ++i) {
+    const std::uint32_t predicted = deployed.predictions[i];
+    std::printf("  window %2zu -> %-8s (true: %-8s)  latency %s\n", i,
+                activities[predicted % 5], activities[split.test.labels[i] % 5],
+                deployed.timings.per_sample.to_string().c_str());
+  }
+  std::printf("\nnote: PAMAP2's 27 features sit at the flat end of the Fig.-10 "
+              "curve, so the accelerator mainly buys *training* speed here; "
+              "for real-time inference on this dataset the host CPU is the "
+              "better target (exactly the paper's observation).\n");
+  return 0;
+}

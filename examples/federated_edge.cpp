@@ -1,0 +1,59 @@
+// Federated hyperdimensional learning across edge devices — the
+// collaborative setting of the paper's reference [21]: K devices hold
+// disjoint private shards, all derive identical base hypervectors from a
+// shared seed, train locally, and ship ONLY their class hypervectors (k x d
+// floats — no raw data, no gradients) to an aggregator that merges them by
+// bundling. The merged global model is then deployable through the usual
+// wide-NN / Edge TPU pipeline.
+
+#include <cstdio>
+
+#include "core/federated.hpp"
+#include "data/synthetic.hpp"
+#include "runtime/framework.hpp"
+
+int main() {
+  using namespace hdc;
+
+  data::Dataset all = data::generate_synthetic(data::paper_dataset("UCIHAR"), 2400);
+  auto split = data::split_dataset(all, 0.25, 31);
+  data::MinMaxNormalizer norm;
+  norm.fit(split.train);
+  norm.apply(split.train);
+  norm.apply(split.test);
+
+  core::HdConfig config;
+  config.dim = 4096;
+  config.epochs = 10;
+
+  const runtime::CoDesignFramework framework;
+
+  // Centralized reference (all data in one place).
+  const auto central = framework.train_cpu(split.train, config);
+  const double central_acc =
+      framework.infer_cpu(central.classifier, split.test).accuracy;
+
+  std::printf("centralized reference: %.2f%% on %zu held-out samples\n\n",
+              100.0 * central_acc, split.test.num_samples());
+
+  for (const std::uint32_t devices : {2U, 4U, 8U}) {
+    const auto fed = core::federated_train(split.train, devices, config);
+    const double fed_acc = framework.infer_cpu(fed.global, split.test).accuracy;
+
+    std::printf("%u devices (~%zu samples each):\n", devices,
+                split.train.num_samples() / devices);
+    for (std::uint32_t d = 0; d < devices; ++d) {
+      std::printf("  device %u local train accuracy %.2f%%\n", d,
+                  100.0 * fed.device_accuracy[d]);
+    }
+    const double upload_mib = static_cast<double>(fed.global.num_classes()) *
+                              fed.global.dim() * sizeof(float) / 1048576.0;
+    std::printf("  merged global model: %.2f%% (gap to centralized %+.2f); "
+                "per-device upload %.2f MiB\n\n",
+                100.0 * fed_acc, 100.0 * (fed_acc - central_acc), upload_mib);
+  }
+
+  std::printf("only class hypervectors travel — the raw shards never leave the "
+              "devices, and merging is a single bundling pass.\n");
+  return 0;
+}

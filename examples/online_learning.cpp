@@ -1,0 +1,68 @@
+// On-device adaptation under concept drift — the IoT regime the paper's
+// introduction motivates ("model updates frequently to follow the rapidly
+// changing inputs"). A wearable's sensor distribution shifts mid-stream;
+// a frozen model decays while the adaptive single-pass learner (OnlineHD
+// style, paper reference [17]) recovers within a few chunks.
+
+#include <cstdio>
+
+#include "core/online.hpp"
+#include "data/stream.hpp"
+#include "data/synthetic.hpp"
+
+int main() {
+  using namespace hdc;
+
+  data::StreamConfig stream_config;
+  stream_config.spec = data::paper_dataset("PAMAP2");
+  stream_config.spec.samples = 100000;  // endless for our purposes
+  stream_config.chunk_size = 250;
+  stream_config.drift_start_chunk = 8;
+  stream_config.drift_duration_chunks = 4;
+
+  data::DriftStream stream(stream_config);
+
+  core::OnlineConfig online_config;
+  online_config.dim = 4096;
+  core::OnlineLearner adaptive(stream_config.spec.features, stream_config.spec.classes,
+                               online_config);
+
+  // Warm up both models on the pre-drift distribution.
+  std::printf("warming up on 4 chunks (%u samples each)...\n",
+              stream_config.chunk_size);
+  for (int i = 0; i < 4; ++i) {
+    adaptive.learn_batch(stream.next_chunk());
+  }
+  const core::TrainedClassifier frozen = adaptive.freeze();
+
+  std::printf("\n%-7s %-8s %-14s %-14s\n", "chunk", "drift", "frozen model",
+              "online learner");
+  for (int chunk = 4; chunk < 20; ++chunk) {
+    const data::Dataset batch = stream.next_chunk();
+
+    std::size_t frozen_correct = 0;
+    for (std::size_t i = 0; i < batch.num_samples(); ++i) {
+      const auto encoded = frozen.encoder.encode(batch.features.row(i));
+      frozen_correct += frozen.model.predict(encoded, core::Similarity::kCosine) ==
+                        batch.labels[i];
+    }
+    const double frozen_acc =
+        static_cast<double>(frozen_correct) / batch.num_samples();
+
+    // Prequential: the online learner predicts first, then adapts.
+    const double online_acc = adaptive.learn_batch(batch);
+
+    std::printf("%-7d %-8.2f %13.2f%% %13.2f%%%s\n", chunk,
+                stream.drift_progress(), 100.0 * frozen_acc, 100.0 * online_acc,
+                stream.drift_progress() > 0.0 && stream.drift_progress() < 1.0
+                    ? "   << drifting"
+                    : "");
+  }
+
+  std::printf("\nlifetime: %llu samples, %.1f%% prequential error\n",
+              static_cast<unsigned long long>(adaptive.stats().samples_seen),
+              100.0 * adaptive.stats().error_rate());
+  std::printf("the frozen pre-drift model never recovers; the adaptive learner "
+              "re-converges a few chunks after the drift completes.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include "common/byte_io.hpp"
+
+#include <fstream>
+
+namespace hdc {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  HDC_CHECK(in.good(), "cannot open file for reading: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(bytes.data()), size);
+  }
+  HDC_CHECK(in.good(), "short read from file: " + path);
+  return bytes;
+}
+
+void write_file(const std::string& path, std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  HDC_CHECK(out.good(), "cannot open file for writing: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  HDC_CHECK(out.good(), "short write to file: " + path);
+}
+
+}  // namespace hdc

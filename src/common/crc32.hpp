@@ -1,0 +1,13 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hdc {
+
+/// Standard CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+/// Used to checksum serialized model buffers so truncated / corrupted files
+/// are rejected at load time instead of producing garbage models.
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+}  // namespace hdc

@@ -1,0 +1,42 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace hdc {
+namespace log {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel level() { return g_level.load(std::memory_order_relaxed); }
+
+void emit(LogLevel message_level, const std::string& message) {
+  if (static_cast<int>(message_level) < static_cast<int>(level())) {
+    return;
+  }
+  std::cerr << "[hdc:" << level_name(message_level) << "] " << message << "\n";
+}
+
+}  // namespace log
+}  // namespace hdc

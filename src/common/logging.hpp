@@ -1,0 +1,46 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hdc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Minimal leveled logger writing to stderr. The default level is Warning so
+/// library internals stay quiet inside tests and benches; examples raise it.
+namespace log {
+
+void set_level(LogLevel level);
+LogLevel level();
+void emit(LogLevel level, const std::string& message);
+
+}  // namespace log
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log::emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace hdc
+
+#define HDC_LOG_DEBUG ::hdc::detail::LogLine(::hdc::LogLevel::kDebug)
+#define HDC_LOG_INFO ::hdc::detail::LogLine(::hdc::LogLevel::kInfo)
+#define HDC_LOG_WARN ::hdc::detail::LogLine(::hdc::LogLevel::kWarning)
+#define HDC_LOG_ERROR ::hdc::detail::LogLine(::hdc::LogLevel::kError)

@@ -1,0 +1,115 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace hdc {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = splitmix64(sm);
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::uniform(float lo, float hi) {
+  HDC_CHECK(lo <= hi, "uniform bounds reversed");
+  return lo + static_cast<float>(next_double()) * (hi - lo);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  HDC_CHECK(bound > 0, "next_below requires a positive bound");
+  const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+float Rng::gaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  // Box-Muller; u1 in (0, 1] to keep the log finite.
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  spare_gaussian_ = static_cast<float>(radius * std::sin(angle));
+  has_spare_gaussian_ = true;
+  return static_cast<float>(radius * std::cos(angle));
+}
+
+float Rng::gaussian(float mean, float stddev) { return mean + stddev * gaussian(); }
+
+void Rng::fill_gaussian(float* dst, std::size_t count, float mean, float stddev) {
+  HDC_CHECK(dst != nullptr || count == 0, "null destination");
+  for (std::size_t i = 0; i < count; ++i) {
+    dst[i] = gaussian(mean, stddev);
+  }
+}
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n, std::uint32_t k) {
+  HDC_CHECK(k <= n, "cannot sample more elements than the population holds");
+  std::vector<std::uint32_t> pool(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    pool[i] = i;
+  }
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::uint32_t>(i + next_below(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::vector<std::uint32_t> Rng::sample_with_replacement(std::uint32_t n, std::uint32_t k) {
+  HDC_CHECK(n > 0, "population must be non-empty");
+  std::vector<std::uint32_t> out(k);
+  for (auto& index : out) {
+    index = static_cast<std::uint32_t>(next_below(n));
+  }
+  return out;
+}
+
+Rng Rng::split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace hdc

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hdc {
+
+/// Deterministic, platform-independent pseudo-random generator
+/// (xoshiro256** seeded through splitmix64). std::mt19937 +
+/// std::normal_distribution are avoided on purpose: the standard leaves
+/// distribution algorithms unspecified, and reproducibility across
+/// toolchains is a hard requirement for the experiment harness.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi);
+
+  /// Uniform integer in [0, bound) with rejection to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Standard normal via Box-Muller (deterministic; caches the spare value).
+  float gaussian();
+
+  /// Normal with explicit mean / standard deviation.
+  float gaussian(float mean, float stddev);
+
+  /// Fill with i.i.d. standard normal samples.
+  void fill_gaussian(float* dst, std::size_t count, float mean = 0.0F, float stddev = 1.0F);
+
+  /// Random subset of k distinct indices out of [0, n) (partial Fisher-Yates).
+  std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n, std::uint32_t k);
+
+  /// k indices out of [0, n) drawn with replacement (bootstrap sampling).
+  std::vector<std::uint32_t> sample_with_replacement(std::uint32_t n, std::uint32_t k);
+
+  /// Derive an independent stream (for per-sub-model generators).
+  Rng split();
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles work.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t state_[4];
+  bool has_spare_gaussian_ = false;
+  float spare_gaussian_ = 0.0F;
+};
+
+}  // namespace hdc

@@ -1,0 +1,34 @@
+#include "common/sim_time.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace hdc {
+
+SimDuration SimDuration::cycles(std::uint64_t n, double hz) {
+  HDC_CHECK(hz > 0.0, "clock frequency must be positive");
+  return SimDuration(static_cast<double>(n) / hz);
+}
+
+std::string SimDuration::to_string() const {
+  const double s = seconds_;
+  const double magnitude = std::fabs(s);
+  char buf[64];
+  if (magnitude >= 1.0 || magnitude == 0.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  } else if (magnitude >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", s * 1e3);
+  } else if (magnitude >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", s * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", s * 1e9);
+  }
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, SimDuration d) { return os << d.to_string(); }
+
+}  // namespace hdc

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace hdc {
+
+/// Simulated wall-clock duration. All runtimes reported by the framework are
+/// *simulated* seconds produced by the platform cost models, never host
+/// wall-clock, so the experiment harness is deterministic and independent of
+/// the machine it runs on.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+
+  static constexpr SimDuration seconds(double s) { return SimDuration(s); }
+  static constexpr SimDuration millis(double ms) { return SimDuration(ms * 1e-3); }
+  static constexpr SimDuration micros(double us) { return SimDuration(us * 1e-6); }
+  static constexpr SimDuration nanos(double ns) { return SimDuration(ns * 1e-9); }
+  static SimDuration cycles(std::uint64_t n, double hz);
+
+  constexpr double to_seconds() const noexcept { return seconds_; }
+  constexpr double to_millis() const noexcept { return seconds_ * 1e3; }
+  constexpr double to_micros() const noexcept { return seconds_ * 1e6; }
+
+  constexpr bool is_zero() const noexcept { return seconds_ == 0.0; }
+
+  constexpr SimDuration operator+(SimDuration other) const {
+    return SimDuration(seconds_ + other.seconds_);
+  }
+  constexpr SimDuration operator-(SimDuration other) const {
+    return SimDuration(seconds_ - other.seconds_);
+  }
+  constexpr SimDuration operator*(double factor) const { return SimDuration(seconds_ * factor); }
+  constexpr double operator/(SimDuration other) const { return seconds_ / other.seconds_; }
+  SimDuration& operator+=(SimDuration other) {
+    seconds_ += other.seconds_;
+    return *this;
+  }
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  /// Human-readable rendering with an auto-selected unit ("3.21 ms").
+  std::string to_string() const;
+
+ private:
+  constexpr explicit SimDuration(double s) : seconds_(s) {}
+  double seconds_ = 0.0;
+};
+
+std::ostream& operator<<(std::ostream& os, SimDuration d);
+
+}  // namespace hdc

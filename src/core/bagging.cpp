@@ -1,0 +1,126 @@
+#include "core/bagging.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdc::core {
+
+std::uint32_t BaggingConfig::effective_sub_dim() const {
+  if (sub_dim != 0) {
+    return sub_dim;
+  }
+  HDC_CHECK(num_models > 0, "bagging requires at least one sub-model");
+  return std::max<std::uint32_t>(1, base.dim / num_models);
+}
+
+void BaggingConfig::validate() const {
+  HDC_CHECK(num_models > 0, "bagging requires at least one sub-model");
+  HDC_CHECK(epochs > 0, "bagging requires at least one training iteration");
+  bootstrap.validate();
+  base.validate();
+}
+
+std::uint32_t BaggedEnsemble::num_classes() const {
+  HDC_CHECK(!members.empty(), "empty ensemble");
+  return members.front().model.num_classes();
+}
+
+std::uint32_t BaggedEnsemble::full_dim() const {
+  std::uint32_t total = 0;
+  for (const auto& member : members) {
+    total += member.encoder.dim();
+  }
+  return total;
+}
+
+std::uint32_t BaggedEnsemble::predict(std::span<const float> sample) const {
+  HDC_CHECK(!members.empty(), "empty ensemble");
+  std::vector<float> totals(num_classes(), 0.0F);
+  for (const auto& member : members) {
+    const auto encoded = member.encoder.encode(sample);
+    const auto member_scores = member.model.scores(encoded, Similarity::kDot);
+    for (std::size_t c = 0; c < totals.size(); ++c) {
+      totals[c] += member_scores[c];
+    }
+  }
+  return static_cast<std::uint32_t>(tensor::argmax(totals));
+}
+
+std::vector<std::uint32_t> BaggedEnsemble::predict_batch(const tensor::MatrixF& samples) const {
+  std::vector<std::uint32_t> out(samples.rows());
+  for (std::size_t i = 0; i < samples.rows(); ++i) {
+    out[i] = predict(samples.row(i));
+  }
+  return out;
+}
+
+std::uint32_t StackedModel::predict(std::span<const float> sample) const {
+  const auto encoded = encoder.encode(sample);
+  return model.predict(encoded, Similarity::kDot);
+}
+
+std::vector<std::uint32_t> StackedModel::predict_batch(const tensor::MatrixF& samples) const {
+  const tensor::MatrixF encoded = encoder.encode_batch(samples);
+  return model.predict_batch(encoded, Similarity::kDot);
+}
+
+StackedModel stack(const BaggedEnsemble& ensemble) {
+  HDC_CHECK(!ensemble.members.empty(), "cannot stack an empty ensemble");
+
+  std::vector<tensor::MatrixF> bases;
+  std::vector<tensor::MatrixF> class_blocks;
+  bases.reserve(ensemble.members.size());
+  class_blocks.reserve(ensemble.members.size());
+  for (const auto& member : ensemble.members) {
+    bases.push_back(member.encoder.base());
+    // Class blocks concatenate along the hypervector axis, i.e. columns of
+    // the k x d class matrix.
+    class_blocks.push_back(member.model.class_hypervectors());
+  }
+
+  return StackedModel{Encoder(tensor::hstack(bases)),
+                      HdModel(tensor::hstack(class_blocks))};
+}
+
+BaggingTrainer::BaggingTrainer(BaggingConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+BaggedEnsemble BaggingTrainer::fit(const data::Dataset& train) const {
+  train.validate();
+  const std::uint32_t sub_dim = config_.effective_sub_dim();
+  const auto num_samples = static_cast<std::uint32_t>(train.num_samples());
+  const auto num_features = static_cast<std::uint32_t>(train.num_features());
+
+  Rng rng(config_.base.seed);
+  BaggedEnsemble ensemble;
+  ensemble.members.reserve(config_.num_models);
+
+  HdConfig sub_config = config_.base;
+  sub_config.dim = sub_dim;
+  sub_config.epochs = config_.epochs;
+
+  for (std::uint32_t m = 0; m < config_.num_models; ++m) {
+    Rng member_rng = rng.split();
+    const auto bootstrap =
+        data::draw_bootstrap(num_samples, num_features, config_.bootstrap, member_rng);
+
+    Encoder encoder(num_features, sub_dim, member_rng.next_u64());
+    encoder.apply_feature_mask(bootstrap.feature_mask);
+
+    const data::Dataset subset = train.select(bootstrap.sample_indices);
+    Trainer trainer(sub_config);
+    TrainResult trained = trainer.fit(encoder, subset);
+
+    ensemble.members.push_back(
+        SubModel{std::move(encoder), std::move(trained.model), bootstrap});
+    // Keep the history; the model itself now lives in the ensemble member.
+    trained.model = HdModel(ensemble.members.back().model.num_classes(), 1);
+    ensemble.training.push_back(std::move(trained));
+  }
+  return ensemble;
+}
+
+}  // namespace hdc::core

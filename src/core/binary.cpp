@@ -1,0 +1,123 @@
+#include "core/binary.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+#include "core/trainer.hpp"
+
+namespace hdc::core {
+
+BinaryClassifier::BinaryClassifier(Encoder encoder, std::uint32_t dim)
+    : encoder_(std::move(encoder)), dim_(dim), words_((dim + 63) / 64) {}
+
+BinaryClassifier BinaryClassifier::binarize(const TrainedClassifier& classifier) {
+  HDC_CHECK(classifier.encoder.dim() == classifier.model.dim(),
+            "encoder and model widths disagree");
+  BinaryClassifier out(Encoder(classifier.encoder.base()), classifier.dim());
+  out.class_words_.reserve(classifier.num_classes());
+  for (std::size_t c = 0; c < classifier.num_classes(); ++c) {
+    out.class_words_.push_back(out.pack(classifier.model.class_hypervectors().row(c)));
+  }
+  return out;
+}
+
+BinaryClassifier BinaryClassifier::binarize_retrained(const TrainedClassifier& classifier,
+                                                      const data::Dataset& train,
+                                                      std::uint32_t epochs) {
+  train.validate();
+  HDC_CHECK(train.num_features() == classifier.encoder.num_features(),
+            "retraining dataset feature count disagrees with the classifier");
+  HDC_CHECK(epochs > 0, "retraining needs at least one epoch");
+
+  // Encode, then binarize around the per-component mean — min-max-normalized
+  // (all-positive) inputs give raw encodings a large shared offset that a
+  // plain sign() would collapse onto.
+  tensor::MatrixF encoded = classifier.encoder.encode_batch(train.features);
+  std::vector<float> thresholds(encoded.cols(), 0.0F);
+  for (std::size_t i = 0; i < encoded.rows(); ++i) {
+    const auto row = encoded.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      thresholds[j] += row[j];
+    }
+  }
+  for (float& t : thresholds) {
+    t /= static_cast<float>(encoded.rows());
+  }
+  for (std::size_t i = 0; i < encoded.rows(); ++i) {
+    auto row = encoded.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      row[j] = row[j] >= thresholds[j] ? 1.0F : -1.0F;
+    }
+  }
+
+  HdConfig config;
+  config.dim = classifier.dim();
+  config.epochs = epochs;
+  const Trainer trainer(config);
+  TrainResult refit = trainer.fit_encoded(encoded, train.labels, train.num_classes);
+
+  BinaryClassifier out(Encoder(classifier.encoder.base()), classifier.dim());
+  // Class hypervectors were trained on centered (+/-1) encodings, so they
+  // binarize around zero; only *queries* need the thresholds.
+  out.class_words_.reserve(refit.model.num_classes());
+  for (std::size_t c = 0; c < refit.model.num_classes(); ++c) {
+    out.class_words_.push_back(out.pack(refit.model.class_hypervectors().row(c)));
+  }
+  out.thresholds_ = std::move(thresholds);
+  return out;
+}
+
+std::vector<std::uint64_t> BinaryClassifier::pack(std::span<const float> encoded) const {
+  HDC_CHECK(encoded.size() == dim_, "encoded width disagrees with binary model");
+  std::vector<std::uint64_t> words(words_, 0);
+  for (std::uint32_t i = 0; i < dim_; ++i) {
+    // Ties at exactly the threshold are rare for real encodings and
+    // deterministic either way.
+    const float threshold = thresholds_.empty() ? 0.0F : thresholds_[i];
+    if (encoded[i] >= threshold) {
+      words[i >> 6] |= (1ULL << (i & 63));
+    }
+  }
+  return words;
+}
+
+std::uint32_t BinaryClassifier::hamming(std::span<const std::uint64_t> packed,
+                                        std::uint32_t c) const {
+  HDC_CHECK(packed.size() == words_, "packed query has the wrong word count");
+  HDC_CHECK(c < class_words_.size(), "class index out of range");
+  const auto& cls = class_words_[c];
+  std::uint32_t distance = 0;
+  for (std::uint32_t w = 0; w < words_; ++w) {
+    std::uint64_t diff = packed[w] ^ cls[w];
+    if (w + 1 == words_ && (dim_ & 63) != 0) {
+      diff &= (1ULL << (dim_ & 63)) - 1;  // mask padding bits of the last word
+    }
+    distance += static_cast<std::uint32_t>(std::popcount(diff));
+  }
+  return distance;
+}
+
+std::uint32_t BinaryClassifier::predict(std::span<const float> sample) const {
+  const auto packed = pack(encoder_.encode(sample));
+  std::uint32_t best_class = 0;
+  std::uint32_t best_distance = UINT32_MAX;
+  for (std::uint32_t c = 0; c < class_words_.size(); ++c) {
+    const std::uint32_t distance = hamming(packed, c);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best_class = c;
+    }
+  }
+  return best_class;
+}
+
+std::vector<std::uint32_t> BinaryClassifier::predict_batch(
+    const tensor::MatrixF& samples) const {
+  std::vector<std::uint32_t> out(samples.rows());
+  for (std::size_t i = 0; i < samples.rows(); ++i) {
+    out[i] = predict(samples.row(i));
+  }
+  return out;
+}
+
+}  // namespace hdc::core

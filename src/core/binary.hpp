@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/serialize.hpp"
+#include "data/dataset.hpp"
+
+namespace hdc::core {
+
+/// Bipolar (binary) deployment of a trained HDC classifier — the classic
+/// memory-light HDC operating point the paper's related work targets on
+/// ASIC/FPGA substrates: class hypervectors are reduced to their signs and
+/// packed 64 components per word; queries binarize their encodings the same
+/// way and the associative search becomes XOR + popcount (Hamming distance).
+///
+/// The random base matrix stays float (encoding is still E = tanh(F . B));
+/// the win is the model memory (32x smaller class store) and the similarity
+/// arithmetic (bitwise instead of MACs). Accuracy typically lands a few
+/// points below the float/int8 models — quantified by ablation_precision.
+class BinaryClassifier {
+ public:
+  /// Sign-binarizes an existing trained classifier as-is ("zero-shot").
+  /// Cheap but lossy: float-trained class hypervectors are not optimized for
+  /// the bipolar domain, so expect an accuracy drop on low-feature tasks.
+  static BinaryClassifier binarize(const TrainedClassifier& classifier);
+
+  /// Binarizes with a short retraining pass in the bipolar domain: training
+  /// samples are encoded, sign-binarized, and the class hypervectors are
+  /// re-fit on those +/-1 vectors before their own signs are taken. This is
+  /// the standard recipe for deploying binary HDC and typically lands within
+  /// a point of the float model (see BinaryClassifierTest).
+  static BinaryClassifier binarize_retrained(const TrainedClassifier& classifier,
+                                             const data::Dataset& train,
+                                             std::uint32_t epochs = 6);
+
+  std::uint32_t dim() const noexcept { return dim_; }
+  std::uint32_t num_classes() const noexcept {
+    return static_cast<std::uint32_t>(class_words_.size());
+  }
+  std::uint32_t words_per_vector() const noexcept { return words_; }
+
+  /// Packed class-hypervector store size (the deployable model memory).
+  std::size_t model_bytes() const noexcept {
+    return static_cast<std::size_t>(num_classes()) * words_ * sizeof(std::uint64_t);
+  }
+  /// Equivalent float class store, for the compression-ratio headline.
+  std::size_t dense_model_bytes() const noexcept {
+    return static_cast<std::size_t>(num_classes()) * dim_ * sizeof(float);
+  }
+
+  /// Packs a (float) encoded hypervector to bits: component i maps to 1 when
+  /// it is >= its threshold (zero for zero-shot binarization; the per-
+  /// component training-set mean after retraining, which matters when
+  /// all-positive inputs give the raw encodings a large common offset).
+  std::vector<std::uint64_t> pack(std::span<const float> encoded) const;
+
+  /// Hamming distance between a packed query and class `c`.
+  std::uint32_t hamming(std::span<const std::uint64_t> packed, std::uint32_t c) const;
+
+  /// Full pipeline: encode with the float base, binarize, nearest class by
+  /// Hamming distance.
+  std::uint32_t predict(std::span<const float> sample) const;
+  std::vector<std::uint32_t> predict_batch(const tensor::MatrixF& samples) const;
+
+ private:
+  BinaryClassifier(Encoder encoder, std::uint32_t dim);
+
+  Encoder encoder_;
+  std::uint32_t dim_;
+  std::uint32_t words_;
+  std::vector<std::vector<std::uint64_t>> class_words_;
+  std::vector<float> thresholds_;  ///< empty = binarize around zero
+};
+
+}  // namespace hdc::core

@@ -1,0 +1,152 @@
+#include "core/clustering.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdc::core {
+
+void ClusteringConfig::validate() const {
+  HDC_CHECK(clusters >= 2, "clustering needs at least two clusters");
+  HDC_CHECK(dim > 0, "hypervector width must be positive");
+  HDC_CHECK(max_iterations > 0, "at least one iteration required");
+  HDC_CHECK(convergence_fraction >= 0.0 && convergence_fraction < 1.0,
+            "convergence fraction must lie in [0,1)");
+}
+
+namespace {
+
+ClusteringResult cluster_once(const Encoder& encoder, const tensor::MatrixF& encoded,
+                              const ClusteringConfig& config, std::uint64_t seed);
+
+}  // namespace
+
+ClusteringResult cluster(const Encoder& encoder, const tensor::MatrixF& samples,
+                         const ClusteringConfig& config) {
+  config.validate();
+  HDC_CHECK(encoder.dim() == config.dim, "encoder width disagrees with config");
+  HDC_CHECK(samples.rows() >= config.clusters, "fewer samples than clusters");
+
+  const tensor::MatrixF encoded = encoder.encode_batch(samples);
+
+  ClusteringResult best;
+  double best_similarity = -2.0;
+  for (std::uint32_t restart = 0; restart < config.restarts; ++restart) {
+    ClusteringResult candidate =
+        cluster_once(encoder, encoded, config, config.seed + restart * 0x9E37ULL);
+    double total = 0.0;
+    for (std::size_t i = 0; i < encoded.rows(); ++i) {
+      total += tensor::cosine(encoded.row(i),
+                              candidate.centroids.row(candidate.assignments[i]));
+    }
+    const double similarity = total / static_cast<double>(encoded.rows());
+    if (similarity > best_similarity) {
+      best_similarity = similarity;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+namespace {
+
+ClusteringResult cluster_once(const Encoder& encoder, const tensor::MatrixF& encoded,
+                              const ClusteringConfig& config, std::uint64_t seed) {
+  (void)encoder;
+  const std::size_t n = encoded.rows();
+  const std::uint32_t k = config.clusters;
+
+  // Farthest-first initialization: random seed point, then greedily pick the
+  // sample least similar to every chosen centroid.
+  Rng rng(seed);
+  std::vector<std::size_t> seeds;
+  seeds.push_back(rng.next_below(n));
+  while (seeds.size() < k) {
+    std::size_t best = 0;
+    float best_worst = 2.0F;
+    for (std::size_t i = 0; i < n; ++i) {
+      float closest = -2.0F;
+      for (const std::size_t s : seeds) {
+        closest = std::max(closest, tensor::cosine(encoded.row(i), encoded.row(s)));
+      }
+      if (closest < best_worst) {
+        best_worst = closest;
+        best = i;
+      }
+    }
+    seeds.push_back(best);
+  }
+
+  ClusteringResult result;
+  result.centroids = tensor::MatrixF(k, config.dim);
+  for (std::uint32_t c = 0; c < k; ++c) {
+    std::copy_n(encoded.row(seeds[c]).data(), config.dim, result.centroids.row(c).data());
+  }
+  result.assignments.assign(n, 0);
+
+  for (std::uint32_t iteration = 0; iteration < config.max_iterations; ++iteration) {
+    // Assign: nearest centroid by cosine similarity.
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t best_cluster = 0;
+      float best_similarity = -2.0F;
+      for (std::uint32_t c = 0; c < k; ++c) {
+        const float similarity =
+            tensor::cosine(encoded.row(i), result.centroids.row(c));
+        if (similarity > best_similarity) {
+          best_similarity = similarity;
+          best_cluster = c;
+        }
+      }
+      if (result.assignments[i] != best_cluster) {
+        ++changed;
+        result.assignments[i] = best_cluster;
+      }
+    }
+    result.iterations_run = iteration + 1;
+
+    // Update: re-bundle each centroid from its members (empty clusters keep
+    // their previous centroid — the farthest-first init makes this rare).
+    tensor::MatrixF next(k, config.dim, 0.0F);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t c = result.assignments[i];
+      tensor::axpy(1.0F, encoded.row(i), next.row(c));
+      ++counts[c];
+    }
+    for (std::uint32_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        std::copy_n(result.centroids.row(c).data(), config.dim, next.row(c).data());
+      }
+    }
+    result.centroids = std::move(next);
+
+    if (iteration > 0 &&
+        static_cast<double>(changed) <=
+            config.convergence_fraction * static_cast<double>(n)) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+double mean_centroid_similarity(const Encoder& encoder, const tensor::MatrixF& samples,
+                                const ClusteringResult& result) {
+  HDC_CHECK(samples.rows() == result.assignments.size(),
+            "assignment count disagrees with samples");
+  const tensor::MatrixF encoded = encoder.encode_batch(samples);
+  double total = 0.0;
+  for (std::size_t i = 0; i < encoded.rows(); ++i) {
+    total += tensor::cosine(encoded.row(i),
+                            result.centroids.row(result.assignments[i]));
+  }
+  return total / static_cast<double>(encoded.rows());
+}
+
+}  // namespace hdc::core

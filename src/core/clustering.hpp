@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/encoder.hpp"
+#include "data/dataset.hpp"
+
+namespace hdc::core {
+
+/// Hyperdimensional k-means-style clustering (the application family the
+/// paper cites as DUAL [30]): samples are encoded once, cluster centroids
+/// live in hyperspace as bundled hypervectors, and the assign/update loop
+/// runs entirely on similarities — the same associative-search primitive the
+/// classifier uses, so the whole thing lowers to the accelerator-friendly
+/// wide-NN form too.
+struct ClusteringConfig {
+  std::uint32_t clusters = 4;
+  std::uint32_t dim = 4096;
+  std::uint32_t max_iterations = 20;
+  std::uint64_t seed = 42;
+  /// Stop when fewer than this fraction of samples change cluster.
+  double convergence_fraction = 0.001;
+  /// Independent restarts (different init seeds); the run with the highest
+  /// mean centroid similarity wins — the standard defense against k-means
+  /// local optima.
+  std::uint32_t restarts = 8;
+
+  void validate() const;
+};
+
+struct ClusteringResult {
+  std::vector<std::uint32_t> assignments;  ///< cluster id per sample
+  tensor::MatrixF centroids;               ///< clusters x dim hypervectors
+  std::uint32_t iterations_run = 0;
+  bool converged = false;
+};
+
+/// Runs HD clustering over `samples` (one row per sample) with the given
+/// encoder. Centroids initialize from distinct random samples (k-means++-
+/// lite: greedy farthest-first after a random seed point).
+ClusteringResult cluster(const Encoder& encoder, const tensor::MatrixF& samples,
+                         const ClusteringConfig& config);
+
+/// Clustering quality: mean cosine similarity of each encoded sample to its
+/// centroid (higher = tighter clusters). Exposed for tests/benches.
+double mean_centroid_similarity(const Encoder& encoder, const tensor::MatrixF& samples,
+                                const ClusteringResult& result);
+
+}  // namespace hdc::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace hdc::core {
+
+/// Non-linear hyperdimensional encoder (paper Section III-A):
+///
+///     E = tanh(f_1 * B_1 + f_2 * B_2 + ... + f_n * B_n) = tanh(F . B)
+///
+/// where each base hypervector B_i is drawn i.i.d. from N(0, 1) so any two
+/// bases are near-orthogonal. The bases form an n x d matrix (row i = B_i),
+/// which is exactly the first dense layer of the wide-NN interpretation.
+class Encoder {
+ public:
+  /// Fresh random bases for `num_features` inputs at width `dim`.
+  Encoder(std::uint32_t num_features, std::uint32_t dim, std::uint64_t seed);
+
+  /// Wraps an existing base matrix (row per feature). Used when stacking
+  /// bagged sub-model bases into one full-width encoder.
+  explicit Encoder(tensor::MatrixF base);
+
+  std::uint32_t num_features() const noexcept { return static_cast<std::uint32_t>(base_.rows()); }
+  std::uint32_t dim() const noexcept { return static_cast<std::uint32_t>(base_.cols()); }
+  const tensor::MatrixF& base() const noexcept { return base_; }
+
+  /// Zeroes base rows whose mask entry is 0, implementing the paper's
+  /// feature sampling "for this matrix ... some of the columns are set to
+  /// zero, because they correspond to features that are not sampled".
+  void apply_feature_mask(std::span<const std::uint8_t> mask);
+
+  /// Encodes one sample (length num_features) to a d-wide hypervector.
+  std::vector<float> encode(std::span<const float> sample) const;
+
+  /// Encodes a batch (rows = samples) to rows of hypervectors.
+  tensor::MatrixF encode_batch(const tensor::MatrixF& samples) const;
+
+ private:
+  tensor::MatrixF base_;  ///< num_features x dim
+};
+
+}  // namespace hdc::core

@@ -1,0 +1,81 @@
+#include "core/federated.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hdc::core {
+
+std::vector<data::Dataset> partition_dataset(const data::Dataset& dataset,
+                                             std::uint32_t num_shards,
+                                             std::uint64_t seed) {
+  dataset.validate();
+  HDC_CHECK(num_shards > 0, "need at least one shard");
+  HDC_CHECK(dataset.num_samples() >= num_shards, "fewer samples than shards");
+
+  std::vector<std::uint32_t> order(dataset.num_samples());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+
+  std::vector<data::Dataset> shards;
+  shards.reserve(num_shards);
+  const std::size_t base_size = order.size() / num_shards;
+  std::size_t cursor = 0;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    // The last shard absorbs the remainder.
+    const std::size_t size =
+        s + 1 == num_shards ? order.size() - cursor : base_size;
+    std::vector<std::uint32_t> indices(order.begin() + cursor,
+                                       order.begin() + cursor + size);
+    cursor += size;
+    shards.push_back(dataset.select(indices));
+    shards.back().name = dataset.name + "@shard" + std::to_string(s);
+  }
+  return shards;
+}
+
+HdModel merge_models(std::span<const HdModel> models) {
+  HDC_CHECK(!models.empty(), "cannot merge zero models");
+  const std::uint32_t classes = models.front().num_classes();
+  const std::uint32_t dim = models.front().dim();
+  HdModel merged(classes, dim);
+  for (const auto& model : models) {
+    HDC_CHECK(model.num_classes() == classes && model.dim() == dim,
+              "federated models disagree on shape");
+    for (std::uint32_t c = 0; c < classes; ++c) {
+      merged.bundle(c, model.class_hypervectors().row(c), 1.0F);
+    }
+  }
+  return merged;
+}
+
+FederatedResult federated_train(const data::Dataset& dataset, std::uint32_t num_devices,
+                                const HdConfig& config) {
+  config.validate();
+  const auto shards = partition_dataset(dataset, num_devices, config.seed ^ 0xFEDF);
+
+  // Shared geometry: every device regenerates the identical base matrix from
+  // the common seed — only class hypervectors travel.
+  Encoder shared_encoder(static_cast<std::uint32_t>(dataset.num_features()), config.dim,
+                         config.seed);
+
+  std::vector<HdModel> local_models;
+  std::vector<double> local_accuracy;
+  local_models.reserve(num_devices);
+  const Trainer trainer(config);
+  for (const auto& shard : shards) {
+    TrainResult result = trainer.fit(shared_encoder, shard);
+    local_accuracy.push_back(result.history.back().train_accuracy);
+    local_models.push_back(std::move(result.model));
+  }
+
+  return FederatedResult{
+      TrainedClassifier{std::move(shared_encoder), merge_models(local_models)},
+      std::move(local_accuracy)};
+}
+
+}  // namespace hdc::core

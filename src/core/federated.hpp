@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/serialize.hpp"
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+
+namespace hdc::core {
+
+/// Federated HDC (the collaborative-learning setting of the paper's
+/// reference [21]): every edge device derives the *same* base hypervectors
+/// from a shared seed, trains class hypervectors on its local shard, and the
+/// aggregator merges the models by bundling — class hypervectors add, no
+/// gradients or raw data ever leave a device.
+
+/// Splits a dataset into `num_shards` disjoint, shuffled shards (one per
+/// simulated device).
+std::vector<data::Dataset> partition_dataset(const data::Dataset& dataset,
+                                             std::uint32_t num_shards, std::uint64_t seed);
+
+/// Bundles per-device class-hypervector models into one global model. All
+/// models must agree on (classes, dim) — and, for the result to be
+/// meaningful, on the encoder seed.
+HdModel merge_models(std::span<const HdModel> models);
+
+struct FederatedResult {
+  TrainedClassifier global;            ///< shared encoder + merged model
+  std::vector<double> device_accuracy; ///< final local train accuracy per device
+};
+
+/// Convenience driver: partition, train each shard locally with `config`,
+/// merge. Every device uses the encoder derived from `config.seed`.
+FederatedResult federated_train(const data::Dataset& dataset, std::uint32_t num_devices,
+                                const HdConfig& config);
+
+}  // namespace hdc::core

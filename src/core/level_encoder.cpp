@@ -1,0 +1,96 @@
+#include "core/level_encoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hdc::core {
+
+void LevelEncoderConfig::validate() const {
+  HDC_CHECK(dim > 0, "level encoder needs a positive width");
+  HDC_CHECK(levels >= 2, "level encoder needs at least two levels");
+  HDC_CHECK(min_value < max_value, "level range must be non-degenerate");
+}
+
+LevelEncoder::LevelEncoder(std::uint32_t num_features, LevelEncoderConfig config)
+    : num_features_(num_features),
+      config_(config),
+      ids_(num_features, config.dim),
+      levels_(config.levels, config.dim) {
+  HDC_CHECK(num_features_ > 0, "level encoder needs at least one feature");
+  config_.validate();
+  Rng rng(config_.seed);
+
+  // Random bipolar ID per feature position.
+  for (auto& v : ids_.storage()) {
+    v = rng.next_below(2) == 0 ? -1.0F : 1.0F;
+  }
+
+  // Correlated level chain: level l flips a *disjoint* slice of a fixed
+  // random permutation relative to level 0, so the Hamming distance between
+  // levels grows strictly monotonically with their index gap: neighbours
+  // differ in d / (2*(levels-1)) positions, the extremes in ~d/2 (near
+  // orthogonal) — the textbook level-hypervector construction.
+  for (std::uint32_t j = 0; j < config_.dim; ++j) {
+    levels_(0, j) = rng.next_below(2) == 0 ? -1.0F : 1.0F;
+  }
+  const std::vector<std::uint32_t> permutation =
+      rng.sample_without_replacement(config_.dim, config_.dim);
+  const std::uint32_t flips_per_step =
+      std::max<std::uint32_t>(1, config_.dim / (2 * (config_.levels - 1)));
+  for (std::uint32_t level = 1; level < config_.levels; ++level) {
+    for (std::uint32_t j = 0; j < config_.dim; ++j) {
+      levels_(level, j) = levels_(level - 1, j);
+    }
+    const std::uint32_t begin = (level - 1) * flips_per_step;
+    const std::uint32_t end = std::min(level * flips_per_step, config_.dim);
+    for (std::uint32_t p = begin; p < end; ++p) {
+      levels_(level, permutation[p]) = -levels_(level, permutation[p]);
+    }
+  }
+}
+
+std::uint32_t LevelEncoder::level_of(float value) const {
+  const float clamped = std::clamp(value, config_.min_value, config_.max_value);
+  const float normalized =
+      (clamped - config_.min_value) / (config_.max_value - config_.min_value);
+  const auto level = static_cast<std::uint32_t>(normalized * (config_.levels - 1) + 0.5F);
+  return std::min(level, config_.levels - 1);
+}
+
+std::span<const float> LevelEncoder::level_vector(std::uint32_t level) const {
+  HDC_CHECK(level < config_.levels, "level index out of range");
+  return levels_.row(level);
+}
+
+std::span<const float> LevelEncoder::id_vector(std::uint32_t feature) const {
+  HDC_CHECK(feature < num_features_, "feature index out of range");
+  return ids_.row(feature);
+}
+
+std::vector<float> LevelEncoder::encode(std::span<const float> sample) const {
+  HDC_CHECK(sample.size() == num_features_, "sample feature count mismatch");
+  std::vector<float> encoded(config_.dim, 0.0F);
+  for (std::uint32_t i = 0; i < num_features_; ++i) {
+    const float* id = ids_.data() + static_cast<std::size_t>(i) * config_.dim;
+    const float* level =
+        levels_.data() + static_cast<std::size_t>(level_of(sample[i])) * config_.dim;
+    for (std::uint32_t j = 0; j < config_.dim; ++j) {
+      encoded[j] += id[j] * level[j];  // binding, then bundling
+    }
+  }
+  return encoded;
+}
+
+tensor::MatrixF LevelEncoder::encode_batch(const tensor::MatrixF& samples) const {
+  HDC_CHECK(samples.cols() == num_features_, "batch feature count mismatch");
+  tensor::MatrixF encoded(samples.rows(), config_.dim);
+  for (std::size_t i = 0; i < samples.rows(); ++i) {
+    const auto row = encode(samples.row(i));
+    std::copy(row.begin(), row.end(), encoded.row(i).begin());
+  }
+  return encoded;
+}
+
+}  // namespace hdc::core

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace hdc::core {
+
+/// The classical ID-level ("linear") HDC encoding the paper contrasts its
+/// non-linear random-projection encoding against (Section III-A: "Most
+/// prior works have tried to encode the input using linear mapping [21].
+/// However, in this work, we adopt a non-linear mapping which achieves
+/// higher learning accuracy.").
+///
+/// Each feature position i owns a random bipolar ID hypervector; each
+/// quantized feature *value* maps to a level hypervector from a correlated
+/// chain (adjacent levels share most components, the extremes are nearly
+/// orthogonal). A sample encodes as
+///
+///     E = sum_i  ID_i (*) LEVEL(f_i)
+///
+/// where (*) is elementwise binding. The encoding is linear in the level
+/// vectors — hence the paper's "linear mapping" label — and serves as the
+/// accuracy baseline for ablation_encoding.
+struct LevelEncoderConfig {
+  std::uint32_t dim = 4096;
+  std::uint32_t levels = 32;  ///< quantization levels across [min, max]
+  std::uint64_t seed = 42;
+  float min_value = 0.0F;  ///< feature range the level chain spans
+  float max_value = 1.0F;
+
+  void validate() const;
+};
+
+class LevelEncoder {
+ public:
+  LevelEncoder(std::uint32_t num_features, LevelEncoderConfig config);
+
+  std::uint32_t num_features() const noexcept { return num_features_; }
+  std::uint32_t dim() const noexcept { return config_.dim; }
+  const LevelEncoderConfig& config() const noexcept { return config_; }
+
+  /// Level index for a raw feature value (clamped to the configured range).
+  std::uint32_t level_of(float value) const;
+
+  /// Encodes one sample: sum over features of ID_i * LEVEL(level_of(f_i)).
+  std::vector<float> encode(std::span<const float> sample) const;
+  tensor::MatrixF encode_batch(const tensor::MatrixF& samples) const;
+
+  /// Exposed for the correlation property tests.
+  std::span<const float> level_vector(std::uint32_t level) const;
+  std::span<const float> id_vector(std::uint32_t feature) const;
+
+ private:
+  std::uint32_t num_features_;
+  LevelEncoderConfig config_;
+  tensor::MatrixF ids_;     ///< num_features x dim, bipolar +/-1
+  tensor::MatrixF levels_;  ///< levels x dim, correlated bipolar chain
+};
+
+}  // namespace hdc::core

@@ -1,0 +1,53 @@
+#include "core/model.hpp"
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdc::core {
+
+HdModel::HdModel(std::uint32_t num_classes, std::uint32_t dim) : class_hvs_(num_classes, dim) {
+  HDC_CHECK(num_classes >= 2, "a classifier needs at least two classes");
+  HDC_CHECK(dim > 0, "hypervector width must be positive");
+}
+
+HdModel::HdModel(tensor::MatrixF class_hypervectors) : class_hvs_(std::move(class_hypervectors)) {
+  HDC_CHECK(class_hvs_.rows() >= 2 && class_hvs_.cols() > 0,
+            "class hypervector matrix must be k x d with k >= 2");
+}
+
+std::vector<float> HdModel::scores(std::span<const float> encoded, Similarity metric) const {
+  HDC_CHECK(encoded.size() == class_hvs_.cols(), "encoded width disagrees with model dim");
+  std::vector<float> out(class_hvs_.rows());
+  for (std::size_t c = 0; c < class_hvs_.rows(); ++c) {
+    const auto hv = class_hvs_.row(c);
+    out[c] = metric == Similarity::kCosine ? tensor::cosine(encoded, hv)
+                                           : tensor::dot(encoded, hv);
+  }
+  return out;
+}
+
+std::uint32_t HdModel::predict(std::span<const float> encoded, Similarity metric) const {
+  const auto s = scores(encoded, metric);
+  return static_cast<std::uint32_t>(tensor::argmax(s));
+}
+
+std::vector<std::uint32_t> HdModel::predict_batch(const tensor::MatrixF& encoded,
+                                                  Similarity metric) const {
+  std::vector<std::uint32_t> out(encoded.rows());
+  for (std::size_t i = 0; i < encoded.rows(); ++i) {
+    out[i] = predict(encoded.row(i), metric);
+  }
+  return out;
+}
+
+void HdModel::bundle(std::uint32_t class_index, std::span<const float> encoded, float lambda) {
+  HDC_CHECK(class_index < class_hvs_.rows(), "bundle class index out of range");
+  tensor::axpy(lambda, encoded, class_hvs_.row(class_index));
+}
+
+void HdModel::detach(std::uint32_t class_index, std::span<const float> encoded, float lambda) {
+  HDC_CHECK(class_index < class_hvs_.rows(), "detach class index out of range");
+  tensor::axpy(-lambda, encoded, class_hvs_.row(class_index));
+}
+
+}  // namespace hdc::core

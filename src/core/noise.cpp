@@ -1,0 +1,49 @@
+#include "core/noise.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hdc::core {
+namespace {
+
+void for_random_fraction(HdModel& model, double fraction, Rng& rng, auto&& mutate) {
+  HDC_CHECK(fraction >= 0.0 && fraction <= 1.0, "corruption fraction must lie in [0,1]");
+  const auto dim = model.dim();
+  const auto hit_count = static_cast<std::uint32_t>(fraction * dim);
+  for (std::uint32_t c = 0; c < model.num_classes(); ++c) {
+    auto row = model.class_hypervectors().row(c);
+    for (const std::uint32_t j : rng.sample_without_replacement(dim, hit_count)) {
+      mutate(row[j]);
+    }
+  }
+}
+
+}  // namespace
+
+float model_rms(const HdModel& model) {
+  double acc = 0.0;
+  for (const float v : model.class_hypervectors().storage()) {
+    acc += static_cast<double>(v) * v;
+  }
+  return static_cast<float>(
+      std::sqrt(acc / static_cast<double>(model.class_hypervectors().size())));
+}
+
+void inject_stuck_at_zero(HdModel& model, double fraction, Rng& rng) {
+  for_random_fraction(model, fraction, rng, [](float& v) { v = 0.0F; });
+}
+
+void inject_gaussian_noise(HdModel& model, float sigma_relative, Rng& rng) {
+  HDC_CHECK(sigma_relative >= 0.0F, "noise sigma must be non-negative");
+  const float sigma = sigma_relative * model_rms(model);
+  for (float& v : model.class_hypervectors().storage()) {
+    v += rng.gaussian(0.0F, sigma);
+  }
+}
+
+void inject_sign_flips(HdModel& model, double fraction, Rng& rng) {
+  for_random_fraction(model, fraction, rng, [](float& v) { v = -v; });
+}
+
+}  // namespace hdc::core

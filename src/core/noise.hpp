@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "core/model.hpp"
+
+namespace hdc::core {
+
+/// Fault-injection utilities backing the paper's robustness motivation
+/// ("the human brain can train effortlessly ... without much concern of
+/// noisy and broken neuron cells"; HDC "provide[s] strong robustness to
+/// noise"). Because information in a hypervector is spread holographically
+/// across all d components, a classifier should degrade gracefully — not
+/// catastrophically — when components are corrupted. ablation_noise
+/// quantifies this.
+
+/// Zeroes a random `fraction` of each class hypervector's components
+/// (stuck-at-zero faults: dead SRAM cells, dropped packets).
+void inject_stuck_at_zero(HdModel& model, double fraction, Rng& rng);
+
+/// Adds Gaussian noise with standard deviation `sigma_relative` times each
+/// class hypervector's RMS component magnitude (analog noise, voltage
+/// scaling, low-precision drift).
+void inject_gaussian_noise(HdModel& model, float sigma_relative, Rng& rng);
+
+/// Flips the sign of a random `fraction` of components (bit flips in a
+/// sign-magnitude store — the harshest corruption).
+void inject_sign_flips(HdModel& model, double fraction, Rng& rng);
+
+/// RMS component magnitude over the whole class store (helper; exposed for
+/// tests).
+float model_rms(const HdModel& model);
+
+}  // namespace hdc::core

@@ -1,0 +1,58 @@
+#include "core/online.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdc::core {
+
+OnlineLearner::OnlineLearner(std::uint32_t num_features, std::uint32_t num_classes,
+                             OnlineConfig config)
+    : config_(config),
+      encoder_(num_features, config.dim, config.seed),
+      model_(num_classes, config.dim) {
+  HDC_CHECK(config_.learning_rate > 0.0F, "learning rate must be positive");
+}
+
+std::uint32_t OnlineLearner::learn(std::span<const float> sample, std::uint32_t label) {
+  HDC_CHECK(label < model_.num_classes(), "label out of range");
+  const auto encoded = encoder_.encode(sample);
+  const auto scores = model_.scores(encoded, config_.similarity);
+  const auto predicted = static_cast<std::uint32_t>(tensor::argmax(scores));
+
+  ++stats_.samples_seen;
+  if (predicted != label) {
+    ++stats_.errors;
+    // Cosine scores live in [-1, 1]; clamp so the adaptive factor stays in
+    // [0, 2] even for the dot metric or a cold (all-zero) model.
+    const float sim_true = std::clamp(scores[label], -1.0F, 1.0F);
+    const float sim_pred = std::clamp(scores[predicted], -1.0F, 1.0F);
+    model_.bundle(label, encoded, config_.learning_rate * (1.0F - sim_true));
+    model_.detach(predicted, encoded, config_.learning_rate * (1.0F - sim_pred));
+  }
+  return predicted;
+}
+
+double OnlineLearner::learn_batch(const data::Dataset& batch) {
+  batch.validate();
+  HDC_CHECK(batch.num_features() == encoder_.num_features(),
+            "batch feature count disagrees with learner");
+  HDC_CHECK(batch.num_classes <= model_.num_classes(),
+            "batch declares more classes than the learner was built for");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < batch.num_samples(); ++i) {
+    correct += learn(batch.features.row(i), batch.labels[i]) == batch.labels[i] ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch.num_samples());
+}
+
+std::uint32_t OnlineLearner::predict(std::span<const float> sample) const {
+  return model_.predict(encoder_.encode(sample), config_.similarity);
+}
+
+TrainedClassifier OnlineLearner::freeze() const {
+  return TrainedClassifier{Encoder(encoder_.base()), HdModel(model_.class_hypervectors())};
+}
+
+}  // namespace hdc::core

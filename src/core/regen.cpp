@@ -1,0 +1,133 @@
+#include "core/regen.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdc::core {
+
+void RegenConfig::validate() const {
+  HDC_CHECK(rounds > 0, "regeneration needs at least one round");
+  HDC_CHECK(regenerate_fraction > 0.0 && regenerate_fraction < 1.0,
+            "regeneration fraction must lie in (0,1)");
+  HDC_CHECK(epochs_per_round > 0, "each round needs at least one epoch");
+}
+
+std::vector<float> dimension_scores(const HdModel& model) {
+  const auto& class_hvs = model.class_hypervectors();
+  const std::uint32_t k = model.num_classes();
+  const std::uint32_t d = model.dim();
+
+  // Row-normalize so one dominant class's magnitude cannot mask dimensions
+  // that are useless for separating the others.
+  std::vector<float> inv_norms(k, 0.0F);
+  for (std::uint32_t c = 0; c < k; ++c) {
+    const float norm = tensor::l2_norm(class_hvs.row(c));
+    inv_norms[c] = norm > 0.0F ? 1.0F / norm : 0.0F;
+  }
+
+  std::vector<float> scores(d, 0.0F);
+  for (std::uint32_t j = 0; j < d; ++j) {
+    float mean = 0.0F;
+    for (std::uint32_t c = 0; c < k; ++c) {
+      mean += class_hvs(c, j) * inv_norms[c];
+    }
+    mean /= static_cast<float>(k);
+    float variance = 0.0F;
+    for (std::uint32_t c = 0; c < k; ++c) {
+      const float v = class_hvs(c, j) * inv_norms[c] - mean;
+      variance += v * v;
+    }
+    scores[j] = variance / static_cast<float>(k);
+  }
+  return scores;
+}
+
+RegenResult train_with_regeneration(const data::Dataset& train, const HdConfig& hd_config,
+                                    const RegenConfig& regen_config,
+                                    const data::Dataset* validation) {
+  train.validate();
+  hd_config.validate();
+  regen_config.validate();
+
+  Encoder encoder(static_cast<std::uint32_t>(train.num_features()), hd_config.dim,
+                  hd_config.seed);
+  Rng regen_rng(hd_config.seed ^ 0x9E6EU);
+
+  const auto evaluate = [&](const HdModel& model) {
+    const data::Dataset& probe = validation != nullptr ? *validation : train;
+    const auto predictions =
+        model.predict_batch(encoder.encode_batch(probe.features), hd_config.similarity);
+    return data::accuracy(predictions, probe.labels);
+  };
+
+  HdConfig round_config = hd_config;
+  round_config.epochs = regen_config.epochs_per_round;
+  const Trainer trainer(round_config);
+
+  RegenResult result{
+      TrainedClassifier{Encoder(encoder.base()), HdModel(train.num_classes, hd_config.dim)},
+      {},
+      0};
+
+  // Baseline round.
+  TrainResult trained = trainer.fit(encoder, train);
+  result.round_accuracy.push_back(evaluate(trained.model));
+
+  const auto regen_count = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(regen_config.regenerate_fraction * hd_config.dim));
+
+  for (std::uint32_t round = 0; round < regen_config.rounds; ++round) {
+    // Pick the weakest dimensions by discriminative score.
+    const std::vector<float> scores = dimension_scores(trained.model);
+    std::vector<std::uint32_t> order(scores.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + regen_count, order.end(),
+                      [&](std::uint32_t a, std::uint32_t b) { return scores[a] < scores[b]; });
+
+    // Re-randomize their base columns; class values in those dimensions are
+    // stale and get retrained from the refreshed encodings. (Keeping the
+    // rest of the class store warm-starts the retraining.)
+    tensor::MatrixF base = encoder.base();
+    tensor::MatrixF class_hvs = trained.model.class_hypervectors();
+    for (std::uint32_t i = 0; i < regen_count; ++i) {
+      const std::uint32_t j = order[i];
+      for (std::size_t f = 0; f < base.rows(); ++f) {
+        base(f, j) = regen_rng.gaussian();
+      }
+      for (std::uint32_t c = 0; c < train.num_classes; ++c) {
+        class_hvs(c, j) = 0.0F;
+      }
+    }
+    encoder = Encoder(std::move(base));
+    result.regenerated_dimensions += regen_count;
+
+    // Retrain on the refreshed encodings, warm-starting from the carried
+    // class hypervectors.
+    const tensor::MatrixF encoded = encoder.encode_batch(train.features);
+    HdModel model(std::move(class_hvs));
+    for (std::uint32_t epoch = 0; epoch < regen_config.epochs_per_round; ++epoch) {
+      for (std::size_t i = 0; i < encoded.rows(); ++i) {
+        const auto hv = encoded.row(i);
+        const std::uint32_t predicted = model.predict(hv, hd_config.similarity);
+        if (predicted == train.labels[i]) {
+          continue;
+        }
+        model.bundle(train.labels[i], hv, hd_config.learning_rate);
+        model.detach(predicted, hv, hd_config.learning_rate);
+      }
+    }
+    trained.model = std::move(model);
+    result.round_accuracy.push_back(evaluate(trained.model));
+  }
+
+  result.classifier =
+      TrainedClassifier{Encoder(encoder.base()), std::move(trained.model)};
+  return result;
+}
+
+}  // namespace hdc::core

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/serialize.hpp"
+#include "data/dataset.hpp"
+
+namespace hdc::core {
+
+/// Dimension-regeneration training (the NeuralHD/"neural adaptation" recipe
+/// from the paper's related edge-HDC work, e.g. reference [18]): after each
+/// training round, the least-discriminative hypervector dimensions — those
+/// whose class-hypervector values barely vary across classes — are
+/// re-randomized and retrained. The model keeps its width d but steadily
+/// replaces wasted dimensions with useful ones, buying accuracy that would
+/// otherwise require a wider model.
+struct RegenConfig {
+  std::uint32_t rounds = 4;            ///< regenerate/retrain cycles
+  double regenerate_fraction = 0.10;   ///< fraction of dimensions recycled per round
+  std::uint32_t epochs_per_round = 5;  ///< training iterations per cycle
+
+  void validate() const;
+};
+
+struct RegenResult {
+  TrainedClassifier classifier;
+  /// Validation (or training, if no validation set) accuracy after each
+  /// round; entry 0 is the pre-regeneration baseline.
+  std::vector<double> round_accuracy;
+  std::uint32_t regenerated_dimensions = 0;
+};
+
+/// Per-dimension discriminative score: the variance of the (row-normalized)
+/// class-hypervector values across classes. Exposed for tests.
+std::vector<float> dimension_scores(const HdModel& model);
+
+/// Trains with `config.rounds` regeneration cycles on top of the standard
+/// iterative trainer.
+RegenResult train_with_regeneration(const data::Dataset& train, const HdConfig& hd_config,
+                                    const RegenConfig& regen_config,
+                                    const data::Dataset* validation = nullptr);
+
+}  // namespace hdc::core

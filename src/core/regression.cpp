@@ -1,0 +1,63 @@
+#include "core/regression.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdc::core {
+
+void RegressionConfig::validate() const {
+  HDC_CHECK(dim > 0, "hypervector width must be positive");
+  HDC_CHECK(epochs > 0, "at least one epoch required");
+  HDC_CHECK(learning_rate > 0.0F, "learning rate must be positive");
+}
+
+HdRegressor::HdRegressor(std::uint32_t num_features, RegressionConfig config)
+    : config_(config), encoder_(num_features, config.dim, config.seed) {
+  config_.validate();
+}
+
+float HdRegressor::predict(std::span<const float> sample,
+                           std::span<const float> model) const {
+  HDC_CHECK(model.size() == config_.dim, "model width disagrees with config");
+  const auto encoded = encoder_.encode(sample);
+  return tensor::dot(encoded, model);
+}
+
+RegressionResult HdRegressor::fit(const tensor::MatrixF& samples,
+                                  std::span<const float> targets) {
+  HDC_CHECK(samples.rows() == targets.size(), "sample/target count mismatch");
+  HDC_CHECK(samples.rows() > 0, "cannot fit on an empty set");
+
+  const tensor::MatrixF encoded = encoder_.encode_batch(samples);
+  const std::size_t n = encoded.rows();
+
+  // Normalized LMS: dividing each step by the encoding's own energy makes
+  // the per-sample correction a fixed fraction (the learning rate) of the
+  // current error regardless of d — fast, width-independent convergence.
+  std::vector<float> inv_energy(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto hv = encoded.row(i);
+    const float energy = tensor::dot(hv, hv);
+    inv_energy[i] = energy > 0.0F ? 1.0F / energy : 0.0F;
+  }
+
+  RegressionResult result;
+  result.model.assign(config_.dim, 0.0F);
+
+  for (std::uint32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    double squared_error = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto hv = encoded.row(i);
+      const float prediction = tensor::dot(hv, result.model);
+      const float error = targets[i] - prediction;
+      squared_error += static_cast<double>(error) * error;
+      tensor::axpy(config_.learning_rate * error * inv_energy[i], hv, result.model);
+    }
+    result.epoch_rmse.push_back(std::sqrt(squared_error / static_cast<double>(n)));
+  }
+  return result;
+}
+
+}  // namespace hdc::core

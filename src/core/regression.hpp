@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "tensor/matrix.hpp"
+
+namespace hdc::core {
+
+/// Hyperdimensional regression in the RegHD style (the paper's reference
+/// [28]): a single model hypervector `M` is trained so that the similarity
+/// `E . M` predicts a scalar target. Updates are the regression analog of
+/// bundling — each sample pulls `M` along its encoding proportionally to the
+/// prediction error:
+///
+///     M += lr * (y - E . M) * E / (E . E)
+///
+/// which is normalized LMS in hyperspace; like the
+/// classifier it lowers to one dense accelerator layer at inference.
+struct RegressionConfig {
+  std::uint32_t dim = 4096;
+  std::uint32_t epochs = 20;
+  float learning_rate = 0.5F;
+  std::uint64_t seed = 42;
+
+  void validate() const;
+};
+
+struct RegressionResult {
+  std::vector<float> model;           ///< the d-wide model hypervector
+  std::vector<double> epoch_rmse;     ///< training RMSE per epoch
+};
+
+class HdRegressor {
+ public:
+  HdRegressor(std::uint32_t num_features, RegressionConfig config);
+
+  const Encoder& encoder() const noexcept { return encoder_; }
+  const RegressionConfig& config() const noexcept { return config_; }
+
+  /// Fits targets (one per sample row); returns the trained model and the
+  /// per-epoch training RMSE (monotone decreasing on well-posed problems).
+  RegressionResult fit(const tensor::MatrixF& samples, std::span<const float> targets);
+
+  /// Prediction with a trained model hypervector.
+  float predict(std::span<const float> sample, std::span<const float> model) const;
+
+ private:
+  RegressionConfig config_;
+  Encoder encoder_;
+};
+
+}  // namespace hdc::core

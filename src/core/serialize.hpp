@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "core/model.hpp"
+
+namespace hdc::core {
+
+/// A trained classifier bundle: the encoder (base hypervectors) plus the
+/// class hypervectors. This is everything needed to rebuild the wide-NN
+/// inference model, so it is the unit of persistence.
+struct TrainedClassifier {
+  Encoder encoder;
+  HdModel model;
+
+  std::uint32_t num_features() const { return encoder.num_features(); }
+  std::uint32_t dim() const { return encoder.dim(); }
+  std::uint32_t num_classes() const { return model.num_classes(); }
+};
+
+/// Binary serialization ("HDCM" magic, version, CRC32 trailer). Round-trips
+/// bit-exactly; loads reject wrong magic, unsupported versions, truncated
+/// buffers and checksum mismatches with hdc::Error.
+std::vector<std::uint8_t> serialize_classifier(const TrainedClassifier& classifier);
+TrainedClassifier deserialize_classifier(std::span<const std::uint8_t> bytes);
+
+void save_classifier(const TrainedClassifier& classifier, const std::string& path);
+TrainedClassifier load_classifier(const std::string& path);
+
+}  // namespace hdc::core

@@ -1,0 +1,77 @@
+#include "core/trainer.hpp"
+
+#include "common/error.hpp"
+#include "data/dataset.hpp"
+
+namespace hdc::core {
+
+void HdConfig::validate() const {
+  HDC_CHECK(dim > 0, "hypervector width must be positive");
+  HDC_CHECK(learning_rate > 0.0F, "learning rate must be positive");
+  HDC_CHECK(epochs > 0, "at least one training iteration is required");
+}
+
+Trainer::Trainer(HdConfig config) : config_(config) { config_.validate(); }
+
+TrainResult Trainer::fit_encoded(const tensor::MatrixF& encoded,
+                                 const std::vector<std::uint32_t>& labels,
+                                 std::uint32_t num_classes,
+                                 const tensor::MatrixF* val_encoded,
+                                 const std::vector<std::uint32_t>* val_labels) const {
+  HDC_CHECK(encoded.rows() == labels.size(), "encoded rows and label count disagree");
+  HDC_CHECK(encoded.rows() > 0, "cannot train on an empty set");
+  HDC_CHECK((val_encoded == nullptr) == (val_labels == nullptr),
+            "validation encodings and labels must be given together");
+  if (val_encoded != nullptr) {
+    HDC_CHECK(val_encoded->rows() == val_labels->size(),
+              "validation rows and label count disagree");
+    HDC_CHECK(val_encoded->cols() == encoded.cols(), "validation width mismatch");
+  }
+
+  TrainResult result{HdModel(num_classes, static_cast<std::uint32_t>(encoded.cols())), {}, 0};
+  HdModel& model = result.model;
+
+  for (std::uint32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    EpochStats stats;
+    stats.epoch = epoch;
+
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < encoded.rows(); ++i) {
+      const auto hv = encoded.row(i);
+      const std::uint32_t predicted = model.predict(hv, config_.similarity);
+      const std::uint32_t truth = labels[i];
+      if (predicted == truth) {
+        ++correct;
+        continue;
+      }
+      model.bundle(truth, hv, config_.learning_rate);
+      model.detach(predicted, hv, config_.learning_rate);
+      ++stats.updates;
+    }
+    stats.train_accuracy =
+        static_cast<double>(correct) / static_cast<double>(encoded.rows());
+
+    if (val_encoded != nullptr) {
+      const auto predictions = model.predict_batch(*val_encoded, config_.similarity);
+      stats.val_accuracy = data::accuracy(predictions, *val_labels);
+    }
+
+    result.total_updates += stats.updates;
+    result.history.push_back(stats);
+  }
+  return result;
+}
+
+TrainResult Trainer::fit(const Encoder& encoder, const data::Dataset& train,
+                         const data::Dataset* validation) const {
+  HDC_CHECK(encoder.dim() == config_.dim, "encoder width disagrees with trainer config");
+  const tensor::MatrixF encoded = encoder.encode_batch(train.features);
+  if (validation == nullptr) {
+    return fit_encoded(encoded, train.labels, train.num_classes);
+  }
+  const tensor::MatrixF val_encoded = encoder.encode_batch(validation->features);
+  return fit_encoded(encoded, train.labels, train.num_classes, &val_encoded,
+                     &validation->labels);
+}
+
+}  // namespace hdc::core

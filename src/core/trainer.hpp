@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/encoder.hpp"
+#include "core/model.hpp"
+#include "data/dataset.hpp"
+#include "tensor/matrix.hpp"
+
+namespace hdc::core {
+
+/// Accuracy / update bookkeeping for one training iteration. `updates` is the
+/// number of mispredicted samples (each costs one bundling + one detaching),
+/// which the platform cost models use to price the CPU-resident update phase.
+struct EpochStats {
+  std::uint32_t epoch = 0;
+  double train_accuracy = 0.0;
+  double val_accuracy = 0.0;  ///< NaN-free: 0 when no validation set given
+  std::uint64_t updates = 0;
+};
+
+struct TrainResult {
+  HdModel model;
+  std::vector<EpochStats> history;
+  std::uint64_t total_updates = 0;
+};
+
+/// Iterative HDC trainer (paper Section III-A): class hypervectors start at
+/// zero; every mispredicted sample bundles into its true class and detaches
+/// from the predicted class, scaled by the learning rate.
+///
+/// The trainer consumes *already encoded* hypervectors — mirroring the
+/// paper's co-design split where encoding runs on the accelerator once and
+/// the update loop iterates on the host CPU over the cached encodings.
+class Trainer {
+ public:
+  explicit Trainer(HdConfig config);
+
+  const HdConfig& config() const noexcept { return config_; }
+
+  /// Trains on encoded rows; optionally tracks validation accuracy per epoch
+  /// (used by the Fig-4 convergence experiment).
+  TrainResult fit_encoded(const tensor::MatrixF& encoded,
+                          const std::vector<std::uint32_t>& labels,
+                          std::uint32_t num_classes,
+                          const tensor::MatrixF* val_encoded = nullptr,
+                          const std::vector<std::uint32_t>* val_labels = nullptr) const;
+
+  /// Convenience wrapper: encode with `encoder`, then fit.
+  TrainResult fit(const Encoder& encoder, const data::Dataset& train,
+                  const data::Dataset* validation = nullptr) const;
+
+ private:
+  HdConfig config_;
+};
+
+}  // namespace hdc::core

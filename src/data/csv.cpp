@@ -1,0 +1,124 @@
+#include "data/csv.hpp"
+
+#include <charconv>
+#include <map>
+
+#include "common/byte_io.hpp"
+#include "common/error.hpp"
+
+namespace hdc::data {
+namespace {
+
+std::vector<std::string> split_line(const std::string& line, char delimiter) {
+  std::vector<std::string> cells;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == delimiter) {
+      std::size_t end = i;
+      // Trim surrounding whitespace and a trailing CR.
+      std::size_t begin = start;
+      while (begin < end && (line[begin] == ' ' || line[begin] == '\t')) {
+        ++begin;
+      }
+      while (end > begin &&
+             (line[end - 1] == ' ' || line[end - 1] == '\t' || line[end - 1] == '\r')) {
+        --end;
+      }
+      cells.emplace_back(line.substr(begin, end - begin));
+      start = i + 1;
+    }
+  }
+  return cells;
+}
+
+float parse_float(const std::string& cell, std::size_t line_number) {
+  float value = 0.0F;
+  const auto [ptr, ec] = std::from_chars(cell.data(), cell.data() + cell.size(), value);
+  HDC_CHECK(ec == std::errc() && ptr == cell.data() + cell.size(),
+            "non-numeric feature value '" + cell + "' on line " +
+                std::to_string(line_number));
+  return value;
+}
+
+}  // namespace
+
+void CsvOptions::validate() const {
+  HDC_CHECK(delimiter != '\n', "newline cannot be the delimiter");
+}
+
+Dataset parse_csv(const std::string& text, const CsvOptions& options,
+                  const std::string& name) {
+  options.validate();
+
+  std::vector<std::vector<std::string>> rows;
+  std::size_t start = 0;
+  std::size_t line_number = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_number;
+    if (line.empty() || line == "\r") {
+      continue;
+    }
+    if (options.has_header && rows.empty() && line_number == 1) {
+      continue;
+    }
+    rows.push_back(split_line(line, options.delimiter));
+    HDC_CHECK(rows.back().size() == rows.front().size(),
+              "ragged CSV: line " + std::to_string(line_number) + " has " +
+                  std::to_string(rows.back().size()) + " cells, expected " +
+                  std::to_string(rows.front().size()));
+  }
+  HDC_CHECK(!rows.empty(), "CSV contains no data rows");
+  const std::size_t num_columns = rows.front().size();
+  HDC_CHECK(num_columns >= 2, "CSV needs at least one feature column plus the label");
+
+  const std::size_t label_index =
+      options.label_column >= 0
+          ? static_cast<std::size_t>(options.label_column)
+          : num_columns - static_cast<std::size_t>(-options.label_column);
+  HDC_CHECK(label_index < num_columns, "label column out of range");
+
+  Dataset out;
+  out.name = name;
+  out.features = tensor::MatrixF(rows.size(), num_columns - 1);
+  out.labels.resize(rows.size());
+
+  // Densify labels in first-appearance order so arbitrary label encodings
+  // (strings, sparse integers) map to contiguous class ids.
+  std::map<std::string, std::uint32_t> label_ids;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& cells = rows[r];
+    auto row = out.features.row(r);
+    std::size_t feature = 0;
+    for (std::size_t c = 0; c < num_columns; ++c) {
+      if (c == label_index) {
+        continue;
+      }
+      row[feature++] = parse_float(cells[c], r + 1);
+    }
+    const auto [it, inserted] = label_ids.try_emplace(
+        cells[label_index], static_cast<std::uint32_t>(label_ids.size()));
+    out.labels[r] = it->second;
+    (void)inserted;
+  }
+  out.num_classes = static_cast<std::uint32_t>(label_ids.size());
+  HDC_CHECK(out.num_classes >= 2, "CSV holds fewer than two distinct classes");
+  out.validate();
+  return out;
+}
+
+Dataset load_csv(const std::string& path, const CsvOptions& options) {
+  const auto bytes = read_file(path);
+  const std::string text(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  // Name the dataset after the file's basename.
+  const auto slash = path.find_last_of('/');
+  const std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  return parse_csv(text, options, name);
+}
+
+}  // namespace hdc::data

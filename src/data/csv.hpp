@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace hdc::data {
+
+/// Options for loading a labeled CSV dataset — the entry point for users who
+/// want to run the framework on the *real* FACE/ISOLET/UCIHAR/MNIST/PAMAP2
+/// files (or anything else) instead of the synthetic stand-ins.
+struct CsvOptions {
+  /// Column holding the class label; negative counts from the end
+  /// (-1 = last column, the common convention).
+  std::int32_t label_column = -1;
+  bool has_header = false;
+  char delimiter = ',';
+  /// Labels may be arbitrary integers or strings; they are densified to
+  /// contiguous ids [0, k) in first-appearance order.
+  /// The mapping is returned through Dataset::name-agnostic ordering and
+  /// testable via the returned dataset's labels.
+
+  void validate() const;
+};
+
+/// Parses `text` (CSV content) into a dataset. Throws hdc::Error on ragged
+/// rows, non-numeric features, or an empty table.
+Dataset parse_csv(const std::string& text, const CsvOptions& options = {},
+                  const std::string& name = "csv");
+
+/// Loads and parses a CSV file.
+Dataset load_csv(const std::string& path, const CsvOptions& options = {});
+
+}  // namespace hdc::data

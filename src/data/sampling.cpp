@@ -1,0 +1,41 @@
+#include "data/sampling.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hdc::data {
+
+void BootstrapConfig::validate() const {
+  HDC_CHECK(dataset_ratio > 0.0 && dataset_ratio <= 1.0, "dataset ratio must lie in (0,1]");
+  HDC_CHECK(feature_ratio > 0.0 && feature_ratio <= 1.0, "feature ratio must lie in (0,1]");
+}
+
+std::size_t BootstrapSample::active_features() const {
+  return static_cast<std::size_t>(
+      std::count(feature_mask.begin(), feature_mask.end(), std::uint8_t{1}));
+}
+
+BootstrapSample draw_bootstrap(std::uint32_t num_samples, std::uint32_t num_features,
+                               const BootstrapConfig& config, Rng& rng) {
+  config.validate();
+  HDC_CHECK(num_samples > 0 && num_features > 0, "bootstrap over empty dataset");
+
+  const auto subset_size = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(config.dataset_ratio * num_samples));
+  const auto kept_features = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(config.feature_ratio * num_features));
+
+  BootstrapSample sample;
+  sample.sample_indices = config.with_replacement
+                              ? rng.sample_with_replacement(num_samples, subset_size)
+                              : rng.sample_without_replacement(num_samples, subset_size);
+
+  sample.feature_mask.assign(num_features, std::uint8_t{0});
+  for (const std::uint32_t j : rng.sample_without_replacement(num_features, kept_features)) {
+    sample.feature_mask[j] = 1;
+  }
+  return sample;
+}
+
+}  // namespace hdc::data

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace hdc::data {
+
+/// Bootstrap configuration for one bagging sub-model (paper Section III-B):
+/// `dataset_ratio` = alpha (fraction of training samples drawn per subset),
+/// `feature_ratio` = beta (fraction of features kept; the rest are masked by
+/// zeroing the matching base-hypervector columns).
+struct BootstrapConfig {
+  double dataset_ratio = 0.6;   ///< alpha in the paper; 1.0 = full dataset
+  double feature_ratio = 1.0;   ///< beta in the paper; 1.0 = feature sampling off
+  bool with_replacement = true; ///< classic bootstrap draws with replacement
+
+  void validate() const;
+};
+
+/// One drawn bootstrap: which sample rows a sub-model trains on and which
+/// features stay active (mask[j] == 1 keeps feature j).
+struct BootstrapSample {
+  std::vector<std::uint32_t> sample_indices;
+  std::vector<std::uint8_t> feature_mask;
+
+  std::size_t active_features() const;
+};
+
+/// Draws one bootstrap for a dataset with `num_samples` rows and
+/// `num_features` columns. Guarantees at least one sample and one feature.
+BootstrapSample draw_bootstrap(std::uint32_t num_samples, std::uint32_t num_features,
+                               const BootstrapConfig& config, Rng& rng);
+
+}  // namespace hdc::data

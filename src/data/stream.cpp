@@ -1,0 +1,81 @@
+#include "data/stream.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hdc::data {
+
+void StreamConfig::validate() const {
+  spec.validate();
+  HDC_CHECK(chunk_size > 0, "stream chunks must be non-empty");
+  HDC_CHECK(drift_duration_chunks > 0, "drift duration must be positive");
+}
+
+DriftStream::DriftStream(StreamConfig config) : config_(config), rng_(config.spec.seed) {
+  config_.validate();
+  const auto& spec = config_.spec;
+  const std::uint32_t r = spec.latent_dim;
+
+  prototypes_a_ = tensor::MatrixF(spec.classes, r);
+  rng_.fill_gaussian(prototypes_a_.data(), prototypes_a_.size());
+  prototypes_b_ = tensor::MatrixF(spec.classes, r);
+  rng_.fill_gaussian(prototypes_b_.data(), prototypes_b_.size());
+
+  projection_ = tensor::MatrixF(r, spec.features);
+  rng_.fill_gaussian(projection_.data(), projection_.size(), 0.0F,
+                     1.0F / std::sqrt(static_cast<float>(r)));
+  warp_projection_ = tensor::MatrixF(r, spec.features);
+  rng_.fill_gaussian(warp_projection_.data(), warp_projection_.size(), 0.0F,
+                     1.0F / std::sqrt(static_cast<float>(r)));
+  feature_bias_.resize(spec.features);
+  rng_.fill_gaussian(feature_bias_.data(), feature_bias_.size(), 0.0F, 0.25F);
+}
+
+double DriftStream::drift_progress() const {
+  if (chunks_emitted_ <= config_.drift_start_chunk) {
+    return 0.0;
+  }
+  const double into_drift =
+      static_cast<double>(chunks_emitted_ - config_.drift_start_chunk);
+  return std::min(1.0, into_drift / config_.drift_duration_chunks);
+}
+
+Dataset DriftStream::next_chunk() {
+  const auto& spec = config_.spec;
+  const std::uint32_t r = spec.latent_dim;
+  const auto mix = static_cast<float>(drift_progress());
+
+  Dataset chunk;
+  chunk.name = spec.name + "@chunk" + std::to_string(chunks_emitted_);
+  chunk.num_classes = spec.classes;
+  chunk.features = tensor::MatrixF(config_.chunk_size, spec.features);
+  chunk.labels.resize(config_.chunk_size);
+
+  std::vector<float> latent(r);
+  for (std::uint32_t i = 0; i < config_.chunk_size; ++i) {
+    const auto label = static_cast<std::uint32_t>(rng_.next_below(spec.classes));
+    chunk.labels[i] = label;
+    for (std::uint32_t j = 0; j < r; ++j) {
+      const float prototype =
+          (1.0F - mix) * prototypes_a_(label, j) + mix * prototypes_b_(label, j);
+      latent[j] = prototype * spec.class_separation + spec.noise_sigma * rng_.gaussian();
+    }
+    auto row = chunk.features.row(i);
+    for (std::uint32_t f = 0; f < spec.features; ++f) {
+      float linear = feature_bias_[f];
+      float warped = 0.0F;
+      for (std::uint32_t j = 0; j < r; ++j) {
+        linear += latent[j] * projection_(j, f);
+        warped += latent[j] * warp_projection_(j, f);
+      }
+      row[f] = linear + spec.warp_strength * std::sin(2.0F * warped);
+    }
+  }
+
+  ++chunks_emitted_;
+  chunk.validate();
+  return chunk;
+}
+
+}  // namespace hdc::data

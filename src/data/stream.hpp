@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "data/synthetic.hpp"
+#include "tensor/matrix.hpp"
+
+namespace hdc::data {
+
+/// Configuration of a drifting sample stream (the "rapidly changing inputs"
+/// the paper's introduction motivates frequent model updates with).
+struct StreamConfig {
+  SyntheticSpec spec;                    ///< task shape and distribution knobs
+  std::uint32_t chunk_size = 128;        ///< samples per next_chunk() call
+  /// Chunk index at which concept drift begins (UINT32_MAX = never).
+  std::uint32_t drift_start_chunk = UINT32_MAX;
+  /// Chunks over which the class prototypes morph to a new concept.
+  std::uint32_t drift_duration_chunks = 10;
+
+  void validate() const;
+};
+
+/// Endless labeled sample stream with optional gradual concept drift: each
+/// class's latent prototype interpolates from its initial position to an
+/// independent second position across the drift window, so a model trained
+/// before the drift decays smoothly — exactly the regime online/adaptive
+/// learners must survive.
+class DriftStream {
+ public:
+  explicit DriftStream(StreamConfig config);
+
+  const StreamConfig& config() const noexcept { return config_; }
+  std::uint32_t chunks_emitted() const noexcept { return chunks_emitted_; }
+
+  /// 0 before drift starts, 1 after it completes.
+  double drift_progress() const;
+
+  /// Generates the next chunk (chunk_size rows).
+  Dataset next_chunk();
+
+ private:
+  StreamConfig config_;
+  Rng rng_;
+  tensor::MatrixF prototypes_a_;     ///< initial concept (classes x latent)
+  tensor::MatrixF prototypes_b_;     ///< post-drift concept
+  tensor::MatrixF projection_;       ///< latent -> feature map (fixed)
+  tensor::MatrixF warp_projection_;  ///< latent -> non-linear warp (fixed)
+  std::vector<float> feature_bias_;
+  std::uint32_t chunks_emitted_ = 0;
+};
+
+}  // namespace hdc::data

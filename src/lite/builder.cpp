@@ -1,0 +1,120 @@
+#include "lite/builder.hpp"
+
+#include <cstring>
+#include <variant>
+
+#include "common/error.hpp"
+
+namespace hdc::lite {
+
+LiteModelBuilder::LiteModelBuilder(std::string name) { model_.name = std::move(name); }
+
+std::uint32_t LiteModelBuilder::add_activation(const std::string& name, DType dtype,
+                                               std::uint32_t width, Quantization quant) {
+  HDC_CHECK(width > 0, "activation width must be positive");
+  LiteTensor t;
+  t.name = name;
+  t.dtype = dtype;
+  t.shape = {width};
+  t.quant = quant;
+  model_.tensors.push_back(std::move(t));
+  return static_cast<std::uint32_t>(model_.tensors.size() - 1);
+}
+
+std::uint32_t LiteModelBuilder::add_weights(const std::string& name,
+                                            const tensor::MatrixF& weights) {
+  LiteTensor t;
+  t.name = name;
+  t.dtype = DType::kFloat32;
+  t.shape = {static_cast<std::uint32_t>(weights.rows()),
+             static_cast<std::uint32_t>(weights.cols())};
+  t.data.resize(weights.size() * sizeof(float));
+  std::memcpy(t.data.data(), weights.data(), t.data.size());
+  model_.tensors.push_back(std::move(t));
+  return static_cast<std::uint32_t>(model_.tensors.size() - 1);
+}
+
+std::uint32_t LiteModelBuilder::add_weights_i8(const std::string& name,
+                                               const tensor::MatrixI8& weights,
+                                               Quantization quant) {
+  HDC_CHECK(quant.enabled(), "int8 weights need quantization parameters");
+  LiteTensor t;
+  t.name = name;
+  t.dtype = DType::kInt8;
+  t.shape = {static_cast<std::uint32_t>(weights.rows()),
+             static_cast<std::uint32_t>(weights.cols())};
+  t.quant = quant;
+  t.data.resize(weights.size());
+  std::memcpy(t.data.data(), weights.data(), t.data.size());
+  model_.tensors.push_back(std::move(t));
+  return static_cast<std::uint32_t>(model_.tensors.size() - 1);
+}
+
+std::uint32_t LiteModelBuilder::add_weights_i8_per_channel(
+    const std::string& name, const tensor::MatrixI8& weights,
+    std::vector<float> channel_scales) {
+  HDC_CHECK(channel_scales.size() == weights.cols(),
+            "per-channel scale count must match output channels");
+  LiteTensor t;
+  t.name = name;
+  t.dtype = DType::kInt8;
+  t.shape = {static_cast<std::uint32_t>(weights.rows()),
+             static_cast<std::uint32_t>(weights.cols())};
+  t.channel_scales = std::move(channel_scales);
+  t.data.resize(weights.size());
+  std::memcpy(t.data.data(), weights.data(), t.data.size());
+  model_.tensors.push_back(std::move(t));
+  return static_cast<std::uint32_t>(model_.tensors.size() - 1);
+}
+
+void LiteModelBuilder::add_op(OpCode code, std::vector<std::uint32_t> inputs,
+                              std::vector<std::uint32_t> outputs) {
+  model_.ops.push_back(LiteOp{code, std::move(inputs), std::move(outputs)});
+}
+
+void LiteModelBuilder::set_input(std::uint32_t tensor_index) { model_.input = tensor_index; }
+void LiteModelBuilder::set_output(std::uint32_t tensor_index) { model_.output = tensor_index; }
+
+LiteModel LiteModelBuilder::finish() {
+  model_.validate();
+  return std::move(model_);
+}
+
+LiteModel build_float_model(const nn::Graph& graph) {
+  graph.validate();
+  LiteModelBuilder builder(graph.name());
+
+  std::uint32_t current = builder.add_activation("input", DType::kFloat32, graph.input_width());
+  builder.set_input(current);
+
+  std::uint32_t dense_count = 0;
+  std::uint32_t current_width = graph.input_width();
+
+  for (const auto& layer : graph.layers()) {
+    if (const auto* dense = std::get_if<nn::DenseLayer>(&layer)) {
+      const std::string suffix = std::to_string(dense_count++);
+      const std::uint32_t weights = builder.add_weights("dense" + suffix + "/weights",
+                                                        dense->weights);
+      current_width = static_cast<std::uint32_t>(dense->weights.cols());
+      const std::uint32_t out =
+          builder.add_activation("dense" + suffix + "/out", DType::kFloat32, current_width);
+      builder.add_op(OpCode::kFullyConnected, {current, weights}, {out});
+      current = out;
+    } else if (std::holds_alternative<nn::TanhLayer>(layer)) {
+      const std::uint32_t out =
+          builder.add_activation("tanh" + std::to_string(dense_count) + "/out",
+                                 DType::kFloat32, current_width);
+      builder.add_op(OpCode::kTanh, {current}, {out});
+      current = out;
+    } else if (std::holds_alternative<nn::ArgMaxLayer>(layer)) {
+      const std::uint32_t out = builder.add_activation("class", DType::kInt32, 1);
+      builder.add_op(OpCode::kArgMax, {current}, {out});
+      current = out;
+    }
+  }
+
+  builder.set_output(current);
+  return builder.finish();
+}
+
+}  // namespace hdc::lite

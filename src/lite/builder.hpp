@@ -1,0 +1,46 @@
+#pragma once
+
+#include "lite/model.hpp"
+#include "nn/graph.hpp"
+
+namespace hdc::lite {
+
+/// Lowers a float nn::Graph into a float HDLite model (the analog of
+/// exporting a Keras model to a .tflite flatbuffer before quantization).
+LiteModel build_float_model(const nn::Graph& graph);
+
+/// Low-level builder for hand-assembled models (tests, custom pipelines).
+class LiteModelBuilder {
+ public:
+  explicit LiteModelBuilder(std::string name);
+
+  /// Adds an activation tensor and returns its index.
+  std::uint32_t add_activation(const std::string& name, DType dtype, std::uint32_t width,
+                               Quantization quant = {});
+
+  /// Adds a constant weight tensor (row-major in x out floats).
+  std::uint32_t add_weights(const std::string& name, const tensor::MatrixF& weights);
+
+  /// Adds a constant int8 weight tensor with its quantization.
+  std::uint32_t add_weights_i8(const std::string& name, const tensor::MatrixI8& weights,
+                               Quantization quant);
+
+  /// Adds a constant int8 weight tensor with per-output-channel scales.
+  std::uint32_t add_weights_i8_per_channel(const std::string& name,
+                                           const tensor::MatrixI8& weights,
+                                           std::vector<float> channel_scales);
+
+  void add_op(OpCode code, std::vector<std::uint32_t> inputs,
+              std::vector<std::uint32_t> outputs);
+
+  void set_input(std::uint32_t tensor_index);
+  void set_output(std::uint32_t tensor_index);
+
+  /// Validates and returns the finished model.
+  LiteModel finish();
+
+ private:
+  LiteModel model_;
+};
+
+}  // namespace hdc::lite

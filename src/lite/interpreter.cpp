@@ -1,0 +1,242 @@
+#include "lite/interpreter.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdc::lite {
+
+void TensorRange::update(float value) {
+  if (!seen) {
+    min = max = value;
+    seen = true;
+    return;
+  }
+  min = std::min(min, value);
+  max = std::max(max, value);
+}
+
+/// Per-run activation storage, one slot per tensor index.
+struct LiteInterpreter::Scratch {
+  std::vector<std::vector<float>> f32;
+  std::vector<std::vector<std::int8_t>> i8;
+  std::vector<std::vector<std::int32_t>> i32;
+
+  explicit Scratch(std::size_t tensor_count)
+      : f32(tensor_count), i8(tensor_count), i32(tensor_count) {}
+};
+
+namespace {
+
+std::array<std::int8_t, 256> build_tanh_lut(const Quantization& in, const Quantization& out) {
+  std::array<std::int8_t, 256> lut{};
+  for (int q = -128; q <= 127; ++q) {
+    const float real = in.dequantize(q);
+    const float t = std::tanh(real);
+    lut[static_cast<std::size_t>(q + 128)] = out.quantize(t);
+  }
+  return lut;
+}
+
+}  // namespace
+
+LiteInterpreter::LiteInterpreter(const LiteModel& model) : model_(model) {
+  model_.validate();
+  tanh_luts_.resize(model_.ops.size());
+  for (std::size_t i = 0; i < model_.ops.size(); ++i) {
+    const auto& op = model_.ops[i];
+    if (op.code != OpCode::kTanh) {
+      continue;
+    }
+    const auto& in = model_.tensor(op.inputs[0]);
+    const auto& out = model_.tensor(op.outputs[0]);
+    if (in.dtype == DType::kInt8) {
+      tanh_luts_[i] = build_tanh_lut(in.quant, out.quant);
+    }
+  }
+}
+
+void LiteInterpreter::run_sample(std::span<const float> input, Scratch& scratch,
+                                 std::vector<TensorRange>* ranges) const {
+  const auto& input_tensor = model_.tensor(model_.input);
+  HDC_CHECK(input.size() == input_tensor.num_elements(), "input width mismatch");
+  HDC_CHECK(input_tensor.dtype == DType::kFloat32, "model input must be float32");
+  scratch.f32[model_.input].assign(input.begin(), input.end());
+
+  auto record = [&](std::uint32_t tensor_index) {
+    if (ranges == nullptr) {
+      return;
+    }
+    for (const float v : scratch.f32[tensor_index]) {
+      (*ranges)[tensor_index].update(v);
+    }
+  };
+  record(model_.input);
+
+  for (std::size_t op_index = 0; op_index < model_.ops.size(); ++op_index) {
+    const auto& op = model_.ops[op_index];
+    switch (op.code) {
+      case OpCode::kFullyConnected: {
+        const auto& act = model_.tensor(op.inputs[0]);
+        const auto& weights = model_.tensor(op.inputs[1]);
+        const auto& out = model_.tensor(op.outputs[0]);
+        const std::size_t in_width = weights.shape[0];
+        const std::size_t out_width = weights.shape[1];
+
+        if (act.dtype == DType::kFloat32) {
+          const float* w = weights.typed_data<float>();
+          const auto& x = scratch.f32[op.inputs[0]];
+          auto& y = scratch.f32[op.outputs[0]];
+          y.assign(out_width, 0.0F);
+          for (std::size_t i = 0; i < in_width; ++i) {
+            const float xi = x[i];
+            if (xi == 0.0F) {
+              continue;
+            }
+            const float* row = w + i * out_width;
+            for (std::size_t j = 0; j < out_width; ++j) {
+              y[j] += xi * row[j];
+            }
+          }
+          record(op.outputs[0]);
+        } else {
+          // int8 path: int32 accumulation over zero-point-corrected inputs,
+          // then requantization to the output tensor's scale.
+          const std::int8_t* w = weights.typed_data<std::int8_t>();
+          const auto& x = scratch.i8[op.inputs[0]];
+          const std::int32_t zp_in = act.quant.zero_point;
+          std::vector<std::int32_t> acc(out_width, 0);
+          for (std::size_t i = 0; i < in_width; ++i) {
+            const std::int32_t xi = static_cast<std::int32_t>(x[i]) - zp_in;
+            if (xi == 0) {
+              continue;
+            }
+            const std::int8_t* row = w + i * out_width;
+            for (std::size_t j = 0; j < out_width; ++j) {
+              acc[j] += xi * static_cast<std::int32_t>(row[j]);
+            }
+          }
+          // Per-channel weights carry one scale per output column; per-tensor
+          // weights share quant.scale across all of them.
+          auto& y = scratch.i8[op.outputs[0]];
+          y.resize(out_width);
+          const double in_over_out = static_cast<double>(act.quant.scale) /
+                                     static_cast<double>(out.quant.scale);
+          for (std::size_t j = 0; j < out_width; ++j) {
+            const double w_scale = weights.per_channel()
+                                       ? static_cast<double>(weights.channel_scales[j])
+                                       : static_cast<double>(weights.quant.scale);
+            const double scaled =
+                std::round(static_cast<double>(acc[j]) * in_over_out * w_scale) +
+                out.quant.zero_point;
+            y[j] = static_cast<std::int8_t>(std::clamp(scaled, -128.0, 127.0));
+          }
+        }
+        break;
+      }
+      case OpCode::kTanh: {
+        const auto& in = model_.tensor(op.inputs[0]);
+        if (in.dtype == DType::kFloat32) {
+          auto& y = scratch.f32[op.outputs[0]];
+          y = scratch.f32[op.inputs[0]];
+          tensor::tanh_inplace(y);
+          record(op.outputs[0]);
+        } else {
+          const auto& lut = tanh_luts_[op_index];
+          HDC_CHECK(lut.has_value(), "missing tanh LUT for int8 op");
+          const auto& x = scratch.i8[op.inputs[0]];
+          auto& y = scratch.i8[op.outputs[0]];
+          y.resize(x.size());
+          for (std::size_t i = 0; i < x.size(); ++i) {
+            y[i] = (*lut)[static_cast<std::size_t>(static_cast<int>(x[i]) + 128)];
+          }
+        }
+        break;
+      }
+      case OpCode::kQuantize: {
+        const auto& out = model_.tensor(op.outputs[0]);
+        const auto& x = scratch.f32[op.inputs[0]];
+        auto& y = scratch.i8[op.outputs[0]];
+        y.resize(x.size());
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          y[i] = out.quant.quantize(x[i]);
+        }
+        break;
+      }
+      case OpCode::kDequantize: {
+        const auto& in = model_.tensor(op.inputs[0]);
+        const auto& x = scratch.i8[op.inputs[0]];
+        auto& y = scratch.f32[op.outputs[0]];
+        y.resize(x.size());
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          y[i] = in.quant.dequantize(x[i]);
+        }
+        record(op.outputs[0]);
+        break;
+      }
+      case OpCode::kArgMax: {
+        const auto& in = model_.tensor(op.inputs[0]);
+        std::size_t best = 0;
+        if (in.dtype == DType::kFloat32) {
+          best = tensor::argmax(scratch.f32[op.inputs[0]]);
+        } else {
+          // argmax over raw int8 values equals argmax over real values since
+          // the whole tensor shares one (scale, zero_point).
+          const auto& x = scratch.i8[op.inputs[0]];
+          best = static_cast<std::size_t>(std::max_element(x.begin(), x.end()) - x.begin());
+        }
+        scratch.i32[op.outputs[0]] = {static_cast<std::int32_t>(best)};
+        break;
+      }
+    }
+  }
+}
+
+InferenceResult LiteInterpreter::run(const tensor::MatrixF& inputs) const {
+  const auto& out_tensor = model_.tensor(model_.output);
+  const bool ends_argmax =
+      !model_.ops.empty() && model_.ops.back().code == OpCode::kArgMax;
+
+  InferenceResult result;
+  result.has_classes = ends_argmax;
+  const std::size_t out_width = ends_argmax ? 1 : out_tensor.num_elements();
+  result.values = tensor::MatrixF(inputs.rows(), out_width);
+  if (ends_argmax) {
+    result.classes.resize(inputs.rows());
+  }
+
+  Scratch scratch(model_.tensors.size());
+  for (std::size_t row = 0; row < inputs.rows(); ++row) {
+    run_sample(inputs.row(row), scratch, nullptr);
+    auto out_row = result.values.row(row);
+    if (ends_argmax) {
+      const std::int32_t cls = scratch.i32[model_.output][0];
+      result.classes[row] = cls;
+      out_row[0] = static_cast<float>(cls);
+    } else if (out_tensor.dtype == DType::kFloat32) {
+      const auto& y = scratch.f32[model_.output];
+      std::copy(y.begin(), y.end(), out_row.begin());
+    } else {
+      const auto& y = scratch.i8[model_.output];
+      for (std::size_t j = 0; j < y.size(); ++j) {
+        out_row[j] = out_tensor.quant.dequantize(y[j]);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<TensorRange> LiteInterpreter::calibrate(const tensor::MatrixF& inputs) const {
+  HDC_CHECK(!model_.is_quantized(), "calibration runs on the float model");
+  std::vector<TensorRange> ranges(model_.tensors.size());
+  Scratch scratch(model_.tensors.size());
+  for (std::size_t row = 0; row < inputs.rows(); ++row) {
+    run_sample(inputs.row(row), scratch, &ranges);
+  }
+  return ranges;
+}
+
+}  // namespace hdc::lite

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lite/model.hpp"
+#include "tensor/matrix.hpp"
+
+namespace hdc::lite {
+
+/// Observed value range of one tensor during calibration.
+struct TensorRange {
+  float min = 0.0F;
+  float max = 0.0F;
+  bool seen = false;
+
+  void update(float value);
+};
+
+/// Result of running a model over a batch. `values` holds the final tensor
+/// per row (dequantized to float when the model output is int8); `classes`
+/// is additionally filled when the model ends in ARG_MAX.
+struct InferenceResult {
+  tensor::MatrixF values;
+  std::vector<std::int32_t> classes;
+  bool has_classes = false;
+};
+
+/// Reference interpreter for HDLite models — the stand-in for the TFLite
+/// runtime on the host CPU. Executes float and int8 kernels with
+/// TFLite-compatible semantics (int32 accumulation, re-quantization through
+/// a real-valued multiplier, 256-entry tanh LUT for int8).
+class LiteInterpreter {
+ public:
+  explicit LiteInterpreter(const LiteModel& model);
+
+  const LiteModel& model() const noexcept { return model_; }
+
+  InferenceResult run(const tensor::MatrixF& inputs) const;
+
+  /// Runs a float model over representative inputs and records per-tensor
+  /// value ranges; the quantizer consumes these. Throws if the model is
+  /// already quantized.
+  std::vector<TensorRange> calibrate(const tensor::MatrixF& inputs) const;
+
+ private:
+  struct Scratch;
+  void run_sample(std::span<const float> input, Scratch& scratch,
+                  std::vector<TensorRange>* ranges) const;
+
+  LiteModel model_;
+  // Precomputed 256-entry LUTs, one per int8 TANH op (indexed by op order).
+  std::vector<std::optional<std::array<std::int8_t, 256>>> tanh_luts_;
+};
+
+}  // namespace hdc::lite

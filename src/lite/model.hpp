@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace hdc::lite {
+
+/// HDLite: a deliberately small TensorFlow-Lite analog. It carries exactly
+/// the op set the paper's wide-NN mapping needs, with TFLite-compatible
+/// int8 quantization semantics (asymmetric activations, symmetric weights,
+/// int32 accumulation), so the Edge TPU simulator consumes the same kind of
+/// artifact the real edgetpu pipeline would.
+
+enum class DType : std::uint8_t { kFloat32 = 0, kInt8 = 1, kInt32 = 2 };
+
+std::size_t dtype_size(DType dtype);
+const char* dtype_name(DType dtype);
+
+/// Affine quantization: real = scale * (q - zero_point). scale == 0 means
+/// "not quantized".
+struct Quantization {
+  float scale = 0.0F;
+  std::int32_t zero_point = 0;
+
+  bool enabled() const noexcept { return scale != 0.0F; }
+  float dequantize(std::int32_t q) const noexcept {
+    return scale * static_cast<float>(q - zero_point);
+  }
+  std::int8_t quantize(float real) const;
+};
+
+struct LiteTensor {
+  std::string name;
+  DType dtype = DType::kFloat32;
+  std::vector<std::uint32_t> shape;  ///< [width] activations, [in,out] weights
+  Quantization quant;
+  /// Per-output-channel weight scales (TFLite per-channel quantization).
+  /// Empty = per-tensor (`quant.scale` applies to every channel); when set,
+  /// size must equal shape[1] and `quant.scale` is ignored for this tensor.
+  std::vector<float> channel_scales;
+  std::vector<std::uint8_t> data;  ///< raw constant payload; empty = activation
+
+  bool is_constant() const noexcept { return !data.empty(); }
+  bool per_channel() const noexcept { return !channel_scales.empty(); }
+  std::size_t num_elements() const;
+  std::size_t byte_size() const { return num_elements() * dtype_size(dtype); }
+
+  /// Typed view into constant payload (checked).
+  template <typename T>
+  const T* typed_data() const {
+    HDC_CHECK(data.size() == num_elements() * sizeof(T), "tensor payload size mismatch");
+    return reinterpret_cast<const T*>(data.data());
+  }
+};
+
+enum class OpCode : std::uint8_t {
+  kFullyConnected = 0,  ///< inputs: {activation, weights}; output: activation
+  kTanh = 1,            ///< inputs: {activation}; output: activation
+  kQuantize = 2,        ///< float32 -> int8
+  kDequantize = 3,      ///< int8 -> float32
+  kArgMax = 4,          ///< inputs: {activation}; output: int32 [1]
+};
+
+const char* opcode_name(OpCode code);
+
+struct LiteOp {
+  OpCode code;
+  std::vector<std::uint32_t> inputs;   ///< tensor indices
+  std::vector<std::uint32_t> outputs;  ///< tensor indices
+};
+
+struct LiteModel {
+  std::string name;
+  std::vector<LiteTensor> tensors;
+  std::vector<LiteOp> ops;  ///< executed in order (single chain)
+  std::uint32_t input = 0;  ///< tensor index of the model input
+  std::uint32_t output = 0; ///< tensor index of the model output
+
+  const LiteTensor& tensor(std::uint32_t index) const;
+  LiteTensor& tensor(std::uint32_t index);
+
+  /// True when any op consumes/produces int8 activations.
+  bool is_quantized() const;
+
+  /// Bytes of constant weight payload (what must ship to the accelerator).
+  std::size_t weight_bytes() const;
+
+  /// Multiply-accumulates one sample costs in this model (dense ops only).
+  std::uint64_t macs_per_sample() const;
+
+  /// Structural validation: index bounds, shape chaining, op signatures,
+  /// quantization presence on int8 tensors, ArgMax last. Throws hdc::Error.
+  void validate() const;
+};
+
+}  // namespace hdc::lite

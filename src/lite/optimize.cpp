@@ -1,0 +1,165 @@
+#include "lite/optimize.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace hdc::lite {
+namespace {
+
+bool quant_params_equal(const Quantization& a, const Quantization& b) {
+  if (a.zero_point != b.zero_point) {
+    return false;
+  }
+  const float denom = std::max(std::fabs(a.scale), std::fabs(b.scale));
+  return denom == 0.0F || std::fabs(a.scale - b.scale) <= 1e-6F * denom;
+}
+
+/// Remaps every tensor reference in `model` through `remap` (UINT32_MAX
+/// entries must be unreferenced by then).
+void apply_remap(LiteModel& model, const std::vector<std::uint32_t>& remap) {
+  const auto translate = [&](std::uint32_t index) {
+    HDC_CHECK(remap[index] != UINT32_MAX, "dangling tensor reference after remap");
+    return remap[index];
+  };
+  for (auto& op : model.ops) {
+    for (auto& index : op.inputs) {
+      index = translate(index);
+    }
+    for (auto& index : op.outputs) {
+      index = translate(index);
+    }
+  }
+  model.input = translate(model.input);
+  model.output = translate(model.output);
+}
+
+}  // namespace
+
+LiteModel compose(const LiteModel& first, const LiteModel& second,
+                  const std::string& name) {
+  first.validate();
+  second.validate();
+  const auto& seam_out = first.tensor(first.output);
+  const auto& seam_in = second.tensor(second.input);
+  HDC_CHECK(seam_out.shape == seam_in.shape,
+            "compose: first model's output shape disagrees with second's input");
+  HDC_CHECK(seam_out.dtype == seam_in.dtype,
+            "compose: first model's output dtype disagrees with second's input");
+  HDC_CHECK(!first.ops.empty() && first.ops.back().code != OpCode::kArgMax,
+            "compose: cannot extend past an ARG_MAX head");
+
+  LiteModel out;
+  out.name = name;
+  out.tensors = first.tensors;
+  out.ops = first.ops;
+  out.input = first.input;
+
+  // Append the second model's tensors, dropping its input tensor: every
+  // reference to it is redirected to the first model's output.
+  const auto offset = static_cast<std::uint32_t>(out.tensors.size());
+  std::vector<std::uint32_t> remap(second.tensors.size());
+  for (std::uint32_t i = 0; i < second.tensors.size(); ++i) {
+    if (i == second.input) {
+      remap[i] = first.output;
+      continue;
+    }
+    remap[i] = static_cast<std::uint32_t>(out.tensors.size());
+    out.tensors.push_back(second.tensors[i]);
+  }
+  (void)offset;
+
+  for (const auto& op : second.ops) {
+    LiteOp copy = op;
+    for (auto& index : copy.inputs) {
+      index = remap[index];
+    }
+    for (auto& index : copy.outputs) {
+      index = remap[index];
+    }
+    out.ops.push_back(std::move(copy));
+  }
+  out.output = remap[second.output];
+  out.validate();
+  return out;
+}
+
+LiteModel optimize(const LiteModel& model, OptimizeReport* report) {
+  model.validate();
+  LiteModel out = model;
+  OptimizeReport local;
+
+  // Pass 1: DEQUANTIZE -> QUANTIZE elimination.
+  for (std::size_t i = 0; i + 1 < out.ops.size();) {
+    const auto& dequant = out.ops[i];
+    const auto& quant = out.ops[i + 1];
+    const bool is_seam =
+        dequant.code == OpCode::kDequantize && quant.code == OpCode::kQuantize &&
+        quant.inputs[0] == dequant.outputs[0];
+    if (!is_seam) {
+      ++i;
+      continue;
+    }
+    const auto& source = out.tensor(dequant.inputs[0]);
+    const auto& target = out.tensor(quant.outputs[0]);
+    if (!quant_params_equal(source.quant, target.quant)) {
+      local.notes.push_back("kept DEQUANTIZE/QUANTIZE at '" + source.name +
+                            "': quantization parameters differ");
+      ++i;
+      continue;
+    }
+    // Redirect every consumer of the re-quantized tensor to the original
+    // int8 source, then drop both ops.
+    const std::uint32_t from = quant.outputs[0];
+    const std::uint32_t to = dequant.inputs[0];
+    for (auto& op : out.ops) {
+      for (auto& index : op.inputs) {
+        if (index == from) {
+          index = to;
+        }
+      }
+    }
+    if (out.output == from) {
+      out.output = to;
+    }
+    local.notes.push_back("removed DEQUANTIZE/QUANTIZE pair at '" + source.name + "'");
+    out.ops.erase(out.ops.begin() + static_cast<std::ptrdiff_t>(i),
+                  out.ops.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    local.removed_ops += 2;
+  }
+
+  // Pass 2: dead-tensor collection.
+  std::vector<bool> referenced(out.tensors.size(), false);
+  referenced[out.input] = true;
+  referenced[out.output] = true;
+  for (const auto& op : out.ops) {
+    for (const auto index : op.inputs) {
+      referenced[index] = true;
+    }
+    for (const auto index : op.outputs) {
+      referenced[index] = true;
+    }
+  }
+  std::vector<std::uint32_t> remap(out.tensors.size(), UINT32_MAX);
+  std::vector<LiteTensor> kept;
+  kept.reserve(out.tensors.size());
+  for (std::uint32_t i = 0; i < out.tensors.size(); ++i) {
+    if (referenced[i]) {
+      remap[i] = static_cast<std::uint32_t>(kept.size());
+      kept.push_back(std::move(out.tensors[i]));
+    } else {
+      ++local.removed_tensors;
+    }
+  }
+  out.tensors = std::move(kept);
+  apply_remap(out, remap);
+
+  out.validate();
+  if (report != nullptr) {
+    *report = std::move(local);
+  }
+  return out;
+}
+
+}  // namespace hdc::lite

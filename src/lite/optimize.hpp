@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lite/model.hpp"
+
+namespace hdc::lite {
+
+/// What the optimizer did (for logs / tests).
+struct OptimizeReport {
+  std::uint32_t removed_ops = 0;
+  std::uint32_t removed_tensors = 0;
+  std::vector<std::string> notes;
+};
+
+/// Splices two single-chain models: `first`'s output tensor feeds `second`'s
+/// input. Widths and dtypes must agree. The typical use is gluing an
+/// encode-only model to a classify-only model before deployment — after
+/// which `optimize` removes the redundant DEQUANTIZE/QUANTIZE pair at the
+/// seam.
+LiteModel compose(const LiteModel& first, const LiteModel& second,
+                  const std::string& name);
+
+/// Graph cleanup passes, in order:
+///  1. DEQUANTIZE -> QUANTIZE elimination: when an int8 tensor is
+///     dequantized and immediately re-quantized with (numerically) the same
+///     parameters, both ops are dropped and consumers rewired. This is the
+///     seam left by composing quantized models.
+///  2. Dead-tensor collection: tensors no longer referenced by any op (or as
+///     model input/output) are removed and indices remapped.
+/// The returned model validates and is functionally equivalent.
+LiteModel optimize(const LiteModel& model, OptimizeReport* report = nullptr);
+
+}  // namespace hdc::lite

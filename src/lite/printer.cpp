@@ -1,0 +1,65 @@
+#include "lite/printer.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hdc::lite {
+namespace {
+
+std::string shape_string(const std::vector<std::uint32_t>& shape) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    out += std::to_string(shape[i]);
+    if (i + 1 < shape.size()) {
+      out += "x";
+    }
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+std::string describe_model(const LiteModel& model) {
+  model.validate();
+  std::ostringstream os;
+  os << "model '" << model.name << "': " << model.tensors.size() << " tensors, "
+     << model.ops.size() << " ops, " << model.weight_bytes() << " weight bytes, "
+     << model.macs_per_sample() << " MACs/sample"
+     << (model.is_quantized() ? " (int8)" : " (float32)") << "\n";
+
+  os << "tensors:\n";
+  for (std::size_t i = 0; i < model.tensors.size(); ++i) {
+    const auto& t = model.tensors[i];
+    char quant[64] = "";
+    if (t.per_channel()) {
+      std::snprintf(quant, sizeof(quant), "  per-channel (%zu scales)",
+                    t.channel_scales.size());
+    } else if (t.quant.enabled()) {
+      std::snprintf(quant, sizeof(quant), "  scale=%.6g zp=%d", t.quant.scale,
+                    t.quant.zero_point);
+    }
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %%%-3zu %-24s %-8s %-12s %s%s%s\n", i,
+                  t.name.c_str(), dtype_name(t.dtype), shape_string(t.shape).c_str(),
+                  t.is_constant() ? "const" : "activation", quant,
+                  i == model.input ? "  <- input" : (i == model.output ? "  <- output" : ""));
+    os << line;
+  }
+
+  os << "ops:\n";
+  for (std::size_t i = 0; i < model.ops.size(); ++i) {
+    const auto& op = model.ops[i];
+    os << "  #" << i << " " << opcode_name(op.code) << "(";
+    for (std::size_t j = 0; j < op.inputs.size(); ++j) {
+      os << "%" << op.inputs[j] << (j + 1 < op.inputs.size() ? ", " : "");
+    }
+    os << ") -> ";
+    for (std::size_t j = 0; j < op.outputs.size(); ++j) {
+      os << "%" << op.outputs[j] << (j + 1 < op.outputs.size() ? ", " : "");
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hdc::lite

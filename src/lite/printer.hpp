@@ -1,0 +1,14 @@
+#pragma once
+
+#include <string>
+
+#include "lite/model.hpp"
+
+namespace hdc::lite {
+
+/// Human-readable model listing (tensors, ops, quantization, byte budget) —
+/// the `tflite::PrintInterpreterState`-style introspection tool used by the
+/// edge_deployment example and by humans debugging model lowering.
+std::string describe_model(const LiteModel& model);
+
+}  // namespace hdc::lite

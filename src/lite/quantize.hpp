@@ -1,0 +1,54 @@
+#pragma once
+
+#include "lite/interpreter.hpp"
+#include "lite/model.hpp"
+#include "tensor/matrix.hpp"
+
+namespace hdc::lite {
+
+/// Post-training int8 quantization with TFLite conventions — the analog of
+/// `tf.lite.TFLiteConverter` with a representative dataset, which is what
+/// the paper runs before handing models to the edgetpu compiler.
+
+/// Asymmetric activation parameters covering [min, max] (range is widened to
+/// include zero so the zero point is exactly representable).
+Quantization choose_activation_quant(float min, float max);
+
+/// Symmetric per-tensor weight quantization (zero_point = 0, range ±127).
+struct QuantizedWeights {
+  tensor::MatrixI8 values;
+  Quantization quant;
+};
+QuantizedWeights quantize_weights_symmetric(const tensor::MatrixF& weights);
+
+/// Symmetric per-output-channel weight quantization: one scale per output
+/// column (TFLite per-channel convention). Tightens the representable range
+/// for channels with small weights — the class layer of the wide NN benefits
+/// when class-hypervector norms diverge.
+struct QuantizedWeightsPerChannel {
+  tensor::MatrixI8 values;
+  std::vector<float> channel_scales;
+};
+QuantizedWeightsPerChannel quantize_weights_per_channel(const tensor::MatrixF& weights);
+
+/// Fixed tanh output parameters (scale 1/128, zero point 0), matching the
+/// TFLite quantized TANH kernel contract.
+Quantization tanh_output_quant();
+
+struct QuantizeOptions {
+  /// Append a DEQUANTIZE so the model output is float32 (when the model does
+  /// not already end in ARG_MAX). Off by default: the co-design framework
+  /// dequantizes encoded hypervectors host-side, like the paper's flow.
+  bool dequantize_output = false;
+  /// Quantize FC weights per output channel instead of per tensor.
+  bool per_channel_weights = false;
+};
+
+/// Calibrates the float model on `representative_inputs` and emits an int8
+/// model: QUANTIZE at the input, int8 FULLY_CONNECTED / TANH in the body,
+/// ARG_MAX (if present) preserved at the end.
+LiteModel quantize_model(const LiteModel& float_model,
+                         const tensor::MatrixF& representative_inputs,
+                         const QuantizeOptions& options = {});
+
+}  // namespace hdc::lite

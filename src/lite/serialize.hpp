@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lite/model.hpp"
+
+namespace hdc::lite {
+
+/// Binary HDLite container ("HDLT" magic, version, CRC32 trailer) — the
+/// project's .tflite analog. Loads validate structure and checksum, so a
+/// corrupted model file raises hdc::Error instead of executing garbage.
+std::vector<std::uint8_t> serialize_model(const LiteModel& model);
+LiteModel deserialize_model(std::span<const std::uint8_t> bytes);
+
+void save_model(const LiteModel& model, const std::string& path);
+LiteModel load_model(const std::string& path);
+
+}  // namespace hdc::lite

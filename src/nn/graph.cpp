@@ -1,0 +1,113 @@
+#include "nn/graph.hpp"
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdc::nn {
+
+Graph::Graph(std::string name, std::uint32_t input_width)
+    : name_(std::move(name)), input_width_(input_width) {
+  HDC_CHECK(input_width_ > 0, "graph input width must be positive");
+}
+
+Graph& Graph::add_dense(tensor::MatrixF weights) {
+  HDC_CHECK(!ends_with_argmax(), "no layer may follow ArgMax");
+  HDC_CHECK(weights.rows() == output_width(), "dense layer input width mismatch");
+  HDC_CHECK(weights.cols() > 0, "dense layer needs at least one output");
+  layers_.emplace_back(DenseLayer{std::move(weights)});
+  return *this;
+}
+
+Graph& Graph::add_tanh() {
+  HDC_CHECK(!ends_with_argmax(), "no layer may follow ArgMax");
+  layers_.emplace_back(TanhLayer{});
+  return *this;
+}
+
+Graph& Graph::add_argmax() {
+  HDC_CHECK(!ends_with_argmax(), "duplicate ArgMax layer");
+  layers_.emplace_back(ArgMaxLayer{});
+  return *this;
+}
+
+std::uint32_t Graph::output_width() const {
+  std::uint32_t width = input_width_;
+  for (const auto& layer : layers_) {
+    if (const auto* dense = std::get_if<DenseLayer>(&layer)) {
+      width = static_cast<std::uint32_t>(dense->weights.cols());
+    }
+  }
+  return width;
+}
+
+bool Graph::ends_with_argmax() const {
+  return !layers_.empty() && std::holds_alternative<ArgMaxLayer>(layers_.back());
+}
+
+void Graph::validate() const {
+  std::uint32_t width = input_width_;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const auto& layer = layers_[i];
+    if (const auto* dense = std::get_if<DenseLayer>(&layer)) {
+      HDC_CHECK(dense->weights.rows() == width, "dense layer shape chain broken");
+      width = static_cast<std::uint32_t>(dense->weights.cols());
+    } else if (std::holds_alternative<ArgMaxLayer>(layer)) {
+      HDC_CHECK(i + 1 == layers_.size(), "ArgMax must be the final layer");
+    }
+  }
+}
+
+std::vector<float> Graph::forward(std::span<const float> input) const {
+  HDC_CHECK(input.size() == input_width_, "graph input width mismatch");
+  std::vector<float> activations(input.begin(), input.end());
+  for (const auto& layer : layers_) {
+    if (const auto* dense = std::get_if<DenseLayer>(&layer)) {
+      std::vector<float> next(dense->weights.cols());
+      tensor::vecmat(activations, dense->weights, next);
+      activations = std::move(next);
+    } else if (std::holds_alternative<TanhLayer>(layer)) {
+      tensor::tanh_inplace(activations);
+    }
+    // ArgMax is handled by predict(); forward() exposes the logits.
+  }
+  return activations;
+}
+
+tensor::MatrixF Graph::forward_batch(const tensor::MatrixF& inputs) const {
+  HDC_CHECK(inputs.cols() == input_width_, "graph batch input width mismatch");
+  tensor::MatrixF activations = inputs;
+  for (const auto& layer : layers_) {
+    if (const auto* dense = std::get_if<DenseLayer>(&layer)) {
+      activations = tensor::matmul(activations, dense->weights);
+    } else if (std::holds_alternative<TanhLayer>(layer)) {
+      tensor::tanh_inplace({activations.data(), activations.size()});
+    }
+  }
+  return activations;
+}
+
+std::uint32_t Graph::predict(std::span<const float> input) const {
+  const auto logits = forward(input);
+  return static_cast<std::uint32_t>(tensor::argmax(logits));
+}
+
+std::vector<std::uint32_t> Graph::predict_batch(const tensor::MatrixF& inputs) const {
+  const tensor::MatrixF logits = forward_batch(inputs);
+  std::vector<std::uint32_t> out(logits.rows());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    out[i] = static_cast<std::uint32_t>(tensor::argmax(logits.row(i)));
+  }
+  return out;
+}
+
+std::uint64_t Graph::macs_per_sample() const {
+  std::uint64_t macs = 0;
+  for (const auto& layer : layers_) {
+    if (const auto* dense = std::get_if<DenseLayer>(&layer)) {
+      macs += static_cast<std::uint64_t>(dense->weights.rows()) * dense->weights.cols();
+    }
+  }
+  return macs;
+}
+
+}  // namespace hdc::nn

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace hdc::nn {
+
+/// Fully connected layer; weights are (input_width x output_width), no bias
+/// (the HDC mapping never needs one — base and class hypervectors are pure
+/// linear maps).
+struct DenseLayer {
+  tensor::MatrixF weights;
+};
+
+/// Elementwise tanh activation (the paper's non-linear encoding).
+struct TanhLayer {};
+
+/// Final classification layer: index of the maximum logit.
+struct ArgMaxLayer {};
+
+using Layer = std::variant<DenseLayer, TanhLayer, ArgMaxLayer>;
+
+/// Sequential float network. This is the "hyper-wide neural network"
+/// interpretation of HDC from the paper (Fig. 2): Dense(n->d) + Tanh is the
+/// encoder, Dense(d->k) is the associative search, ArgMax picks the class.
+/// The graph is the hand-off format between the HDC core and the HDLite
+/// model builder.
+class Graph {
+ public:
+  Graph(std::string name, std::uint32_t input_width);
+
+  const std::string& name() const noexcept { return name_; }
+  std::uint32_t input_width() const noexcept { return input_width_; }
+  const std::vector<Layer>& layers() const noexcept { return layers_; }
+
+  Graph& add_dense(tensor::MatrixF weights);
+  Graph& add_tanh();
+  Graph& add_argmax();
+
+  /// Width of the tensor produced by the last non-ArgMax layer.
+  std::uint32_t output_width() const;
+
+  bool ends_with_argmax() const;
+
+  /// Throws if layer shapes do not chain or ArgMax is not last.
+  void validate() const;
+
+  /// Activations after the last non-ArgMax layer.
+  std::vector<float> forward(std::span<const float> input) const;
+  tensor::MatrixF forward_batch(const tensor::MatrixF& inputs) const;
+
+  /// Class prediction (argmax over forward outputs).
+  std::uint32_t predict(std::span<const float> input) const;
+  std::vector<std::uint32_t> predict_batch(const tensor::MatrixF& inputs) const;
+
+  /// Total dense-layer multiply-accumulate count for one input sample; the
+  /// platform cost models price CPU inference with this.
+  std::uint64_t macs_per_sample() const;
+
+ private:
+  std::string name_;
+  std::uint32_t input_width_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace hdc::nn

@@ -1,0 +1,114 @@
+#include "nn/logistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdc::nn {
+
+void LogisticConfig::validate() const {
+  HDC_CHECK(epochs > 0, "at least one epoch required");
+  HDC_CHECK(learning_rate > 0.0F, "learning rate must be positive");
+  HDC_CHECK(batch_size > 0, "batch size must be positive");
+  HDC_CHECK(l2 >= 0.0F, "weight decay must be non-negative");
+}
+
+std::uint32_t logistic_predict(const tensor::MatrixF& weights,
+                               std::span<const float> encoded) {
+  HDC_CHECK(encoded.size() == weights.cols(), "encoded width disagrees with weights");
+  std::size_t best = 0;
+  float best_score = -std::numeric_limits<float>::infinity();
+  for (std::size_t c = 0; c < weights.rows(); ++c) {
+    const float score = tensor::dot(weights.row(c), encoded);
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return static_cast<std::uint32_t>(best);
+}
+
+LogisticResult train_logistic(const tensor::MatrixF& encoded,
+                              const std::vector<std::uint32_t>& labels,
+                              std::uint32_t num_classes, const LogisticConfig& config) {
+  config.validate();
+  HDC_CHECK(encoded.rows() == labels.size(), "encoded rows and label count disagree");
+  HDC_CHECK(encoded.rows() > 0, "cannot train on an empty set");
+  HDC_CHECK(num_classes >= 2, "need at least two classes");
+
+  const std::size_t n = encoded.rows();
+  const std::size_t d = encoded.cols();
+  LogisticResult result;
+  result.weights = tensor::MatrixF(num_classes, d, 0.0F);
+
+  Rng rng(config.seed);
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<float> logits(num_classes);
+  std::vector<float> probabilities(num_classes);
+
+  for (std::uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Fresh shuffle per epoch.
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+
+    std::size_t correct = 0;
+    for (std::size_t start = 0; start < n; start += config.batch_size) {
+      const std::size_t end = std::min(start + config.batch_size, n);
+      // Accumulate the batch gradient directly into the weights with the
+      // per-sample scaling folded in (plain SGD).
+      const float step = config.learning_rate / static_cast<float>(end - start);
+      for (std::size_t b = start; b < end; ++b) {
+        const auto row = encoded.row(order[b]);
+        const std::uint32_t truth = labels[order[b]];
+
+        float max_logit = -std::numeric_limits<float>::infinity();
+        for (std::uint32_t c = 0; c < num_classes; ++c) {
+          logits[c] = tensor::dot(result.weights.row(c), row);
+          max_logit = std::max(max_logit, logits[c]);
+        }
+        float denom = 0.0F;
+        for (std::uint32_t c = 0; c < num_classes; ++c) {
+          probabilities[c] = std::exp(logits[c] - max_logit);
+          denom += probabilities[c];
+        }
+        std::uint32_t predicted = 0;
+        for (std::uint32_t c = 0; c < num_classes; ++c) {
+          probabilities[c] /= denom;
+          if (probabilities[c] > probabilities[predicted]) {
+            predicted = c;
+          }
+        }
+        correct += predicted == truth ? 1 : 0;
+
+        for (std::uint32_t c = 0; c < num_classes; ++c) {
+          const float error = probabilities[c] - (c == truth ? 1.0F : 0.0F);
+          if (error == 0.0F) {
+            continue;
+          }
+          auto w = result.weights.row(c);
+          const float scale = step * error;
+          for (std::size_t j = 0; j < d; ++j) {
+            w[j] -= scale * row[j];
+          }
+        }
+      }
+      if (config.l2 > 0.0F) {
+        const float decay = 1.0F - config.learning_rate * config.l2;
+        for (float& w : result.weights.storage()) {
+          w *= decay;
+        }
+      }
+    }
+    result.epoch_accuracy.push_back(static_cast<double>(correct) /
+                                    static_cast<double>(n));
+  }
+  return result;
+}
+
+}  // namespace hdc::nn

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace hdc::nn {
+
+/// Softmax-regression trainer for the classifier half of the wide NN — the
+/// "what if you just trained it as a neural network?" baseline the paper's
+/// HDC-as-NN framing invites. Operates on pre-encoded hypervectors (the
+/// hidden-layer activations), exactly like the HDC class-hypervector update,
+/// but optimizes cross-entropy with mini-batch SGD instead of applying
+/// bundling/detaching on mispredictions.
+///
+/// Cost per epoch is ~3x the HDC update (forward logits + softmax gradient
+/// outer product for every sample, not just mispredicted ones) — which is
+/// the runtime argument for the HDC rule on the host CPU; the accuracy
+/// comparison lives in ablation_nn_baseline.
+struct LogisticConfig {
+  std::uint32_t epochs = 20;
+  float learning_rate = 0.05F;
+  std::uint32_t batch_size = 32;
+  float l2 = 0.0F;  ///< optional weight decay
+  std::uint64_t seed = 42;
+
+  void validate() const;
+};
+
+struct LogisticResult {
+  tensor::MatrixF weights;  ///< k x d, row per class (same layout as HdModel)
+  std::vector<double> epoch_accuracy;
+};
+
+/// Trains on encoded rows (one hypervector per row). Returns weights usable
+/// directly as class hypervectors (dot-product associative search).
+LogisticResult train_logistic(const tensor::MatrixF& encoded,
+                              const std::vector<std::uint32_t>& labels,
+                              std::uint32_t num_classes, const LogisticConfig& config);
+
+/// argmax_c (W E) for one encoded row.
+std::uint32_t logistic_predict(const tensor::MatrixF& weights,
+                               std::span<const float> encoded);
+
+}  // namespace hdc::nn

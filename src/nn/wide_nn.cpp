@@ -1,0 +1,42 @@
+#include "nn/wide_nn.hpp"
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdc::nn {
+
+Graph build_encode_graph(const core::Encoder& encoder, const std::string& name) {
+  Graph graph(name, encoder.num_features());
+  graph.add_dense(encoder.base());
+  graph.add_tanh();
+  graph.validate();
+  return graph;
+}
+
+Graph build_inference_graph(const core::TrainedClassifier& classifier,
+                            const std::string& name, bool normalize_classes) {
+  HDC_CHECK(classifier.encoder.dim() == classifier.model.dim(),
+            "encoder and model widths disagree");
+  Graph graph(name, classifier.encoder.num_features());
+  graph.add_dense(classifier.encoder.base());
+  graph.add_tanh();
+
+  tensor::MatrixF class_hvs = classifier.model.class_hypervectors();
+  if (normalize_classes) {
+    for (std::size_t c = 0; c < class_hvs.rows(); ++c) {
+      auto row = class_hvs.row(c);
+      const float norm = tensor::l2_norm(row);
+      if (norm > 0.0F) {
+        for (float& w : row) {
+          w /= norm;
+        }
+      }
+    }
+  }
+  graph.add_dense(tensor::transpose(class_hvs));
+  graph.add_argmax();
+  graph.validate();
+  return graph;
+}
+
+}  // namespace hdc::nn

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "core/serialize.hpp"
+#include "nn/graph.hpp"
+
+namespace hdc::nn {
+
+/// Builders implementing the paper's central trick (Fig. 2): HDC as a
+/// three-layer hyper-wide network. Both halves can be materialized
+/// separately — the encode half accelerates training-set encoding on the
+/// TPU, the full graph is the deployable inference model.
+
+/// Dense(n->d) + Tanh: encoding only.
+Graph build_encode_graph(const core::Encoder& encoder, const std::string& name = "hdc_encode");
+
+/// Dense(n->d) + Tanh + Dense(d->k) + ArgMax: full inference model. The
+/// second dense layer carries the transposed class-hypervector matrix so the
+/// dot-product similarity is a plain matrix multiply.
+///
+/// With `normalize_classes` (the default) each class hypervector is scaled
+/// to unit norm before being folded into the weights: the layer then ranks
+/// classes exactly like the cosine similarity used during training (the
+/// query norm is common to all classes and cannot change the argmax). This
+/// is how the paper's dot-product "approximation" of cosine stays lossless.
+Graph build_inference_graph(const core::TrainedClassifier& classifier,
+                            const std::string& name = "hdc_inference",
+                            bool normalize_classes = true);
+
+}  // namespace hdc::nn

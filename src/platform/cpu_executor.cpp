@@ -1,0 +1,51 @@
+#include "platform/cpu_executor.hpp"
+
+#include "common/error.hpp"
+
+namespace hdc::platform {
+
+CpuExecutor::CpuExecutor(PlatformProfile profile) : profile_(std::move(profile)) {
+  profile_.validate();
+}
+
+SimDuration CpuExecutor::per_sample_time(const lite::LiteModel& model) const {
+  SimDuration time;
+  for (const auto& op : model.ops) {
+    switch (op.code) {
+      case lite::OpCode::kFullyConnected: {
+        const auto& weights = model.tensor(op.inputs[1]);
+        const auto macs =
+            static_cast<double>(weights.shape[0]) * static_cast<double>(weights.shape[1]);
+        time += SimDuration::seconds(macs / profile_.mac_rate);
+        break;
+      }
+      case lite::OpCode::kTanh:
+      case lite::OpCode::kQuantize:
+      case lite::OpCode::kDequantize:
+      case lite::OpCode::kArgMax: {
+        const auto elements =
+            static_cast<double>(model.tensor(op.outputs[0]).num_elements() == 1 &&
+                                        op.code == lite::OpCode::kArgMax
+                                    ? model.tensor(op.inputs[0]).num_elements()
+                                    : model.tensor(op.outputs[0]).num_elements());
+        time += SimDuration::seconds(elements / profile_.element_rate);
+        break;
+      }
+    }
+  }
+  return time;
+}
+
+std::pair<lite::InferenceResult, SimDuration> CpuExecutor::run(
+    const lite::LiteModel& model, const tensor::MatrixF& inputs,
+    tpu::ExecutionMode mode) const {
+  const SimDuration total = per_sample_time(model) * static_cast<double>(inputs.rows());
+  lite::InferenceResult result;
+  if (mode == tpu::ExecutionMode::kFunctional) {
+    const lite::LiteInterpreter interpreter(model);
+    result = interpreter.run(inputs);
+  }
+  return {std::move(result), total};
+}
+
+}  // namespace hdc::platform

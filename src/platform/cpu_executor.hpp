@@ -1,0 +1,32 @@
+#pragma once
+
+#include <utility>
+
+#include "lite/interpreter.hpp"
+#include "platform/profiles.hpp"
+#include "tpu/stats.hpp"
+
+namespace hdc::platform {
+
+/// Runs HDLite models entirely on a CPU platform (the paper's CPU baseline
+/// path) and prices them with the platform profile. Functional execution
+/// reuses the reference interpreter; timing is analytic per-op.
+class CpuExecutor {
+ public:
+  explicit CpuExecutor(PlatformProfile profile);
+
+  const PlatformProfile& profile() const noexcept { return profile_; }
+
+  /// Simulated time for one sample through the model on this CPU.
+  SimDuration per_sample_time(const lite::LiteModel& model) const;
+
+  /// Runs a batch; result is empty in timing-only mode.
+  std::pair<lite::InferenceResult, SimDuration> run(const lite::LiteModel& model,
+                                                    const tensor::MatrixF& inputs,
+                                                    tpu::ExecutionMode mode) const;
+
+ private:
+  PlatformProfile profile_;
+};
+
+}  // namespace hdc::platform

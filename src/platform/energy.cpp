@@ -1,0 +1,28 @@
+#include "platform/energy.hpp"
+
+#include "common/error.hpp"
+
+namespace hdc::platform {
+
+EnergyReport EnergyModel::cpu_task(const PlatformProfile& cpu, SimDuration busy) const {
+  cpu.validate();
+  HDC_CHECK(busy.to_seconds() >= 0.0, "negative task time");
+  return EnergyReport{cpu.power_watts * busy.to_seconds(), busy};
+}
+
+EnergyReport EnergyModel::codesign_training(const runtime::TrainTimings& timings) const {
+  host.validate();
+  const double encode_watts = tpu_active_watts + host.power_watts * host_idle_fraction;
+  const double host_watts = host.power_watts;
+  const double joules = encode_watts * timings.encode.to_seconds() +
+                        host_watts * (timings.update + timings.model_gen).to_seconds();
+  return EnergyReport{joules, timings.total()};
+}
+
+EnergyReport EnergyModel::codesign_inference(SimDuration busy) const {
+  host.validate();
+  const double watts = tpu_active_watts + host.power_watts * host_idle_fraction;
+  return EnergyReport{watts * busy.to_seconds(), busy};
+}
+
+}  // namespace hdc::platform

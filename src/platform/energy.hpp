@@ -1,0 +1,39 @@
+#pragma once
+
+#include "common/sim_time.hpp"
+#include "platform/profiles.hpp"
+#include "runtime/report.hpp"
+
+namespace hdc::platform {
+
+/// Simulated energy for one task on one platform configuration.
+struct EnergyReport {
+  double joules = 0.0;
+  SimDuration time;
+
+  double average_watts() const {
+    return time.is_zero() ? 0.0 : joules / time.to_seconds();
+  }
+};
+
+/// Energy model for the paper's "similar power consumption" comparison
+/// (Table II): the USB Edge TPU adds ~2 W active on top of a lightly loaded
+/// host, versus an embedded CPU running flat out.
+struct EnergyModel {
+  PlatformProfile host = host_cpu_profile();
+  double tpu_active_watts = 2.0;    ///< Edge TPU USB accelerator, busy
+  double host_idle_fraction = 0.3;  ///< host draw while the TPU does the work
+
+  /// Everything on one CPU at its active power.
+  EnergyReport cpu_task(const PlatformProfile& cpu, SimDuration busy) const;
+
+  /// Co-designed training: the encode phase runs on the TPU (TPU active +
+  /// host mostly idle feeding it), update and model generation run on the
+  /// host at full power.
+  EnergyReport codesign_training(const runtime::TrainTimings& timings) const;
+
+  /// Co-designed inference: TPU active + idle-ish host for the whole run.
+  EnergyReport codesign_inference(SimDuration busy) const;
+};
+
+}  // namespace hdc::platform

@@ -1,0 +1,27 @@
+#include "platform/profiles.hpp"
+
+#include "common/error.hpp"
+
+namespace hdc::platform {
+
+void PlatformProfile::validate() const {
+  HDC_CHECK(!name.empty(), "platform profile requires a name");
+  HDC_CHECK(mac_rate > 0.0 && element_rate > 0.0, "platform rates must be positive");
+  HDC_CHECK(power_watts > 0.0, "platform power must be positive");
+}
+
+PlatformProfile host_cpu_profile() {
+  return PlatformProfile{.name = "host-cpu (i5-5250U class)",
+                         .mac_rate = 2e9,
+                         .element_rate = 1e9,
+                         .power_watts = 15.0};
+}
+
+PlatformProfile raspberry_pi3_profile() {
+  return PlatformProfile{.name = "raspberry-pi3 (Cortex-A53)",
+                         .mac_rate = 2e9 / 4.5,
+                         .element_rate = 1e9 / 4.0,
+                         .power_watts = 4.0};
+}
+
+}  // namespace hdc::platform

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "tpu/stats.hpp"
+
+namespace hdc::platform {
+
+/// Analytic cost model of a CPU platform. Rates are *sustained effective*
+/// throughputs for the kernels HDC uses (large dense float GEMV, elementwise
+/// passes), not peak datasheet numbers. Every runtime the framework reports
+/// is simulated from these, so experiments are deterministic.
+struct PlatformProfile {
+  std::string name;
+  double mac_rate = 2e9;      ///< dense float multiply-accumulates per second
+  double element_rate = 1e9;  ///< elementwise float ops per second
+  double power_watts = 10.0;  ///< average active power (Table-II context)
+
+  tpu::HostCostModel host_cost_model() const { return {mac_rate, element_rate}; }
+
+  void validate() const;
+};
+
+/// The paper's host: mobile Intel i5-5250U class laptop CPU (~15 W).
+/// 2 GMAC/s sustained single-thread SGEMV is the Fig-10 calibration anchor.
+PlatformProfile host_cpu_profile();
+
+/// The paper's Table-II comparison: Raspberry Pi 3, ARM Cortex-A53 (~4 W).
+/// In-order core with light NEON; dense float throughput roughly 4.5x below
+/// the laptop-class host, elementwise roughly 4x below — the ratio implied
+/// by the paper's Table II vs Fig. 5/6 numbers (e.g. 23.6x / 4.49x on MNIST
+/// training).
+PlatformProfile raspberry_pi3_profile();
+
+}  // namespace hdc::platform

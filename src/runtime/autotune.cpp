@@ -1,0 +1,78 @@
+#include "runtime/autotune.hpp"
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace hdc::runtime {
+
+void AutotuneSpace::validate() const {
+  HDC_CHECK(!num_models.empty() && !epochs.empty() && !alphas.empty(),
+            "autotune space must not be empty along any axis");
+  for (const double alpha : alphas) {
+    HDC_CHECK(alpha > 0.0 && alpha <= 1.0, "alpha grid values must lie in (0,1]");
+  }
+}
+
+BaggingAutotuner::BaggingAutotuner(const CoDesignFramework& framework,
+                                   WorkloadShape full_scale)
+    : framework_(framework), full_scale_(std::move(full_scale)) {
+  full_scale_.validate();
+}
+
+AutotuneResult BaggingAutotuner::search(const data::Dataset& train,
+                                        const data::Dataset& holdout,
+                                        const AutotuneSpace& space,
+                                        const core::HdConfig& base,
+                                        double accuracy_margin) const {
+  space.validate();
+  base.validate();
+  HDC_CHECK(accuracy_margin >= 0.0, "accuracy margin must be non-negative");
+
+  AutotuneResult result;
+  result.all.reserve(space.size());
+
+  for (const std::uint32_t models : space.num_models) {
+    for (const std::uint32_t iters : space.epochs) {
+      for (const double alpha : space.alphas) {
+        core::BaggingConfig config;
+        config.num_models = models;
+        config.epochs = iters;
+        config.base = base;
+        config.bootstrap.dataset_ratio = alpha;
+
+        const auto trained = framework_.train_tpu_bagging(train, config);
+        const double accuracy =
+            framework_.infer_cpu(trained.classifier, holdout).accuracy;
+
+        BaggingShape shape;
+        shape.num_models = models;
+        shape.sub_dim = std::max<std::uint32_t>(1, full_scale_.dim / models);
+        shape.epochs = iters;
+        shape.alpha = alpha;
+        const SimDuration projected =
+            framework_.cost_model().train_tpu_bagging(full_scale_, shape).total();
+
+        result.all.push_back(AutotuneCandidate{config, accuracy, projected});
+        result.best_accuracy_seen = std::max(result.best_accuracy_seen, accuracy);
+        HDC_LOG_DEBUG << "autotune M=" << models << " I=" << iters << " a=" << alpha
+                      << " acc=" << accuracy << " t=" << projected.to_string();
+      }
+    }
+  }
+
+  // Fastest candidate within the accuracy margin of the best seen.
+  const AutotuneCandidate* best = nullptr;
+  for (const auto& candidate : result.all) {
+    if (candidate.accuracy + accuracy_margin < result.best_accuracy_seen) {
+      continue;
+    }
+    if (best == nullptr || candidate.projected_train_time < best->projected_train_time) {
+      best = &candidate;
+    }
+  }
+  HDC_CHECK(best != nullptr, "autotune search produced no viable candidate");
+  result.best = *best;
+  return result;
+}
+
+}  // namespace hdc::runtime

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bagging.hpp"
+#include "runtime/framework.hpp"
+
+namespace hdc::runtime {
+
+/// Grid for the bagging parameter search (what Section IV-D of the paper
+/// does by hand for ISOLET, packaged as a library facility).
+struct AutotuneSpace {
+  std::vector<std::uint32_t> num_models = {2, 4, 8};
+  std::vector<std::uint32_t> epochs = {4, 6, 8};
+  std::vector<double> alphas = {0.4, 0.6, 0.8, 1.0};
+
+  std::size_t size() const { return num_models.size() * epochs.size() * alphas.size(); }
+  void validate() const;
+};
+
+struct AutotuneCandidate {
+  core::BaggingConfig config;
+  double accuracy = 0.0;              ///< measured on the holdout split
+  SimDuration projected_train_time;   ///< at the full-scale workload shape
+};
+
+struct AutotuneResult {
+  AutotuneCandidate best;                 ///< fastest within the accuracy margin
+  std::vector<AutotuneCandidate> all;     ///< every evaluated candidate
+  double best_accuracy_seen = 0.0;
+};
+
+/// Searches the bagging design space: every candidate trains *functionally*
+/// (reduced scale, real accuracy) and is priced *analytically* at the
+/// full-scale workload shape; the winner is the fastest configuration whose
+/// accuracy is within `accuracy_margin` of the best seen — the same
+/// runtime/accuracy balance the paper strikes (alpha = 0.6, I' = 6).
+class BaggingAutotuner {
+ public:
+  BaggingAutotuner(const CoDesignFramework& framework, WorkloadShape full_scale);
+
+  AutotuneResult search(const data::Dataset& train, const data::Dataset& holdout,
+                        const AutotuneSpace& space, const core::HdConfig& base,
+                        double accuracy_margin = 0.01) const;
+
+ private:
+  const CoDesignFramework& framework_;
+  WorkloadShape full_scale_;
+};
+
+}  // namespace hdc::runtime

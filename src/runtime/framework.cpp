@@ -1,0 +1,259 @@
+#include "runtime/framework.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "lite/builder.hpp"
+#include "lite/quantize.hpp"
+#include "nn/wide_nn.hpp"
+
+namespace hdc::runtime {
+namespace {
+
+double measured_update_fraction(const std::vector<core::EpochStats>& history,
+                                std::uint64_t samples) {
+  if (history.empty() || samples == 0) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const auto& epoch : history) {
+    total += static_cast<double>(epoch.updates) / static_cast<double>(samples);
+  }
+  return total / static_cast<double>(history.size());
+}
+
+}  // namespace
+
+CoDesignFramework::CoDesignFramework(SystemConfig config)
+    : config_(std::move(config)),
+      cost_(config_.host, config_.systolic, config_.link, config_.sram_bytes) {
+  config_.host.validate();
+  HDC_CHECK(config_.calibration_samples > 0, "calibration needs at least one sample");
+}
+
+tensor::MatrixF CoDesignFramework::representative_rows(const data::Dataset& dataset) const {
+  const std::size_t n =
+      std::min<std::size_t>(config_.calibration_samples, dataset.num_samples());
+  tensor::MatrixF rows(n, dataset.num_features());
+  std::copy_n(dataset.features.data(), n * dataset.num_features(), rows.data());
+  return rows;
+}
+
+tensor::MatrixF CoDesignFramework::encode_on_tpu(const core::Encoder& encoder,
+                                                 const tensor::MatrixF& samples,
+                                                 const tensor::MatrixF& representative,
+                                                 SimDuration* encode_time,
+                                                 SimDuration* model_gen_time) const {
+  // Lower the encode half of the wide NN, quantize it against representative
+  // inputs, compile for the accelerator, and stream the samples through.
+  const nn::Graph graph = nn::build_encode_graph(encoder);
+  const lite::LiteModel float_model = lite::build_float_model(graph);
+  const lite::LiteModel quantized =
+      lite::quantize_model(float_model, representative, config_.quantize);
+
+  const tpu::EdgeTpuCompiler compiler(config_.systolic, config_.sram_bytes);
+  const tpu::CompiledModel compiled = compiler.compile(quantized);
+
+  tpu::EdgeTpuDevice device(config_.systolic, config_.link, config_.sram_bytes);
+  tpu::InvokeOptions options;
+  options.mode = tpu::ExecutionMode::kFunctional;
+  options.interactive = false;  // training encodes are streamed
+  auto [result, stats] =
+      device.invoke(compiled, samples, options, config_.host.host_cost_model());
+
+  if (encode_time != nullptr) {
+    // Host-side dequantization of the received int8 hypervectors.
+    const SimDuration dequant = SimDuration::seconds(
+        static_cast<double>(samples.rows()) * encoder.dim() / config_.host.element_rate);
+    *encode_time += stats.total() + dequant;
+  }
+  if (model_gen_time != nullptr) {
+    *model_gen_time += compiled.report.host_compile_time;
+  }
+  return std::move(result.values);
+}
+
+CoDesignFramework::TrainOutcome CoDesignFramework::train_cpu(
+    const data::Dataset& train, const core::HdConfig& cfg,
+    const data::Dataset* validation) const {
+  train.validate();
+  cfg.validate();
+
+  core::Encoder encoder(static_cast<std::uint32_t>(train.num_features()), cfg.dim, cfg.seed);
+  const core::Trainer trainer(cfg);
+  core::TrainResult result = trainer.fit(encoder, train, validation);
+
+  TrainOutcome outcome{core::TrainedClassifier{std::move(encoder), std::move(result.model)},
+                       {}, std::move(result.history), 0.0};
+  outcome.measured_update_fraction =
+      measured_update_fraction(outcome.history, train.num_samples());
+
+  outcome.timings.encode = cost_.encode_cpu(train.num_samples(),
+                                            static_cast<std::uint32_t>(train.num_features()),
+                                            cfg.dim, config_.host);
+  outcome.timings.update =
+      cost_.update_phase(train.num_samples(), cfg.dim, train.num_classes, cfg.epochs,
+                         outcome.measured_update_fraction, config_.host);
+  return outcome;
+}
+
+CoDesignFramework::TrainOutcome CoDesignFramework::train_tpu(
+    const data::Dataset& train, const core::HdConfig& cfg,
+    const data::Dataset* validation) const {
+  train.validate();
+  cfg.validate();
+
+  core::Encoder encoder(static_cast<std::uint32_t>(train.num_features()), cfg.dim, cfg.seed);
+  const tensor::MatrixF representative = representative_rows(train);
+
+  TrainTimings timings;
+  const tensor::MatrixF encoded = encode_on_tpu(encoder, train.features, representative,
+                                                &timings.encode, &timings.model_gen);
+
+  const core::Trainer trainer(cfg);
+  core::TrainResult result = [&] {
+    if (validation != nullptr) {
+      // Validation encodes through the same quantized path (not charged to
+      // training time — it is experiment instrumentation).
+      const tensor::MatrixF val_encoded =
+          encode_on_tpu(encoder, validation->features, representative, nullptr, nullptr);
+      return trainer.fit_encoded(encoded, train.labels, train.num_classes, &val_encoded,
+                                 &validation->labels);
+    }
+    return trainer.fit_encoded(encoded, train.labels, train.num_classes);
+  }();
+
+  TrainOutcome outcome{core::TrainedClassifier{std::move(encoder), std::move(result.model)},
+                       timings, std::move(result.history), 0.0};
+  outcome.measured_update_fraction =
+      measured_update_fraction(outcome.history, train.num_samples());
+  outcome.timings.update =
+      cost_.update_phase(train.num_samples(), cfg.dim, train.num_classes, cfg.epochs,
+                         outcome.measured_update_fraction, config_.host);
+
+  // The deployable inference model is generated (and compiled) once at the
+  // end of training; the paper books this under training model-gen cost.
+  const tpu::EdgeTpuCompiler compiler(config_.systolic, config_.sram_bytes);
+  const auto infer_shape = compiler.compile(make_int8_chain_model(
+      "infer_gen", static_cast<std::uint32_t>(train.num_features()), cfg.dim,
+      train.num_classes));
+  outcome.timings.model_gen += infer_shape.report.host_compile_time;
+  return outcome;
+}
+
+CoDesignFramework::TrainOutcome CoDesignFramework::train_tpu_bagging(
+    const data::Dataset& train, const core::BaggingConfig& cfg) const {
+  train.validate();
+  cfg.validate();
+
+  const std::uint32_t sub_dim = cfg.effective_sub_dim();
+  const auto num_samples = static_cast<std::uint32_t>(train.num_samples());
+  const auto num_features = static_cast<std::uint32_t>(train.num_features());
+  const tensor::MatrixF representative = representative_rows(train);
+
+  core::HdConfig sub_config = cfg.base;
+  sub_config.dim = sub_dim;
+  sub_config.epochs = cfg.epochs;
+
+  Rng rng(cfg.base.seed);
+  core::BaggedEnsemble ensemble;
+  TrainTimings timings;
+  double update_fraction_sum = 0.0;
+  std::vector<core::EpochStats> first_history;
+
+  for (std::uint32_t m = 0; m < cfg.num_models; ++m) {
+    Rng member_rng = rng.split();
+    const auto bootstrap =
+        data::draw_bootstrap(num_samples, num_features, cfg.bootstrap, member_rng);
+
+    core::Encoder encoder(num_features, sub_dim, member_rng.next_u64());
+    encoder.apply_feature_mask(bootstrap.feature_mask);
+
+    const data::Dataset subset = train.select(bootstrap.sample_indices);
+    const tensor::MatrixF encoded = encode_on_tpu(encoder, subset.features, representative,
+                                                  &timings.encode, &timings.model_gen);
+
+    const core::Trainer trainer(sub_config);
+    core::TrainResult result =
+        trainer.fit_encoded(encoded, subset.labels, subset.num_classes);
+
+    timings.update +=
+        cost_.update_phase(subset.num_samples(), sub_dim, subset.num_classes, cfg.epochs,
+                           measured_update_fraction(result.history, subset.num_samples()),
+                           config_.host);
+    update_fraction_sum +=
+        measured_update_fraction(result.history, subset.num_samples());
+    if (m == 0) {
+      first_history = result.history;
+    }
+    ensemble.members.push_back(
+        core::SubModel{std::move(encoder), std::move(result.model), bootstrap});
+  }
+
+  core::StackedModel stacked = core::stack(ensemble);
+
+  // One stacked full-width inference model is generated at the end.
+  const tpu::EdgeTpuCompiler compiler(config_.systolic, config_.sram_bytes);
+  const auto stacked_shape = compiler.compile(make_int8_chain_model(
+      "infer_stacked_gen", num_features, sub_dim * cfg.num_models, train.num_classes));
+  timings.model_gen += stacked_shape.report.host_compile_time;
+
+  TrainOutcome outcome{
+      core::TrainedClassifier{std::move(stacked.encoder), std::move(stacked.model)},
+      timings, std::move(first_history),
+      update_fraction_sum / static_cast<double>(cfg.num_models)};
+  return outcome;
+}
+
+CoDesignFramework::InferOutcome CoDesignFramework::infer_cpu(
+    const core::TrainedClassifier& classifier, const data::Dataset& test) const {
+  test.validate();
+  const nn::Graph graph = nn::build_inference_graph(classifier);
+  const lite::LiteModel model = lite::build_float_model(graph);
+
+  const platform::CpuExecutor executor(config_.host);
+  auto [result, total] =
+      executor.run(model, test.features, tpu::ExecutionMode::kFunctional);
+  HDC_CHECK(result.has_classes, "inference model must end in ARG_MAX");
+
+  InferOutcome outcome;
+  outcome.predictions.assign(result.classes.begin(), result.classes.end());
+  outcome.accuracy = data::accuracy(outcome.predictions, test.labels);
+  outcome.timings.total = total;
+  outcome.timings.per_sample = total * (1.0 / static_cast<double>(test.num_samples()));
+  return outcome;
+}
+
+CoDesignFramework::InferOutcome CoDesignFramework::infer_tpu(
+    const core::TrainedClassifier& classifier, const data::Dataset& test,
+    const data::Dataset& representative) const {
+  test.validate();
+  const nn::Graph graph = nn::build_inference_graph(classifier);
+  const lite::LiteModel float_model = lite::build_float_model(graph);
+  const lite::LiteModel quantized = lite::quantize_model(
+      float_model, representative_rows(representative), config_.quantize);
+
+  const tpu::EdgeTpuCompiler compiler(config_.systolic, config_.sram_bytes);
+  const tpu::CompiledModel compiled = compiler.compile(quantized);
+
+  tpu::EdgeTpuDevice device(config_.systolic, config_.link, config_.sram_bytes);
+  device.load(compiled);  // one-time, excluded from steady-state timing
+  tpu::InvokeOptions options;
+  options.mode = tpu::ExecutionMode::kFunctional;
+  options.interactive = true;
+  auto [result, stats] =
+      device.invoke(compiled, test.features, options, config_.host.host_cost_model());
+  HDC_CHECK(result.has_classes, "inference model must end in ARG_MAX");
+
+  InferOutcome outcome;
+  outcome.predictions.assign(result.classes.begin(), result.classes.end());
+  outcome.accuracy = data::accuracy(outcome.predictions, test.labels);
+  outcome.timings.total =
+      stats.device_compute + stats.host_compute + stats.transfer;  // weights resident
+  outcome.timings.per_sample =
+      outcome.timings.total * (1.0 / static_cast<double>(test.num_samples()));
+  outcome.compile_report = compiled.report;
+  return outcome;
+}
+
+}  // namespace hdc::runtime

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bagging.hpp"
+#include "core/serialize.hpp"
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "platform/cpu_executor.hpp"
+#include "platform/profiles.hpp"
+#include "lite/quantize.hpp"
+#include "runtime/cost.hpp"
+#include "runtime/report.hpp"
+#include "tpu/compiler.hpp"
+#include "tpu/device.hpp"
+
+namespace hdc::runtime {
+
+/// Full system configuration: which host CPU drives the accelerator and how
+/// the accelerator is built. Defaults model the paper's setup (i5-5250U-class
+/// host + USB Edge TPU).
+struct SystemConfig {
+  platform::PlatformProfile host = platform::host_cpu_profile();
+  tpu::SystolicConfig systolic;
+  tpu::UsbLinkConfig link;
+  std::uint64_t sram_bytes = 8ULL * 1024 * 1024;
+  /// Training samples used as the representative dataset for post-training
+  /// quantization calibration.
+  std::uint32_t calibration_samples = 128;
+  /// Post-training quantization options for every model the framework lowers
+  /// (e.g. per-channel weights).
+  lite::QuantizeOptions quantize;
+};
+
+/// The paper's framework (Fig. 1 / Fig. 3): HDC interpreted as a hyper-wide
+/// NN, encoding and inference accelerated on the (simulated) Edge TPU,
+/// class-hypervector updates on the host CPU, optionally with bagging.
+///
+/// All methods run *functionally* (real math, real accuracy, including int8
+/// quantization effects on the accelerated paths) and report *simulated*
+/// runtimes from the same cost machinery the analytic CostModel uses.
+class CoDesignFramework {
+ public:
+  explicit CoDesignFramework(SystemConfig config = {});
+
+  const SystemConfig& config() const noexcept { return config_; }
+  const CostModel& cost_model() const noexcept { return cost_; }
+
+  struct TrainOutcome {
+    core::TrainedClassifier classifier;  ///< float classifier (stacked when bagged)
+    TrainTimings timings;
+    std::vector<core::EpochStats> history;  ///< per-iteration accuracy (first member when bagged)
+    double measured_update_fraction = 0.0;  ///< feeds full-scale analytic pricing
+  };
+
+  /// Baseline: everything (float) on the host CPU.
+  TrainOutcome train_cpu(const data::Dataset& train, const core::HdConfig& cfg,
+                         const data::Dataset* validation = nullptr) const;
+
+  /// Co-design without bagging: training set encoded through the quantized
+  /// encode model on the TPU, class update on the host.
+  TrainOutcome train_tpu(const data::Dataset& train, const core::HdConfig& cfg,
+                         const data::Dataset* validation = nullptr) const;
+
+  /// Co-design with bagging (paper TPU_B): M narrow sub-models trained on
+  /// bootstrap subsets, then stacked into one full-width classifier.
+  TrainOutcome train_tpu_bagging(const data::Dataset& train,
+                                 const core::BaggingConfig& cfg) const;
+
+  struct InferOutcome {
+    std::vector<std::uint32_t> predictions;
+    double accuracy = 0.0;
+    InferTimings timings;
+    tpu::CompileReport compile_report;  ///< empty for the CPU path
+  };
+
+  /// Float inference on the host CPU.
+  InferOutcome infer_cpu(const core::TrainedClassifier& classifier,
+                         const data::Dataset& test) const;
+
+  /// int8 inference through the full wide-NN model on the TPU (quantized
+  /// against `representative` — typically the training set).
+  InferOutcome infer_tpu(const core::TrainedClassifier& classifier,
+                         const data::Dataset& test,
+                         const data::Dataset& representative) const;
+
+ private:
+  tensor::MatrixF encode_on_tpu(const core::Encoder& encoder,
+                                const tensor::MatrixF& samples,
+                                const tensor::MatrixF& representative,
+                                SimDuration* encode_time,
+                                SimDuration* model_gen_time) const;
+  tensor::MatrixF representative_rows(const data::Dataset& dataset) const;
+
+  SystemConfig config_;
+  CostModel cost_;
+};
+
+}  // namespace hdc::runtime

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "common/sim_time.hpp"
+
+namespace hdc::runtime {
+
+/// Training runtime split into the paper's Fig.-5 components: training-set
+/// encoding, class-hypervector update, and (one-time) accelerator model
+/// generation.
+struct TrainTimings {
+  SimDuration encode;
+  SimDuration update;
+  SimDuration model_gen;
+
+  SimDuration total() const { return encode + update + model_gen; }
+
+  TrainTimings& operator+=(const TrainTimings& other) {
+    encode += other.encode;
+    update += other.update;
+    model_gen += other.model_gen;
+    return *this;
+  }
+};
+
+/// Inference runtime (steady state — model preparation is a training-side
+/// one-time cost in the paper and is excluded here, matching Fig. 6).
+struct InferTimings {
+  SimDuration per_sample;
+  SimDuration total;
+};
+
+}  // namespace hdc::runtime

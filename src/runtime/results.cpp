@@ -1,0 +1,99 @@
+#include "runtime/results.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/byte_io.hpp"
+#include "common/error.hpp"
+
+namespace hdc::runtime {
+
+ResultTable::ResultTable(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  HDC_CHECK(!columns_.empty(), "a result table needs at least one column");
+}
+
+void ResultTable::add_row(std::vector<std::string> cells) {
+  HDC_CHECK(cells.size() == columns_.size(), "row width disagrees with column count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string ResultTable::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string ResultTable::to_text() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) {
+        os << std::string(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    os << "\n";
+  };
+  emit_row(columns_);
+  std::size_t rule = 0;
+  for (const std::size_t w : widths) {
+    rule += w + 2;
+  }
+  os << std::string(rule > 2 ? rule - 2 : rule, '-') << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') {
+      out += '"';
+    }
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string ResultTable::to_csv() const {
+  std::ostringstream os;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << csv_escape(cells[c]);
+      if (c + 1 < cells.size()) {
+        os << ",";
+      }
+    }
+    os << "\n";
+  };
+  emit_row(columns_);
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+void ResultTable::save_csv(const std::string& path) const {
+  const std::string csv = to_csv();
+  write_file(path, {reinterpret_cast<const std::uint8_t*>(csv.data()), csv.size()});
+}
+
+}  // namespace hdc::runtime

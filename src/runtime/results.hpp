@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hdc::runtime {
+
+/// Column-oriented experiment results: benches build one per table/figure
+/// and render either an aligned text table (stdout) or CSV (for plotting
+/// scripts). Deliberately string-typed — the harness decides formatting at
+/// insert time, and reproduction artifacts should be eyeball-able.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> columns);
+
+  std::size_t num_columns() const noexcept { return columns_.size(); }
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Adds a row (must match the column count).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed numeric rows: doubles are rendered with
+  /// `precision` digits after the point.
+  static std::string cell(double value, int precision = 3);
+
+  const std::vector<std::string>& columns() const noexcept { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept { return rows_; }
+
+  /// Fixed-width text rendering with a header rule.
+  std::string to_text() const;
+
+  /// RFC-4180-ish CSV (cells containing commas/quotes/newlines get quoted).
+  std::string to_csv() const;
+
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hdc::runtime

@@ -1,0 +1,181 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdc::tensor {
+
+MatrixF matmul(const MatrixF& a, const MatrixF& b) {
+  HDC_CHECK(a.cols() == b.rows(), "matmul inner dimensions disagree");
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  MatrixF c(m, n, 0.0F);
+
+  // i-k-j loop order streams B rows and keeps C rows hot; good enough for the
+  // reference path (the TPU simulator owns the "fast" path in this project).
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+    const std::size_t i_end = std::min(i0 + kBlock, m);
+    for (std::size_t k0 = 0; k0 < k; k0 += kBlock) {
+      const std::size_t k_end = std::min(k0 + kBlock, k);
+      for (std::size_t i = i0; i < i_end; ++i) {
+        float* c_row = c.data() + i * n;
+        for (std::size_t kk = k0; kk < k_end; ++kk) {
+          const float a_ik = a(i, kk);
+          if (a_ik == 0.0F) {
+            continue;  // bagging feature masks zero whole columns of A
+          }
+          const float* b_row = b.data() + kk * n;
+          for (std::size_t j = 0; j < n; ++j) {
+            c_row[j] += a_ik * b_row[j];
+          }
+        }
+      }
+    }
+  }
+  return c;
+}
+
+void vecmat(std::span<const float> x, const MatrixF& a, std::span<float> y) {
+  HDC_CHECK(x.size() == a.rows(), "vecmat input length disagrees with matrix rows");
+  HDC_CHECK(y.size() == a.cols(), "vecmat output length disagrees with matrix cols");
+  std::fill(y.begin(), y.end(), 0.0F);
+  const std::size_t n = a.cols();
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    const float xk = x[k];
+    if (xk == 0.0F) {
+      continue;
+    }
+    const float* row = a.data() + k * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      y[j] += xk * row[j];
+    }
+  }
+}
+
+MatrixI32 matmul_i8(const MatrixI8& a, const MatrixI8& b) {
+  HDC_CHECK(a.cols() == b.rows(), "matmul_i8 inner dimensions disagree");
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  MatrixI32 c(m, n, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::int32_t* c_row = c.data() + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const std::int32_t a_ik = a(i, kk);
+      if (a_ik == 0) {
+        continue;
+      }
+      const std::int8_t* b_row = b.data() + kk * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        c_row[j] += a_ik * static_cast<std::int32_t>(b_row[j]);
+      }
+    }
+  }
+  return c;
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  HDC_CHECK(x.size() == y.size(), "axpy length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  HDC_CHECK(a.size() == b.size(), "dot length mismatch");
+  double acc = 0.0;  // double accumulation keeps 10k-wide dots stable
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return static_cast<float>(acc);
+}
+
+float l2_norm(std::span<const float> v) {
+  double acc = 0.0;
+  for (const float x : v) {
+    acc += static_cast<double>(x) * static_cast<double>(x);
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float cosine(std::span<const float> a, std::span<const float> b) {
+  const float na = l2_norm(a);
+  const float nb = l2_norm(b);
+  if (na == 0.0F || nb == 0.0F) {
+    return 0.0F;
+  }
+  return dot(a, b) / (na * nb);
+}
+
+std::size_t argmax(std::span<const float> v) {
+  HDC_CHECK(!v.empty(), "argmax of empty span");
+  return static_cast<std::size_t>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+std::size_t argmax_i32(std::span<const std::int32_t> v) {
+  HDC_CHECK(!v.empty(), "argmax of empty span");
+  return static_cast<std::size_t>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+void tanh_inplace(std::span<float> v) {
+  for (float& x : v) {
+    x = std::tanh(x);
+  }
+}
+
+MatrixF transpose(const MatrixF& a) {
+  MatrixF t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      t(j, i) = a(i, j);
+    }
+  }
+  return t;
+}
+
+MatrixF hstack(std::span<const MatrixF> blocks) {
+  HDC_CHECK(!blocks.empty(), "hstack of zero blocks");
+  const std::size_t rows = blocks.front().rows();
+  std::size_t cols = 0;
+  for (const auto& block : blocks) {
+    HDC_CHECK(block.rows() == rows, "hstack blocks must share a row count");
+    cols += block.cols();
+  }
+  MatrixF out(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::size_t offset = 0;
+    for (const auto& block : blocks) {
+      std::copy_n(block.data() + i * block.cols(), block.cols(),
+                  out.data() + i * cols + offset);
+      offset += block.cols();
+    }
+  }
+  return out;
+}
+
+MatrixF vstack(std::span<const MatrixF> blocks) {
+  HDC_CHECK(!blocks.empty(), "vstack of zero blocks");
+  const std::size_t cols = blocks.front().cols();
+  std::size_t rows = 0;
+  for (const auto& block : blocks) {
+    HDC_CHECK(block.cols() == cols, "vstack blocks must share a column count");
+    rows += block.rows();
+  }
+  MatrixF out(rows, cols);
+  std::size_t row_offset = 0;
+  for (const auto& block : blocks) {
+    std::copy_n(block.data(), block.size(), out.data() + row_offset * cols);
+    row_offset += block.rows();
+  }
+  return out;
+}
+
+MinMax min_max(const MatrixF& a) {
+  HDC_CHECK(!a.empty(), "min_max of empty matrix");
+  const auto [lo, hi] = std::minmax_element(a.storage().begin(), a.storage().end());
+  return {*lo, *hi};
+}
+
+}  // namespace hdc::tensor

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace hdc::tensor {
+
+/// C = A * B  (float, row-major, blocked for cache efficiency).
+MatrixF matmul(const MatrixF& a, const MatrixF& b);
+
+/// y = x * A  for a single row vector x (1 x k) and matrix A (k x n).
+void vecmat(std::span<const float> x, const MatrixF& a, std::span<float> y);
+
+/// C(int32) = A(int8) * B(int8), the reference the systolic array is tested
+/// against. Accumulation in int32, no saturation (matches MXU semantics).
+MatrixI32 matmul_i8(const MatrixI8& a, const MatrixI8& b);
+
+/// y += alpha * x.
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+float dot(std::span<const float> a, std::span<const float> b);
+float l2_norm(std::span<const float> v);
+
+/// Cosine similarity; returns 0 when either vector has zero norm.
+float cosine(std::span<const float> a, std::span<const float> b);
+
+/// Index of the maximum element (first occurrence on ties).
+std::size_t argmax(std::span<const float> v);
+std::size_t argmax_i32(std::span<const std::int32_t> v);
+
+/// Elementwise tanh in place.
+void tanh_inplace(std::span<float> v);
+
+/// B = A^T.
+MatrixF transpose(const MatrixF& a);
+
+/// Horizontal concatenation [A | B | ...]: equal row counts required.
+MatrixF hstack(std::span<const MatrixF> blocks);
+/// Vertical concatenation: equal column counts required.
+MatrixF vstack(std::span<const MatrixF> blocks);
+
+/// Min / max over all elements (matrix must be non-empty).
+struct MinMax {
+  float min;
+  float max;
+};
+MinMax min_max(const MatrixF& a);
+
+}  // namespace hdc::tensor

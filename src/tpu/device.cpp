@@ -1,0 +1,183 @@
+#include "tpu/device.hpp"
+
+#include "tpu/event_sim.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hdc::tpu {
+
+ExecutionStats& ExecutionStats::operator+=(const ExecutionStats& other) {
+  device_compute += other.device_compute;
+  host_compute += other.host_compute;
+  transfer += other.transfer;
+  weight_upload += other.weight_upload;
+  invocations += other.invocations;
+  device_macs += other.device_macs;
+  host_element_ops += other.host_element_ops;
+  return *this;
+}
+
+EdgeTpuDevice::EdgeTpuDevice(SystolicConfig systolic, UsbLinkConfig link,
+                             std::uint64_t sram_capacity_bytes)
+    : mxu_(systolic), link_(link), memory_(sram_capacity_bytes) {}
+
+ExecutionStats EdgeTpuDevice::load(const CompiledModel& model) {
+  ExecutionStats stats;
+  if (!model.has_device_segment() || memory_.is_resident(model.id)) {
+    return stats;
+  }
+  if (!memory_.fits(model.report.weight_bytes)) {
+    // Cannot be cached on-chip: parameters stay host-side and stream on
+    // every invocation (priced in per_sample_cost), so there is no one-time
+    // upload to charge here.
+    return stats;
+  }
+  stats.weight_upload = link_.transfer_time(model.report.weight_bytes);
+  memory_.make_resident(model.id, model.report.weight_bytes);
+  return stats;
+}
+
+ExecutionStats EdgeTpuDevice::load_coresident(
+    const std::vector<const CompiledModel*>& models, bool* all_resident) {
+  HDC_CHECK(!models.empty(), "no models to load");
+  std::uint64_t total_bytes = 0;
+  for (const CompiledModel* model : models) {
+    HDC_CHECK(model != nullptr, "null model in co-residency group");
+    if (model->has_device_segment()) {
+      total_bytes += model->report.weight_bytes;
+    }
+  }
+
+  ExecutionStats stats;
+  if (!memory_.fits(total_bytes) || total_bytes > memory_.capacity()) {
+    if (all_resident != nullptr) {
+      *all_resident = false;
+    }
+    return stats;
+  }
+
+  memory_.evict();
+  bool ok = true;
+  for (const CompiledModel* model : models) {
+    if (!model->has_device_segment()) {
+      continue;
+    }
+    ok = memory_.add_resident(model->id, model->report.weight_bytes) && ok;
+  }
+  stats.weight_upload = link_.transfer_time(total_bytes);
+  if (all_resident != nullptr) {
+    *all_resident = ok;
+  }
+  return stats;
+}
+
+ExecutionStats EdgeTpuDevice::per_sample_cost(const CompiledModel& model,
+                                              const InvokeOptions& options,
+                                              const HostCostModel& host) const {
+  HDC_CHECK(host.mac_rate > 0.0 && host.element_rate > 0.0,
+            "host cost model rates must be positive");
+  ExecutionStats stats;
+  stats.invocations = 1;
+
+  std::uint64_t device_cycles = 0;
+  for (std::size_t i = 0; i < model.model.ops.size(); ++i) {
+    const auto& op = model.model.ops[i];
+    const auto& plan = model.plan[i];
+    if (plan.placement == Placement::kDevice) {
+      if (op.code == lite::OpCode::kFullyConnected) {
+        const auto& weights = model.model.tensor(op.inputs[1]);
+        device_cycles += mxu_.matmul_cycles(1, weights.shape[0], weights.shape[1]);
+        stats.device_macs += plan.macs_per_sample;
+      } else {
+        device_cycles += mxu_.elementwise_cycles(plan.elements);
+      }
+    } else {
+      // Host fallback: QUANTIZE / DEQUANTIZE / ARG_MAX are elementwise
+      // passes; a float FULLY_CONNECTED (non-quantized model) prices as
+      // dense MACs.
+      if (op.code == lite::OpCode::kFullyConnected) {
+        stats.host_compute +=
+            SimDuration::seconds(static_cast<double>(plan.macs_per_sample) / host.mac_rate);
+      } else {
+        stats.host_compute +=
+            SimDuration::seconds(static_cast<double>(plan.elements) / host.element_rate);
+        stats.host_element_ops += plan.elements;
+      }
+    }
+  }
+  stats.device_compute =
+      SimDuration::cycles(device_cycles, mxu_.config().frequency_hz);
+
+  if (model.has_device_segment()) {
+    stats.transfer += link_.config().invoke_overhead;
+    stats.transfer += link_.transfer_time(model.device_input_bytes);
+    stats.transfer += link_.transfer_time(model.device_output_bytes);
+    if (options.interactive) {
+      stats.transfer += link_.config().interactive_round_trip;
+    }
+    if (!memory_.fits(model.report.weight_bytes)) {
+      // Oversized models stream parameters from host memory every run.
+      stats.weight_upload += link_.transfer_time(model.report.weight_bytes);
+    }
+  }
+  return stats;
+}
+
+ExecutionStats EdgeTpuDevice::invoke_timing(const CompiledModel& model,
+                                            std::uint64_t num_samples,
+                                            const InvokeOptions& options,
+                                            const HostCostModel& host) {
+  HDC_CHECK(num_samples > 0, "invoke over zero samples");
+  ExecutionStats per_sample = per_sample_cost(model, options, host);
+
+  ExecutionStats stats = load(model);
+  const auto n = static_cast<double>(num_samples);
+  stats.device_compute += per_sample.device_compute * n;
+  stats.host_compute += per_sample.host_compute * n;
+  stats.transfer += per_sample.transfer * n;
+  stats.weight_upload += per_sample.weight_upload * n;
+  stats.invocations += num_samples;
+  stats.device_macs += per_sample.device_macs * num_samples;
+  stats.host_element_ops += per_sample.host_element_ops * num_samples;
+
+  if (options.pipelined && !options.interactive && model.has_device_segment()) {
+    // Double-buffered streaming: replay the per-sample stages through the
+    // discrete-event pipeline simulator (host core, half-duplex link,
+    // accelerator as contended FIFO resources).
+    StageTimes stages;
+    stages.host = per_sample.host_compute;
+    stages.link_in = link_.config().invoke_overhead +
+                     link_.transfer_time(model.device_input_bytes) +
+                     per_sample.weight_upload;  // oversized models re-stream
+    stages.device = per_sample.device_compute;
+    stages.link_out = link_.transfer_time(model.device_output_bytes);
+    stats.pipelined_makespan =
+        simulate_stream(stages, num_samples, /*double_buffered=*/true).makespan;
+  }
+  return stats;
+}
+
+TpuProgram EdgeTpuDevice::trace(const CompiledModel& model) const {
+  const ProgramAssembler assembler(mxu_.config());
+  return assembler.assemble(model);
+}
+
+std::pair<lite::InferenceResult, ExecutionStats> EdgeTpuDevice::invoke(
+    const CompiledModel& model, const tensor::MatrixF& inputs, const InvokeOptions& options,
+    const HostCostModel& host) {
+  ExecutionStats stats =
+      invoke_timing(model, static_cast<std::uint64_t>(inputs.rows()), options, host);
+
+  lite::InferenceResult result;
+  if (options.mode == ExecutionMode::kFunctional) {
+    // Bit-exact int8 semantics; equivalence of the MXU tile engine with
+    // these reference kernels is established by the systolic property tests.
+    const lite::LiteInterpreter interpreter(model.model);
+    result = interpreter.run(inputs);
+  }
+  return {std::move(result), stats};
+}
+
+}  // namespace hdc::tpu

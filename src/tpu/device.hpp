@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "lite/interpreter.hpp"
+#include "tpu/compiler.hpp"
+#include "tpu/memory.hpp"
+#include "tpu/program.hpp"
+#include "tpu/stats.hpp"
+#include "tpu/systolic.hpp"
+#include "tpu/usb.hpp"
+
+namespace hdc::tpu {
+
+/// How a batch is pushed through the accelerator. Compiled models are fixed
+/// at batch 1 (the TFLite/EdgeTPU deployment the paper uses), so a batch of
+/// N costs N invocations either way; streaming pipelines transfers with
+/// compute, interactive waits for each result (real-time inference).
+struct InvokeOptions {
+  ExecutionMode mode = ExecutionMode::kFunctional;
+  bool interactive = false;
+  /// Double-buffered streaming: overlap host work, link transfers and device
+  /// compute across consecutive samples (steady-state cost = the slowest
+  /// stage instead of the stage sum). The deployed TFLite runtime the paper
+  /// uses invokes synchronously, so this is OFF by default; the
+  /// ablation_pipelining bench quantifies what a pipelined runtime would buy.
+  bool pipelined = false;
+};
+
+/// The simulated accelerator: systolic MXU + activation unit + on-chip
+/// parameter SRAM behind a USB link. Functional results are computed with
+/// the bit-exact int8 reference kernels (the systolic tile engine is proven
+/// equivalent by property tests); timing comes from the cycle/byte models.
+class EdgeTpuDevice {
+ public:
+  EdgeTpuDevice(SystolicConfig systolic = {}, UsbLinkConfig link = {},
+                std::uint64_t sram_capacity_bytes = 8ULL * 1024 * 1024);
+
+  const SystolicArray& mxu() const noexcept { return mxu_; }
+  const UsbLink& link() const noexcept { return link_; }
+  const OnChipMemory& memory() const noexcept { return memory_; }
+
+  /// Uploads the model's parameters (no-op if already resident). Returns the
+  /// time spent on the link. Models larger than SRAM are never resident and
+  /// re-stream their weights on every invocation.
+  ExecutionStats load(const CompiledModel& model);
+
+  /// Co-compilation path: pins all models' parameters simultaneously when
+  /// they fit together in SRAM (the edgetpu co-compilation feature). Returns
+  /// upload stats; `all_resident` reports whether pinning succeeded — when
+  /// false the cache is left in single-model mode and callers pay swaps.
+  ExecutionStats load_coresident(const std::vector<const CompiledModel*>& models,
+                                 bool* all_resident);
+
+  /// Runs `inputs` (one sample per row) through the compiled model.
+  /// Functional mode returns real outputs; timing-only returns an empty
+  /// result. Host fallback ops are priced with `host`.
+  std::pair<lite::InferenceResult, ExecutionStats> invoke(const CompiledModel& model,
+                                                          const tensor::MatrixF& inputs,
+                                                          const InvokeOptions& options,
+                                                          const HostCostModel& host);
+
+  /// Timing-only fast path for paper-scale sample counts.
+  ExecutionStats invoke_timing(const CompiledModel& model, std::uint64_t num_samples,
+                               const InvokeOptions& options, const HostCostModel& host);
+
+  /// Per-sample cost breakdown (excludes weight upload).
+  ExecutionStats per_sample_cost(const CompiledModel& model, const InvokeOptions& options,
+                                 const HostCostModel& host) const;
+
+  /// Instruction-level trace of the per-sample device program (weight-
+  /// stationary schedule). Its compute-cycle total equals the cost model's
+  /// device time exactly.
+  TpuProgram trace(const CompiledModel& model) const;
+
+ private:
+  SystolicArray mxu_;
+  UsbLink link_;
+  OnChipMemory memory_;
+};
+
+}  // namespace hdc::tpu

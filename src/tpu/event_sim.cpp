@@ -1,0 +1,69 @@
+#include "tpu/event_sim.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hdc::tpu {
+
+PipelineResult simulate_stream(const StageTimes& per_sample, std::uint64_t samples,
+                               bool double_buffered) {
+  HDC_CHECK(samples > 0, "cannot stream zero samples");
+
+  const double host = per_sample.host.to_seconds();
+  const double link_in = per_sample.link_in.to_seconds();
+  const double device = per_sample.device.to_seconds();
+  const double link_out = per_sample.link_out.to_seconds();
+  HDC_CHECK(host >= 0 && link_in >= 0 && device >= 0 && link_out >= 0,
+            "stage times must be non-negative");
+
+  double host_free = 0.0;
+  double link_in_free = 0.0;
+  double link_out_free = 0.0;
+  double device_free = 0.0;
+  double host_busy = 0.0;
+  double link_busy = 0.0;
+  double device_busy = 0.0;
+  double finish = 0.0;
+
+  double previous_sample_done = 0.0;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    // Without double buffering, sample i may not start until sample i-1 has
+    // fully returned (the synchronous Invoke() loop).
+    const double earliest = double_buffered ? 0.0 : previous_sample_done;
+
+    const double h_start = std::max(host_free, earliest);
+    const double h_end = h_start + host;
+    host_free = h_end;
+    host_busy += host;
+
+    const double li_start = std::max(link_in_free, h_end);
+    const double li_end = li_start + link_in;
+    link_in_free = li_end;
+    link_busy += link_in;
+
+    const double d_start = std::max(device_free, li_end);
+    const double d_end = d_start + device;
+    device_free = d_end;
+    device_busy += device;
+
+    const double lo_start = std::max(link_out_free, d_end);
+    const double lo_end = lo_start + link_out;
+    link_out_free = lo_end;
+    link_busy += link_out;
+
+    previous_sample_done = lo_end;
+    finish = std::max(finish, lo_end);
+  }
+
+  PipelineResult result;
+  result.makespan = SimDuration::seconds(finish);
+  if (finish > 0.0) {
+    result.host_utilization = host_busy / finish;
+    result.link_utilization = link_busy / finish;
+    result.device_utilization = device_busy / finish;
+  }
+  return result;
+}
+
+}  // namespace hdc::tpu

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_time.hpp"
+
+namespace hdc::tpu {
+
+/// Per-sample stage costs of the host -> accelerator -> host stream:
+/// host-side preparation (quantize/dequantize/argmax), the input transfer,
+/// device compute, and the output transfer. USB 3.0 is dual-simplex, so the
+/// inbound and outbound pipes are independent resources.
+struct StageTimes {
+  SimDuration host;
+  SimDuration link_in;
+  SimDuration device;
+  SimDuration link_out;
+
+  SimDuration serial_total() const { return host + link_in + device + link_out; }
+};
+
+/// Outcome of streaming `samples` jobs through the three resources.
+struct PipelineResult {
+  SimDuration makespan;
+  double host_utilization = 0.0;
+  double link_utilization = 0.0;
+  double device_utilization = 0.0;
+};
+
+/// Discrete-event simulation of the sample stream. With `double_buffered`
+/// the four resources (host core, inbound pipe, accelerator, outbound pipe)
+/// overlap across consecutive samples — each resource serves jobs FIFO, one
+/// at a time; without it every sample runs its four stages to completion
+/// before the next starts (the synchronous TFLite Invoke() loop).
+///
+/// In steady state the double-buffered makespan grows by the slowest single
+/// resource per sample — max(host, link_in, device, link_out) — which is the
+/// bottleneck bound the device cost model quotes; this simulator is the
+/// ground truth it is tested against.
+PipelineResult simulate_stream(const StageTimes& per_sample, std::uint64_t samples,
+                               bool double_buffered);
+
+}  // namespace hdc::tpu

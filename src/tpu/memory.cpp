@@ -1,0 +1,49 @@
+#include "tpu/memory.hpp"
+
+#include "common/error.hpp"
+
+namespace hdc::tpu {
+
+OnChipMemory::OnChipMemory(std::uint64_t capacity_bytes) : capacity_bytes_(capacity_bytes) {
+  HDC_CHECK(capacity_bytes_ > 0, "on-chip memory capacity must be positive");
+}
+
+bool OnChipMemory::make_resident(const std::string& model_id, std::uint64_t bytes) {
+  HDC_CHECK(!model_id.empty(), "model id must be non-empty");
+  evict();
+  if (!fits(bytes)) {
+    return false;
+  }
+  resident_.emplace(model_id, bytes);
+  used_bytes_ = bytes;
+  return true;
+}
+
+bool OnChipMemory::add_resident(const std::string& model_id, std::uint64_t bytes) {
+  HDC_CHECK(!model_id.empty(), "model id must be non-empty");
+  if (is_resident(model_id)) {
+    return true;
+  }
+  if (bytes > free_bytes()) {
+    return false;
+  }
+  resident_.emplace(model_id, bytes);
+  used_bytes_ += bytes;
+  return true;
+}
+
+void OnChipMemory::evict(const std::string& model_id) {
+  const auto it = resident_.find(model_id);
+  if (it == resident_.end()) {
+    return;
+  }
+  used_bytes_ -= it->second;
+  resident_.erase(it);
+}
+
+void OnChipMemory::evict() {
+  resident_.clear();
+  used_bytes_ = 0;
+}
+
+}  // namespace hdc::tpu

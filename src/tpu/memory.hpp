@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hdc::tpu {
+
+/// On-chip parameter SRAM. By default the Edge TPU caches one compiled
+/// model's weights and swapping models forces a full re-upload — exactly the
+/// sub-model swap overhead that motivates the paper's stacked single
+/// inference model (Section III-B). The real toolchain's *co-compilation*
+/// feature can instead pin several small models simultaneously when their
+/// parameters fit together; `add_resident` models that mode, and the
+/// ablation benches quantify what it would recover for serial ensembles.
+class OnChipMemory {
+ public:
+  explicit OnChipMemory(std::uint64_t capacity_bytes = 8ULL * 1024 * 1024);
+
+  std::uint64_t capacity() const noexcept { return capacity_bytes_; }
+  std::uint64_t used_bytes() const noexcept { return used_bytes_; }
+  std::uint64_t free_bytes() const noexcept { return capacity_bytes_ - used_bytes_; }
+  std::size_t resident_count() const noexcept { return resident_.size(); }
+
+  bool fits(std::uint64_t bytes) const noexcept { return bytes <= capacity_bytes_; }
+
+  /// True if `model_id`'s parameters are currently cached.
+  bool is_resident(const std::string& model_id) const noexcept {
+    return resident_.contains(model_id);
+  }
+
+  /// Classic single-model caching: evicts everything, then caches
+  /// `model_id`. Returns false (cache left empty) if it cannot fit at all.
+  bool make_resident(const std::string& model_id, std::uint64_t bytes);
+
+  /// Co-residency (co-compiled models): caches `model_id` WITHOUT evicting
+  /// others. Returns false if the free space is insufficient.
+  bool add_resident(const std::string& model_id, std::uint64_t bytes);
+
+  /// Evicts one model (no-op if absent).
+  void evict(const std::string& model_id);
+
+  /// Evicts everything.
+  void evict();
+
+ private:
+  std::uint64_t capacity_bytes_;
+  std::uint64_t used_bytes_ = 0;
+  std::map<std::string, std::uint64_t> resident_;
+};
+
+}  // namespace hdc::tpu

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tpu/compiler.hpp"
+#include "tpu/systolic.hpp"
+
+namespace hdc::tpu {
+
+/// Instruction set of the simulated accelerator. One TpuProgram executes one
+/// *sample* (batch-1 models, as deployed by the paper); the device replays
+/// it N times for a batch.
+enum class IsaOp : std::uint8_t {
+  kDmaIn = 0,       ///< host -> device activation transfer (arg0 = bytes)
+  kLoadTile = 1,    ///< swap a weight tile into the MXU (arg0 = row tile, arg1 = col tile)
+  kMatmulTile = 2,  ///< stream the sample through the resident tile
+  kDrain = 3,       ///< drain the accumulators of one output tile (arg0 = col tile)
+  kActivation = 4,  ///< activation-unit LUT pass (arg0 = elements)
+  kDmaOut = 5,      ///< device -> host result transfer (arg0 = bytes)
+};
+
+const char* isa_op_name(IsaOp op);
+
+struct Instruction {
+  IsaOp op;
+  std::uint32_t arg0 = 0;
+  std::uint32_t arg1 = 0;
+  std::uint64_t cycles = 0;  ///< compute cycles (0 for DMA ops, priced by the link)
+
+  std::string to_string() const;
+};
+
+/// The fully scheduled per-sample program for one compiled model.
+struct TpuProgram {
+  std::string model_id;
+  std::vector<Instruction> code;
+
+  /// Sum of compute cycles over all non-DMA instructions.
+  std::uint64_t compute_cycles() const;
+  std::uint64_t dma_in_bytes() const;
+  std::uint64_t dma_out_bytes() const;
+  std::size_t count(IsaOp op) const;
+
+  /// Human-readable listing (truncated to `max_instructions` rows).
+  std::string disassemble(std::size_t max_instructions = 32) const;
+};
+
+/// Lowers the device segment of a compiled model into the ISA above. The
+/// schedule is the weight-stationary order of SystolicArray, and the total
+/// compute cycles equal SystolicArray's analytic cost exactly — asserted by
+/// the test suite, so the trace and the cost model cannot drift apart.
+class ProgramAssembler {
+ public:
+  explicit ProgramAssembler(SystolicConfig config = {});
+
+  TpuProgram assemble(const CompiledModel& model) const;
+
+ private:
+  SystolicArray mxu_;
+};
+
+}  // namespace hdc::tpu

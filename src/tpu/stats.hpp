@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_time.hpp"
+
+namespace hdc::tpu {
+
+/// Whether an invocation actually computes outputs or only walks the cost
+/// model. Timing-only mode lets the harness price paper-scale workloads
+/// (60k samples x d = 10,000) without materializing the math.
+enum class ExecutionMode { kFunctional, kTimingOnly };
+
+/// Cost model for host-CPU work executed inside the accelerator pipeline
+/// (input quantization, ARG_MAX / dequantize fallback ops). Provided by the
+/// platform profile of whichever host drives the TPU.
+struct HostCostModel {
+  double mac_rate = 2e9;        ///< dense float multiply-accumulates per second
+  double element_rate = 1e9;    ///< elementwise float ops per second
+};
+
+/// Simulated-time breakdown of work on and around the accelerator.
+struct ExecutionStats {
+  SimDuration device_compute;  ///< MXU + activation-unit time
+  SimDuration host_compute;    ///< host-side fallback ops
+  SimDuration transfer;        ///< activation payloads + invocation overheads
+  SimDuration weight_upload;   ///< one-time (or per-invoke) parameter traffic
+  /// Set only for pipelined (double-buffered) streaming: the end-to-end
+  /// makespan with transfer, device and host stages overlapped. When set it
+  /// replaces the serial sum in total(); the per-stage fields still report
+  /// the un-overlapped work for utilization analysis.
+  SimDuration pipelined_makespan;
+  std::uint64_t invocations = 0;
+  std::uint64_t device_macs = 0;
+  std::uint64_t host_element_ops = 0;
+
+  SimDuration total() const {
+    if (!pipelined_makespan.is_zero()) {
+      return weight_upload + pipelined_makespan;
+    }
+    return device_compute + host_compute + transfer + weight_upload;
+  }
+
+  ExecutionStats& operator+=(const ExecutionStats& other);
+};
+
+}  // namespace hdc::tpu

@@ -1,0 +1,91 @@
+#include "tpu/systolic.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hdc::tpu {
+
+void SystolicConfig::validate() const {
+  HDC_CHECK(rows > 0 && cols > 0, "systolic array must have positive dimensions");
+  HDC_CHECK(frequency_hz > 0.0, "systolic clock must be positive");
+  HDC_CHECK(stream_cycles_per_row > 0, "stream rate must be positive");
+}
+
+SystolicArray::SystolicArray(SystolicConfig config) : config_(config) { config_.validate(); }
+
+tensor::MatrixI32 SystolicArray::matmul(const tensor::MatrixI8& activations,
+                                        const tensor::MatrixI8& weights) const {
+  HDC_CHECK(activations.cols() == weights.rows(), "systolic matmul shape mismatch");
+  const std::size_t batch = activations.rows();
+  const std::size_t in = activations.cols();
+  const std::size_t out = weights.cols();
+
+  tensor::MatrixI32 result(batch, out, 0);
+
+  // Weight-stationary schedule: for every weight tile (ti, tj), stream all
+  // activation rows through and accumulate partial sums into the int32
+  // accumulators of output tile tj.
+  const std::size_t tile_r = config_.rows;
+  const std::size_t tile_c = config_.cols;
+  for (std::size_t tj = 0; tj < out; tj += tile_c) {
+    const std::size_t out_end = std::min(tj + tile_c, out);
+    for (std::size_t ti = 0; ti < in; ti += tile_r) {
+      const std::size_t in_end = std::min(ti + tile_r, in);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const std::int8_t* act_row = activations.data() + b * in;
+        std::int32_t* out_row = result.data() + b * out;
+        for (std::size_t i = ti; i < in_end; ++i) {
+          const auto a = static_cast<std::int32_t>(act_row[i]);
+          if (a == 0) {
+            continue;
+          }
+          const std::int8_t* w_row = weights.data() + i * out;
+          for (std::size_t j = tj; j < out_end; ++j) {
+            out_row[j] += a * static_cast<std::int32_t>(w_row[j]);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::uint64_t SystolicArray::tiles_along_rows(std::uint64_t in) const {
+  return (in + config_.rows - 1) / config_.rows;
+}
+
+std::uint64_t SystolicArray::tiles_along_cols(std::uint64_t out) const {
+  return (out + config_.cols - 1) / config_.cols;
+}
+
+std::uint64_t SystolicArray::matmul_cycles(std::uint64_t batch, std::uint64_t in,
+                                           std::uint64_t out) const {
+  HDC_CHECK(batch > 0 && in > 0 && out > 0, "matmul cycle model needs positive dims");
+  const std::uint64_t tiles_in = tiles_along_rows(in);
+  const std::uint64_t tiles_out = tiles_along_cols(out);
+
+  if (config_.dataflow == Dataflow::kOutputStationary) {
+    // Accumulators pinned: one pass per (batch-block, output-tile) pair
+    // streams all `in` weight rows from SRAM at one row per cycle, then the
+    // block drains. No per-tile fill, but weights re-stream for every batch
+    // block — the opposite trade to weight stationary.
+    const std::uint64_t batch_blocks = (batch + config_.rows - 1) / config_.rows;
+    return batch_blocks * tiles_out *
+           (in * config_.stream_cycles_per_row + config_.drain_cycles);
+  }
+
+  // Weight stationary: per output tile, every input tile is swapped in
+  // (fill), the batch is streamed through it, and the accumulators drain.
+  const std::uint64_t per_out_tile =
+      tiles_in * (config_.fill_cycles + batch * config_.stream_cycles_per_row) +
+      config_.drain_cycles;
+  return tiles_out * per_out_tile;
+}
+
+std::uint64_t SystolicArray::elementwise_cycles(std::uint64_t elements) const {
+  // The activation unit processes one lane row (cols lanes) per cycle.
+  return (elements + config_.cols - 1) / config_.cols;
+}
+
+}  // namespace hdc::tpu

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/matrix.hpp"
+
+namespace hdc::tpu {
+
+/// Mapping of the GEMM onto the PE array. The Edge TPU (and TPUv1, [31] in
+/// the paper) is weight stationary: weights are pinned in the PEs and
+/// activations stream through, so swapping weight tiles costs a pipeline
+/// fill. Output stationary (the Eyeriss-family alternative the paper cites
+/// as [9]) pins accumulators instead and streams weights + activations —
+/// no per-tile fill, but every pass over a batch block re-reads the weights
+/// from SRAM. ablation_dataflow quantifies the trade for HDC's batch-1
+/// hyper-wide layers.
+enum class Dataflow : std::uint8_t { kWeightStationary = 0, kOutputStationary = 1 };
+
+/// Geometry and timing of the matrix unit (MXU): a systolic array in the
+/// style of the Edge TPU / TPUv1 ([31] in the paper). Defaults approximate
+/// the published Edge TPU envelope: 64x64 int8 PEs at 480 MHz, weight
+/// stationary. The cycle constants are calibrated so the end-to-end encoding
+/// speedup curve reproduces the paper's Fig. 10 anchors (~1x at 20 features,
+/// ~8x at 700 features, d = 10,000).
+struct SystolicConfig {
+  std::uint32_t rows = 64;  ///< PE rows = input-channel tile height
+  std::uint32_t cols = 64;  ///< PE cols = output-channel tile width
+  double frequency_hz = 480e6;
+  Dataflow dataflow = Dataflow::kWeightStationary;
+
+  /// Cycles to swap in one weight tile and refill the pipeline.
+  std::uint32_t fill_cycles = 96;
+  /// Cycles to drain accumulators after a tile's activations have streamed.
+  std::uint32_t drain_cycles = 64;
+  /// Cycles per activation row streamed through a resident weight tile.
+  std::uint32_t stream_cycles_per_row = 1;
+
+  void validate() const;
+};
+
+/// Functional + timing model of the MXU.
+class SystolicArray {
+ public:
+  explicit SystolicArray(SystolicConfig config = {});
+
+  const SystolicConfig& config() const noexcept { return config_; }
+
+  /// Bit-faithful int8 matrix multiply executed tile by tile in the order
+  /// the hardware would (weight-stationary, per-tile partial-sum
+  /// accumulation into int32). Result equals tensor::matmul_i8 exactly —
+  /// int32 accumulation of integer products is associative — which the test
+  /// suite verifies as a property over random shapes.
+  tensor::MatrixI32 matmul(const tensor::MatrixI8& activations,
+                           const tensor::MatrixI8& weights) const;
+
+  /// Cycle cost of multiplying a (batch x in) activation block against a
+  /// resident (in x out) weight matrix. Weight upload over the host link is
+  /// priced separately by the device model.
+  std::uint64_t matmul_cycles(std::uint64_t batch, std::uint64_t in,
+                              std::uint64_t out) const;
+
+  /// Cycle cost of the vector/activation unit applying an elementwise op
+  /// (tanh LUT) across `elements` lanes.
+  std::uint64_t elementwise_cycles(std::uint64_t elements) const;
+
+  std::uint64_t tiles_along_rows(std::uint64_t in) const;
+  std::uint64_t tiles_along_cols(std::uint64_t out) const;
+
+ private:
+  SystolicConfig config_;
+};
+
+}  // namespace hdc::tpu

@@ -1,0 +1,17 @@
+#include "tpu/usb.hpp"
+
+#include "common/error.hpp"
+
+namespace hdc::tpu {
+
+void UsbLinkConfig::validate() const {
+  HDC_CHECK(bandwidth_bytes_per_s > 0.0, "link bandwidth must be positive");
+}
+
+UsbLink::UsbLink(UsbLinkConfig config) : config_(config) { config_.validate(); }
+
+SimDuration UsbLink::transfer_time(std::uint64_t bytes) const {
+  return SimDuration::seconds(static_cast<double>(bytes) / config_.bandwidth_bytes_per_s);
+}
+
+}  // namespace hdc::tpu

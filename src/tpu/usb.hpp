@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_time.hpp"
+
+namespace hdc::tpu {
+
+/// Host <-> accelerator link model (USB 3.0 bulk transfers, the Edge TPU
+/// dev-board-less deployment the paper uses). Bandwidth is the *effective*
+/// bulk throughput, well below the 5 Gb/s line rate.
+struct UsbLinkConfig {
+  double bandwidth_bytes_per_s = 320e6;  ///< effective USB3 bulk throughput
+  SimDuration invoke_overhead = SimDuration::micros(20);  ///< driver + descriptor setup
+  /// Extra round-trip latency charged once per *interactive* invocation
+  /// (single-sample inference waits for the result before the next request;
+  /// streamed training encodes are pipelined and do not pay this).
+  SimDuration interactive_round_trip = SimDuration::micros(450);
+
+  void validate() const;
+};
+
+class UsbLink {
+ public:
+  explicit UsbLink(UsbLinkConfig config = {});
+
+  const UsbLinkConfig& config() const noexcept { return config_; }
+
+  /// Pure payload time for `bytes` over the bulk pipe.
+  SimDuration transfer_time(std::uint64_t bytes) const;
+
+ private:
+  UsbLinkConfig config_;
+};
+
+}  // namespace hdc::tpu

@@ -1,0 +1,223 @@
+// Tests for the cited-application extensions: HD clustering (paper ref [30])
+// and HD regression (paper ref [28]).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "core/clustering.hpp"
+#include "core/regression.hpp"
+#include "data/synthetic.hpp"
+
+namespace hdc::core {
+namespace {
+
+// ------------------------------------------------------------- clustering ----
+
+class ClusteringTest : public ::testing::Test {
+ protected:
+  static data::Dataset labelled_blobs() {
+    // PAMAP2-shaped task: 5 well-separated classes we can use as ground
+    // truth for unsupervised recovery.
+    data::Dataset ds = data::generate_synthetic(data::paper_dataset("PAMAP2"), 500);
+    data::MinMaxNormalizer norm;
+    norm.fit(ds);
+    norm.apply(ds);
+    return ds;
+  }
+
+  static ClusteringConfig config() {
+    ClusteringConfig cfg;
+    cfg.clusters = 5;
+    cfg.dim = 2048;
+    cfg.seed = 9;
+    return cfg;
+  }
+};
+
+TEST_F(ClusteringTest, ConfigValidation) {
+  ClusteringConfig cfg = config();
+  cfg.clusters = 1;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = config();
+  cfg.max_iterations = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST_F(ClusteringTest, AssignsEverySampleToAValidCluster) {
+  const data::Dataset ds = labelled_blobs();
+  const Encoder encoder(static_cast<std::uint32_t>(ds.num_features()), 2048, 9);
+  const auto result = cluster(encoder, ds.features, config());
+  ASSERT_EQ(result.assignments.size(), ds.num_samples());
+  for (const auto a : result.assignments) {
+    EXPECT_LT(a, 5U);
+  }
+  EXPECT_GT(result.iterations_run, 0U);
+}
+
+TEST_F(ClusteringTest, RecoversGroundTruthPartitions) {
+  // Unsupervised clusters should align with the generator's classes: for
+  // every true class, the dominant cluster label should cover most of it,
+  // and distinct classes should map to distinct clusters.
+  const data::Dataset ds = labelled_blobs();
+  const Encoder encoder(static_cast<std::uint32_t>(ds.num_features()), 2048, 9);
+  const auto result = cluster(encoder, ds.features, config());
+
+  std::set<std::uint32_t> dominant_clusters;
+  double total_purity = 0.0;
+  for (std::uint32_t truth = 0; truth < ds.num_classes; ++truth) {
+    std::vector<int> votes(5, 0);
+    int members = 0;
+    for (std::size_t i = 0; i < ds.num_samples(); ++i) {
+      if (ds.labels[i] == truth) {
+        ++votes[result.assignments[i]];
+        ++members;
+      }
+    }
+    const auto best = std::max_element(votes.begin(), votes.end());
+    dominant_clusters.insert(static_cast<std::uint32_t>(best - votes.begin()));
+    total_purity += static_cast<double>(*best) / members;
+  }
+  EXPECT_EQ(dominant_clusters.size(), 5U) << "two classes collapsed into one cluster";
+  EXPECT_GT(total_purity / 5.0, 0.85);
+}
+
+TEST_F(ClusteringTest, ConvergesAndStops) {
+  const data::Dataset ds = labelled_blobs();
+  const Encoder encoder(static_cast<std::uint32_t>(ds.num_features()), 2048, 9);
+  ClusteringConfig cfg = config();
+  cfg.max_iterations = 50;
+  const auto result = cluster(encoder, ds.features, cfg);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iterations_run, 50U);
+}
+
+TEST_F(ClusteringTest, CentroidSimilarityBeatsRandomAssignment) {
+  const data::Dataset ds = labelled_blobs();
+  const Encoder encoder(static_cast<std::uint32_t>(ds.num_features()), 2048, 9);
+  const auto result = cluster(encoder, ds.features, config());
+  const double tight = mean_centroid_similarity(encoder, ds.features, result);
+
+  ClusteringResult shuffled = result;
+  Rng rng(4);
+  for (auto& a : shuffled.assignments) {
+    a = static_cast<std::uint32_t>(rng.next_below(5));
+  }
+  const double loose = mean_centroid_similarity(encoder, ds.features, shuffled);
+  EXPECT_GT(tight, loose);
+}
+
+TEST_F(ClusteringTest, DeterministicForSeed) {
+  const data::Dataset ds = labelled_blobs();
+  const Encoder encoder(static_cast<std::uint32_t>(ds.num_features()), 2048, 9);
+  const auto a = cluster(encoder, ds.features, config());
+  const auto b = cluster(encoder, ds.features, config());
+  EXPECT_EQ(a.assignments, b.assignments);
+}
+
+TEST_F(ClusteringTest, FewerSamplesThanClustersRejected) {
+  const Encoder encoder(4, 256, 1);
+  ClusteringConfig cfg;
+  cfg.clusters = 8;
+  cfg.dim = 256;
+  EXPECT_THROW(cluster(encoder, tensor::MatrixF(3, 4), cfg), Error);
+}
+
+// ------------------------------------------------------------- regression ----
+
+class RegressionTest : public ::testing::Test {
+ protected:
+  /// Noisy non-linear scalar target over 8 features.
+  static void make_task(tensor::MatrixF& samples, std::vector<float>& targets,
+                        std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    samples = tensor::MatrixF(n, 8);
+    targets.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto row = samples.row(i);
+      for (auto& v : row) {
+        v = rng.uniform(0.0F, 1.0F);
+      }
+      targets[i] = std::sin(3.0F * row[0]) + 0.5F * row[1] * row[2] - row[3] +
+                   0.05F * rng.gaussian();
+    }
+  }
+};
+
+TEST_F(RegressionTest, ConfigValidation) {
+  RegressionConfig cfg;
+  cfg.epochs = 0;
+  EXPECT_THROW(HdRegressor(4, cfg), Error);
+}
+
+TEST_F(RegressionTest, RmseDecreasesOverEpochs) {
+  tensor::MatrixF samples;
+  std::vector<float> targets;
+  make_task(samples, targets, 400, 5);
+  RegressionConfig cfg;
+  cfg.dim = 2048;
+  cfg.epochs = 15;
+  HdRegressor regressor(8, cfg);
+  const auto result = regressor.fit(samples, targets);
+  ASSERT_EQ(result.epoch_rmse.size(), 15U);
+  // Substantial reduction toward the task's ~0.05 noise floor; the exact
+  // asymptote is set by model capacity at this width.
+  EXPECT_LT(result.epoch_rmse.back(), result.epoch_rmse.front() * 0.65);
+  EXPECT_LT(result.epoch_rmse.back(), result.epoch_rmse[1]);
+}
+
+TEST_F(RegressionTest, GeneralizesToHeldOutSamples) {
+  tensor::MatrixF train_x;
+  std::vector<float> train_y;
+  make_task(train_x, train_y, 600, 7);
+  tensor::MatrixF test_x;
+  std::vector<float> test_y;
+  make_task(test_x, test_y, 200, 8);
+
+  RegressionConfig cfg;
+  cfg.dim = 4096;
+  cfg.epochs = 25;
+  HdRegressor regressor(8, cfg);
+  const auto result = regressor.fit(train_x, train_y);
+
+  double squared_error = 0.0;
+  double variance = 0.0;
+  double mean = 0.0;
+  for (const float y : test_y) {
+    mean += y;
+  }
+  mean /= test_y.size();
+  for (std::size_t i = 0; i < test_x.rows(); ++i) {
+    const float prediction = regressor.predict(test_x.row(i), result.model);
+    squared_error += std::pow(prediction - test_y[i], 2.0);
+    variance += std::pow(test_y[i] - mean, 2.0);
+  }
+  // R^2 well above zero: the model explains most of the target variance.
+  const double r2 = 1.0 - squared_error / variance;
+  EXPECT_GT(r2, 0.8) << "held-out R^2 = " << r2;
+}
+
+TEST_F(RegressionTest, DeterministicForSeed) {
+  tensor::MatrixF samples;
+  std::vector<float> targets;
+  make_task(samples, targets, 100, 11);
+  RegressionConfig cfg;
+  cfg.dim = 512;
+  cfg.epochs = 3;
+  HdRegressor a(8, cfg);
+  HdRegressor b(8, cfg);
+  EXPECT_EQ(a.fit(samples, targets).model, b.fit(samples, targets).model);
+}
+
+TEST_F(RegressionTest, MismatchedTargetsRejected) {
+  RegressionConfig cfg;
+  cfg.dim = 128;
+  HdRegressor regressor(4, cfg);
+  std::vector<float> targets(3);
+  EXPECT_THROW(regressor.fit(tensor::MatrixF(4, 4), targets), Error);
+}
+
+}  // namespace
+}  // namespace hdc::core

@@ -1,0 +1,133 @@
+// Process-level tests of the `hdc` command-line tool: real binary, real
+// files, real exit codes. The binary path is injected by CMake as
+// HDC_CLI_PATH (a compile definition pointing at the built target).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_cli(const std::string& args) {
+  const std::string command = std::string(HDC_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  RunResult result;
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new fs::path(fs::temp_directory_path() / "hdc_cli_test");
+    fs::create_directories(*dir_);
+    // A small 3-class, 4-feature CSV.
+    std::ofstream csv(*dir_ / "train.csv");
+    for (int i = 0; i < 240; ++i) {
+      const int c = i % 3;
+      const double jitter = 0.1 * ((i * 37 % 19) - 9) / 9.0;
+      csv << c * 1.0 + jitter << "," << 1.0 - c * 0.4 + jitter << ","
+          << c * c * 0.2 + jitter << "," << 0.5 - jitter << ",class" << c << "\n";
+    }
+  }
+  static void TearDownTestSuite() {
+    fs::remove_all(*dir_);
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static std::string path(const char* name) { return (*dir_ / name).string(); }
+  static fs::path* dir_;
+};
+
+fs::path* CliTest::dir_ = nullptr;
+
+TEST_F(CliTest, NoArgumentsPrintsUsageAndFails) {
+  const auto result = run_cli("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("commands:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  const auto result = run_cli("frobnicate");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, DatasetsListsTableOne) {
+  const auto result = run_cli("datasets");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("ISOLET"), std::string::npos);
+  EXPECT_NE(result.output.find("784"), std::string::npos);  // MNIST features
+}
+
+TEST_F(CliTest, TrainInferCompileDescribeRoundTrip) {
+  const std::string model = path("model.hdcm");
+  const std::string lite = path("model.hdlt");
+
+  const auto train = run_cli("train " + path("train.csv") + " --out " + model +
+                             " --dim 512 --epochs 6");
+  ASSERT_EQ(train.exit_code, 0) << train.output;
+  EXPECT_NE(train.output.find("final train accuracy"), std::string::npos);
+  EXPECT_TRUE(fs::exists(model));
+
+  const auto infer = run_cli("infer " + path("train.csv") + " --model " + model);
+  ASSERT_EQ(infer.exit_code, 0) << infer.output;
+  EXPECT_NE(infer.output.find("accuracy:"), std::string::npos);
+
+  const auto infer_tpu =
+      run_cli("infer " + path("train.csv") + " --model " + model + " --tpu");
+  ASSERT_EQ(infer_tpu.exit_code, 0) << infer_tpu.output;
+  EXPECT_NE(infer_tpu.output.find("TPU (simulated)"), std::string::npos);
+
+  const auto compile = run_cli("compile " + model + " --out " + lite);
+  ASSERT_EQ(compile.exit_code, 0) << compile.output;
+  EXPECT_NE(compile.output.find("ops mapped to device"), std::string::npos);
+  EXPECT_TRUE(fs::exists(lite));
+
+  const auto describe = run_cli("describe " + lite);
+  ASSERT_EQ(describe.exit_code, 0) << describe.output;
+  EXPECT_NE(describe.output.find("FULLY_CONNECTED"), std::string::npos);
+}
+
+TEST_F(CliTest, BaggedTrainingWorks) {
+  const std::string model = path("bagged.hdcm");
+  const auto train = run_cli("train " + path("train.csv") + " --out " + model +
+                             " --dim 512 --bagging 4");
+  ASSERT_EQ(train.exit_code, 0) << train.output;
+  EXPECT_NE(train.output.find("bagged model (M=4"), std::string::npos);
+  EXPECT_TRUE(fs::exists(model));
+}
+
+TEST_F(CliTest, MissingInputFileFailsCleanly) {
+  const auto result = run_cli("train /nope/missing.csv");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("error:"), std::string::npos);
+}
+
+TEST_F(CliTest, CorruptModelFileRejected) {
+  const std::string bad = path("bad.hdcm");
+  std::ofstream(bad) << "this is not a model";
+  const auto result = run_cli("infer " + path("train.csv") + " --model " + bad);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("error:"), std::string::npos);
+}
+
+}  // namespace

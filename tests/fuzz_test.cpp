@@ -1,0 +1,131 @@
+// Robustness fuzzing for the serialized formats: random bit flips,
+// truncations and garbage buffers must NEVER crash, corrupt memory or
+// silently load — every malformed input has to surface as hdc::Error.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/serialize.hpp"
+#include "core/trainer.hpp"
+#include "lite/builder.hpp"
+#include "lite/quantize.hpp"
+#include "lite/serialize.hpp"
+#include "nn/graph.hpp"
+
+namespace hdc {
+namespace {
+
+std::vector<std::uint8_t> classifier_bytes() {
+  core::Encoder encoder(6, 64, 3);
+  core::HdModel model(3, 64);
+  return core::serialize_classifier(
+      core::TrainedClassifier{std::move(encoder), std::move(model)});
+}
+
+std::vector<std::uint8_t> lite_bytes() {
+  nn::Graph g("fuzz", 6);
+  tensor::MatrixF w(6, 32);
+  Rng rng(4);
+  rng.fill_gaussian(w.data(), w.size());
+  g.add_dense(std::move(w));
+  g.add_tanh();
+  const auto float_model = lite::build_float_model(g);
+  tensor::MatrixF calib(8, 6, 0.4F);
+  return lite::serialize_model(lite::quantize_model(float_model, calib));
+}
+
+template <typename LoadFn>
+void fuzz_bitflips(const std::vector<std::uint8_t>& original, LoadFn&& load,
+                   int iterations) {
+  Rng rng(0xF22);
+  for (int i = 0; i < iterations; ++i) {
+    auto corrupted = original;
+    // Flip 1-4 random bits.
+    const int flips = 1 + static_cast<int>(rng.next_below(4));
+    for (int f = 0; f < flips; ++f) {
+      const auto byte = rng.next_below(corrupted.size());
+      corrupted[byte] ^= static_cast<std::uint8_t>(1U << rng.next_below(8));
+    }
+    if (corrupted == original) {
+      continue;  // flips cancelled out
+    }
+    EXPECT_THROW(load(corrupted), Error) << "bit-flip fuzz iteration " << i;
+  }
+}
+
+template <typename LoadFn>
+void fuzz_truncations(const std::vector<std::uint8_t>& original, LoadFn&& load) {
+  Rng rng(0x7121C);
+  for (int i = 0; i < 64; ++i) {
+    auto truncated = original;
+    truncated.resize(rng.next_below(original.size()));
+    EXPECT_THROW(load(truncated), Error) << "truncation to " << truncated.size();
+  }
+}
+
+template <typename LoadFn>
+void fuzz_garbage(LoadFn&& load) {
+  Rng rng(0x6A4BA6E);
+  for (int i = 0; i < 64; ++i) {
+    std::vector<std::uint8_t> garbage(16 + rng.next_below(4096));
+    for (auto& b : garbage) {
+      b = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    EXPECT_THROW(load(garbage), Error) << "garbage buffer " << i;
+  }
+}
+
+TEST(FuzzClassifierTest, BitFlipsAlwaysDetected) {
+  const auto bytes = classifier_bytes();
+  fuzz_bitflips(bytes, [](const auto& b) { return core::deserialize_classifier(b); }, 256);
+}
+
+TEST(FuzzClassifierTest, TruncationsAlwaysDetected) {
+  const auto bytes = classifier_bytes();
+  fuzz_truncations(bytes, [](const auto& b) { return core::deserialize_classifier(b); });
+}
+
+TEST(FuzzClassifierTest, GarbageAlwaysRejected) {
+  fuzz_garbage([](const auto& b) { return core::deserialize_classifier(b); });
+}
+
+TEST(FuzzLiteTest, BitFlipsAlwaysDetected) {
+  const auto bytes = lite_bytes();
+  fuzz_bitflips(bytes, [](const auto& b) { return lite::deserialize_model(b); }, 256);
+}
+
+TEST(FuzzLiteTest, TruncationsAlwaysDetected) {
+  const auto bytes = lite_bytes();
+  fuzz_truncations(bytes, [](const auto& b) { return lite::deserialize_model(b); });
+}
+
+TEST(FuzzLiteTest, GarbageAlwaysRejected) {
+  fuzz_garbage([](const auto& b) { return lite::deserialize_model(b); });
+}
+
+TEST(FuzzLiteTest, RoundTripSurvivesManyModels) {
+  // Serialization round-trip property over randomized shapes.
+  Rng rng(0x5EED5);
+  for (int i = 0; i < 40; ++i) {
+    const auto n = static_cast<std::uint32_t>(1 + rng.next_below(40));
+    const auto d = static_cast<std::uint32_t>(1 + rng.next_below(300));
+    nn::Graph g("m" + std::to_string(i), n);
+    tensor::MatrixF w(n, d);
+    rng.fill_gaussian(w.data(), w.size());
+    g.add_dense(std::move(w));
+    if (rng.next_below(2) == 0) {
+      g.add_tanh();
+    }
+    const auto model = lite::build_float_model(g);
+    const auto restored = lite::deserialize_model(lite::serialize_model(model));
+    EXPECT_EQ(restored.tensors.size(), model.tensors.size());
+    EXPECT_EQ(restored.ops.size(), model.ops.size());
+    for (std::size_t t = 0; t < model.tensors.size(); ++t) {
+      EXPECT_EQ(restored.tensors[t].data, model.tensors[t].data);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hdc

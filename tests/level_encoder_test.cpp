@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/level_encoder.hpp"
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdc::core {
+namespace {
+
+LevelEncoderConfig small_config() {
+  LevelEncoderConfig cfg;
+  cfg.dim = 2048;
+  cfg.levels = 16;
+  cfg.seed = 5;
+  return cfg;
+}
+
+std::uint32_t hamming_between(const LevelEncoder& enc, std::uint32_t a, std::uint32_t b) {
+  const auto va = enc.level_vector(a);
+  const auto vb = enc.level_vector(b);
+  std::uint32_t distance = 0;
+  for (std::size_t j = 0; j < va.size(); ++j) {
+    distance += va[j] != vb[j] ? 1 : 0;
+  }
+  return distance;
+}
+
+TEST(LevelEncoderTest, ConfigValidation) {
+  LevelEncoderConfig cfg = small_config();
+  cfg.levels = 1;
+  EXPECT_THROW(LevelEncoder(4, cfg), Error);
+  cfg = small_config();
+  cfg.min_value = 1.0F;
+  cfg.max_value = 0.0F;
+  EXPECT_THROW(LevelEncoder(4, cfg), Error);
+}
+
+TEST(LevelEncoderTest, VectorsAreBipolar) {
+  const LevelEncoder enc(8, small_config());
+  for (std::uint32_t level = 0; level < small_config().levels; ++level) {
+    for (const float v : enc.level_vector(level)) {
+      EXPECT_TRUE(v == 1.0F || v == -1.0F);
+    }
+  }
+  for (std::uint32_t f = 0; f < 8; ++f) {
+    for (const float v : enc.id_vector(f)) {
+      EXPECT_TRUE(v == 1.0F || v == -1.0F);
+    }
+  }
+}
+
+TEST(LevelEncoderTest, LevelChainDistanceGrowsMonotonically) {
+  const LevelEncoder enc(4, small_config());
+  const std::uint32_t levels = small_config().levels;
+  std::uint32_t previous = 0;
+  for (std::uint32_t level = 1; level < levels; ++level) {
+    const std::uint32_t distance = hamming_between(enc, 0, level);
+    EXPECT_GT(distance, previous);
+    previous = distance;
+  }
+}
+
+TEST(LevelEncoderTest, ExtremesNearOrthogonalNeighboursCorrelated) {
+  const auto cfg = small_config();
+  const LevelEncoder enc(4, cfg);
+  const std::uint32_t extreme = hamming_between(enc, 0, cfg.levels - 1);
+  const std::uint32_t neighbour = hamming_between(enc, 0, 1);
+  // Extremes differ in ~d/2 components (cosine ~ 0); neighbours in ~d/(2(L-1)).
+  EXPECT_NEAR(static_cast<double>(extreme), cfg.dim / 2.0, cfg.dim * 0.05);
+  EXPECT_NEAR(static_cast<double>(neighbour), cfg.dim / (2.0 * (cfg.levels - 1)),
+              cfg.dim * 0.01);
+}
+
+TEST(LevelEncoderTest, LevelOfQuantizesAndClamps) {
+  const LevelEncoder enc(4, small_config());  // 16 levels over [0, 1]
+  EXPECT_EQ(enc.level_of(0.0F), 0U);
+  EXPECT_EQ(enc.level_of(1.0F), 15U);
+  EXPECT_EQ(enc.level_of(-5.0F), 0U);   // clamped
+  EXPECT_EQ(enc.level_of(42.0F), 15U);  // clamped
+  EXPECT_EQ(enc.level_of(0.5F), 8U);    // round(0.5 * 15 + 0.5)
+}
+
+TEST(LevelEncoderTest, EncodeMatchesManualBindBundle) {
+  LevelEncoderConfig cfg = small_config();
+  cfg.dim = 64;
+  const LevelEncoder enc(2, cfg);
+  std::vector<float> sample{0.0F, 1.0F};
+  const auto encoded = enc.encode(sample);
+  const auto id0 = enc.id_vector(0);
+  const auto id1 = enc.id_vector(1);
+  const auto l0 = enc.level_vector(enc.level_of(0.0F));
+  const auto l1 = enc.level_vector(enc.level_of(1.0F));
+  for (std::size_t j = 0; j < 64; ++j) {
+    EXPECT_FLOAT_EQ(encoded[j], id0[j] * l0[j] + id1[j] * l1[j]);
+  }
+}
+
+TEST(LevelEncoderTest, SimilarValuesGiveSimilarEncodings) {
+  const LevelEncoder enc(10, small_config());
+  std::vector<float> a(10, 0.50F);
+  std::vector<float> b(10, 0.55F);  // one level apart
+  std::vector<float> c(10, 1.00F);  // far away
+  const auto ea = enc.encode(a);
+  const auto eb = enc.encode(b);
+  const auto ec = enc.encode(c);
+  EXPECT_GT(tensor::cosine(ea, eb), tensor::cosine(ea, ec));
+}
+
+TEST(LevelEncoderTest, DeterministicForSeed) {
+  const LevelEncoder a(6, small_config());
+  const LevelEncoder b(6, small_config());
+  std::vector<float> sample{0.1F, 0.4F, 0.9F, 0.0F, 1.0F, 0.6F};
+  EXPECT_EQ(a.encode(sample), b.encode(sample));
+}
+
+TEST(LevelEncoderTest, BatchMatchesSingle) {
+  const LevelEncoder enc(3, small_config());
+  tensor::MatrixF samples{{0.1F, 0.5F, 0.9F}, {1.0F, 0.0F, 0.3F}};
+  const auto batch = enc.encode_batch(samples);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto single = enc.encode(samples.row(i));
+    for (std::size_t j = 0; j < single.size(); ++j) {
+      EXPECT_FLOAT_EQ(batch(i, j), single[j]);
+    }
+  }
+}
+
+TEST(LevelEncoderTest, TrainableOnRealTask) {
+  data::Dataset all = data::generate_synthetic(data::paper_dataset("PAMAP2"), 800);
+  auto split = data::split_dataset(all, 0.25, 41);
+  data::MinMaxNormalizer norm;
+  norm.fit(split.train);
+  norm.apply(split.train);
+  norm.apply(split.test);
+
+  LevelEncoderConfig cfg = small_config();
+  const LevelEncoder encoder(static_cast<std::uint32_t>(split.train.num_features()), cfg);
+
+  HdConfig hd;
+  hd.dim = cfg.dim;
+  hd.epochs = 10;
+  const Trainer trainer(hd);
+  const auto result = trainer.fit_encoded(encoder.encode_batch(split.train.features),
+                                          split.train.labels, split.train.num_classes);
+  const auto predictions = result.model.predict_batch(
+      encoder.encode_batch(split.test.features), Similarity::kCosine);
+  EXPECT_GT(data::accuracy(predictions, split.test.labels), 0.85);
+}
+
+}  // namespace
+}  // namespace hdc::core

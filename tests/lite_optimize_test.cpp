@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "lite/builder.hpp"
+#include "lite/interpreter.hpp"
+#include "lite/optimize.hpp"
+#include "lite/quantize.hpp"
+#include "nn/graph.hpp"
+
+namespace hdc::lite {
+namespace {
+
+constexpr Quantization kNominal{1.0F / 128.0F, 0};
+
+tensor::MatrixF random_f(std::size_t r, std::size_t c, std::uint64_t seed) {
+  tensor::MatrixF m(r, c);
+  Rng rng(seed);
+  rng.fill_gaussian(m.data(), m.size(), 0.0F, 0.3F);
+  return m;
+}
+
+tensor::MatrixI8 random_i8(std::size_t r, std::size_t c, std::uint64_t seed) {
+  tensor::MatrixI8 m(r, c);
+  Rng rng(seed);
+  for (auto& v : m.storage()) {
+    v = static_cast<std::int8_t>(static_cast<std::int64_t>(rng.next_below(100)) - 50);
+  }
+  return m;
+}
+
+/// Quantized encode-style chain with a trailing DEQUANTIZE: float(n) ->
+/// QUANT -> FC(n x d) -> TANH -> DEQUANT -> float(d).
+LiteModel encode_chain(std::uint32_t n, std::uint32_t d, std::uint64_t seed) {
+  LiteModelBuilder b("encode");
+  const auto in = b.add_activation("in", DType::kFloat32, n);
+  b.set_input(in);
+  const auto in_q = b.add_activation("in_q", DType::kInt8, n, kNominal);
+  b.add_op(OpCode::kQuantize, {in}, {in_q});
+  const auto w = b.add_weights_i8("w", random_i8(n, d, seed), kNominal);
+  const auto hidden = b.add_activation("hidden", DType::kInt8, d, kNominal);
+  b.add_op(OpCode::kFullyConnected, {in_q, w}, {hidden});
+  const auto enc = b.add_activation("enc", DType::kInt8, d, kNominal);
+  b.add_op(OpCode::kTanh, {hidden}, {enc});
+  const auto out = b.add_activation("out", DType::kFloat32, d);
+  b.add_op(OpCode::kDequantize, {enc}, {out});
+  b.set_output(out);
+  return b.finish();
+}
+
+/// Classify-style chain: float(d) -> QUANT -> FC(d x k) -> ARG_MAX.
+LiteModel classify_chain(std::uint32_t d, std::uint32_t k, std::uint64_t seed,
+                         Quantization input_quant = kNominal) {
+  LiteModelBuilder b("classify");
+  const auto in = b.add_activation("in", DType::kFloat32, d);
+  b.set_input(in);
+  const auto in_q = b.add_activation("in_q", DType::kInt8, d, input_quant);
+  b.add_op(OpCode::kQuantize, {in}, {in_q});
+  const auto w = b.add_weights_i8("w", random_i8(d, k, seed), kNominal);
+  const auto logits = b.add_activation("logits", DType::kInt8, k, kNominal);
+  b.add_op(OpCode::kFullyConnected, {in_q, w}, {logits});
+  const auto cls = b.add_activation("cls", DType::kInt32, 1);
+  b.add_op(OpCode::kArgMax, {logits}, {cls});
+  b.set_output(cls);
+  return b.finish();
+}
+
+// -------------------------------------------------------------- compose ----
+
+TEST(ComposeTest, SplicesChainsEndToEnd) {
+  const LiteModel encode = encode_chain(16, 64, 1);
+  const LiteModel classify = classify_chain(64, 5, 2);
+  const LiteModel full = compose(encode, classify, "full");
+  EXPECT_NO_THROW(full.validate());
+  EXPECT_EQ(full.ops.size(), encode.ops.size() + classify.ops.size());
+  EXPECT_EQ(full.ops.back().code, OpCode::kArgMax);
+}
+
+TEST(ComposeTest, ComposedOutputsMatchSequentialExecution) {
+  const LiteModel encode = encode_chain(16, 64, 3);
+  const LiteModel classify = classify_chain(64, 5, 4);
+  const LiteModel full = compose(encode, classify, "full");
+
+  const tensor::MatrixF inputs = random_f(12, 16, 5);
+  const auto encoded = LiteInterpreter(encode).run(inputs);
+  const auto staged = LiteInterpreter(classify).run(encoded.values);
+  const auto fused = LiteInterpreter(full).run(inputs);
+  EXPECT_EQ(staged.classes, fused.classes);
+}
+
+TEST(ComposeTest, ShapeMismatchRejected) {
+  const LiteModel encode = encode_chain(16, 64, 1);
+  const LiteModel classify = classify_chain(128, 5, 2);
+  EXPECT_THROW(compose(encode, classify, "bad"), Error);
+}
+
+TEST(ComposeTest, CannotExtendPastArgMax) {
+  const LiteModel classify = classify_chain(64, 5, 2);
+  EXPECT_THROW(compose(classify, classify, "bad"), Error);
+}
+
+// ------------------------------------------------------------- optimize ----
+
+TEST(OptimizeTest, RemovesSeamWhenQuantParamsMatch) {
+  const LiteModel full =
+      compose(encode_chain(16, 64, 1), classify_chain(64, 5, 2), "full");
+  OptimizeReport report;
+  const LiteModel optimized = optimize(full, &report);
+  EXPECT_EQ(report.removed_ops, 2U);       // DEQUANT + QUANT at the seam
+  EXPECT_GE(report.removed_tensors, 2U);   // their float bridge tensors
+  EXPECT_EQ(optimized.ops.size(), full.ops.size() - 2);
+  EXPECT_NO_THROW(optimized.validate());
+}
+
+TEST(OptimizeTest, OptimizedModelIsFunctionallyEquivalent) {
+  const LiteModel full =
+      compose(encode_chain(16, 64, 6), classify_chain(64, 5, 7), "full");
+  const LiteModel optimized = optimize(full);
+  const tensor::MatrixF inputs = random_f(20, 16, 8);
+  const auto before = LiteInterpreter(full).run(inputs);
+  const auto after = LiteInterpreter(optimized).run(inputs);
+  EXPECT_EQ(before.classes, after.classes);
+}
+
+TEST(OptimizeTest, KeepsSeamWhenQuantParamsDiffer) {
+  const Quantization other{1.0F / 64.0F, 3};
+  const LiteModel full =
+      compose(encode_chain(16, 64, 1), classify_chain(64, 5, 2, other), "full");
+  OptimizeReport report;
+  const LiteModel optimized = optimize(full, &report);
+  EXPECT_EQ(report.removed_ops, 0U);
+  EXPECT_EQ(optimized.ops.size(), full.ops.size());
+  ASSERT_FALSE(report.notes.empty());
+  EXPECT_NE(report.notes.front().find("differ"), std::string::npos);
+}
+
+TEST(OptimizeTest, NoOpOnAlreadyCleanModel) {
+  const LiteModel clean = classify_chain(64, 5, 9);
+  OptimizeReport report;
+  const LiteModel optimized = optimize(clean, &report);
+  EXPECT_EQ(report.removed_ops, 0U);
+  EXPECT_EQ(report.removed_tensors, 0U);
+  EXPECT_EQ(optimized.ops.size(), clean.ops.size());
+  EXPECT_EQ(optimized.tensors.size(), clean.tensors.size());
+}
+
+TEST(OptimizeTest, SerializesAfterOptimization) {
+  // End-to-end: compose, optimize, and the result still validates/round-trips
+  // through the quantizer-produced models too.
+  nn::Graph g("real", 8);
+  g.add_dense(random_f(8, 32, 10));
+  g.add_tanh();
+  const auto quantized = quantize_model(build_float_model(g), random_f(16, 8, 11));
+  const LiteModel optimized = optimize(quantized);
+  EXPECT_NO_THROW(optimized.validate());
+  const tensor::MatrixF inputs = random_f(4, 8, 12);
+  EXPECT_EQ(LiteInterpreter(quantized).run(inputs).values,
+            LiteInterpreter(optimized).run(inputs).values);
+}
+
+}  // namespace
+}  // namespace hdc::lite

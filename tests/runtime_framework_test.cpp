@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+#include "runtime/framework.hpp"
+
+namespace hdc::runtime {
+namespace {
+
+/// Shared reduced-scale ISOLET-like task (one-time setup; the framework
+/// paths below all exercise real encode/train/infer math).
+class FrameworkTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticSpec spec = data::paper_dataset("PAMAP2");
+    data::Dataset all = data::generate_synthetic(spec, 700);
+    auto split = data::split_dataset(all, 0.25, 21);
+    data::MinMaxNormalizer norm;
+    norm.fit(split.train);
+    norm.apply(split.train);
+    norm.apply(split.test);
+    train_ = new data::Dataset(std::move(split.train));
+    test_ = new data::Dataset(std::move(split.test));
+  }
+
+  static void TearDownTestSuite() {
+    delete train_;
+    delete test_;
+    train_ = nullptr;
+    test_ = nullptr;
+  }
+
+  static core::HdConfig small_config() {
+    core::HdConfig cfg;
+    cfg.dim = 2048;
+    cfg.epochs = 8;
+    cfg.seed = 33;
+    return cfg;
+  }
+
+  static core::BaggingConfig small_bagging() {
+    core::BaggingConfig cfg;
+    cfg.num_models = 4;
+    cfg.epochs = 4;
+    cfg.base = small_config();
+    cfg.bootstrap.dataset_ratio = 0.6;
+    return cfg;
+  }
+
+  static data::Dataset* train_;
+  static data::Dataset* test_;
+  CoDesignFramework framework_;
+};
+
+data::Dataset* FrameworkTest::train_ = nullptr;
+data::Dataset* FrameworkTest::test_ = nullptr;
+
+TEST_F(FrameworkTest, CpuTrainingLearns) {
+  const auto outcome = framework_.train_cpu(*train_, small_config());
+  EXPECT_GT(outcome.history.back().train_accuracy, 0.9);
+  EXPECT_GT(outcome.timings.encode.to_seconds(), 0.0);
+  EXPECT_GT(outcome.timings.update.to_seconds(), 0.0);
+  EXPECT_EQ(outcome.timings.model_gen.to_seconds(), 0.0);
+}
+
+TEST_F(FrameworkTest, TpuTrainingLearnsThroughInt8Encode) {
+  const auto outcome = framework_.train_tpu(*train_, small_config());
+  EXPECT_GT(outcome.history.back().train_accuracy, 0.9);
+  EXPECT_GT(outcome.timings.model_gen.to_seconds(), 0.0);
+}
+
+TEST_F(FrameworkTest, TpuAndCpuModelsAgreeClosely) {
+  // Same seed => same bases; the only difference is int8 encoding noise, so
+  // the two classifiers should predict almost identically.
+  const auto cpu = framework_.train_cpu(*train_, small_config());
+  const auto tpu = framework_.train_tpu(*train_, small_config());
+  const auto cpu_infer = framework_.infer_cpu(cpu.classifier, *test_);
+  const auto tpu_infer = framework_.infer_cpu(tpu.classifier, *test_);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < cpu_infer.predictions.size(); ++i) {
+    agree += cpu_infer.predictions[i] == tpu_infer.predictions[i] ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(agree) / cpu_infer.predictions.size(), 0.9);
+}
+
+TEST_F(FrameworkTest, ValidationHistoryTracked) {
+  const auto outcome = framework_.train_cpu(*train_, small_config(), test_);
+  EXPECT_GT(outcome.history.back().val_accuracy, 0.8);
+}
+
+TEST_F(FrameworkTest, BaggingTrainsStackedClassifier) {
+  const auto outcome = framework_.train_tpu_bagging(*train_, small_bagging());
+  EXPECT_EQ(outcome.classifier.dim(), 2048U);
+  EXPECT_EQ(outcome.classifier.num_classes(), train_->num_classes);
+  const auto infer = framework_.infer_cpu(outcome.classifier, *test_);
+  EXPECT_GT(infer.accuracy, 0.8);
+}
+
+TEST_F(FrameworkTest, BaggingUpdatePhaseCheaperThanFull) {
+  const auto full = framework_.train_tpu(*train_, small_config());
+  const auto bagged = framework_.train_tpu_bagging(*train_, small_bagging());
+  EXPECT_LT(bagged.timings.update.to_seconds(), full.timings.update.to_seconds());
+}
+
+TEST_F(FrameworkTest, CpuInferenceAccuracyHigh) {
+  const auto outcome = framework_.train_cpu(*train_, small_config());
+  const auto infer = framework_.infer_cpu(outcome.classifier, *test_);
+  EXPECT_GT(infer.accuracy, 0.85);
+  EXPECT_EQ(infer.predictions.size(), test_->num_samples());
+}
+
+TEST_F(FrameworkTest, TpuInferenceAccuracyCloseToCpu) {
+  const auto outcome = framework_.train_cpu(*train_, small_config());
+  const auto cpu = framework_.infer_cpu(outcome.classifier, *test_);
+  const auto tpu = framework_.infer_tpu(outcome.classifier, *test_, *train_);
+  EXPECT_GT(tpu.accuracy, cpu.accuracy - 0.05);
+  EXPECT_EQ(tpu.compile_report.device_ops, 3U);
+}
+
+TEST_F(FrameworkTest, TpuInferencePerSampleIncludesRoundTrip) {
+  const auto outcome = framework_.train_cpu(*train_, small_config());
+  const auto tpu = framework_.infer_tpu(outcome.classifier, *test_, *train_);
+  EXPECT_GE(tpu.timings.per_sample.to_micros(),
+            framework_.config().link.interactive_round_trip.to_micros());
+}
+
+TEST_F(FrameworkTest, MeasuredUpdateFractionInUnitRange) {
+  const auto outcome = framework_.train_cpu(*train_, small_config());
+  EXPECT_GT(outcome.measured_update_fraction, 0.0);
+  EXPECT_LT(outcome.measured_update_fraction, 1.0);
+}
+
+TEST_F(FrameworkTest, DeterministicAcrossRuns) {
+  const auto a = framework_.train_tpu(*train_, small_config());
+  const auto b = framework_.train_tpu(*train_, small_config());
+  EXPECT_EQ(a.classifier.model.class_hypervectors(),
+            b.classifier.model.class_hypervectors());
+}
+
+TEST_F(FrameworkTest, InvalidCalibrationConfigRejected) {
+  SystemConfig cfg;
+  cfg.calibration_samples = 0;
+  EXPECT_THROW(CoDesignFramework{cfg}, hdc::Error);
+}
+
+TEST_F(FrameworkTest, PerChannelQuantizationWorksEndToEnd) {
+  SystemConfig cfg;
+  cfg.quantize.per_channel_weights = true;
+  const CoDesignFramework per_channel(cfg);
+
+  const auto trained = per_channel.train_tpu(*train_, small_config());
+  EXPECT_GT(trained.history.back().train_accuracy, 0.9);
+  const auto infer = per_channel.infer_tpu(trained.classifier, *test_, *train_);
+  // Per-channel must track the default framework's accuracy closely.
+  const auto reference =
+      framework_.infer_tpu(framework_.train_tpu(*train_, small_config()).classifier,
+                           *test_, *train_);
+  EXPECT_GT(infer.accuracy, reference.accuracy - 0.03);
+}
+
+}  // namespace
+}  // namespace hdc::runtime

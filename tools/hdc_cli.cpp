@@ -1,0 +1,264 @@
+// hdc — command-line front end for the co-design framework.
+//
+//   hdc train <train.csv> --out model.hdcm [--dim N] [--epochs N]
+//             [--bagging M] [--alpha A] [--seed S]
+//   hdc infer <test.csv> --model model.hdcm [--tpu]
+//   hdc compile <model.hdcm> --out model.hdlt [--per-channel] [--classes-only]
+//   hdc describe <model.hdlt>
+//   hdc autotune <train.csv> [--dim N] [--margin F]
+//   hdc datasets
+//
+// CSV convention: one sample per row, label in the last column (strings or
+// integers; densified automatically). Features are min-max normalized with
+// statistics of the file being processed.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/serialize.hpp"
+#include "data/csv.hpp"
+#include "data/synthetic.hpp"
+#include "lite/builder.hpp"
+#include "lite/printer.hpp"
+#include "lite/quantize.hpp"
+#include "lite/serialize.hpp"
+#include "nn/wide_nn.hpp"
+#include "runtime/autotune.hpp"
+#include "runtime/framework.hpp"
+#include "tpu/compiler.hpp"
+
+namespace {
+
+using namespace hdc;
+
+const char* arg_value(int argc, char** argv, const char* flag, const char* fallback) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return argv[i + 1];
+    }
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+data::Dataset load_normalized(const std::string& path) {
+  data::Dataset ds = data::load_csv(path);
+  data::MinMaxNormalizer norm;
+  norm.fit(ds);
+  norm.apply(ds);
+  return ds;
+}
+
+int cmd_train(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: hdc train <train.csv> --out model.hdcm [options]\n");
+    return 2;
+  }
+  const data::Dataset train = load_normalized(argv[2]);
+  const std::string out_path = arg_value(argc, argv, "--out", "model.hdcm");
+
+  core::HdConfig config;
+  config.dim = static_cast<std::uint32_t>(std::atoi(arg_value(argc, argv, "--dim", "4096")));
+  config.epochs =
+      static_cast<std::uint32_t>(std::atoi(arg_value(argc, argv, "--epochs", "20")));
+  config.seed = static_cast<std::uint64_t>(std::atoll(arg_value(argc, argv, "--seed", "42")));
+
+  const runtime::CoDesignFramework framework;
+  const auto bagging_models =
+      static_cast<std::uint32_t>(std::atoi(arg_value(argc, argv, "--bagging", "0")));
+
+  runtime::CoDesignFramework::TrainOutcome outcome = [&] {
+    if (bagging_models > 0) {
+      core::BaggingConfig bagging;
+      bagging.num_models = bagging_models;
+      bagging.base = config;
+      bagging.epochs = std::max<std::uint32_t>(1, config.epochs * 6 / 20);
+      bagging.bootstrap.dataset_ratio = std::atof(arg_value(argc, argv, "--alpha", "0.6"));
+      std::printf("training bagged model (M=%u, d'=%u, I'=%u, alpha=%.2f)...\n",
+                  bagging.num_models, bagging.effective_sub_dim(), bagging.epochs,
+                  bagging.bootstrap.dataset_ratio);
+      return framework.train_tpu_bagging(train, bagging);
+    }
+    std::printf("training full model (d=%u, %u iterations)...\n", config.dim,
+                config.epochs);
+    return framework.train_tpu(train, config);
+  }();
+
+  core::save_classifier(outcome.classifier, out_path);
+  std::printf("trained on %zu samples (%zu features, %u classes)\n", train.num_samples(),
+              train.num_features(), train.num_classes);
+  std::printf("final train accuracy: %.2f%%\n",
+              100.0 * (outcome.history.empty() ? 0.0
+                                               : outcome.history.back().train_accuracy));
+  std::printf("simulated training time: encode %s, update %s, model-gen %s\n",
+              outcome.timings.encode.to_string().c_str(),
+              outcome.timings.update.to_string().c_str(),
+              outcome.timings.model_gen.to_string().c_str());
+  std::printf("saved %s\n", out_path.c_str());
+  return 0;
+}
+
+int cmd_infer(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: hdc infer <test.csv> --model model.hdcm [--tpu]\n");
+    return 2;
+  }
+  const data::Dataset test = load_normalized(argv[2]);
+  const std::string model_path = arg_value(argc, argv, "--model", "model.hdcm");
+  const core::TrainedClassifier classifier = core::load_classifier(model_path);
+
+  const runtime::CoDesignFramework framework;
+  const auto outcome = has_flag(argc, argv, "--tpu")
+                           ? framework.infer_tpu(classifier, test, test)
+                           : framework.infer_cpu(classifier, test);
+  std::printf("%s inference over %zu samples\n",
+              has_flag(argc, argv, "--tpu") ? "TPU (simulated)" : "CPU", test.num_samples());
+  std::printf("accuracy: %.2f%%\n", 100.0 * outcome.accuracy);
+  std::printf("simulated latency: %s/sample (%s total)\n",
+              outcome.timings.per_sample.to_string().c_str(),
+              outcome.timings.total.to_string().c_str());
+  return 0;
+}
+
+int cmd_compile(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: hdc compile <model.hdcm> --out model.hdlt [--per-channel]\n");
+    return 2;
+  }
+  const core::TrainedClassifier classifier = core::load_classifier(argv[2]);
+  const std::string out_path = arg_value(argc, argv, "--out", "model.hdlt");
+
+  const nn::Graph graph = nn::build_inference_graph(classifier);
+  const lite::LiteModel float_model = lite::build_float_model(graph);
+
+  // Calibrate on synthetic inputs spanning [0, 1] (the normalized domain).
+  tensor::MatrixF calibration(64, classifier.num_features());
+  Rng rng(7);
+  for (auto& v : calibration.storage()) {
+    v = static_cast<float>(rng.next_double());
+  }
+  lite::QuantizeOptions options;
+  options.per_channel_weights = has_flag(argc, argv, "--per-channel");
+  const lite::LiteModel quantized =
+      lite::quantize_model(float_model, calibration, options);
+  lite::save_model(quantized, out_path);
+
+  const tpu::EdgeTpuCompiler compiler(tpu::SystolicConfig{}, 8ULL << 20);
+  const auto compiled = compiler.compile(quantized);
+  std::printf("%s\n", compiled.report.to_string().c_str());
+  std::printf("saved %s (%zu weight bytes)\n", out_path.c_str(),
+              quantized.weight_bytes());
+  return 0;
+}
+
+int cmd_describe(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: hdc describe <model.hdlt>\n");
+    return 2;
+  }
+  const lite::LiteModel model = lite::load_model(argv[2]);
+  std::printf("%s", lite::describe_model(model).c_str());
+  return 0;
+}
+
+int cmd_autotune(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: hdc autotune <train.csv> [--dim N] [--margin F]\n");
+    return 2;
+  }
+  data::Dataset all = load_normalized(argv[2]);
+  auto split = data::split_dataset(all, 0.25, 77);
+
+  core::HdConfig base;
+  base.dim = static_cast<std::uint32_t>(std::atoi(arg_value(argc, argv, "--dim", "2048")));
+
+  // Full-scale pricing uses the file's own shape at d = 10,000.
+  runtime::WorkloadShape shape;
+  shape.name = all.name;
+  shape.train_samples = split.train.num_samples();
+  shape.test_samples = split.test.num_samples();
+  shape.features = static_cast<std::uint32_t>(all.num_features());
+  shape.classes = all.num_classes;
+  shape.dim = 10000;
+  shape.epochs = 20;
+
+  const runtime::CoDesignFramework framework;
+  const runtime::BaggingAutotuner tuner(framework, shape);
+  runtime::AutotuneSpace space;  // default grid: M x iters x alpha
+
+  const double margin = std::atof(arg_value(argc, argv, "--margin", "0.01"));
+  std::printf("searching %zu configurations...\n", space.size());
+  const auto result = tuner.search(split.train, split.test, space, base, margin);
+
+  for (const auto& candidate : result.all) {
+    std::printf("  M=%u I'=%u alpha=%.1f  accuracy %.2f%%  projected %.2f s\n",
+                candidate.config.num_models, candidate.config.epochs,
+                candidate.config.bootstrap.dataset_ratio, 100.0 * candidate.accuracy,
+                candidate.projected_train_time.to_seconds());
+  }
+  std::printf("chosen: M=%u, I'=%u, alpha=%.1f (%.2f%% at %.2f s; best seen %.2f%%)\n",
+              result.best.config.num_models, result.best.config.epochs,
+              result.best.config.bootstrap.dataset_ratio, 100.0 * result.best.accuracy,
+              result.best.projected_train_time.to_seconds(),
+              100.0 * result.best_accuracy_seen);
+  return 0;
+}
+
+int cmd_datasets() {
+  std::printf("%-10s %10s %10s %9s   %s\n", "name", "#samples", "#features", "#classes",
+              "description");
+  for (const auto& spec : data::paper_datasets()) {
+    std::printf("%-10s %10u %10u %9u   %s\n", spec.name.c_str(), spec.samples,
+                spec.features, spec.classes, spec.description.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "hdc — hyperdimensional learning on (simulated) edge accelerators\n"
+                 "commands: train, infer, compile, describe, autotune, datasets\n");
+    return 2;
+  }
+  try {
+    const std::string command = argv[1];
+    if (command == "train") {
+      return cmd_train(argc, argv);
+    }
+    if (command == "infer") {
+      return cmd_infer(argc, argv);
+    }
+    if (command == "compile") {
+      return cmd_compile(argc, argv);
+    }
+    if (command == "describe") {
+      return cmd_describe(argc, argv);
+    }
+    if (command == "autotune") {
+      return cmd_autotune(argc, argv);
+    }
+    if (command == "datasets") {
+      return cmd_datasets();
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return 2;
+  } catch (const hdc::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
