@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nn_baseline.dir/ablation_nn_baseline.cpp.o"
+  "CMakeFiles/ablation_nn_baseline.dir/ablation_nn_baseline.cpp.o.d"
+  "ablation_nn_baseline"
+  "ablation_nn_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nn_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_regeneration.dir/ablation_regeneration.cpp.o"
+  "CMakeFiles/ablation_regeneration.dir/ablation_regeneration.cpp.o.d"
+  "ablation_regeneration"
+  "ablation_regeneration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regeneration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

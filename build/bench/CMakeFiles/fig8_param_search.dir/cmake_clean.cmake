@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_param_search.dir/fig8_param_search.cpp.o"
+  "CMakeFiles/fig8_param_search.dir/fig8_param_search.cpp.o.d"
+  "fig8_param_search"
+  "fig8_param_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_param_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_iterations.dir/fig9_iterations.cpp.o"
+  "CMakeFiles/fig9_iterations.dir/fig9_iterations.cpp.o.d"
+  "fig9_iterations"
+  "fig9_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_raspi.dir/table2_raspi.cpp.o"
+  "CMakeFiles/table2_raspi.dir/table2_raspi.cpp.o.d"
+  "table2_raspi"
+  "table2_raspi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_raspi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

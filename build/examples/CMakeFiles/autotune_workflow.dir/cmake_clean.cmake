@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_workflow.dir/autotune_workflow.cpp.o"
+  "CMakeFiles/autotune_workflow.dir/autotune_workflow.cpp.o.d"
+  "autotune_workflow"
+  "autotune_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

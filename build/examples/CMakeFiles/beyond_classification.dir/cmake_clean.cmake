@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beyond_classification.dir/beyond_classification.cpp.o"
+  "CMakeFiles/beyond_classification.dir/beyond_classification.cpp.o.d"
+  "beyond_classification"
+  "beyond_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beyond_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

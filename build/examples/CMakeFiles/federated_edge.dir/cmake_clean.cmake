@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_edge.dir/federated_edge.cpp.o"
+  "CMakeFiles/federated_edge.dir/federated_edge.cpp.o.d"
+  "federated_edge"
+  "federated_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

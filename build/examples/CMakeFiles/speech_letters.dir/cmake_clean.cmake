@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_letters.dir/speech_letters.cpp.o"
+  "CMakeFiles/speech_letters.dir/speech_letters.cpp.o.d"
+  "speech_letters"
+  "speech_letters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_letters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

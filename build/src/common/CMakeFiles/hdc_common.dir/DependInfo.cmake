@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/byte_io.cpp" "src/common/CMakeFiles/hdc_common.dir/byte_io.cpp.o" "gcc" "src/common/CMakeFiles/hdc_common.dir/byte_io.cpp.o.d"
+  "/root/repo/src/common/crc32.cpp" "src/common/CMakeFiles/hdc_common.dir/crc32.cpp.o" "gcc" "src/common/CMakeFiles/hdc_common.dir/crc32.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/common/CMakeFiles/hdc_common.dir/error.cpp.o" "gcc" "src/common/CMakeFiles/hdc_common.dir/error.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/hdc_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/hdc_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/hdc_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/hdc_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/sim_time.cpp" "src/common/CMakeFiles/hdc_common.dir/sim_time.cpp.o" "gcc" "src/common/CMakeFiles/hdc_common.dir/sim_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdc_common.dir/byte_io.cpp.o"
+  "CMakeFiles/hdc_common.dir/byte_io.cpp.o.d"
+  "CMakeFiles/hdc_common.dir/crc32.cpp.o"
+  "CMakeFiles/hdc_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/hdc_common.dir/error.cpp.o"
+  "CMakeFiles/hdc_common.dir/error.cpp.o.d"
+  "CMakeFiles/hdc_common.dir/logging.cpp.o"
+  "CMakeFiles/hdc_common.dir/logging.cpp.o.d"
+  "CMakeFiles/hdc_common.dir/rng.cpp.o"
+  "CMakeFiles/hdc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hdc_common.dir/sim_time.cpp.o"
+  "CMakeFiles/hdc_common.dir/sim_time.cpp.o.d"
+  "libhdc_common.a"
+  "libhdc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

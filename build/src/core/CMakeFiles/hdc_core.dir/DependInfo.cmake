@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bagging.cpp" "src/core/CMakeFiles/hdc_core.dir/bagging.cpp.o" "gcc" "src/core/CMakeFiles/hdc_core.dir/bagging.cpp.o.d"
+  "/root/repo/src/core/binary.cpp" "src/core/CMakeFiles/hdc_core.dir/binary.cpp.o" "gcc" "src/core/CMakeFiles/hdc_core.dir/binary.cpp.o.d"
+  "/root/repo/src/core/clustering.cpp" "src/core/CMakeFiles/hdc_core.dir/clustering.cpp.o" "gcc" "src/core/CMakeFiles/hdc_core.dir/clustering.cpp.o.d"
+  "/root/repo/src/core/encoder.cpp" "src/core/CMakeFiles/hdc_core.dir/encoder.cpp.o" "gcc" "src/core/CMakeFiles/hdc_core.dir/encoder.cpp.o.d"
+  "/root/repo/src/core/federated.cpp" "src/core/CMakeFiles/hdc_core.dir/federated.cpp.o" "gcc" "src/core/CMakeFiles/hdc_core.dir/federated.cpp.o.d"
+  "/root/repo/src/core/level_encoder.cpp" "src/core/CMakeFiles/hdc_core.dir/level_encoder.cpp.o" "gcc" "src/core/CMakeFiles/hdc_core.dir/level_encoder.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/hdc_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/hdc_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/noise.cpp" "src/core/CMakeFiles/hdc_core.dir/noise.cpp.o" "gcc" "src/core/CMakeFiles/hdc_core.dir/noise.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/hdc_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/hdc_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/regen.cpp" "src/core/CMakeFiles/hdc_core.dir/regen.cpp.o" "gcc" "src/core/CMakeFiles/hdc_core.dir/regen.cpp.o.d"
+  "/root/repo/src/core/regression.cpp" "src/core/CMakeFiles/hdc_core.dir/regression.cpp.o" "gcc" "src/core/CMakeFiles/hdc_core.dir/regression.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/hdc_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/hdc_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/hdc_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/hdc_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hdc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hdc_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

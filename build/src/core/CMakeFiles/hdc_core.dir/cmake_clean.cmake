@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdc_core.dir/bagging.cpp.o"
+  "CMakeFiles/hdc_core.dir/bagging.cpp.o.d"
+  "CMakeFiles/hdc_core.dir/binary.cpp.o"
+  "CMakeFiles/hdc_core.dir/binary.cpp.o.d"
+  "CMakeFiles/hdc_core.dir/clustering.cpp.o"
+  "CMakeFiles/hdc_core.dir/clustering.cpp.o.d"
+  "CMakeFiles/hdc_core.dir/encoder.cpp.o"
+  "CMakeFiles/hdc_core.dir/encoder.cpp.o.d"
+  "CMakeFiles/hdc_core.dir/federated.cpp.o"
+  "CMakeFiles/hdc_core.dir/federated.cpp.o.d"
+  "CMakeFiles/hdc_core.dir/level_encoder.cpp.o"
+  "CMakeFiles/hdc_core.dir/level_encoder.cpp.o.d"
+  "CMakeFiles/hdc_core.dir/model.cpp.o"
+  "CMakeFiles/hdc_core.dir/model.cpp.o.d"
+  "CMakeFiles/hdc_core.dir/noise.cpp.o"
+  "CMakeFiles/hdc_core.dir/noise.cpp.o.d"
+  "CMakeFiles/hdc_core.dir/online.cpp.o"
+  "CMakeFiles/hdc_core.dir/online.cpp.o.d"
+  "CMakeFiles/hdc_core.dir/regen.cpp.o"
+  "CMakeFiles/hdc_core.dir/regen.cpp.o.d"
+  "CMakeFiles/hdc_core.dir/regression.cpp.o"
+  "CMakeFiles/hdc_core.dir/regression.cpp.o.d"
+  "CMakeFiles/hdc_core.dir/serialize.cpp.o"
+  "CMakeFiles/hdc_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/hdc_core.dir/trainer.cpp.o"
+  "CMakeFiles/hdc_core.dir/trainer.cpp.o.d"
+  "libhdc_core.a"
+  "libhdc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

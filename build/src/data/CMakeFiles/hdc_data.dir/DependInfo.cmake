@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cpp" "src/data/CMakeFiles/hdc_data.dir/csv.cpp.o" "gcc" "src/data/CMakeFiles/hdc_data.dir/csv.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/hdc_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/hdc_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/sampling.cpp" "src/data/CMakeFiles/hdc_data.dir/sampling.cpp.o" "gcc" "src/data/CMakeFiles/hdc_data.dir/sampling.cpp.o.d"
+  "/root/repo/src/data/stream.cpp" "src/data/CMakeFiles/hdc_data.dir/stream.cpp.o" "gcc" "src/data/CMakeFiles/hdc_data.dir/stream.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/hdc_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/hdc_data.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hdc_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdc_data.dir/csv.cpp.o"
+  "CMakeFiles/hdc_data.dir/csv.cpp.o.d"
+  "CMakeFiles/hdc_data.dir/dataset.cpp.o"
+  "CMakeFiles/hdc_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/hdc_data.dir/sampling.cpp.o"
+  "CMakeFiles/hdc_data.dir/sampling.cpp.o.d"
+  "CMakeFiles/hdc_data.dir/stream.cpp.o"
+  "CMakeFiles/hdc_data.dir/stream.cpp.o.d"
+  "CMakeFiles/hdc_data.dir/synthetic.cpp.o"
+  "CMakeFiles/hdc_data.dir/synthetic.cpp.o.d"
+  "libhdc_data.a"
+  "libhdc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lite/builder.cpp" "src/lite/CMakeFiles/hdc_lite.dir/builder.cpp.o" "gcc" "src/lite/CMakeFiles/hdc_lite.dir/builder.cpp.o.d"
+  "/root/repo/src/lite/interpreter.cpp" "src/lite/CMakeFiles/hdc_lite.dir/interpreter.cpp.o" "gcc" "src/lite/CMakeFiles/hdc_lite.dir/interpreter.cpp.o.d"
+  "/root/repo/src/lite/model.cpp" "src/lite/CMakeFiles/hdc_lite.dir/model.cpp.o" "gcc" "src/lite/CMakeFiles/hdc_lite.dir/model.cpp.o.d"
+  "/root/repo/src/lite/optimize.cpp" "src/lite/CMakeFiles/hdc_lite.dir/optimize.cpp.o" "gcc" "src/lite/CMakeFiles/hdc_lite.dir/optimize.cpp.o.d"
+  "/root/repo/src/lite/printer.cpp" "src/lite/CMakeFiles/hdc_lite.dir/printer.cpp.o" "gcc" "src/lite/CMakeFiles/hdc_lite.dir/printer.cpp.o.d"
+  "/root/repo/src/lite/quantize.cpp" "src/lite/CMakeFiles/hdc_lite.dir/quantize.cpp.o" "gcc" "src/lite/CMakeFiles/hdc_lite.dir/quantize.cpp.o.d"
+  "/root/repo/src/lite/serialize.cpp" "src/lite/CMakeFiles/hdc_lite.dir/serialize.cpp.o" "gcc" "src/lite/CMakeFiles/hdc_lite.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hdc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hdc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hdc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hdc_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

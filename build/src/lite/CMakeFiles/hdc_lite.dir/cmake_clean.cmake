@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdc_lite.dir/builder.cpp.o"
+  "CMakeFiles/hdc_lite.dir/builder.cpp.o.d"
+  "CMakeFiles/hdc_lite.dir/interpreter.cpp.o"
+  "CMakeFiles/hdc_lite.dir/interpreter.cpp.o.d"
+  "CMakeFiles/hdc_lite.dir/model.cpp.o"
+  "CMakeFiles/hdc_lite.dir/model.cpp.o.d"
+  "CMakeFiles/hdc_lite.dir/optimize.cpp.o"
+  "CMakeFiles/hdc_lite.dir/optimize.cpp.o.d"
+  "CMakeFiles/hdc_lite.dir/printer.cpp.o"
+  "CMakeFiles/hdc_lite.dir/printer.cpp.o.d"
+  "CMakeFiles/hdc_lite.dir/quantize.cpp.o"
+  "CMakeFiles/hdc_lite.dir/quantize.cpp.o.d"
+  "CMakeFiles/hdc_lite.dir/serialize.cpp.o"
+  "CMakeFiles/hdc_lite.dir/serialize.cpp.o.d"
+  "libhdc_lite.a"
+  "libhdc_lite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdc_lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/graph.cpp" "src/nn/CMakeFiles/hdc_nn.dir/graph.cpp.o" "gcc" "src/nn/CMakeFiles/hdc_nn.dir/graph.cpp.o.d"
+  "/root/repo/src/nn/logistic.cpp" "src/nn/CMakeFiles/hdc_nn.dir/logistic.cpp.o" "gcc" "src/nn/CMakeFiles/hdc_nn.dir/logistic.cpp.o.d"
+  "/root/repo/src/nn/wide_nn.cpp" "src/nn/CMakeFiles/hdc_nn.dir/wide_nn.cpp.o" "gcc" "src/nn/CMakeFiles/hdc_nn.dir/wide_nn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hdc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hdc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hdc_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

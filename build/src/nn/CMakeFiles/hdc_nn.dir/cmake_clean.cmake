@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdc_nn.dir/graph.cpp.o"
+  "CMakeFiles/hdc_nn.dir/graph.cpp.o.d"
+  "CMakeFiles/hdc_nn.dir/logistic.cpp.o"
+  "CMakeFiles/hdc_nn.dir/logistic.cpp.o.d"
+  "CMakeFiles/hdc_nn.dir/wide_nn.cpp.o"
+  "CMakeFiles/hdc_nn.dir/wide_nn.cpp.o.d"
+  "libhdc_nn.a"
+  "libhdc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdc_platform.dir/cpu_executor.cpp.o"
+  "CMakeFiles/hdc_platform.dir/cpu_executor.cpp.o.d"
+  "CMakeFiles/hdc_platform.dir/energy.cpp.o"
+  "CMakeFiles/hdc_platform.dir/energy.cpp.o.d"
+  "CMakeFiles/hdc_platform.dir/profiles.cpp.o"
+  "CMakeFiles/hdc_platform.dir/profiles.cpp.o.d"
+  "libhdc_platform.a"
+  "libhdc_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdc_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

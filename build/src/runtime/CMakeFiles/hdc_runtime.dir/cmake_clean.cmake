@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdc_runtime.dir/autotune.cpp.o"
+  "CMakeFiles/hdc_runtime.dir/autotune.cpp.o.d"
+  "CMakeFiles/hdc_runtime.dir/cost.cpp.o"
+  "CMakeFiles/hdc_runtime.dir/cost.cpp.o.d"
+  "CMakeFiles/hdc_runtime.dir/framework.cpp.o"
+  "CMakeFiles/hdc_runtime.dir/framework.cpp.o.d"
+  "CMakeFiles/hdc_runtime.dir/results.cpp.o"
+  "CMakeFiles/hdc_runtime.dir/results.cpp.o.d"
+  "libhdc_runtime.a"
+  "libhdc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

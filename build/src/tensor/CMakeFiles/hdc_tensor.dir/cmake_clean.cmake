@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdc_tensor.dir/ops.cpp.o"
+  "CMakeFiles/hdc_tensor.dir/ops.cpp.o.d"
+  "libhdc_tensor.a"
+  "libhdc_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdc_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

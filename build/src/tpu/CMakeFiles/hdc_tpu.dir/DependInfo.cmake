@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpu/compiler.cpp" "src/tpu/CMakeFiles/hdc_tpu.dir/compiler.cpp.o" "gcc" "src/tpu/CMakeFiles/hdc_tpu.dir/compiler.cpp.o.d"
+  "/root/repo/src/tpu/device.cpp" "src/tpu/CMakeFiles/hdc_tpu.dir/device.cpp.o" "gcc" "src/tpu/CMakeFiles/hdc_tpu.dir/device.cpp.o.d"
+  "/root/repo/src/tpu/event_sim.cpp" "src/tpu/CMakeFiles/hdc_tpu.dir/event_sim.cpp.o" "gcc" "src/tpu/CMakeFiles/hdc_tpu.dir/event_sim.cpp.o.d"
+  "/root/repo/src/tpu/memory.cpp" "src/tpu/CMakeFiles/hdc_tpu.dir/memory.cpp.o" "gcc" "src/tpu/CMakeFiles/hdc_tpu.dir/memory.cpp.o.d"
+  "/root/repo/src/tpu/program.cpp" "src/tpu/CMakeFiles/hdc_tpu.dir/program.cpp.o" "gcc" "src/tpu/CMakeFiles/hdc_tpu.dir/program.cpp.o.d"
+  "/root/repo/src/tpu/systolic.cpp" "src/tpu/CMakeFiles/hdc_tpu.dir/systolic.cpp.o" "gcc" "src/tpu/CMakeFiles/hdc_tpu.dir/systolic.cpp.o.d"
+  "/root/repo/src/tpu/usb.cpp" "src/tpu/CMakeFiles/hdc_tpu.dir/usb.cpp.o" "gcc" "src/tpu/CMakeFiles/hdc_tpu.dir/usb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hdc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/lite/CMakeFiles/hdc_lite.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hdc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hdc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hdc_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

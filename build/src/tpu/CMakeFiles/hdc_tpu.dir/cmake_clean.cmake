@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdc_tpu.dir/compiler.cpp.o"
+  "CMakeFiles/hdc_tpu.dir/compiler.cpp.o.d"
+  "CMakeFiles/hdc_tpu.dir/device.cpp.o"
+  "CMakeFiles/hdc_tpu.dir/device.cpp.o.d"
+  "CMakeFiles/hdc_tpu.dir/event_sim.cpp.o"
+  "CMakeFiles/hdc_tpu.dir/event_sim.cpp.o.d"
+  "CMakeFiles/hdc_tpu.dir/memory.cpp.o"
+  "CMakeFiles/hdc_tpu.dir/memory.cpp.o.d"
+  "CMakeFiles/hdc_tpu.dir/program.cpp.o"
+  "CMakeFiles/hdc_tpu.dir/program.cpp.o.d"
+  "CMakeFiles/hdc_tpu.dir/systolic.cpp.o"
+  "CMakeFiles/hdc_tpu.dir/systolic.cpp.o.d"
+  "CMakeFiles/hdc_tpu.dir/usb.cpp.o"
+  "CMakeFiles/hdc_tpu.dir/usb.cpp.o.d"
+  "libhdc_tpu.a"
+  "libhdc_tpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdc_tpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/level_encoder_test.dir/level_encoder_test.cpp.o"
+  "CMakeFiles/level_encoder_test.dir/level_encoder_test.cpp.o.d"
+  "level_encoder_test"
+  "level_encoder_test.pdb"
+  "level_encoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/level_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lite_optimize_test.dir/lite_optimize_test.cpp.o"
+  "CMakeFiles/lite_optimize_test.dir/lite_optimize_test.cpp.o.d"
+  "lite_optimize_test"
+  "lite_optimize_test.pdb"
+  "lite_optimize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lite_optimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lite_test.dir/lite_test.cpp.o"
+  "CMakeFiles/lite_test.dir/lite_test.cpp.o.d"
+  "lite_test"
+  "lite_test.pdb"
+  "lite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_cost_test.dir/runtime_cost_test.cpp.o"
+  "CMakeFiles/runtime_cost_test.dir/runtime_cost_test.cpp.o.d"
+  "runtime_cost_test"
+  "runtime_cost_test.pdb"
+  "runtime_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_framework_test.dir/runtime_framework_test.cpp.o"
+  "CMakeFiles/runtime_framework_test.dir/runtime_framework_test.cpp.o.d"
+  "runtime_framework_test"
+  "runtime_framework_test.pdb"
+  "runtime_framework_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_framework_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_tools_test.dir/runtime_tools_test.cpp.o"
+  "CMakeFiles/runtime_tools_test.dir/runtime_tools_test.cpp.o.d"
+  "runtime_tools_test"
+  "runtime_tools_test.pdb"
+  "runtime_tools_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_tools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

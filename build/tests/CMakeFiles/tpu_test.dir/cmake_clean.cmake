@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpu_test.dir/tpu_test.cpp.o"
+  "CMakeFiles/tpu_test.dir/tpu_test.cpp.o.d"
+  "tpu_test"
+  "tpu_test.pdb"
+  "tpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdc.dir/hdc_cli.cpp.o"
+  "CMakeFiles/hdc.dir/hdc_cli.cpp.o.d"
+  "hdc"
+  "hdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
