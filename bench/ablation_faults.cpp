@@ -1,0 +1,93 @@
+// Ablation (robustness beyond the paper): the hypervector-level fault study
+// (ablation_noise) corrupts the *model*; this one breaks the *hardware* —
+// USB bulk transfers that arrive corrupt or NAK-stalled, parameter-SRAM bit
+// flips, and the device detaching from the bus mid-batch. The resilient
+// runtime (CRC-checked transfers, bounded retry + backoff, SRAM re-upload,
+// CPU circuit-breaker fallback) must hold accuracy at the clean-path level;
+// what faults cost is *simulated time*, reported here as overhead.
+//
+// Sweeps transfer fault rates (with a proportional SRAM flip rate) and one
+// detach-mid-batch scenario on ISOLET, reporting accuracy retention plus
+// retry/fallback counters and runtime overhead vs the clean TPU path.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/trainer.hpp"
+#include "runtime/framework.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hdc;
+
+  const std::uint32_t samples = bench::arg_u32(argc, argv, "--samples", 1200);
+  const std::uint32_t dim = bench::arg_u32(argc, argv, "--dim", 2048);
+
+  bench::print_header("Ablation: fault-injected transport/device vs resilient runtime (ISOLET)");
+  std::printf("(functional, %u samples, d = %u; int8 TPU inference with injected "
+              "link/SRAM/detach faults)\n\n",
+              samples, dim);
+
+  const auto prepared = bench::prepare("ISOLET", samples);
+  core::HdConfig cfg;
+  cfg.dim = dim;
+  cfg.epochs = 10;
+  core::Encoder encoder(static_cast<std::uint32_t>(prepared.train.num_features()), dim,
+                        cfg.seed);
+  const core::Trainer trainer(cfg);
+  core::TrainResult trained = trainer.fit(encoder, prepared.train);
+  const core::TrainedClassifier classifier{std::move(encoder), std::move(trained.model)};
+
+  const runtime::CoDesignFramework framework;
+  const auto clean = framework.infer_tpu(classifier, prepared.test, prepared.train);
+  std::printf("clean TPU path: %.2f%% accuracy, %s total\n\n", 100.0 * clean.accuracy,
+              clean.timings.total.to_string().c_str());
+
+  std::printf("%-12s %9s %10s %9s %8s %7s %7s %9s %8s\n", "fault rate", "accuracy",
+              "retention", "overhead", "retries", "naks", "scrubs", "fallback",
+              "breaker");
+  bench::print_rule(92);
+  for (const double rate : {0.0, 0.01, 0.05, 0.1, 0.2}) {
+    tpu::FaultProfile profile;
+    profile.transfer_corrupt_prob = rate;
+    profile.transfer_nak_prob = rate;
+    // SRAM flips scale with the corruption level; at rate 0.2 and ~1.3 MB of
+    // resident parameters this scrubs roughly every forty invocations.
+    profile.sram_bitflip_per_byte = rate * 1e-7;
+    runtime::ResilienceReport report;
+    const auto faulty = framework.infer_tpu_resilient(classifier, prepared.test,
+                                                      prepared.train, profile, {}, &report);
+    std::printf("%-12.2f %8.2f%% %9.1f%% %8.2fx %8llu %7llu %7llu %6llu/%llu %8s\n", rate,
+                100.0 * faulty.accuracy, 100.0 * faulty.accuracy / clean.accuracy,
+                faulty.timings.total / clean.timings.total,
+                static_cast<unsigned long long>(report.device_stats.transfer_retries),
+                static_cast<unsigned long long>(report.device_stats.nak_stalls),
+                static_cast<unsigned long long>(report.device_stats.sram_scrubs),
+                static_cast<unsigned long long>(report.cpu_samples),
+                static_cast<unsigned long long>(prepared.test.num_samples()),
+                report.circuit_opened ? "open" : "closed");
+  }
+  bench::print_rule(92);
+
+  // Detach scenario: the device disappears for good halfway through the
+  // batch (in simulated time); the circuit breaker must route the tail
+  // through the CPU and finish with clean-path accuracy.
+  tpu::FaultProfile detach;
+  detach.detach_at.push_back(clean.timings.total * 0.5);
+  runtime::ResilienceReport report;
+  const auto survived = framework.infer_tpu_resilient(classifier, prepared.test,
+                                                      prepared.train, detach, {}, &report);
+  std::printf("\ndetach at 50%% of the clean batch: %.2f%% accuracy (retention %.1f%%), "
+              "%llu TPU + %llu CPU samples, overhead %.2fx, breaker %s\n",
+              100.0 * survived.accuracy, 100.0 * survived.accuracy / clean.accuracy,
+              static_cast<unsigned long long>(report.tpu_samples),
+              static_cast<unsigned long long>(report.cpu_samples),
+              survived.timings.total / clean.timings.total,
+              report.circuit_opened ? "opened" : "stayed closed");
+
+  std::printf("\nexpected shape: accuracy retention pinned at ~100%% for every rate — "
+              "CRC re-transfers, SRAM scrubbing and CPU fallback convert hardware "
+              "faults into simulated-time overhead instead of mispredictions. The "
+              "detach row finishes the batch on the host at CPU-path accuracy for "
+              "the fallback tail.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_faults.cpp" "bench/CMakeFiles/ablation_faults.dir/ablation_faults.cpp.o" "gcc" "bench/CMakeFiles/ablation_faults.dir/ablation_faults.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/hdc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/hdc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpu/CMakeFiles/hdc_tpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/lite/CMakeFiles/hdc_lite.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hdc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hdc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hdc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hdc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hdc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

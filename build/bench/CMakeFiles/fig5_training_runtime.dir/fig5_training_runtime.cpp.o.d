@@ -138,8 +138,9 @@ bench/CMakeFiles/fig5_training_runtime.dir/fig5_training_runtime.cpp.o: \
  /root/repo/src/runtime/report.hpp /root/repo/src/tpu/device.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/lite/interpreter.hpp /root/repo/src/tpu/compiler.hpp \
- /root/repo/src/tpu/systolic.hpp /root/repo/src/tpu/memory.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/tpu/systolic.hpp /root/repo/src/tpu/faults.hpp \
+ /root/repo/src/tpu/memory.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \

@@ -138,8 +138,9 @@ bench/CMakeFiles/fig7_accuracy.dir/fig7_accuracy.cpp.o: \
  /root/repo/src/runtime/report.hpp /root/repo/src/tpu/device.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/lite/interpreter.hpp /root/repo/src/tpu/compiler.hpp \
- /root/repo/src/tpu/systolic.hpp /root/repo/src/tpu/memory.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/tpu/systolic.hpp /root/repo/src/tpu/faults.hpp \
+ /root/repo/src/tpu/memory.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
@@ -152,4 +153,4 @@ bench/CMakeFiles/fig7_accuracy.dir/fig7_accuracy.cpp.o: \
  /root/repo/src/core/trainer.hpp /root/repo/src/data/sampling.hpp \
  /root/repo/src/core/serialize.hpp \
  /root/repo/src/platform/cpu_executor.hpp \
- /root/repo/src/lite/quantize.hpp
+ /root/repo/src/lite/quantize.hpp /root/repo/src/runtime/resilient.hpp

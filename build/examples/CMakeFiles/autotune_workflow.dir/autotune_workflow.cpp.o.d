@@ -144,12 +144,13 @@ examples/CMakeFiles/autotune_workflow.dir/autotune_workflow.cpp.o: \
  /root/repo/src/lite/quantize.hpp /root/repo/src/runtime/cost.hpp \
  /root/repo/src/runtime/report.hpp /root/repo/src/tpu/device.hpp \
  /root/repo/src/tpu/compiler.hpp /root/repo/src/tpu/systolic.hpp \
- /root/repo/src/tpu/memory.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/tpu/faults.hpp /root/repo/src/tpu/memory.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/tpu/program.hpp \
- /root/repo/src/tpu/usb.hpp /root/repo/src/runtime/results.hpp
+ /root/repo/src/tpu/usb.hpp /root/repo/src/runtime/resilient.hpp \
+ /root/repo/src/runtime/results.hpp

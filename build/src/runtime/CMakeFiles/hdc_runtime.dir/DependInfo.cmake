@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/runtime/autotune.cpp" "src/runtime/CMakeFiles/hdc_runtime.dir/autotune.cpp.o" "gcc" "src/runtime/CMakeFiles/hdc_runtime.dir/autotune.cpp.o.d"
   "/root/repo/src/runtime/cost.cpp" "src/runtime/CMakeFiles/hdc_runtime.dir/cost.cpp.o" "gcc" "src/runtime/CMakeFiles/hdc_runtime.dir/cost.cpp.o.d"
   "/root/repo/src/runtime/framework.cpp" "src/runtime/CMakeFiles/hdc_runtime.dir/framework.cpp.o" "gcc" "src/runtime/CMakeFiles/hdc_runtime.dir/framework.cpp.o.d"
+  "/root/repo/src/runtime/resilient.cpp" "src/runtime/CMakeFiles/hdc_runtime.dir/resilient.cpp.o" "gcc" "src/runtime/CMakeFiles/hdc_runtime.dir/resilient.cpp.o.d"
   "/root/repo/src/runtime/results.cpp" "src/runtime/CMakeFiles/hdc_runtime.dir/results.cpp.o" "gcc" "src/runtime/CMakeFiles/hdc_runtime.dir/results.cpp.o.d"
   )
 

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/hdc_runtime.dir/cost.cpp.o.d"
   "CMakeFiles/hdc_runtime.dir/framework.cpp.o"
   "CMakeFiles/hdc_runtime.dir/framework.cpp.o.d"
+  "CMakeFiles/hdc_runtime.dir/resilient.cpp.o"
+  "CMakeFiles/hdc_runtime.dir/resilient.cpp.o.d"
   "CMakeFiles/hdc_runtime.dir/results.cpp.o"
   "CMakeFiles/hdc_runtime.dir/results.cpp.o.d"
   "libhdc_runtime.a"

@@ -135,7 +135,8 @@ src/runtime/CMakeFiles/hdc_runtime.dir/cost.cpp.o: \
  /root/repo/src/tpu/device.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/lite/interpreter.hpp /root/repo/src/tpu/compiler.hpp \
- /root/repo/src/tpu/systolic.hpp /root/repo/src/tpu/memory.hpp \
+ /root/repo/src/tpu/systolic.hpp /root/repo/src/tpu/faults.hpp \
+ /root/repo/src/common/rng.hpp /root/repo/src/tpu/memory.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \

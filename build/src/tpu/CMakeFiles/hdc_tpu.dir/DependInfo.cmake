@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/tpu/compiler.cpp" "src/tpu/CMakeFiles/hdc_tpu.dir/compiler.cpp.o" "gcc" "src/tpu/CMakeFiles/hdc_tpu.dir/compiler.cpp.o.d"
   "/root/repo/src/tpu/device.cpp" "src/tpu/CMakeFiles/hdc_tpu.dir/device.cpp.o" "gcc" "src/tpu/CMakeFiles/hdc_tpu.dir/device.cpp.o.d"
   "/root/repo/src/tpu/event_sim.cpp" "src/tpu/CMakeFiles/hdc_tpu.dir/event_sim.cpp.o" "gcc" "src/tpu/CMakeFiles/hdc_tpu.dir/event_sim.cpp.o.d"
+  "/root/repo/src/tpu/faults.cpp" "src/tpu/CMakeFiles/hdc_tpu.dir/faults.cpp.o" "gcc" "src/tpu/CMakeFiles/hdc_tpu.dir/faults.cpp.o.d"
   "/root/repo/src/tpu/memory.cpp" "src/tpu/CMakeFiles/hdc_tpu.dir/memory.cpp.o" "gcc" "src/tpu/CMakeFiles/hdc_tpu.dir/memory.cpp.o.d"
   "/root/repo/src/tpu/program.cpp" "src/tpu/CMakeFiles/hdc_tpu.dir/program.cpp.o" "gcc" "src/tpu/CMakeFiles/hdc_tpu.dir/program.cpp.o.d"
   "/root/repo/src/tpu/systolic.cpp" "src/tpu/CMakeFiles/hdc_tpu.dir/systolic.cpp.o" "gcc" "src/tpu/CMakeFiles/hdc_tpu.dir/systolic.cpp.o.d"

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/hdc_tpu.dir/device.cpp.o.d"
   "CMakeFiles/hdc_tpu.dir/event_sim.cpp.o"
   "CMakeFiles/hdc_tpu.dir/event_sim.cpp.o.d"
+  "CMakeFiles/hdc_tpu.dir/faults.cpp.o"
+  "CMakeFiles/hdc_tpu.dir/faults.cpp.o.d"
   "CMakeFiles/hdc_tpu.dir/memory.cpp.o"
   "CMakeFiles/hdc_tpu.dir/memory.cpp.o.d"
   "CMakeFiles/hdc_tpu.dir/program.cpp.o"

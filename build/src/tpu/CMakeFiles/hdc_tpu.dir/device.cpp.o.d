@@ -20,39 +20,40 @@ src/tpu/CMakeFiles/hdc_tpu.dir/device.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/type_traits \
- /usr/include/c++/12/bits/move.h /usr/include/c++/12/bits/utility.h \
- /usr/include/c++/12/compare /usr/include/c++/12/concepts \
+ /usr/include/c++/12/optional /usr/include/c++/12/type_traits \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception.h \
+ /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/exception_defines.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/hash_bytes.h \
+ /usr/include/c++/12/new /usr/include/c++/12/bits/move.h \
+ /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/initializer_list \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/functional_hash.h \
+ /usr/include/c++/12/bits/stl_construct.h \
+ /usr/include/c++/12/bits/stl_iterator_base_types.h \
+ /usr/include/c++/12/bits/iterator_concepts.h \
+ /usr/include/c++/12/concepts /usr/include/c++/12/bits/ptr_traits.h \
+ /usr/include/c++/12/bits/ranges_cmp.h \
+ /usr/include/c++/12/bits/stl_iterator_base_funcs.h \
+ /usr/include/c++/12/bits/concept_check.h \
+ /usr/include/c++/12/debug/assertions.h \
+ /usr/include/c++/12/bits/utility.h /usr/include/c++/12/compare \
+ /usr/include/c++/12/bits/invoke.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/bits/stl_pair.h \
  /usr/include/c++/12/ext/numeric_traits.h \
  /usr/include/c++/12/bits/cpp_type_traits.h \
  /usr/include/c++/12/ext/type_traits.h \
  /root/repo/src/lite/interpreter.hpp /usr/include/c++/12/array \
  /usr/include/c++/12/bits/functexcept.h \
- /usr/include/c++/12/bits/exception_defines.h \
  /usr/include/c++/12/bits/stl_algobase.h \
- /usr/include/c++/12/bits/stl_iterator_base_types.h \
- /usr/include/c++/12/bits/iterator_concepts.h \
- /usr/include/c++/12/bits/ptr_traits.h \
- /usr/include/c++/12/bits/ranges_cmp.h \
- /usr/include/c++/12/bits/stl_iterator_base_funcs.h \
- /usr/include/c++/12/bits/concept_check.h \
- /usr/include/c++/12/debug/assertions.h \
- /usr/include/c++/12/bits/stl_iterator.h /usr/include/c++/12/new \
- /usr/include/c++/12/bits/exception.h \
- /usr/include/c++/12/bits/stl_construct.h \
+ /usr/include/c++/12/bits/stl_iterator.h \
  /usr/include/c++/12/debug/debug.h \
  /usr/include/c++/12/bits/predefined_ops.h \
- /usr/include/c++/12/bits/range_access.h /usr/include/c++/12/optional \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/hash_bytes.h \
- /usr/include/c++/12/bits/nested_exception.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/functional_hash.h \
- /usr/include/c++/12/bits/invoke.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/range_access.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/allocator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++allocator.h \
  /usr/include/c++/12/bits/new_allocator.h \
@@ -133,17 +134,18 @@ src/tpu/CMakeFiles/hdc_tpu.dir/device.cpp.o: \
  /usr/include/c++/12/span /root/repo/src/common/error.hpp \
  /usr/include/c++/12/source_location /usr/include/c++/12/stdexcept \
  /root/repo/src/tpu/compiler.hpp /root/repo/src/common/sim_time.hpp \
- /root/repo/src/tpu/systolic.hpp /root/repo/src/tpu/memory.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/tpu/systolic.hpp /root/repo/src/tpu/faults.hpp \
+ /root/repo/src/common/rng.hpp /root/repo/src/tpu/stats.hpp \
+ /root/repo/src/tpu/memory.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/tpu/program.hpp \
- /root/repo/src/tpu/stats.hpp /root/repo/src/tpu/usb.hpp \
- /root/repo/src/tpu/event_sim.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/tpu/usb.hpp /root/repo/src/tpu/event_sim.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
@@ -152,4 +154,5 @@ src/tpu/CMakeFiles/hdc_tpu.dir/device.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/common/crc32.hpp

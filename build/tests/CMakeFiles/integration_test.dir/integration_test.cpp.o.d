@@ -317,5 +317,6 @@ tests/CMakeFiles/integration_test.dir/integration_test.cpp.o: \
  /root/repo/src/runtime/framework.hpp \
  /root/repo/src/platform/cpu_executor.hpp /root/repo/src/runtime/cost.hpp \
  /root/repo/src/tpu/device.hpp /root/repo/src/tpu/compiler.hpp \
- /root/repo/src/tpu/systolic.hpp /root/repo/src/tpu/memory.hpp \
- /root/repo/src/tpu/program.hpp /root/repo/src/tpu/usb.hpp
+ /root/repo/src/tpu/systolic.hpp /root/repo/src/tpu/faults.hpp \
+ /root/repo/src/tpu/memory.hpp /root/repo/src/tpu/program.hpp \
+ /root/repo/src/tpu/usb.hpp /root/repo/src/runtime/resilient.hpp

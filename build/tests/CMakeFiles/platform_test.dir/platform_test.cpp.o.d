@@ -303,5 +303,5 @@ tests/CMakeFiles/platform_test.dir/platform_test.cpp.o: \
  /root/repo/src/common/sim_time.hpp /root/repo/src/runtime/cost.hpp \
  /root/repo/src/runtime/report.hpp /root/repo/src/tpu/device.hpp \
  /root/repo/src/tpu/compiler.hpp /root/repo/src/tpu/systolic.hpp \
- /root/repo/src/tpu/memory.hpp /root/repo/src/tpu/program.hpp \
- /root/repo/src/tpu/usb.hpp
+ /root/repo/src/tpu/faults.hpp /root/repo/src/tpu/memory.hpp \
+ /root/repo/src/tpu/program.hpp /root/repo/src/tpu/usb.hpp

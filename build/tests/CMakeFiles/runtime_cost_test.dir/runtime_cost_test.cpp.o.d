@@ -300,5 +300,6 @@ tests/CMakeFiles/runtime_cost_test.dir/runtime_cost_test.cpp.o: \
  /usr/include/c++/12/span /root/repo/src/runtime/report.hpp \
  /root/repo/src/tpu/device.hpp /root/repo/src/lite/interpreter.hpp \
  /root/repo/src/tpu/compiler.hpp /root/repo/src/tpu/systolic.hpp \
+ /root/repo/src/tpu/faults.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/tpu/memory.hpp /root/repo/src/tpu/program.hpp \
  /root/repo/src/tpu/usb.hpp

@@ -302,6 +302,6 @@ tests/CMakeFiles/tpu_test.dir/tpu_test.cpp.o: \
  /root/repo/src/tpu/stats.hpp /root/repo/src/common/sim_time.hpp \
  /root/repo/src/runtime/report.hpp /root/repo/src/tpu/device.hpp \
  /root/repo/src/tpu/compiler.hpp /root/repo/src/tpu/systolic.hpp \
- /root/repo/src/tpu/memory.hpp /root/repo/src/tpu/program.hpp \
- /root/repo/src/tpu/usb.hpp /root/repo/src/tensor/ops.hpp \
- /root/repo/src/tpu/event_sim.hpp
+ /root/repo/src/tpu/faults.hpp /root/repo/src/tpu/memory.hpp \
+ /root/repo/src/tpu/program.hpp /root/repo/src/tpu/usb.hpp \
+ /root/repo/src/tensor/ops.hpp /root/repo/src/tpu/event_sim.hpp

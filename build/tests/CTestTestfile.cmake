@@ -18,6 +18,7 @@ include("/root/repo/build/tests/online_test[1]_include.cmake")
 include("/root/repo/build/tests/extensions_test[1]_include.cmake")
 include("/root/repo/build/tests/lite_optimize_test[1]_include.cmake")
 include("/root/repo/build/tests/runtime_tools_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_tolerance_test[1]_include.cmake")
 include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/level_encoder_test[1]_include.cmake")

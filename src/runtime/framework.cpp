@@ -256,4 +256,48 @@ CoDesignFramework::InferOutcome CoDesignFramework::infer_tpu(
   return outcome;
 }
 
+CoDesignFramework::InferOutcome CoDesignFramework::infer_tpu_resilient(
+    const core::TrainedClassifier& classifier, const data::Dataset& test,
+    const data::Dataset& representative, const tpu::FaultProfile& faults,
+    const RetryPolicy& policy, ResilienceReport* report) const {
+  test.validate();
+  faults.validate();
+  const nn::Graph graph = nn::build_inference_graph(classifier);
+  const lite::LiteModel float_model = lite::build_float_model(graph);
+  const lite::LiteModel quantized = lite::quantize_model(
+      float_model, representative_rows(representative), config_.quantize);
+
+  const tpu::EdgeTpuCompiler compiler(config_.systolic, config_.sram_bytes);
+  const tpu::CompiledModel compiled = compiler.compile(quantized);
+
+  tpu::EdgeTpuDevice device(config_.systolic, config_.link, config_.sram_bytes);
+  device.load(compiled);  // one-time clean upload, excluded like infer_tpu's
+  device.set_fault_injector(tpu::FaultInjector(faults));
+
+  ResilientExecutor executor(&device, platform::CpuExecutor(config_.host), policy);
+  tpu::InvokeOptions options;
+  options.mode = tpu::ExecutionMode::kFunctional;
+  options.interactive = true;
+  // The CPU fallback runs the float model — the exact model `infer_cpu`
+  // executes, so fallback predictions match the all-CPU path sample for
+  // sample.
+  ResilientExecutor::Outcome outcome =
+      executor.run(compiled, float_model, test.features, options);
+  HDC_CHECK(outcome.result.has_classes, "inference model must end in ARG_MAX");
+
+  InferOutcome infer;
+  infer.predictions.assign(outcome.result.classes.begin(), outcome.result.classes.end());
+  infer.accuracy = data::accuracy(infer.predictions, test.labels);
+  // Steady-state weights are resident before the run, so device_stats'
+  // weight_upload is purely fault-induced re-upload traffic and is charged.
+  infer.timings.total = outcome.report.total();
+  infer.timings.per_sample =
+      infer.timings.total * (1.0 / static_cast<double>(test.num_samples()));
+  infer.compile_report = compiled.report;
+  if (report != nullptr) {
+    *report = outcome.report;
+  }
+  return infer;
+}
+
 }  // namespace hdc::runtime

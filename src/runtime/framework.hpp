@@ -12,8 +12,10 @@
 #include "lite/quantize.hpp"
 #include "runtime/cost.hpp"
 #include "runtime/report.hpp"
+#include "runtime/resilient.hpp"
 #include "tpu/compiler.hpp"
 #include "tpu/device.hpp"
+#include "tpu/faults.hpp"
 
 namespace hdc::runtime {
 
@@ -84,6 +86,19 @@ class CoDesignFramework {
   InferOutcome infer_tpu(const core::TrainedClassifier& classifier,
                          const data::Dataset& test,
                          const data::Dataset& representative) const;
+
+  /// Fault-tolerant TPU inference: same model pipeline as `infer_tpu`, but
+  /// the device draws faults from `faults` and the batch is driven by a
+  /// `ResilientExecutor` (bounded retry, exponential backoff, CPU fallback).
+  /// With a fault-free profile, predictions and timings are identical to
+  /// `infer_tpu`. `report` (optional) receives the fault/fallback breakdown;
+  /// `timings.total` includes retry, backoff, re-upload and fallback time.
+  InferOutcome infer_tpu_resilient(const core::TrainedClassifier& classifier,
+                                   const data::Dataset& test,
+                                   const data::Dataset& representative,
+                                   const tpu::FaultProfile& faults,
+                                   const RetryPolicy& policy = {},
+                                   ResilienceReport* report = nullptr) const;
 
  private:
   tensor::MatrixF encode_on_tpu(const core::Encoder& encoder,

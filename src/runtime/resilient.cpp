@@ -1,0 +1,138 @@
+#include "runtime/resilient.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tpu/faults.hpp"
+
+namespace hdc::runtime {
+
+void RetryPolicy::validate() const {
+  HDC_CHECK(max_attempts >= 1, "at least one device attempt per sample is required");
+  HDC_CHECK(initial_backoff >= SimDuration(), "backoff must be non-negative");
+  HDC_CHECK(backoff_multiplier >= 1.0, "backoff must not shrink across retries");
+  HDC_CHECK(circuit_breaker_threshold >= 1, "circuit breaker threshold must be positive");
+}
+
+ResilientExecutor::ResilientExecutor(tpu::EdgeTpuDevice* device, platform::CpuExecutor cpu,
+                                     RetryPolicy policy)
+    : device_(device), cpu_(std::move(cpu)), policy_(policy) {
+  HDC_CHECK(device_ != nullptr, "resilient executor needs a device");
+  policy_.validate();
+}
+
+ResilientExecutor::Outcome ResilientExecutor::run(const tpu::CompiledModel& compiled,
+                                                  const lite::LiteModel& cpu_fallback,
+                                                  const tensor::MatrixF& inputs,
+                                                  const tpu::InvokeOptions& options) {
+  const std::size_t num_samples = inputs.rows();
+  HDC_CHECK(num_samples > 0, "resilient run over zero samples");
+  const tpu::HostCostModel host = cpu_.profile().host_cost_model();
+
+  Outcome outcome;
+
+  tpu::FaultInjector* faults = device_->fault_injector();
+  if (faults == nullptr || !faults->enabled()) {
+    // Fault-free fast path: the unmodified batch invoke, bit-identical to
+    // calling the device directly (the tested "fault-free profile ⇒ clean
+    // path" invariant).
+    auto [result, stats] = device_->invoke(compiled, inputs, options, host);
+    outcome.result = std::move(result);
+    outcome.report.device_stats = stats;
+    outcome.report.tpu_samples = num_samples;
+    return outcome;
+  }
+
+  const bool functional = options.mode == tpu::ExecutionMode::kFunctional;
+  std::vector<float> values;
+  std::vector<std::int32_t> classes;
+  std::size_t out_width = 0;
+  bool has_classes = false;
+  bool width_known = false;
+
+  const auto append_rows = [&](const lite::InferenceResult& part) {
+    if (!functional) {
+      return;
+    }
+    if (!width_known) {
+      out_width = part.values.cols();
+      has_classes = part.has_classes;
+      width_known = true;
+    }
+    HDC_CHECK(part.values.cols() == out_width && part.has_classes == has_classes,
+              "device model and CPU fallback model disagree on output shape");
+    values.insert(values.end(), part.values.storage().begin(), part.values.storage().end());
+    classes.insert(classes.end(), part.classes.begin(), part.classes.end());
+  };
+
+  const auto run_on_cpu = [&](std::size_t begin, std::size_t count) {
+    tensor::MatrixF rows(count, inputs.cols());
+    std::copy_n(inputs.row(begin).data(), count * inputs.cols(), rows.data());
+    auto [result, time] = cpu_.run(cpu_fallback, rows, options.mode);
+    append_rows(result);
+    outcome.report.cpu_fallback_time += time;
+    outcome.report.cpu_samples += count;
+    outcome.report.device_stats.fallback_samples += count;
+  };
+
+  std::uint32_t consecutive_failures = 0;
+  std::size_t row = 0;
+  for (; row < num_samples; ++row) {
+    tensor::MatrixF one(1, inputs.cols());
+    std::copy_n(inputs.row(row).data(), inputs.cols(), one.data());
+
+    bool done = false;
+    SimDuration backoff = policy_.initial_backoff;
+    for (std::uint32_t attempt = 0; attempt < policy_.max_attempts && !done; ++attempt) {
+      if (attempt > 0) {
+        // Exponential backoff between attempts, charged in simulated time so
+        // a reattaching device can actually come back within the window.
+        outcome.report.device_stats.invoke_retries += 1;
+        outcome.report.device_stats.retry_backoff += backoff;
+        device_->advance_clock(backoff);
+        backoff = backoff * policy_.backoff_multiplier;
+      }
+      try {
+        auto [result, stats] = device_->invoke(compiled, one, options, host);
+        outcome.report.device_stats += stats;
+        append_rows(result);
+        outcome.report.tpu_samples += 1;
+        consecutive_failures = 0;
+        done = true;
+      } catch (const tpu::DeviceFault& fault) {
+        outcome.report.device_stats += fault.charged_stats();
+        ++consecutive_failures;
+        if (consecutive_failures >= policy_.circuit_breaker_threshold) {
+          break;
+        }
+      }
+    }
+    if (done) {
+      continue;
+    }
+    if (consecutive_failures >= policy_.circuit_breaker_threshold) {
+      outcome.report.circuit_opened = true;
+      break;
+    }
+    // This sample exhausted its device attempts; run it alone on the CPU and
+    // keep trying the device for the rest of the batch.
+    run_on_cpu(row, 1);
+  }
+
+  if (outcome.report.circuit_opened && row < num_samples) {
+    // Circuit open: the device is considered gone — the remaining samples
+    // (including the one that tripped it) finish on the host in one batch.
+    run_on_cpu(row, num_samples - row);
+  }
+
+  if (functional) {
+    outcome.result.values = tensor::MatrixF(num_samples, out_width, std::move(values));
+    outcome.result.classes = std::move(classes);
+    outcome.result.has_classes = has_classes;
+  }
+  return outcome;
+}
+
+}  // namespace hdc::runtime

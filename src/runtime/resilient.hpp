@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+
+#include "lite/interpreter.hpp"
+#include "platform/cpu_executor.hpp"
+#include "tpu/compiler.hpp"
+#include "tpu/device.hpp"
+
+namespace hdc::runtime {
+
+/// How the resilient executor reacts to device faults. Backoff is charged in
+/// *simulated* time (it advances the device clock, so detach/reattach
+/// windows are honoured) and grows geometrically per retry of one sample.
+struct RetryPolicy {
+  /// Device attempts per sample before that sample falls back to the CPU.
+  std::uint32_t max_attempts = 3;
+  SimDuration initial_backoff = SimDuration::micros(200);
+  double backoff_multiplier = 2.0;
+  /// Consecutive failed device attempts (across samples) after which the
+  /// circuit opens and every remaining sample routes to the CPU in bulk.
+  std::uint32_t circuit_breaker_threshold = 5;
+
+  void validate() const;
+};
+
+/// What a resilient batch cost and where its samples actually ran.
+struct ResilienceReport {
+  tpu::ExecutionStats device_stats;  ///< all device-side work incl. failed attempts
+  SimDuration cpu_fallback_time;     ///< host time for samples the CPU completed
+  std::uint64_t tpu_samples = 0;
+  std::uint64_t cpu_samples = 0;
+  bool circuit_opened = false;
+
+  SimDuration total() const { return device_stats.total() + cpu_fallback_time; }
+};
+
+/// Fault-tolerant invoke path: drives the (fault-injectable) Edge TPU device
+/// sample by sample with bounded retry and exponential backoff, re-uploads
+/// parameters after SRAM corruption (the device evicts them; the next
+/// attempt's upload is charged automatically), and degrades to the host
+/// `CpuExecutor` — per sample after exhausted retries, or wholesale once the
+/// circuit breaker trips. Completed TPU results are always kept, so every
+/// batch finishes with a full-length, correct prediction vector.
+///
+/// With no injector attached (or a fault-free profile) the executor takes
+/// the unmodified batch path: stats and outputs are bit-identical to calling
+/// `EdgeTpuDevice::invoke` directly.
+class ResilientExecutor {
+ public:
+  ResilientExecutor(tpu::EdgeTpuDevice* device, platform::CpuExecutor cpu,
+                    RetryPolicy policy = {});
+
+  const RetryPolicy& policy() const noexcept { return policy_; }
+
+  struct Outcome {
+    lite::InferenceResult result;  ///< full batch (TPU rows + CPU fallback rows)
+    ResilienceReport report;
+  };
+
+  /// Runs `inputs` through `compiled` on the device; samples the device
+  /// cannot complete run through `cpu_fallback` (the float model the all-CPU
+  /// path executes, so fallback predictions match that path exactly).
+  Outcome run(const tpu::CompiledModel& compiled, const lite::LiteModel& cpu_fallback,
+              const tensor::MatrixF& inputs, const tpu::InvokeOptions& options);
+
+ private:
+  tpu::EdgeTpuDevice* device_;
+  platform::CpuExecutor cpu_;
+  RetryPolicy policy_;
+};
+
+}  // namespace hdc::runtime

@@ -3,7 +3,9 @@
 #include "tpu/event_sim.hpp"
 
 #include <algorithm>
+#include <vector>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 
 namespace hdc::tpu {
@@ -13,9 +15,18 @@ ExecutionStats& ExecutionStats::operator+=(const ExecutionStats& other) {
   host_compute += other.host_compute;
   transfer += other.transfer;
   weight_upload += other.weight_upload;
+  // Sequential composition: back-to-back pipelined batches append makespans.
+  pipelined_makespan += other.pipelined_makespan;
+  retry_backoff += other.retry_backoff;
   invocations += other.invocations;
   device_macs += other.device_macs;
   host_element_ops += other.host_element_ops;
+  transfer_retries += other.transfer_retries;
+  nak_stalls += other.nak_stalls;
+  sram_scrubs += other.sram_scrubs;
+  device_detaches += other.device_detaches;
+  invoke_retries += other.invoke_retries;
+  fallback_samples += other.fallback_samples;
   return *this;
 }
 
@@ -73,9 +84,8 @@ ExecutionStats EdgeTpuDevice::load_coresident(
   return stats;
 }
 
-ExecutionStats EdgeTpuDevice::per_sample_cost(const CompiledModel& model,
-                                              const InvokeOptions& options,
-                                              const HostCostModel& host) const {
+ExecutionStats EdgeTpuDevice::sample_compute_cost(const CompiledModel& model,
+                                                  const HostCostModel& host) const {
   HDC_CHECK(host.mac_rate > 0.0 && host.element_rate > 0.0,
             "host cost model rates must be positive");
   ExecutionStats stats;
@@ -109,6 +119,13 @@ ExecutionStats EdgeTpuDevice::per_sample_cost(const CompiledModel& model,
   }
   stats.device_compute =
       SimDuration::cycles(device_cycles, mxu_.config().frequency_hz);
+  return stats;
+}
+
+ExecutionStats EdgeTpuDevice::per_sample_cost(const CompiledModel& model,
+                                              const InvokeOptions& options,
+                                              const HostCostModel& host) const {
+  ExecutionStats stats = sample_compute_cost(model, host);
 
   if (model.has_device_segment()) {
     stats.transfer += link_.config().invoke_overhead;
@@ -167,6 +184,9 @@ TpuProgram EdgeTpuDevice::trace(const CompiledModel& model) const {
 std::pair<lite::InferenceResult, ExecutionStats> EdgeTpuDevice::invoke(
     const CompiledModel& model, const tensor::MatrixF& inputs, const InvokeOptions& options,
     const HostCostModel& host) {
+  if (faults_ && faults_->enabled()) {
+    return invoke_with_faults(model, inputs, options, host);
+  }
   ExecutionStats stats =
       invoke_timing(model, static_cast<std::uint64_t>(inputs.rows()), options, host);
 
@@ -176,6 +196,164 @@ std::pair<lite::InferenceResult, ExecutionStats> EdgeTpuDevice::invoke(
     // these reference kernels is established by the systolic property tests.
     const lite::LiteInterpreter interpreter(model.model);
     result = interpreter.run(inputs);
+  }
+  clock_ += stats.total();
+  return {std::move(result), stats};
+}
+
+std::pair<lite::InferenceResult, ExecutionStats> EdgeTpuDevice::invoke_with_faults(
+    const CompiledModel& model, const tensor::MatrixF& inputs, const InvokeOptions& options,
+    const HostCostModel& host) {
+  const auto num_samples = static_cast<std::uint64_t>(inputs.rows());
+  HDC_CHECK(num_samples > 0, "invoke over zero samples");
+  FaultInjector* faults = &*faults_;
+
+  const bool functional = options.mode == ExecutionMode::kFunctional;
+  std::optional<lite::LiteInterpreter> interpreter;
+  if (functional) {
+    interpreter.emplace(model.model);
+  }
+
+  // Frame checksum of a parameter upload: CRC32 chained over every constant
+  // tensor, computed once on first use.
+  std::optional<std::uint32_t> cached_weights_crc;
+  const auto parameter_crc = [&] {
+    if (!cached_weights_crc) {
+      std::uint32_t crc = 0;
+      for (const auto& tensor : model.model.tensors) {
+        if (tensor.is_constant()) {
+          crc = crc32(tensor.data.data(), tensor.data.size(), crc);
+        }
+      }
+      cached_weights_crc = crc;
+    }
+    return *cached_weights_crc;
+  };
+
+  ExecutionStats stats;
+  // Portion of stats.total() already folded into the device clock; faults
+  // must still charge the simulated time their failed attempt consumed.
+  SimDuration accounted;
+  const auto sync_clock = [&] {
+    clock_ += stats.total() - accounted;
+    accounted = stats.total();
+  };
+  const auto charge_link = [&stats](const TransferReport& report, SimDuration& bucket) {
+    bucket += report.time;
+    stats.transfer_retries += report.crc_retries;
+    stats.nak_stalls += report.nak_stalls;
+  };
+
+  std::vector<float> values;
+  std::vector<std::int32_t> classes;
+  std::size_t out_width = 0;
+  bool has_classes = false;
+  if (functional) {
+    values.reserve(num_samples);
+    classes.reserve(num_samples);
+  }
+
+  for (std::size_t row = 0; row < num_samples; ++row) {
+    // Bus presence: a detach drops the device and its SRAM contents.
+    if (faults->detached(clock_)) {
+      memory_.evict();
+      ExecutionStats partial = stats;
+      partial.device_detaches += 1;
+      sync_clock();
+      throw DeviceLost("device detached from the bus", partial);
+    }
+
+    if (model.has_device_segment()) {
+      // Parameter (re-)upload over the CRC-framed link when not resident.
+      if (!memory_.is_resident(model.id) && memory_.fits(model.report.weight_bytes)) {
+        const TransferReport upload =
+            link_.checked_transfer(model.report.weight_bytes, parameter_crc(), faults);
+        charge_link(upload, stats.weight_upload);
+        if (!upload.delivered) {
+          sync_clock();
+          throw TransferCorrupt("parameter upload failed CRC verification", stats);
+        }
+        memory_.make_resident(model.id, model.report.weight_bytes);
+      }
+
+      // SRAM scrub at the invocation boundary: bit flips in resident
+      // parameters are detected before they can silently corrupt outputs.
+      if (memory_.is_resident(model.id) &&
+          faults->sram_bitflips(model.report.weight_bytes) > 0) {
+        memory_.evict(model.id);
+        ExecutionStats partial = stats;
+        partial.sram_scrubs += 1;
+        sync_clock();
+        throw SramCorrupt("parameter SRAM failed scrubbing; weights evicted", partial);
+      }
+
+      stats.transfer += link_.config().invoke_overhead;
+      const std::uint32_t input_crc =
+          functional ? crc32(inputs.row(row).data(), inputs.cols() * sizeof(float)) : 0;
+      const TransferReport in =
+          link_.checked_transfer(model.device_input_bytes, input_crc, faults);
+      charge_link(in, stats.transfer);
+      if (!in.delivered) {
+        sync_clock();
+        throw TransferCorrupt("input activation transfer failed CRC verification", stats);
+      }
+      if (!memory_.fits(model.report.weight_bytes)) {
+        // Oversized models re-stream parameters from host memory every run.
+        const TransferReport stream =
+            link_.checked_transfer(model.report.weight_bytes, parameter_crc(), faults);
+        charge_link(stream, stats.weight_upload);
+        if (!stream.delivered) {
+          sync_clock();
+          throw TransferCorrupt("streamed parameter transfer failed CRC verification",
+                                stats);
+        }
+      }
+    }
+
+    stats += sample_compute_cost(model, host);
+
+    lite::InferenceResult one;
+    if (functional) {
+      tensor::MatrixF one_row(1, inputs.cols());
+      std::copy_n(inputs.row(row).data(), inputs.cols(), one_row.data());
+      one = interpreter->run(one_row);
+    }
+
+    if (model.has_device_segment()) {
+      const std::uint32_t output_crc =
+          functional ? crc32(one.values.row(0).data(), one.values.cols() * sizeof(float))
+                     : 0;
+      const TransferReport out =
+          link_.checked_transfer(model.device_output_bytes, output_crc, faults);
+      charge_link(out, stats.transfer);
+      if (!out.delivered) {
+        sync_clock();
+        throw TransferCorrupt("output transfer failed CRC verification", stats);
+      }
+      if (options.interactive) {
+        stats.transfer += link_.config().interactive_round_trip;
+      }
+    }
+
+    if (functional) {
+      if (row == 0) {
+        out_width = one.values.cols();
+        has_classes = one.has_classes;
+      }
+      const auto out_row = one.values.row(0);
+      values.insert(values.end(), out_row.begin(), out_row.end());
+      if (has_classes) {
+        classes.push_back(one.classes[0]);
+      }
+    }
+    sync_clock();
+  }
+
+  lite::InferenceResult result;
+  if (functional) {
+    result.values = tensor::MatrixF(num_samples, out_width, std::move(values));
+    result.classes = std::move(classes);
+    result.has_classes = has_classes;
   }
   return {std::move(result), stats};
 }

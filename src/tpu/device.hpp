@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <utility>
 
 #include "lite/interpreter.hpp"
 #include "tpu/compiler.hpp"
+#include "tpu/faults.hpp"
 #include "tpu/memory.hpp"
 #include "tpu/program.hpp"
 #include "tpu/stats.hpp"
@@ -41,6 +43,22 @@ class EdgeTpuDevice {
   const UsbLink& link() const noexcept { return link_; }
   const OnChipMemory& memory() const noexcept { return memory_; }
 
+  /// Attaches a fault injector; every subsequent `invoke` draws transfer,
+  /// SRAM and detach faults from it (an injector with a fault-free profile
+  /// leaves behaviour bit-identical to having none). With faults active,
+  /// `invoke` throws typed `DeviceFault`s (TransferCorrupt / DeviceLost /
+  /// SramCorrupt) carrying the stats charged by the failed attempt — drive
+  /// it through `runtime::ResilientExecutor` to retry and fall back.
+  void set_fault_injector(FaultInjector injector) { faults_ = std::move(injector); }
+  void clear_fault_injector() { faults_.reset(); }
+  FaultInjector* fault_injector() noexcept { return faults_ ? &*faults_ : nullptr; }
+
+  /// Simulated device-local clock: advances with every invocation's charged
+  /// time and positions scheduled detach events. Executors also advance it
+  /// for time they spend between invocations (retry backoff).
+  SimDuration clock() const noexcept { return clock_; }
+  void advance_clock(SimDuration elapsed) { clock_ += elapsed; }
+
   /// Uploads the model's parameters (no-op if already resident). Returns the
   /// time spent on the link. Models larger than SRAM are never resident and
   /// re-stream their weights on every invocation.
@@ -75,9 +93,22 @@ class EdgeTpuDevice {
   TpuProgram trace(const CompiledModel& model) const;
 
  private:
+  /// Compute-only per-sample cost (device cycles + host fallback ops); link
+  /// charges are layered on top by per_sample_cost / the faulty invoke path.
+  ExecutionStats sample_compute_cost(const CompiledModel& model,
+                                     const HostCostModel& host) const;
+
+  /// Per-sample fault-aware execution: CRC-checked transfers, SRAM scrubbing
+  /// and detach checks against the device clock. Throws DeviceFault.
+  std::pair<lite::InferenceResult, ExecutionStats> invoke_with_faults(
+      const CompiledModel& model, const tensor::MatrixF& inputs,
+      const InvokeOptions& options, const HostCostModel& host);
+
   SystolicArray mxu_;
   UsbLink link_;
   OnChipMemory memory_;
+  std::optional<FaultInjector> faults_;
+  SimDuration clock_;
 };
 
 }  // namespace hdc::tpu

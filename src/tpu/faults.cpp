@@ -1,0 +1,138 @@
+#include "tpu/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace hdc::tpu {
+
+bool FaultProfile::enabled() const noexcept {
+  return transfer_corrupt_prob > 0.0 || transfer_nak_prob > 0.0 ||
+         sram_bitflip_per_byte > 0.0 || !detach_at.empty();
+}
+
+void FaultProfile::validate() const {
+  HDC_CHECK(transfer_corrupt_prob >= 0.0 && transfer_corrupt_prob <= 1.0,
+            "transfer corruption probability must be in [0, 1]");
+  HDC_CHECK(transfer_nak_prob >= 0.0 && transfer_nak_prob <= 1.0,
+            "transfer NAK probability must be in [0, 1]");
+  HDC_CHECK(nak_stall >= SimDuration(), "NAK stall latency must be non-negative");
+  HDC_CHECK(max_transfer_attempts >= 1, "at least one transfer attempt is required");
+  HDC_CHECK(sram_bitflip_per_byte >= 0.0, "SRAM bit-flip rate must be non-negative");
+  for (const SimDuration t : detach_at) {
+    HDC_CHECK(t >= SimDuration(), "detach events must be scheduled at non-negative times");
+  }
+  HDC_CHECK(reattach_after >= SimDuration(), "reattach delay must be non-negative");
+}
+
+FaultProfile parse_fault_profile(const std::string& spec) {
+  FaultProfile profile;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string pair = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (pair.empty()) {
+      continue;
+    }
+    const std::size_t eq = pair.find('=');
+    HDC_CHECK(eq != std::string::npos && eq + 1 < pair.size(),
+              "fault profile entries must look like key=value: '" + pair + "'");
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    char* parsed_end = nullptr;
+    const double number = std::strtod(value.c_str(), &parsed_end);
+    HDC_CHECK(parsed_end != nullptr && *parsed_end == '\0',
+              "malformed fault profile value: '" + pair + "'");
+    if (key == "corrupt") {
+      profile.transfer_corrupt_prob = number;
+    } else if (key == "nak") {
+      profile.transfer_nak_prob = number;
+    } else if (key == "nak-stall-us") {
+      profile.nak_stall = SimDuration::micros(number);
+    } else if (key == "attempts") {
+      profile.max_transfer_attempts = static_cast<std::uint32_t>(number);
+    } else if (key == "sram") {
+      profile.sram_bitflip_per_byte = number;
+    } else if (key == "detach") {
+      profile.detach_at.push_back(SimDuration::seconds(number));
+    } else if (key == "reattach") {
+      profile.reattach_after = SimDuration::seconds(number);
+    } else if (key == "seed") {
+      profile.seed = static_cast<std::uint64_t>(number);
+    } else {
+      HDC_CHECK(false, "unknown fault profile key: '" + key + "'");
+    }
+  }
+  profile.validate();
+  return profile;
+}
+
+FaultInjector::FaultInjector(FaultProfile profile)
+    : profile_(std::move(profile)), rng_(profile_.seed) {
+  profile_.validate();
+  std::sort(profile_.detach_at.begin(), profile_.detach_at.end());
+}
+
+bool FaultInjector::corrupt_transfer() {
+  return rng_.next_double() < profile_.transfer_corrupt_prob;
+}
+
+bool FaultInjector::nak_transfer() {
+  return rng_.next_double() < profile_.transfer_nak_prob;
+}
+
+std::uint32_t FaultInjector::corruption_syndrome() {
+  return static_cast<std::uint32_t>(1 + rng_.next_below(0xFFFFFFFFULL));
+}
+
+std::uint64_t FaultInjector::sram_bitflips(std::uint64_t resident_bytes) {
+  if (profile_.sram_bitflip_per_byte <= 0.0 || resident_bytes == 0) {
+    return 0;
+  }
+  const double expected =
+      profile_.sram_bitflip_per_byte * static_cast<double>(resident_bytes);
+  const double whole = std::floor(expected);
+  std::uint64_t flips = static_cast<std::uint64_t>(whole);
+  if (rng_.next_double() < expected - whole) {
+    ++flips;
+  }
+  return flips;
+}
+
+bool FaultInjector::detached(SimDuration now) const {
+  for (const SimDuration t : profile_.detach_at) {
+    if (now < t) {
+      break;  // detach_at is sorted; later events have not fired yet
+    }
+    if (profile_.reattach_after.is_zero() || now < t + profile_.reattach_after) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::reset() { rng_ = Rng(profile_.seed); }
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransferCorrupt:
+      return "TransferCorrupt";
+    case FaultKind::kDeviceLost:
+      return "DeviceLost";
+    case FaultKind::kSramCorrupt:
+      return "SramCorrupt";
+  }
+  return "?";
+}
+
+DeviceFault::DeviceFault(FaultKind kind, const std::string& message,
+                         ExecutionStats charged, std::source_location loc)
+    : Error(std::string(fault_kind_name(kind)) + ": " + message, loc),
+      kind_(kind),
+      charged_(charged) {}
+
+}  // namespace hdc::tpu

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "tpu/stats.hpp"
+
+namespace hdc::tpu {
+
+/// How the simulated accelerator substrate misbehaves. All rates are
+/// deterministic functions of `seed` and the order of operations, so a given
+/// profile replays the exact same fault schedule on every run — the fault
+/// analog of the repo-wide reproducibility requirement. A default-constructed
+/// profile is fault-free and leaves every code path bit-identical to the
+/// clean simulator.
+struct FaultProfile {
+  std::uint64_t seed = 0x5EEDFA17ULL;
+
+  /// Probability that one bulk transfer arrives with a payload error. Errors
+  /// are always *detected* (CRC32 framing catches any corruption) and the
+  /// link re-sends; only time is lost unless `max_transfer_attempts` sends in
+  /// a row all fail, which surfaces as a TransferCorrupt fault.
+  double transfer_corrupt_prob = 0.0;
+
+  /// Probability that one bulk transfer is NAK-stalled once before moving
+  /// (endpoint busy / flow control); charges `nak_stall` of link time.
+  double transfer_nak_prob = 0.0;
+  SimDuration nak_stall = SimDuration::micros(125);  ///< one USB microframe
+
+  /// Link-level sends of the same frame before the device gives up and
+  /// raises TransferCorrupt (hardware bulk pipes retry on CRC error).
+  std::uint32_t max_transfer_attempts = 4;
+
+  /// Parameter-SRAM bit-flip rate per resident byte per invocation. The
+  /// device scrubs its parameter checksum at invocation boundaries, so flips
+  /// are detected (SramCorrupt) before they can silently corrupt outputs;
+  /// recovery costs a parameter re-upload.
+  double sram_bitflip_per_byte = 0.0;
+
+  /// Scheduled device-detach events in simulated time (USB unplug / power
+  /// brown-out). While detached, every invocation fails with DeviceLost and
+  /// on-chip SRAM contents are lost.
+  std::vector<SimDuration> detach_at;
+
+  /// How long a detach lasts. Zero means the device never comes back and
+  /// only a CPU fallback can finish the batch.
+  SimDuration reattach_after;
+
+  /// True when any fault mechanism is active. False routes the device
+  /// through the unmodified clean path.
+  bool enabled() const noexcept;
+
+  void validate() const;
+};
+
+/// Parses "key=value,key=value" profile specs (the CLI `--fault-profile`
+/// format). Keys: corrupt, nak, nak-stall-us, attempts, sram, detach
+/// (seconds, repeatable), reattach, seed. Throws hdc::Error on unknown keys
+/// or malformed values.
+FaultProfile parse_fault_profile(const std::string& spec);
+
+/// Deterministic, seeded source of fault decisions. One injector is owned by
+/// one device; decisions are drawn in simulation order, so the same profile
+/// and the same workload produce a bit-identical fault schedule.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultProfile profile = {});
+
+  const FaultProfile& profile() const noexcept { return profile_; }
+  bool enabled() const noexcept { return profile_.enabled(); }
+
+  /// One Bernoulli draw per bulk-transfer attempt.
+  bool corrupt_transfer();
+  bool nak_transfer();
+
+  /// Nonzero 32-bit error pattern applied to a corrupted frame's checksum —
+  /// any nonzero syndrome makes the receiver-side CRC32 comparison fail.
+  std::uint32_t corruption_syndrome();
+
+  /// Number of bits flipped across `resident_bytes` of parameter SRAM during
+  /// one invocation (expected value `sram_bitflip_per_byte * resident_bytes`,
+  /// with the fractional remainder resolved by one Bernoulli draw).
+  std::uint64_t sram_bitflips(std::uint64_t resident_bytes);
+
+  /// Whether a scheduled detach window covers simulated time `now`.
+  bool detached(SimDuration now) const;
+
+  /// Restores the seed so the exact same schedule replays.
+  void reset();
+
+ private:
+  FaultProfile profile_;
+  Rng rng_;
+};
+
+/// Why a device invocation failed.
+enum class FaultKind : std::uint8_t { kTransferCorrupt, kDeviceLost, kSramCorrupt };
+
+const char* fault_kind_name(FaultKind kind);
+
+/// Typed failure of a device invocation. Carries the ExecutionStats charged
+/// up to (and including) the failed attempt so callers can account for the
+/// simulated time the attempt consumed before rolling work elsewhere.
+class DeviceFault : public Error {
+ public:
+  DeviceFault(FaultKind kind, const std::string& message, ExecutionStats charged,
+              std::source_location loc = std::source_location::current());
+
+  FaultKind kind() const noexcept { return kind_; }
+  const ExecutionStats& charged_stats() const noexcept { return charged_; }
+
+ private:
+  FaultKind kind_;
+  ExecutionStats charged_;
+};
+
+/// A bulk transfer failed CRC verification `max_transfer_attempts` times.
+class TransferCorrupt : public DeviceFault {
+ public:
+  TransferCorrupt(const std::string& message, ExecutionStats charged,
+                  std::source_location loc = std::source_location::current())
+      : DeviceFault(FaultKind::kTransferCorrupt, message, std::move(charged), loc) {}
+};
+
+/// The device disappeared from the bus (scheduled detach event).
+class DeviceLost : public DeviceFault {
+ public:
+  DeviceLost(const std::string& message, ExecutionStats charged,
+             std::source_location loc = std::source_location::current())
+      : DeviceFault(FaultKind::kDeviceLost, message, std::move(charged), loc) {}
+};
+
+/// Parameter-SRAM scrubbing detected bit flips; resident weights are invalid
+/// and must be re-uploaded.
+class SramCorrupt : public DeviceFault {
+ public:
+  SramCorrupt(const std::string& message, ExecutionStats charged,
+              std::source_location loc = std::source_location::current())
+      : DeviceFault(FaultKind::kSramCorrupt, message, std::move(charged), loc) {}
+};
+
+}  // namespace hdc::tpu

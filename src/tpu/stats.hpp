@@ -30,15 +30,26 @@ struct ExecutionStats {
   /// replaces the serial sum in total(); the per-stage fields still report
   /// the un-overlapped work for utilization analysis.
   SimDuration pipelined_makespan;
+  /// Simulated time spent sleeping between invocation retries (charged by
+  /// the resilient executor's exponential backoff; zero on the clean path).
+  SimDuration retry_backoff;
   std::uint64_t invocations = 0;
   std::uint64_t device_macs = 0;
   std::uint64_t host_element_ops = 0;
 
+  // ---- fault accounting (all zero when no fault injector is attached) ----
+  std::uint64_t transfer_retries = 0;  ///< bulk-transfer sends that failed CRC32
+  std::uint64_t nak_stalls = 0;        ///< transient NAK/flow-control stalls on the link
+  std::uint64_t sram_scrubs = 0;       ///< detected parameter-SRAM corruption events
+  std::uint64_t device_detaches = 0;   ///< invocations lost to a detached device
+  std::uint64_t invoke_retries = 0;    ///< executor-level invocation retries
+  std::uint64_t fallback_samples = 0;  ///< samples completed on the host CPU instead
+
   SimDuration total() const {
     if (!pipelined_makespan.is_zero()) {
-      return weight_upload + pipelined_makespan;
+      return weight_upload + pipelined_makespan + retry_backoff;
     }
-    return device_compute + host_compute + transfer + weight_upload;
+    return device_compute + host_compute + transfer + weight_upload + retry_backoff;
   }
 
   ExecutionStats& operator+=(const ExecutionStats& other);

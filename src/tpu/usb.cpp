@@ -1,17 +1,51 @@
 #include "tpu/usb.hpp"
 
 #include "common/error.hpp"
+#include "tpu/faults.hpp"
 
 namespace hdc::tpu {
 
 void UsbLinkConfig::validate() const {
   HDC_CHECK(bandwidth_bytes_per_s > 0.0, "link bandwidth must be positive");
+  HDC_CHECK(invoke_overhead >= SimDuration(), "invoke overhead must be non-negative");
+  HDC_CHECK(interactive_round_trip >= SimDuration(),
+            "interactive round-trip latency must be non-negative");
 }
 
 UsbLink::UsbLink(UsbLinkConfig config) : config_(config) { config_.validate(); }
 
 SimDuration UsbLink::transfer_time(std::uint64_t bytes) const {
   return SimDuration::seconds(static_cast<double>(bytes) / config_.bandwidth_bytes_per_s);
+}
+
+TransferReport UsbLink::checked_transfer(std::uint64_t bytes, std::uint32_t payload_crc,
+                                         FaultInjector* faults) const {
+  TransferReport report;
+  if (faults == nullptr || !faults->enabled()) {
+    report.time = transfer_time(bytes);
+    report.delivered = true;
+    return report;
+  }
+  const std::uint32_t max_attempts = faults->profile().max_transfer_attempts;
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (faults->nak_transfer()) {
+      ++report.nak_stalls;
+      report.time += faults->profile().nak_stall;
+    }
+    report.time += transfer_time(bytes);
+    // A corrupted frame scrambles the payload, so the checksum the receiver
+    // recomputes no longer matches the sender's CRC32 (any nonzero syndrome
+    // is detectable — CRC32 misses no error this model can produce).
+    const std::uint32_t received_crc =
+        faults->corrupt_transfer() ? payload_crc ^ faults->corruption_syndrome()
+                                   : payload_crc;
+    if (received_crc == payload_crc) {
+      report.delivered = true;
+      return report;
+    }
+    ++report.crc_retries;
+  }
+  return report;
 }
 
 }  // namespace hdc::tpu

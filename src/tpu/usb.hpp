@@ -6,6 +6,8 @@
 
 namespace hdc::tpu {
 
+class FaultInjector;
+
 /// Host <-> accelerator link model (USB 3.0 bulk transfers, the Edge TPU
 /// dev-board-less deployment the paper uses). Bandwidth is the *effective*
 /// bulk throughput, well below the 5 Gb/s line rate.
@@ -20,6 +22,16 @@ struct UsbLinkConfig {
   void validate() const;
 };
 
+/// Outcome of one CRC32-framed bulk transfer, including any fault-induced
+/// stalls and re-sends. `delivered == false` means the frame failed CRC
+/// verification on every allowed attempt (an unrecoverable link fault).
+struct TransferReport {
+  SimDuration time;               ///< total link time, stalls and re-sends included
+  std::uint32_t crc_retries = 0;  ///< sends that failed receiver-side CRC verification
+  std::uint32_t nak_stalls = 0;   ///< transient NAK/flow-control stalls
+  bool delivered = false;
+};
+
 class UsbLink {
  public:
   explicit UsbLink(UsbLinkConfig config = {});
@@ -28,6 +40,16 @@ class UsbLink {
 
   /// Pure payload time for `bytes` over the bulk pipe.
   SimDuration transfer_time(std::uint64_t bytes) const;
+
+  /// One bulk transfer of `bytes` framed with the payload's CRC32
+  /// (`payload_crc`, computed by the caller over the real bytes when they
+  /// exist; 0 in timing-only paths). `faults` may stall the pipe or corrupt
+  /// a frame — corruption flips the received checksum, the receiver-side
+  /// CRC comparison fails, and the frame is re-sent up to the profile's
+  /// `max_transfer_attempts`. A null or fault-free injector degenerates to
+  /// `transfer_time` with `delivered == true`.
+  TransferReport checked_transfer(std::uint64_t bytes, std::uint32_t payload_crc,
+                                  FaultInjector* faults) const;
 
  private:
   UsbLinkConfig config_;

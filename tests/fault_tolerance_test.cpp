@@ -1,0 +1,608 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "data/synthetic.hpp"
+#include "lite/builder.hpp"
+#include "lite/quantize.hpp"
+#include "nn/graph.hpp"
+#include "platform/cpu_executor.hpp"
+#include "platform/profiles.hpp"
+#include "runtime/framework.hpp"
+#include "runtime/resilient.hpp"
+#include "tensor/matrix.hpp"
+#include "tpu/compiler.hpp"
+#include "tpu/device.hpp"
+#include "tpu/faults.hpp"
+#include "tpu/usb.hpp"
+
+namespace hdc::runtime {
+namespace {
+
+// ------------------------------------------------- profile and injector ----
+
+TEST(FaultProfileTest, DefaultProfileIsFaultFree) {
+  const tpu::FaultProfile profile;
+  EXPECT_NO_THROW(profile.validate());
+  EXPECT_FALSE(profile.enabled());
+}
+
+TEST(FaultProfileTest, ValidationRejectsOutOfRangeValues) {
+  tpu::FaultProfile p;
+  p.transfer_corrupt_prob = -0.1;
+  EXPECT_THROW(p.validate(), Error);
+  p = {};
+  p.transfer_corrupt_prob = 1.5;
+  EXPECT_THROW(p.validate(), Error);
+  p = {};
+  p.transfer_nak_prob = 2.0;
+  EXPECT_THROW(p.validate(), Error);
+  p = {};
+  p.sram_bitflip_per_byte = -1e-9;
+  EXPECT_THROW(p.validate(), Error);
+  p = {};
+  p.max_transfer_attempts = 0;
+  EXPECT_THROW(p.validate(), Error);
+  p = {};
+  p.nak_stall = SimDuration::micros(-1);
+  EXPECT_THROW(p.validate(), Error);
+  p = {};
+  p.detach_at.push_back(SimDuration::seconds(-1));
+  EXPECT_THROW(p.validate(), Error);
+  p = {};
+  p.reattach_after = SimDuration::micros(-5);
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(FaultProfileTest, ParseSpecFillsEveryField) {
+  const tpu::FaultProfile p = tpu::parse_fault_profile(
+      "corrupt=0.1,nak=0.05,nak-stall-us=250,attempts=6,sram=1e-8,"
+      "detach=0.5,detach=1.5,reattach=0.25,seed=99");
+  EXPECT_DOUBLE_EQ(p.transfer_corrupt_prob, 0.1);
+  EXPECT_DOUBLE_EQ(p.transfer_nak_prob, 0.05);
+  EXPECT_DOUBLE_EQ(p.nak_stall.to_micros(), 250.0);
+  EXPECT_EQ(p.max_transfer_attempts, 6U);
+  EXPECT_DOUBLE_EQ(p.sram_bitflip_per_byte, 1e-8);
+  ASSERT_EQ(p.detach_at.size(), 2U);
+  EXPECT_DOUBLE_EQ(p.detach_at[0].to_seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(p.detach_at[1].to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(p.reattach_after.to_seconds(), 0.25);
+  EXPECT_EQ(p.seed, 99U);
+  EXPECT_TRUE(p.enabled());
+}
+
+TEST(FaultProfileTest, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW(tpu::parse_fault_profile("corrupt"), Error);
+  EXPECT_THROW(tpu::parse_fault_profile("corrupt="), Error);
+  EXPECT_THROW(tpu::parse_fault_profile("bogus=1"), Error);
+  EXPECT_THROW(tpu::parse_fault_profile("corrupt=abc"), Error);
+  EXPECT_THROW(tpu::parse_fault_profile("corrupt=2"), Error);  // fails validate()
+}
+
+TEST(FaultInjectorTest, SameSeedDrawsIdenticalSchedule) {
+  tpu::FaultProfile p;
+  p.transfer_corrupt_prob = 0.3;
+  p.transfer_nak_prob = 0.2;
+  p.sram_bitflip_per_byte = 0.01;
+  tpu::FaultInjector a(p);
+  tpu::FaultInjector b(p);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.corrupt_transfer(), b.corrupt_transfer());
+    EXPECT_EQ(a.nak_transfer(), b.nak_transfer());
+    EXPECT_EQ(a.corruption_syndrome(), b.corruption_syndrome());
+    EXPECT_EQ(a.sram_bitflips(100), b.sram_bitflips(100));
+  }
+}
+
+TEST(FaultInjectorTest, ResetReplaysSchedule) {
+  tpu::FaultProfile p;
+  p.transfer_corrupt_prob = 0.5;
+  tpu::FaultInjector injector(p);
+  std::vector<bool> first;
+  for (int i = 0; i < 32; ++i) {
+    first.push_back(injector.corrupt_transfer());
+  }
+  injector.reset();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(injector.corrupt_transfer(), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(FaultInjectorTest, CorruptionSyndromeIsNeverZero) {
+  tpu::FaultInjector injector(tpu::FaultProfile{});
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_NE(injector.corruption_syndrome(), 0U);
+  }
+}
+
+TEST(FaultInjectorTest, DetachWindowsCoverScheduledIntervals) {
+  tpu::FaultProfile p;
+  p.detach_at.push_back(SimDuration::millis(1));
+  p.reattach_after = SimDuration::millis(1);
+  const tpu::FaultInjector windowed(p);
+  EXPECT_FALSE(windowed.detached(SimDuration::micros(500)));
+  EXPECT_TRUE(windowed.detached(SimDuration::millis(1)));
+  EXPECT_TRUE(windowed.detached(SimDuration::micros(1900)));
+  EXPECT_FALSE(windowed.detached(SimDuration::micros(2500)));
+
+  p.reattach_after = SimDuration();  // never comes back
+  const tpu::FaultInjector permanent(p);
+  EXPECT_FALSE(permanent.detached(SimDuration::micros(500)));
+  EXPECT_TRUE(permanent.detached(SimDuration::seconds(100)));
+}
+
+// ---------------------------------------------- device under fault load ----
+
+/// Small two-layer classifier with real (seeded) weights so functional
+/// results are meaningful, quantized the same way the framework quantizes.
+nn::Graph toy_graph(std::uint32_t features, std::uint32_t dim, std::uint32_t classes,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Graph graph("fault_toy", features);
+  tensor::MatrixF encode(features, dim);
+  for (auto& v : encode.storage()) {
+    v = static_cast<float>(rng.next_double() * 2.0 - 1.0);
+  }
+  graph.add_dense(std::move(encode));
+  graph.add_tanh();
+  tensor::MatrixF classify(dim, classes);
+  for (auto& v : classify.storage()) {
+    v = static_cast<float>(rng.next_double() * 2.0 - 1.0);
+  }
+  graph.add_dense(std::move(classify));
+  graph.add_argmax();
+  return graph;
+}
+
+tensor::MatrixF random_inputs(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  tensor::MatrixF m(rows, cols);
+  Rng rng(seed);
+  for (auto& v : m.storage()) {
+    v = static_cast<float>(rng.next_double());
+  }
+  return m;
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  FaultInjectionTest()
+      : graph_(toy_graph(24, 256, 5, 71)),
+        float_model_(lite::build_float_model(graph_)),
+        quantized_(lite::quantize_model(float_model_, random_inputs(32, 24, 5), {})),
+        compiled_(compiler_.compile(quantized_)),
+        inputs_(random_inputs(32, 24, 99)) {}
+
+  /// Clean reference: fresh device, resident weights, one batch invoke.
+  std::pair<lite::InferenceResult, tpu::ExecutionStats> clean_invoke() const {
+    tpu::EdgeTpuDevice device;
+    device.load(compiled_);
+    return device.invoke(compiled_, inputs_, options_, host_);
+  }
+
+  /// CPU reference: the float model, i.e. exactly what fallback samples run.
+  std::vector<std::int32_t> cpu_reference() const {
+    const platform::CpuExecutor cpu(platform::host_cpu_profile());
+    auto [result, time] = cpu.run(float_model_, inputs_, tpu::ExecutionMode::kFunctional);
+    return result.classes;
+  }
+
+  tpu::EdgeTpuCompiler compiler_{tpu::SystolicConfig{}, 8ULL << 20};
+  tpu::HostCostModel host_{2e9, 1e9};
+  nn::Graph graph_;
+  lite::LiteModel float_model_;
+  lite::LiteModel quantized_;
+  tpu::CompiledModel compiled_;
+  tensor::MatrixF inputs_;
+  tpu::InvokeOptions options_;  // functional, streaming
+};
+
+TEST_F(FaultInjectionTest, FaultFreeInjectorIsBitIdenticalToCleanPath) {
+  auto [clean_result, clean_stats] = clean_invoke();
+
+  tpu::EdgeTpuDevice device;
+  device.load(compiled_);
+  device.set_fault_injector(tpu::FaultInjector(tpu::FaultProfile{}));
+  auto [result, stats] = device.invoke(compiled_, inputs_, options_, host_);
+
+  EXPECT_EQ(result.values.storage(), clean_result.values.storage());
+  EXPECT_EQ(result.classes, clean_result.classes);
+  EXPECT_DOUBLE_EQ(stats.total().to_seconds(), clean_stats.total().to_seconds());
+  EXPECT_DOUBLE_EQ(stats.transfer.to_seconds(), clean_stats.transfer.to_seconds());
+  EXPECT_EQ(stats.transfer_retries, 0U);
+  EXPECT_EQ(stats.nak_stalls, 0U);
+  EXPECT_EQ(stats.sram_scrubs, 0U);
+  EXPECT_EQ(stats.device_detaches, 0U);
+}
+
+TEST_F(FaultInjectionTest, CheckedTransferChargesNakStalls) {
+  tpu::FaultProfile profile;
+  profile.transfer_nak_prob = 1.0;  // every transfer is stalled exactly once
+  tpu::FaultInjector injector(profile);
+  const tpu::UsbLink link{tpu::UsbLinkConfig{}};
+  const auto report = link.checked_transfer(4096, 0xABCDU, &injector);
+  EXPECT_TRUE(report.delivered);
+  EXPECT_EQ(report.nak_stalls, 1U);
+  EXPECT_EQ(report.crc_retries, 0U);
+  EXPECT_DOUBLE_EQ(report.time.to_seconds(),
+                   (link.transfer_time(4096) + profile.nak_stall).to_seconds());
+}
+
+TEST_F(FaultInjectionTest, CheckedTransferWithoutInjectorIsClean) {
+  const tpu::UsbLink link{tpu::UsbLinkConfig{}};
+  const auto report = link.checked_transfer(4096, 0xABCDU, nullptr);
+  EXPECT_TRUE(report.delivered);
+  EXPECT_EQ(report.nak_stalls, 0U);
+  EXPECT_EQ(report.crc_retries, 0U);
+  EXPECT_DOUBLE_EQ(report.time.to_seconds(), link.transfer_time(4096).to_seconds());
+}
+
+TEST_F(FaultInjectionTest, ExhaustedCrcRetriesRaiseTransferCorrupt) {
+  tpu::FaultProfile profile;
+  profile.transfer_corrupt_prob = 1.0;  // every send fails receiver-side CRC
+  tpu::EdgeTpuDevice device;
+  device.set_fault_injector(tpu::FaultInjector(profile));
+  try {
+    device.invoke(compiled_, inputs_, options_, host_);
+    FAIL() << "expected TransferCorrupt";
+  } catch (const tpu::TransferCorrupt& fault) {
+    EXPECT_EQ(fault.kind(), tpu::FaultKind::kTransferCorrupt);
+    // The parameter upload burned the full link-level retry budget, and the
+    // failed attempt's simulated link time is still charged.
+    EXPECT_EQ(fault.charged_stats().transfer_retries, profile.max_transfer_attempts);
+    EXPECT_GT(fault.charged_stats().weight_upload.to_seconds(), 0.0);
+  }
+}
+
+TEST_F(FaultInjectionTest, ScheduledDetachRaisesDeviceLostAndDropsSram) {
+  tpu::FaultProfile profile;
+  profile.detach_at.push_back(SimDuration());  // gone from t = 0, forever
+  tpu::EdgeTpuDevice device;
+  device.load(compiled_);
+  ASSERT_TRUE(device.memory().is_resident(compiled_.id));
+  device.set_fault_injector(tpu::FaultInjector(profile));
+  try {
+    device.invoke(compiled_, inputs_, options_, host_);
+    FAIL() << "expected DeviceLost";
+  } catch (const tpu::DeviceLost& fault) {
+    EXPECT_EQ(fault.kind(), tpu::FaultKind::kDeviceLost);
+    EXPECT_EQ(fault.charged_stats().device_detaches, 1U);
+  }
+  EXPECT_FALSE(device.memory().is_resident(compiled_.id));
+}
+
+TEST_F(FaultInjectionTest, SramScrubDetectsBitFlipsBeforeCompute) {
+  tpu::FaultProfile profile;
+  profile.sram_bitflip_per_byte = 1.0;  // flips on every invocation, guaranteed
+  tpu::EdgeTpuDevice device;
+  device.load(compiled_);
+  device.set_fault_injector(tpu::FaultInjector(profile));
+  try {
+    device.invoke(compiled_, inputs_, options_, host_);
+    FAIL() << "expected SramCorrupt";
+  } catch (const tpu::SramCorrupt& fault) {
+    EXPECT_EQ(fault.kind(), tpu::FaultKind::kSramCorrupt);
+    EXPECT_EQ(fault.charged_stats().sram_scrubs, 1U);
+  }
+  // Corrupt weights were evicted: they must be re-uploaded, never reused.
+  EXPECT_FALSE(device.memory().is_resident(compiled_.id));
+}
+
+// --------------------------------------------------- resilient executor ----
+
+TEST_F(FaultInjectionTest, ExecutorFastPathMatchesBatchInvoke) {
+  auto [clean_result, clean_stats] = clean_invoke();
+
+  tpu::EdgeTpuDevice device;
+  device.load(compiled_);
+  device.set_fault_injector(tpu::FaultInjector(tpu::FaultProfile{}));
+  ResilientExecutor executor(&device, platform::CpuExecutor(platform::host_cpu_profile()));
+  const auto outcome = executor.run(compiled_, float_model_, inputs_, options_);
+
+  EXPECT_EQ(outcome.result.values.storage(), clean_result.values.storage());
+  EXPECT_EQ(outcome.result.classes, clean_result.classes);
+  EXPECT_DOUBLE_EQ(outcome.report.total().to_seconds(), clean_stats.total().to_seconds());
+  EXPECT_EQ(outcome.report.tpu_samples, inputs_.rows());
+  EXPECT_EQ(outcome.report.cpu_samples, 0U);
+  EXPECT_FALSE(outcome.report.circuit_opened);
+}
+
+TEST_F(FaultInjectionTest, CorruptedTransfersAreRetriedWithoutMispredicting) {
+  auto [clean_result, clean_stats] = clean_invoke();
+
+  tpu::FaultProfile profile;
+  profile.transfer_corrupt_prob = 0.15;
+  tpu::EdgeTpuDevice device;
+  device.load(compiled_);
+  device.set_fault_injector(tpu::FaultInjector(profile));
+  ResilientExecutor executor(&device, platform::CpuExecutor(platform::host_cpu_profile()));
+  const auto outcome = executor.run(compiled_, float_model_, inputs_, options_);
+
+  // Corruption is detected by the CRC framing and re-sent at link level:
+  // every sample still completes on the device with clean-path predictions,
+  // and the re-sends cost strictly more link time.
+  EXPECT_GT(outcome.report.device_stats.transfer_retries, 0U);
+  EXPECT_EQ(outcome.report.cpu_samples, 0U);
+  EXPECT_EQ(outcome.result.classes, clean_result.classes);
+  EXPECT_GT(outcome.report.total().to_seconds(), clean_stats.total().to_seconds());
+}
+
+TEST_F(FaultInjectionTest, SramCorruptionTriggersReuploadAndRecovers) {
+  auto [clean_result, clean_stats] = clean_invoke();
+
+  tpu::FaultProfile profile;
+  profile.sram_bitflip_per_byte = 2e-5;  // ~0.15 expected flips per invocation
+  RetryPolicy policy;
+  policy.max_attempts = 5;  // enough retries that no sample exhausts the device
+  tpu::EdgeTpuDevice device;
+  device.load(compiled_);
+  device.set_fault_injector(tpu::FaultInjector(profile));
+  ResilientExecutor executor(&device, platform::CpuExecutor(platform::host_cpu_profile()),
+                             policy);
+  const auto outcome = executor.run(compiled_, float_model_, inputs_, options_);
+
+  // Scrubbing evicts the corrupt parameters; the retry re-uploads them (the
+  // clean path paid no steady-state upload, so any weight_upload here is
+  // fault-induced traffic) and the batch finishes with clean predictions.
+  EXPECT_GT(outcome.report.device_stats.sram_scrubs, 0U);
+  EXPECT_GT(outcome.report.device_stats.invoke_retries, 0U);
+  EXPECT_GT(outcome.report.device_stats.weight_upload.to_seconds(), 0.0);
+  EXPECT_EQ(outcome.report.cpu_samples, 0U);
+  EXPECT_EQ(outcome.result.classes, clean_result.classes);
+}
+
+TEST_F(FaultInjectionTest, BackoffOutlastsReattachWindow) {
+  auto [clean_result, clean_stats] = clean_invoke();
+
+  tpu::FaultProfile profile;
+  profile.detach_at.push_back(SimDuration());  // detached at t = 0 ...
+  profile.reattach_after = SimDuration::millis(2);  // ... but comes back
+
+  RetryPolicy policy;
+  policy.max_attempts = 8;  // cumulative backoff 200+400+...us clears 2 ms
+  policy.circuit_breaker_threshold = 20;
+
+  tpu::EdgeTpuDevice device;
+  device.load(compiled_);
+  device.set_fault_injector(tpu::FaultInjector(profile));
+  ResilientExecutor executor(&device, platform::CpuExecutor(platform::host_cpu_profile()),
+                             policy);
+  const auto outcome = executor.run(compiled_, float_model_, inputs_, options_);
+
+  // Exponential backoff advanced simulated time past the reattach point, so
+  // the device recovered and no sample needed the CPU.
+  EXPECT_GE(outcome.report.device_stats.device_detaches, 1U);
+  EXPECT_GT(outcome.report.device_stats.retry_backoff.to_seconds(), 0.0);
+  EXPECT_EQ(outcome.report.cpu_samples, 0U);
+  EXPECT_FALSE(outcome.report.circuit_opened);
+  EXPECT_EQ(outcome.result.classes, clean_result.classes);
+}
+
+TEST_F(FaultInjectionTest, PermanentDetachTripsBreakerAndFinishesOnCpu) {
+  auto [clean_result, clean_stats] = clean_invoke();
+  const std::vector<std::int32_t> cpu_classes = cpu_reference();
+
+  tpu::FaultProfile profile;
+  profile.detach_at.push_back(clean_stats.total() * 0.5);  // gone mid-batch
+
+  tpu::EdgeTpuDevice device;
+  device.load(compiled_);
+  device.set_fault_injector(tpu::FaultInjector(profile));
+  ResilientExecutor executor(&device, platform::CpuExecutor(platform::host_cpu_profile()));
+  const auto outcome = executor.run(compiled_, float_model_, inputs_, options_);
+
+  EXPECT_TRUE(outcome.report.circuit_opened);
+  EXPECT_GT(outcome.report.tpu_samples, 0U);
+  EXPECT_GT(outcome.report.cpu_samples, 0U);
+  EXPECT_EQ(outcome.report.tpu_samples + outcome.report.cpu_samples, inputs_.rows());
+  EXPECT_EQ(outcome.report.device_stats.fallback_samples, outcome.report.cpu_samples);
+  EXPECT_GT(outcome.report.cpu_fallback_time.to_seconds(), 0.0);
+
+  // The batch always finishes full-length: the head ran on the device (clean
+  // TPU predictions), the contiguous tail fell back to the float model (the
+  // all-CPU path's predictions, sample for sample).
+  ASSERT_EQ(outcome.result.classes.size(), inputs_.rows());
+  const auto head = static_cast<std::size_t>(outcome.report.tpu_samples);
+  for (std::size_t i = 0; i < inputs_.rows(); ++i) {
+    if (i < head) {
+      EXPECT_EQ(outcome.result.classes[i], clean_result.classes[i]) << "TPU row " << i;
+    } else {
+      EXPECT_EQ(outcome.result.classes[i], cpu_classes[i]) << "fallback row " << i;
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, SameSeedReplaysIdenticalRunBitForBit) {
+  tpu::FaultProfile profile;
+  profile.transfer_corrupt_prob = 0.2;
+  profile.transfer_nak_prob = 0.2;
+  profile.sram_bitflip_per_byte = 2e-5;
+
+  const auto run_once = [&] {
+    tpu::EdgeTpuDevice device;
+    device.load(compiled_);
+    device.set_fault_injector(tpu::FaultInjector(profile));
+    ResilientExecutor executor(&device,
+                               platform::CpuExecutor(platform::host_cpu_profile()));
+    return executor.run(compiled_, float_model_, inputs_, options_);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+
+  EXPECT_EQ(a.result.classes, b.result.classes);
+  EXPECT_EQ(a.result.values.storage(), b.result.values.storage());
+  EXPECT_DOUBLE_EQ(a.report.total().to_seconds(), b.report.total().to_seconds());
+  EXPECT_EQ(a.report.device_stats.transfer_retries, b.report.device_stats.transfer_retries);
+  EXPECT_EQ(a.report.device_stats.nak_stalls, b.report.device_stats.nak_stalls);
+  EXPECT_EQ(a.report.device_stats.sram_scrubs, b.report.device_stats.sram_scrubs);
+  EXPECT_EQ(a.report.device_stats.invoke_retries, b.report.device_stats.invoke_retries);
+  EXPECT_EQ(a.report.cpu_samples, b.report.cpu_samples);
+}
+
+TEST_F(FaultInjectionTest, RetryPolicyValidation) {
+  RetryPolicy p;
+  p.max_attempts = 0;
+  EXPECT_THROW(p.validate(), Error);
+  p = {};
+  p.initial_backoff = SimDuration::micros(-1);
+  EXPECT_THROW(p.validate(), Error);
+  p = {};
+  p.backoff_multiplier = 0.5;
+  EXPECT_THROW(p.validate(), Error);
+  p = {};
+  p.circuit_breaker_threshold = 0;
+  EXPECT_THROW(p.validate(), Error);
+  EXPECT_NO_THROW(RetryPolicy{}.validate());
+}
+
+// ------------------------------------------------- framework end-to-end ----
+
+/// Reduced-scale PAMAP2-like task trained once; the resilient inference path
+/// must keep every accuracy/prediction guarantee of the clean paths.
+class ResilientFrameworkTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticSpec spec = data::paper_dataset("PAMAP2");
+    data::Dataset all = data::generate_synthetic(spec, 400);
+    auto split = data::split_dataset(all, 0.25, 21);
+    data::MinMaxNormalizer norm;
+    norm.fit(split.train);
+    norm.apply(split.train);
+    norm.apply(split.test);
+    train_ = new data::Dataset(std::move(split.train));
+    test_ = new data::Dataset(std::move(split.test));
+
+    core::HdConfig cfg;
+    cfg.dim = 512;
+    cfg.epochs = 5;
+    cfg.seed = 33;
+    const CoDesignFramework framework;
+    classifier_ = new core::TrainedClassifier(framework.train_cpu(*train_, cfg).classifier);
+    clean_tpu_ = new CoDesignFramework::InferOutcome(
+        framework.infer_tpu(*classifier_, *test_, *train_));
+    clean_cpu_ = new CoDesignFramework::InferOutcome(
+        framework.infer_cpu(*classifier_, *test_));
+  }
+
+  static void TearDownTestSuite() {
+    delete train_;
+    delete test_;
+    delete classifier_;
+    delete clean_tpu_;
+    delete clean_cpu_;
+    train_ = nullptr;
+    test_ = nullptr;
+    classifier_ = nullptr;
+    clean_tpu_ = nullptr;
+    clean_cpu_ = nullptr;
+  }
+
+  static data::Dataset* train_;
+  static data::Dataset* test_;
+  static core::TrainedClassifier* classifier_;
+  static CoDesignFramework::InferOutcome* clean_tpu_;
+  static CoDesignFramework::InferOutcome* clean_cpu_;
+  CoDesignFramework framework_;
+};
+
+data::Dataset* ResilientFrameworkTest::train_ = nullptr;
+data::Dataset* ResilientFrameworkTest::test_ = nullptr;
+core::TrainedClassifier* ResilientFrameworkTest::classifier_ = nullptr;
+CoDesignFramework::InferOutcome* ResilientFrameworkTest::clean_tpu_ = nullptr;
+CoDesignFramework::InferOutcome* ResilientFrameworkTest::clean_cpu_ = nullptr;
+
+TEST_F(ResilientFrameworkTest, FaultFreeProfileMatchesInferTpuExactly) {
+  ResilienceReport report;
+  const auto outcome = framework_.infer_tpu_resilient(*classifier_, *test_, *train_,
+                                                      tpu::FaultProfile{}, {}, &report);
+  EXPECT_EQ(outcome.predictions, clean_tpu_->predictions);
+  EXPECT_DOUBLE_EQ(outcome.accuracy, clean_tpu_->accuracy);
+  EXPECT_DOUBLE_EQ(outcome.timings.total.to_seconds(),
+                   clean_tpu_->timings.total.to_seconds());
+  EXPECT_DOUBLE_EQ(outcome.timings.per_sample.to_seconds(),
+                   clean_tpu_->timings.per_sample.to_seconds());
+  EXPECT_EQ(report.tpu_samples, test_->num_samples());
+  EXPECT_EQ(report.cpu_samples, 0U);
+  EXPECT_FALSE(report.circuit_opened);
+}
+
+TEST_F(ResilientFrameworkTest, DetachMidBatchFallsBackToCpuTail) {
+  tpu::FaultProfile profile;
+  profile.detach_at.push_back(clean_tpu_->timings.total * 0.5);
+
+  ResilienceReport report;
+  const auto outcome = framework_.infer_tpu_resilient(*classifier_, *test_, *train_,
+                                                      profile, {}, &report);
+
+  EXPECT_TRUE(report.circuit_opened);
+  EXPECT_GE(report.device_stats.device_detaches, 1U);
+  EXPECT_GT(report.tpu_samples, 0U);
+  EXPECT_GT(report.cpu_samples, 0U);
+  EXPECT_EQ(report.tpu_samples + report.cpu_samples, test_->num_samples());
+
+  // Every sample got a prediction; the fallback tail is exactly what the
+  // all-CPU path predicts for those samples.
+  ASSERT_EQ(outcome.predictions.size(), test_->num_samples());
+  const auto head = static_cast<std::size_t>(report.tpu_samples);
+  for (std::size_t i = 0; i < outcome.predictions.size(); ++i) {
+    if (i < head) {
+      EXPECT_EQ(outcome.predictions[i], clean_tpu_->predictions[i]) << "TPU row " << i;
+    } else {
+      EXPECT_EQ(outcome.predictions[i], clean_cpu_->predictions[i]) << "fallback row " << i;
+    }
+  }
+}
+
+TEST_F(ResilientFrameworkTest, FaultsCostTimeNotCorrectness) {
+  tpu::FaultProfile profile;
+  profile.transfer_corrupt_prob = 0.1;
+  profile.transfer_nak_prob = 0.1;
+  profile.sram_bitflip_per_byte = 1e-6;
+
+  ResilienceReport report;
+  const auto outcome = framework_.infer_tpu_resilient(*classifier_, *test_, *train_,
+                                                      profile, {}, &report);
+
+  // Always-completes property: full-length predictions, and each one equals
+  // what one of the two clean paths (int8 TPU or float CPU) predicts.
+  ASSERT_EQ(outcome.predictions.size(), test_->num_samples());
+  for (std::size_t i = 0; i < outcome.predictions.size(); ++i) {
+    EXPECT_TRUE(outcome.predictions[i] == clean_tpu_->predictions[i] ||
+                outcome.predictions[i] == clean_cpu_->predictions[i])
+        << "row " << i << " predicted " << outcome.predictions[i]
+        << ", expected the TPU (" << clean_tpu_->predictions[i] << ") or CPU ("
+        << clean_cpu_->predictions[i] << ") prediction";
+  }
+  // Recovery converts faults into simulated time, never silent corruption.
+  EXPECT_GT(report.device_stats.transfer_retries + report.device_stats.nak_stalls, 0U);
+  EXPECT_GT(outcome.timings.total.to_seconds(), clean_tpu_->timings.total.to_seconds());
+}
+
+TEST_F(ResilientFrameworkTest, SameProfileSameSeedIsDeterministic) {
+  tpu::FaultProfile profile;
+  profile.transfer_corrupt_prob = 0.1;
+  profile.transfer_nak_prob = 0.05;
+  profile.sram_bitflip_per_byte = 1e-6;
+
+  ResilienceReport ra;
+  ResilienceReport rb;
+  const auto a =
+      framework_.infer_tpu_resilient(*classifier_, *test_, *train_, profile, {}, &ra);
+  const auto b =
+      framework_.infer_tpu_resilient(*classifier_, *test_, *train_, profile, {}, &rb);
+
+  EXPECT_EQ(a.predictions, b.predictions);
+  EXPECT_DOUBLE_EQ(a.timings.total.to_seconds(), b.timings.total.to_seconds());
+  EXPECT_EQ(ra.device_stats.transfer_retries, rb.device_stats.transfer_retries);
+  EXPECT_EQ(ra.device_stats.nak_stalls, rb.device_stats.nak_stalls);
+  EXPECT_EQ(ra.device_stats.sram_scrubs, rb.device_stats.sram_scrubs);
+  EXPECT_EQ(ra.device_stats.invoke_retries, rb.device_stats.invoke_retries);
+  EXPECT_EQ(ra.cpu_samples, rb.cpu_samples);
+  EXPECT_DOUBLE_EQ(ra.total().to_seconds(), rb.total().to_seconds());
+}
+
+}  // namespace
+}  // namespace hdc::runtime

@@ -155,6 +155,25 @@ TEST(UsbTest, InvalidBandwidthRejected) {
   EXPECT_THROW(UsbLink{cfg}, Error);
 }
 
+TEST(UsbTest, NegativeInvokeOverheadRejected) {
+  UsbLinkConfig cfg;
+  cfg.invoke_overhead = SimDuration::micros(-1);
+  EXPECT_THROW(UsbLink{cfg}, Error);
+}
+
+TEST(UsbTest, NegativeInteractiveRoundTripRejected) {
+  UsbLinkConfig cfg;
+  cfg.interactive_round_trip = SimDuration::micros(-450);
+  EXPECT_THROW(UsbLink{cfg}, Error);
+}
+
+TEST(UsbTest, ZeroOverheadsAreValid) {
+  UsbLinkConfig cfg;
+  cfg.invoke_overhead = SimDuration();
+  cfg.interactive_round_trip = SimDuration();
+  EXPECT_NO_THROW(UsbLink{cfg});
+}
+
 // --------------------------------------------------------------- memory ----
 
 TEST(MemoryTest, ResidencyLifecycle) {
@@ -629,6 +648,56 @@ TEST_F(DeviceTest, StatsAccumulate) {
   EXPECT_DOUBLE_EQ(a.transfer.to_micros(), 10.0);
   EXPECT_EQ(a.invocations, 7U);
   EXPECT_DOUBLE_EQ(a.total().to_millis(), 4.01);
+}
+
+// Fills every ExecutionStats field with a distinct value so a field the
+// aggregation forgets shows up as a precise mismatch.
+ExecutionStats fully_populated_stats(double scale) {
+  ExecutionStats s;
+  s.device_compute = SimDuration::millis(1 * scale);
+  s.host_compute = SimDuration::millis(2 * scale);
+  s.transfer = SimDuration::millis(3 * scale);
+  s.weight_upload = SimDuration::millis(4 * scale);
+  s.pipelined_makespan = SimDuration::millis(5 * scale);
+  s.retry_backoff = SimDuration::millis(6 * scale);
+  s.invocations = static_cast<std::uint64_t>(7 * scale);
+  s.device_macs = static_cast<std::uint64_t>(8 * scale);
+  s.host_element_ops = static_cast<std::uint64_t>(9 * scale);
+  s.transfer_retries = static_cast<std::uint64_t>(10 * scale);
+  s.nak_stalls = static_cast<std::uint64_t>(11 * scale);
+  s.sram_scrubs = static_cast<std::uint64_t>(12 * scale);
+  s.device_detaches = static_cast<std::uint64_t>(13 * scale);
+  s.invoke_retries = static_cast<std::uint64_t>(14 * scale);
+  s.fallback_samples = static_cast<std::uint64_t>(15 * scale);
+  return s;
+}
+
+TEST_F(DeviceTest, StatsAggregateEveryField) {
+  ExecutionStats a = fully_populated_stats(1.0);
+  const ExecutionStats b = fully_populated_stats(10.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.device_compute.to_millis(), 11.0);
+  EXPECT_DOUBLE_EQ(a.host_compute.to_millis(), 22.0);
+  EXPECT_DOUBLE_EQ(a.transfer.to_millis(), 33.0);
+  EXPECT_DOUBLE_EQ(a.weight_upload.to_millis(), 44.0);
+  EXPECT_DOUBLE_EQ(a.pipelined_makespan.to_millis(), 55.0);
+  EXPECT_DOUBLE_EQ(a.retry_backoff.to_millis(), 66.0);
+  EXPECT_EQ(a.invocations, 77U);
+  EXPECT_EQ(a.device_macs, 88U);
+  EXPECT_EQ(a.host_element_ops, 99U);
+  EXPECT_EQ(a.transfer_retries, 110U);
+  EXPECT_EQ(a.nak_stalls, 121U);
+  EXPECT_EQ(a.sram_scrubs, 132U);
+  EXPECT_EQ(a.device_detaches, 143U);
+  EXPECT_EQ(a.invoke_retries, 154U);
+  EXPECT_EQ(a.fallback_samples, 165U);
+}
+
+TEST_F(DeviceTest, StatsTotalChargesRetryBackoff) {
+  ExecutionStats s;
+  s.device_compute = SimDuration::millis(1);
+  s.retry_backoff = SimDuration::millis(2);
+  EXPECT_DOUBLE_EQ(s.total().to_millis(), 3.0);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 //   hdc train <train.csv> --out model.hdcm [--dim N] [--epochs N]
 //             [--bagging M] [--alpha A] [--seed S]
 //   hdc infer <test.csv> --model model.hdcm [--tpu]
+//             [--fault-profile corrupt=P,nak=P,sram=R,detach=T,reattach=T,seed=N]
 //   hdc compile <model.hdcm> --out model.hdlt [--per-channel] [--classes-only]
 //   hdc describe <model.hdlt>
 //   hdc autotune <train.csv> [--dim N] [--margin F]
@@ -111,7 +112,9 @@ int cmd_train(int argc, char** argv) {
 
 int cmd_infer(int argc, char** argv) {
   if (argc < 3) {
-    std::fprintf(stderr, "usage: hdc infer <test.csv> --model model.hdcm [--tpu]\n");
+    std::fprintf(stderr,
+                 "usage: hdc infer <test.csv> --model model.hdcm [--tpu]\n"
+                 "           [--fault-profile corrupt=P,nak=P,sram=R,detach=T,...]\n");
     return 2;
   }
   const data::Dataset test = load_normalized(argv[2]);
@@ -119,6 +122,36 @@ int cmd_infer(int argc, char** argv) {
   const core::TrainedClassifier classifier = core::load_classifier(model_path);
 
   const runtime::CoDesignFramework framework;
+  const char* fault_spec = arg_value(argc, argv, "--fault-profile", nullptr);
+  if (fault_spec != nullptr) {
+    // Fault injection implies the (simulated) TPU path — the CPU baseline
+    // has no transport or device to break.
+    const tpu::FaultProfile profile = tpu::parse_fault_profile(fault_spec);
+    runtime::ResilienceReport report;
+    const auto outcome =
+        framework.infer_tpu_resilient(classifier, test, test, profile, {}, &report);
+    const auto& stats = report.device_stats;
+    std::printf("TPU (simulated, fault-injected) inference over %zu samples\n",
+                test.num_samples());
+    std::printf("accuracy: %.2f%%\n", 100.0 * outcome.accuracy);
+    std::printf("simulated latency: %s/sample (%s total)\n",
+                outcome.timings.per_sample.to_string().c_str(),
+                outcome.timings.total.to_string().c_str());
+    std::printf("faults: %llu transfer retries, %llu NAK stalls, %llu SRAM scrubs, "
+                "%llu detach hits\n",
+                static_cast<unsigned long long>(stats.transfer_retries),
+                static_cast<unsigned long long>(stats.nak_stalls),
+                static_cast<unsigned long long>(stats.sram_scrubs),
+                static_cast<unsigned long long>(stats.device_detaches));
+    std::printf("recovery: %llu invocation retries (%s backoff), %llu/%zu samples on "
+                "CPU fallback%s\n",
+                static_cast<unsigned long long>(stats.invoke_retries),
+                stats.retry_backoff.to_string().c_str(),
+                static_cast<unsigned long long>(report.cpu_samples), test.num_samples(),
+                report.circuit_opened ? " (circuit breaker opened)" : "");
+    return 0;
+  }
+
   const auto outcome = has_flag(argc, argv, "--tpu")
                            ? framework.infer_tpu(classifier, test, test)
                            : framework.infer_cpu(classifier, test);
