@@ -2,11 +2,16 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "data/dataset.hpp"
 #include "data/synthetic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/cost.hpp"
 
 namespace hdc::bench {
@@ -70,6 +75,76 @@ inline std::uint32_t arg_u32(int argc, char** argv, const std::string& flag,
   }
   return fallback;
 }
+
+/// Returns the string after `flag`, or null when absent.
+inline const char* arg_str(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) {
+      return argv[i + 1];
+    }
+  }
+  return nullptr;
+}
+
+/// Opt-in observability for benchmark binaries: `--trace out.trace.json`
+/// attaches a simulated-time tracer (with `--metrics out.metrics.json` and
+/// `--trace-cap N` riding along) to whatever traced work the bench chooses
+/// to run; `finish()` writes the files. Without the flags, `trace()` is null
+/// and the bench runs exactly as before.
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv) {
+    const char* trace_path = arg_str(argc, argv, "--trace");
+    const char* metrics_path = arg_str(argc, argv, "--metrics");
+    if (trace_path != nullptr) {
+      trace_path_ = trace_path;
+    }
+    if (metrics_path != nullptr) {
+      metrics_path_ = metrics_path;
+    }
+    if (trace_path_.empty() && metrics_path_.empty()) {
+      return;
+    }
+    obs::TraceConfig config;
+    if (const char* cap = arg_str(argc, argv, "--trace-cap")) {
+      config.max_events = static_cast<std::size_t>(std::strtoull(cap, nullptr, 10));
+    }
+    trace_ = std::make_unique<obs::TraceContext>(config);
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    trace_->set_metrics(metrics_.get());
+  }
+
+  bool enabled() const noexcept { return trace_ != nullptr; }
+  obs::TraceContext* trace() const noexcept { return trace_.get(); }
+
+  void finish() const {
+    if (trace_ == nullptr) {
+      return;
+    }
+    if (!trace_path_.empty()) {
+      if (trace_->dropped() > 0) {
+        std::fprintf(stderr,
+                     "warning: trace truncated — dropped %zu spans beyond the "
+                     "%zu-event cap (raise with --trace-cap)\n",
+                     trace_->dropped(), trace_->config().max_events);
+      }
+      std::ofstream out(trace_path_);
+      trace_->write_chrome_trace(out);
+      std::printf("wrote %zu trace events to %s\n", trace_->size(), trace_path_.c_str());
+    }
+    if (!metrics_path_.empty()) {
+      std::ofstream out(metrics_path_);
+      out << metrics_->to_json() << '\n';
+      std::printf("wrote metrics to %s\n", metrics_path_.c_str());
+    }
+  }
+
+ private:
+  std::unique_ptr<obs::TraceContext> trace_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::string trace_path_;
+  std::string metrics_path_;
+};
 
 inline void print_rule(int width = 100) {
   for (int i = 0; i < width; ++i) {

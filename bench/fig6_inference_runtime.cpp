@@ -4,13 +4,20 @@
 // why its cost matches the non-bagged TPU setting exactly.
 //
 // Also prints the serial-sub-model ablation the stacked design avoids.
+//
+// With `--trace out.trace.json [--metrics out.metrics.json]` the bench also
+// runs one reduced-scale *functional* TPU inference (ISOLET shape) with the
+// tracer attached, so the per-phase timeline behind the table's TPU column
+// can be inspected in Perfetto. See docs/OBSERVABILITY.md.
 
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "runtime/framework.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hdc;
+  const bench::ObsSession obs_session(argc, argv);
 
   const runtime::CostModel cost;
   const auto host = platform::host_cpu_profile();
@@ -55,5 +62,25 @@ int main() {
   }
   std::printf("\nstacked-vs-serial: the single stacked model removes the per-sample "
               "model swap the serial ensemble would pay.\n");
+
+  if (obs_session.enabled()) {
+    // Functional traced run at reduced scale: the same invoke machinery the
+    // analytic TPU column models, with every transfer / MXU / host phase
+    // recorded as a span.
+    auto prepared = bench::prepare("ISOLET", bench::arg_u32(argc, argv, "--samples", 400));
+    core::HdConfig config;
+    config.dim = bench::arg_u32(argc, argv, "--dim", 1024);
+    config.epochs = 2;
+    runtime::CoDesignFramework framework;
+    const auto trained = framework.train_tpu(prepared.train, config);
+    framework.set_trace(obs_session.trace());
+    const auto outcome =
+        framework.infer_tpu(trained.classifier, prepared.test, prepared.train);
+    std::printf("\ntraced functional inference: ISOLET-shaped, %zu samples, d=%u, "
+                "accuracy %.2f%%, %s total\n",
+                prepared.test.num_samples(), config.dim, 100.0 * outcome.accuracy,
+                outcome.timings.total.to_string().c_str());
+    obs_session.finish();
+  }
   return 0;
 }

@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace hdc::lite {
@@ -195,7 +197,23 @@ void LiteInterpreter::run_sample(std::span<const float> input, Scratch& scratch,
   }
 }
 
-InferenceResult LiteInterpreter::run(const tensor::MatrixF& inputs) const {
+InferenceResult LiteInterpreter::run(const tensor::MatrixF& inputs,
+                                     obs::TraceContext* trace) const {
+  if (trace != nullptr) {
+    // The op loop executes every op once per row; counting outside the loop
+    // keeps the per-sample path untouched.
+    trace->instant(obs::Track::kHost, "lite.run",
+                   {{"samples", static_cast<std::int64_t>(inputs.rows())},
+                    {"ops", static_cast<std::int64_t>(model_.ops.size())}});
+    if (obs::MetricsRegistry* metrics = trace->metrics()) {
+      metrics->counter("lite.runs").add(1);
+      metrics->counter("lite.samples").add(inputs.rows());
+      for (const auto& op : model_.ops) {
+        metrics->counter(std::string("lite.op.") + opcode_name(op.code))
+            .add(inputs.rows());
+      }
+    }
+  }
   const auto& out_tensor = model_.tensor(model_.output);
   const bool ends_argmax =
       !model_.ops.empty() && model_.ops.back().code == OpCode::kArgMax;

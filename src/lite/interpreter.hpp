@@ -8,6 +8,10 @@
 #include "lite/model.hpp"
 #include "tensor/matrix.hpp"
 
+namespace hdc::obs {
+class TraceContext;
+}  // namespace hdc::obs
+
 namespace hdc::lite {
 
 /// Observed value range of one tensor during calibration.
@@ -38,7 +42,11 @@ class LiteInterpreter {
 
   const LiteModel& model() const noexcept { return model_; }
 
-  InferenceResult run(const tensor::MatrixF& inputs) const;
+  /// When `trace` is non-null, the op loop publishes per-opcode execution
+  /// counters (`lite.op.<OPCODE>`) and records one `lite.run` instant at the
+  /// trace cursor. The math is unaffected; a null trace is a no-op.
+  InferenceResult run(const tensor::MatrixF& inputs,
+                      obs::TraceContext* trace = nullptr) const;
 
   /// Runs a float model over representative inputs and records per-tensor
   /// value ranges; the quantizer consumes these. Throws if the model is

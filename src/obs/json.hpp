@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace hdc::obs::detail {
+
+/// Appends `text` to `out` as a double-quoted JSON string with the mandatory
+/// escapes (quote, backslash, control characters).
+inline void append_json_string(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Appends a finite double as a JSON number (fixed notation keeps full
+/// microsecond-level precision for timestamps without exponent parsing
+/// surprises in downstream tools).
+inline void append_json_number(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out += buf;
+}
+
+}  // namespace hdc::obs::detail

@@ -1,0 +1,174 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace hdc::obs {
+
+double DurationHistogram::bucket_upper_seconds(std::size_t i) {
+  return 1e-9 * std::pow(10.0, static_cast<double>(i));
+}
+
+void DurationHistogram::observe(SimDuration value, std::uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  std::size_t bucket = kFiniteBuckets;  // overflow unless a bound matches
+  for (std::size_t i = 0; i < kFiniteBuckets; ++i) {
+    if (value.to_seconds() <= bucket_upper_seconds(i)) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket] += count;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += count;
+  sum_ += value * static_cast<double>(count);
+}
+
+SimDuration DurationHistogram::mean() const {
+  if (count_ == 0) {
+    return SimDuration();
+  }
+  return sum_ * (1.0 / static_cast<double>(count_));
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  }
+  return it->second;
+}
+
+DurationHistogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), DurationHistogram{}).first;
+  }
+  return it->second;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out;
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    detail::append_json_string(out, name);
+    out.push_back(':');
+    out += std::to_string(counter.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    detail::append_json_string(out, name);
+    out.push_back(':');
+    detail::append_json_number(out, gauge.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    detail::append_json_string(out, name);
+    out += ":{\"count\":";
+    out += std::to_string(hist.count());
+    out += ",\"sum_s\":";
+    detail::append_json_number(out, hist.sum().to_seconds());
+    out += ",\"min_s\":";
+    detail::append_json_number(out, hist.min().to_seconds());
+    out += ",\"max_s\":";
+    detail::append_json_number(out, hist.max().to_seconds());
+    out += ",\"mean_s\":";
+    detail::append_json_number(out, hist.mean().to_seconds());
+    out += ",\"buckets\":[";
+    for (std::size_t i = 0; i < DurationHistogram::kBuckets; ++i) {
+      if (i > 0) {
+        out.push_back(',');
+      }
+      out += "{\"le_s\":";
+      if (i < DurationHistogram::kFiniteBuckets) {
+        detail::append_json_number(out, DurationHistogram::bucket_upper_seconds(i));
+      } else {
+        out += "\"inf\"";
+      }
+      out += ",\"count\":";
+      out += std::to_string(hist.bucket_count(i));
+      out.push_back('}');
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::to_table() const {
+  std::size_t name_width = 6;  // "metric"
+  const auto widen = [&name_width](const auto& map) {
+    for (const auto& [name, unused] : map) {
+      (void)unused;
+      name_width = std::max(name_width, name.size());
+    }
+  };
+  widen(counters_);
+  widen(gauges_);
+  widen(histograms_);
+
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line), "%-*s  %-9s  %s\n", static_cast<int>(name_width),
+                "metric", "type", "value");
+  out += line;
+  out.append(name_width + 2 + 9 + 2 + 48, '-');
+  out.push_back('\n');
+
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(line, sizeof(line), "%-*s  %-9s  %llu\n",
+                  static_cast<int>(name_width), name.c_str(), "counter",
+                  static_cast<unsigned long long>(counter.value()));
+    out += line;
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::snprintf(line, sizeof(line), "%-*s  %-9s  %.6g\n",
+                  static_cast<int>(name_width), name.c_str(), "gauge", gauge.value());
+    out += line;
+  }
+  for (const auto& [name, hist] : histograms_) {
+    std::snprintf(line, sizeof(line),
+                  "%-*s  %-9s  n=%llu sum=%s mean=%s min=%s max=%s\n",
+                  static_cast<int>(name_width), name.c_str(), "histogram",
+                  static_cast<unsigned long long>(hist.count()),
+                  hist.sum().to_string().c_str(), hist.mean().to_string().c_str(),
+                  hist.min().to_string().c_str(), hist.max().to_string().c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace hdc::obs

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/sim_time.hpp"
+
+namespace hdc::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written point-in-time value.
+class Gauge {
+ public:
+  void set(double value) noexcept { value_ = value; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Simulated-time histogram with fixed log-scale buckets: one bucket per
+/// decade from 1 ns to 1000 s plus an overflow bucket, so every component in
+/// the system bins latencies identically and two runs' histograms can be
+/// compared bucket-for-bucket.
+class DurationHistogram {
+ public:
+  /// Upper bounds (inclusive) of the finite buckets: 1 ns, 10 ns, ... 1000 s.
+  static constexpr std::size_t kFiniteBuckets = 13;
+  /// kFiniteBuckets finite buckets + 1 overflow bucket.
+  static constexpr std::size_t kBuckets = kFiniteBuckets + 1;
+
+  /// Upper bound of finite bucket `i` in seconds (1e-9 * 10^i).
+  static double bucket_upper_seconds(std::size_t i);
+
+  void observe(SimDuration value, std::uint64_t count = 1);
+
+  std::uint64_t count() const noexcept { return count_; }
+  SimDuration sum() const noexcept { return sum_; }
+  SimDuration min() const noexcept { return min_; }
+  SimDuration max() const noexcept { return max_; }
+  SimDuration mean() const;
+  std::uint64_t bucket_count(std::size_t i) const { return buckets_.at(i); }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  SimDuration sum_;
+  SimDuration min_;
+  SimDuration max_;
+};
+
+/// Named metrics published by the simulated components (TPU device, USB
+/// link, fault injector, resilient executor, training loop). Handles
+/// returned by `counter`/`gauge`/`histogram` stay valid for the registry's
+/// lifetime; lookups create the metric on first use, so publishing sites
+/// never need registration boilerplate.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  DurationHistogram& histogram(std::string_view name);
+
+  const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Gauge, std::less<>>& gauges() const { return gauges_; }
+  const std::map<std::string, DurationHistogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// JSON dump: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  /// Histograms export count/sum/min/max/mean (seconds) and per-bucket
+  /// counts keyed by their upper bound.
+  std::string to_json() const;
+
+  /// Human-readable table with aligned columns (the CLI `--metrics`
+  /// pretty-printer). Durations render with auto-selected units.
+  std::string to_table() const;
+
+ private:
+  // std::less<> enables string_view lookups without temporary strings.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, DurationHistogram, std::less<>> histograms_;
+};
+
+}  // namespace hdc::obs

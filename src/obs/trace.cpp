@@ -1,0 +1,167 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace hdc::obs {
+namespace {
+
+/// Chrome trace timestamps are microseconds; fixed notation preserves
+/// sub-microsecond structure (USB microframes, PE-array fills).
+void append_timestamp(std::string& out, SimDuration t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", t.to_micros());
+  out += buf;
+}
+
+void append_args(std::string& out, const std::vector<TraceArg>& args) {
+  out += ",\"args\":{";
+  bool first = true;
+  for (const auto& arg : args) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    detail::append_json_string(out, arg.key);
+    out.push_back(':');
+    if (const auto* i = std::get_if<std::int64_t>(&arg.value)) {
+      out += std::to_string(*i);
+    } else if (const auto* d = std::get_if<double>(&arg.value)) {
+      detail::append_json_number(out, *d);
+    } else {
+      detail::append_json_string(out, std::get<std::string>(arg.value));
+    }
+  }
+  out.push_back('}');
+}
+
+}  // namespace
+
+const char* track_name(Track track) {
+  switch (track) {
+    case Track::kHost: return "host CPU";
+    case Track::kLink: return "USB link";
+    case Track::kDevice: return "Edge TPU (systolic array)";
+    case Track::kExecutor: return "executor";
+    case Track::kTrainer: return "training loop";
+  }
+  return "unknown";
+}
+
+TraceContext::TraceContext(TraceConfig config) : config_(config) {
+  events_.reserve(config_.max_events < 4096 ? config_.max_events : 4096);
+}
+
+void TraceContext::push(TraceEvent event) {
+  if (events_.size() >= config_.max_events) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceContext::span(Track track, std::string_view name, SimDuration duration,
+                        std::vector<TraceArg> args) {
+  span_at(track, name, now_, duration, std::move(args));
+  now_ += duration;
+}
+
+void TraceContext::span_at(Track track, std::string_view name, SimDuration start,
+                           SimDuration duration, std::vector<TraceArg> args) {
+  push(TraceEvent{TraceEvent::Kind::kSpan, track, std::string(name), start, duration,
+                  std::move(args)});
+}
+
+void TraceContext::instant(Track track, std::string_view name,
+                           std::vector<TraceArg> args) {
+  instant_at(track, name, now_, std::move(args));
+}
+
+void TraceContext::instant_at(Track track, std::string_view name, SimDuration at,
+                              std::vector<TraceArg> args) {
+  push(TraceEvent{TraceEvent::Kind::kInstant, track, std::string(name), at,
+                  SimDuration(), std::move(args)});
+}
+
+SimDuration TraceContext::span_total(std::string_view name) const {
+  SimDuration total;
+  for (const auto& event : events_) {
+    if (event.kind == TraceEvent::Kind::kSpan && event.name == name) {
+      total += event.duration;
+    }
+  }
+  return total;
+}
+
+void TraceContext::write_chrome_trace(std::ostream& os) const {
+  std::string out;
+  out.reserve(256 + events_.size() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+  // Process metadata: one "process" per simulated component, sorted in the
+  // hardware's host -> link -> device order.
+  bool first = true;
+  for (std::size_t t = 0; t < kNumTracks; ++t) {
+    const int pid = static_cast<int>(t) + 1;
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":0,\"args\":{\"name\":";
+    detail::append_json_string(out, track_name(static_cast<Track>(t)));
+    out += "}},{\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":0,\"args\":{\"sort_index\":";
+    out += std::to_string(pid);
+    out += "}}";
+  }
+
+  for (const auto& event : events_) {
+    out.push_back(',');
+    out += "{\"name\":";
+    detail::append_json_string(out, event.name);
+    out += ",\"cat\":\"sim\",\"ph\":";
+    out += event.kind == TraceEvent::Kind::kSpan ? "\"X\"" : "\"i\"";
+    out += ",\"ts\":";
+    append_timestamp(out, event.start);
+    if (event.kind == TraceEvent::Kind::kSpan) {
+      out += ",\"dur\":";
+      append_timestamp(out, event.duration);
+    } else {
+      out += ",\"s\":\"p\"";
+    }
+    out += ",\"pid\":";
+    out += std::to_string(static_cast<int>(event.track) + 1);
+    out += ",\"tid\":0";
+    if (!event.args.empty()) {
+      append_args(out, event.args);
+    }
+    out.push_back('}');
+  }
+
+  if (dropped_ > 0) {
+    out += ",{\"name\":\"trace.truncated\",\"cat\":\"sim\",\"ph\":\"i\",\"ts\":";
+    append_timestamp(out, now_);
+    out += ",\"s\":\"g\",\"pid\":1,\"tid\":0,\"args\":{\"dropped_events\":";
+    out += std::to_string(dropped_);
+    out += ",\"max_events\":";
+    out += std::to_string(config_.max_events);
+    out += "}}";
+  }
+
+  out += "]}";
+  os << out;
+}
+
+std::string TraceContext::chrome_trace_json() const {
+  std::ostringstream os;
+  write_chrome_trace(os);
+  return os.str();
+}
+
+}  // namespace hdc::obs

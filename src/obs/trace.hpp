@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace hdc::obs {
+
+class MetricsRegistry;
+
+/// Simulated component a trace event belongs to. Exported as one Chrome
+/// trace "process" per track, so Perfetto lays the timeline out the way the
+/// hardware is organized (host CPU / USB link / accelerator / orchestration).
+enum class Track : std::uint8_t {
+  kHost = 0,      ///< host CPU: fallback ops, dequantize, CPU inference
+  kLink = 1,      ///< USB bulk pipe: activation + parameter traffic
+  kDevice = 2,    ///< systolic MXU + activation unit
+  kExecutor = 3,  ///< batch orchestration: resilient retry, pipelining
+  kTrainer = 4,   ///< training-loop phases (encode / update / model-gen)
+};
+inline constexpr std::size_t kNumTracks = 5;
+
+/// Human-readable process name used in the Chrome trace metadata.
+const char* track_name(Track track);
+
+/// One typed key/value annotation on a trace event.
+struct TraceArg {
+  using Value = std::variant<std::int64_t, double, std::string>;
+
+  template <typename T>
+    requires std::is_integral_v<T>
+  TraceArg(std::string_view k, T v) : key(k), value(static_cast<std::int64_t>(v)) {}
+  template <typename T>
+    requires std::is_floating_point_v<T>
+  TraceArg(std::string_view k, T v) : key(k), value(static_cast<double>(v)) {}
+  TraceArg(std::string_view k, std::string v) : key(k), value(std::move(v)) {}
+  TraceArg(std::string_view k, const char* v) : key(k), value(std::string(v)) {}
+
+  std::string key;
+  Value value;
+};
+
+/// A recorded span (duration > 0 semantics) or instant event, positioned in
+/// *simulated* time. The tracer never reads the host clock, so a given
+/// workload always produces a bit-identical trace.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kSpan, kInstant };
+
+  Kind kind = Kind::kSpan;
+  Track track = Track::kHost;
+  std::string name;
+  SimDuration start;
+  SimDuration duration;  ///< zero for instants
+  std::vector<TraceArg> args;
+};
+
+struct TraceConfig {
+  /// Hard cap on recorded events. Paper-scale runs (60k samples through the
+  /// per-sample fault path) would otherwise emit multi-GB traces; beyond the
+  /// cap events are counted in `dropped()` and silently discarded, and the
+  /// export notes the truncation.
+  std::size_t max_events = 1u << 20;
+};
+
+/// Span/event recorder keyed to simulated time.
+///
+/// Threading convention: components receive a `TraceContext*` that is null
+/// when tracing is disabled — every call site guards with `if (trace)`, so
+/// the disabled path costs one pointer test and no behavioral change
+/// (instrumentation only *reads* the numbers the cost models already
+/// produced; it never feeds back into them).
+///
+/// `now()` is the shared timeline cursor: components emitting sequential
+/// work call `span(...)`, which places the event at the cursor and advances
+/// it by the span's duration, mirroring how the same durations accumulate
+/// into `ExecutionStats`/`TrainTimings`. Overlapped work (the pipelined
+/// streaming path) is placed explicitly with `span_at`.
+class TraceContext {
+ public:
+  explicit TraceContext(TraceConfig config = {});
+
+  const TraceConfig& config() const noexcept { return config_; }
+
+  // ---- timeline cursor ----
+  SimDuration now() const noexcept { return now_; }
+  void set_now(SimDuration t) noexcept { now_ = t; }
+  void advance(SimDuration d) noexcept { now_ += d; }
+
+  /// Records [now, now + duration) and advances the cursor.
+  void span(Track track, std::string_view name, SimDuration duration,
+            std::vector<TraceArg> args = {});
+
+  /// Records [start, start + duration) without touching the cursor.
+  void span_at(Track track, std::string_view name, SimDuration start,
+               SimDuration duration, std::vector<TraceArg> args = {});
+
+  /// Records an instant event at the cursor (cursor does not move).
+  void instant(Track track, std::string_view name, std::vector<TraceArg> args = {});
+
+  /// Records an instant event at an explicit time.
+  void instant_at(Track track, std::string_view name, SimDuration at,
+                  std::vector<TraceArg> args = {});
+
+  // ---- companion metrics (optional) ----
+  /// Components publish counters/histograms through the same handle they
+  /// trace through; null when no registry is attached.
+  MetricsRegistry* metrics() const noexcept { return metrics_; }
+  void set_metrics(MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
+
+  // ---- inspection ----
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  /// Events discarded beyond `config().max_events`.
+  std::size_t dropped() const noexcept { return dropped_; }
+
+  /// Sum of recorded span durations whose name matches `name` exactly.
+  SimDuration span_total(std::string_view name) const;
+
+  // ---- export ----
+  /// Chrome trace-event JSON (the `{"traceEvents": [...]}` object form),
+  /// loadable in chrome://tracing and Perfetto. Timestamps are simulated
+  /// microseconds; each Track exports as one process with a metadata name.
+  void write_chrome_trace(std::ostream& os) const;
+  std::string chrome_trace_json() const;
+
+ private:
+  void push(TraceEvent event);
+
+  TraceConfig config_;
+  std::vector<TraceEvent> events_;
+  std::size_t dropped_ = 0;
+  SimDuration now_;
+  MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace hdc::obs

@@ -1,6 +1,8 @@
 #include "platform/cpu_executor.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hdc::platform {
 
@@ -38,12 +40,21 @@ SimDuration CpuExecutor::per_sample_time(const lite::LiteModel& model) const {
 
 std::pair<lite::InferenceResult, SimDuration> CpuExecutor::run(
     const lite::LiteModel& model, const tensor::MatrixF& inputs,
-    tpu::ExecutionMode mode) const {
+    tpu::ExecutionMode mode, obs::TraceContext* trace) const {
   const SimDuration total = per_sample_time(model) * static_cast<double>(inputs.rows());
   lite::InferenceResult result;
   if (mode == tpu::ExecutionMode::kFunctional) {
     const lite::LiteInterpreter interpreter(model);
-    result = interpreter.run(inputs);
+    result = interpreter.run(inputs, trace);
+  }
+  if (trace != nullptr) {
+    trace->span(obs::Track::kHost, "host.infer", total,
+                {{"samples", static_cast<std::int64_t>(inputs.rows())}});
+    if (obs::MetricsRegistry* metrics = trace->metrics()) {
+      metrics->counter("host.samples").add(inputs.rows());
+      metrics->histogram("host.sample_latency")
+          .observe(per_sample_time(model), inputs.rows());
+    }
   }
   return {std::move(result), total};
 }

@@ -6,6 +6,10 @@
 #include "platform/profiles.hpp"
 #include "tpu/stats.hpp"
 
+namespace hdc::obs {
+class TraceContext;
+}  // namespace hdc::obs
+
 namespace hdc::platform {
 
 /// Runs HDLite models entirely on a CPU platform (the paper's CPU baseline
@@ -20,10 +24,12 @@ class CpuExecutor {
   /// Simulated time for one sample through the model on this CPU.
   SimDuration per_sample_time(const lite::LiteModel& model) const;
 
-  /// Runs a batch; result is empty in timing-only mode.
-  std::pair<lite::InferenceResult, SimDuration> run(const lite::LiteModel& model,
-                                                    const tensor::MatrixF& inputs,
-                                                    tpu::ExecutionMode mode) const;
+  /// Runs a batch; result is empty in timing-only mode. A non-null `trace`
+  /// records the batch as a `host.infer` span at the trace cursor and
+  /// publishes `host.*` metrics.
+  std::pair<lite::InferenceResult, SimDuration> run(
+      const lite::LiteModel& model, const tensor::MatrixF& inputs,
+      tpu::ExecutionMode mode, obs::TraceContext* trace = nullptr) const;
 
  private:
   PlatformProfile profile_;

@@ -6,6 +6,8 @@
 #include "lite/builder.hpp"
 #include "lite/quantize.hpp"
 #include "nn/wide_nn.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hdc::runtime {
 namespace {
@@ -29,6 +31,32 @@ CoDesignFramework::CoDesignFramework(SystemConfig config)
       cost_(config_.host, config_.systolic, config_.link, config_.sram_bytes) {
   config_.host.validate();
   HDC_CHECK(config_.calibration_samples > 0, "calibration needs at least one sample");
+}
+
+void CoDesignFramework::publish_train_metrics(const TrainTimings& timings) const {
+  if (trace_ == nullptr) {
+    return;
+  }
+  if (obs::MetricsRegistry* metrics = trace_->metrics()) {
+    metrics->gauge("train.encode_s").set(timings.encode.to_seconds());
+    metrics->gauge("train.update_s").set(timings.update.to_seconds());
+    metrics->gauge("train.model_gen_s").set(timings.model_gen.to_seconds());
+    metrics->gauge("train.total_s").set(timings.total().to_seconds());
+  }
+}
+
+void CoDesignFramework::publish_infer_metrics(const InferTimings& timings,
+                                              double accuracy,
+                                              std::size_t samples) const {
+  if (trace_ == nullptr) {
+    return;
+  }
+  if (obs::MetricsRegistry* metrics = trace_->metrics()) {
+    metrics->counter("infer.samples").add(samples);
+    metrics->gauge("infer.total_s").set(timings.total.to_seconds());
+    metrics->gauge("infer.per_sample_s").set(timings.per_sample.to_seconds());
+    metrics->gauge("infer.accuracy").set(accuracy);
+  }
 }
 
 tensor::MatrixF CoDesignFramework::representative_rows(const data::Dataset& dataset) const {
@@ -55,9 +83,11 @@ tensor::MatrixF CoDesignFramework::encode_on_tpu(const core::Encoder& encoder,
   const tpu::CompiledModel compiled = compiler.compile(quantized);
 
   tpu::EdgeTpuDevice device(config_.systolic, config_.link, config_.sram_bytes);
+  device.set_trace(trace_);
   tpu::InvokeOptions options;
   options.mode = tpu::ExecutionMode::kFunctional;
   options.interactive = false;  // training encodes are streamed
+  const SimDuration encode_start = trace_ != nullptr ? trace_->now() : SimDuration();
   auto [result, stats] =
       device.invoke(compiled, samples, options, config_.host.host_cost_model());
 
@@ -66,9 +96,20 @@ tensor::MatrixF CoDesignFramework::encode_on_tpu(const core::Encoder& encoder,
     const SimDuration dequant = SimDuration::seconds(
         static_cast<double>(samples.rows()) * encoder.dim() / config_.host.element_rate);
     *encode_time += stats.total() + dequant;
+    if (trace_ != nullptr) {
+      trace_->span(obs::Track::kHost, "host.dequantize", dequant,
+                   {{"samples", samples.rows()}, {"dim", encoder.dim()}});
+      // Envelope over the device/link/host spans the invoke emitted.
+      trace_->span_at(obs::Track::kTrainer, "train.encode", encode_start,
+                      trace_->now() - encode_start, {{"samples", samples.rows()}});
+    }
   }
   if (model_gen_time != nullptr) {
     *model_gen_time += compiled.report.host_compile_time;
+    if (trace_ != nullptr) {
+      trace_->span(obs::Track::kTrainer, "train.model_gen",
+                   compiled.report.host_compile_time, {{"model", "encode"}});
+    }
   }
   return std::move(result.values);
 }
@@ -94,6 +135,13 @@ CoDesignFramework::TrainOutcome CoDesignFramework::train_cpu(
   outcome.timings.update =
       cost_.update_phase(train.num_samples(), cfg.dim, train.num_classes, cfg.epochs,
                          outcome.measured_update_fraction, config_.host);
+  if (trace_ != nullptr) {
+    trace_->span(obs::Track::kTrainer, "train.encode", outcome.timings.encode,
+                 {{"samples", train.num_samples()}, {"where", "cpu"}});
+    trace_->span(obs::Track::kTrainer, "train.update", outcome.timings.update,
+                 {{"epochs", cfg.epochs}});
+  }
+  publish_train_metrics(outcome.timings);
   return outcome;
 }
 
@@ -130,6 +178,11 @@ CoDesignFramework::TrainOutcome CoDesignFramework::train_tpu(
   outcome.timings.update =
       cost_.update_phase(train.num_samples(), cfg.dim, train.num_classes, cfg.epochs,
                          outcome.measured_update_fraction, config_.host);
+  if (trace_ != nullptr) {
+    trace_->span(obs::Track::kTrainer, "train.update", outcome.timings.update,
+                 {{"epochs", cfg.epochs},
+                  {"update_fraction", outcome.measured_update_fraction}});
+  }
 
   // The deployable inference model is generated (and compiled) once at the
   // end of training; the paper books this under training model-gen cost.
@@ -138,6 +191,11 @@ CoDesignFramework::TrainOutcome CoDesignFramework::train_tpu(
       "infer_gen", static_cast<std::uint32_t>(train.num_features()), cfg.dim,
       train.num_classes));
   outcome.timings.model_gen += infer_shape.report.host_compile_time;
+  if (trace_ != nullptr) {
+    trace_->span(obs::Track::kTrainer, "train.model_gen",
+                 infer_shape.report.host_compile_time, {{"model", "infer"}});
+  }
+  publish_train_metrics(outcome.timings);
   return outcome;
 }
 
@@ -177,10 +235,15 @@ CoDesignFramework::TrainOutcome CoDesignFramework::train_tpu_bagging(
     core::TrainResult result =
         trainer.fit_encoded(encoded, subset.labels, subset.num_classes);
 
-    timings.update +=
+    const SimDuration member_update =
         cost_.update_phase(subset.num_samples(), sub_dim, subset.num_classes, cfg.epochs,
                            measured_update_fraction(result.history, subset.num_samples()),
                            config_.host);
+    timings.update += member_update;
+    if (trace_ != nullptr) {
+      trace_->span(obs::Track::kTrainer, "train.update", member_update,
+                   {{"member", m}, {"epochs", cfg.epochs}});
+    }
     update_fraction_sum +=
         measured_update_fraction(result.history, subset.num_samples());
     if (m == 0) {
@@ -197,11 +260,17 @@ CoDesignFramework::TrainOutcome CoDesignFramework::train_tpu_bagging(
   const auto stacked_shape = compiler.compile(make_int8_chain_model(
       "infer_stacked_gen", num_features, sub_dim * cfg.num_models, train.num_classes));
   timings.model_gen += stacked_shape.report.host_compile_time;
+  if (trace_ != nullptr) {
+    trace_->span(obs::Track::kTrainer, "train.model_gen",
+                 stacked_shape.report.host_compile_time,
+                 {{"model", "infer_stacked"}, {"members", cfg.num_models}});
+  }
 
   TrainOutcome outcome{
       core::TrainedClassifier{std::move(stacked.encoder), std::move(stacked.model)},
       timings, std::move(first_history),
       update_fraction_sum / static_cast<double>(cfg.num_models)};
+  publish_train_metrics(outcome.timings);
   return outcome;
 }
 
@@ -213,7 +282,7 @@ CoDesignFramework::InferOutcome CoDesignFramework::infer_cpu(
 
   const platform::CpuExecutor executor(config_.host);
   auto [result, total] =
-      executor.run(model, test.features, tpu::ExecutionMode::kFunctional);
+      executor.run(model, test.features, tpu::ExecutionMode::kFunctional, trace_);
   HDC_CHECK(result.has_classes, "inference model must end in ARG_MAX");
 
   InferOutcome outcome;
@@ -221,6 +290,7 @@ CoDesignFramework::InferOutcome CoDesignFramework::infer_cpu(
   outcome.accuracy = data::accuracy(outcome.predictions, test.labels);
   outcome.timings.total = total;
   outcome.timings.per_sample = total * (1.0 / static_cast<double>(test.num_samples()));
+  publish_infer_metrics(outcome.timings, outcome.accuracy, test.num_samples());
   return outcome;
 }
 
@@ -237,10 +307,12 @@ CoDesignFramework::InferOutcome CoDesignFramework::infer_tpu(
   const tpu::CompiledModel compiled = compiler.compile(quantized);
 
   tpu::EdgeTpuDevice device(config_.systolic, config_.link, config_.sram_bytes);
+  device.set_trace(trace_);
   device.load(compiled);  // one-time, excluded from steady-state timing
   tpu::InvokeOptions options;
   options.mode = tpu::ExecutionMode::kFunctional;
   options.interactive = true;
+  const SimDuration infer_start = trace_ != nullptr ? trace_->now() : SimDuration();
   auto [result, stats] =
       device.invoke(compiled, test.features, options, config_.host.host_cost_model());
   HDC_CHECK(result.has_classes, "inference model must end in ARG_MAX");
@@ -253,6 +325,13 @@ CoDesignFramework::InferOutcome CoDesignFramework::infer_tpu(
   outcome.timings.per_sample =
       outcome.timings.total * (1.0 / static_cast<double>(test.num_samples()));
   outcome.compile_report = compiled.report;
+  if (trace_ != nullptr) {
+    // Envelope over the invoke's transfer/device/host spans.
+    trace_->span_at(obs::Track::kExecutor, "infer.tpu", infer_start,
+                    trace_->now() - infer_start,
+                    {{"samples", test.num_samples()}, {"accuracy", outcome.accuracy}});
+  }
+  publish_infer_metrics(outcome.timings, outcome.accuracy, test.num_samples());
   return outcome;
 }
 
@@ -271,13 +350,16 @@ CoDesignFramework::InferOutcome CoDesignFramework::infer_tpu_resilient(
   const tpu::CompiledModel compiled = compiler.compile(quantized);
 
   tpu::EdgeTpuDevice device(config_.systolic, config_.link, config_.sram_bytes);
+  device.set_trace(trace_);
   device.load(compiled);  // one-time clean upload, excluded like infer_tpu's
   device.set_fault_injector(tpu::FaultInjector(faults));
 
   ResilientExecutor executor(&device, platform::CpuExecutor(config_.host), policy);
+  executor.set_trace(trace_);
   tpu::InvokeOptions options;
   options.mode = tpu::ExecutionMode::kFunctional;
   options.interactive = true;
+  const SimDuration infer_start = trace_ != nullptr ? trace_->now() : SimDuration();
   // The CPU fallback runs the float model — the exact model `infer_cpu`
   // executes, so fallback predictions match the all-CPU path sample for
   // sample.
@@ -294,6 +376,15 @@ CoDesignFramework::InferOutcome CoDesignFramework::infer_tpu_resilient(
   infer.timings.per_sample =
       infer.timings.total * (1.0 / static_cast<double>(test.num_samples()));
   infer.compile_report = compiled.report;
+  if (trace_ != nullptr) {
+    trace_->span_at(obs::Track::kExecutor, "infer.tpu_resilient", infer_start,
+                    trace_->now() - infer_start,
+                    {{"samples", test.num_samples()},
+                     {"tpu_samples", outcome.report.tpu_samples},
+                     {"cpu_samples", outcome.report.cpu_samples},
+                     {"accuracy", infer.accuracy}});
+  }
+  publish_infer_metrics(infer.timings, infer.accuracy, test.num_samples());
   if (report != nullptr) {
     *report = outcome.report;
   }

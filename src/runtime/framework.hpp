@@ -17,6 +17,10 @@
 #include "tpu/device.hpp"
 #include "tpu/faults.hpp"
 
+namespace hdc::obs {
+class TraceContext;
+}  // namespace hdc::obs
+
 namespace hdc::runtime {
 
 /// Full system configuration: which host CPU drives the accelerator and how
@@ -48,6 +52,15 @@ class CoDesignFramework {
 
   const SystemConfig& config() const noexcept { return config_; }
   const CostModel& cost_model() const noexcept { return cost_; }
+
+  /// Attaches a span/metrics recorder to every subsequent train/infer call:
+  /// the paper's Fig.-5/6 phases (`train.encode` / `train.update` /
+  /// `train.model_gen`, transfer / device / host inference phases) land as
+  /// spans keyed to simulated time, and summary gauges/counters land in the
+  /// attached metrics registry. Null (the default) disables instrumentation;
+  /// results and timings are bit-identical either way.
+  void set_trace(obs::TraceContext* trace) noexcept { trace_ = trace; }
+  obs::TraceContext* trace_context() const noexcept { return trace_; }
 
   struct TrainOutcome {
     core::TrainedClassifier classifier;  ///< float classifier (stacked when bagged)
@@ -107,9 +120,13 @@ class CoDesignFramework {
                                 SimDuration* encode_time,
                                 SimDuration* model_gen_time) const;
   tensor::MatrixF representative_rows(const data::Dataset& dataset) const;
+  void publish_train_metrics(const TrainTimings& timings) const;
+  void publish_infer_metrics(const InferTimings& timings, double accuracy,
+                             std::size_t samples) const;
 
   SystemConfig config_;
   CostModel cost_;
+  obs::TraceContext* trace_ = nullptr;
 };
 
 }  // namespace hdc::runtime

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tpu/faults.hpp"
 
 namespace hdc::runtime {
@@ -70,11 +72,18 @@ ResilientExecutor::Outcome ResilientExecutor::run(const tpu::CompiledModel& comp
   const auto run_on_cpu = [&](std::size_t begin, std::size_t count) {
     tensor::MatrixF rows(count, inputs.cols());
     std::copy_n(inputs.row(begin).data(), count * inputs.cols(), rows.data());
-    auto [result, time] = cpu_.run(cpu_fallback, rows, options.mode);
+    auto [result, time] = cpu_.run(cpu_fallback, rows, options.mode, trace_);
     append_rows(result);
     outcome.report.cpu_fallback_time += time;
     outcome.report.cpu_samples += count;
     outcome.report.device_stats.fallback_samples += count;
+    if (trace_ != nullptr) {
+      trace_->instant(obs::Track::kExecutor, "resilient.cpu_fallback",
+                      {{"first_sample", begin}, {"samples", count}});
+      if (obs::MetricsRegistry* metrics = trace_->metrics()) {
+        metrics->counter("resilient.fallback_samples").add(count);
+      }
+    }
   };
 
   std::uint32_t consecutive_failures = 0;
@@ -92,6 +101,16 @@ ResilientExecutor::Outcome ResilientExecutor::run(const tpu::CompiledModel& comp
         outcome.report.device_stats.invoke_retries += 1;
         outcome.report.device_stats.retry_backoff += backoff;
         device_->advance_clock(backoff);
+        if (trace_ != nullptr) {
+          trace_->instant(obs::Track::kExecutor, "resilient.retry",
+                          {{"sample", row}, {"attempt", attempt}});
+          trace_->span(obs::Track::kExecutor, "resilient.backoff", backoff,
+                       {{"sample", row}, {"attempt", attempt}});
+          if (obs::MetricsRegistry* metrics = trace_->metrics()) {
+            metrics->counter("resilient.invoke_retries").add(1);
+            metrics->histogram("resilient.backoff").observe(backoff);
+          }
+        }
         backoff = backoff * policy_.backoff_multiplier;
       }
       try {
@@ -104,6 +123,15 @@ ResilientExecutor::Outcome ResilientExecutor::run(const tpu::CompiledModel& comp
       } catch (const tpu::DeviceFault& fault) {
         outcome.report.device_stats += fault.charged_stats();
         ++consecutive_failures;
+        if (trace_ != nullptr) {
+          trace_->instant(obs::Track::kExecutor, "resilient.device_fault",
+                          {{"sample", row},
+                           {"kind", tpu::fault_kind_name(fault.kind())},
+                           {"consecutive_failures", consecutive_failures}});
+          if (obs::MetricsRegistry* metrics = trace_->metrics()) {
+            metrics->counter("resilient.device_faults").add(1);
+          }
+        }
         if (consecutive_failures >= policy_.circuit_breaker_threshold) {
           break;
         }
@@ -114,6 +142,14 @@ ResilientExecutor::Outcome ResilientExecutor::run(const tpu::CompiledModel& comp
     }
     if (consecutive_failures >= policy_.circuit_breaker_threshold) {
       outcome.report.circuit_opened = true;
+      if (trace_ != nullptr) {
+        trace_->instant(obs::Track::kExecutor, "resilient.circuit_open",
+                        {{"sample", row},
+                         {"threshold", policy_.circuit_breaker_threshold}});
+        if (obs::MetricsRegistry* metrics = trace_->metrics()) {
+          metrics->counter("resilient.circuit_opened").add(1);
+        }
+      }
       break;
     }
     // This sample exhausted its device attempts; run it alone on the CPU and

@@ -7,6 +7,10 @@
 #include "tpu/compiler.hpp"
 #include "tpu/device.hpp"
 
+namespace hdc::obs {
+class TraceContext;
+}  // namespace hdc::obs
+
 namespace hdc::runtime {
 
 /// How the resilient executor reacts to device faults. Backoff is charged in
@@ -53,6 +57,11 @@ class ResilientExecutor {
 
   const RetryPolicy& policy() const noexcept { return policy_; }
 
+  /// Attaches a span/metrics recorder shared with the device: retries,
+  /// backoff sleeps, fallback batches and circuit-breaker trips appear as
+  /// `resilient.*` spans/instants on the executor track. Null disables.
+  void set_trace(obs::TraceContext* trace) noexcept { trace_ = trace; }
+
   struct Outcome {
     lite::InferenceResult result;  ///< full batch (TPU rows + CPU fallback rows)
     ResilienceReport report;
@@ -68,6 +77,7 @@ class ResilientExecutor {
   tpu::EdgeTpuDevice* device_;
   platform::CpuExecutor cpu_;
   RetryPolicy policy_;
+  obs::TraceContext* trace_ = nullptr;
 };
 
 }  // namespace hdc::runtime

@@ -7,6 +7,8 @@
 
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hdc::tpu {
 
@@ -34,6 +36,19 @@ EdgeTpuDevice::EdgeTpuDevice(SystolicConfig systolic, UsbLinkConfig link,
                              std::uint64_t sram_capacity_bytes)
     : mxu_(systolic), link_(link), memory_(sram_capacity_bytes) {}
 
+void EdgeTpuDevice::set_trace(obs::TraceContext* trace) noexcept {
+  trace_ = trace;
+  mxu_.set_trace(trace);
+  if (faults_) {
+    faults_->set_trace(trace);
+  }
+}
+
+void EdgeTpuDevice::set_fault_injector(FaultInjector injector) {
+  faults_ = std::move(injector);
+  faults_->set_trace(trace_);
+}
+
 ExecutionStats EdgeTpuDevice::load(const CompiledModel& model) {
   ExecutionStats stats;
   if (!model.has_device_segment() || memory_.is_resident(model.id)) {
@@ -47,6 +62,14 @@ ExecutionStats EdgeTpuDevice::load(const CompiledModel& model) {
   }
   stats.weight_upload = link_.transfer_time(model.report.weight_bytes);
   memory_.make_resident(model.id, model.report.weight_bytes);
+  if (trace_ != nullptr) {
+    trace_->span(obs::Track::kLink, "usb.weight_upload", stats.weight_upload,
+                 {{"bytes", model.report.weight_bytes}, {"model", model.id}});
+    if (obs::MetricsRegistry* metrics = trace_->metrics()) {
+      metrics->counter("tpu.weight_uploads").add(1);
+      metrics->counter("tpu.weight_upload_bytes").add(model.report.weight_bytes);
+    }
+  }
   return stats;
 }
 
@@ -173,6 +196,51 @@ ExecutionStats EdgeTpuDevice::invoke_timing(const CompiledModel& model,
     stats.pipelined_makespan =
         simulate_stream(stages, num_samples, /*double_buffered=*/true).makespan;
   }
+
+  if (trace_ != nullptr) {
+    const std::vector<obs::TraceArg> samples_arg = {{"samples", num_samples}};
+    if (!stats.pipelined_makespan.is_zero()) {
+      // Overlapped streaming: the per-stage spans share a start (the
+      // un-overlapped work on each component's track) under one makespan
+      // span, which is what actually advances the timeline.
+      const SimDuration start = trace_->now();
+      trace_->span_at(obs::Track::kLink, "usb.transfer", start, per_sample.transfer * n,
+                      samples_arg);
+      trace_->span_at(obs::Track::kDevice, "mxu.invoke", start,
+                      per_sample.device_compute * n,
+                      {{"samples", num_samples}, {"macs", stats.device_macs}});
+      if (!per_sample.host_compute.is_zero()) {
+        trace_->span_at(obs::Track::kHost, "host.compute", start,
+                        per_sample.host_compute * n, samples_arg);
+      }
+      trace_->span(obs::Track::kExecutor, "pipeline.makespan", stats.pipelined_makespan,
+                   samples_arg);
+    } else {
+      // Serial composition: phase spans laid back to back, so their sum (plus
+      // any weight upload) equals ExecutionStats::total() exactly.
+      trace_->span(obs::Track::kLink, "usb.transfer", per_sample.transfer * n,
+                   {{"samples", num_samples},
+                    {"input_bytes", model.device_input_bytes},
+                    {"output_bytes", model.device_output_bytes}});
+      if (!per_sample.weight_upload.is_zero()) {
+        trace_->span(obs::Track::kLink, "usb.weight_stream", per_sample.weight_upload * n,
+                     {{"samples", num_samples}, {"bytes", model.report.weight_bytes}});
+      }
+      trace_->span(obs::Track::kDevice, "mxu.invoke", per_sample.device_compute * n,
+                   {{"samples", num_samples}, {"macs", stats.device_macs}});
+      if (!per_sample.host_compute.is_zero()) {
+        trace_->span(obs::Track::kHost, "host.compute", per_sample.host_compute * n,
+                     {{"samples", num_samples}, {"element_ops", stats.host_element_ops}});
+      }
+    }
+    if (obs::MetricsRegistry* metrics = trace_->metrics()) {
+      metrics->counter("tpu.invocations").add(num_samples);
+      metrics->counter("tpu.device_macs").add(stats.device_macs);
+      metrics->counter("tpu.host_element_ops").add(stats.host_element_ops);
+      metrics->histogram("tpu.sample_latency")
+          .observe(per_sample.total(), num_samples);
+    }
+  }
   return stats;
 }
 
@@ -195,7 +263,7 @@ std::pair<lite::InferenceResult, ExecutionStats> EdgeTpuDevice::invoke(
     // Bit-exact int8 semantics; equivalence of the MXU tile engine with
     // these reference kernels is established by the systolic property tests.
     const lite::LiteInterpreter interpreter(model.model);
-    result = interpreter.run(inputs);
+    result = interpreter.run(inputs, trace_);
   }
   clock_ += stats.total();
   return {std::move(result), stats};
@@ -267,7 +335,8 @@ std::pair<lite::InferenceResult, ExecutionStats> EdgeTpuDevice::invoke_with_faul
       // Parameter (re-)upload over the CRC-framed link when not resident.
       if (!memory_.is_resident(model.id) && memory_.fits(model.report.weight_bytes)) {
         const TransferReport upload =
-            link_.checked_transfer(model.report.weight_bytes, parameter_crc(), faults);
+            link_.checked_transfer(model.report.weight_bytes, parameter_crc(), faults,
+                                   trace_);
         charge_link(upload, stats.weight_upload);
         if (!upload.delivered) {
           sync_clock();
@@ -288,10 +357,14 @@ std::pair<lite::InferenceResult, ExecutionStats> EdgeTpuDevice::invoke_with_faul
       }
 
       stats.transfer += link_.config().invoke_overhead;
+      if (trace_ != nullptr) {
+        trace_->span(obs::Track::kLink, "usb.invoke_overhead",
+                     link_.config().invoke_overhead);
+      }
       const std::uint32_t input_crc =
           functional ? crc32(inputs.row(row).data(), inputs.cols() * sizeof(float)) : 0;
       const TransferReport in =
-          link_.checked_transfer(model.device_input_bytes, input_crc, faults);
+          link_.checked_transfer(model.device_input_bytes, input_crc, faults, trace_);
       charge_link(in, stats.transfer);
       if (!in.delivered) {
         sync_clock();
@@ -300,7 +373,8 @@ std::pair<lite::InferenceResult, ExecutionStats> EdgeTpuDevice::invoke_with_faul
       if (!memory_.fits(model.report.weight_bytes)) {
         // Oversized models re-stream parameters from host memory every run.
         const TransferReport stream =
-            link_.checked_transfer(model.report.weight_bytes, parameter_crc(), faults);
+            link_.checked_transfer(model.report.weight_bytes, parameter_crc(), faults,
+                                   trace_);
         charge_link(stream, stats.weight_upload);
         if (!stream.delivered) {
           sync_clock();
@@ -310,13 +384,28 @@ std::pair<lite::InferenceResult, ExecutionStats> EdgeTpuDevice::invoke_with_faul
       }
     }
 
-    stats += sample_compute_cost(model, host);
+    const ExecutionStats sample = sample_compute_cost(model, host);
+    stats += sample;
+    if (trace_ != nullptr) {
+      trace_->span(obs::Track::kDevice, "mxu.invoke", sample.device_compute,
+                   {{"sample", row}, {"macs", sample.device_macs}});
+      if (!sample.host_compute.is_zero()) {
+        trace_->span(obs::Track::kHost, "host.compute", sample.host_compute,
+                     {{"sample", row}});
+      }
+      if (obs::MetricsRegistry* metrics = trace_->metrics()) {
+        metrics->counter("tpu.invocations").add(1);
+        metrics->counter("tpu.device_macs").add(sample.device_macs);
+        metrics->histogram("tpu.sample_latency")
+            .observe(sample.device_compute + sample.host_compute);
+      }
+    }
 
     lite::InferenceResult one;
     if (functional) {
       tensor::MatrixF one_row(1, inputs.cols());
       std::copy_n(inputs.row(row).data(), inputs.cols(), one_row.data());
-      one = interpreter->run(one_row);
+      one = interpreter->run(one_row, trace_);
     }
 
     if (model.has_device_segment()) {
@@ -324,7 +413,7 @@ std::pair<lite::InferenceResult, ExecutionStats> EdgeTpuDevice::invoke_with_faul
           functional ? crc32(one.values.row(0).data(), one.values.cols() * sizeof(float))
                      : 0;
       const TransferReport out =
-          link_.checked_transfer(model.device_output_bytes, output_crc, faults);
+          link_.checked_transfer(model.device_output_bytes, output_crc, faults, trace_);
       charge_link(out, stats.transfer);
       if (!out.delivered) {
         sync_clock();
@@ -332,6 +421,10 @@ std::pair<lite::InferenceResult, ExecutionStats> EdgeTpuDevice::invoke_with_faul
       }
       if (options.interactive) {
         stats.transfer += link_.config().interactive_round_trip;
+        if (trace_ != nullptr) {
+          trace_->span(obs::Track::kLink, "usb.round_trip",
+                       link_.config().interactive_round_trip);
+        }
       }
     }
 

@@ -13,6 +13,10 @@
 #include "tpu/systolic.hpp"
 #include "tpu/usb.hpp"
 
+namespace hdc::obs {
+class TraceContext;
+}  // namespace hdc::obs
+
 namespace hdc::tpu {
 
 /// How a batch is pushed through the accelerator. Compiled models are fixed
@@ -49,9 +53,18 @@ class EdgeTpuDevice {
   /// `invoke` throws typed `DeviceFault`s (TransferCorrupt / DeviceLost /
   /// SramCorrupt) carrying the stats charged by the failed attempt — drive
   /// it through `runtime::ResilientExecutor` to retry and fall back.
-  void set_fault_injector(FaultInjector injector) { faults_ = std::move(injector); }
+  void set_fault_injector(FaultInjector injector);
   void clear_fault_injector() { faults_.reset(); }
   FaultInjector* fault_injector() noexcept { return faults_ ? &*faults_ : nullptr; }
+
+  /// Attaches a span/metrics recorder (null disables, the default). Every
+  /// invocation then emits `usb.*` / `mxu.*` / `host.*` spans keyed to
+  /// simulated time and publishes device metrics; the recorder is shared
+  /// with the MXU cycle model and any attached fault injector.
+  /// Instrumentation only *reads* the charged costs — timing and functional
+  /// results are bit-identical with tracing on, off, or null.
+  void set_trace(obs::TraceContext* trace) noexcept;
+  obs::TraceContext* trace_context() const noexcept { return trace_; }
 
   /// Simulated device-local clock: advances with every invocation's charged
   /// time and positions scheduled detach events. Executors also advance it
@@ -109,6 +122,7 @@ class EdgeTpuDevice {
   OnChipMemory memory_;
   std::optional<FaultInjector> faults_;
   SimDuration clock_;
+  obs::TraceContext* trace_ = nullptr;
 };
 
 }  // namespace hdc::tpu

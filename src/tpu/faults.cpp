@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace hdc::tpu {
 
 bool FaultProfile::enabled() const noexcept {
@@ -77,12 +80,31 @@ FaultInjector::FaultInjector(FaultProfile profile)
   std::sort(profile_.detach_at.begin(), profile_.detach_at.end());
 }
 
+void FaultInjector::record_fault(const char* name, std::uint64_t count) const {
+  if (trace_ == nullptr || count == 0) {
+    return;
+  }
+  trace_->instant(obs::Track::kDevice, name,
+                  {{"count", static_cast<std::int64_t>(count)}});
+  if (obs::MetricsRegistry* metrics = trace_->metrics()) {
+    metrics->counter(name).add(count);
+  }
+}
+
 bool FaultInjector::corrupt_transfer() {
-  return rng_.next_double() < profile_.transfer_corrupt_prob;
+  const bool hit = rng_.next_double() < profile_.transfer_corrupt_prob;
+  if (hit) {
+    record_fault("fault.transfer_corrupt");
+  }
+  return hit;
 }
 
 bool FaultInjector::nak_transfer() {
-  return rng_.next_double() < profile_.transfer_nak_prob;
+  const bool hit = rng_.next_double() < profile_.transfer_nak_prob;
+  if (hit) {
+    record_fault("fault.nak_stall");
+  }
+  return hit;
 }
 
 std::uint32_t FaultInjector::corruption_syndrome() {
@@ -100,6 +122,7 @@ std::uint64_t FaultInjector::sram_bitflips(std::uint64_t resident_bytes) {
   if (rng_.next_double() < expected - whole) {
     ++flips;
   }
+  record_fault("fault.sram_bitflips", flips);
   return flips;
 }
 
@@ -109,6 +132,7 @@ bool FaultInjector::detached(SimDuration now) const {
       break;  // detach_at is sorted; later events have not fired yet
     }
     if (profile_.reattach_after.is_zero() || now < t + profile_.reattach_after) {
+      record_fault("fault.detached");
       return true;
     }
   }

@@ -10,6 +10,10 @@
 #include "common/sim_time.hpp"
 #include "tpu/stats.hpp"
 
+namespace hdc::obs {
+class TraceContext;
+}  // namespace hdc::obs
+
 namespace hdc::tpu {
 
 /// How the simulated accelerator substrate misbehaves. All rates are
@@ -74,6 +78,12 @@ class FaultInjector {
   const FaultProfile& profile() const noexcept { return profile_; }
   bool enabled() const noexcept { return profile_.enabled(); }
 
+  /// Attaches an observability sink: every fault the injector hands out is
+  /// recorded as a `fault.*` instant event / counter. Tracing never consumes
+  /// randomness, so the fault schedule is bit-identical with or without it.
+  void set_trace(obs::TraceContext* trace) noexcept { trace_ = trace; }
+  obs::TraceContext* trace() const noexcept { return trace_; }
+
   /// One Bernoulli draw per bulk-transfer attempt.
   bool corrupt_transfer();
   bool nak_transfer();
@@ -94,8 +104,11 @@ class FaultInjector {
   void reset();
 
  private:
+  void record_fault(const char* name, std::uint64_t count = 1) const;
+
   FaultProfile profile_;
   Rng rng_;
+  obs::TraceContext* trace_ = nullptr;
 };
 
 /// Why a device invocation failed.

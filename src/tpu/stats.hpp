@@ -45,6 +45,12 @@ struct ExecutionStats {
   std::uint64_t invoke_retries = 0;    ///< executor-level invocation retries
   std::uint64_t fallback_samples = 0;  ///< samples completed on the host CPU instead
 
+  /// End-to-end simulated time. Serial invocations sum the stage fields:
+  /// `device_compute + host_compute + transfer + weight_upload +
+  /// retry_backoff`. Pipelined streaming (nonzero `pipelined_makespan`)
+  /// instead returns `weight_upload + pipelined_makespan + retry_backoff` —
+  /// the per-stage fields describe overlapped work and are *not* re-added,
+  /// so `total()` can be (much) less than the sum of the stage fields.
   SimDuration total() const {
     if (!pipelined_makespan.is_zero()) {
       return weight_upload + pipelined_makespan + retry_backoff;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hdc::tpu {
 
@@ -51,6 +53,16 @@ tensor::MatrixI32 SystolicArray::matmul(const tensor::MatrixI8& activations,
   return result;
 }
 
+void SystolicArray::publish_cycles(const char* metric, std::uint64_t cycles) const {
+  if (trace_ == nullptr) {
+    return;
+  }
+  if (obs::MetricsRegistry* metrics = trace_->metrics()) {
+    metrics->counter(metric).add(1);
+    metrics->counter("mxu.modeled_cycles").add(cycles);
+  }
+}
+
 std::uint64_t SystolicArray::tiles_along_rows(std::uint64_t in) const {
   return (in + config_.rows - 1) / config_.rows;
 }
@@ -71,8 +83,11 @@ std::uint64_t SystolicArray::matmul_cycles(std::uint64_t batch, std::uint64_t in
     // block drains. No per-tile fill, but weights re-stream for every batch
     // block — the opposite trade to weight stationary.
     const std::uint64_t batch_blocks = (batch + config_.rows - 1) / config_.rows;
-    return batch_blocks * tiles_out *
-           (in * config_.stream_cycles_per_row + config_.drain_cycles);
+    const std::uint64_t cycles =
+        batch_blocks * tiles_out *
+        (in * config_.stream_cycles_per_row + config_.drain_cycles);
+    publish_cycles("mxu.matmul_queries", cycles);
+    return cycles;
   }
 
   // Weight stationary: per output tile, every input tile is swapped in
@@ -80,12 +95,16 @@ std::uint64_t SystolicArray::matmul_cycles(std::uint64_t batch, std::uint64_t in
   const std::uint64_t per_out_tile =
       tiles_in * (config_.fill_cycles + batch * config_.stream_cycles_per_row) +
       config_.drain_cycles;
-  return tiles_out * per_out_tile;
+  const std::uint64_t cycles = tiles_out * per_out_tile;
+  publish_cycles("mxu.matmul_queries", cycles);
+  return cycles;
 }
 
 std::uint64_t SystolicArray::elementwise_cycles(std::uint64_t elements) const {
   // The activation unit processes one lane row (cols lanes) per cycle.
-  return (elements + config_.cols - 1) / config_.cols;
+  const std::uint64_t cycles = (elements + config_.cols - 1) / config_.cols;
+  publish_cycles("mxu.elementwise_queries", cycles);
+  return cycles;
 }
 
 }  // namespace hdc::tpu

@@ -4,6 +4,10 @@
 
 #include "tensor/matrix.hpp"
 
+namespace hdc::obs {
+class TraceContext;
+}  // namespace hdc::obs
+
 namespace hdc::tpu {
 
 /// Mapping of the GEMM onto the PE array. The Edge TPU (and TPUv1, [31] in
@@ -45,6 +49,11 @@ class SystolicArray {
 
   const SystolicConfig& config() const noexcept { return config_; }
 
+  /// Attaches an observability sink: every cycle-model query publishes
+  /// `mxu.*` counters (queries and modeled cycles, covering both the device
+  /// simulator and the analytic cost model). Null disables publishing.
+  void set_trace(obs::TraceContext* trace) noexcept { trace_ = trace; }
+
   /// Bit-faithful int8 matrix multiply executed tile by tile in the order
   /// the hardware would (weight-stationary, per-tile partial-sum
   /// accumulation into int32). Result equals tensor::matmul_i8 exactly —
@@ -67,7 +76,10 @@ class SystolicArray {
   std::uint64_t tiles_along_cols(std::uint64_t out) const;
 
  private:
+  void publish_cycles(const char* metric, std::uint64_t cycles) const;
+
   SystolicConfig config_;
+  obs::TraceContext* trace_ = nullptr;
 };
 
 }  // namespace hdc::tpu

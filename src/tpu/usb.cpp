@@ -1,6 +1,8 @@
 #include "tpu/usb.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tpu/faults.hpp"
 
 namespace hdc::tpu {
@@ -18,12 +20,37 @@ SimDuration UsbLink::transfer_time(std::uint64_t bytes) const {
   return SimDuration::seconds(static_cast<double>(bytes) / config_.bandwidth_bytes_per_s);
 }
 
+namespace {
+
+void trace_transfer(obs::TraceContext* trace, std::uint64_t bytes,
+                    const TransferReport& report) {
+  if (trace == nullptr) {
+    return;
+  }
+  trace->span(obs::Track::kLink, "usb.transfer", report.time,
+              {{"bytes", bytes},
+               {"crc_retries", static_cast<std::int64_t>(report.crc_retries)},
+               {"nak_stalls", static_cast<std::int64_t>(report.nak_stalls)},
+               {"delivered", static_cast<std::int64_t>(report.delivered ? 1 : 0)}});
+  if (obs::MetricsRegistry* metrics = trace->metrics()) {
+    metrics->counter("usb.transfers").add(1);
+    metrics->counter("usb.bytes").add(bytes);
+    metrics->counter("usb.crc_retries").add(report.crc_retries);
+    metrics->counter("usb.nak_stalls").add(report.nak_stalls);
+    metrics->histogram("usb.transfer_time").observe(report.time);
+  }
+}
+
+}  // namespace
+
 TransferReport UsbLink::checked_transfer(std::uint64_t bytes, std::uint32_t payload_crc,
-                                         FaultInjector* faults) const {
+                                         FaultInjector* faults,
+                                         obs::TraceContext* trace) const {
   TransferReport report;
   if (faults == nullptr || !faults->enabled()) {
     report.time = transfer_time(bytes);
     report.delivered = true;
+    trace_transfer(trace, bytes, report);
     return report;
   }
   const std::uint32_t max_attempts = faults->profile().max_transfer_attempts;
@@ -41,10 +68,12 @@ TransferReport UsbLink::checked_transfer(std::uint64_t bytes, std::uint32_t payl
                                    : payload_crc;
     if (received_crc == payload_crc) {
       report.delivered = true;
+      trace_transfer(trace, bytes, report);
       return report;
     }
     ++report.crc_retries;
   }
+  trace_transfer(trace, bytes, report);
   return report;
 }
 

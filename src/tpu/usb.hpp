@@ -4,6 +4,10 @@
 
 #include "common/sim_time.hpp"
 
+namespace hdc::obs {
+class TraceContext;
+}  // namespace hdc::obs
+
 namespace hdc::tpu {
 
 class FaultInjector;
@@ -48,8 +52,13 @@ class UsbLink {
   /// CRC comparison fails, and the frame is re-sent up to the profile's
   /// `max_transfer_attempts`. A null or fault-free injector degenerates to
   /// `transfer_time` with `delivered == true`.
+  ///
+  /// When `trace` is non-null, the transfer is recorded as a `usb.transfer`
+  /// span at the trace cursor (annotated with bytes, stalls and re-sends)
+  /// and published into the link's metrics; a null trace is a no-op.
   TransferReport checked_transfer(std::uint64_t bytes, std::uint32_t payload_crc,
-                                  FaultInjector* faults) const;
+                                  FaultInjector* faults,
+                                  obs::TraceContext* trace = nullptr) const;
 
  private:
   UsbLinkConfig config_;

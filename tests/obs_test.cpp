@@ -1,0 +1,717 @@
+// Tests for the observability layer (src/obs): the simulated-time tracer,
+// the metrics registry, the timing-report algebra they summarize, and the
+// end-to-end CLI contract (`hdc infer --trace` emits valid Chrome trace
+// JSON whose phase spans reconcile with the reported totals).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/framework.hpp"
+#include "runtime/report.hpp"
+#include "tpu/stats.hpp"
+
+namespace {
+
+using namespace hdc;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser, enough to validate the
+// exporter's output without third-party dependencies.
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+  const Json& at(const std::string& key) const { return object.at(key); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    Json value = parse_value();
+    skip_ws();
+    EXPECT_EQ(pos_, text_.size()) << "trailing garbage after JSON document";
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    EXPECT_EQ(peek(), c) << "at offset " << pos_;
+    ++pos_;
+  }
+
+  Json parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': pos_ += 4; return make_bool(true);
+      case 'f': pos_ += 5; return make_bool(false);
+      case 'n': pos_ += 4; return Json{};
+      default: return parse_number();
+    }
+  }
+
+  static Json make_bool(bool b) {
+    Json v;
+    v.type = Json::Type::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json v;
+    v.type = Json::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      Json key = parse_string();
+      expect(':');
+      v.object.emplace(key.string, parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json v;
+    v.type = Json::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Json parse_string() {
+    expect('"');
+    Json v;
+    v.type = Json::Type::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            // Only \u00XX control-char escapes are emitted by the writer.
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            c = static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+            break;
+          }
+          default: c = esc; break;
+        }
+      }
+      v.string += c;
+    }
+    expect('"');
+    return v;
+  }
+
+  Json parse_number() {
+    skip_ws();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    Json v;
+    v.type = Json::Type::kNumber;
+    v.number = std::strtod(begin, &end);
+    EXPECT_NE(begin, end) << "not a number at offset " << pos_;
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// TraceContext
+// ---------------------------------------------------------------------------
+
+TEST(TraceContextTest, SpanAdvancesCursorSpanAtDoesNot) {
+  obs::TraceContext trace;
+  EXPECT_EQ(trace.now(), SimDuration());
+
+  trace.span(obs::Track::kLink, "usb.transfer", SimDuration::micros(10));
+  EXPECT_EQ(trace.now(), SimDuration::micros(10));
+
+  trace.span_at(obs::Track::kDevice, "mxu.invoke", SimDuration::micros(2),
+                SimDuration::micros(100));
+  EXPECT_EQ(trace.now(), SimDuration::micros(10));  // cursor untouched
+
+  trace.instant(obs::Track::kHost, "fault.detached");
+  EXPECT_EQ(trace.now(), SimDuration::micros(10));
+
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.events()[0].start, SimDuration());
+  EXPECT_EQ(trace.events()[0].duration, SimDuration::micros(10));
+  EXPECT_EQ(trace.events()[1].start, SimDuration::micros(2));
+  EXPECT_EQ(trace.events()[2].kind, obs::TraceEvent::Kind::kInstant);
+}
+
+TEST(TraceContextTest, SpanTotalSumsByExactName) {
+  obs::TraceContext trace;
+  trace.span(obs::Track::kLink, "usb.transfer", SimDuration::micros(3));
+  trace.span(obs::Track::kLink, "usb.transfer", SimDuration::micros(4));
+  trace.span(obs::Track::kDevice, "mxu.invoke", SimDuration::micros(5));
+  EXPECT_EQ(trace.span_total("usb.transfer"), SimDuration::micros(7));
+  EXPECT_EQ(trace.span_total("mxu.invoke"), SimDuration::micros(5));
+  EXPECT_EQ(trace.span_total("usb"), SimDuration());  // no prefix matching
+}
+
+TEST(TraceContextTest, EventCapDropsAndExportNotesTruncation) {
+  obs::TraceConfig config;
+  config.max_events = 2;
+  obs::TraceContext trace(config);
+  for (int i = 0; i < 5; ++i) {
+    trace.span(obs::Track::kHost, "host.compute", SimDuration::micros(1));
+  }
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.dropped(), 3u);
+  // The cursor still tracks all charged time so later spans stay aligned.
+  EXPECT_EQ(trace.now(), SimDuration::micros(5));
+
+  const std::string json = trace.chrome_trace_json();
+  EXPECT_NE(json.find("trace.truncated"), std::string::npos);
+
+  Json doc = JsonParser(json).parse();
+  bool found = false;
+  for (const auto& event : doc.at("traceEvents").array) {
+    if (event.has("name") && event.at("name").string == "trace.truncated") {
+      found = true;
+      EXPECT_EQ(event.at("args").at("dropped_events").number, 3.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceContextTest, ChromeTraceExportIsValidAndComplete) {
+  obs::TraceContext trace;
+  trace.span(obs::Track::kLink, "usb.transfer", SimDuration::micros(12),
+             {{"bytes", 1024}, {"ratio", 0.5}, {"mode", "bulk"}});
+  trace.instant(obs::Track::kExecutor, "resilient.retry", {{"attempt", 1}});
+
+  Json doc = JsonParser(trace.chrome_trace_json()).parse();
+  EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+  const auto& events = doc.at("traceEvents").array;
+
+  // One process_name metadata record per track, plus the two real events.
+  int metadata = 0, spans = 0, instants = 0;
+  for (const auto& event : events) {
+    const std::string& ph = event.at("ph").string;
+    if (ph == "M") {
+      if (event.at("name").string == "process_name") {
+        ++metadata;
+      }
+    } else if (ph == "X") {
+      ++spans;
+      EXPECT_EQ(event.at("name").string, "usb.transfer");
+      EXPECT_DOUBLE_EQ(event.at("dur").number, 12.0);
+      EXPECT_EQ(event.at("args").at("bytes").number, 1024.0);
+      EXPECT_EQ(event.at("args").at("ratio").number, 0.5);
+      EXPECT_EQ(event.at("args").at("mode").string, "bulk");
+    } else if (ph == "i") {
+      ++instants;
+      EXPECT_EQ(event.at("name").string, "resilient.retry");
+      EXPECT_EQ(event.at("s").string, "p");
+    }
+  }
+  EXPECT_EQ(metadata, static_cast<int>(obs::kNumTracks));
+  EXPECT_EQ(spans, 1);
+  EXPECT_EQ(instants, 1);
+}
+
+TEST(TraceContextTest, JsonStringEscaping) {
+  obs::TraceContext trace;
+  trace.instant(obs::Track::kHost, "weird \"name\"\\with\nstuff",
+                {{"key", std::string("a\tb\x01c")}});
+  Json doc = JsonParser(trace.chrome_trace_json()).parse();
+  bool found = false;
+  for (const auto& event : doc.at("traceEvents").array) {
+    if (event.at("ph").string == "i") {
+      found = true;
+      EXPECT_EQ(event.at("name").string, "weird \"name\"\\with\nstuff");
+      EXPECT_EQ(event.at("args").at("key").string, "a\tb\x01c");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceContextTest, TrackNamesAreDistinct) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < obs::kNumTracks; ++i) {
+    names.emplace_back(obs::track_name(static_cast<obs::Track>(i)));
+  }
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, CountersAndGaugesAccumulate) {
+  obs::MetricsRegistry metrics;
+  EXPECT_TRUE(metrics.empty());
+  metrics.counter("usb.transfers").add(2);
+  metrics.counter("usb.transfers").add(3);
+  metrics.gauge("infer.accuracy").set(0.25);
+  metrics.gauge("infer.accuracy").set(0.75);
+  EXPECT_FALSE(metrics.empty());
+  EXPECT_EQ(metrics.counter("usb.transfers").value(), 5u);
+  EXPECT_DOUBLE_EQ(metrics.gauge("infer.accuracy").value(), 0.75);
+}
+
+TEST(MetricsTest, ReferencesAreStableAcrossInserts) {
+  obs::MetricsRegistry metrics;
+  obs::Counter& first = metrics.counter("a");
+  for (int i = 0; i < 100; ++i) {
+    metrics.counter("name" + std::to_string(i)).add(1);
+  }
+  first.add(7);
+  EXPECT_EQ(metrics.counter("a").value(), 7u);
+}
+
+TEST(MetricsTest, HistogramBucketsAndMoments) {
+  obs::MetricsRegistry metrics;
+  obs::DurationHistogram& h = metrics.histogram("latency");
+  h.observe(SimDuration::nanos(0.5));    // <= 1 ns -> bucket 0
+  h.observe(SimDuration::micros(5));     // <= 10 us -> bucket 4
+  h.observe(SimDuration::micros(5));
+  h.observe(SimDuration::seconds(5000));  // beyond 1000 s -> overflow bucket
+
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(4), 2u);
+  EXPECT_EQ(h.bucket_count(obs::DurationHistogram::kFiniteBuckets), 1u);
+  EXPECT_EQ(h.min(), SimDuration::nanos(0.5));
+  EXPECT_EQ(h.max(), SimDuration::seconds(5000));
+  EXPECT_DOUBLE_EQ(h.sum().to_seconds(),
+                   (SimDuration::nanos(0.5) + SimDuration::micros(10) +
+                    SimDuration::seconds(5000))
+                       .to_seconds());
+  EXPECT_DOUBLE_EQ(h.mean().to_seconds(), h.sum().to_seconds() / 4.0);
+}
+
+TEST(MetricsTest, WeightedObserveCountsOnce) {
+  obs::DurationHistogram h;
+  h.observe(SimDuration::micros(2), 10);  // 10 equal samples in one call
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.sum().to_micros(), 20.0);
+  EXPECT_EQ(h.min(), SimDuration::micros(2));
+  EXPECT_EQ(h.max(), SimDuration::micros(2));
+}
+
+TEST(MetricsTest, JsonExportParsesAndRoundTrips) {
+  obs::MetricsRegistry metrics;
+  metrics.counter("tpu.invocations").add(42);
+  metrics.gauge("train.total_s").set(1.5);
+  metrics.histogram("tpu.sample_latency").observe(SimDuration::micros(3));
+
+  Json doc = JsonParser(metrics.to_json()).parse();
+  EXPECT_EQ(doc.at("counters").at("tpu.invocations").number, 42.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("train.total_s").number, 1.5);
+  const Json& h = doc.at("histograms").at("tpu.sample_latency");
+  EXPECT_EQ(h.at("count").number, 1.0);
+  EXPECT_NEAR(h.at("sum_s").number, 3e-6, 1e-12);
+  // 13 finite log-scale buckets + the overflow bucket.
+  EXPECT_EQ(h.at("buckets").array.size(),
+            static_cast<std::size_t>(obs::DurationHistogram::kBuckets));
+  EXPECT_EQ(h.at("buckets").array.back().at("le_s").string, "inf");
+}
+
+TEST(MetricsTest, TableRendersAllMetricTypes) {
+  obs::MetricsRegistry metrics;
+  metrics.counter("usb.transfers").add(5);
+  metrics.gauge("infer.accuracy").set(0.875);
+  metrics.histogram("latency").observe(SimDuration::micros(7));
+
+  const std::string table = metrics.to_table();
+  EXPECT_NE(table.find("metric"), std::string::npos);
+  EXPECT_NE(table.find("usb.transfers"), std::string::npos);
+  EXPECT_NE(table.find("counter"), std::string::npos);
+  EXPECT_NE(table.find("infer.accuracy"), std::string::npos);
+  EXPECT_NE(table.find("gauge"), std::string::npos);
+  EXPECT_NE(table.find("latency"), std::string::npos);
+  EXPECT_NE(table.find("histogram"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Timing-report algebra the metrics layer summarizes (report.hpp, stats.hpp)
+// ---------------------------------------------------------------------------
+
+TEST(TrainTimingsTest, TotalSumsAllPhases) {
+  runtime::TrainTimings t;
+  t.encode = SimDuration::millis(3);
+  t.update = SimDuration::millis(2);
+  t.model_gen = SimDuration::millis(1);
+  EXPECT_EQ(t.total(), SimDuration::millis(6));
+}
+
+TEST(TrainTimingsTest, PlusEqualsAccumulatesFieldwise) {
+  runtime::TrainTimings a;
+  a.encode = SimDuration::millis(1);
+  a.update = SimDuration::millis(2);
+  a.model_gen = SimDuration::millis(3);
+  runtime::TrainTimings b;
+  b.encode = SimDuration::millis(10);
+  b.update = SimDuration::millis(20);
+  b.model_gen = SimDuration::millis(30);
+
+  a += b;
+  EXPECT_EQ(a.encode, SimDuration::millis(11));
+  EXPECT_EQ(a.update, SimDuration::millis(22));
+  EXPECT_EQ(a.model_gen, SimDuration::millis(33));
+  EXPECT_EQ(a.total(), SimDuration::millis(66));
+  // The right-hand side is untouched.
+  EXPECT_EQ(b.total(), SimDuration::millis(60));
+}
+
+TEST(ExecutionStatsTest, SerialTotalSumsStagesAndBackoff) {
+  tpu::ExecutionStats stats;
+  stats.device_compute = SimDuration::micros(100);
+  stats.host_compute = SimDuration::micros(10);
+  stats.transfer = SimDuration::micros(50);
+  stats.weight_upload = SimDuration::micros(5);
+  stats.retry_backoff = SimDuration::micros(200);
+  EXPECT_EQ(stats.total(), SimDuration::micros(365));
+}
+
+TEST(ExecutionStatsTest, PipelinedTotalReplacesStageSum) {
+  tpu::ExecutionStats stats;
+  stats.device_compute = SimDuration::micros(100);
+  stats.host_compute = SimDuration::micros(10);
+  stats.transfer = SimDuration::micros(50);
+  stats.weight_upload = SimDuration::micros(5);
+  stats.retry_backoff = SimDuration::micros(200);
+  // Overlap brings the makespan below the stage sum; total() must use it and
+  // must NOT re-add the overlapped stage fields.
+  stats.pipelined_makespan = SimDuration::micros(120);
+  EXPECT_EQ(stats.total(), SimDuration::micros(5 + 120 + 200));
+  EXPECT_LT(stats.total(), SimDuration::micros(365));
+}
+
+// ---------------------------------------------------------------------------
+// Framework integration: tracing is inert when disabled and reconciles with
+// the reported timings when enabled.
+// ---------------------------------------------------------------------------
+
+class ObsFrameworkTest : public ::testing::Test {
+ protected:
+  static data::Dataset make_dataset() {
+    data::SyntheticSpec spec;
+    spec.name = "obs_test";
+    spec.samples = 160;
+    spec.features = 16;
+    spec.classes = 4;
+    spec.seed = 17;
+    return data::generate_synthetic(spec, spec.samples);
+  }
+
+  static core::HdConfig small_config() {
+    core::HdConfig config;
+    config.dim = 256;
+    config.epochs = 2;
+    config.seed = 5;
+    return config;
+  }
+};
+
+TEST_F(ObsFrameworkTest, NullTraceIsBitIdenticalToTraced) {
+  const data::Dataset dataset = make_dataset();
+  const core::HdConfig config = small_config();
+
+  runtime::CoDesignFramework plain;
+  const auto trained = plain.train_tpu(dataset, config);
+  const auto baseline = plain.infer_tpu(trained.classifier, dataset, dataset);
+
+  obs::TraceContext trace;
+  obs::MetricsRegistry metrics;
+  trace.set_metrics(&metrics);
+  runtime::CoDesignFramework traced;
+  traced.set_trace(&trace);
+  const auto trained2 = traced.train_tpu(dataset, config);
+  const auto observed = traced.infer_tpu(trained2.classifier, dataset, dataset);
+
+  EXPECT_EQ(observed.predictions, baseline.predictions);
+  EXPECT_EQ(observed.accuracy, baseline.accuracy);
+  EXPECT_EQ(observed.timings.total, baseline.timings.total);
+  EXPECT_EQ(observed.timings.per_sample, baseline.timings.per_sample);
+  EXPECT_GT(trace.size(), 0u);
+  EXPECT_FALSE(metrics.empty());
+}
+
+TEST_F(ObsFrameworkTest, InferSpansReconcileWithReportedTotal) {
+  const data::Dataset dataset = make_dataset();
+
+  obs::TraceContext trace;
+  runtime::CoDesignFramework framework;
+  framework.set_trace(&trace);
+  const auto trained = framework.train_tpu(dataset, small_config());
+
+  const SimDuration before = trace.now();
+  const auto outcome = framework.infer_tpu(trained.classifier, dataset, dataset);
+
+  // infer_tpu's total excludes the one-time weight upload; the phase spans
+  // laid down during the invoke must sum to it exactly (modulo float
+  // rounding across the per-sample accumulation).
+  const double total_s = outcome.timings.total.to_seconds();
+
+  SimDuration spans;
+  for (const auto& event : trace.events()) {
+    if (event.kind != obs::TraceEvent::Kind::kSpan || event.start < before) {
+      continue;
+    }
+    if (event.name == "usb.transfer" || event.name == "mxu.invoke" ||
+        event.name == "host.compute") {
+      spans += event.duration;
+    }
+  }
+  EXPECT_NEAR(spans.to_seconds(), total_s, 1e-9 + 1e-9 * total_s);
+
+  // The infer.tpu envelope starts after the one-time weight upload (which
+  // gets its own span), so it covers exactly the phase spans.
+  SimDuration envelope;
+  SimDuration upload;
+  for (const auto& event : trace.events()) {
+    if (event.start < before) {
+      continue;
+    }
+    if (event.name == "infer.tpu") {
+      envelope = event.duration;
+    }
+    if (event.name == "usb.weight_upload") {
+      upload = event.duration;
+    }
+  }
+  EXPECT_GT(upload, SimDuration());
+  EXPECT_NEAR(envelope.to_seconds(), spans.to_seconds(), 1e-9 + 1e-9 * total_s);
+}
+
+TEST_F(ObsFrameworkTest, TrainEncodeSpanMatchesReportedEncodeTime) {
+  const data::Dataset dataset = make_dataset();
+
+  obs::TraceContext trace;
+  runtime::CoDesignFramework framework;
+  framework.set_trace(&trace);
+  const auto outcome = framework.train_tpu(dataset, small_config());
+
+  const double encode_s = outcome.timings.encode.to_seconds();
+  EXPECT_NEAR(trace.span_total("train.encode").to_seconds(), encode_s,
+              1e-9 + 1e-9 * encode_s);
+  const double update_s = outcome.timings.update.to_seconds();
+  EXPECT_NEAR(trace.span_total("train.update").to_seconds(), update_s,
+              1e-9 + 1e-9 * update_s);
+  const double gen_s = outcome.timings.model_gen.to_seconds();
+  EXPECT_NEAR(trace.span_total("train.model_gen").to_seconds(), gen_s,
+              1e-9 + 1e-9 * gen_s);
+}
+
+// ---------------------------------------------------------------------------
+// CLI end-to-end: `hdc infer --trace` writes a parseable Chrome trace whose
+// spans reconcile with the reported total (the PR's acceptance contract).
+// ---------------------------------------------------------------------------
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_cli(const std::string& args) {
+  const std::string command = std::string(HDC_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  RunResult result;
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class ObsCliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new fs::path(fs::temp_directory_path() / "hdc_obs_cli_test");
+    fs::create_directories(*dir_);
+    std::ofstream csv(*dir_ / "data.csv");
+    for (int i = 0; i < 240; ++i) {
+      const int c = i % 3;
+      const double jitter = 0.1 * ((i * 37 % 19) - 9) / 9.0;
+      csv << c * 1.0 + jitter << "," << 1.0 - c * 0.4 + jitter << ","
+          << c * c * 0.2 + jitter << "," << 0.5 - jitter << ",class" << c << "\n";
+    }
+    csv.close();
+    const auto train = run_cli("train " + path("data.csv") + " --out " +
+                               path("model.hdcm") + " --dim 256 --epochs 2");
+    ASSERT_EQ(train.exit_code, 0) << train.output;
+  }
+  static void TearDownTestSuite() {
+    fs::remove_all(*dir_);
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static std::string path(const char* name) { return (*dir_ / name).string(); }
+  static fs::path* dir_;
+};
+
+fs::path* ObsCliTest::dir_ = nullptr;
+
+TEST_F(ObsCliTest, InferTraceProducesValidChromeTraceThatReconciles) {
+  const auto result =
+      run_cli("infer " + path("data.csv") + " --model " + path("model.hdcm") +
+              " --tpu --trace " + path("out.trace.json") + " --metrics " +
+              path("out.metrics.json"));
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("wrote"), std::string::npos);
+
+  Json doc = JsonParser(slurp(*dir_ / "out.trace.json")).parse();
+  EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+  const auto& events = doc.at("traceEvents").array;
+  ASSERT_FALSE(events.empty());
+
+  double transfer_us = 0.0, device_us = 0.0, host_us = 0.0, envelope_us = 0.0;
+  int metadata = 0;
+  for (const auto& event : events) {
+    const std::string& ph = event.at("ph").string;
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    if (ph != "X") {
+      continue;
+    }
+    const std::string& name = event.at("name").string;
+    const double dur = event.at("dur").number;
+    if (name == "usb.transfer") {
+      transfer_us += dur;
+    } else if (name == "mxu.invoke") {
+      device_us += dur;
+    } else if (name == "host.compute") {
+      host_us += dur;
+    } else if (name == "infer.tpu") {
+      envelope_us = dur;
+    }
+  }
+  EXPECT_GE(metadata, static_cast<int>(obs::kNumTracks));
+  // Spans for transfer, device compute, and host compute all present...
+  EXPECT_GT(transfer_us, 0.0);
+  EXPECT_GT(device_us, 0.0);
+  EXPECT_GT(host_us, 0.0);
+  // ...and their simulated times reconcile with the reported total (the
+  // infer.tpu envelope is exactly that total; µs timestamps round at 1e-6).
+  const double phase_us = transfer_us + device_us + host_us;
+  EXPECT_NEAR(phase_us, envelope_us, 1e-2 + 1e-6 * envelope_us);
+
+  // The reported total in the metrics file matches the span sum too.
+  Json metrics = JsonParser(slurp(*dir_ / "out.metrics.json")).parse();
+  const double total_s = metrics.at("gauges").at("infer.total_s").number;
+  EXPECT_NEAR(phase_us * 1e-6, total_s, 1e-8 + 1e-6 * total_s);
+  EXPECT_EQ(metrics.at("counters").at("infer.samples").number, 240.0);
+}
+
+TEST_F(ObsCliTest, TraceCapTruncatesWithWarning) {
+  const auto result =
+      run_cli("infer " + path("data.csv") + " --model " + path("model.hdcm") +
+              " --tpu --trace " + path("capped.trace.json") + " --trace-cap 4");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("truncated"), std::string::npos) << result.output;
+
+  Json doc = JsonParser(slurp(*dir_ / "capped.trace.json")).parse();
+  bool truncated_marker = false;
+  std::size_t real_events = 0;
+  for (const auto& event : doc.at("traceEvents").array) {
+    if (event.at("ph").string == "M") {
+      continue;
+    }
+    if (event.at("name").string == "trace.truncated") {
+      truncated_marker = true;
+    } else {
+      ++real_events;
+    }
+  }
+  EXPECT_TRUE(truncated_marker);
+  EXPECT_LE(real_events, 4u);
+}
+
+TEST_F(ObsCliTest, CpuInferWithMetricsOnly) {
+  const auto result =
+      run_cli("infer " + path("data.csv") + " --model " + path("model.hdcm") +
+              " --metrics " + path("cpu.metrics.json"));
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  Json metrics = JsonParser(slurp(*dir_ / "cpu.metrics.json")).parse();
+  EXPECT_EQ(metrics.at("counters").at("host.samples").number, 240.0);
+  EXPECT_TRUE(metrics.at("gauges").has("infer.accuracy"));
+}
+
+}  // namespace

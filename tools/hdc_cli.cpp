@@ -2,8 +2,11 @@
 //
 //   hdc train <train.csv> --out model.hdcm [--dim N] [--epochs N]
 //             [--bagging M] [--alpha A] [--seed S]
+//             [--trace out.trace.json] [--metrics out.metrics.json]
 //   hdc infer <test.csv> --model model.hdcm [--tpu]
 //             [--fault-profile corrupt=P,nak=P,sram=R,detach=T,reattach=T,seed=N]
+//             [--trace out.trace.json] [--metrics out.metrics.json]
+//             [--trace-cap N]
 //   hdc compile <model.hdcm> --out model.hdlt [--per-channel] [--classes-only]
 //   hdc describe <model.hdlt>
 //   hdc autotune <train.csv> [--dim N] [--margin F]
@@ -12,9 +15,16 @@
 // CSV convention: one sample per row, label in the last column (strings or
 // integers; densified automatically). Features are min-max normalized with
 // statistics of the file being processed.
+//
+// --trace writes a Chrome trace-event JSON (open in Perfetto / about:tracing)
+// of the run's simulated timeline; --metrics writes the counter/gauge/
+// histogram registry as JSON and prints it as a table. See
+// docs/OBSERVABILITY.md.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "common/error.hpp"
@@ -27,6 +37,8 @@
 #include "lite/quantize.hpp"
 #include "lite/serialize.hpp"
 #include "nn/wide_nn.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/autotune.hpp"
 #include "runtime/framework.hpp"
 #include "tpu/compiler.hpp"
@@ -61,6 +73,78 @@ data::Dataset load_normalized(const std::string& path) {
   return ds;
 }
 
+/// Owns the optional tracer + metrics registry behind --trace / --metrics.
+/// When neither flag is given, `trace()` is null and the run is untouched.
+class TraceSession {
+ public:
+  TraceSession(int argc, char** argv) {
+    const char* trace_path = arg_value(argc, argv, "--trace", nullptr);
+    const char* metrics_path = arg_value(argc, argv, "--metrics", nullptr);
+    if (trace_path != nullptr) {
+      trace_path_ = trace_path;
+    }
+    if (metrics_path != nullptr) {
+      metrics_path_ = metrics_path;
+    }
+    if (trace_path_.empty() && metrics_path_.empty()) {
+      return;
+    }
+    obs::TraceConfig config;
+    const char* cap = arg_value(argc, argv, "--trace-cap", nullptr);
+    if (cap != nullptr) {
+      config.max_events = static_cast<std::size_t>(std::atoll(cap));
+      HDC_CHECK(config.max_events > 0, "--trace-cap must be positive");
+    }
+    trace_ = std::make_unique<obs::TraceContext>(config);
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    trace_->set_metrics(metrics_.get());
+  }
+
+  obs::TraceContext* trace() const noexcept { return trace_.get(); }
+
+  /// Writes the requested files and prints the metrics table. Returns false
+  /// (after printing an error) if a file could not be written.
+  bool finish() const {
+    if (trace_ == nullptr) {
+      return true;
+    }
+    if (!trace_path_.empty()) {
+      if (trace_->dropped() > 0) {
+        std::fprintf(stderr,
+                     "warning: trace truncated — dropped %zu spans beyond the "
+                     "%zu-event cap (raise with --trace-cap)\n",
+                     trace_->dropped(), trace_->config().max_events);
+      }
+      std::ofstream out(trace_path_);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write trace to %s\n", trace_path_.c_str());
+        return false;
+      }
+      trace_->write_chrome_trace(out);
+      std::printf("wrote %zu trace events to %s\n", trace_->size(), trace_path_.c_str());
+    }
+    if (!metrics_path_.empty()) {
+      std::ofstream out(metrics_path_);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write metrics to %s\n", metrics_path_.c_str());
+        return false;
+      }
+      out << metrics_->to_json() << '\n';
+      std::printf("wrote metrics to %s\n", metrics_path_.c_str());
+    }
+    if (!metrics_->empty()) {
+      std::printf("%s", metrics_->to_table().c_str());
+    }
+    return true;
+  }
+
+ private:
+  std::unique_ptr<obs::TraceContext> trace_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::string trace_path_;
+  std::string metrics_path_;
+};
+
 int cmd_train(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr, "usage: hdc train <train.csv> --out model.hdcm [options]\n");
@@ -75,7 +159,9 @@ int cmd_train(int argc, char** argv) {
       static_cast<std::uint32_t>(std::atoi(arg_value(argc, argv, "--epochs", "20")));
   config.seed = static_cast<std::uint64_t>(std::atoll(arg_value(argc, argv, "--seed", "42")));
 
-  const runtime::CoDesignFramework framework;
+  const TraceSession session(argc, argv);
+  runtime::CoDesignFramework framework;
+  framework.set_trace(session.trace());
   const auto bagging_models =
       static_cast<std::uint32_t>(std::atoi(arg_value(argc, argv, "--bagging", "0")));
 
@@ -107,7 +193,7 @@ int cmd_train(int argc, char** argv) {
               outcome.timings.update.to_string().c_str(),
               outcome.timings.model_gen.to_string().c_str());
   std::printf("saved %s\n", out_path.c_str());
-  return 0;
+  return session.finish() ? 0 : 1;
 }
 
 int cmd_infer(int argc, char** argv) {
@@ -121,7 +207,9 @@ int cmd_infer(int argc, char** argv) {
   const std::string model_path = arg_value(argc, argv, "--model", "model.hdcm");
   const core::TrainedClassifier classifier = core::load_classifier(model_path);
 
-  const runtime::CoDesignFramework framework;
+  const TraceSession session(argc, argv);
+  runtime::CoDesignFramework framework;
+  framework.set_trace(session.trace());
   const char* fault_spec = arg_value(argc, argv, "--fault-profile", nullptr);
   if (fault_spec != nullptr) {
     // Fault injection implies the (simulated) TPU path — the CPU baseline
@@ -149,7 +237,7 @@ int cmd_infer(int argc, char** argv) {
                 stats.retry_backoff.to_string().c_str(),
                 static_cast<unsigned long long>(report.cpu_samples), test.num_samples(),
                 report.circuit_opened ? " (circuit breaker opened)" : "");
-    return 0;
+    return session.finish() ? 0 : 1;
   }
 
   const auto outcome = has_flag(argc, argv, "--tpu")
@@ -161,7 +249,7 @@ int cmd_infer(int argc, char** argv) {
   std::printf("simulated latency: %s/sample (%s total)\n",
               outcome.timings.per_sample.to_string().c_str(),
               outcome.timings.total.to_string().c_str());
-  return 0;
+  return session.finish() ? 0 : 1;
 }
 
 int cmd_compile(int argc, char** argv) {
