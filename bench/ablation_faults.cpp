@@ -17,6 +17,7 @@
 #include "runtime/framework.hpp"
 
 int main(int argc, char** argv) {
+  hdc::bench::apply_threads_flag(argc, argv);
   using namespace hdc;
 
   const std::uint32_t samples = bench::arg_u32(argc, argv, "--samples", 1200);

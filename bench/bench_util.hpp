@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "data/dataset.hpp"
 #include "data/synthetic.hpp"
 #include "obs/metrics.hpp"
@@ -84,6 +85,15 @@ inline const char* arg_str(int argc, char** argv, const std::string& flag) {
     }
   }
   return nullptr;
+}
+
+/// Honors `--threads N` for the host worker pool (functional paths only;
+/// simulated timings are analytic and unaffected by the thread count).
+inline void apply_threads_flag(int argc, char** argv) {
+  const std::uint32_t threads = arg_u32(argc, argv, "--threads", 0);
+  if (threads > 0) {
+    parallel::set_num_threads(threads);
+  }
 }
 
 /// Opt-in observability for benchmark binaries: `--trace out.trace.json`

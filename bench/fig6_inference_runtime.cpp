@@ -16,6 +16,7 @@
 #include "runtime/framework.hpp"
 
 int main(int argc, char** argv) {
+  hdc::bench::apply_threads_flag(argc, argv);
   using namespace hdc;
   const bench::ObsSession obs_session(argc, argv);
 

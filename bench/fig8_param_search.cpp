@@ -32,6 +32,7 @@ double bagged_accuracy(const hdc::runtime::CoDesignFramework& framework,
 }  // namespace
 
 int main(int argc, char** argv) {
+  hdc::bench::apply_threads_flag(argc, argv);
   using namespace hdc;
 
   const std::uint32_t samples = bench::arg_u32(argc, argv, "--samples", 1200);

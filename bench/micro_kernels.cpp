@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/encoder.hpp"
 #include "core/binary.hpp"
@@ -48,6 +49,34 @@ void BM_MatmulFloat(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatmulFloat)->Arg(64)->Arg(128)->Arg(256);
+
+// Host-pool threads sweep on the paper-scale batch-encode GEMM shape
+// (512 samples x 784 features -> d = 10000). The Arg is the thread count;
+// the acceptance bar is >= 2x over 1 thread at 4 threads on a 4-core host.
+void BM_MatmulThreads(benchmark::State& state) {
+  parallel::set_num_threads(static_cast<std::size_t>(state.range(0)));
+  const auto a = random_f(512, 784, 1);
+  const auto b = random_f(784, 10000, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * 784 * 10000);
+  parallel::set_num_threads(0);
+}
+BENCHMARK(BM_MatmulThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Same sweep through the fused encode kernel (matmul + tanh per row block).
+void BM_EncodeBatchThreads(benchmark::State& state) {
+  parallel::set_num_threads(static_cast<std::size_t>(state.range(0)));
+  const core::Encoder encoder(784, 10000, 5);
+  const auto samples = random_f(512, 784, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode_batch(samples));
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * 784 * 10000);
+  parallel::set_num_threads(0);
+}
+BENCHMARK(BM_EncodeBatchThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 void BM_Vecmat(benchmark::State& state) {
   const auto d = static_cast<std::size_t>(state.range(0));

@@ -34,6 +34,7 @@ bool has_flag(int argc, char** argv, const char* flag) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  hdc::bench::apply_threads_flag(argc, argv);
   using namespace hdc;
 
   bench::print_header("Paper-vs-measured summary (all headline quantities)");

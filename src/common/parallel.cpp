@@ -1,0 +1,242 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hdc {
+namespace {
+
+/// Depth of parallel_for frames on this thread (workers and callers alike).
+/// Any nested parallel_for runs inline so pool threads never block on tasks
+/// that could only run on other blocked pool threads.
+thread_local int t_parallel_depth = 0;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_available;
+  std::deque<std::function<void()>> queue;
+  bool stop = false;
+  std::vector<std::thread> workers;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_available.wait(lock, [this] { return stop || !queue.empty(); });
+        if (queue.empty()) {
+          return;  // stop requested and nothing left to drain
+        }
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+namespace {
+
+/// Shared completion state of one parallel_for call.
+struct Batch {
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t pending = 0;
+  std::exception_ptr error;
+
+  void record_error() noexcept {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!error) {
+      error = std::current_exception();
+    }
+  }
+
+  void finish_one() noexcept {
+    const std::lock_guard<std::mutex> lock(mutex);
+    --pending;
+    if (pending == 0) {
+      done.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : impl_(nullptr), num_threads_(std::max<std::size_t>(1, num_threads)) {
+  if (num_threads_ == 1) {
+    return;
+  }
+  impl_ = new Impl;
+  impl_->workers.reserve(num_threads_ - 1);
+  for (std::size_t i = 0; i + 1 < num_threads_; ++i) {
+    impl_->workers.emplace_back([this] {
+      ++t_parallel_depth;  // tasks on workers always count as nested
+      impl_->worker_loop();
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (impl_ == nullptr) {
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_available.notify_all();
+  for (std::thread& worker : impl_->workers) {
+    worker.join();
+  }
+  delete impl_;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end, const RangeBody& body) {
+  if (begin >= end) {
+    return;
+  }
+  const std::size_t count = end - begin;
+  const std::size_t chunks = std::min(num_threads_, count);
+  if (chunks <= 1 || impl_ == nullptr || t_parallel_depth > 0) {
+    ++t_parallel_depth;
+    try {
+      body(begin, end);
+    } catch (...) {
+      --t_parallel_depth;
+      throw;
+    }
+    --t_parallel_depth;
+    return;
+  }
+
+  // Static chunking: chunk c covers [begin + c*count/chunks,
+  // begin + (c+1)*count/chunks). The partition is a pure function of
+  // (range, pool size), independent of scheduling.
+  const auto chunk_bound = [&](std::size_t c) { return begin + c * count / chunks; };
+
+  auto batch = std::make_shared<Batch>();
+  batch->pending = chunks;  // chunk 0 (the caller) included
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      impl_->queue.emplace_back([batch, &body, lo = chunk_bound(c), hi = chunk_bound(c + 1)] {
+        try {
+          body(lo, hi);
+        } catch (...) {
+          batch->record_error();
+        }
+        batch->finish_one();
+      });
+    }
+  }
+  impl_->work_available.notify_all();
+
+  ++t_parallel_depth;
+  try {
+    body(begin, chunk_bound(1));
+  } catch (...) {
+    batch->record_error();
+  }
+  --t_parallel_depth;
+  batch->finish_one();
+
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->done.wait(lock, [&] { return batch->pending == 0; });
+  if (batch->error) {
+    std::rethrow_exception(batch->error);
+  }
+}
+
+namespace parallel {
+namespace {
+
+std::size_t default_threads() {
+  if (const char* env = std::getenv("HDC_THREADS")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return hardware_threads();
+}
+
+std::mutex g_pool_mutex;
+std::size_t g_setting = 0;  // raw set_num_threads value; 0 = default
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+std::size_t hardware_threads() {
+  return std::max(1U, std::thread::hardware_concurrency());
+}
+
+void set_num_threads(std::size_t n) {
+  const std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_setting = n;
+}
+
+std::size_t num_threads_setting() {
+  const std::lock_guard<std::mutex> lock(g_pool_mutex);
+  return g_setting;
+}
+
+std::size_t num_threads() {
+  const std::lock_guard<std::mutex> lock(g_pool_mutex);
+  return g_setting == 0 ? default_threads() : g_setting;
+}
+
+ThreadPool& global_pool() {
+  const std::lock_guard<std::mutex> lock(g_pool_mutex);
+  const std::size_t want = g_setting == 0 ? default_threads() : g_setting;
+  if (g_pool == nullptr || g_pool->size() != want) {
+    g_pool.reset();  // join the old workers before spawning the new pool
+    g_pool = std::make_unique<ThreadPool>(want);
+  }
+  return *g_pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end, const ThreadPool::RangeBody& body) {
+  if (begin >= end) {
+    return;
+  }
+  if (end - begin == 1 || t_parallel_depth > 0) {
+    // Fast path that skips the pool lock entirely; nested regions always run
+    // inline regardless of the global pool state.
+    ++t_parallel_depth;
+    try {
+      body(begin, end);
+    } catch (...) {
+      --t_parallel_depth;
+      throw;
+    }
+    --t_parallel_depth;
+    return;
+  }
+  global_pool().parallel_for(begin, end, body);
+}
+
+ScopedThreadCount::ScopedThreadCount(std::size_t n)
+    : previous_(num_threads_setting()), active_(n != 0) {
+  if (active_) {
+    set_num_threads(n);
+  }
+}
+
+ScopedThreadCount::~ScopedThreadCount() {
+  if (active_) {
+    set_num_threads(previous_);
+  }
+}
+
+}  // namespace parallel
+}  // namespace hdc

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace hdc {
+
+/// Fixed-size host worker pool with a deterministic `parallel_for`.
+///
+/// The library parallelizes only *independent output rows* (matmul row
+/// blocks, per-sample scoring, pre-seeded bagging members), so results are
+/// bit-identical to serial execution for any thread count: every output
+/// element is written by exactly one chunk and each chunk performs the same
+/// floating-point accumulation order the serial loop would. Chunking is
+/// static (the partition depends only on the range and the pool size), so
+/// scheduling never influences the work assignment either.
+class ThreadPool {
+ public:
+  /// `num_threads` is the number of compute lanes including the calling
+  /// thread; `ThreadPool(1)` spawns no workers and runs everything inline.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return num_threads_; }
+
+  /// Chunk body: invoked as `body(chunk_begin, chunk_end)` over a contiguous
+  /// sub-range of the iteration space.
+  using RangeBody = std::function<void(std::size_t, std::size_t)>;
+
+  /// Splits [begin, end) into at most size() near-equal contiguous chunks,
+  /// runs the tail chunks on the workers while the calling thread executes
+  /// the first one, and waits for all of them. The first exception thrown by
+  /// any chunk is rethrown on the calling thread (after every chunk
+  /// finished, so no work is left in flight). Nested calls — from a worker
+  /// or from a body already inside a `parallel_for` — run inline serially,
+  /// which keeps the pool deadlock-free under nested parallelism.
+  void parallel_for(std::size_t begin, std::size_t end, const RangeBody& body);
+
+ private:
+  struct Impl;
+  Impl* impl_;  ///< null when num_threads_ == 1 (pure inline mode)
+  std::size_t num_threads_;
+};
+
+namespace parallel {
+
+/// Detected hardware concurrency, clamped to at least 1.
+std::size_t hardware_threads();
+
+/// Sets the process-wide thread count used by `parallel::parallel_for`
+/// (and thus by matmul / encode_batch / batch prediction / bagging).
+/// 0 restores the default: the `HDC_THREADS` environment variable if set,
+/// otherwise `hardware_threads()`. Must not be called concurrently with
+/// in-flight parallel work.
+void set_num_threads(std::size_t n);
+
+/// The raw setting last passed to `set_num_threads` (0 = default).
+std::size_t num_threads_setting();
+
+/// The resolved thread count the global pool runs with.
+std::size_t num_threads();
+
+/// The lazily created process-wide pool, resized when the setting changes.
+ThreadPool& global_pool();
+
+/// `ThreadPool::parallel_for` on the global pool.
+void parallel_for(std::size_t begin, std::size_t end, const ThreadPool::RangeBody& body);
+
+/// RAII thread-count override (e.g. from `HdConfig::threads`): sets the
+/// global count on construction when `n != 0`, restores the previous
+/// setting on destruction. A zero `n` is a no-op override.
+class ScopedThreadCount {
+ public:
+  explicit ScopedThreadCount(std::size_t n);
+  ~ScopedThreadCount();
+
+  ScopedThreadCount(const ScopedThreadCount&) = delete;
+  ScopedThreadCount& operator=(const ScopedThreadCount&) = delete;
+
+ private:
+  std::size_t previous_;
+  bool active_;
+};
+
+}  // namespace parallel
+}  // namespace hdc

@@ -1,8 +1,10 @@
 #include "core/bagging.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "tensor/ops.hpp"
 
 namespace hdc::core {
@@ -50,9 +52,12 @@ std::uint32_t BaggedEnsemble::predict(std::span<const float> sample) const {
 
 std::vector<std::uint32_t> BaggedEnsemble::predict_batch(const tensor::MatrixF& samples) const {
   std::vector<std::uint32_t> out(samples.rows());
-  for (std::size_t i = 0; i < samples.rows(); ++i) {
-    out[i] = predict(samples.row(i));
-  }
+  // Sample-parallel consensus: each row's member scores sum independently.
+  parallel::parallel_for(0, samples.rows(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[i] = predict(samples.row(i));
+    }
+  });
   return out;
 }
 
@@ -94,32 +99,53 @@ BaggedEnsemble BaggingTrainer::fit(const data::Dataset& train) const {
   const auto num_samples = static_cast<std::uint32_t>(train.num_samples());
   const auto num_features = static_cast<std::uint32_t>(train.num_features());
 
-  Rng rng(config_.base.seed);
-  BaggedEnsemble ensemble;
-  ensemble.members.reserve(config_.num_models);
-
   HdConfig sub_config = config_.base;
   sub_config.dim = sub_dim;
   sub_config.epochs = config_.epochs;
+  sub_config.threads = 0;  // the member level owns the pool below
 
+  // Pre-split every member's RNG stream *before* dispatch: each member's
+  // bootstrap and base-hypervector draws are a pure function of (seed, m),
+  // so the trained ensemble is bit-identical for any thread count and any
+  // completion order.
+  Rng rng(config_.base.seed);
+  std::vector<Rng> member_rngs;
+  member_rngs.reserve(config_.num_models);
   for (std::uint32_t m = 0; m < config_.num_models; ++m) {
-    Rng member_rng = rng.split();
-    const auto bootstrap =
-        data::draw_bootstrap(num_samples, num_features, config_.bootstrap, member_rng);
-
-    Encoder encoder(num_features, sub_dim, member_rng.next_u64());
-    encoder.apply_feature_mask(bootstrap.feature_mask);
-
-    const data::Dataset subset = train.select(bootstrap.sample_indices);
-    Trainer trainer(sub_config);
-    TrainResult trained = trainer.fit(encoder, subset);
-
-    ensemble.members.push_back(
-        SubModel{std::move(encoder), std::move(trained.model), bootstrap});
-    // Keep the history; the model itself now lives in the ensemble member.
-    trained.model = HdModel(ensemble.members.back().model.num_classes(), 1);
-    ensemble.training.push_back(std::move(trained));
+    member_rngs.push_back(rng.split());
   }
+
+  const parallel::ScopedThreadCount thread_scope(config_.base.threads);
+  std::vector<std::optional<SubModel>> members(config_.num_models);
+  std::vector<TrainingRecord> records(config_.num_models);
+
+  // Members are embarrassingly parallel; each slot is written by exactly one
+  // chunk and placed by index afterwards. Nested kernels (encode, scoring)
+  // run inline on the member's thread.
+  parallel::parallel_for(0, config_.num_models, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t m = lo; m < hi; ++m) {
+      Rng member_rng = member_rngs[m];
+      const auto bootstrap =
+          data::draw_bootstrap(num_samples, num_features, config_.bootstrap, member_rng);
+
+      Encoder encoder(num_features, sub_dim, member_rng.next_u64());
+      encoder.apply_feature_mask(bootstrap.feature_mask);
+
+      const data::Dataset subset = train.select(bootstrap.sample_indices);
+      const Trainer trainer(sub_config);
+      TrainResult trained = trainer.fit(encoder, subset);
+
+      records[m] = TrainingRecord{std::move(trained.history), trained.total_updates};
+      members[m] = SubModel{std::move(encoder), std::move(trained.model), bootstrap};
+    }
+  });
+
+  BaggedEnsemble ensemble;
+  ensemble.members.reserve(config_.num_models);
+  for (std::uint32_t m = 0; m < config_.num_models; ++m) {
+    ensemble.members.push_back(std::move(*members[m]));
+  }
+  ensemble.training = std::move(records);
   return ensemble;
 }
 

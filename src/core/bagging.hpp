@@ -37,7 +37,7 @@ struct SubModel {
 /// The trained ensemble plus per-member training history.
 struct BaggedEnsemble {
   std::vector<SubModel> members;
-  std::vector<TrainResult> training;  ///< history per member (model moved out)
+  std::vector<TrainingRecord> training;  ///< per-epoch stats per member
 
   std::uint32_t num_classes() const;
   std::uint32_t full_dim() const;  ///< sum of member widths

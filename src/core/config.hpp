@@ -16,6 +16,10 @@ struct HdConfig {
   float learning_rate = 1.0F;       ///< lambda in the bundling/detaching update
   std::uint32_t epochs = 20;        ///< training iterations (paper: 20 for full models)
   Similarity similarity = Similarity::kCosine;
+  /// Host worker threads for encode / batch scoring / bagging members while
+  /// this config trains (0 = keep the process-wide `parallel` setting).
+  /// Results are bit-identical for any value; this is purely a speed knob.
+  std::uint32_t threads = 0;
 
   void validate() const;
 };

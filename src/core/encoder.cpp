@@ -37,9 +37,9 @@ std::vector<float> Encoder::encode(std::span<const float> sample) const {
 
 tensor::MatrixF Encoder::encode_batch(const tensor::MatrixF& samples) const {
   HDC_CHECK(samples.cols() == base_.rows(), "batch feature count mismatch");
-  tensor::MatrixF encoded = tensor::matmul(samples, base_);
-  tensor::tanh_inplace({encoded.data(), encoded.size()});
-  return encoded;
+  // Row-parallel with tanh fused per block; bit-identical to the serial
+  // matmul + tanh pass for any thread count.
+  return tensor::matmul_tanh(samples, base_);
 }
 
 }  // namespace hdc::core

@@ -1,6 +1,7 @@
 #include "core/model.hpp"
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "tensor/ops.hpp"
 
 namespace hdc::core {
@@ -34,9 +35,13 @@ std::uint32_t HdModel::predict(std::span<const float> encoded, Similarity metric
 std::vector<std::uint32_t> HdModel::predict_batch(const tensor::MatrixF& encoded,
                                                   Similarity metric) const {
   std::vector<std::uint32_t> out(encoded.rows());
-  for (std::size_t i = 0; i < encoded.rows(); ++i) {
-    out[i] = predict(encoded.row(i), metric);
-  }
+  // Sample-parallel scoring: each row's prediction is independent and lands
+  // in its own slot, so any thread count yields identical output.
+  parallel::parallel_for(0, encoded.rows(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[i] = predict(encoded.row(i), metric);
+    }
+  });
   return out;
 }
 

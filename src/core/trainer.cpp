@@ -1,6 +1,7 @@
 #include "core/trainer.hpp"
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "data/dataset.hpp"
 
 namespace hdc::core {
@@ -27,6 +28,11 @@ TrainResult Trainer::fit_encoded(const tensor::MatrixF& encoded,
               "validation rows and label count disagree");
     HDC_CHECK(val_encoded->cols() == encoded.cols(), "validation width mismatch");
   }
+
+  // The update loop itself is inherently sequential (each sample's
+  // prediction depends on the updates before it); the pool only accelerates
+  // the per-epoch validation scoring below.
+  const parallel::ScopedThreadCount thread_scope(config_.threads);
 
   TrainResult result{HdModel(num_classes, static_cast<std::uint32_t>(encoded.cols())), {}, 0};
   HdModel& model = result.model;
@@ -65,6 +71,7 @@ TrainResult Trainer::fit_encoded(const tensor::MatrixF& encoded,
 TrainResult Trainer::fit(const Encoder& encoder, const data::Dataset& train,
                          const data::Dataset* validation) const {
   HDC_CHECK(encoder.dim() == config_.dim, "encoder width disagrees with trainer config");
+  const parallel::ScopedThreadCount thread_scope(config_.threads);
   const tensor::MatrixF encoded = encoder.encode_batch(train.features);
   if (validation == nullptr) {
     return fit_encoded(encoded, train.labels, train.num_classes);

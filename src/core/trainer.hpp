@@ -27,6 +27,14 @@ struct TrainResult {
   std::uint64_t total_updates = 0;
 };
 
+/// Model-free training history. The bagging trainer records one per member:
+/// the trained model itself moves into the ensemble, so the record keeps
+/// only the per-epoch stats (no placeholder model to mistake for a real one).
+struct TrainingRecord {
+  std::vector<EpochStats> history;
+  std::uint64_t total_updates = 0;
+};
+
 /// Iterative HDC trainer (paper Section III-A): class hypervectors start at
 /// zero; every mispredicted sample bundles into its true class and detaches
 /// from the predicted class, scaled by the learning rate.

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
@@ -226,24 +227,29 @@ InferenceResult LiteInterpreter::run(const tensor::MatrixF& inputs,
     result.classes.resize(inputs.rows());
   }
 
-  Scratch scratch(model_.tensors.size());
-  for (std::size_t row = 0; row < inputs.rows(); ++row) {
-    run_sample(inputs.row(row), scratch, nullptr);
-    auto out_row = result.values.row(row);
-    if (ends_argmax) {
-      const std::int32_t cls = scratch.i32[model_.output][0];
-      result.classes[row] = cls;
-      out_row[0] = static_cast<float>(cls);
-    } else if (out_tensor.dtype == DType::kFloat32) {
-      const auto& y = scratch.f32[model_.output];
-      std::copy(y.begin(), y.end(), out_row.begin());
-    } else {
-      const auto& y = scratch.i8[model_.output];
-      for (std::size_t j = 0; j < y.size(); ++j) {
-        out_row[j] = out_tensor.quant.dequantize(y[j]);
+  // Sample-parallel execution: rows are independent, each chunk owns its
+  // activation scratch, and every output row is written by exactly one
+  // chunk — results match the serial loop bit for bit.
+  parallel::parallel_for(0, inputs.rows(), [&](std::size_t lo, std::size_t hi) {
+    Scratch scratch(model_.tensors.size());
+    for (std::size_t row = lo; row < hi; ++row) {
+      run_sample(inputs.row(row), scratch, nullptr);
+      auto out_row = result.values.row(row);
+      if (ends_argmax) {
+        const std::int32_t cls = scratch.i32[model_.output][0];
+        result.classes[row] = cls;
+        out_row[0] = static_cast<float>(cls);
+      } else if (out_tensor.dtype == DType::kFloat32) {
+        const auto& y = scratch.f32[model_.output];
+        std::copy(y.begin(), y.end(), out_row.begin());
+      } else {
+        const auto& y = scratch.i8[model_.output];
+        for (std::size_t j = 0; j < y.size(); ++j) {
+          out_row[j] = out_tensor.quant.dequantize(y[j]);
+        }
       }
     }
-  }
+  });
   return result;
 }
 

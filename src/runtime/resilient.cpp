@@ -15,6 +15,8 @@ void RetryPolicy::validate() const {
   HDC_CHECK(max_attempts >= 1, "at least one device attempt per sample is required");
   HDC_CHECK(initial_backoff >= SimDuration(), "backoff must be non-negative");
   HDC_CHECK(backoff_multiplier >= 1.0, "backoff must not shrink across retries");
+  HDC_CHECK(max_backoff >= initial_backoff,
+            "backoff ceiling must be at least the initial backoff");
   HDC_CHECK(circuit_breaker_threshold >= 1, "circuit breaker threshold must be positive");
 }
 
@@ -111,7 +113,7 @@ ResilientExecutor::Outcome ResilientExecutor::run(const tpu::CompiledModel& comp
             metrics->histogram("resilient.backoff").observe(backoff);
           }
         }
-        backoff = backoff * policy_.backoff_multiplier;
+        backoff = std::min(backoff * policy_.backoff_multiplier, policy_.max_backoff);
       }
       try {
         auto [result, stats] = device_->invoke(compiled, one, options, host);

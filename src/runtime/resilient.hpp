@@ -21,6 +21,9 @@ struct RetryPolicy {
   std::uint32_t max_attempts = 3;
   SimDuration initial_backoff = SimDuration::micros(200);
   double backoff_multiplier = 2.0;
+  /// Ceiling on a single backoff sleep. Without it, high `max_attempts`
+  /// with multiplier > 1 charges geometrically absurd simulated waits.
+  SimDuration max_backoff = SimDuration::millis(50);
   /// Consecutive failed device attempts (across samples) after which the
   /// circuit opens and every remaining sample routes to the CPU in bulk.
   std::uint32_t circuit_breaker_threshold = 5;

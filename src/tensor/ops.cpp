@@ -3,20 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
-namespace hdc::tensor {
+#include "common/parallel.hpp"
 
-MatrixF matmul(const MatrixF& a, const MatrixF& b) {
-  HDC_CHECK(a.cols() == b.rows(), "matmul inner dimensions disagree");
-  const std::size_t m = a.rows();
+namespace hdc::tensor {
+namespace {
+
+// i-k-j loop order streams B rows and keeps C rows hot; good enough for the
+// reference path (the TPU simulator owns the "fast" path in this project).
+// Row blocks are independent, and the per-row accumulation order over k is
+// fixed, so computing [row_begin, row_end) on different threads is
+// bit-identical to the serial loop.
+void matmul_rows(const MatrixF& a, const MatrixF& b, MatrixF& c, std::size_t row_begin,
+                 std::size_t row_end) {
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
-  MatrixF c(m, n, 0.0F);
-
-  // i-k-j loop order streams B rows and keeps C rows hot; good enough for the
-  // reference path (the TPU simulator owns the "fast" path in this project).
   constexpr std::size_t kBlock = 64;
-  for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
-    const std::size_t i_end = std::min(i0 + kBlock, m);
+  for (std::size_t i0 = row_begin; i0 < row_end; i0 += kBlock) {
+    const std::size_t i_end = std::min(i0 + kBlock, row_end);
     for (std::size_t k0 = 0; k0 < k; k0 += kBlock) {
       const std::size_t k_end = std::min(k0 + kBlock, k);
       for (std::size_t i = i0; i < i_end; ++i) {
@@ -34,6 +37,29 @@ MatrixF matmul(const MatrixF& a, const MatrixF& b) {
       }
     }
   }
+}
+
+}  // namespace
+
+MatrixF matmul(const MatrixF& a, const MatrixF& b) {
+  HDC_CHECK(a.cols() == b.rows(), "matmul inner dimensions disagree");
+  MatrixF c(a.rows(), b.cols(), 0.0F);
+  parallel::parallel_for(0, a.rows(), [&](std::size_t lo, std::size_t hi) {
+    matmul_rows(a, b, c, lo, hi);
+  });
+  return c;
+}
+
+MatrixF matmul_tanh(const MatrixF& a, const MatrixF& b) {
+  HDC_CHECK(a.cols() == b.rows(), "matmul inner dimensions disagree");
+  MatrixF c(a.rows(), b.cols(), 0.0F);
+  const std::size_t n = b.cols();
+  parallel::parallel_for(0, a.rows(), [&](std::size_t lo, std::size_t hi) {
+    matmul_rows(a, b, c, lo, hi);
+    // tanh fused per row block: each row is finished (its full k reduction
+    // done above) before the non-linearity touches it.
+    tanh_inplace({c.data() + lo * n, (hi - lo) * n});
+  });
   return c;
 }
 
@@ -60,19 +86,21 @@ MatrixI32 matmul_i8(const MatrixI8& a, const MatrixI8& b) {
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
   MatrixI32 c(m, n, 0);
-  for (std::size_t i = 0; i < m; ++i) {
-    std::int32_t* c_row = c.data() + i * n;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const std::int32_t a_ik = a(i, kk);
-      if (a_ik == 0) {
-        continue;
-      }
-      const std::int8_t* b_row = b.data() + kk * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        c_row[j] += a_ik * static_cast<std::int32_t>(b_row[j]);
+  parallel::parallel_for(0, m, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      std::int32_t* c_row = c.data() + i * n;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const std::int32_t a_ik = a(i, kk);
+        if (a_ik == 0) {
+          continue;
+        }
+        const std::int8_t* b_row = b.data() + kk * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          c_row[j] += a_ik * static_cast<std::int32_t>(b_row[j]);
+        }
       }
     }
-  }
+  });
   return c;
 }
 

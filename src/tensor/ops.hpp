@@ -7,8 +7,14 @@
 
 namespace hdc::tensor {
 
-/// C = A * B  (float, row-major, blocked for cache efficiency).
+/// C = A * B  (float, row-major, blocked for cache efficiency). Row blocks
+/// run on the host worker pool (see common/parallel.hpp); results are
+/// bit-identical for any thread count.
 MatrixF matmul(const MatrixF& a, const MatrixF& b);
+
+/// C = tanh(A * B): the HDC batch-encode kernel, with the non-linearity
+/// fused into each parallel row block.
+MatrixF matmul_tanh(const MatrixF& a, const MatrixF& b);
 
 /// y = x * A  for a single row vector x (1 x k) and matrix A (k x n).
 void vecmat(std::span<const float> x, const MatrixF& a, std::span<float> y);

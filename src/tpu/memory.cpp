@@ -10,10 +10,12 @@ OnChipMemory::OnChipMemory(std::uint64_t capacity_bytes) : capacity_bytes_(capac
 
 bool OnChipMemory::make_resident(const std::string& model_id, std::uint64_t bytes) {
   HDC_CHECK(!model_id.empty(), "model id must be non-empty");
-  evict();
   if (!fits(bytes)) {
+    // Rejected admission must not flush the cache: the previously resident
+    // model stays warm, so its next invocation costs no re-upload.
     return false;
   }
+  evict();
   resident_.emplace(model_id, bytes);
   used_bytes_ = bytes;
   return true;

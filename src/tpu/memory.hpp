@@ -30,7 +30,8 @@ class OnChipMemory {
   }
 
   /// Classic single-model caching: evicts everything, then caches
-  /// `model_id`. Returns false (cache left empty) if it cannot fit at all.
+  /// `model_id`. Returns false if it cannot fit at all — in that case the
+  /// current residents are left untouched (no self-inflicted flush).
   bool make_resident(const std::string& model_id, std::uint64_t bytes);
 
   /// Co-residency (co-compiled models): caches `model_id` WITHOUT evicting

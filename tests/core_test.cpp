@@ -380,6 +380,28 @@ TEST(BaggingTest, TrainsRequestedSubModels) {
   }
 }
 
+TEST(BaggingTest, TrainingRecordsCarryRealHistoryPerMember) {
+  // Regression: the recorded per-member history used to wrap a 1-wide
+  // placeholder HdModel; now it is a model-free TrainingRecord whose stats
+  // describe the actual member training run.
+  const data::Dataset ds = small_task(200);
+  const BaggingConfig cfg = small_bagging();
+  const BaggingTrainer trainer(cfg);
+  const BaggedEnsemble ensemble = trainer.fit(ds);
+  ASSERT_EQ(ensemble.training.size(), cfg.num_models);
+  for (const TrainingRecord& record : ensemble.training) {
+    ASSERT_EQ(record.history.size(), cfg.epochs);
+    std::uint64_t summed = 0;
+    for (std::size_t e = 0; e < record.history.size(); ++e) {
+      EXPECT_EQ(record.history[e].epoch, e);
+      summed += record.history[e].updates;
+    }
+    EXPECT_EQ(record.total_updates, summed);
+    EXPECT_GT(record.total_updates, 0U);  // zero would mean nothing trained
+    EXPECT_GT(record.history.back().train_accuracy, 0.5);
+  }
+}
+
 TEST(BaggingTest, SubModelsUseDistinctBases) {
   const data::Dataset ds = small_task(200);
   const BaggingTrainer trainer(small_bagging());

@@ -381,6 +381,40 @@ TEST_F(FaultInjectionTest, BackoffOutlastsReattachWindow) {
   EXPECT_EQ(outcome.result.classes, clean_result.classes);
 }
 
+TEST_F(FaultInjectionTest, BackoffIsClampedAtMaxBackoff) {
+  // Regression: the backoff used to grow geometrically without a ceiling,
+  // so high max_attempts with a large multiplier charged absurd simulated
+  // waits. With the cap, a permanently detached device costs exactly
+  // initial + (attempts - 2) * max_backoff of backoff per sample.
+  tpu::FaultProfile profile;
+  profile.detach_at.push_back(SimDuration());  // detached at t = 0, forever
+  profile.reattach_after = SimDuration();
+
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff = SimDuration::micros(100);
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff = SimDuration::millis(1);
+  policy.circuit_breaker_threshold = 100;  // never trips for one sample
+
+  tensor::MatrixF one = random_inputs(1, 24, 99);
+  tpu::EdgeTpuDevice device;
+  device.load(compiled_);
+  device.set_fault_injector(tpu::FaultInjector(profile));
+  ResilientExecutor executor(&device, platform::CpuExecutor(platform::host_cpu_profile()),
+                             policy);
+  const auto outcome = executor.run(compiled_, float_model_, one, options_);
+
+  // Charged sleeps: 100 us (attempt 1), then 8 x 1 ms — every later sleep
+  // clamps to max_backoff instead of 1 ms, 10 ms, 100 ms, ...
+  const SimDuration expected = SimDuration::micros(100) + SimDuration::millis(1) * 8.0;
+  EXPECT_DOUBLE_EQ(outcome.report.device_stats.retry_backoff.to_seconds(),
+                   expected.to_seconds());
+  EXPECT_EQ(outcome.report.device_stats.invoke_retries, 9U);
+  EXPECT_EQ(outcome.report.cpu_samples, 1U);
+  EXPECT_EQ(outcome.report.tpu_samples, 0U);
+}
+
 TEST_F(FaultInjectionTest, PermanentDetachTripsBreakerAndFinishesOnCpu) {
   auto [clean_result, clean_stats] = clean_invoke();
   const std::vector<std::int32_t> cpu_classes = cpu_reference();
@@ -454,6 +488,9 @@ TEST_F(FaultInjectionTest, RetryPolicyValidation) {
   EXPECT_THROW(p.validate(), Error);
   p = {};
   p.circuit_breaker_threshold = 0;
+  EXPECT_THROW(p.validate(), Error);
+  p = {};
+  p.max_backoff = SimDuration::micros(1);  // below the initial backoff
   EXPECT_THROW(p.validate(), Error);
   EXPECT_NO_THROW(RetryPolicy{}.validate());
 }

@@ -240,6 +240,17 @@ TEST(MemoryTest, MakeResidentEvictsCoResidents) {
   EXPECT_TRUE(mem.is_resident("c"));
 }
 
+TEST(MemoryTest, FailedAdmissionPreservesResidents) {
+  // Regression: make_resident used to evict everything *before* checking
+  // capacity, so a rejected oversized model still flushed the warm cache.
+  OnChipMemory mem(1000);
+  EXPECT_TRUE(mem.make_resident("a", 800));
+  EXPECT_FALSE(mem.make_resident("big", 2000));
+  EXPECT_TRUE(mem.is_resident("a"));
+  EXPECT_EQ(mem.used_bytes(), 800U);
+  EXPECT_EQ(mem.resident_count(), 1U);
+}
+
 // -------------------------------------------------------------- compiler ----
 
 TEST(CompilerTest, PartitionsQuantizedInferenceModel) {
@@ -331,6 +342,22 @@ TEST_F(DeviceTest, WeightUploadOnceWhenResident) {
   EXPECT_GT(first.weight_upload.to_seconds(), 0.0);
   const auto second = device.load(compiled);
   EXPECT_EQ(second.weight_upload.to_seconds(), 0.0);
+}
+
+TEST_F(DeviceTest, RejectedOversizedLoadChargesNoReupload) {
+  // A load that cannot fit in SRAM must neither charge an upload nor flush
+  // the currently resident model: its next invocation stays upload-free.
+  EdgeTpuDevice device;  // default 8 MB SRAM
+  const auto small = compiler_.compile(runtime::make_int8_chain_model("small", 64, 1024));
+  const auto big = compiler_.compile(runtime::make_int8_chain_model("big", 1000, 10000));
+  EXPECT_GT(device.load(small).weight_upload.to_seconds(), 0.0);
+  const auto rejected = device.load(big);
+  EXPECT_EQ(rejected.weight_upload.to_seconds(), 0.0);
+  EXPECT_TRUE(device.memory().is_resident(small.id));
+  InvokeOptions options;
+  options.mode = ExecutionMode::kTimingOnly;
+  const auto timing = device.invoke_timing(small, 1, options, host_);
+  EXPECT_EQ(timing.weight_upload.to_seconds(), 0.0);
 }
 
 TEST_F(DeviceTest, ModelSwapForcesReupload) {

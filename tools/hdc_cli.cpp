@@ -1,7 +1,7 @@
 // hdc — command-line front end for the co-design framework.
 //
 //   hdc train <train.csv> --out model.hdcm [--dim N] [--epochs N]
-//             [--bagging M] [--alpha A] [--seed S]
+//             [--bagging M] [--alpha A] [--seed S] [--threads N]
 //             [--trace out.trace.json] [--metrics out.metrics.json]
 //   hdc infer <test.csv> --model model.hdcm [--tpu]
 //             [--fault-profile corrupt=P,nak=P,sram=R,detach=T,reattach=T,seed=N]
@@ -20,6 +20,10 @@
 // of the run's simulated timeline; --metrics writes the counter/gauge/
 // histogram registry as JSON and prints it as a table. See
 // docs/OBSERVABILITY.md.
+//
+// --threads N sets the host worker pool size for encoding, batch scoring and
+// bagged member training (default: HDC_THREADS env var, else all hardware
+// threads). Models and predictions are bit-identical for any thread count.
 
 #include <cstdio>
 #include <cstring>
@@ -28,6 +32,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/serialize.hpp"
 #include "data/csv.hpp"
@@ -158,6 +163,8 @@ int cmd_train(int argc, char** argv) {
   config.epochs =
       static_cast<std::uint32_t>(std::atoi(arg_value(argc, argv, "--epochs", "20")));
   config.seed = static_cast<std::uint64_t>(std::atoll(arg_value(argc, argv, "--seed", "42")));
+  config.threads =
+      static_cast<std::uint32_t>(std::atoi(arg_value(argc, argv, "--threads", "0")));
 
   const TraceSession session(argc, argv);
   runtime::CoDesignFramework framework;
@@ -357,6 +364,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
+    const char* threads = arg_value(argc, argv, "--threads", nullptr);
+    if (threads != nullptr) {
+      const int n = std::atoi(threads);
+      HDC_CHECK(n > 0, "--threads must be a positive integer");
+      parallel::set_num_threads(static_cast<std::size_t>(n));
+    }
     const std::string command = argv[1];
     if (command == "train") {
       return cmd_train(argc, argv);
