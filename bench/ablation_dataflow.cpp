@@ -14,8 +14,10 @@
 #include "runtime/results.hpp"
 #include "tpu/systolic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hdc;
+  bench::BenchReporter reporter(argc, argv, "ablation_dataflow");
+  reporter.workload("dim", std::uint32_t{10000});
 
   bench::print_header(
       "Ablation: weight-stationary vs output-stationary dataflow (encode layer)");
@@ -38,6 +40,12 @@ int main() {
                      runtime::ResultTable::cell(
                          static_cast<double>(os_cycles) / static_cast<double>(ws_cycles),
                          2)});
+      if (batch == 1) {
+        reporter.metric(spec.name + ".ws_cycles", static_cast<double>(ws_cycles),
+                        "cycles", "sim", "lower");
+        reporter.metric(spec.name + ".os_cycles", static_cast<double>(os_cycles),
+                        "cycles", "sim", "lower");
+      }
     }
   }
   std::printf("%s", table.to_text().c_str());
@@ -51,5 +59,6 @@ int main() {
       "is the SRAM weight traffic this model does not charge (OS re-reads the "
       "whole 7.8 MB weight set per 64-row batch block), which is why the Edge TPU "
       "pins weights and why the paper's speedups still hold.\n");
+  reporter.write();
   return 0;
 }

@@ -16,6 +16,9 @@ int main(int argc, char** argv) {
 
   const std::uint32_t samples = bench::arg_u32(argc, argv, "--samples", 1200);
   const std::uint32_t dim = bench::arg_u32(argc, argv, "--dim", 2048);
+  bench::BenchReporter reporter(argc, argv, "ablation_encoding");
+  reporter.workload("samples", samples);
+  reporter.workload("dim", dim);
 
   bench::print_header(
       "Ablation: non-linear (tanh projection) vs linear (ID-level) encoding");
@@ -58,6 +61,8 @@ int main(int argc, char** argv) {
     table.add_row({spec.name, runtime::ResultTable::cell(100.0 * nl_acc, 2) + "%",
                    runtime::ResultTable::cell(100.0 * lin_acc, 2) + "%",
                    runtime::ResultTable::cell(100.0 * (nl_acc - lin_acc), 2) + " pts"});
+    reporter.sim_accuracy(spec.name + ".nonlinear_accuracy", nl_acc);
+    reporter.sim_accuracy(spec.name + ".id_level_accuracy", lin_acc);
   }
 
   std::printf("%s", table.to_text().c_str());
@@ -69,5 +74,6 @@ int main(int argc, char** argv) {
               "argument is unaffected: only the projection encoding lowers to one "
               "dense accelerator-friendly layer; ID-level needs per-value table "
               "lookups and binding that the Edge TPU op set cannot express.\n");
+  reporter.write();
   return 0;
 }

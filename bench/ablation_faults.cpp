@@ -22,6 +22,9 @@ int main(int argc, char** argv) {
 
   const std::uint32_t samples = bench::arg_u32(argc, argv, "--samples", 1200);
   const std::uint32_t dim = bench::arg_u32(argc, argv, "--dim", 2048);
+  bench::BenchReporter reporter(argc, argv, "ablation_faults");
+  reporter.workload("samples", samples);
+  reporter.workload("dim", dim);
 
   bench::print_header("Ablation: fault-injected transport/device vs resilient runtime (ISOLET)");
   std::printf("(functional, %u samples, d = %u; int8 TPU inference with injected "
@@ -42,6 +45,8 @@ int main(int argc, char** argv) {
   const auto clean = framework.infer_tpu(classifier, prepared.test, prepared.train);
   std::printf("clean TPU path: %.2f%% accuracy, %s total\n\n", 100.0 * clean.accuracy,
               clean.timings.total.to_string().c_str());
+  reporter.sim_accuracy("clean.accuracy", clean.accuracy);
+  reporter.sim_seconds("clean.total_s", clean.timings.total);
 
   std::printf("%-12s %9s %10s %9s %8s %7s %7s %9s %8s\n", "fault rate", "accuracy",
               "retention", "overhead", "retries", "naks", "scrubs", "fallback",
@@ -66,6 +71,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.cpu_samples),
                 static_cast<unsigned long long>(prepared.test.num_samples()),
                 report.circuit_opened ? "open" : "closed");
+    const std::string tag =
+        "rate_" + std::to_string(static_cast<int>(rate * 100 + 0.5));
+    reporter.sim_accuracy(tag + ".retention", faulty.accuracy / clean.accuracy);
+    reporter.sim_ratio(tag + ".overhead", faulty.timings.total / clean.timings.total,
+                       /*higher_is_better=*/false);
   }
   bench::print_rule(92);
 
@@ -84,11 +94,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.cpu_samples),
               survived.timings.total / clean.timings.total,
               report.circuit_opened ? "opened" : "stayed closed");
+  reporter.sim_accuracy("detach.retention", survived.accuracy / clean.accuracy);
+  reporter.sim_ratio("detach.overhead", survived.timings.total / clean.timings.total,
+                     /*higher_is_better=*/false);
 
   std::printf("\nexpected shape: accuracy retention pinned at ~100%% for every rate — "
               "CRC re-transfers, SRAM scrubbing and CPU fallback convert hardware "
               "faults into simulated-time overhead instead of mispredictions. The "
               "detach row finishes the batch on the host at CPU-path accuracy for "
               "the fallback tail.\n");
+  reporter.write();
   return 0;
 }

@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
 
   const std::uint32_t samples = bench::arg_u32(argc, argv, "--samples", 1200);
   const std::uint32_t dim = bench::arg_u32(argc, argv, "--dim", 2048);
+  bench::BenchReporter reporter(argc, argv, "ablation_nn_baseline");
+  reporter.workload("samples", samples);
+  reporter.workload("dim", dim);
 
   bench::print_header(
       "Ablation: HDC update rule vs softmax-SGD on the same wide-NN encodings");
@@ -69,6 +72,9 @@ int main(int argc, char** argv) {
                    runtime::ResultTable::cell(100.0 * sgd_acc, 2) + "%",
                    runtime::ResultTable::cell(hdc_ops / 1000.0, 1) + "k",
                    runtime::ResultTable::cell(sgd_ops / 1000.0, 1) + "k"});
+    reporter.sim_accuracy(spec.name + ".hdc_accuracy", hdc_acc);
+    reporter.sim_accuracy(spec.name + ".sgd_accuracy", sgd_acc);
+    reporter.metric(spec.name + ".hdc_ops_per_epoch", hdc_ops, "ops", "sim", "lower");
   }
 
   std::printf("%s", table.to_text().c_str());
@@ -77,5 +83,6 @@ int main(int argc, char** argv) {
               "HDC similarity pass, and it cannot skip converged samples) — the "
               "HDC rule's sparse, misprediction-driven updates are what make "
               "frequent on-host retraining cheap.\n");
+  reporter.write();
   return 0;
 }

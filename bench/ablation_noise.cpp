@@ -19,6 +19,9 @@ int main(int argc, char** argv) {
 
   const std::uint32_t samples = bench::arg_u32(argc, argv, "--samples", 1200);
   const std::uint32_t dim = bench::arg_u32(argc, argv, "--dim", 4096);
+  bench::BenchReporter reporter(argc, argv, "ablation_noise");
+  reporter.workload("samples", samples);
+  reporter.workload("dim", dim);
 
   bench::print_header("Ablation: robustness to class-hypervector corruption (ISOLET)");
   std::printf("(functional, %u samples, d = %u; accuracy after corrupting a fraction "
@@ -51,9 +54,16 @@ int main(int argc, char** argv) {
     core::inject_stuck_at_zero(zeroed, fraction, rng);
     core::inject_gaussian_noise(noisy, static_cast<float>(fraction), rng);
     core::inject_sign_flips(flipped, fraction, rng);
-    std::printf("%-10.2f %13.2f%% %15.2f%% %13.2f%%\n", fraction,
-                100.0 * evaluate(zeroed), 100.0 * evaluate(noisy),
-                100.0 * evaluate(flipped));
+    const double acc_zero = evaluate(zeroed);
+    const double acc_noise = evaluate(noisy);
+    const double acc_flip = evaluate(flipped);
+    std::printf("%-10.2f %13.2f%% %15.2f%% %13.2f%%\n", fraction, 100.0 * acc_zero,
+                100.0 * acc_noise, 100.0 * acc_flip);
+    const std::string tag =
+        "fraction_" + std::to_string(static_cast<int>(fraction * 100 + 0.5));
+    reporter.sim_accuracy(tag + ".stuck_at_zero", acc_zero);
+    reporter.sim_accuracy(tag + ".gaussian", acc_noise);
+    reporter.sim_accuracy(tag + ".sign_flips", acc_flip);
   }
   bench::print_rule(60);
   std::printf("\nexpected shape: stuck-at-zero and relative Gaussian noise barely "
@@ -61,5 +71,6 @@ int main(int argc, char** argv) {
               "sign flips stay graceful to ~30%% and then collapse — a vector "
               "with half its signs flipped carries no signal at all, so the "
               "cliff at 0.5 is information-theoretic, not a fragility of HDC.\n");
+  reporter.write();
   return 0;
 }

@@ -17,6 +17,9 @@ int main(int argc, char** argv) {
 
   const std::uint32_t samples = bench::arg_u32(argc, argv, "--samples", 1200);
   const std::uint32_t dim = bench::arg_u32(argc, argv, "--dim", 2048);
+  bench::BenchReporter reporter(argc, argv, "ablation_precision");
+  reporter.workload("samples", samples);
+  reporter.workload("dim", dim);
 
   bench::print_header("Ablation: model precision (float32 / int8 / bipolar)");
   std::printf("(functional, reduced scale: %u samples, d = %u)\n\n", samples, dim);
@@ -56,6 +59,9 @@ int main(int argc, char** argv) {
     std::printf("%-8s %9.2f%% %9.2f%% %11.2f%% %11.2f%%   %zu / %zu / %zu\n",
                 spec.name.c_str(), 100.0 * float_acc, 100.0 * int8_acc,
                 100.0 * zero_acc, 100.0 * retr_acc, float_bytes, int8_bytes, bin_bytes);
+    reporter.sim_accuracy(spec.name + ".float32_accuracy", float_acc);
+    reporter.sim_accuracy(spec.name + ".int8_accuracy", int8_acc);
+    reporter.sim_accuracy(spec.name + ".binary_retrained_accuracy", retr_acc);
   }
   bench::print_rule(95);
   std::printf("\ntakeaway: int8 matches float32 (the paper's Fig.-7 result). Binary "
@@ -64,5 +70,6 @@ int main(int argc, char** argv) {
               "reweight components the way the float/int8 perceptron can — which "
               "is precisely why the paper deploys int8 on the Edge TPU instead of "
               "the classic binary-HDC operating point.\n");
+  reporter.write();
   return 0;
 }

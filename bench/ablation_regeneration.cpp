@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
 
   const std::uint32_t samples = bench::arg_u32(argc, argv, "--samples", 1200);
   const std::uint32_t dim = bench::arg_u32(argc, argv, "--dim", 1024);
+  bench::BenchReporter reporter(argc, argv, "ablation_regeneration");
+  reporter.workload("samples", samples);
+  reporter.workload("dim", dim);
 
   bench::print_header("Ablation: dimension regeneration (UCIHAR)");
   std::printf("(functional, %u samples; baseline width d = %u)\n\n", samples, dim);
@@ -39,9 +42,11 @@ int main(int argc, char** argv) {
   };
 
   runtime::ResultTable table({"configuration", "accuracy", "model floats"});
+  const double baseline_acc = evaluate_baseline(dim);
   table.add_row({"baseline d=" + std::to_string(dim),
-                 runtime::ResultTable::cell(100.0 * evaluate_baseline(dim), 2) + "%",
+                 runtime::ResultTable::cell(100.0 * baseline_acc, 2) + "%",
                  std::to_string(dim * prepared.train.num_classes)});
+  reporter.sim_accuracy("baseline.accuracy", baseline_acc);
 
   core::HdConfig hd;
   hd.dim = dim;
@@ -56,14 +61,19 @@ int main(int argc, char** argv) {
         {"regen d=" + std::to_string(dim) + ", " + std::to_string(rounds) + " rounds",
          runtime::ResultTable::cell(100.0 * result.round_accuracy.back(), 2) + "%",
          std::to_string(dim * prepared.train.num_classes)});
+    reporter.sim_accuracy("regen_rounds_" + std::to_string(rounds) + ".accuracy",
+                          result.round_accuracy.back());
   }
 
+  const double wide_acc = evaluate_baseline(2 * dim);
   table.add_row({"baseline d=" + std::to_string(2 * dim),
-                 runtime::ResultTable::cell(100.0 * evaluate_baseline(2 * dim), 2) + "%",
+                 runtime::ResultTable::cell(100.0 * wide_acc, 2) + "%",
                  std::to_string(2 * dim * prepared.train.num_classes)});
+  reporter.sim_accuracy("baseline_2x.accuracy", wide_acc);
 
   std::printf("%s", table.to_text().c_str());
   std::printf("\nexpected shape: regeneration rounds lift the fixed-width model "
               "toward the 2x-wide baseline without its memory cost.\n");
+  reporter.write();
   return 0;
 }

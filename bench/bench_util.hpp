@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -9,9 +10,12 @@
 #include <vector>
 
 #include "common/parallel.hpp"
+#include "common/sim_time.hpp"
 #include "data/dataset.hpp"
 #include "data/synthetic.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "runtime/cost.hpp"
 
@@ -65,13 +69,46 @@ inline runtime::BaggingShape paper_bagging_shape() {
   return bag;
 }
 
-/// Parses "--key value" style overrides: returns the value after `flag` or
-/// `fallback` when absent/malformed.
+/// Strict decimal parse of a full argument string. Returns false on empty
+/// input, non-digit characters ("12abc", "-3") or values past `max` —
+/// unlike bare strtoul, which silently accepts all of those.
+inline bool parse_u64_strict(const char* text, std::uint64_t* out,
+                             std::uint64_t max = UINT64_MAX) {
+  if (text == nullptr || *text == '\0') {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      return false;
+    }
+    const auto digit = static_cast<std::uint64_t>(*p - '0');
+    if (value > (max - digit) / 10) {
+      return false;
+    }
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+/// Parses "--key value" style overrides: returns the value after `flag`, or
+/// `fallback` when the flag is absent. Malformed values ("12abc", "huge",
+/// negatives) warn on stderr and fall back instead of being silently
+/// truncated to whatever prefix strtoul accepted.
 inline std::uint32_t arg_u32(int argc, char** argv, const std::string& flag,
                              std::uint32_t fallback) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (flag == argv[i]) {
-      return static_cast<std::uint32_t>(std::strtoul(argv[i + 1], nullptr, 10));
+      std::uint64_t parsed = 0;
+      if (parse_u64_strict(argv[i + 1], &parsed, UINT32_MAX)) {
+        return static_cast<std::uint32_t>(parsed);
+      }
+      std::fprintf(stderr,
+                   "warning: ignoring malformed %s '%s' (expected an unsigned "
+                   "integer); using default %u\n",
+                   flag.c_str(), argv[i + 1], fallback);
+      return fallback;
     }
   }
   return fallback;
@@ -117,7 +154,15 @@ class ObsSession {
     }
     obs::TraceConfig config;
     if (const char* cap = arg_str(argc, argv, "--trace-cap")) {
-      config.max_events = static_cast<std::size_t>(std::strtoull(cap, nullptr, 10));
+      std::uint64_t parsed = 0;
+      if (parse_u64_strict(cap, &parsed) && parsed > 0) {
+        config.max_events = static_cast<std::size_t>(parsed);
+      } else {
+        std::fprintf(stderr,
+                     "warning: ignoring malformed --trace-cap '%s' (expected a "
+                     "positive integer); keeping the default of %zu events\n",
+                     cap, config.max_events);
+      }
     }
     trace_ = std::make_unique<obs::TraceContext>(config);
     metrics_ = std::make_unique<obs::MetricsRegistry>();
@@ -154,6 +199,172 @@ class ObsSession {
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::string trace_path_;
   std::string metrics_path_;
+};
+
+/// Machine-readable bench telemetry: every bench binary funnels its headline
+/// numbers through one reporter so `--json <path>` emits a common schema
+/// that `tools/hdc_perfdiff` can diff run-over-run.
+///
+/// Schema ("hdc-bench-v1"):
+/// ```json
+/// {
+///   "schema": "hdc-bench-v1",
+///   "bench": "<name>",
+///   "workload": {"<key>": <number|string>, ...},
+///   "metrics": {
+///     "<name>": {"value": N, "unit": "s", "kind": "sim", "better": "lower"}
+///   },
+///   "profile": {...}   // optional obs::ProfileReport
+/// }
+/// ```
+/// `kind` drives the perf gate: `sim` metrics are deterministic simulated
+/// quantities (timings, speedups, accuracies) gated strictly against the
+/// committed baselines; `wall` metrics are host wall-clock, report-only;
+/// `info` rows are workload descriptors that are never gated.
+///
+/// Without `--json` the reporter is inert: recording costs a vector push,
+/// `write()` does nothing, and the bench's stdout is unchanged.
+class BenchReporter {
+ public:
+  BenchReporter(int argc, char** argv, std::string bench_name)
+      : name_(std::move(bench_name)), wall_start_(std::chrono::steady_clock::now()) {
+    if (const char* path = arg_str(argc, argv, "--json")) {
+      json_path_ = path;
+    }
+  }
+
+  bool enabled() const noexcept { return !json_path_.empty(); }
+  const std::string& name() const noexcept { return name_; }
+
+  // ---- workload shape (never gated) ----
+  void workload(const std::string& key, double value) {
+    workload_.push_back({key, std::to_string(value), /*quoted=*/false});
+  }
+  void workload(const std::string& key, std::uint64_t value) {
+    workload_.push_back({key, std::to_string(value), /*quoted=*/false});
+  }
+  void workload(const std::string& key, std::uint32_t value) {
+    workload_.push_back({key, std::to_string(value), /*quoted=*/false});
+  }
+  void workload(const std::string& key, const std::string& value) {
+    workload_.push_back({key, value, /*quoted=*/true});
+  }
+
+  // ---- metrics ----
+  /// Generic entry; prefer the typed helpers below.
+  void metric(const std::string& name, double value, const char* unit,
+              const char* kind, const char* better) {
+    metrics_.push_back({name, value, unit, kind, better});
+  }
+  /// Deterministic simulated time (gated; lower is better).
+  void sim_seconds(const std::string& name, SimDuration value) {
+    metric(name, value.to_seconds(), "s", "sim", "lower");
+  }
+  /// Deterministic dimensionless ratio, e.g. a speedup (gated).
+  void sim_ratio(const std::string& name, double value, bool higher_is_better = true) {
+    metric(name, value, "x", "sim", higher_is_better ? "higher" : "lower");
+  }
+  /// Deterministic accuracy fraction in [0, 1] (gated; higher is better).
+  void sim_accuracy(const std::string& name, double value) {
+    metric(name, value, "fraction", "sim", "higher");
+  }
+  /// Host wall-clock seconds (report-only: machine-dependent).
+  void wall_seconds(const std::string& name, double value) {
+    metric(name, value, "s", "wall", "lower");
+  }
+  /// Neutral numeric fact (never gated).
+  void info(const std::string& name, double value, const char* unit = "") {
+    metric(name, value, unit, "info", "higher");
+  }
+
+  /// Embeds the derived utilization profile of a traced run.
+  void set_profile(const obs::TraceContext& trace, const obs::MetricsRegistry& metrics) {
+    profile_json_ = obs::compute_profile(trace, metrics).to_json();
+  }
+
+  /// Writes the JSON file (no-op without `--json`). Appends `bench.wall_s`,
+  /// the binary's own wall-clock runtime, as a report-only metric.
+  void write() {
+    if (!enabled()) {
+      return;
+    }
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start_)
+            .count();
+    wall_seconds("bench.wall_s", wall_s);
+
+    std::string out;
+    out += "{\"schema\":\"hdc-bench-v1\",\"bench\":";
+    obs::detail::append_json_string(out, name_);
+    out += ",\"workload\":{";
+    bool first = true;
+    for (const auto& entry : workload_) {
+      if (!first) {
+        out.push_back(',');
+      }
+      first = false;
+      obs::detail::append_json_string(out, entry.key);
+      out.push_back(':');
+      if (entry.quoted) {
+        obs::detail::append_json_string(out, entry.value);
+      } else {
+        out += entry.value;
+      }
+    }
+    out += "},\"metrics\":{";
+    first = true;
+    for (const auto& metric : metrics_) {
+      if (!first) {
+        out.push_back(',');
+      }
+      first = false;
+      obs::detail::append_json_string(out, metric.name);
+      out += ":{\"value\":";
+      obs::detail::append_json_number(out, metric.value);
+      out += ",\"unit\":";
+      obs::detail::append_json_string(out, metric.unit);
+      out += ",\"kind\":";
+      obs::detail::append_json_string(out, metric.kind);
+      out += ",\"better\":";
+      obs::detail::append_json_string(out, metric.better);
+      out.push_back('}');
+    }
+    out.push_back('}');
+    if (!profile_json_.empty()) {
+      out += ",\"profile\":";
+      out += profile_json_;
+    }
+    out.push_back('}');
+
+    std::ofstream file(json_path_);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot write bench JSON to %s\n", json_path_.c_str());
+      return;
+    }
+    file << out << '\n';
+    std::printf("wrote %zu metrics to %s\n", metrics_.size(), json_path_.c_str());
+  }
+
+ private:
+  struct WorkloadEntry {
+    std::string key;
+    std::string value;
+    bool quoted;
+  };
+  struct MetricEntry {
+    std::string name;
+    double value;
+    std::string unit;
+    std::string kind;
+    std::string better;
+  };
+
+  std::string name_;
+  std::string json_path_;
+  std::chrono::steady_clock::time_point wall_start_;
+  std::vector<WorkloadEntry> workload_;
+  std::vector<MetricEntry> metrics_;
+  std::string profile_json_;
 };
 
 inline void print_rule(int width = 100) {

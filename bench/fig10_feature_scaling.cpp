@@ -10,13 +10,16 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hdc;
+  bench::BenchReporter reporter(argc, argv, "fig10_feature_scaling");
 
   const runtime::CostModel cost;
   const auto host = platform::host_cpu_profile();
   constexpr std::uint32_t kDim = 10000;
   constexpr std::uint64_t kSamples = 10000;
+  reporter.workload("dim", kDim);
+  reporter.workload("samples", kSamples);
 
   bench::print_header(
       "Fig. 10: Encoding speedup (TPU vs CPU baseline) over input feature count");
@@ -31,6 +34,8 @@ int main() {
         cost.encode_cpu(kSamples, n, kDim, host).to_micros() / kSamples;
     const double tpu_us = cost.encode_tpu(kSamples, n, kDim).to_micros() / kSamples;
     std::printf("%-10u %16.1f %16.1f %9.2fx\n", n, cpu_us, tpu_us, cpu_us / tpu_us);
+    reporter.sim_ratio("features_" + std::to_string(n) + ".encode_speedup",
+                       cpu_us / tpu_us);
   }
   bench::print_rule(60);
 
@@ -42,5 +47,6 @@ int main() {
                   cost.encode_tpu(kSamples, 700, kDim));
   std::printf("\ncontext: PAMAP2 has 27 features (3.4%% of MNIST's 784) — the "
               "counterexample dataset sits at the flat left end of this curve.\n");
+  reporter.write();
   return 0;
 }

@@ -19,6 +19,10 @@ int main(int argc, char** argv) {
   const std::uint32_t samples = bench::arg_u32(argc, argv, "--samples", 1500);
   const std::uint32_t dim = bench::arg_u32(argc, argv, "--dim", 2048);
   const std::uint32_t epochs = bench::arg_u32(argc, argv, "--epochs", 20);
+  bench::BenchReporter reporter(argc, argv, "fig4_convergence");
+  reporter.workload("samples", samples);
+  reporter.workload("dim", dim);
+  reporter.workload("epochs", epochs);
 
   bench::print_header("Fig. 4: Training and validation accuracy for CPU experiments");
   std::printf("(functional, reduced scale: %u samples, d = %u, %u iterations)\n\n",
@@ -41,6 +45,12 @@ int main(int argc, char** argv) {
                   e.val_accuracy, static_cast<unsigned long long>(e.updates));
     }
     std::printf("\n");
+    if (!outcome.history.empty()) {
+      reporter.sim_accuracy(spec.name + ".final_val_accuracy",
+                            outcome.history.back().val_accuracy);
+    }
+    reporter.sim_seconds(spec.name + ".train_total_s", outcome.timings.total());
   }
+  reporter.write();
   return 0;
 }

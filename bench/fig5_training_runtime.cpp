@@ -11,12 +11,16 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hdc;
+  bench::BenchReporter reporter(argc, argv, "fig5_training_runtime");
 
   const runtime::CostModel cost;
   const auto host = platform::host_cpu_profile();
   const auto bag = bench::paper_bagging_shape();
+  reporter.workload("dim", std::uint32_t{10000});
+  reporter.workload("epochs", std::uint32_t{20});
+  reporter.workload("bagging_models", bag.num_models);
 
   bench::print_header(
       "Fig. 5: Training runtime (normalized to CPU baseline per dataset)");
@@ -44,6 +48,11 @@ int main() {
     row("TPU", tpu);
     row("TPU_B", tpu_b);
     bench::print_rule();
+    reporter.sim_seconds(spec.name + ".cpu_total_s", cpu.total());
+    reporter.sim_seconds(spec.name + ".tpu_total_s", tpu.total());
+    reporter.sim_seconds(spec.name + ".tpu_b_total_s", tpu_b.total());
+    reporter.sim_ratio(spec.name + ".tpu_b_speedup",
+                       base / tpu_b.total().to_seconds());
   }
 
   // The per-phase speedups the paper calls out explicitly.
@@ -61,5 +70,6 @@ int main() {
   std::printf("  FACE  overall speedup (TPU_B vs CPU): paper 3.49x -> %.2fx\n",
               cost.train_cpu(face, host).total().to_seconds() /
                   cost.train_tpu_bagging(face, bag).total().to_seconds());
+  reporter.write();
   return 0;
 }

@@ -19,10 +19,13 @@ int main(int argc, char** argv) {
   hdc::bench::apply_threads_flag(argc, argv);
   using namespace hdc;
   const bench::ObsSession obs_session(argc, argv);
+  bench::BenchReporter reporter(argc, argv, "fig6_inference_runtime");
 
   const runtime::CostModel cost;
   const auto host = platform::host_cpu_profile();
   const auto bag = bench::paper_bagging_shape();
+  reporter.workload("dim", std::uint32_t{10000});
+  reporter.workload("bagging_models", bag.num_models);
 
   bench::print_header(
       "Fig. 6: Inference runtime (normalized to CPU baseline per dataset)");
@@ -40,6 +43,10 @@ int main(int argc, char** argv) {
                 cpu.per_sample.to_micros(), tpu.per_sample.to_micros(),
                 stacked.per_sample.to_micros(), serial.per_sample.to_micros(),
                 cpu.per_sample / stacked.per_sample);
+    reporter.sim_seconds(spec.name + ".cpu_per_sample_s", cpu.per_sample);
+    reporter.sim_seconds(spec.name + ".tpu_per_sample_s", tpu.per_sample);
+    reporter.sim_seconds(spec.name + ".tpu_b_per_sample_s", stacked.per_sample);
+    reporter.sim_ratio(spec.name + ".speedup", cpu.per_sample / stacked.per_sample);
   }
   bench::print_rule();
 
@@ -64,24 +71,38 @@ int main(int argc, char** argv) {
   std::printf("\nstacked-vs-serial: the single stacked model removes the per-sample "
               "model swap the serial ensemble would pay.\n");
 
-  if (obs_session.enabled()) {
+  if (obs_session.enabled() || reporter.enabled()) {
     // Functional traced run at reduced scale: the same invoke machinery the
     // analytic TPU column models, with every transfer / MXU / host phase
-    // recorded as a span.
+    // recorded as a span. With `--json` alone a private tracer is attached so
+    // the bench JSON still embeds a utilization profile of this run.
+    obs::TraceContext local_trace;
+    obs::MetricsRegistry local_metrics;
+    obs::TraceContext* trace = obs_session.trace();
+    if (trace == nullptr) {
+      local_trace.set_metrics(&local_metrics);
+      trace = &local_trace;
+    }
     auto prepared = bench::prepare("ISOLET", bench::arg_u32(argc, argv, "--samples", 400));
     core::HdConfig config;
     config.dim = bench::arg_u32(argc, argv, "--dim", 1024);
     config.epochs = 2;
     runtime::CoDesignFramework framework;
     const auto trained = framework.train_tpu(prepared.train, config);
-    framework.set_trace(obs_session.trace());
+    framework.set_trace(trace);
     const auto outcome =
         framework.infer_tpu(trained.classifier, prepared.test, prepared.train);
     std::printf("\ntraced functional inference: ISOLET-shaped, %zu samples, d=%u, "
                 "accuracy %.2f%%, %s total\n",
                 prepared.test.num_samples(), config.dim, 100.0 * outcome.accuracy,
                 outcome.timings.total.to_string().c_str());
+    reporter.workload("traced_samples", static_cast<std::uint64_t>(prepared.test.num_samples()));
+    reporter.workload("traced_dim", config.dim);
+    reporter.sim_accuracy("traced.accuracy", outcome.accuracy);
+    reporter.sim_seconds("traced.total_s", outcome.timings.total);
+    reporter.set_profile(*trace, *trace->metrics());
     obs_session.finish();
   }
+  reporter.write();
   return 0;
 }

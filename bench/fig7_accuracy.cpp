@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
 
   const std::uint32_t samples = bench::arg_u32(argc, argv, "--samples", 1200);
   const std::uint32_t dim = bench::arg_u32(argc, argv, "--dim", 2048);
+  bench::BenchReporter reporter(argc, argv, "fig7_accuracy");
+  reporter.workload("samples", samples);
+  reporter.workload("dim", dim);
 
   bench::print_header("Fig. 7: Inference accuracy for different framework settings");
   std::printf("(functional, reduced scale: %u samples, d = %u; TPU paths are int8)\n\n",
@@ -56,9 +59,13 @@ int main(int argc, char** argv) {
     std::printf("%-8s %11.2f%% %11.2f%% %11.2f%%\n", spec.name.c_str(),
                 100.0 * cpu_infer.accuracy, 100.0 * tpu_infer.accuracy,
                 100.0 * bag_infer.accuracy);
+    reporter.sim_accuracy(spec.name + ".cpu_accuracy", cpu_infer.accuracy);
+    reporter.sim_accuracy(spec.name + ".tpu_accuracy", tpu_infer.accuracy);
+    reporter.sim_accuracy(spec.name + ".tpu_b_accuracy", bag_infer.accuracy);
   }
   bench::print_rule();
   std::printf("\nexpected relations (paper): TPU ~= CPU (int8 is benign); "
               "TPU_B ~= TPU, sometimes above (ensemble compensation).\n");
+  reporter.write();
   return 0;
 }

@@ -37,6 +37,9 @@ int main(int argc, char** argv) {
 
   const std::uint32_t samples = bench::arg_u32(argc, argv, "--samples", 1200);
   const std::uint32_t dim = bench::arg_u32(argc, argv, "--dim", 2048);
+  bench::BenchReporter reporter(argc, argv, "fig8_param_search");
+  reporter.workload("samples", samples);
+  reporter.workload("dim", dim);
 
   bench::print_header("Fig. 8: Bagging parameter search on ISOLET (6 iterations)");
   std::printf("(accuracy functional at %u samples / d = %u; runtime full-scale "
@@ -66,6 +69,9 @@ int main(int argc, char** argv) {
         cost.train_tpu_bagging(shape, bag).total().to_seconds() / runtime_ref;
     const double acc = bagged_accuracy(framework, prepared, dim, alpha, 1.0);
     std::printf("  %-6.1f %11.2f%% %16.3f\n", alpha, 100.0 * acc, runtime_norm);
+    const std::string tag = "alpha_" + std::to_string(static_cast<int>(alpha * 10 + 0.5));
+    reporter.sim_accuracy(tag + ".accuracy", acc);
+    reporter.sim_ratio(tag + ".runtime_norm", runtime_norm, /*higher_is_better=*/false);
   }
 
   std::printf("\nfeature sampling ratio sweep (alpha = 0.6):\n");
@@ -78,9 +84,12 @@ int main(int argc, char** argv) {
         cost.train_tpu_bagging(shape, bag).total().to_seconds() / runtime_ref;
     const double acc = bagged_accuracy(framework, prepared, dim, 0.6, beta);
     std::printf("  %-6.1f %11.2f%% %16.3f\n", beta, 100.0 * acc, runtime_norm);
+    const std::string tag = "beta_" + std::to_string(static_cast<int>(beta * 10 + 0.5));
+    reporter.sim_accuracy(tag + ".accuracy", acc);
   }
 
   std::printf("\npaper conclusion: choose alpha = 0.6 (~70%% runtime, flat accuracy); "
               "disable feature sampling (no runtime win, accuracy loss by 0.6).\n");
+  reporter.write();
   return 0;
 }

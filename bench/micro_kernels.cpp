@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/encoder.hpp"
@@ -178,6 +182,63 @@ void BM_TrainerEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainerEpoch);
 
+// Console reporter that also collects per-iteration runs so they can be
+// re-emitted through BenchReporter as hdc-bench-v1 wall metrics. All
+// micro-kernel numbers are host wall-clock, so the perf gate treats them as
+// report-only (see bench_util.hpp).
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double seconds_per_iter;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const auto& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred ||
+          run.iterations == 0) {
+        continue;
+      }
+      entries_.push_back(Entry{run.benchmark_name(),
+                               run.real_accumulated_time /
+                                   static_cast<double>(run.iterations)});
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  hdc::bench::BenchReporter reporter(argc, argv, "micro_kernels");
+
+  // google-benchmark rejects flags it does not know, so strip `--json <path>`
+  // before handing argv over.
+  std::vector<char*> filtered;
+  filtered.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && std::string_view(argv[i]) == "--json") {
+      ++i;  // skip the path operand too
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(filtered.size());
+  benchmark::Initialize(&filtered_argc, filtered.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, filtered.data())) {
+    return 1;
+  }
+
+  CollectingReporter console;
+  benchmark::RunSpecifiedBenchmarks(&console);
+  for (const auto& entry : console.entries()) {
+    reporter.wall_seconds(entry.name + ".s_per_iter", entry.seconds_per_iter);
+  }
+  reporter.write();
+  return 0;
+}

@@ -37,6 +37,8 @@ int main(int argc, char** argv) {
   hdc::bench::apply_threads_flag(argc, argv);
   using namespace hdc;
 
+  bench::BenchReporter reporter(argc, argv, "summary");
+
   bench::print_header("Paper-vs-measured summary (all headline quantities)");
 
   const runtime::CostModel cost;
@@ -55,6 +57,8 @@ int main(int argc, char** argv) {
                  runtime::ResultTable::cell(s20, 2) + "x"});
   table.add_row({"Fig10", "encode speedup @ 700 features", "8.25x",
                  runtime::ResultTable::cell(s700, 2) + "x"});
+  reporter.sim_ratio("fig10.encode_speedup_20", s20);
+  reporter.sim_ratio("fig10.encode_speedup_700", s700);
 
   // Fig. 5 headline speedups.
   const struct {
@@ -68,6 +72,7 @@ int main(int argc, char** argv) {
     table.add_row({"Fig5", std::string(row.name) + " training speedup (TPU_B)",
                    runtime::ResultTable::cell(row.paper_overall, 2) + "x",
                    runtime::ResultTable::cell(measured, 2) + "x"});
+    reporter.sim_ratio("fig5." + std::string(row.name) + ".train_speedup", measured);
   }
   {
     const auto mnist = bench::full_scale_shape(data::paper_dataset("MNIST"));
@@ -96,6 +101,7 @@ int main(int argc, char** argv) {
     table.add_row({"Fig6", std::string(row.name) + " inference speedup",
                    runtime::ResultTable::cell(row.paper, 2) + "x",
                    runtime::ResultTable::cell(measured, 2) + "x"});
+    reporter.sim_ratio("fig6." + std::string(row.name) + ".infer_speedup", measured);
   }
   {
     const auto shape = bench::full_scale_shape(data::paper_dataset("PAMAP2"));
@@ -164,5 +170,6 @@ int main(int argc, char** argv) {
     std::printf("\n(pass --csv <path> to export, --full to add functional "
                 "accuracy rows)\n");
   }
+  reporter.write();
   return 0;
 }

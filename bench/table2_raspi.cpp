@@ -7,12 +7,16 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hdc;
+  bench::BenchReporter reporter(argc, argv, "table2_raspi");
 
   const runtime::CostModel cost;
   const auto pi = platform::raspberry_pi3_profile();
   const auto bag = bench::paper_bagging_shape();
+  reporter.workload("dim", std::uint32_t{10000});
+  reporter.workload("epochs", std::uint32_t{20});
+  reporter.workload("baseline_platform", pi.name);
 
   bench::print_header("Table II: Edge TPU-based efficiency vs. Raspberry Pi 3");
   std::printf("(RasPi runs the full CPU baseline: d=10000, 20 iterations)\n\n");
@@ -38,10 +42,13 @@ int main() {
                                  cost.infer_tpu_stacked(shape, bag).per_sample;
     std::printf("%-10s %17.1fx %17.1fx %17.1fx %17.1fx\n", a.name, a.paper_train,
                 train_speedup, a.paper_infer, infer_speedup);
+    reporter.sim_ratio(std::string(a.name) + ".train_speedup", train_speedup);
+    reporter.sim_ratio(std::string(a.name) + ".infer_speedup", infer_speedup);
   }
   bench::print_rule();
   std::printf("\nplatform profiles: %s (%.1f W) vs %s (%.1f W)\n",
               platform::host_cpu_profile().name.c_str(),
               platform::host_cpu_profile().power_watts, pi.name.c_str(), pi.power_watts);
+  reporter.write();
   return 0;
 }

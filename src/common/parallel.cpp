@@ -1,6 +1,8 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -17,6 +19,27 @@ namespace {
 /// Any nested parallel_for runs inline so pool threads never block on tasks
 /// that could only run on other blocked pool threads.
 thread_local int t_parallel_depth = 0;
+
+// Process-wide pool accounting (see parallel::PoolStats). Relaxed atomics:
+// the numbers are wall-clock telemetry read after the work completes, never
+// synchronization.
+std::atomic<std::uint64_t> g_stat_regions{0};
+std::atomic<std::uint64_t> g_stat_chunks{0};
+std::atomic<double> g_stat_busy_s{0.0};
+std::atomic<double> g_stat_wall_s{0.0};
+
+void atomic_add(std::atomic<double>& target, double value) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+using StatsClock = std::chrono::steady_clock;
+
+double seconds_since(StatsClock::time_point start) noexcept {
+  return std::chrono::duration<double>(StatsClock::now() - start).count();
+}
 
 }  // namespace
 
@@ -124,17 +147,21 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, const RangeBod
   // (range, pool size), independent of scheduling.
   const auto chunk_bound = [&](std::size_t c) { return begin + c * count / chunks; };
 
+  const auto region_start = StatsClock::now();
   auto batch = std::make_shared<Batch>();
   batch->pending = chunks;  // chunk 0 (the caller) included
   {
     const std::lock_guard<std::mutex> lock(impl_->mutex);
     for (std::size_t c = 1; c < chunks; ++c) {
       impl_->queue.emplace_back([batch, &body, lo = chunk_bound(c), hi = chunk_bound(c + 1)] {
+        const auto chunk_start = StatsClock::now();
         try {
           body(lo, hi);
         } catch (...) {
           batch->record_error();
         }
+        atomic_add(g_stat_busy_s, seconds_since(chunk_start));
+        g_stat_chunks.fetch_add(1, std::memory_order_relaxed);
         batch->finish_one();
       });
     }
@@ -142,16 +169,21 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, const RangeBod
   impl_->work_available.notify_all();
 
   ++t_parallel_depth;
+  const auto chunk_start = StatsClock::now();
   try {
     body(begin, chunk_bound(1));
   } catch (...) {
     batch->record_error();
   }
+  atomic_add(g_stat_busy_s, seconds_since(chunk_start));
+  g_stat_chunks.fetch_add(1, std::memory_order_relaxed);
   --t_parallel_depth;
   batch->finish_one();
 
   std::unique_lock<std::mutex> lock(batch->mutex);
   batch->done.wait(lock, [&] { return batch->pending == 0; });
+  atomic_add(g_stat_wall_s, seconds_since(region_start));
+  g_stat_regions.fetch_add(1, std::memory_order_relaxed);
   if (batch->error) {
     std::rethrow_exception(batch->error);
   }
@@ -223,6 +255,22 @@ void parallel_for(std::size_t begin, std::size_t end, const ThreadPool::RangeBod
     return;
   }
   global_pool().parallel_for(begin, end, body);
+}
+
+PoolStats pool_stats() {
+  PoolStats stats;
+  stats.regions = g_stat_regions.load(std::memory_order_relaxed);
+  stats.chunks = g_stat_chunks.load(std::memory_order_relaxed);
+  stats.busy_seconds = g_stat_busy_s.load(std::memory_order_relaxed);
+  stats.wall_seconds = g_stat_wall_s.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void reset_pool_stats() {
+  g_stat_regions.store(0, std::memory_order_relaxed);
+  g_stat_chunks.store(0, std::memory_order_relaxed);
+  g_stat_busy_s.store(0.0, std::memory_order_relaxed);
+  g_stat_wall_s.store(0.0, std::memory_order_relaxed);
 }
 
 ScopedThreadCount::ScopedThreadCount(std::size_t n)

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace hdc {
@@ -68,6 +69,39 @@ ThreadPool& global_pool();
 
 /// `ThreadPool::parallel_for` on the global pool.
 void parallel_for(std::size_t begin, std::size_t end, const ThreadPool::RangeBody& body);
+
+/// Cumulative wall-clock accounting of fanned-out `parallel_for` regions
+/// (process-wide, lock-free). Only regions that actually dispatched to
+/// workers are counted; inline/serial/nested runs are not. `busy_seconds`
+/// sums the wall-clock time of every chunk body across all lanes, while
+/// `wall_seconds` sums the caller-observed region times, so
+/// `busy / wall` is the achieved parallel speedup and
+/// `busy / (wall * lanes)` the pool's busy fraction. Wall-clock only — the
+/// numbers never feed back into any simulated-time result.
+struct PoolStats {
+  std::uint64_t regions = 0;  ///< parallel_for calls that fanned out
+  std::uint64_t chunks = 0;   ///< chunk bodies executed across all regions
+  double busy_seconds = 0.0;  ///< summed per-chunk body wall-clock
+  double wall_seconds = 0.0;  ///< summed caller-observed region wall-clock
+
+  /// Achieved speedup over serial execution (busy / wall); 0 when idle.
+  double speedup() const noexcept {
+    return wall_seconds > 0.0 ? busy_seconds / wall_seconds : 0.0;
+  }
+  /// Fraction of `lanes * wall` spent executing chunk bodies; 0 when idle.
+  double busy_fraction(std::size_t lanes) const noexcept {
+    return (wall_seconds > 0.0 && lanes > 0)
+               ? busy_seconds / (wall_seconds * static_cast<double>(lanes))
+               : 0.0;
+  }
+};
+
+/// Snapshot of the counters accumulated since process start (or the last
+/// `reset_pool_stats`).
+PoolStats pool_stats();
+
+/// Zeroes the accumulated pool statistics (e.g. between bench phases).
+void reset_pool_stats();
 
 /// RAII thread-count override (e.g. from `HdConfig::threads`): sets the
 /// global count on construction when `n != 0`, restores the previous

@@ -41,6 +41,35 @@ SimDuration DurationHistogram::mean() const {
   return sum_ * (1.0 / static_cast<double>(count_));
 }
 
+SimDuration DurationHistogram::quantile(double q) const {
+  if (count_ == 0) {
+    return SimDuration();
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const double in_bucket = static_cast<double>(buckets_[i]);
+    if (in_bucket == 0.0) {
+      continue;
+    }
+    if (cumulative + in_bucket >= target) {
+      // The overflow bucket has no finite upper bound; the observed max is
+      // the tightest statement we can make about anything landing there.
+      if (i >= kFiniteBuckets) {
+        return max_;
+      }
+      const double lower = i == 0 ? 0.0 : bucket_upper_seconds(i - 1);
+      const double upper = bucket_upper_seconds(i);
+      const double fraction = (target - cumulative) / in_bucket;
+      const double value = lower + fraction * (upper - lower);
+      return std::clamp(SimDuration::seconds(value), min_, max_);
+    }
+    cumulative += in_bucket;
+  }
+  return max_;
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
@@ -86,8 +115,11 @@ std::string MetricsRegistry::to_json() const {
     }
     first = false;
     detail::append_json_string(out, name);
-    out.push_back(':');
+    out += ":{\"value\":";
     detail::append_json_number(out, gauge.value());
+    out += ",\"max\":";
+    detail::append_json_number(out, gauge.max());
+    out.push_back('}');
   }
   out += "},\"histograms\":{";
   first = true;
@@ -101,12 +133,25 @@ std::string MetricsRegistry::to_json() const {
     out += std::to_string(hist.count());
     out += ",\"sum_s\":";
     detail::append_json_number(out, hist.sum().to_seconds());
-    out += ",\"min_s\":";
-    detail::append_json_number(out, hist.min().to_seconds());
-    out += ",\"max_s\":";
-    detail::append_json_number(out, hist.max().to_seconds());
-    out += ",\"mean_s\":";
-    detail::append_json_number(out, hist.mean().to_seconds());
+    // With zero observations min/max/mean/quantiles are undefined, not 0 s;
+    // export null so consumers can't mistake defaults for measurements.
+    const auto append_stat = [&out, &hist](const char* key, SimDuration value) {
+      out.push_back(',');
+      out.push_back('"');
+      out += key;
+      out += "\":";
+      if (hist.count() == 0) {
+        out += "null";
+      } else {
+        detail::append_json_number(out, value.to_seconds());
+      }
+    };
+    append_stat("min_s", hist.min());
+    append_stat("max_s", hist.max());
+    append_stat("mean_s", hist.mean());
+    append_stat("p50_s", hist.quantile(0.50));
+    append_stat("p95_s", hist.quantile(0.95));
+    append_stat("p99_s", hist.quantile(0.99));
     out += ",\"buckets\":[";
     for (std::size_t i = 0; i < DurationHistogram::kBuckets; ++i) {
       if (i > 0) {
@@ -155,17 +200,27 @@ std::string MetricsRegistry::to_table() const {
     out += line;
   }
   for (const auto& [name, gauge] : gauges_) {
-    std::snprintf(line, sizeof(line), "%-*s  %-9s  %.6g\n",
-                  static_cast<int>(name_width), name.c_str(), "gauge", gauge.value());
+    std::snprintf(line, sizeof(line), "%-*s  %-9s  %.6g (max %.6g)\n",
+                  static_cast<int>(name_width), name.c_str(), "gauge", gauge.value(),
+                  gauge.max());
     out += line;
   }
   for (const auto& [name, hist] : histograms_) {
-    std::snprintf(line, sizeof(line),
-                  "%-*s  %-9s  n=%llu sum=%s mean=%s min=%s max=%s\n",
-                  static_cast<int>(name_width), name.c_str(), "histogram",
-                  static_cast<unsigned long long>(hist.count()),
-                  hist.sum().to_string().c_str(), hist.mean().to_string().c_str(),
-                  hist.min().to_string().c_str(), hist.max().to_string().c_str());
+    if (hist.count() == 0) {
+      std::snprintf(line, sizeof(line), "%-*s  %-9s  n=0\n",
+                    static_cast<int>(name_width), name.c_str(), "histogram");
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "%-*s  %-9s  n=%llu sum=%s mean=%s min=%s max=%s p50=%s p95=%s "
+                    "p99=%s\n",
+                    static_cast<int>(name_width), name.c_str(), "histogram",
+                    static_cast<unsigned long long>(hist.count()),
+                    hist.sum().to_string().c_str(), hist.mean().to_string().c_str(),
+                    hist.min().to_string().c_str(), hist.max().to_string().c_str(),
+                    hist.quantile(0.50).to_string().c_str(),
+                    hist.quantile(0.95).to_string().c_str(),
+                    hist.quantile(0.99).to_string().c_str());
+    }
     out += line;
   }
   return out;

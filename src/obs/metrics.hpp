@@ -20,14 +20,25 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
-/// Last-written point-in-time value.
+/// Last-written point-in-time value, plus the high-water mark across all
+/// writes (e.g. peak on-chip SRAM residency while `value` tracks the
+/// current residency).
 class Gauge {
  public:
-  void set(double value) noexcept { value_ = value; }
+  void set(double value) noexcept {
+    value_ = value;
+    if (!written_ || value > max_) {
+      max_ = value;
+    }
+    written_ = true;
+  }
   double value() const noexcept { return value_; }
+  double max() const noexcept { return max_; }
 
  private:
   double value_ = 0.0;
+  double max_ = 0.0;
+  bool written_ = false;
 };
 
 /// Simulated-time histogram with fixed log-scale buckets: one bucket per
@@ -48,9 +59,16 @@ class DurationHistogram {
 
   std::uint64_t count() const noexcept { return count_; }
   SimDuration sum() const noexcept { return sum_; }
+  /// min/max/mean are only meaningful when `count() > 0`; with zero
+  /// observations they return default-constructed SimDuration, and the
+  /// JSON/table exporters emit `null` / `n=0` instead of fake zeros.
   SimDuration min() const noexcept { return min_; }
   SimDuration max() const noexcept { return max_; }
   SimDuration mean() const;
+  /// Bucket-interpolated quantile (q in [0, 1]): finds the bucket holding
+  /// the rank-q observation and interpolates linearly inside it, clamped to
+  /// the observed [min, max]. Requires `count() > 0`.
+  SimDuration quantile(double q) const;
   std::uint64_t bucket_count(std::size_t i) const { return buckets_.at(i); }
 
  private:

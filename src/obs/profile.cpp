@@ -1,0 +1,280 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hdc::obs {
+
+namespace {
+
+std::uint64_t counter_or_zero(const MetricsRegistry& metrics, std::string_view name) {
+  const auto& counters = metrics.counters();
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second.value();
+}
+
+double gauge_value(const MetricsRegistry& metrics, std::string_view name) {
+  const auto& gauges = metrics.gauges();
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second.value();
+}
+
+double gauge_max(const MetricsRegistry& metrics, std::string_view name) {
+  const auto& gauges = metrics.gauges();
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second.max();
+}
+
+double ratio(double numerator, double denominator) {
+  return denominator > 0.0 ? numerator / denominator : 0.0;
+}
+
+}  // namespace
+
+ProfileReport compute_profile(const TraceContext& trace, const MetricsRegistry& metrics,
+                              const parallel::PoolStats* pool, std::size_t pool_lanes) {
+  ProfileReport report;
+  report.trace_events = trace.size();
+  report.trace_dropped = trace.dropped();
+
+  // Per-track busy time = summed span durations; the interval is the extent
+  // of the whole recording (span_at events may end past the cursor, so take
+  // the max of both). Executor/Trainer tracks hold *envelope* spans that
+  // enclose the component spans, so they are never counted as busy time.
+  std::array<SimDuration, kNumTracks> busy{};
+  SimDuration extent = trace.now();
+  for (const TraceEvent& event : trace.events()) {
+    if (event.kind != TraceEvent::Kind::kSpan) {
+      continue;
+    }
+    extent = std::max(extent, event.start + event.duration);
+    busy[static_cast<std::size_t>(event.track)] += event.duration;
+  }
+  report.interval = extent;
+  const double interval_s = report.interval.to_seconds();
+
+  // ---- MXU ----
+  report.mxu_busy = busy[static_cast<std::size_t>(Track::kDevice)];
+  report.mxu_occupancy = ratio(report.mxu_busy.to_seconds(), interval_s);
+  report.device_macs = counter_or_zero(metrics, "tpu.device_macs");
+  report.achieved_macs_per_s =
+      ratio(static_cast<double>(report.device_macs), report.mxu_busy.to_seconds());
+  report.peak_macs_per_s = gauge_value(metrics, "mxu.peak_macs_per_s");
+  report.mxu_efficiency = ratio(report.achieved_macs_per_s, report.peak_macs_per_s);
+
+  // ---- USB link ----
+  report.link_busy = busy[static_cast<std::size_t>(Track::kLink)];
+  report.link_utilization = ratio(report.link_busy.to_seconds(), interval_s);
+  report.link_bytes = counter_or_zero(metrics, "usb.bytes");
+  report.link_transfers = counter_or_zero(metrics, "usb.transfers");
+  report.effective_bandwidth_bytes_per_s =
+      ratio(static_cast<double>(report.link_bytes), report.link_busy.to_seconds());
+  report.configured_bandwidth_bytes_per_s =
+      gauge_value(metrics, "usb.bandwidth_bytes_per_s");
+  report.link_efficiency = ratio(report.effective_bandwidth_bytes_per_s,
+                                 report.configured_bandwidth_bytes_per_s);
+
+  // ---- host CPU ----
+  report.host_busy = busy[static_cast<std::size_t>(Track::kHost)];
+  report.host_utilization = ratio(report.host_busy.to_seconds(), interval_s);
+
+  // ---- parameter cache ----
+  report.cache_lookups = counter_or_zero(metrics, "sram.lookups");
+  report.cache_hits = counter_or_zero(metrics, "sram.hits");
+  report.cache_misses = counter_or_zero(metrics, "sram.misses");
+  report.cache_insertions = counter_or_zero(metrics, "sram.insertions");
+  report.cache_evictions = counter_or_zero(metrics, "sram.evictions");
+  report.cache_hit_rate = ratio(static_cast<double>(report.cache_hits),
+                                static_cast<double>(report.cache_lookups));
+  report.sram_capacity_bytes = gauge_value(metrics, "sram.capacity_bytes");
+  report.sram_peak_bytes = gauge_max(metrics, "sram.used_bytes");
+  report.sram_peak_fraction = ratio(report.sram_peak_bytes, report.sram_capacity_bytes);
+
+  // ---- host thread pool ----
+  if (pool != nullptr) {
+    report.pool = *pool;
+    report.pool_lanes = pool_lanes;
+    report.pool_speedup = pool->speedup();
+    report.pool_busy_fraction = pool->busy_fraction(pool_lanes);
+  }
+
+  // ---- resilient executor ----
+  report.executor_invocations = counter_or_zero(metrics, "tpu.invocations");
+  report.executor_retries = counter_or_zero(metrics, "resilient.invoke_retries");
+  report.executor_device_faults = counter_or_zero(metrics, "resilient.device_faults");
+  report.executor_fallback_samples =
+      counter_or_zero(metrics, "resilient.fallback_samples");
+  report.executor_samples = counter_or_zero(metrics, "infer.samples");
+  report.retry_rate = ratio(static_cast<double>(report.executor_retries),
+                            static_cast<double>(report.executor_invocations));
+  report.fallback_rate = ratio(static_cast<double>(report.executor_fallback_samples),
+                               static_cast<double>(report.executor_samples));
+  return report;
+}
+
+std::string ProfileReport::to_json() const {
+  std::string out;
+  const auto field = [&out](const char* key, double value, bool trailing_comma = true) {
+    detail::append_json_string(out, key);
+    out.push_back(':');
+    detail::append_json_number(out, value);
+    if (trailing_comma) {
+      out.push_back(',');
+    }
+  };
+  const auto ufield = [&out](const char* key, std::uint64_t value,
+                             bool trailing_comma = true) {
+    detail::append_json_string(out, key);
+    out.push_back(':');
+    out += std::to_string(value);
+    if (trailing_comma) {
+      out.push_back(',');
+    }
+  };
+
+  out.push_back('{');
+  field("interval_s", interval.to_seconds());
+  out += "\"trace\":{";
+  ufield("events", trace_events);
+  ufield("dropped", trace_dropped, false);
+  out += "},\"mxu\":{";
+  field("busy_s", mxu_busy.to_seconds());
+  field("occupancy", mxu_occupancy);
+  ufield("device_macs", device_macs);
+  field("achieved_macs_per_s", achieved_macs_per_s);
+  field("peak_macs_per_s", peak_macs_per_s);
+  field("efficiency", mxu_efficiency, false);
+  out += "},\"link\":{";
+  field("busy_s", link_busy.to_seconds());
+  field("utilization", link_utilization);
+  ufield("bytes", link_bytes);
+  ufield("transfers", link_transfers);
+  field("effective_bandwidth_bytes_per_s", effective_bandwidth_bytes_per_s);
+  field("configured_bandwidth_bytes_per_s", configured_bandwidth_bytes_per_s);
+  field("efficiency", link_efficiency, false);
+  out += "},\"host\":{";
+  field("busy_s", host_busy.to_seconds());
+  field("utilization", host_utilization, false);
+  out += "},\"cache\":{";
+  ufield("lookups", cache_lookups);
+  ufield("hits", cache_hits);
+  ufield("misses", cache_misses);
+  ufield("insertions", cache_insertions);
+  ufield("evictions", cache_evictions);
+  field("hit_rate", cache_hit_rate);
+  field("capacity_bytes", sram_capacity_bytes);
+  field("peak_used_bytes", sram_peak_bytes);
+  field("peak_used_fraction", sram_peak_fraction, false);
+  out += "},\"pool\":{";
+  ufield("lanes", static_cast<std::uint64_t>(pool_lanes));
+  ufield("regions", pool.regions);
+  ufield("chunks", pool.chunks);
+  field("busy_wall_s", pool.busy_seconds);
+  field("wall_s", pool.wall_seconds);
+  field("busy_fraction", pool_busy_fraction);
+  field("speedup", pool_speedup, false);
+  out += "},\"executor\":{";
+  ufield("invocations", executor_invocations);
+  ufield("retries", executor_retries);
+  ufield("device_faults", executor_device_faults);
+  ufield("fallback_samples", executor_fallback_samples);
+  ufield("samples", executor_samples);
+  field("retry_rate", retry_rate);
+  field("fallback_rate", fallback_rate, false);
+  out += "}}";
+  return out;
+}
+
+std::string ProfileReport::to_table() const {
+  std::string out;
+  char line[256];
+  const auto row = [&](const char* name, const char* value) {
+    std::snprintf(line, sizeof(line), "%-26s  %s\n", name, value);
+    out += line;
+  };
+  const auto pct = [&](const char* name, double fraction) {
+    char value[64];
+    std::snprintf(value, sizeof(value), "%.1f%%", 100.0 * fraction);
+    row(name, value);
+  };
+
+  out += "profile (derived utilization over the traced interval)\n";
+  out.append(64, '-');
+  out.push_back('\n');
+  row("interval", interval.to_string().c_str());
+  {
+    char value[96];
+    std::snprintf(value, sizeof(value), "%zu recorded, %zu dropped", trace_events,
+                  trace_dropped);
+    row("trace events", value);
+  }
+
+  row("mxu busy", mxu_busy.to_string().c_str());
+  pct("mxu occupancy", mxu_occupancy);
+  {
+    char value[96];
+    std::snprintf(value, sizeof(value), "%.3g of %.3g MAC/s (%.1f%%)",
+                  achieved_macs_per_s, peak_macs_per_s, 100.0 * mxu_efficiency);
+    row("mxu achieved vs peak", value);
+  }
+
+  row("link busy", link_busy.to_string().c_str());
+  pct("link utilization", link_utilization);
+  {
+    char value[96];
+    std::snprintf(value, sizeof(value), "%.3g of %.3g B/s (%.1f%%)",
+                  effective_bandwidth_bytes_per_s, configured_bandwidth_bytes_per_s,
+                  100.0 * link_efficiency);
+    row("link effective bandwidth", value);
+  }
+
+  row("host busy", host_busy.to_string().c_str());
+  pct("host utilization", host_utilization);
+
+  {
+    char value[128];
+    std::snprintf(value, sizeof(value),
+                  "%llu lookups, %llu hits, %llu misses (%.1f%% hit rate)",
+                  static_cast<unsigned long long>(cache_lookups),
+                  static_cast<unsigned long long>(cache_hits),
+                  static_cast<unsigned long long>(cache_misses),
+                  100.0 * cache_hit_rate);
+    row("param cache", value);
+  }
+  {
+    char value[96];
+    std::snprintf(value, sizeof(value), "%.3g of %.3g bytes (%.1f%%)", sram_peak_bytes,
+                  sram_capacity_bytes, 100.0 * sram_peak_fraction);
+    row("sram peak residency", value);
+  }
+
+  if (pool.regions > 0) {
+    char value[128];
+    std::snprintf(value, sizeof(value),
+                  "%zu lanes, %.2fx speedup, %.1f%% busy (%llu regions)",
+                  pool_lanes, pool_speedup, 100.0 * pool_busy_fraction,
+                  static_cast<unsigned long long>(pool.regions));
+    row("host thread pool", value);
+  } else {
+    row("host thread pool", "no fanned-out regions");
+  }
+
+  {
+    char value[128];
+    std::snprintf(value, sizeof(value),
+                  "%llu invocations, %llu retries, %llu fallback samples (%.1f%%)",
+                  static_cast<unsigned long long>(executor_invocations),
+                  static_cast<unsigned long long>(executor_retries),
+                  static_cast<unsigned long long>(executor_fallback_samples),
+                  100.0 * fallback_rate);
+    row("resilient executor", value);
+  }
+  return out;
+}
+
+}  // namespace hdc::obs

@@ -39,8 +39,23 @@ EdgeTpuDevice::EdgeTpuDevice(SystolicConfig systolic, UsbLinkConfig link,
 void EdgeTpuDevice::set_trace(obs::TraceContext* trace) noexcept {
   trace_ = trace;
   mxu_.set_trace(trace);
+  memory_.set_trace(trace);
   if (faults_) {
     faults_->set_trace(trace);
+  }
+  if (trace_ == nullptr) {
+    return;
+  }
+  if (obs::MetricsRegistry* metrics = trace_->metrics()) {
+    // Configured capability envelope, published once so derived reports
+    // (obs::ProfileReport) can compare achieved rates against peak without
+    // reaching back into the device configuration.
+    const SystolicConfig& mxu = mxu_.config();
+    metrics->gauge("mxu.peak_macs_per_s")
+        .set(static_cast<double>(mxu.rows) * static_cast<double>(mxu.cols) *
+             mxu.frequency_hz);
+    metrics->gauge("usb.bandwidth_bytes_per_s").set(link_.config().bandwidth_bytes_per_s);
+    metrics->gauge("sram.capacity_bytes").set(static_cast<double>(memory_.capacity()));
   }
 }
 
@@ -51,7 +66,7 @@ void EdgeTpuDevice::set_fault_injector(FaultInjector injector) {
 
 ExecutionStats EdgeTpuDevice::load(const CompiledModel& model) {
   ExecutionStats stats;
-  if (!model.has_device_segment() || memory_.is_resident(model.id)) {
+  if (!model.has_device_segment() || memory_.lookup(model.id)) {
     return stats;
   }
   if (!memory_.fits(model.report.weight_bytes)) {
@@ -68,6 +83,8 @@ ExecutionStats EdgeTpuDevice::load(const CompiledModel& model) {
     if (obs::MetricsRegistry* metrics = trace_->metrics()) {
       metrics->counter("tpu.weight_uploads").add(1);
       metrics->counter("tpu.weight_upload_bytes").add(model.report.weight_bytes);
+      metrics->counter("usb.transfers").add(1);
+      metrics->counter("usb.bytes").add(model.report.weight_bytes);
     }
   }
   return stats;
@@ -239,6 +256,18 @@ ExecutionStats EdgeTpuDevice::invoke_timing(const CompiledModel& model,
       metrics->counter("tpu.host_element_ops").add(stats.host_element_ops);
       metrics->histogram("tpu.sample_latency")
           .observe(per_sample.total(), num_samples);
+      if (model.has_device_segment()) {
+        // The analytic path prices transfers in bulk instead of calling
+        // checked_transfer per sample; publish the equivalent link counters
+        // so effective-bandwidth derivations see the same traffic either way.
+        metrics->counter("usb.transfers").add(2 * num_samples);
+        metrics->counter("usb.bytes")
+            .add((model.device_input_bytes + model.device_output_bytes) * num_samples);
+        if (!memory_.fits(model.report.weight_bytes)) {
+          metrics->counter("usb.transfers").add(num_samples);
+          metrics->counter("usb.bytes").add(model.report.weight_bytes * num_samples);
+        }
+      }
     }
   }
   return stats;
@@ -333,7 +362,7 @@ std::pair<lite::InferenceResult, ExecutionStats> EdgeTpuDevice::invoke_with_faul
 
     if (model.has_device_segment()) {
       // Parameter (re-)upload over the CRC-framed link when not resident.
-      if (!memory_.is_resident(model.id) && memory_.fits(model.report.weight_bytes)) {
+      if (!memory_.lookup(model.id) && memory_.fits(model.report.weight_bytes)) {
         const TransferReport upload =
             link_.checked_transfer(model.report.weight_bytes, parameter_crc(), faults,
                                    trace_);

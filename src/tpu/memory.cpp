@@ -1,11 +1,38 @@
 #include "tpu/memory.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hdc::tpu {
 
 OnChipMemory::OnChipMemory(std::uint64_t capacity_bytes) : capacity_bytes_(capacity_bytes) {
   HDC_CHECK(capacity_bytes_ > 0, "on-chip memory capacity must be positive");
+}
+
+void OnChipMemory::count(const char* name, std::uint64_t n) const {
+  if (trace_ == nullptr || n == 0) {
+    return;
+  }
+  if (obs::MetricsRegistry* metrics = trace_->metrics()) {
+    metrics->counter(name).add(n);
+  }
+}
+
+void OnChipMemory::publish_usage() const {
+  if (trace_ == nullptr) {
+    return;
+  }
+  if (obs::MetricsRegistry* metrics = trace_->metrics()) {
+    metrics->gauge("sram.used_bytes").set(static_cast<double>(used_bytes_));
+  }
+}
+
+bool OnChipMemory::lookup(const std::string& model_id) const {
+  const bool hit = is_resident(model_id);
+  count("sram.lookups");
+  count(hit ? "sram.hits" : "sram.misses");
+  return hit;
 }
 
 bool OnChipMemory::make_resident(const std::string& model_id, std::uint64_t bytes) {
@@ -18,6 +45,8 @@ bool OnChipMemory::make_resident(const std::string& model_id, std::uint64_t byte
   evict();
   resident_.emplace(model_id, bytes);
   used_bytes_ = bytes;
+  count("sram.insertions");
+  publish_usage();
   return true;
 }
 
@@ -31,6 +60,8 @@ bool OnChipMemory::add_resident(const std::string& model_id, std::uint64_t bytes
   }
   resident_.emplace(model_id, bytes);
   used_bytes_ += bytes;
+  count("sram.insertions");
+  publish_usage();
   return true;
 }
 
@@ -41,11 +72,15 @@ void OnChipMemory::evict(const std::string& model_id) {
   }
   used_bytes_ -= it->second;
   resident_.erase(it);
+  count("sram.evictions");
+  publish_usage();
 }
 
 void OnChipMemory::evict() {
+  count("sram.evictions", resident_.size());
   resident_.clear();
   used_bytes_ = 0;
+  publish_usage();
 }
 
 }  // namespace hdc::tpu

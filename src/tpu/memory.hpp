@@ -4,6 +4,10 @@
 #include <map>
 #include <string>
 
+namespace hdc::obs {
+class TraceContext;
+}  // namespace hdc::obs
+
 namespace hdc::tpu {
 
 /// On-chip parameter SRAM. By default the Edge TPU caches one compiled
@@ -29,6 +33,18 @@ class OnChipMemory {
     return resident_.contains(model_id);
   }
 
+  /// Residency query at a *cache decision point*: same answer as
+  /// `is_resident`, but counted into the `sram.lookups` / `sram.hits` /
+  /// `sram.misses` metrics (hits + misses == lookups by construction).
+  /// Integrity probes (e.g. scrub checks) should keep using `is_resident`
+  /// so they don't distort the hit rate.
+  bool lookup(const std::string& model_id) const;
+
+  /// Attaches a metrics recorder (null disables, the default). Residency
+  /// lookups, insertions and evictions then publish `sram.*` counters and
+  /// the `sram.used_bytes` gauge (whose watermark is the peak residency).
+  void set_trace(obs::TraceContext* trace) noexcept { trace_ = trace; }
+
   /// Classic single-model caching: evicts everything, then caches
   /// `model_id`. Returns false if it cannot fit at all — in that case the
   /// current residents are left untouched (no self-inflicted flush).
@@ -45,9 +61,13 @@ class OnChipMemory {
   void evict();
 
  private:
+  void count(const char* name, std::uint64_t n = 1) const;
+  void publish_usage() const;
+
   std::uint64_t capacity_bytes_;
   std::uint64_t used_bytes_ = 0;
   std::map<std::string, std::uint64_t> resident_;
+  obs::TraceContext* trace_ = nullptr;
 };
 
 }  // namespace hdc::tpu

@@ -130,4 +130,22 @@ TEST_F(CliTest, CorruptModelFileRejected) {
   EXPECT_NE(result.output.find("error:"), std::string::npos);
 }
 
+TEST_F(CliTest, MalformedTraceCapWarnsButRunSucceeds) {
+  // Garbage numeric flags must not be silently accepted (or crash): the CLI
+  // warns, keeps the default cap, and the traced run still completes.
+  const std::string model = path("cap_model.hdcm");
+  ASSERT_EQ(run_cli("train " + path("train.csv") + " --out " + model +
+                    " --dim 256 --epochs 1")
+                .exit_code,
+            0);
+  const auto result = run_cli("infer " + path("train.csv") + " --model " + model +
+                              " --tpu --trace " + path("cap.trace.json") +
+                              " --trace-cap 12abc");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("warning: ignoring malformed --trace-cap"),
+            std::string::npos)
+      << result.output;
+  EXPECT_TRUE(fs::exists(path("cap.trace.json")));
+}
+
 }  // namespace

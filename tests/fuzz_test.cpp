@@ -110,7 +110,9 @@ TEST(FuzzLiteTest, RoundTripSurvivesManyModels) {
   for (int i = 0; i < 40; ++i) {
     const auto n = static_cast<std::uint32_t>(1 + rng.next_below(40));
     const auto d = static_cast<std::uint32_t>(1 + rng.next_below(300));
-    nn::Graph g("m" + std::to_string(i), n);
+    // std::string("m") rather than "m": the const char* + std::string&&
+    // overload trips GCC 12's -Wrestrict false positive (PR 105329).
+    nn::Graph g(std::string("m") + std::to_string(i), n);
     tensor::MatrixF w(n, d);
     rng.fill_gaussian(w.data(), w.size());
     g.add_dense(std::move(w));

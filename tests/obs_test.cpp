@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -16,8 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "data/synthetic.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "runtime/framework.hpp"
 #include "runtime/report.hpp"
@@ -368,7 +372,8 @@ TEST(MetricsTest, JsonExportParsesAndRoundTrips) {
 
   Json doc = JsonParser(metrics.to_json()).parse();
   EXPECT_EQ(doc.at("counters").at("tpu.invocations").number, 42.0);
-  EXPECT_DOUBLE_EQ(doc.at("gauges").at("train.total_s").number, 1.5);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("train.total_s").at("value").number, 1.5);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("train.total_s").at("max").number, 1.5);
   const Json& h = doc.at("histograms").at("tpu.sample_latency");
   EXPECT_EQ(h.at("count").number, 1.0);
   EXPECT_NEAR(h.at("sum_s").number, 3e-6, 1e-12);
@@ -392,6 +397,81 @@ TEST(MetricsTest, TableRendersAllMetricTypes) {
   EXPECT_NE(table.find("gauge"), std::string::npos);
   EXPECT_NE(table.find("latency"), std::string::npos);
   EXPECT_NE(table.find("histogram"), std::string::npos);
+}
+
+TEST(MetricsTest, GaugeTracksMaxWatermark) {
+  obs::MetricsRegistry metrics;
+  obs::Gauge& g = metrics.gauge("sram.used_bytes");
+  g.set(3000.0);
+  g.set(1000.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1000.0);
+  EXPECT_DOUBLE_EQ(g.max(), 3000.0);
+
+  Json doc = JsonParser(metrics.to_json()).parse();
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("sram.used_bytes").at("value").number, 1000.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("sram.used_bytes").at("max").number, 3000.0);
+}
+
+TEST(MetricsTest, HistogramQuantilesInterpolateAndClamp) {
+  obs::DurationHistogram h;
+  // 100 identical 5 us observations: every quantile must clamp to the exact
+  // observed value, not a bucket midpoint.
+  h.observe(SimDuration::micros(5), 100);
+  EXPECT_EQ(h.quantile(0.5), SimDuration::micros(5));
+  EXPECT_EQ(h.quantile(0.99), SimDuration::micros(5));
+
+  obs::DurationHistogram spread;
+  for (int i = 1; i <= 100; ++i) {
+    spread.observe(SimDuration::micros(i));  // spans the 1..100 us decades
+  }
+  const SimDuration p50 = spread.quantile(0.50);
+  const SimDuration p95 = spread.quantile(0.95);
+  const SimDuration p99 = spread.quantile(0.99);
+  // Monotone and bounded by the observed extremes.
+  EXPECT_LE(spread.min(), p50);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, spread.max());
+  // p50 of a 1..100 us uniform sweep sits in the 10..100 us decade.
+  EXPECT_GE(p50, SimDuration::micros(10));
+  EXPECT_LE(p50, SimDuration::micros(100));
+}
+
+TEST(MetricsTest, QuantileOfOverflowBucketReturnsMax) {
+  obs::DurationHistogram h;
+  h.observe(SimDuration::seconds(5000), 10);  // all mass beyond the last decade
+  EXPECT_EQ(h.quantile(0.5), SimDuration::seconds(5000));
+}
+
+TEST(MetricsTest, EmptyHistogramExportsNullStats) {
+  obs::MetricsRegistry metrics;
+  metrics.histogram("never.observed");
+
+  Json doc = JsonParser(metrics.to_json()).parse();
+  const Json& h = doc.at("histograms").at("never.observed");
+  EXPECT_EQ(h.at("count").number, 0.0);
+  // No observations -> no min/max/quantiles, exported as null rather than a
+  // misleading default-constructed duration.
+  EXPECT_EQ(h.at("min_s").type, Json::Type::kNull);
+  EXPECT_EQ(h.at("max_s").type, Json::Type::kNull);
+  EXPECT_EQ(h.at("mean_s").type, Json::Type::kNull);
+  EXPECT_EQ(h.at("p50_s").type, Json::Type::kNull);
+  EXPECT_EQ(h.at("p99_s").type, Json::Type::kNull);
+
+  EXPECT_NE(metrics.to_table().find("n=0"), std::string::npos);
+}
+
+TEST(MetricsTest, HistogramJsonExportsQuantiles) {
+  obs::MetricsRegistry metrics;
+  obs::DurationHistogram& h = metrics.histogram("latency");
+  for (int i = 1; i <= 50; ++i) {
+    h.observe(SimDuration::micros(2 * i));
+  }
+  Json doc = JsonParser(metrics.to_json()).parse();
+  const Json& exported = doc.at("histograms").at("latency");
+  EXPECT_DOUBLE_EQ(exported.at("p50_s").number, h.quantile(0.5).to_seconds());
+  EXPECT_DOUBLE_EQ(exported.at("p95_s").number, h.quantile(0.95).to_seconds());
+  EXPECT_DOUBLE_EQ(exported.at("p99_s").number, h.quantile(0.99).to_seconds());
 }
 
 // ---------------------------------------------------------------------------
@@ -566,6 +646,140 @@ TEST_F(ObsFrameworkTest, TrainEncodeSpanMatchesReportedEncodeTime) {
 }
 
 // ---------------------------------------------------------------------------
+// Utilization profiler (obs/profile.hpp): every derived fraction must be a
+// genuine fraction, busy times must fit the traced interval, and the cache
+// counters must reconcile exactly.
+// ---------------------------------------------------------------------------
+
+class ProfileTest : public ObsFrameworkTest {
+ protected:
+  struct Traced {
+    obs::TraceContext trace;
+    obs::MetricsRegistry metrics;
+  };
+
+  // Runs a full traced train + infer on the TPU path and leaves the streams
+  // in `t` (TraceContext is not movable, so the caller owns the storage).
+  static void run_traced(Traced& t) {
+    const data::Dataset dataset = make_dataset();
+    t.trace.set_metrics(&t.metrics);
+    runtime::CoDesignFramework framework;
+    framework.set_trace(&t.trace);
+    const auto trained = framework.train_tpu(dataset, small_config());
+    framework.infer_tpu(trained.classifier, dataset, dataset);
+  }
+};
+
+TEST_F(ProfileTest, UtilizationsAreFractionsAndBusyFitsInterval) {
+  Traced t;
+  run_traced(t);
+  const obs::ProfileReport profile = obs::compute_profile(t.trace, t.metrics);
+
+  EXPECT_GT(profile.interval, SimDuration());
+  EXPECT_EQ(profile.trace_events, t.trace.size());
+
+  // Busy time per component never exceeds the traced interval, so every
+  // utilization is a fraction.
+  EXPECT_LE(profile.mxu_busy, profile.interval);
+  EXPECT_LE(profile.link_busy, profile.interval);
+  EXPECT_LE(profile.host_busy, profile.interval);
+  for (const double fraction :
+       {profile.mxu_occupancy, profile.link_utilization, profile.host_utilization,
+        profile.mxu_efficiency, profile.link_efficiency, profile.cache_hit_rate,
+        profile.sram_peak_fraction, profile.fallback_rate}) {
+    EXPECT_GE(fraction, 0.0);
+    EXPECT_LE(fraction, 1.0);
+  }
+
+  // The TPU path actually exercised every component.
+  EXPECT_GT(profile.mxu_occupancy, 0.0);
+  EXPECT_GT(profile.link_utilization, 0.0);
+  EXPECT_GT(profile.device_macs, 0u);
+  EXPECT_GT(profile.executor_invocations, 0u);
+
+  // Achieved rates cannot beat the configured hardware.
+  EXPECT_GT(profile.peak_macs_per_s, 0.0);
+  EXPECT_LE(profile.achieved_macs_per_s, profile.peak_macs_per_s * (1.0 + 1e-9));
+  EXPECT_GT(profile.configured_bandwidth_bytes_per_s, 0.0);
+  EXPECT_LE(profile.effective_bandwidth_bytes_per_s,
+            profile.configured_bandwidth_bytes_per_s * (1.0 + 1e-9));
+}
+
+TEST_F(ProfileTest, CacheCountersReconcileExactly) {
+  Traced t;
+  run_traced(t);
+  const obs::ProfileReport profile = obs::compute_profile(t.trace, t.metrics);
+
+  EXPECT_GT(profile.cache_lookups, 0u);
+  EXPECT_EQ(profile.cache_hits + profile.cache_misses, profile.cache_lookups);
+  EXPECT_GT(profile.sram_capacity_bytes, 0.0);
+  EXPECT_GT(profile.sram_peak_bytes, 0.0);
+  EXPECT_LE(profile.sram_peak_bytes, profile.sram_capacity_bytes);
+  // Every resident model was inserted once; evictions cannot outnumber
+  // insertions.
+  EXPECT_GE(profile.cache_insertions, 1u);
+  EXPECT_LE(profile.cache_evictions, profile.cache_insertions);
+}
+
+TEST_F(ProfileTest, ComputingProfileIsPureDerivation) {
+  Traced t;
+  run_traced(t);
+  const std::size_t events_before = t.trace.size();
+  const std::string metrics_before = t.metrics.to_json();
+
+  const obs::ProfileReport a = obs::compute_profile(t.trace, t.metrics);
+  const obs::ProfileReport b = obs::compute_profile(t.trace, t.metrics);
+
+  EXPECT_EQ(t.trace.size(), events_before);
+  EXPECT_EQ(t.metrics.to_json(), metrics_before);
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST_F(ProfileTest, JsonExportParsesWithAllSections) {
+  Traced t;
+  run_traced(t);
+  parallel::PoolStats pool;
+  pool.regions = 4;
+  pool.chunks = 16;
+  pool.busy_seconds = 3.0;
+  pool.wall_seconds = 1.0;
+  const obs::ProfileReport profile =
+      obs::compute_profile(t.trace, t.metrics, &pool, 4);
+
+  Json doc = JsonParser(profile.to_json()).parse();
+  EXPECT_GT(doc.at("interval_s").number, 0.0);
+  for (const char* section : {"trace", "mxu", "link", "host", "cache", "pool",
+                              "executor"}) {
+    EXPECT_TRUE(doc.has(section)) << section;
+  }
+  // JSON serializes doubles to limited significant digits, so compare with a
+  // matching relative tolerance rather than bit-exactly.
+  EXPECT_NEAR(doc.at("mxu").at("occupancy").number, profile.mxu_occupancy,
+              1e-8 * std::max(1.0, std::fabs(profile.mxu_occupancy)));
+  EXPECT_NEAR(doc.at("cache").at("hit_rate").number, profile.cache_hit_rate, 1e-8);
+  EXPECT_DOUBLE_EQ(doc.at("pool").at("speedup").number, 3.0);
+  EXPECT_DOUBLE_EQ(doc.at("pool").at("busy_fraction").number, 0.75);
+
+  const std::string table = profile.to_table();
+  EXPECT_NE(table.find("mxu"), std::string::npos);
+  EXPECT_NE(table.find("link"), std::string::npos);
+  EXPECT_NE(table.find("cache"), std::string::npos);
+}
+
+TEST_F(ProfileTest, EmptyStreamsProduceZeroedReport) {
+  obs::TraceContext trace;
+  obs::MetricsRegistry metrics;
+  const obs::ProfileReport profile = obs::compute_profile(trace, metrics);
+  EXPECT_EQ(profile.interval, SimDuration());
+  EXPECT_EQ(profile.mxu_occupancy, 0.0);
+  EXPECT_EQ(profile.cache_lookups, 0u);
+  // Exports still work on the all-zero report.
+  Json doc = JsonParser(profile.to_json()).parse();
+  EXPECT_EQ(doc.at("interval_s").number, 0.0);
+  EXPECT_FALSE(profile.to_table().empty());
+}
+
+// ---------------------------------------------------------------------------
 // CLI end-to-end: `hdc infer --trace` writes a parseable Chrome trace whose
 // spans reconcile with the reported total (the PR's acceptance contract).
 // ---------------------------------------------------------------------------
@@ -675,7 +889,7 @@ TEST_F(ObsCliTest, InferTraceProducesValidChromeTraceThatReconciles) {
 
   // The reported total in the metrics file matches the span sum too.
   Json metrics = JsonParser(slurp(*dir_ / "out.metrics.json")).parse();
-  const double total_s = metrics.at("gauges").at("infer.total_s").number;
+  const double total_s = metrics.at("gauges").at("infer.total_s").at("value").number;
   EXPECT_NEAR(phase_us * 1e-6, total_s, 1e-8 + 1e-6 * total_s);
   EXPECT_EQ(metrics.at("counters").at("infer.samples").number, 240.0);
 }
@@ -712,6 +926,77 @@ TEST_F(ObsCliTest, CpuInferWithMetricsOnly) {
   Json metrics = JsonParser(slurp(*dir_ / "cpu.metrics.json")).parse();
   EXPECT_EQ(metrics.at("counters").at("host.samples").number, 240.0);
   EXPECT_TRUE(metrics.at("gauges").has("infer.accuracy"));
+}
+
+// Extracts the deterministic result lines (`accuracy: ...` and
+// `simulated latency: ...`) from a CLI run's output.
+std::string result_lines(const std::string& output) {
+  std::istringstream in(output);
+  std::string line;
+  std::string picked;
+  while (std::getline(in, line)) {
+    if (line.rfind("accuracy:", 0) == 0 || line.rfind("simulated latency:", 0) == 0) {
+      picked += line;
+      picked.push_back('\n');
+    }
+  }
+  return picked;
+}
+
+TEST_F(ObsCliTest, ProfileFlagWritesReconcilingProfileWithoutChangingResults) {
+  const auto plain =
+      run_cli("infer " + path("data.csv") + " --model " + path("model.hdcm") + " --tpu");
+  ASSERT_EQ(plain.exit_code, 0) << plain.output;
+
+  const auto profiled =
+      run_cli("infer " + path("data.csv") + " --model " + path("model.hdcm") +
+              " --tpu --profile " + path("out.profile.json"));
+  ASSERT_EQ(profiled.exit_code, 0) << profiled.output;
+
+  // Determinism: the profiler observes, it never perturbs — accuracy and the
+  // simulated timings are identical with and without --profile.
+  EXPECT_EQ(result_lines(plain.output), result_lines(profiled.output));
+  EXPECT_FALSE(result_lines(profiled.output).empty());
+
+  // The profile is printed as a table and written as JSON.
+  EXPECT_NE(profiled.output.find("mxu occupancy"), std::string::npos);
+  EXPECT_NE(profiled.output.find("link utilization"), std::string::npos);
+  EXPECT_NE(profiled.output.find("param cache"), std::string::npos);
+
+  Json profile = JsonParser(slurp(*dir_ / "out.profile.json")).parse();
+  EXPECT_GT(profile.at("interval_s").number, 0.0);
+  const double occupancy = profile.at("mxu").at("occupancy").number;
+  const double link_util = profile.at("link").at("utilization").number;
+  const double hit_rate = profile.at("cache").at("hit_rate").number;
+  for (const double fraction : {occupancy, link_util, hit_rate}) {
+    EXPECT_GE(fraction, 0.0);
+    EXPECT_LE(fraction, 1.0);
+  }
+  EXPECT_GT(occupancy, 0.0);
+  EXPECT_GT(link_util, 0.0);
+
+  // Counter reconciliation straight off the exported JSON.
+  const double lookups = profile.at("cache").at("lookups").number;
+  const double hits = profile.at("cache").at("hits").number;
+  const double misses = profile.at("cache").at("misses").number;
+  EXPECT_EQ(hits + misses, lookups);
+
+  // Busy time fits the interval for every component section.
+  const double interval_s = profile.at("interval_s").number;
+  EXPECT_LE(profile.at("mxu").at("busy_s").number, interval_s);
+  EXPECT_LE(profile.at("link").at("busy_s").number, interval_s);
+  EXPECT_LE(profile.at("host").at("busy_s").number, interval_s);
+}
+
+TEST_F(ObsCliTest, MalformedTraceCapWarnsAndKeepsDefault) {
+  const auto result =
+      run_cli("infer " + path("data.csv") + " --model " + path("model.hdcm") +
+              " --tpu --trace " + path("cap.trace.json") + " --trace-cap bogus");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("warning: ignoring malformed --trace-cap 'bogus'"),
+            std::string::npos);
+  // The run proceeded with the default cap and still wrote the trace.
+  EXPECT_NE(result.output.find("wrote"), std::string::npos);
 }
 
 }  // namespace

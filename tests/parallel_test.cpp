@@ -48,6 +48,60 @@ TEST(ThreadPoolTest, ChunksCoverRangeExactlyOnce) {
   }
 }
 
+TEST(PoolStatsTest, FannedOutRegionsAreCounted) {
+  ThreadPool pool(4);
+  parallel::reset_pool_stats();
+
+  std::atomic<std::uint64_t> sink{0};
+  pool.parallel_for(0, 64, [&](std::size_t lo, std::size_t hi) {
+    std::uint64_t acc = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      acc += i * i;
+    }
+    sink += acc;
+  });
+
+  const parallel::PoolStats stats = parallel::pool_stats();
+  EXPECT_EQ(stats.regions, 1u);
+  EXPECT_GE(stats.chunks, 2u);  // fanned out across at least two lanes
+  EXPECT_LE(stats.chunks, 4u);
+  EXPECT_GE(stats.busy_seconds, 0.0);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  // Derived ratios are well-defined and bounded: busy time across 4 lanes
+  // can at most be 4x the wall time.
+  EXPECT_GE(stats.speedup(), 0.0);
+  EXPECT_LE(stats.speedup(), 4.0 + 1e-9);
+  EXPECT_GE(stats.busy_fraction(4), 0.0);
+  EXPECT_LE(stats.busy_fraction(4), 1.0 + 1e-9);
+}
+
+TEST(PoolStatsTest, InlineAndSerialRunsAreNotCounted) {
+  parallel::reset_pool_stats();
+
+  // A single-lane pool runs everything inline — no fan-out, no stats.
+  ThreadPool serial(1);
+  serial.parallel_for(0, 32, [](std::size_t, std::size_t) {});
+  EXPECT_EQ(parallel::pool_stats().regions, 0u);
+
+  // An empty range on a real pool never dispatches either.
+  ThreadPool pool(4);
+  pool.parallel_for(5, 5, [](std::size_t, std::size_t) {});
+  EXPECT_EQ(parallel::pool_stats().regions, 0u);
+}
+
+TEST(PoolStatsTest, ResetZeroesTheAccumulators) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, 16, [](std::size_t, std::size_t) {});
+  parallel::reset_pool_stats();
+  const parallel::PoolStats stats = parallel::pool_stats();
+  EXPECT_EQ(stats.regions, 0u);
+  EXPECT_EQ(stats.chunks, 0u);
+  EXPECT_EQ(stats.busy_seconds, 0.0);
+  EXPECT_EQ(stats.wall_seconds, 0.0);
+  EXPECT_EQ(stats.speedup(), 0.0);
+  EXPECT_EQ(stats.busy_fraction(2), 0.0);
+}
+
 TEST(ThreadPoolTest, RangeSmallerThanPoolStillCoversEveryIndex) {
   ThreadPool pool(8);
   std::vector<std::atomic<int>> hits(3);

@@ -1,0 +1,171 @@
+// Tests for tools/hdc_perfdiff — the perf-regression gate over hdc-bench-v1
+// JSON files. Exercises the exit-code contract CI relies on: 0 = pass,
+// 1 = gated regression past threshold, 2 = usage/parse error; `sim` metrics
+// are gated strictly (respecting each metric's `better` direction), `wall`
+// and `info` metrics are report-only.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_perfdiff(const std::string& args) {
+  const std::string command = std::string(HDC_PERFDIFF_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  RunResult result;
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+// A minimal hdc-bench-v1 document with one metric of each gating class.
+// `sim_lower` is a simulated time (lower is better), `sim_higher` an
+// accuracy-style metric (higher is better), `wall` report-only.
+std::string bench_json(double sim_lower, double sim_higher, double wall) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"schema\":\"hdc-bench-v1\",\"bench\":\"fake\",\"workload\":{\"dim\":64},"
+      "\"metrics\":{"
+      "\"total_s\":{\"value\":%.9g,\"unit\":\"s\",\"kind\":\"sim\",\"better\":\"lower\"},"
+      "\"accuracy\":{\"value\":%.9g,\"unit\":\"fraction\",\"kind\":\"sim\",\"better\":\"higher\"},"
+      "\"bench.wall_s\":{\"value\":%.9g,\"unit\":\"s\",\"kind\":\"wall\",\"better\":\"lower\"}"
+      "}}",
+      sim_lower, sim_higher, wall);
+  return std::string(buf) + "\n";
+}
+
+class PerfdiffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("hdc_perfdiff_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string write(const char* name, const std::string& content) {
+    const fs::path path = dir_ / name;
+    std::ofstream out(path);
+    out << content;
+    return path.string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(PerfdiffTest, IdenticalFilesPass) {
+  const auto base = write("base.json", bench_json(1.0, 0.9, 5.0));
+  const auto cand = write("cand.json", bench_json(1.0, 0.9, 5.0));
+  const auto result = run_perfdiff(base + " " + cand);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("PASS"), std::string::npos);
+}
+
+TEST_F(PerfdiffTest, SimTimeRegressionPastThresholdFails) {
+  const auto base = write("base.json", bench_json(1.0, 0.9, 5.0));
+  // 10% slower simulated time against the default 5% threshold.
+  const auto cand = write("cand.json", bench_json(1.1, 0.9, 5.0));
+  const auto result = run_perfdiff(base + " " + cand);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(result.output.find("FAIL"), std::string::npos);
+}
+
+TEST_F(PerfdiffTest, RegressionWithinThresholdPasses) {
+  const auto base = write("base.json", bench_json(1.0, 0.9, 5.0));
+  const auto cand = write("cand.json", bench_json(1.04, 0.9, 5.0));
+  EXPECT_EQ(run_perfdiff(base + " " + cand).exit_code, 0);
+  // ... and a tighter threshold turns the same delta into a failure.
+  EXPECT_EQ(run_perfdiff("--threshold 0.01 " + base + " " + cand).exit_code, 1);
+}
+
+TEST_F(PerfdiffTest, HigherIsBetterMetricGatesOnDecrease) {
+  const auto base = write("base.json", bench_json(1.0, 0.90, 5.0));
+  // Accuracy dropping 0.90 -> 0.80 is an 11% regression even though the
+  // number got *smaller* — the gate must respect the metric's direction.
+  const auto cand = write("cand.json", bench_json(1.0, 0.80, 5.0));
+  const auto result = run_perfdiff(base + " " + cand);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+}
+
+TEST_F(PerfdiffTest, ImprovementsAndWallClockChangesPass) {
+  const auto base = write("base.json", bench_json(1.0, 0.9, 5.0));
+  // Faster sim time, better accuracy, and a 10x wall-clock slowdown: wall is
+  // report-only (machine-dependent), so this must pass.
+  const auto cand = write("cand.json", bench_json(0.5, 0.95, 50.0));
+  const auto result = run_perfdiff(base + " " + cand);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("report-only"), std::string::npos);
+}
+
+TEST_F(PerfdiffTest, MissingGatedMetricFails) {
+  const auto base = write("base.json", bench_json(1.0, 0.9, 5.0));
+  const auto cand = write(
+      "cand.json",
+      "{\"schema\":\"hdc-bench-v1\",\"bench\":\"fake\",\"workload\":{},"
+      "\"metrics\":{\"accuracy\":{\"value\":0.9,\"unit\":\"fraction\","
+      "\"kind\":\"sim\",\"better\":\"higher\"}}}\n");
+  const auto result = run_perfdiff(base + " " + cand);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("MISSING"), std::string::npos);
+}
+
+TEST_F(PerfdiffTest, NewMetricIsNotGated) {
+  const auto base = write(
+      "base.json",
+      "{\"schema\":\"hdc-bench-v1\",\"bench\":\"fake\",\"workload\":{},"
+      "\"metrics\":{}}\n");
+  const auto cand = write("cand.json", bench_json(1.0, 0.9, 5.0));
+  EXPECT_EQ(run_perfdiff(base + " " + cand).exit_code, 0);
+}
+
+TEST_F(PerfdiffTest, DirectoryModeMatchesBaselinesByFilename) {
+  const fs::path baselines = dir_ / "baselines";
+  const fs::path candidates = dir_ / "candidates";
+  fs::create_directories(baselines);
+  fs::create_directories(candidates);
+  {
+    std::ofstream(baselines / "BENCH_fake.json") << bench_json(1.0, 0.9, 5.0);
+    std::ofstream(candidates / "BENCH_fake.json") << bench_json(1.5, 0.9, 5.0);
+    // A candidate with no baseline is informational, never a failure.
+    std::ofstream(candidates / "BENCH_new.json") << bench_json(9.0, 0.1, 5.0);
+  }
+  const auto result =
+      run_perfdiff("--baselines " + baselines.string() + " " + candidates.string());
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("BENCH_fake.json"), std::string::npos);
+}
+
+TEST_F(PerfdiffTest, MalformedInputsExitWithUsageError) {
+  const auto good = write("good.json", bench_json(1.0, 0.9, 5.0));
+  const auto garbage = write("garbage.json", "this is not json\n");
+  EXPECT_EQ(run_perfdiff(good + " " + garbage).exit_code, 2);
+
+  const auto wrong_schema =
+      write("schema.json", "{\"schema\":\"other-v9\",\"metrics\":{}}\n");
+  EXPECT_EQ(run_perfdiff(good + " " + wrong_schema).exit_code, 2);
+
+  EXPECT_EQ(run_perfdiff(good + " " + dir_.string() + "/does_not_exist.json").exit_code,
+            2);
+}
+
+}  // namespace

@@ -17,15 +17,6 @@ MatrixF random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
   return m;
 }
 
-MatrixI8 random_matrix_i8(std::size_t rows, std::size_t cols, std::uint64_t seed) {
-  MatrixI8 m(rows, cols);
-  Rng rng(seed);
-  for (auto& v : m.storage()) {
-    v = static_cast<std::int8_t>(static_cast<std::int64_t>(rng.next_below(255)) - 127);
-  }
-  return m;
-}
-
 /// Naive O(mnk) reference used to validate the blocked implementation.
 MatrixF naive_matmul(const MatrixF& a, const MatrixF& b) {
   MatrixF c(a.rows(), b.cols(), 0.0F);

@@ -388,8 +388,10 @@ TEST_F(DeviceTest, PerSampleCostMonotoneInFeatures) {
   options.mode = ExecutionMode::kTimingOnly;
   SimDuration previous;
   for (const std::uint32_t n : {20U, 100U, 300U, 700U}) {
-    const auto compiled =
-        compiler_.compile(runtime::make_int8_chain_model("m" + std::to_string(n), n, 10000));
+    // std::string("m") rather than "m": the const char* + std::string&&
+    // overload trips GCC 12's -Wrestrict false positive (PR 105329).
+    const auto compiled = compiler_.compile(
+        runtime::make_int8_chain_model(std::string("m") + std::to_string(n), n, 10000));
     const auto cost = device.per_sample_cost(compiled, options, host_).total();
     EXPECT_GE(cost.to_seconds(), previous.to_seconds());
     previous = cost;

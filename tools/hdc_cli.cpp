@@ -3,10 +3,11 @@
 //   hdc train <train.csv> --out model.hdcm [--dim N] [--epochs N]
 //             [--bagging M] [--alpha A] [--seed S] [--threads N]
 //             [--trace out.trace.json] [--metrics out.metrics.json]
+//             [--profile out.profile.json]
 //   hdc infer <test.csv> --model model.hdcm [--tpu]
 //             [--fault-profile corrupt=P,nak=P,sram=R,detach=T,reattach=T,seed=N]
 //             [--trace out.trace.json] [--metrics out.metrics.json]
-//             [--trace-cap N]
+//             [--profile out.profile.json] [--trace-cap N]
 //   hdc compile <model.hdcm> --out model.hdlt [--per-channel] [--classes-only]
 //   hdc describe <model.hdlt>
 //   hdc autotune <train.csv> [--dim N] [--margin F]
@@ -18,8 +19,10 @@
 //
 // --trace writes a Chrome trace-event JSON (open in Perfetto / about:tracing)
 // of the run's simulated timeline; --metrics writes the counter/gauge/
-// histogram registry as JSON and prints it as a table. See
-// docs/OBSERVABILITY.md.
+// histogram registry as JSON and prints it as a table; --profile derives
+// per-component utilization (MXU occupancy, link bandwidth, cache hit rate,
+// host-pool speedup) from the same recording, writes it as JSON and prints
+// it as a table. See docs/OBSERVABILITY.md.
 //
 // --threads N sets the host worker pool size for encoding, batch scoring and
 // bagged member training (default: HDC_THREADS env var, else all hardware
@@ -43,6 +46,7 @@
 #include "lite/serialize.hpp"
 #include "nn/wide_nn.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "runtime/autotune.hpp"
 #include "runtime/framework.hpp"
@@ -78,31 +82,67 @@ data::Dataset load_normalized(const std::string& path) {
   return ds;
 }
 
-/// Owns the optional tracer + metrics registry behind --trace / --metrics.
-/// When neither flag is given, `trace()` is null and the run is untouched.
+/// Strict unsigned-integer parse: the whole string must be a decimal
+/// number. Returns false on empty input, sign characters, trailing garbage
+/// ("12abc") or overflow — callers warn and keep their default instead of
+/// silently truncating what strtoull happened to accept.
+bool parse_u64_strict(const char* text, std::uint64_t* out) {
+  if (text == nullptr || *text == '\0') {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      return false;
+    }
+    const auto digit = static_cast<std::uint64_t>(*p - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return false;  // overflow
+    }
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+/// Owns the optional tracer + metrics registry behind --trace / --metrics /
+/// --profile. When none of the flags is given, `trace()` is null and the
+/// run is untouched.
 class TraceSession {
  public:
   TraceSession(int argc, char** argv) {
     const char* trace_path = arg_value(argc, argv, "--trace", nullptr);
     const char* metrics_path = arg_value(argc, argv, "--metrics", nullptr);
+    const char* profile_path = arg_value(argc, argv, "--profile", nullptr);
     if (trace_path != nullptr) {
       trace_path_ = trace_path;
     }
     if (metrics_path != nullptr) {
       metrics_path_ = metrics_path;
     }
-    if (trace_path_.empty() && metrics_path_.empty()) {
+    if (profile_path != nullptr) {
+      profile_path_ = profile_path;
+    }
+    if (trace_path_.empty() && metrics_path_.empty() && profile_path_.empty()) {
       return;
     }
     obs::TraceConfig config;
     const char* cap = arg_value(argc, argv, "--trace-cap", nullptr);
     if (cap != nullptr) {
-      config.max_events = static_cast<std::size_t>(std::atoll(cap));
-      HDC_CHECK(config.max_events > 0, "--trace-cap must be positive");
+      std::uint64_t parsed = 0;
+      if (parse_u64_strict(cap, &parsed) && parsed > 0) {
+        config.max_events = static_cast<std::size_t>(parsed);
+      } else {
+        std::fprintf(stderr,
+                     "warning: ignoring malformed --trace-cap '%s' (expected a "
+                     "positive integer); keeping the default of %zu events\n",
+                     cap, config.max_events);
+      }
     }
     trace_ = std::make_unique<obs::TraceContext>(config);
     metrics_ = std::make_unique<obs::MetricsRegistry>();
     trace_->set_metrics(metrics_.get());
+    pool_stats_start_ = parallel::pool_stats();
   }
 
   obs::TraceContext* trace() const noexcept { return trace_.get(); }
@@ -137,8 +177,28 @@ class TraceSession {
       out << metrics_->to_json() << '\n';
       std::printf("wrote metrics to %s\n", metrics_path_.c_str());
     }
-    if (!metrics_->empty()) {
+    if (!metrics_->empty() && (!metrics_path_.empty() || !trace_path_.empty())) {
       std::printf("%s", metrics_->to_table().c_str());
+    }
+    if (!profile_path_.empty()) {
+      // Pool accounting over exactly this session's window: snapshot delta,
+      // wall-clock only, never part of any simulated result.
+      const parallel::PoolStats end = parallel::pool_stats();
+      parallel::PoolStats window;
+      window.regions = end.regions - pool_stats_start_.regions;
+      window.chunks = end.chunks - pool_stats_start_.chunks;
+      window.busy_seconds = end.busy_seconds - pool_stats_start_.busy_seconds;
+      window.wall_seconds = end.wall_seconds - pool_stats_start_.wall_seconds;
+      const obs::ProfileReport profile =
+          obs::compute_profile(*trace_, *metrics_, &window, parallel::num_threads());
+      std::ofstream out(profile_path_);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write profile to %s\n", profile_path_.c_str());
+        return false;
+      }
+      out << profile.to_json() << '\n';
+      std::printf("wrote profile to %s\n", profile_path_.c_str());
+      std::printf("%s", profile.to_table().c_str());
     }
     return true;
   }
@@ -148,6 +208,8 @@ class TraceSession {
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::string trace_path_;
   std::string metrics_path_;
+  std::string profile_path_;
+  parallel::PoolStats pool_stats_start_;
 };
 
 int cmd_train(int argc, char** argv) {
