@@ -1,13 +1,26 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <mutex>
+#include <utility>
+
+#include "common/error.hpp"
 
 namespace hdc {
 namespace log {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+// JSONL sink state. A mutex (not atomics) because emit appends a full line
+// and attach/detach swap the stream; logging is never on a simulated-time
+// hot path, so the lock is irrelevant to results.
+std::mutex g_json_mutex;
+std::ofstream g_json_sink;              // NOLINT(cert-err58-cpp)
+std::function<double()> g_time_provider;  // NOLINT(cert-err58-cpp)
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -25,6 +38,40 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+// Local JSON string escaper. common/ sits below obs/ in the layering, so the
+// shared helper in obs/json.hpp is off limits here.
+void append_escaped(std::string& out, const std::string& text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
 }  // namespace
 
 void set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
@@ -36,6 +83,46 @@ void emit(LogLevel message_level, const std::string& message) {
     return;
   }
   std::cerr << "[hdc:" << level_name(message_level) << "] " << message << "\n";
+
+  std::lock_guard<std::mutex> lock(g_json_mutex);
+  if (!g_json_sink.is_open()) {
+    return;
+  }
+  const double t_s = g_time_provider ? g_time_provider() : 0.0;
+  std::string line = "{\"t_s\":";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", t_s);
+  line += buf;
+  line += ",\"level\":";
+  append_escaped(line, level_name(message_level));
+  line += ",\"message\":";
+  append_escaped(line, message);
+  line += "}\n";
+  g_json_sink << line << std::flush;
+}
+
+void set_json_sink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_json_mutex);
+  g_json_sink.close();
+  g_json_sink.clear();
+  g_json_sink.open(path, std::ios::binary | std::ios::trunc);
+  HDC_CHECK(g_json_sink.is_open(), "cannot open JSONL log sink '" + path + "'");
+}
+
+void close_json_sink() {
+  std::lock_guard<std::mutex> lock(g_json_mutex);
+  g_json_sink.close();
+  g_json_sink.clear();
+}
+
+bool json_sink_active() {
+  std::lock_guard<std::mutex> lock(g_json_mutex);
+  return g_json_sink.is_open();
+}
+
+void set_time_provider(std::function<double()> provider) {
+  std::lock_guard<std::mutex> lock(g_json_mutex);
+  g_time_provider = std::move(provider);
 }
 
 }  // namespace log

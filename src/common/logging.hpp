@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -9,11 +10,28 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 
 
 /// Minimal leveled logger writing to stderr. The default level is Warning so
 /// library internals stay quiet inside tests and benches; examples raise it.
+///
+/// An optional machine-readable JSONL sink can be attached alongside the
+/// stderr text sink: every emitted line is appended as one JSON object
+/// (`{"t_s":<simulated seconds>,"level":"WARN","message":"..."}`), so monitor
+/// alarm events are grep/jq-able. The same level filter gates both sinks.
 namespace log {
 
 void set_level(LogLevel level);
 LogLevel level();
 void emit(LogLevel level, const std::string& message);
+
+/// Opens (truncating) `path` as the JSONL sink. Throws hdc::Error if the
+/// file cannot be opened.
+void set_json_sink(const std::string& path);
+/// Flushes and detaches the JSONL sink (no-op when none is attached).
+void close_json_sink();
+bool json_sink_active();
+
+/// Source of the `t_s` timestamp on JSONL records — simulated seconds, wired
+/// by whoever owns the simulated clock (e.g. the serving loop). Null resets
+/// to the default of 0 (the logger itself never reads wall clocks).
+void set_time_provider(std::function<double()> provider);
 
 }  // namespace log
 

@@ -7,11 +7,38 @@
 
 namespace hdc::core {
 
+WindowedRate::WindowedRate(std::uint32_t capacity) : ring_(capacity, 0) {
+  HDC_CHECK(capacity > 0, "windowed rate needs a positive capacity");
+}
+
+void WindowedRate::add(bool value) {
+  if (filled_ == ring_.size()) {
+    sum_ -= ring_[head_];
+  } else {
+    ++filled_;
+  }
+  ring_[head_] = value ? 1 : 0;
+  sum_ += ring_[head_];
+  head_ = (head_ + 1) % ring_.size();
+}
+
+double WindowedRate::rate() const {
+  return filled_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(filled_);
+}
+
+void WindowedRate::reset() {
+  std::fill(ring_.begin(), ring_.end(), 0);
+  filled_ = 0;
+  sum_ = 0;
+  head_ = 0;
+}
+
 OnlineLearner::OnlineLearner(std::uint32_t num_features, std::uint32_t num_classes,
                              OnlineConfig config)
     : config_(config),
       encoder_(num_features, config.dim, config.seed),
-      model_(num_classes, config.dim) {
+      model_(num_classes, config.dim),
+      stats_(config.error_window) {
   HDC_CHECK(config_.learning_rate > 0.0F, "learning rate must be positive");
 }
 
@@ -22,6 +49,7 @@ std::uint32_t OnlineLearner::learn(std::span<const float> sample, std::uint32_t 
   const auto predicted = static_cast<std::uint32_t>(tensor::argmax(scores));
 
   ++stats_.samples_seen;
+  stats_.recent.add(predicted != label);
   if (predicted != label) {
     ++stats_.errors;
     // Cosine scores live in [-1, 1]; clamp so the adaptive factor stays in
@@ -51,8 +79,32 @@ std::uint32_t OnlineLearner::predict(std::span<const float> sample) const {
   return model_.predict(encoder_.encode(sample), config_.similarity);
 }
 
+OnlineLearner::Decision OnlineLearner::decide(std::span<const float> sample) const {
+  const auto scores = model_.scores(encoder_.encode(sample), config_.similarity);
+  Decision decision;
+  decision.predicted = static_cast<std::uint32_t>(tensor::argmax(scores));
+  decision.top1 = scores[decision.predicted];
+  decision.top2 = decision.top1;
+  bool has_second = false;
+  for (std::size_t c = 0; c < scores.size(); ++c) {
+    if (c == decision.predicted) {
+      continue;
+    }
+    if (!has_second || scores[c] > decision.top2) {
+      decision.top2 = scores[c];
+      has_second = true;
+    }
+  }
+  if (!has_second) {
+    decision.top2 = 0.0F;  // single-class model: margin degenerates to top1
+  }
+  return decision;
+}
+
 TrainedClassifier OnlineLearner::freeze() const {
   return TrainedClassifier{Encoder(encoder_.base()), HdModel(model_.class_hypervectors())};
 }
+
+void OnlineLearner::reset_stats() { stats_ = OnlineStats(config_.error_window); }
 
 }  // namespace hdc::core

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/encoder.hpp"
@@ -17,17 +18,46 @@ struct OnlineConfig {
   std::uint64_t seed = 42;
   float learning_rate = 1.0F;     ///< base lambda, scaled per sample
   Similarity similarity = Similarity::kCosine;
+  /// Capacity of the windowed error-rate ring (last N prequential outcomes).
+  std::uint32_t error_window = 256;
 };
 
-/// Running statistics of an online learning session.
+/// Last-N ring of binary outcomes: the windowed counterpart to a lifetime
+/// error rate, which averages over so much history that a concept-drift
+/// onset barely moves it. Memory is fixed at `capacity` bytes.
+class WindowedRate {
+ public:
+  explicit WindowedRate(std::uint32_t capacity);
+
+  void add(bool value);
+  std::uint64_t count() const noexcept { return filled_; }
+  std::uint32_t capacity() const noexcept { return static_cast<std::uint32_t>(ring_.size()); }
+  /// Fraction of true outcomes over the last min(count, capacity) samples.
+  double rate() const;
+  void reset();
+
+ private:
+  std::vector<std::uint8_t> ring_;
+  std::uint64_t filled_ = 0;   ///< min(samples added, capacity)
+  std::uint64_t sum_ = 0;      ///< true outcomes currently in the ring
+  std::size_t head_ = 0;
+};
+
+/// Running statistics of an online learning session: lifetime totals plus a
+/// windowed error rate that stays responsive to drift.
 struct OnlineStats {
   std::uint64_t samples_seen = 0;
   std::uint64_t errors = 0;
+  WindowedRate recent;  ///< last-N prequential errors
+
+  explicit OnlineStats(std::uint32_t error_window = 256) : recent(error_window) {}
 
   double error_rate() const {
     return samples_seen == 0 ? 0.0
                              : static_cast<double>(errors) / static_cast<double>(samples_seen);
   }
+  /// Error rate over the last min(samples_seen, error_window) samples.
+  double windowed_error_rate() const { return recent.rate(); }
 };
 
 /// Adaptive online HDC learner in the style of OnlineHD (cited by the paper
@@ -62,10 +92,21 @@ class OnlineLearner {
   /// Pure prediction, no adaptation.
   std::uint32_t predict(std::span<const float> sample) const;
 
+  /// Prediction plus quality signals (no adaptation): the top-2 scores and
+  /// their margin, the confidence signal live monitoring watches for
+  /// margin collapse under drift.
+  struct Decision {
+    std::uint32_t predicted = 0;
+    float top1 = 0.0F;
+    float top2 = 0.0F;
+    double margin() const { return static_cast<double>(top1) - static_cast<double>(top2); }
+  };
+  Decision decide(std::span<const float> sample) const;
+
   /// Freezes the current state into a deployable classifier (copy).
   TrainedClassifier freeze() const;
 
-  void reset_stats() { stats_ = OnlineStats{}; }
+  void reset_stats();
 
  private:
   OnlineConfig config_;

@@ -1,0 +1,652 @@
+#include "obs/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "obs/json.hpp"
+
+namespace hdc::obs {
+
+void WindowConfig::validate() const {
+  HDC_CHECK(span > SimDuration(), "window span must be positive");
+  HDC_CHECK(buckets > 0, "window needs at least one bucket");
+}
+
+// ------------------------------------------------------- SlidingCounter ----
+
+std::uint64_t SlidingCounter::sum(SimDuration now) {
+  ring_.advance_to(now);
+  std::uint64_t total = 0;
+  for (const auto slot : ring_.slots()) {
+    total += slot;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------- SlidingMean ----
+
+std::uint64_t SlidingMean::count(SimDuration now) {
+  ring_.advance_to(now);
+  std::uint64_t total = 0;
+  for (const auto& slot : ring_.slots()) {
+    total += slot.count;
+  }
+  return total;
+}
+
+double SlidingMean::mean(SimDuration now) {
+  ring_.advance_to(now);
+  double sum = 0.0;
+  std::uint64_t n = 0;
+  for (const auto& slot : ring_.slots()) {
+    sum += slot.sum;
+    n += slot.count;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+// ----------------------------------------------------- SlidingHistogram ----
+
+std::size_t SlidingHistogram::bin_index(double seconds) {
+  if (seconds < 1e-9) {
+    return 0;  // underflow
+  }
+  const double f = (std::log10(seconds) - kMinExponent) * kBinsPerDecade;
+  const auto finite = static_cast<std::size_t>(f);
+  if (finite >= kFiniteBins) {
+    return kBins - 1;  // overflow
+  }
+  return finite + 1;
+}
+
+double SlidingHistogram::bin_lower_seconds(std::size_t bin) {
+  if (bin == 0) {
+    return 0.0;
+  }
+  if (bin >= kBins - 1) {
+    return std::pow(10.0, kMaxExponent);
+  }
+  return std::pow(10.0, kMinExponent +
+                            static_cast<double>(bin - 1) / kBinsPerDecade);
+}
+
+double SlidingHistogram::bin_upper_seconds(std::size_t bin) {
+  if (bin == 0) {
+    return 1e-9;
+  }
+  if (bin >= kBins - 1) {
+    return std::pow(10.0, kMaxExponent);  // clamped by the observed max anyway
+  }
+  return std::pow(10.0, kMinExponent + static_cast<double>(bin) / kBinsPerDecade);
+}
+
+void SlidingHistogram::observe(SimDuration t, SimDuration value) {
+  Slot& slot = ring_.at(t);
+  const double s = value.to_seconds();
+  ++slot.bins[bin_index(s)];
+  if (slot.count == 0 || s < slot.min_s) {
+    slot.min_s = s;
+  }
+  if (slot.count == 0 || s > slot.max_s) {
+    slot.max_s = s;
+  }
+  ++slot.count;
+  slot.sum_s += s;
+}
+
+std::uint64_t SlidingHistogram::count(SimDuration now) {
+  ring_.advance_to(now);
+  std::uint64_t total = 0;
+  for (const auto& slot : ring_.slots()) {
+    total += slot.count;
+  }
+  return total;
+}
+
+SimDuration SlidingHistogram::mean(SimDuration now) {
+  ring_.advance_to(now);
+  double sum = 0.0;
+  std::uint64_t n = 0;
+  for (const auto& slot : ring_.slots()) {
+    sum += slot.sum_s;
+    n += slot.count;
+  }
+  return n == 0 ? SimDuration() : SimDuration::seconds(sum / static_cast<double>(n));
+}
+
+SimDuration SlidingHistogram::quantile(SimDuration now, double q) {
+  ring_.advance_to(now);
+  std::array<std::uint64_t, kBins> merged{};
+  std::uint64_t total = 0;
+  double win_min = 0.0;
+  double win_max = 0.0;
+  for (const auto& slot : ring_.slots()) {
+    if (slot.count == 0) {
+      continue;
+    }
+    for (std::size_t i = 0; i < kBins; ++i) {
+      merged[i] += slot.bins[i];
+    }
+    if (total == 0 || slot.min_s < win_min) {
+      win_min = slot.min_s;
+    }
+    if (total == 0 || slot.max_s > win_max) {
+      win_max = slot.max_s;
+    }
+    total += slot.count;
+  }
+  if (total == 0) {
+    return SimDuration();
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total - 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t bin = 0; bin < kBins; ++bin) {
+    if (merged[bin] == 0) {
+      continue;
+    }
+    const auto before = static_cast<double>(cumulative);
+    cumulative += merged[bin];
+    if (rank < static_cast<double>(cumulative)) {
+      const double frac = (rank - before + 0.5) / static_cast<double>(merged[bin]);
+      const double lo = bin_lower_seconds(bin);
+      const double hi = bin_upper_seconds(bin);
+      const double value = std::clamp(lo + frac * (hi - lo), win_min, win_max);
+      return SimDuration::seconds(value);
+    }
+  }
+  return SimDuration::seconds(win_max);
+}
+
+// ------------------------------------------------------------------ Ewma ----
+
+void Ewma::observe(SimDuration t, double value) {
+  if (!seeded_) {
+    value_ = value;
+    last_ = t;
+    seeded_ = true;
+    return;
+  }
+  const double dt = std::max(0.0, (t - last_).to_seconds());
+  const double alpha = 1.0 - std::exp(-dt / tau_s_);
+  value_ += alpha * (value - value_);
+  last_ = t;
+}
+
+// -------------------------------------------------------- ThresholdAlarm ----
+
+std::optional<AlarmEvent> ThresholdAlarm::update(SimDuration t, double value) {
+  last_value_ = value;
+  if (!firing_ && value > threshold_) {
+    firing_ = true;
+    ++fired_total_;
+    return AlarmEvent{name_, /*fired=*/true, t, value, threshold_};
+  }
+  if (firing_ && value <= threshold_) {
+    firing_ = false;
+    return AlarmEvent{name_, /*fired=*/false, t, value, threshold_};
+  }
+  return std::nullopt;
+}
+
+// --------------------------------------------------------- MonitorConfig ----
+
+void MonitorConfig::validate() const {
+  HDC_CHECK(num_classes > 0, "monitor needs the class count");
+  window.validate();
+  HDC_CHECK(slo_latency > SimDuration(), "SLO latency target must be positive");
+  HDC_CHECK(slo_error_budget > 0.0 && slo_error_budget <= 1.0,
+            "SLO error budget must be in (0, 1]");
+  HDC_CHECK(alarm_burn_rate >= 0.0 && alarm_error_rate >= 0.0 &&
+                alarm_fallback_rate >= 0.0 && alarm_drift_score >= 0.0,
+            "alarm thresholds must be non-negative");
+}
+
+// -------------------------------------------------------- ServingMonitor ----
+
+ServingMonitor::ServingMonitor(MonitorConfig config)
+    : config_(config),
+      tau_short_s_(config.ewma_tau_short_s > 0.0
+                       ? config.ewma_tau_short_s
+                       : config.window.span.to_seconds() / 4.0),
+      tau_long_s_(config.ewma_tau_long_s > 0.0 ? config.ewma_tau_long_s
+                                               : config.window.span.to_seconds() * 8.0),
+      latency_(config.window),
+      samples_(config.window),
+      errors_(config.window),
+      slo_violations_(config.window),
+      transport_samples_(config.window),
+      fallback_samples_(config.window),
+      retries_(config.window),
+      margin_(config.window),
+      class_counts_(config.window, std::vector<std::uint64_t>(config.num_classes, 0)),
+      ewma_latency_(tau_short_s_),
+      ewma_margin_(tau_short_s_),
+      ewma_accuracy_(tau_short_s_),
+      margin_reference_(tau_long_s_),
+      alarm_latency_("latency_slo", config.alarm_burn_rate),
+      alarm_error_("error_rate", config.alarm_error_rate),
+      alarm_fallback_("fallback_rate", config.alarm_fallback_rate),
+      alarm_drift_("drift", config.alarm_drift_score) {
+  config_.validate();
+}
+
+void ServingMonitor::record(const Sample& sample) {
+  HDC_CHECK(sample.predicted < config_.num_classes,
+            "predicted class out of monitor range");
+  ++samples_total_;
+  if (!sample.correct) {
+    ++errors_total_;
+  }
+  latency_.observe(sample.at, sample.latency);
+  samples_.add(sample.at);
+  if (!sample.correct) {
+    errors_.add(sample.at);
+  }
+  if (sample.latency > config_.slo_latency) {
+    slo_violations_.add(sample.at);
+  }
+  margin_.add(sample.at, sample.margin);
+  ++class_counts_.at(sample.at)[sample.predicted];
+
+  ewma_latency_.observe(sample.at, sample.latency.to_seconds());
+  ewma_margin_.observe(sample.at, sample.margin);
+  ewma_accuracy_.observe(sample.at, sample.correct ? 1.0 : 0.0);
+  margin_reference_.observe(sample.at, sample.margin);
+
+  evaluate_alarms(sample.at);
+}
+
+void ServingMonitor::record_transport(SimDuration at, std::uint64_t samples,
+                                      std::uint64_t cpu_fallback_samples,
+                                      std::uint64_t retries) {
+  transport_samples_.add(at, samples);
+  fallback_samples_.add(at, cpu_fallback_samples);
+  retries_.add(at, retries);
+  evaluate_alarms(at);
+}
+
+double ServingMonitor::windowed_accuracy(SimDuration now) {
+  const std::uint64_t s = samples_.sum(now);
+  if (s == 0) {
+    return 0.0;
+  }
+  return 1.0 - static_cast<double>(errors_.sum(now)) / static_cast<double>(s);
+}
+
+double ServingMonitor::windowed_error_rate(SimDuration now) {
+  const std::uint64_t s = samples_.sum(now);
+  return s == 0 ? 0.0
+               : static_cast<double>(errors_.sum(now)) / static_cast<double>(s);
+}
+
+double ServingMonitor::slo_violation_fraction(SimDuration now) {
+  const std::uint64_t s = samples_.sum(now);
+  return s == 0 ? 0.0
+               : static_cast<double>(slo_violations_.sum(now)) / static_cast<double>(s);
+}
+
+double ServingMonitor::slo_burn_rate(SimDuration now) {
+  return slo_violation_fraction(now) / config_.slo_error_budget;
+}
+
+double ServingMonitor::fallback_rate(SimDuration now) {
+  const std::uint64_t s = transport_samples_.sum(now);
+  return s == 0 ? 0.0
+               : static_cast<double>(fallback_samples_.sum(now)) / static_cast<double>(s);
+}
+
+double ServingMonitor::drift_score() const {
+  if (margin_reference_.empty() || ewma_margin_.empty()) {
+    return 0.0;
+  }
+  const double reference = margin_reference_.value();
+  if (reference <= 1e-12) {
+    return 0.0;
+  }
+  const double collapse = (reference - ewma_margin_.value()) / reference;
+  return std::clamp(collapse, 0.0, 1.0);
+}
+
+void ServingMonitor::evaluate_alarms(SimDuration now) {
+  const std::uint64_t in_window = samples_.sum(now);
+  if (in_window >= config_.min_samples) {
+    if (auto event = alarm_latency_.update(now, slo_burn_rate(now))) {
+      push_event(*event);
+    }
+    if (auto event = alarm_error_.update(now, windowed_error_rate(now))) {
+      push_event(*event);
+    }
+    if (auto event = alarm_drift_.update(now, drift_score())) {
+      push_event(*event);
+    }
+  }
+  if (transport_samples_.sum(now) >= config_.min_samples) {
+    if (auto event = alarm_fallback_.update(now, fallback_rate(now))) {
+      push_event(*event);
+    }
+  }
+}
+
+void ServingMonitor::push_event(const AlarmEvent& event) {
+  events_.push_back(event);
+  char message[160];
+  std::snprintf(message, sizeof(message),
+                "alarm=%s event=%s value=%.6g threshold=%.6g t_s=%.9g",
+                event.alarm.c_str(), event.fired ? "fire" : "clear", event.value,
+                event.threshold, event.at.to_seconds());
+  HDC_LOG_WARN << message;
+}
+
+const ThresholdAlarm* ServingMonitor::find_alarm(std::string_view name) const {
+  for (const ThresholdAlarm* alarm :
+       {&alarm_latency_, &alarm_error_, &alarm_fallback_, &alarm_drift_}) {
+    if (alarm->name() == name) {
+      return alarm;
+    }
+  }
+  return nullptr;
+}
+
+bool ServingMonitor::alarm_firing(std::string_view name) const {
+  const ThresholdAlarm* alarm = find_alarm(name);
+  return alarm != nullptr && alarm->firing();
+}
+
+std::uint64_t ServingMonitor::alarm_fired_total(std::string_view name) const {
+  const ThresholdAlarm* alarm = find_alarm(name);
+  return alarm == nullptr ? 0 : alarm->fired_total();
+}
+
+MonitorSnapshot ServingMonitor::snapshot(SimDuration now) {
+  MonitorSnapshot snap;
+  snap.at = now;
+  snap.samples_total = samples_total_;
+  snap.errors_total = errors_total_;
+  snap.lifetime_accuracy =
+      samples_total_ == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(errors_total_) / static_cast<double>(samples_total_);
+
+  snap.window_span_s = config_.window.span.to_seconds();
+  snap.window_samples = samples_.sum(now);
+  const double effective_span =
+      std::min(snap.window_span_s, std::max(now.to_seconds(), 1e-12));
+  snap.throughput_sps = static_cast<double>(snap.window_samples) / effective_span;
+  snap.latency_mean_s = latency_.mean(now).to_seconds();
+  snap.latency_p50_s = latency_.quantile(now, 0.50).to_seconds();
+  snap.latency_p95_s = latency_.quantile(now, 0.95).to_seconds();
+  snap.latency_p99_s = latency_.quantile(now, 0.99).to_seconds();
+  snap.windowed_accuracy = windowed_accuracy(now);
+  snap.windowed_error_rate = windowed_error_rate(now);
+  snap.margin_mean = margin_.mean(now);
+  snap.fallback_rate = fallback_rate(now);
+  const std::uint64_t transported = transport_samples_.sum(now);
+  snap.retry_rate = transported == 0 ? 0.0
+                                     : static_cast<double>(retries_.sum(now)) /
+                                           static_cast<double>(transported);
+
+  snap.ewma_latency_s = ewma_latency_.value();
+  snap.ewma_margin = ewma_margin_.value();
+  snap.ewma_accuracy = ewma_accuracy_.value();
+
+  snap.slo_latency_s = config_.slo_latency.to_seconds();
+  snap.slo_violation_fraction = slo_violation_fraction(now);
+  snap.slo_error_budget = config_.slo_error_budget;
+  snap.slo_burn_rate = slo_burn_rate(now);
+
+  snap.drift_score = drift_score();
+  snap.drift_margin_reference = margin_reference_.value();
+  snap.drift_margin_current = ewma_margin_.value();
+
+  snap.class_counts.assign(config_.num_classes, 0);
+  class_counts_.advance_to(now);
+  for (const auto& slot : class_counts_.slots()) {
+    for (std::size_t c = 0; c < slot.size(); ++c) {
+      snap.class_counts[c] += slot[c];
+    }
+  }
+
+  for (const ThresholdAlarm* alarm :
+       {&alarm_latency_, &alarm_error_, &alarm_fallback_, &alarm_drift_}) {
+    snap.alarms.push_back(MonitorSnapshot::AlarmState{
+        alarm->name(), alarm->firing(), alarm->fired_total(), alarm->last_value(),
+        alarm->threshold()});
+  }
+  return snap;
+}
+
+// ------------------------------------------------------ MonitorSnapshot ----
+
+namespace {
+
+void append_field(std::string& out, const char* key, double value, bool leading_comma) {
+  if (leading_comma) {
+    out.push_back(',');
+  }
+  detail::append_json_string(out, key);
+  out.push_back(':');
+  detail::append_json_number(out, value);
+}
+
+void append_gate_metric(std::string& out, const char* name, double value,
+                        const char* unit, const char* kind, const char* better,
+                        bool leading_comma) {
+  if (leading_comma) {
+    out.push_back(',');
+  }
+  detail::append_json_string(out, name);
+  out += ":{\"value\":";
+  detail::append_json_number(out, value);
+  out += ",\"unit\":";
+  detail::append_json_string(out, unit);
+  out += ",\"kind\":";
+  detail::append_json_string(out, kind);
+  out += ",\"better\":";
+  detail::append_json_string(out, better);
+  out.push_back('}');
+}
+
+}  // namespace
+
+std::string MonitorSnapshot::to_json() const {
+  std::string out;
+  out += "{\"schema\":\"hdc-monitor-v1\",\"t_s\":";
+  detail::append_json_number(out, at.to_seconds());
+
+  out += ",\"lifetime\":{\"samples\":" + std::to_string(samples_total) +
+         ",\"errors\":" + std::to_string(errors_total);
+  append_field(out, "accuracy", lifetime_accuracy, /*leading_comma=*/true);
+  out += "}";
+
+  out += ",\"window\":{\"span_s\":";
+  detail::append_json_number(out, window_span_s);
+  out += ",\"samples\":" + std::to_string(window_samples);
+  append_field(out, "throughput_sps", throughput_sps, true);
+  out += ",\"latency\":{";
+  append_field(out, "mean_s", latency_mean_s, false);
+  append_field(out, "p50_s", latency_p50_s, true);
+  append_field(out, "p95_s", latency_p95_s, true);
+  append_field(out, "p99_s", latency_p99_s, true);
+  out += "}";
+  append_field(out, "accuracy", windowed_accuracy, true);
+  append_field(out, "error_rate", windowed_error_rate, true);
+  append_field(out, "margin", margin_mean, true);
+  append_field(out, "fallback_rate", fallback_rate, true);
+  append_field(out, "retry_rate", retry_rate, true);
+  out += "}";
+
+  out += ",\"ewma\":{";
+  append_field(out, "latency_s", ewma_latency_s, false);
+  append_field(out, "margin", ewma_margin, true);
+  append_field(out, "accuracy", ewma_accuracy, true);
+  out += "}";
+
+  out += ",\"slo\":{";
+  append_field(out, "latency_target_s", slo_latency_s, false);
+  append_field(out, "violation_fraction", slo_violation_fraction, true);
+  append_field(out, "error_budget", slo_error_budget, true);
+  append_field(out, "burn_rate", slo_burn_rate, true);
+  out += "}";
+
+  out += ",\"drift\":{";
+  append_field(out, "score", drift_score, false);
+  append_field(out, "margin_reference", drift_margin_reference, true);
+  append_field(out, "margin_current", drift_margin_current, true);
+  out += "}";
+
+  out += ",\"classes\":[";
+  for (std::size_t c = 0; c < class_counts.size(); ++c) {
+    if (c > 0) {
+      out.push_back(',');
+    }
+    out += std::to_string(class_counts[c]);
+  }
+  out += "]";
+
+  out += ",\"alarms\":{";
+  for (std::size_t i = 0; i < alarms.size(); ++i) {
+    const AlarmState& alarm = alarms[i];
+    if (i > 0) {
+      out.push_back(',');
+    }
+    detail::append_json_string(out, alarm.name);
+    out += ":{\"firing\":";
+    out += alarm.firing ? "true" : "false";
+    out += ",\"fired_total\":" + std::to_string(alarm.fired_total);
+    append_field(out, "value", alarm.value, true);
+    append_field(out, "threshold", alarm.threshold, true);
+    out.push_back('}');
+  }
+  out += "}";
+
+  // Flat gate map in the hdc-bench-v1 entry shape: `hdc_perfdiff` diffs a
+  // snapshot against a committed baseline exactly like a bench JSON.
+  out += ",\"metrics\":{";
+  append_gate_metric(out, "lifetime.accuracy", lifetime_accuracy, "fraction", "sim",
+                     "higher", false);
+  append_gate_metric(out, "window.accuracy", windowed_accuracy, "fraction", "sim",
+                     "higher", true);
+  append_gate_metric(out, "window.error_rate", windowed_error_rate, "fraction", "sim",
+                     "lower", true);
+  append_gate_metric(out, "window.latency_p95_s", latency_p95_s, "s", "sim", "lower",
+                     true);
+  append_gate_metric(out, "window.latency_p99_s", latency_p99_s, "s", "sim", "lower",
+                     true);
+  append_gate_metric(out, "window.fallback_rate", fallback_rate, "fraction", "sim",
+                     "lower", true);
+  append_gate_metric(out, "slo.burn_rate", slo_burn_rate, "x", "sim", "lower", true);
+  append_gate_metric(out, "window.samples", static_cast<double>(window_samples), "",
+                     "info", "higher", true);
+  append_gate_metric(out, "drift.score", drift_score, "fraction", "info", "lower", true);
+  double drift_fired = 0.0;
+  for (const AlarmState& alarm : alarms) {
+    if (alarm.name == "drift") {
+      drift_fired = static_cast<double>(alarm.fired_total);
+    }
+  }
+  append_gate_metric(out, "alarms.drift.fired_total", drift_fired, "", "info", "lower",
+                     true);
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+void prom_line(std::string& out, const char* family, const char* labels, double value) {
+  char buf[192];
+  if (labels == nullptr || labels[0] == '\0') {
+    std::snprintf(buf, sizeof(buf), "%s %.9g\n", family, value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s{%s} %.9g\n", family, labels, value);
+  }
+  out += buf;
+}
+
+void prom_header(std::string& out, const char* family, const char* type,
+                 const char* help) {
+  out += "# HELP ";
+  out += family;
+  out.push_back(' ');
+  out += help;
+  out += "\n# TYPE ";
+  out += family;
+  out.push_back(' ');
+  out += type;
+  out.push_back('\n');
+}
+
+}  // namespace
+
+std::string MonitorSnapshot::to_prometheus() const {
+  std::string out;
+  prom_header(out, "hdc_serve_samples_total", "counter", "Samples served (lifetime)");
+  prom_line(out, "hdc_serve_samples_total", "", static_cast<double>(samples_total));
+  prom_header(out, "hdc_serve_errors_total", "counter",
+              "Prequential misclassifications (lifetime)");
+  prom_line(out, "hdc_serve_errors_total", "", static_cast<double>(errors_total));
+  prom_header(out, "hdc_serve_lifetime_accuracy", "gauge", "Lifetime accuracy");
+  prom_line(out, "hdc_serve_lifetime_accuracy", "", lifetime_accuracy);
+
+  prom_header(out, "hdc_serve_window_samples", "gauge", "Samples in the sliding window");
+  prom_line(out, "hdc_serve_window_samples", "", static_cast<double>(window_samples));
+  prom_header(out, "hdc_serve_window_accuracy", "gauge", "Windowed prequential accuracy");
+  prom_line(out, "hdc_serve_window_accuracy", "", windowed_accuracy);
+  prom_header(out, "hdc_serve_window_error_rate", "gauge", "Windowed error rate");
+  prom_line(out, "hdc_serve_window_error_rate", "", windowed_error_rate);
+  prom_header(out, "hdc_serve_throughput_sps", "gauge",
+              "Windowed throughput (samples per simulated second)");
+  prom_line(out, "hdc_serve_throughput_sps", "", throughput_sps);
+
+  prom_header(out, "hdc_serve_latency_seconds", "gauge",
+              "Windowed latency quantiles (simulated seconds)");
+  prom_line(out, "hdc_serve_latency_seconds", "quantile=\"0.5\"", latency_p50_s);
+  prom_line(out, "hdc_serve_latency_seconds", "quantile=\"0.95\"", latency_p95_s);
+  prom_line(out, "hdc_serve_latency_seconds", "quantile=\"0.99\"", latency_p99_s);
+  prom_header(out, "hdc_serve_latency_mean_seconds", "gauge",
+              "Windowed mean latency (simulated seconds)");
+  prom_line(out, "hdc_serve_latency_mean_seconds", "", latency_mean_s);
+
+  prom_header(out, "hdc_serve_margin", "gauge", "Windowed mean prediction margin");
+  prom_line(out, "hdc_serve_margin", "", margin_mean);
+  prom_header(out, "hdc_serve_slo_burn_rate", "gauge", "Latency SLO burn rate");
+  prom_line(out, "hdc_serve_slo_burn_rate", "", slo_burn_rate);
+  prom_header(out, "hdc_serve_drift_score", "gauge", "Margin-collapse drift score");
+  prom_line(out, "hdc_serve_drift_score", "", drift_score);
+  prom_header(out, "hdc_serve_fallback_rate", "gauge",
+              "Windowed CPU-fallback sample fraction");
+  prom_line(out, "hdc_serve_fallback_rate", "", fallback_rate);
+  prom_header(out, "hdc_serve_retry_rate", "gauge",
+              "Windowed device retries per transported sample");
+  prom_line(out, "hdc_serve_retry_rate", "", retry_rate);
+
+  prom_header(out, "hdc_serve_class_predictions", "gauge",
+              "Windowed predictions per class");
+  for (std::size_t c = 0; c < class_counts.size(); ++c) {
+    char labels[48];
+    std::snprintf(labels, sizeof(labels), "class=\"%zu\"", c);
+    prom_line(out, "hdc_serve_class_predictions", labels,
+              static_cast<double>(class_counts[c]));
+  }
+
+  prom_header(out, "hdc_serve_alarm_firing", "gauge", "1 while the alarm condition holds");
+  for (const AlarmState& alarm : alarms) {
+    char labels[64];
+    std::snprintf(labels, sizeof(labels), "alarm=\"%s\"", alarm.name.c_str());
+    prom_line(out, "hdc_serve_alarm_firing", labels, alarm.firing ? 1.0 : 0.0);
+  }
+  prom_header(out, "hdc_serve_alarm_fired_total", "counter",
+              "Edge-triggered alarm fire count");
+  for (const AlarmState& alarm : alarms) {
+    char labels[64];
+    std::snprintf(labels, sizeof(labels), "alarm=\"%s\"", alarm.name.c_str());
+    prom_line(out, "hdc_serve_alarm_fired_total", labels,
+              static_cast<double>(alarm.fired_total));
+  }
+  return out;
+}
+
+}  // namespace hdc::obs

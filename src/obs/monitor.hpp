@@ -1,0 +1,384 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace hdc::obs {
+
+/// Shape of a sliding window over simulated time: `span` seconds of history
+/// kept as `buckets` equal-width ring slots. Observations older than `span`
+/// are evicted exactly at bucket boundaries — an observation placed in
+/// bucket b leaves the window the instant the cursor enters bucket
+/// b + buckets (i.e. `span` simulated seconds after its bucket opened), so
+/// two runs over the same simulated timeline always agree on window content.
+struct WindowConfig {
+  SimDuration span = SimDuration::seconds(2);
+  std::size_t buckets = 16;
+
+  SimDuration bucket_width() const { return span * (1.0 / static_cast<double>(buckets)); }
+  void validate() const;
+};
+
+namespace detail {
+
+/// Ring of per-bucket payloads indexed by absolute simulated-time bucket.
+/// Advancing the cursor resets every slot whose bucket has expired, so the
+/// live window content is always "all slots". Timestamps must be
+/// non-decreasing (earlier timestamps clamp into the current bucket).
+template <typename Slot>
+class BucketRing {
+ public:
+  BucketRing(WindowConfig config, Slot zero)
+      : config_(config), zero_(std::move(zero)), slots_(config.buckets, zero_) {
+    config_.validate();
+  }
+
+  void advance_to(SimDuration t) {
+    const auto target = absolute_bucket(t);
+    if (target <= cursor_) {
+      return;
+    }
+    const std::uint64_t steps = target - cursor_;
+    const std::uint64_t to_clear =
+        steps < static_cast<std::uint64_t>(slots_.size())
+            ? steps
+            : static_cast<std::uint64_t>(slots_.size());
+    for (std::uint64_t i = 1; i <= to_clear; ++i) {
+      slots_[static_cast<std::size_t>((cursor_ + i) % slots_.size())] = zero_;
+    }
+    cursor_ = target;
+  }
+
+  Slot& at(SimDuration t) {
+    advance_to(t);
+    return slots_[static_cast<std::size_t>(cursor_ % slots_.size())];
+  }
+
+  const std::vector<Slot>& slots() const noexcept { return slots_; }
+
+ private:
+  std::uint64_t absolute_bucket(SimDuration t) const {
+    const double w = config_.bucket_width().to_seconds();
+    const double idx = t.to_seconds() / w;
+    return idx <= 0.0 ? 0 : static_cast<std::uint64_t>(idx);
+  }
+
+  WindowConfig config_;
+  Slot zero_;
+  std::vector<Slot> slots_;
+  std::uint64_t cursor_ = 0;
+};
+
+}  // namespace detail
+
+/// Windowed event count (and rate over the window span).
+class SlidingCounter {
+ public:
+  explicit SlidingCounter(WindowConfig config) : ring_(config, 0), span_(config.span) {}
+
+  void add(SimDuration t, std::uint64_t n = 1) { ring_.at(t) += n; }
+  std::uint64_t sum(SimDuration now);
+  /// Events per simulated second over the window span.
+  double rate(SimDuration now) { return static_cast<double>(sum(now)) / span_.to_seconds(); }
+
+ private:
+  detail::BucketRing<std::uint64_t> ring_;
+  SimDuration span_;
+};
+
+/// Windowed mean of a real-valued series (per-slot sum + count).
+class SlidingMean {
+ public:
+  explicit SlidingMean(WindowConfig config) : ring_(config, Slot{}) {}
+
+  void add(SimDuration t, double value) {
+    Slot& slot = ring_.at(t);
+    slot.sum += value;
+    ++slot.count;
+  }
+  std::uint64_t count(SimDuration now);
+  /// Windowed mean; 0 when the window is empty.
+  double mean(SimDuration now);
+
+ private:
+  struct Slot {
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+  detail::BucketRing<Slot> ring_;
+};
+
+/// Windowed latency histogram with log-linear bins (16 per decade from 1 ns
+/// to 1000 s plus under/overflow), giving rolling p50/p95/p99 in O(bins)
+/// with memory bounded by buckets x bins — never by the sample count.
+class SlidingHistogram {
+ public:
+  static constexpr std::size_t kBinsPerDecade = 16;
+  static constexpr int kMinExponent = -9;  ///< 1 ns
+  static constexpr int kMaxExponent = 3;   ///< 1000 s
+  static constexpr std::size_t kFiniteBins =
+      kBinsPerDecade * static_cast<std::size_t>(kMaxExponent - kMinExponent);
+  /// finite bins + underflow (< 1 ns) + overflow (>= 1000 s)
+  static constexpr std::size_t kBins = kFiniteBins + 2;
+
+  explicit SlidingHistogram(WindowConfig config) : ring_(config, Slot{}) {}
+
+  void observe(SimDuration t, SimDuration value);
+
+  std::uint64_t count(SimDuration now);
+  SimDuration mean(SimDuration now);
+  /// Bin-interpolated windowed quantile (q in [0, 1]), clamped to the
+  /// observed per-window [min, max]. Zero when the window is empty.
+  SimDuration quantile(SimDuration now, double q);
+
+ private:
+  struct Slot {
+    std::array<std::uint64_t, kBins> bins{};
+    std::uint64_t count = 0;
+    double sum_s = 0.0;
+    double min_s = 0.0;
+    double max_s = 0.0;
+  };
+
+  static std::size_t bin_index(double seconds);
+  static double bin_lower_seconds(std::size_t bin);
+  static double bin_upper_seconds(std::size_t bin);
+
+  detail::BucketRing<Slot> ring_;
+};
+
+/// Time-decayed exponential moving average: alpha = 1 - exp(-dt / tau), so
+/// the smoothing is invariant to how samples are spaced in simulated time.
+class Ewma {
+ public:
+  explicit Ewma(double tau_seconds) : tau_s_(tau_seconds) {}
+
+  void observe(SimDuration t, double value);
+  bool empty() const noexcept { return !seeded_; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double tau_s_;
+  double value_ = 0.0;
+  SimDuration last_;
+  bool seeded_ = false;
+};
+
+/// One edge of an alarm's lifecycle: fired (crossed into violation) or
+/// cleared (recovered). Exactly one event per crossing, never per sample.
+struct AlarmEvent {
+  std::string alarm;
+  bool fired = false;  ///< true = fire, false = clear
+  SimDuration at;
+  double value = 0.0;
+  double threshold = 0.0;
+};
+
+/// Edge-triggered threshold alarm: fires once when the value crosses the
+/// threshold, stays silent while the condition holds, and clears once when
+/// the value recovers.
+class ThresholdAlarm {
+ public:
+  ThresholdAlarm(std::string name, double threshold)
+      : name_(std::move(name)), threshold_(threshold) {}
+
+  /// Returns the edge event if this update crossed the threshold.
+  std::optional<AlarmEvent> update(SimDuration t, double value);
+
+  const std::string& name() const noexcept { return name_; }
+  double threshold() const noexcept { return threshold_; }
+  bool firing() const noexcept { return firing_; }
+  double last_value() const noexcept { return last_value_; }
+  std::uint64_t fired_total() const noexcept { return fired_total_; }
+
+ private:
+  std::string name_;
+  double threshold_;
+  bool firing_ = false;
+  double last_value_ = 0.0;
+  std::uint64_t fired_total_ = 0;
+};
+
+/// Everything the live monitor watches, with thresholds for the alarms.
+/// `window.span` of zero (with `ServingLoop`) means "auto-size from the
+/// first served chunk"; the monitor itself requires a positive span.
+struct MonitorConfig {
+  std::uint32_t num_classes = 0;  ///< required: sizes the per-class counters
+  WindowConfig window;
+  /// EWMA time constants; 0 = derive from the window span (span/4, span*8).
+  double ewma_tau_short_s = 0.0;
+  double ewma_tau_long_s = 0.0;
+  /// Latency SLO: `slo_error_budget` is the allowed fraction of samples over
+  /// `slo_latency` in the window; burn rate = observed fraction / budget.
+  SimDuration slo_latency = SimDuration::millis(5);
+  double slo_error_budget = 0.01;
+  /// Alarm thresholds (alarm fires while metric > threshold).
+  double alarm_burn_rate = 2.0;
+  double alarm_error_rate = 0.5;
+  double alarm_fallback_rate = 0.25;
+  double alarm_drift_score = 0.35;
+  /// Windowed samples required before error/drift alarms are evaluated, so a
+  /// cold window cannot fire on its first mistake.
+  std::uint64_t min_samples = 32;
+
+  void validate() const;
+};
+
+/// Point-in-time view of the monitor, exported as deterministic JSON
+/// ("hdc-monitor-v1", byte-identical for a fixed seed/config so snapshots
+/// can be committed as baselines and gated by `hdc_perfdiff`) and as
+/// Prometheus text exposition.
+struct MonitorSnapshot {
+  SimDuration at;
+
+  // lifetime
+  std::uint64_t samples_total = 0;
+  std::uint64_t errors_total = 0;
+  double lifetime_accuracy = 0.0;
+
+  // window
+  double window_span_s = 0.0;
+  std::uint64_t window_samples = 0;
+  double throughput_sps = 0.0;
+  double latency_mean_s = 0.0;
+  double latency_p50_s = 0.0;
+  double latency_p95_s = 0.0;
+  double latency_p99_s = 0.0;
+  double windowed_accuracy = 0.0;
+  double windowed_error_rate = 0.0;
+  double margin_mean = 0.0;
+  double fallback_rate = 0.0;
+  double retry_rate = 0.0;
+
+  // ewma
+  double ewma_latency_s = 0.0;
+  double ewma_margin = 0.0;
+  double ewma_accuracy = 0.0;
+
+  // slo
+  double slo_latency_s = 0.0;
+  double slo_violation_fraction = 0.0;
+  double slo_error_budget = 0.0;
+  double slo_burn_rate = 0.0;
+
+  // drift
+  double drift_score = 0.0;
+  double drift_margin_reference = 0.0;
+  double drift_margin_current = 0.0;
+
+  std::vector<std::uint64_t> class_counts;  ///< windowed predictions per class
+
+  struct AlarmState {
+    std::string name;
+    bool firing = false;
+    std::uint64_t fired_total = 0;
+    double value = 0.0;
+    double threshold = 0.0;
+  };
+  std::vector<AlarmState> alarms;
+
+  /// hdc-monitor-v1 JSON. Contains the nested telemetry plus a flat
+  /// `metrics` map in the hdc-bench-v1 entry shape, so `hdc_perfdiff` can
+  /// gate a snapshot exactly like a bench JSON.
+  std::string to_json() const;
+  /// Prometheus text-format exposition (`hdc_serve_*` families).
+  std::string to_prometheus() const;
+};
+
+/// Low-overhead streaming telemetry over a live serving loop. Strictly
+/// observational: it receives copies of values the serving path already
+/// computed and never feeds anything back, so attaching (or resizing) a
+/// monitor cannot change a prediction, model state, or simulated timing.
+///
+/// Alarms ("latency_slo" on SLO burn rate, "error_rate", "fallback_rate",
+/// "drift" on margin collapse) are edge-triggered; each edge is appended to
+/// `events()` and emitted into the structured log (grep/jq-able through
+/// `log::set_json_sink`).
+class ServingMonitor {
+ public:
+  explicit ServingMonitor(MonitorConfig config);
+
+  const MonitorConfig& config() const noexcept { return config_; }
+
+  /// One served sample: prediction + prequential correctness + quality
+  /// signals, stamped with its simulated completion time.
+  struct Sample {
+    SimDuration at;
+    SimDuration latency;
+    std::uint32_t predicted = 0;
+    bool correct = false;
+    double margin = 0.0;  ///< top1 - top2 similarity of the scoring model
+  };
+  void record(const Sample& sample);
+
+  /// Batch-level transport health (the resilient executor reports fallback
+  /// and retry counts per batch, not per sample).
+  void record_transport(SimDuration at, std::uint64_t samples,
+                        std::uint64_t cpu_fallback_samples, std::uint64_t retries);
+
+  // ---- windowed views (advance the window to `now`, then read) ----
+  std::uint64_t window_samples(SimDuration now) { return latency_.count(now); }
+  double windowed_accuracy(SimDuration now);
+  double windowed_error_rate(SimDuration now);
+  SimDuration latency_quantile(SimDuration now, double q) {
+    return latency_.quantile(now, q);
+  }
+  double windowed_margin(SimDuration now) { return margin_.mean(now); }
+  double slo_violation_fraction(SimDuration now);
+  double slo_burn_rate(SimDuration now);
+  double fallback_rate(SimDuration now);
+  /// Margin-collapse drift score: relative collapse of the windowed margin
+  /// against the slow-EWMA reference, in [0, 1].
+  double drift_score() const;
+
+  std::uint64_t samples_total() const noexcept { return samples_total_; }
+  std::uint64_t errors_total() const noexcept { return errors_total_; }
+
+  // ---- alarms ----
+  const std::vector<AlarmEvent>& events() const noexcept { return events_; }
+  bool alarm_firing(std::string_view name) const;
+  std::uint64_t alarm_fired_total(std::string_view name) const;
+
+  MonitorSnapshot snapshot(SimDuration now);
+
+ private:
+  void evaluate_alarms(SimDuration now);
+  void push_event(const AlarmEvent& event);
+  const ThresholdAlarm* find_alarm(std::string_view name) const;
+
+  MonitorConfig config_;
+  double tau_short_s_;
+  double tau_long_s_;
+
+  SlidingHistogram latency_;
+  SlidingCounter samples_;
+  SlidingCounter errors_;
+  SlidingCounter slo_violations_;
+  SlidingCounter transport_samples_;
+  SlidingCounter fallback_samples_;
+  SlidingCounter retries_;
+  SlidingMean margin_;
+  detail::BucketRing<std::vector<std::uint64_t>> class_counts_;
+
+  Ewma ewma_latency_;
+  Ewma ewma_margin_;
+  Ewma ewma_accuracy_;
+  Ewma margin_reference_;  ///< slow EWMA, the drift detector's baseline
+
+  ThresholdAlarm alarm_latency_;
+  ThresholdAlarm alarm_error_;
+  ThresholdAlarm alarm_fallback_;
+  ThresholdAlarm alarm_drift_;
+  std::vector<AlarmEvent> events_;
+
+  std::uint64_t samples_total_ = 0;
+  std::uint64_t errors_total_ = 0;
+};
+
+}  // namespace hdc::obs

@@ -1,0 +1,216 @@
+#include "runtime/serve.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace hdc::runtime {
+
+namespace {
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  HDC_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  out << content;
+  HDC_CHECK(out.good(), "failed writing '" + path + "'");
+}
+
+std::string snapshot_path(const std::string& dir, std::uint32_t index) {
+  char name[48];
+  std::snprintf(name, sizeof(name), "monitor_snapshot_%04u.json", index);
+  return (std::filesystem::path(dir) / name).string();
+}
+
+/// Feeds the serving loop's simulated clock to the structured log for the
+/// lifetime of the session, so JSONL records (alarm edges in particular)
+/// carry `t_s` in simulated seconds.
+class LogClockScope {
+ public:
+  explicit LogClockScope(const double* clock) {
+    log::set_time_provider([clock] { return *clock; });
+  }
+  ~LogClockScope() { log::set_time_provider(nullptr); }
+  LogClockScope(const LogClockScope&) = delete;
+  LogClockScope& operator=(const LogClockScope&) = delete;
+};
+
+}  // namespace
+
+void ServeConfig::validate() const {
+  stream.validate();
+  HDC_CHECK(warmup_chunks >= 1,
+            "serving needs at least one warmup chunk (it doubles as the "
+            "quantization-calibration set)");
+  HDC_CHECK(serve_chunks >= 1, "nothing to serve: serve_chunks must be positive");
+  HDC_CHECK(learner.dim > 0, "learner dimension must be positive");
+  faults.validate();
+  retry.validate();
+  // The monitor config is completed (num_classes, auto window/SLO) at serve
+  // time and validated by the ServingMonitor constructor.
+}
+
+ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config) {
+  config.validate();
+  const data::SyntheticSpec& spec = config.stream.spec;
+
+  data::DriftStream stream(config.stream);
+  core::OnlineLearner learner(spec.features, spec.classes, config.learner);
+
+  // ---- warmup: train the host learner, keep chunk 0 as calibration set ----
+  data::Dataset representative;
+  double warmup_accuracy_sum = 0.0;
+  for (std::uint32_t w = 0; w < config.warmup_chunks; ++w) {
+    data::Dataset chunk = stream.next_chunk();
+    warmup_accuracy_sum += learner.learn_batch(chunk);
+    if (w == 0) {
+      representative = std::move(chunk);
+    }
+  }
+
+  core::TrainedClassifier classifier = learner.freeze();
+
+  ServeResult result;
+  result.warmup_accuracy = warmup_accuracy_sum / config.warmup_chunks;
+
+  if (!config.snapshot_dir.empty()) {
+    std::filesystem::create_directories(config.snapshot_dir);
+  }
+
+  // Constructed after the first served chunk when the window span or the SLO
+  // target is auto-sized (both derive from simulated chunk timings, so the
+  // monitor stays deterministic).
+  std::optional<obs::ServingMonitor> monitor;
+
+  SimDuration now;
+  double log_clock = 0.0;
+  LogClockScope log_scope(&log_clock);
+  for (std::uint32_t i = 0; i < config.serve_chunks; ++i) {
+    const data::Dataset chunk = stream.next_chunk();
+
+    ResilienceReport report;
+    const CoDesignFramework::InferOutcome outcome = framework.infer_tpu_resilient(
+        classifier, chunk, representative, config.faults, config.retry, &report);
+
+    if (!monitor.has_value()) {
+      obs::MonitorConfig mc = config.monitor;
+      mc.num_classes = spec.classes;
+      if (mc.window.span.is_zero()) {
+        mc.window.span = outcome.timings.total * 4.0;
+      }
+      if (mc.window.buckets == 0) {
+        mc.window.buckets = 16;
+      }
+      if (mc.slo_latency.is_zero()) {
+        mc.slo_latency = outcome.timings.per_sample * 1.5;
+      }
+      monitor.emplace(mc);
+    }
+
+    // Per-sample records: completion times spread uniformly across the
+    // chunk's simulated duration, margins from the host scoring model.
+    const std::size_t n = chunk.num_samples();
+    const SimDuration per_sample = outcome.timings.per_sample;
+    std::uint64_t host_errors = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint32_t predicted = outcome.predictions[j];
+      const std::uint32_t label = chunk.labels[j];
+      const core::OnlineLearner::Decision decision = learner.decide(chunk.features.row(j));
+
+      obs::ServingMonitor::Sample sample;
+      sample.at = now + per_sample * static_cast<double>(j + 1);
+      sample.latency = per_sample;
+      sample.predicted = predicted;
+      sample.correct = predicted == label;
+      sample.margin = decision.margin();
+      log_clock = sample.at.to_seconds();
+      monitor->record(sample);
+
+      if (config.online_updates) {
+        if (learner.learn(chunk.features.row(j), label) != label) {
+          ++host_errors;
+        }
+      }
+      result.predictions.push_back(predicted);
+    }
+
+    SimDuration chunk_end = now + outcome.timings.total;
+    log_clock = chunk_end.to_seconds();
+    monitor->record_transport(chunk_end, n, report.cpu_samples,
+                              report.device_stats.invoke_retries);
+
+    // Host-side class-hypervector updates are real simulated work; price
+    // them with the same cost machinery the trainers use. Monitoring itself
+    // is never charged — attaching it cannot move the clock.
+    if (config.online_updates) {
+      const double update_fraction =
+          n == 0 ? 0.0 : static_cast<double>(host_errors) / static_cast<double>(n);
+      chunk_end += framework.cost_model().update_phase(
+          n, config.learner.dim, spec.classes, 1, update_fraction,
+          framework.config().host);
+    }
+    now = chunk_end;
+
+    if (config.online_updates && config.model_refresh_chunks > 0 &&
+        (i + 1) % config.model_refresh_chunks == 0) {
+      // Redeploy the adapted learner. The accelerator model is rebuilt and
+      // re-quantized every chunk by the resilient path, so a refresh swaps
+      // the weights without additional simulated cost here.
+      classifier = learner.freeze();
+    }
+
+    ServeResult::ChunkStats stats;
+    stats.index = i;
+    stats.t_end = now;
+    stats.samples = n;
+    stats.chunk_accuracy = outcome.accuracy;
+    stats.windowed_accuracy = monitor->windowed_accuracy(now);
+    stats.drift_score = monitor->drift_score();
+    stats.fallback_samples = report.cpu_samples;
+    stats.circuit_opened = report.circuit_opened;
+    result.chunks.push_back(stats);
+
+    const bool interval_due = config.snapshot_every_chunks > 0 &&
+                              (i + 1) % config.snapshot_every_chunks == 0;
+    if (interval_due) {
+      const obs::MonitorSnapshot snap = monitor->snapshot(now);
+      if (!config.snapshot_dir.empty()) {
+        ++result.snapshots_written;
+        write_text_file(snapshot_path(config.snapshot_dir, result.snapshots_written),
+                        snap.to_json());
+      }
+      if (!config.prometheus_path.empty()) {
+        write_text_file(config.prometheus_path, snap.to_prometheus());
+      }
+    }
+  }
+
+  result.final_snapshot = monitor->snapshot(now);
+  result.events = monitor->events();
+  result.t_end = now;
+  result.samples_served = monitor->samples_total();
+  result.lifetime_accuracy = result.final_snapshot.lifetime_accuracy;
+
+  if (!config.snapshot_dir.empty()) {
+    ++result.snapshots_written;
+    write_text_file(
+        (std::filesystem::path(config.snapshot_dir) / "monitor_snapshot_final.json")
+            .string(),
+        result.final_snapshot.to_json());
+  }
+  if (!config.prometheus_path.empty()) {
+    write_text_file(config.prometheus_path, result.final_snapshot.to_prometheus());
+  }
+
+  log_clock = now.to_seconds();
+  HDC_LOG_INFO << "serve: " << result.samples_served << " samples over "
+               << result.t_end.to_string() << " simulated, lifetime accuracy "
+               << result.lifetime_accuracy;
+  return result;
+}
+
+}  // namespace hdc::runtime

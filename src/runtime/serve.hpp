@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "data/stream.hpp"
+#include "core/online.hpp"
+#include "obs/monitor.hpp"
+#include "runtime/framework.hpp"
+#include "runtime/resilient.hpp"
+#include "tpu/faults.hpp"
+
+namespace hdc::runtime {
+
+/// Configuration of a live serving session: a `data::DriftStream` pumped
+/// chunk by chunk through the fault-tolerant TPU inference path with
+/// prequential evaluation, optional host-side online updates, and a
+/// `obs::ServingMonitor` watching every served sample.
+struct ServeConfig {
+  data::StreamConfig stream;     ///< task shape, chunking, drift schedule
+  core::OnlineConfig learner;    ///< host learner (dim/seed/lr/similarity)
+
+  /// Chunks consumed to train the learner before serving starts. The first
+  /// warmup chunk doubles as the quantization-calibration representative
+  /// set. Note: the drift schedule counts *all* chunks the stream emits,
+  /// warmup included.
+  std::uint32_t warmup_chunks = 4;
+  std::uint32_t serve_chunks = 32;
+
+  /// Host-side OnlineLearner updates on the served (prequential) labels.
+  bool online_updates = false;
+  /// With online updates: refreeze the learner into the deployed classifier
+  /// every N served chunks (0 = never refresh; serve the warmup model).
+  std::uint32_t model_refresh_chunks = 4;
+
+  tpu::FaultProfile faults;  ///< default: fault-free device
+  RetryPolicy retry;
+
+  /// Monitor thresholds/window. `monitor.num_classes` is filled from the
+  /// stream spec; `monitor.window.span == 0` auto-sizes the window to 4x the
+  /// first served chunk's simulated duration, and `monitor.slo_latency == 0`
+  /// auto-targets 1.5x the first chunk's per-sample latency — both derived
+  /// from simulated values, so they stay deterministic.
+  obs::MonitorConfig monitor;
+
+  // ---- exporters (strictly write-only; never feed back into serving) ----
+  /// Directory for periodic `monitor_snapshot_NNNN.json` +
+  /// `monitor_snapshot_final.json` (hdc-monitor-v1). Empty = no snapshots.
+  std::string snapshot_dir;
+  /// Snapshot every N served chunks (0 = final snapshot only).
+  std::uint32_t snapshot_every_chunks = 0;
+  /// Prometheus text-exposition file, rewritten at every snapshot interval
+  /// and at the end of the run. Empty = disabled.
+  std::string prometheus_path;
+
+  void validate() const;
+};
+
+/// What one serving session produced. `predictions` and `t_end` depend only
+/// on the stream/learner/fault configuration — never on monitor thresholds,
+/// window sizing, or exporters (result-invariance, pinned by tests).
+struct ServeResult {
+  /// Per-chunk digest, in serve order.
+  struct ChunkStats {
+    std::uint32_t index = 0;        ///< served-chunk index (warmup not counted)
+    SimDuration t_end;              ///< simulated clock after the chunk (incl. updates)
+    std::uint64_t samples = 0;
+    double chunk_accuracy = 0.0;    ///< TPU predictions vs labels, this chunk
+    double windowed_accuracy = 0.0;
+    double drift_score = 0.0;
+    std::uint64_t fallback_samples = 0;
+    bool circuit_opened = false;
+  };
+
+  std::vector<std::uint32_t> predictions;  ///< all served TPU predictions, in order
+  std::vector<ChunkStats> chunks;
+  obs::MonitorSnapshot final_snapshot;
+  std::vector<obs::AlarmEvent> events;     ///< every alarm edge, in order
+
+  SimDuration t_end;                       ///< final simulated clock
+  std::uint64_t samples_served = 0;
+  double lifetime_accuracy = 0.0;
+  double warmup_accuracy = 0.0;            ///< prequential accuracy of the warmup pass
+  std::uint32_t snapshots_written = 0;
+};
+
+/// Runs the serving session to completion. Deterministic: a fixed
+/// `ServeConfig` (and `framework` system config) reproduces bit-identical
+/// predictions, simulated timings, alarm edges and snapshot bytes.
+ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config);
+
+}  // namespace hdc::runtime

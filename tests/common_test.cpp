@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "common/byte_io.hpp"
 #include "common/crc32.hpp"
@@ -366,6 +369,108 @@ TEST(LoggingTest, EmitBelowLevelIsSilent) {
   log::set_level(LogLevel::kOff);
   EXPECT_NO_THROW(HDC_LOG_ERROR << "suppressed " << 42);
   log::set_level(before);
+}
+
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Opens a temp JSONL sink for one test and guarantees detach + cleanup.
+class JsonSinkScope {
+ public:
+  explicit JsonSinkScope(const char* name)
+      : path_(std::filesystem::temp_directory_path() / name), level_(log::level()) {
+    log::set_json_sink(path_.string());
+  }
+  ~JsonSinkScope() {
+    log::close_json_sink();
+    log::set_time_provider(nullptr);
+    log::set_level(level_);
+    std::filesystem::remove(path_);
+  }
+  std::string contents() const { return read_file(path_); }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  LogLevel level_;
+};
+
+}  // namespace
+
+TEST(LoggingTest, JsonSinkWritesOneObjectPerLine) {
+  JsonSinkScope sink("hdc_log_sink_basic.jsonl");
+  log::set_level(LogLevel::kWarning);
+  HDC_LOG_WARN << "first " << 1;
+  HDC_LOG_ERROR << "second";
+  const std::string text = sink.contents();
+  EXPECT_NE(text.find("{\"t_s\":0,\"level\":\"WARN\",\"message\":\"first 1\"}\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"level\":\"ERROR\",\"message\":\"second\"}\n"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(LoggingTest, JsonSinkHonoursLevelFilter) {
+  JsonSinkScope sink("hdc_log_sink_filter.jsonl");
+  log::set_level(LogLevel::kError);
+  HDC_LOG_WARN << "filtered out";
+  HDC_LOG_ERROR << "kept";
+  const std::string text = sink.contents();
+  EXPECT_EQ(text.find("filtered out"), std::string::npos);
+  EXPECT_NE(text.find("kept"), std::string::npos);
+}
+
+TEST(LoggingTest, JsonSinkEscapesMessages) {
+  JsonSinkScope sink("hdc_log_sink_escape.jsonl");
+  log::set_level(LogLevel::kWarning);
+  HDC_LOG_WARN << "quote \" backslash \\ newline \n tab \t done";
+  const std::string text = sink.contents();
+  EXPECT_NE(text.find("quote \\\" backslash \\\\ newline \\n tab \\t done"),
+            std::string::npos)
+      << text;
+  // Exactly one physical line despite the embedded newline.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+}
+
+TEST(LoggingTest, JsonSinkUsesSimulatedTimeProvider) {
+  JsonSinkScope sink("hdc_log_sink_time.jsonl");
+  log::set_level(LogLevel::kWarning);
+  double clock = 0.125;
+  log::set_time_provider([&clock] { return clock; });
+  HDC_LOG_WARN << "at eighth";
+  clock = 2.5;
+  HDC_LOG_WARN << "later";
+  const std::string text = sink.contents();
+  EXPECT_NE(text.find("{\"t_s\":0.125,"), std::string::npos) << text;
+  EXPECT_NE(text.find("{\"t_s\":2.5,"), std::string::npos) << text;
+}
+
+TEST(LoggingTest, JsonSinkDetachStopsWriting) {
+  const auto path = std::filesystem::temp_directory_path() / "hdc_log_sink_detach.jsonl";
+  const LogLevel before = log::level();
+  log::set_level(LogLevel::kWarning);
+  log::set_json_sink(path.string());
+  EXPECT_TRUE(log::json_sink_active());
+  HDC_LOG_WARN << "captured";
+  log::close_json_sink();
+  EXPECT_FALSE(log::json_sink_active());
+  HDC_LOG_WARN << "dropped";
+  const std::string text = read_file(path);
+  EXPECT_NE(text.find("captured"), std::string::npos);
+  EXPECT_EQ(text.find("dropped"), std::string::npos);
+  log::set_level(before);
+  std::filesystem::remove(path);
+}
+
+TEST(LoggingTest, JsonSinkUnwritablePathThrows) {
+  EXPECT_THROW(log::set_json_sink("/nonexistent-dir/log.jsonl"), Error);
+  EXPECT_FALSE(log::json_sink_active());
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "data/dataset.hpp"
 #include "data/sampling.hpp"
+#include "data/stream.hpp"
 #include "data/synthetic.hpp"
 #include "tensor/ops.hpp"
 
@@ -398,6 +399,89 @@ TEST(SyntheticTest, ClassesAreSeparableInFeatureSpace) {
   ASSERT_GT(intra_n, 0);
   ASSERT_GT(inter_n, 0);
   EXPECT_LT(intra / intra_n, inter / inter_n);
+}
+
+// -------------------------------------------- DriftStream edge cases ----
+
+namespace {
+
+StreamConfig small_stream() {
+  StreamConfig cfg;
+  cfg.spec = paper_dataset("PAMAP2");
+  cfg.chunk_size = 16;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(DriftStreamEdgeTest, ProgressClampsAtStartAndEnd) {
+  StreamConfig cfg = small_stream();
+  cfg.drift_start_chunk = 3;
+  cfg.drift_duration_chunks = 2;
+  DriftStream stream(cfg);
+  // Progress is evaluated from chunks already emitted: exactly 0 through the
+  // drift-start chunk, exactly 1 from completion onward — never outside.
+  const double expected[] = {0.0, 0.0, 0.0, 0.0, 0.5, 1.0, 1.0, 1.0};
+  for (const double want : expected) {
+    EXPECT_DOUBLE_EQ(stream.drift_progress(), want)
+        << "after " << stream.chunks_emitted() << " chunks";
+    stream.next_chunk();
+  }
+}
+
+TEST(DriftStreamEdgeTest, DriftFromChunkZero) {
+  StreamConfig cfg = small_stream();
+  cfg.drift_start_chunk = 0;
+  cfg.drift_duration_chunks = 4;
+  DriftStream stream(cfg);
+  // The very first chunk is still pre-drift (progress counts *emitted*
+  // chunks), then progress ramps linearly.
+  EXPECT_DOUBLE_EQ(stream.drift_progress(), 0.0);
+  stream.next_chunk();
+  EXPECT_DOUBLE_EQ(stream.drift_progress(), 0.25);
+  stream.next_chunk();
+  EXPECT_DOUBLE_EQ(stream.drift_progress(), 0.5);
+}
+
+TEST(DriftStreamEdgeTest, SingleChunkDriftIsAStepFunction) {
+  StreamConfig cfg = small_stream();
+  cfg.drift_start_chunk = 2;
+  cfg.drift_duration_chunks = 1;
+  DriftStream stream(cfg);
+  stream.next_chunk();
+  stream.next_chunk();
+  EXPECT_DOUBLE_EQ(stream.drift_progress(), 0.0);  // old concept up to here
+  stream.next_chunk();
+  EXPECT_DOUBLE_EQ(stream.drift_progress(), 1.0);  // fully drifted immediately
+}
+
+TEST(DriftStreamEdgeTest, ZeroDurationRejected) {
+  StreamConfig cfg = small_stream();
+  cfg.drift_start_chunk = 2;
+  cfg.drift_duration_chunks = 0;
+  EXPECT_THROW(DriftStream{cfg}, Error);
+}
+
+TEST(DriftStreamEdgeTest, ChunkCountAccounting) {
+  StreamConfig cfg = small_stream();
+  DriftStream stream(cfg);
+  EXPECT_EQ(stream.chunks_emitted(), 0U);
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    const Dataset chunk = stream.next_chunk();
+    EXPECT_EQ(stream.chunks_emitted(), i);
+    EXPECT_EQ(chunk.num_samples(), cfg.chunk_size);
+    // The chunk name carries the pre-increment index (chunk 0 first).
+    EXPECT_NE(chunk.name.find("@chunk" + std::to_string(i - 1)), std::string::npos);
+  }
+}
+
+TEST(DriftStreamEdgeTest, NeverDriftingStreamStaysAtZero) {
+  StreamConfig cfg = small_stream();  // drift_start_chunk = UINT32_MAX
+  DriftStream stream(cfg);
+  for (int i = 0; i < 8; ++i) {
+    stream.next_chunk();
+  }
+  EXPECT_DOUBLE_EQ(stream.drift_progress(), 0.0);
 }
 
 }  // namespace

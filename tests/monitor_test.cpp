@@ -1,0 +1,461 @@
+// Tests for the live serving monitor (src/obs/monitor) and the serving loop
+// (src/runtime/serve): windowed percentile convergence, exact bucket-boundary
+// eviction in simulated time, edge-triggered alarm semantics, monitor
+// result-invariance, the end-to-end drift scenario, and snapshot determinism.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+#include "obs/monitor.hpp"
+#include "runtime/framework.hpp"
+#include "runtime/serve.hpp"
+
+namespace hdc::obs {
+namespace {
+
+WindowConfig window(double span_s, std::size_t buckets = 4) {
+  WindowConfig cfg;
+  cfg.span = SimDuration::seconds(span_s);
+  cfg.buckets = buckets;
+  return cfg;
+}
+
+// ------------------------------------------------------- sliding windows ----
+
+TEST(SlidingCounterTest, CountsWithinWindow) {
+  SlidingCounter counter(window(1.0));
+  counter.add(SimDuration::seconds(0.1));
+  counter.add(SimDuration::seconds(0.4), 2);
+  EXPECT_EQ(counter.sum(SimDuration::seconds(0.5)), 3U);
+  EXPECT_DOUBLE_EQ(counter.rate(SimDuration::seconds(0.5)), 3.0);
+}
+
+TEST(SlidingCounterTest, EvictionIsExactAtBucketBoundaries) {
+  // span 1 s over 4 buckets of 0.25 s. An observation in bucket 0 must still
+  // be visible at t = 1 - eps and be gone exactly at t = 1.0, when the
+  // cursor enters bucket 4 = 0 + #buckets.
+  SlidingCounter counter(window(1.0, 4));
+  counter.add(SimDuration::seconds(0.1));
+  EXPECT_EQ(counter.sum(SimDuration::seconds(0.75)), 1U);
+  EXPECT_EQ(counter.sum(SimDuration::seconds(0.999999)), 1U);
+  EXPECT_EQ(counter.sum(SimDuration::seconds(1.0)), 0U);
+}
+
+TEST(SlidingCounterTest, LongGapClearsEverything) {
+  SlidingCounter counter(window(1.0, 4));
+  counter.add(SimDuration::seconds(0.1), 7);
+  EXPECT_EQ(counter.sum(SimDuration::seconds(500.0)), 0U);
+}
+
+TEST(SlidingMeanTest, WindowedMeanTracksRecentValues) {
+  SlidingMean mean(window(1.0, 4));
+  mean.add(SimDuration::seconds(0.1), 10.0);
+  mean.add(SimDuration::seconds(0.3), 20.0);
+  EXPECT_DOUBLE_EQ(mean.mean(SimDuration::seconds(0.5)), 15.0);
+  EXPECT_EQ(mean.count(SimDuration::seconds(0.5)), 2U);
+  // After the first bucket expires only the 20.0 observation remains.
+  mean.add(SimDuration::seconds(1.1), 40.0);
+  EXPECT_DOUBLE_EQ(mean.mean(SimDuration::seconds(1.2)), 30.0);
+  EXPECT_DOUBLE_EQ(mean.mean(SimDuration::seconds(50.0)), 0.0);
+}
+
+TEST(SlidingHistogramTest, PercentilesConvergeOnStaticDistribution) {
+  // A uniform latency distribution over [1 ms, 2 ms): the exact q-quantile is
+  // 1 ms + q * 1 ms. The log-linear bins are ~15% wide, so with in-bin
+  // interpolation the windowed estimate must land within 8% of exact.
+  SlidingHistogram hist(window(1.0, 8));
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const double latency_s = 0.001 + 0.001 * (static_cast<double>(i) + 0.5) / n;
+    hist.observe(SimDuration::seconds(0.4), SimDuration::seconds(latency_s));
+  }
+  const SimDuration now = SimDuration::seconds(0.5);
+  EXPECT_EQ(hist.count(now), static_cast<std::uint64_t>(n));
+  for (const double q : {0.50, 0.95, 0.99}) {
+    const double exact = 0.001 + q * 0.001;
+    const double got = hist.quantile(now, q).to_seconds();
+    EXPECT_NEAR(got, exact, 0.08 * exact) << "q=" << q;
+  }
+  // Quantiles are clamped to the observed window extremes and ordered.
+  EXPECT_GE(hist.quantile(now, 0.0).to_seconds(), 0.001);
+  EXPECT_LE(hist.quantile(now, 1.0).to_seconds(), 0.002);
+  EXPECT_LE(hist.quantile(now, 0.5).to_seconds(), hist.quantile(now, 0.95).to_seconds());
+  EXPECT_LE(hist.quantile(now, 0.95).to_seconds(), hist.quantile(now, 0.99).to_seconds());
+}
+
+TEST(SlidingHistogramTest, WindowEvictionDropsOldLatencies) {
+  SlidingHistogram hist(window(1.0, 4));
+  // Slow samples early, fast samples late: once the slow bucket expires the
+  // p99 must collapse to the fast population.
+  for (int i = 0; i < 100; ++i) {
+    hist.observe(SimDuration::seconds(0.1), SimDuration::millis(50));
+  }
+  for (int i = 0; i < 100; ++i) {
+    hist.observe(SimDuration::seconds(0.8), SimDuration::micros(100));
+  }
+  EXPECT_GT(hist.quantile(SimDuration::seconds(0.9), 0.99).to_seconds(), 0.01);
+  // t = 1.0: bucket 0 (the 50 ms samples) has expired, bucket at 0.8 s lives.
+  EXPECT_LT(hist.quantile(SimDuration::seconds(1.0), 0.99).to_seconds(), 0.001);
+  EXPECT_EQ(hist.count(SimDuration::seconds(1.0)), 100U);
+}
+
+TEST(SlidingHistogramTest, EmptyWindowIsZero) {
+  SlidingHistogram hist(window(1.0));
+  EXPECT_EQ(hist.count(SimDuration::seconds(5.0)), 0U);
+  EXPECT_EQ(hist.quantile(SimDuration::seconds(5.0), 0.99).to_seconds(), 0.0);
+  EXPECT_EQ(hist.mean(SimDuration::seconds(5.0)).to_seconds(), 0.0);
+}
+
+TEST(EwmaTest, DecaysTowardNewValuesOverTime) {
+  Ewma ewma(1.0);  // tau = 1 s
+  EXPECT_TRUE(ewma.empty());
+  ewma.observe(SimDuration::seconds(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 10.0);  // first observation seeds
+  ewma.observe(SimDuration::seconds(1.0), 0.0);
+  // alpha = 1 - exp(-1) ~ 0.632 -> value ~ 3.68
+  EXPECT_NEAR(ewma.value(), 10.0 * std::exp(-1.0), 1e-9);
+  // A long gap makes the next observation dominate.
+  ewma.observe(SimDuration::seconds(100.0), 7.0);
+  EXPECT_NEAR(ewma.value(), 7.0, 1e-9);
+}
+
+// ----------------------------------------------------------------- alarms ----
+
+TEST(ThresholdAlarmTest, EdgeTriggeredFireAndClear) {
+  ThresholdAlarm alarm("test", 0.5);
+  EXPECT_FALSE(alarm.update(SimDuration::seconds(1), 0.4).has_value());
+  // Crossing fires exactly once...
+  const auto fire = alarm.update(SimDuration::seconds(2), 0.6);
+  ASSERT_TRUE(fire.has_value());
+  EXPECT_TRUE(fire->fired);
+  EXPECT_EQ(fire->alarm, "test");
+  EXPECT_DOUBLE_EQ(fire->value, 0.6);
+  // ...and stays silent while the condition holds, even if it worsens.
+  EXPECT_FALSE(alarm.update(SimDuration::seconds(3), 0.7).has_value());
+  EXPECT_FALSE(alarm.update(SimDuration::seconds(4), 0.9).has_value());
+  EXPECT_TRUE(alarm.firing());
+  // Recovery clears exactly once.
+  const auto clear = alarm.update(SimDuration::seconds(5), 0.5);
+  ASSERT_TRUE(clear.has_value());
+  EXPECT_FALSE(clear->fired);
+  EXPECT_FALSE(alarm.update(SimDuration::seconds(6), 0.1).has_value());
+  // A second crossing fires again: one event per crossing, never per sample.
+  EXPECT_TRUE(alarm.update(SimDuration::seconds(7), 0.8).has_value());
+  EXPECT_EQ(alarm.fired_total(), 2U);
+}
+
+// --------------------------------------------------------- ServingMonitor ----
+
+MonitorConfig monitor_config() {
+  MonitorConfig cfg;
+  cfg.num_classes = 3;
+  cfg.window = window(1.0, 8);
+  cfg.slo_latency = SimDuration::millis(1);
+  cfg.min_samples = 4;
+  return cfg;
+}
+
+ServingMonitor::Sample sample_at(double t_s, std::uint32_t predicted, bool correct,
+                                 double latency_s = 0.0005, double margin = 0.5) {
+  ServingMonitor::Sample s;
+  s.at = SimDuration::seconds(t_s);
+  s.latency = SimDuration::seconds(latency_s);
+  s.predicted = predicted;
+  s.correct = correct;
+  s.margin = margin;
+  return s;
+}
+
+TEST(ServingMonitorTest, TracksAccuracyAndClassCounts) {
+  ServingMonitor monitor(monitor_config());
+  for (int i = 0; i < 8; ++i) {
+    monitor.record(sample_at(0.1 + 0.01 * i, static_cast<std::uint32_t>(i % 2), i < 6));
+  }
+  const SimDuration now = SimDuration::seconds(0.2);
+  EXPECT_EQ(monitor.window_samples(now), 8U);
+  EXPECT_DOUBLE_EQ(monitor.windowed_accuracy(now), 0.75);
+  EXPECT_DOUBLE_EQ(monitor.windowed_error_rate(now), 0.25);
+  MonitorSnapshot snap = monitor.snapshot(now);
+  EXPECT_EQ(snap.samples_total, 8U);
+  EXPECT_EQ(snap.class_counts.size(), 3U);
+  EXPECT_EQ(snap.class_counts[0], 4U);
+  EXPECT_EQ(snap.class_counts[1], 4U);
+  EXPECT_EQ(snap.class_counts[2], 0U);
+}
+
+TEST(ServingMonitorTest, SloBurnRateFromViolationFraction) {
+  MonitorConfig cfg = monitor_config();
+  cfg.slo_error_budget = 0.1;
+  ServingMonitor monitor(cfg);
+  // 2 of 10 samples over the 1 ms SLO -> violation fraction 0.2, burn 2.0.
+  for (int i = 0; i < 10; ++i) {
+    monitor.record(sample_at(0.1 + 0.01 * i, 0, true, i < 2 ? 0.002 : 0.0005));
+  }
+  const SimDuration now = SimDuration::seconds(0.2);
+  EXPECT_DOUBLE_EQ(monitor.slo_violation_fraction(now), 0.2);
+  EXPECT_DOUBLE_EQ(monitor.slo_burn_rate(now), 2.0);
+}
+
+TEST(ServingMonitorTest, ErrorAlarmRespectsMinSamplesGuard) {
+  MonitorConfig cfg = monitor_config();
+  cfg.min_samples = 16;
+  ServingMonitor monitor(cfg);
+  // 8 straight errors: enough to trip the 50% threshold, but below the
+  // warm-up guard, so the alarm must hold its fire.
+  for (int i = 0; i < 8; ++i) {
+    monitor.record(sample_at(0.1 + 0.01 * i, 0, false));
+  }
+  EXPECT_FALSE(monitor.alarm_firing("error_rate"));
+  for (int i = 8; i < 16; ++i) {
+    monitor.record(sample_at(0.1 + 0.01 * i, 0, false));
+  }
+  EXPECT_TRUE(monitor.alarm_firing("error_rate"));
+  EXPECT_EQ(monitor.alarm_fired_total("error_rate"), 1U);
+}
+
+TEST(ServingMonitorTest, FallbackAlarmTracksTransportHealth) {
+  MonitorConfig cfg = monitor_config();
+  cfg.alarm_fallback_rate = 0.25;
+  cfg.min_samples = 4;
+  ServingMonitor monitor(cfg);
+  monitor.record_transport(SimDuration::seconds(0.1), 8, 0, 0);
+  EXPECT_FALSE(monitor.alarm_firing("fallback_rate"));
+  monitor.record_transport(SimDuration::seconds(0.2), 8, 8, 3);
+  EXPECT_TRUE(monitor.alarm_firing("fallback_rate"));
+  EXPECT_DOUBLE_EQ(monitor.fallback_rate(SimDuration::seconds(0.2)), 0.5);
+}
+
+TEST(ServingMonitorTest, MarginCollapseRaisesDriftScore) {
+  MonitorConfig cfg = monitor_config();
+  cfg.ewma_tau_short_s = 0.05;
+  cfg.ewma_tau_long_s = 10.0;  // reference barely moves within the test
+  ServingMonitor monitor(cfg);
+  for (int i = 0; i < 50; ++i) {
+    monitor.record(sample_at(0.01 * i, 0, true, 0.0005, 0.6));
+  }
+  EXPECT_LT(monitor.drift_score(), 0.05);
+  // Margins collapse: the short EWMA follows, the slow reference does not.
+  for (int i = 50; i < 100; ++i) {
+    monitor.record(sample_at(0.01 * i, 0, true, 0.0005, 0.06));
+  }
+  EXPECT_GT(monitor.drift_score(), 0.5);
+  EXPECT_TRUE(monitor.alarm_firing("drift"));
+}
+
+TEST(ServingMonitorTest, SnapshotJsonIsWellFormedAndStable) {
+  ServingMonitor monitor(monitor_config());
+  for (int i = 0; i < 8; ++i) {
+    monitor.record(sample_at(0.1 + 0.01 * i, 0, true));
+  }
+  MonitorSnapshot snap = monitor.snapshot(SimDuration::seconds(0.2));
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"schema\":\"hdc-monitor-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"lifetime\":"), std::string::npos);
+  EXPECT_NE(json.find("\"window.accuracy\":{\"value\":1,"), std::string::npos);
+  EXPECT_NE(json.find("\"alarms\":"), std::string::npos);
+  EXPECT_EQ(json, snap.to_json());  // rendering is a pure function
+
+  const std::string prom = snap.to_prometheus();
+  EXPECT_NE(prom.find("hdc_serve_samples_total 8"), std::string::npos);
+  EXPECT_NE(prom.find("hdc_serve_window_accuracy 1"), std::string::npos);
+  EXPECT_NE(prom.find("hdc_serve_alarm_firing{alarm=\"drift\"} 0"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE hdc_serve_samples_total counter"), std::string::npos);
+}
+
+TEST(ServingMonitorTest, InvalidConfigsRejected) {
+  MonitorConfig cfg = monitor_config();
+  cfg.num_classes = 0;
+  EXPECT_THROW(ServingMonitor{cfg}, Error);
+  cfg = monitor_config();
+  cfg.window.span = SimDuration();
+  EXPECT_THROW(ServingMonitor{cfg}, Error);
+  cfg = monitor_config();
+  cfg.slo_error_budget = 0.0;
+  EXPECT_THROW(ServingMonitor{cfg}, Error);
+  ServingMonitor ok(monitor_config());
+  EXPECT_THROW(ok.record(sample_at(0.1, 3, true)), Error);  // class out of range
+}
+
+}  // namespace
+}  // namespace hdc::obs
+
+// ------------------------------------------------------------ serve loop ----
+
+namespace hdc::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+ServeConfig serve_config() {
+  ServeConfig config;
+  config.stream.spec = data::paper_dataset("PAMAP2");
+  config.stream.spec.seed = 0x5E44E;
+  config.stream.chunk_size = 48;
+  config.learner.dim = 256;
+  config.learner.seed = 11;
+  config.warmup_chunks = 2;
+  config.serve_chunks = 6;
+  return config;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ServeTest, ServesAllChunksWithSaneTelemetry) {
+  const CoDesignFramework framework;
+  const ServeResult result = serve(framework, serve_config());
+  EXPECT_EQ(result.predictions.size(), 6U * 48U);
+  EXPECT_EQ(result.samples_served, 6U * 48U);
+  EXPECT_EQ(result.chunks.size(), 6U);
+  EXPECT_GT(result.lifetime_accuracy, 0.6);  // warm learner on a stationary task
+  EXPECT_GT(result.t_end, SimDuration());
+  // Chunk clocks are strictly increasing.
+  for (std::size_t i = 1; i < result.chunks.size(); ++i) {
+    EXPECT_GT(result.chunks[i].t_end, result.chunks[i - 1].t_end);
+  }
+  const auto& snap = result.final_snapshot;
+  EXPECT_EQ(snap.samples_total, result.samples_served);
+  EXPECT_GT(snap.latency_p50_s, 0.0);
+  EXPECT_EQ(snap.alarms.size(), 4U);
+}
+
+TEST(ServeTest, MonitorConfigurationCannotChangeResults) {
+  // Result-invariance (the serving analog of --profile): window sizing,
+  // alarm thresholds and exporters are strictly observational, so any
+  // monitor configuration must reproduce identical predictions and clocks.
+  const CoDesignFramework framework;
+  const ServeResult base = serve(framework, serve_config());
+
+  ServeConfig tweaked = serve_config();
+  tweaked.monitor.window.span = SimDuration::millis(7);
+  tweaked.monitor.window.buckets = 3;
+  tweaked.monitor.slo_latency = SimDuration::nanos(1);  // everything violates
+  tweaked.monitor.alarm_drift_score = 0.0001;           // alarms fire constantly
+  tweaked.monitor.alarm_error_rate = 0.0001;
+  tweaked.monitor.min_samples = 1;
+  const fs::path dir = fs::temp_directory_path() / "hdc_serve_invariance";
+  fs::create_directories(dir);
+  tweaked.snapshot_dir = dir.string();
+  tweaked.snapshot_every_chunks = 1;
+  tweaked.prometheus_path = (dir / "prom.txt").string();
+  const ServeResult noisy = serve(framework, tweaked);
+  fs::remove_all(dir);
+
+  EXPECT_EQ(base.predictions, noisy.predictions);
+  EXPECT_EQ(base.t_end, noisy.t_end);
+  ASSERT_EQ(base.chunks.size(), noisy.chunks.size());
+  for (std::size_t i = 0; i < base.chunks.size(); ++i) {
+    EXPECT_EQ(base.chunks[i].t_end, noisy.chunks[i].t_end) << "chunk " << i;
+    EXPECT_DOUBLE_EQ(base.chunks[i].chunk_accuracy, noisy.chunks[i].chunk_accuracy);
+  }
+  // The tweaked monitor *observed* differently (that's its job)...
+  EXPECT_GT(noisy.events.size(), base.events.size());
+  // ...but lifetime facts agree exactly.
+  EXPECT_EQ(base.final_snapshot.samples_total, noisy.final_snapshot.samples_total);
+  EXPECT_EQ(base.final_snapshot.errors_total, noisy.final_snapshot.errors_total);
+}
+
+ServeConfig drift_config(bool online) {
+  ServeConfig config = serve_config();
+  config.serve_chunks = 12;
+  // Stream chunk counting includes the 2 warmup chunks: drift begins at
+  // served chunk 2 and completes by served chunk 4.
+  config.stream.drift_start_chunk = 4;
+  config.stream.drift_duration_chunks = 2;
+  config.online_updates = online;
+  config.model_refresh_chunks = 2;
+  // Pin the margin EWMAs explicitly: the reference tau spans the whole run
+  // (so it holds the pre-drift margin level) while the short tau tracks
+  // roughly ten samples. With these the drift score cleanly separates the
+  // stationary regime from the collapsed one at a 0.5 threshold.
+  config.monitor.ewma_tau_short_s = 0.005;
+  config.monitor.ewma_tau_long_s = 100.0;
+  config.monitor.alarm_drift_score = 0.5;
+  config.monitor.min_samples = 16;
+  return config;
+}
+
+TEST(ServeTest, DriftScenarioRaisesAlarmAndOnlineUpdatesRecover) {
+  const CoDesignFramework framework;
+  const ServeResult frozen = serve(framework, drift_config(false));
+  const ServeResult adaptive = serve(framework, drift_config(true));
+
+  // The drift alarm fired, and only after the drift actually began (no
+  // false positive while the concept was stationary).
+  EXPECT_GE(frozen.final_snapshot.alarms[3].fired_total, 1U);
+  const SimDuration drift_begins = frozen.chunks[2].t_end - SimDuration::nanos(1);
+  bool saw_drift_fire = false;
+  for (const auto& event : frozen.events) {
+    if (event.alarm == "drift" && event.fired) {
+      EXPECT_GT(event.at, drift_begins);
+      saw_drift_fire = true;
+    }
+  }
+  EXPECT_TRUE(saw_drift_fire);
+
+  // Without updates the model decays and stays down; with host-side online
+  // updates the windowed accuracy recovers after the drift completes.
+  const double frozen_end = frozen.chunks.back().windowed_accuracy;
+  const double adaptive_end = adaptive.chunks.back().windowed_accuracy;
+  EXPECT_GT(adaptive_end, frozen_end + 0.15)
+      << "frozen " << frozen_end << " vs adaptive " << adaptive_end;
+  EXPECT_GT(adaptive_end, 0.6);
+  EXPECT_LT(frozen_end, 0.6);
+}
+
+TEST(ServeTest, SnapshotsAreByteIdenticalAcrossRuns) {
+  const CoDesignFramework framework;
+  const fs::path dir_a = fs::temp_directory_path() / "hdc_serve_det_a";
+  const fs::path dir_b = fs::temp_directory_path() / "hdc_serve_det_b";
+  ServeConfig config = drift_config(true);
+  config.serve_chunks = 5;
+  config.snapshot_every_chunks = 2;
+
+  config.snapshot_dir = dir_a.string();
+  serve(framework, config);
+  config.snapshot_dir = dir_b.string();
+  serve(framework, config);
+
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir_a)) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  ASSERT_EQ(names.size(), 3U);  // 2 interval snapshots + final
+  for (const auto& name : names) {
+    const std::string a = read_file(dir_a / name);
+    const std::string b = read_file(dir_b / name);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << name << " differs across identical runs";
+  }
+  fs::remove_all(dir_a);
+  fs::remove_all(dir_b);
+}
+
+TEST(ServeTest, InvalidConfigsRejected) {
+  ServeConfig config = serve_config();
+  config.warmup_chunks = 0;
+  EXPECT_THROW(config.validate(), Error);
+  config = serve_config();
+  config.serve_chunks = 0;
+  EXPECT_THROW(config.validate(), Error);
+  config = serve_config();
+  config.stream.chunk_size = 0;
+  EXPECT_THROW(config.validate(), Error);
+}
+
+}  // namespace
+}  // namespace hdc::runtime

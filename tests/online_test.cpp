@@ -194,6 +194,108 @@ TEST(OnlineLearnerTest, RecoversFromConceptDrift) {
   EXPECT_GT(recovered, 0.8);
 }
 
+TEST(WindowedRateTest, TracksLastNOutcomes) {
+  WindowedRate rate(4);
+  EXPECT_EQ(rate.count(), 0U);
+  EXPECT_DOUBLE_EQ(rate.rate(), 0.0);
+  rate.add(true);
+  rate.add(true);
+  EXPECT_DOUBLE_EQ(rate.rate(), 1.0);
+  rate.add(false);
+  rate.add(false);
+  EXPECT_DOUBLE_EQ(rate.rate(), 0.5);
+  // Two more false outcomes evict the two oldest true ones.
+  rate.add(false);
+  rate.add(false);
+  EXPECT_DOUBLE_EQ(rate.rate(), 0.0);
+  EXPECT_EQ(rate.count(), 4U);
+  rate.reset();
+  EXPECT_EQ(rate.count(), 0U);
+}
+
+TEST(WindowedRateTest, ZeroCapacityRejected) { EXPECT_THROW(WindowedRate{0}, Error); }
+
+TEST(OnlineLearnerTest, WindowedErrorRateReactsToDriftLifetimeSmoothsAway) {
+  // The lifetime error rate averages over all history, so after enough
+  // stationary samples a drift onset barely moves it — while the windowed
+  // rate jumps. This is the signal that makes drift *detectable* online.
+  data::StreamConfig cfg;
+  cfg.spec = task_spec();
+  cfg.chunk_size = 200;
+  cfg.drift_start_chunk = 12;
+  cfg.drift_duration_chunks = 1;  // abrupt concept switch
+  data::DriftStream stream(cfg);
+
+  OnlineConfig ocfg = small_online();
+  // Keep the window short relative to how fast the learner self-corrects:
+  // the post-onset error burst only lasts a few dozen samples before the
+  // online updates absorb the new concept, and a wide window dilutes it.
+  ocfg.error_window = 50;
+  OnlineLearner learner(cfg.spec.features, cfg.spec.classes, ocfg);
+
+  for (int i = 0; i < 12; ++i) {
+    learner.learn_batch(stream.next_chunk());  // long stationary phase
+  }
+  const double lifetime_before = learner.stats().error_rate();
+  const double windowed_before = learner.stats().windowed_error_rate();
+
+  stream.next_chunk();  // crosses the drift window
+  // Walk the first fully-drifted chunk sample by sample and track the *peak*
+  // windowed rate: the learner adapts online, so by the end of the chunk the
+  // spike has already started to heal — exactly why a lifetime average,
+  // which never peaks, cannot serve as a drift signal.
+  const data::Dataset drifted = stream.next_chunk();
+  double windowed_peak = windowed_before;
+  double lifetime_at_peak = lifetime_before;
+  for (std::size_t i = 0; i < drifted.num_samples(); ++i) {
+    learner.learn(drifted.features.row(i), drifted.labels[i]);
+    const double windowed_now = learner.stats().windowed_error_rate();
+    if (windowed_now > windowed_peak) {
+      windowed_peak = windowed_now;
+      lifetime_at_peak = learner.stats().error_rate();
+    }
+  }
+  const double lifetime_jump = lifetime_at_peak - lifetime_before;
+  const double windowed_jump = windowed_peak - windowed_before;
+  EXPECT_GT(windowed_jump, 0.15) << "windowed rate must spike at drift onset";
+  EXPECT_LT(lifetime_jump, windowed_jump / 2.0)
+      << "lifetime " << lifetime_before << "->" << lifetime_at_peak << ", windowed "
+      << windowed_before << "->" << windowed_peak;
+}
+
+TEST(OnlineLearnerTest, WindowedRateSurfacedFromLearnBatch) {
+  data::StreamConfig cfg;
+  cfg.spec = task_spec();
+  cfg.chunk_size = 64;
+  data::DriftStream stream(cfg);
+  OnlineConfig ocfg = small_online();
+  ocfg.error_window = 32;
+  OnlineLearner learner(cfg.spec.features, cfg.spec.classes, ocfg);
+  const double accuracy = learner.learn_batch(stream.next_chunk());
+  // learn_batch feeds every prequential outcome through the window; with a
+  // 32-sample window over a 64-sample batch, the windowed rate reflects the
+  // *second half* while 1 - accuracy covers the whole batch.
+  EXPECT_EQ(learner.stats().recent.count(), 32U);
+  EXPECT_LE(learner.stats().windowed_error_rate(), 1.0 - accuracy + 1e-9)
+      << "a cold learner improves within the batch, so the tail cannot be "
+         "worse than the whole";
+}
+
+TEST(OnlineLearnerTest, DecideMatchesPredictAndOrdersScores) {
+  data::StreamConfig cfg;
+  cfg.spec = task_spec();
+  data::DriftStream stream(cfg);
+  OnlineLearner learner(cfg.spec.features, cfg.spec.classes, small_online());
+  learner.learn_batch(stream.next_chunk());
+  const data::Dataset probe = stream.next_chunk();
+  for (std::size_t i = 0; i < 32; ++i) {
+    const auto decision = learner.decide(probe.features.row(i));
+    EXPECT_EQ(decision.predicted, learner.predict(probe.features.row(i)));
+    EXPECT_GE(decision.top1, decision.top2);
+    EXPECT_GE(decision.margin(), 0.0);
+  }
+}
+
 TEST(OnlineLearnerTest, FrozenClassifierMatchesPredictions) {
   data::StreamConfig cfg;
   cfg.spec = task_spec();

@@ -155,6 +155,57 @@ TEST_F(PerfdiffTest, DirectoryModeMatchesBaselinesByFilename) {
   EXPECT_NE(result.output.find("BENCH_fake.json"), std::string::npos);
 }
 
+// A minimal hdc-monitor-v1 snapshot: nested telemetry plus the flat gate map
+// (same entry shape as bench metrics) `hdc serve` writes.
+std::string monitor_json(double window_accuracy, double p95_s, double drift_score) {
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"schema\":\"hdc-monitor-v1\",\"t_s\":1.5,"
+      "\"lifetime\":{\"samples\":640,\"errors\":64,\"accuracy\":0.9},"
+      "\"window\":{\"span_s\":0.25,\"samples\":160},"
+      "\"metrics\":{"
+      "\"window.accuracy\":{\"value\":%.9g,\"unit\":\"fraction\",\"kind\":\"sim\","
+      "\"better\":\"higher\"},"
+      "\"window.latency_p95_s\":{\"value\":%.9g,\"unit\":\"s\",\"kind\":\"sim\","
+      "\"better\":\"lower\"},"
+      "\"drift.score\":{\"value\":%.9g,\"unit\":\"fraction\",\"kind\":\"info\","
+      "\"better\":\"lower\"}"
+      "}}",
+      window_accuracy, p95_s, drift_score);
+  return std::string(buf) + "\n";
+}
+
+TEST_F(PerfdiffTest, MonitorSnapshotsDiffLikeBenchFiles) {
+  const auto base = write("snap_base.json", monitor_json(0.92, 0.0005, 0.1));
+  const auto cand = write("snap_cand.json", monitor_json(0.92, 0.0005, 0.1));
+  const auto result = run_perfdiff(base + " " + cand);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("PASS"), std::string::npos);
+}
+
+TEST_F(PerfdiffTest, MonitorSnapshotAccuracyRegressionGates) {
+  const auto base = write("snap_base.json", monitor_json(0.92, 0.0005, 0.1));
+  // Windowed accuracy 0.92 -> 0.80 is a gated `sim` regression; the drift
+  // score tripling is `info` and must NOT gate on its own.
+  const auto cand = write("snap_cand.json", monitor_json(0.80, 0.0005, 0.3));
+  const auto result = run_perfdiff(base + " " + cand);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("window.accuracy"), std::string::npos);
+}
+
+TEST_F(PerfdiffTest, MonitorSnapshotTailLatencyRegressionGates) {
+  const auto base = write("snap_base.json", monitor_json(0.92, 0.0005, 0.1));
+  const auto cand = write("snap_cand.json", monitor_json(0.92, 0.0008, 0.1));
+  EXPECT_EQ(run_perfdiff(base + " " + cand).exit_code, 1);
+}
+
+TEST_F(PerfdiffTest, MonitorSnapshotInfoOnlyChangesPass) {
+  const auto base = write("snap_base.json", monitor_json(0.92, 0.0005, 0.1));
+  const auto cand = write("snap_cand.json", monitor_json(0.925, 0.0004, 0.9));
+  EXPECT_EQ(run_perfdiff(base + " " + cand).exit_code, 0);
+}
+
 TEST_F(PerfdiffTest, MalformedInputsExitWithUsageError) {
   const auto good = write("good.json", bench_json(1.0, 0.9, 5.0));
   const auto garbage = write("garbage.json", "this is not json\n");

@@ -12,6 +12,20 @@
 //   hdc describe <model.hdlt>
 //   hdc autotune <train.csv> [--dim N] [--margin F]
 //   hdc datasets
+//   hdc serve <dataset> [--chunks N] [--chunk-size N] [--warmup N] [--dim N]
+//             [--seed S] [--online] [--refresh N]
+//             [--drift-start N] [--drift-duration N]
+//             [--fault-profile spec] [--window-span S] [--slo-ms MS]
+//             [--alarm-drift F] [--alarm-error F] [--alarm-burn F]
+//             [--snapshot-dir DIR] [--snapshot-every N] [--prom FILE]
+//             [--log-json FILE]
+//
+// `hdc serve` pumps a synthetic drift stream (one of the Table-I presets)
+// through the fault-tolerant TPU inference path with prequential evaluation
+// and live monitoring: sliding-window accuracy/latency percentiles, SLO burn
+// rate, margin-collapse drift detection and edge-triggered alarms, exported
+// as deterministic hdc-monitor-v1 JSON snapshots and Prometheus text files.
+// See docs/OBSERVABILITY.md ("Live serving monitor").
 //
 // CSV convention: one sample per row, label in the last column (strings or
 // integers; densified automatically). Features are min-max normalized with
@@ -30,11 +44,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/serialize.hpp"
@@ -50,6 +66,7 @@
 #include "obs/trace.hpp"
 #include "runtime/autotune.hpp"
 #include "runtime/framework.hpp"
+#include "runtime/serve.hpp"
 #include "tpu/compiler.hpp"
 
 namespace {
@@ -406,6 +423,125 @@ int cmd_autotune(int argc, char** argv) {
   return 0;
 }
 
+int cmd_serve(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: hdc serve <dataset> [--chunks N] [--chunk-size N] [--warmup N]\n"
+                 "           [--dim N] [--seed S] [--online] [--refresh N]\n"
+                 "           [--drift-start N] [--drift-duration N]\n"
+                 "           [--fault-profile spec] [--window-span S] [--slo-ms MS]\n"
+                 "           [--alarm-drift F] [--alarm-error F] [--alarm-burn F]\n"
+                 "           [--snapshot-dir DIR] [--snapshot-every N] [--prom FILE]\n"
+                 "           [--log-json FILE]\n");
+    return 2;
+  }
+
+  runtime::ServeConfig config;
+  config.stream.spec = data::paper_dataset(argv[2]);
+  config.stream.spec.seed =
+      static_cast<std::uint64_t>(std::atoll(arg_value(argc, argv, "--seed", "42")));
+  config.stream.chunk_size =
+      static_cast<std::uint32_t>(std::atoi(arg_value(argc, argv, "--chunk-size", "128")));
+  const char* drift_start = arg_value(argc, argv, "--drift-start", nullptr);
+  if (drift_start != nullptr) {
+    config.stream.drift_start_chunk = static_cast<std::uint32_t>(std::atoi(drift_start));
+  }
+  config.stream.drift_duration_chunks = static_cast<std::uint32_t>(
+      std::atoi(arg_value(argc, argv, "--drift-duration", "10")));
+
+  config.learner.dim =
+      static_cast<std::uint32_t>(std::atoi(arg_value(argc, argv, "--dim", "2048")));
+  config.learner.seed = config.stream.spec.seed;
+  config.warmup_chunks =
+      static_cast<std::uint32_t>(std::atoi(arg_value(argc, argv, "--warmup", "4")));
+  config.serve_chunks =
+      static_cast<std::uint32_t>(std::atoi(arg_value(argc, argv, "--chunks", "32")));
+  config.online_updates = has_flag(argc, argv, "--online");
+  config.model_refresh_chunks =
+      static_cast<std::uint32_t>(std::atoi(arg_value(argc, argv, "--refresh", "4")));
+
+  const char* fault_spec = arg_value(argc, argv, "--fault-profile", nullptr);
+  if (fault_spec != nullptr) {
+    config.faults = tpu::parse_fault_profile(fault_spec);
+  }
+
+  // Window span / SLO target default to 0 here = auto-size from the first
+  // served chunk's simulated timings (deterministic).
+  config.monitor.window.span =
+      SimDuration::seconds(std::atof(arg_value(argc, argv, "--window-span", "0")));
+  config.monitor.slo_latency =
+      SimDuration::millis(std::atof(arg_value(argc, argv, "--slo-ms", "0")));
+  config.monitor.alarm_drift_score =
+      std::atof(arg_value(argc, argv, "--alarm-drift", "0.35"));
+  config.monitor.alarm_error_rate =
+      std::atof(arg_value(argc, argv, "--alarm-error", "0.5"));
+  config.monitor.alarm_burn_rate =
+      std::atof(arg_value(argc, argv, "--alarm-burn", "2.0"));
+
+  config.snapshot_dir = arg_value(argc, argv, "--snapshot-dir", "");
+  config.snapshot_every_chunks =
+      static_cast<std::uint32_t>(std::atoi(arg_value(argc, argv, "--snapshot-every", "0")));
+  config.prometheus_path = arg_value(argc, argv, "--prom", "");
+
+  const char* log_json = arg_value(argc, argv, "--log-json", nullptr);
+  if (log_json != nullptr) {
+    const auto parent = std::filesystem::path(log_json).parent_path();
+    if (!parent.empty()) {
+      std::filesystem::create_directories(parent);
+    }
+    log::set_json_sink(log_json);
+  }
+
+  const runtime::CoDesignFramework framework;
+  std::printf("serving %s: %u warmup + %u serve chunks of %u samples (d=%u%s)\n",
+              config.stream.spec.name.c_str(), config.warmup_chunks, config.serve_chunks,
+              config.stream.chunk_size, config.learner.dim,
+              config.online_updates ? ", online updates" : "");
+  if (config.stream.drift_start_chunk != UINT32_MAX) {
+    std::printf("drift: starts at stream chunk %u over %u chunks\n",
+                config.stream.drift_start_chunk, config.stream.drift_duration_chunks);
+  }
+
+  const runtime::ServeResult result = runtime::serve(framework, config);
+
+  std::printf("%6s %9s %9s %7s %s\n", "chunk", "accuracy", "windowed", "drift", "flags");
+  for (const auto& chunk : result.chunks) {
+    std::printf("%6u %8.2f%% %8.2f%% %7.3f %s%s\n", chunk.index,
+                100.0 * chunk.chunk_accuracy, 100.0 * chunk.windowed_accuracy,
+                chunk.drift_score, chunk.fallback_samples > 0 ? "fallback " : "",
+                chunk.circuit_opened ? "circuit-open" : "");
+  }
+
+  const auto& snap = result.final_snapshot;
+  std::printf("served %llu samples over %s simulated (warmup prequential %.2f%%)\n",
+              static_cast<unsigned long long>(result.samples_served),
+              result.t_end.to_string().c_str(), 100.0 * result.warmup_accuracy);
+  std::printf("lifetime accuracy %.2f%%, windowed %.2f%%, latency p50/p95/p99 %s/%s/%s\n",
+              100.0 * snap.lifetime_accuracy, 100.0 * snap.windowed_accuracy,
+              SimDuration::seconds(snap.latency_p50_s).to_string().c_str(),
+              SimDuration::seconds(snap.latency_p95_s).to_string().c_str(),
+              SimDuration::seconds(snap.latency_p99_s).to_string().c_str());
+  std::printf("SLO burn rate %.2f, drift score %.3f\n", snap.slo_burn_rate,
+              snap.drift_score);
+  for (const auto& alarm : snap.alarms) {
+    std::printf("alarm %-12s fired %llux%s\n", alarm.name.c_str(),
+                static_cast<unsigned long long>(alarm.fired_total),
+                alarm.firing ? " (still firing)" : "");
+  }
+  if (result.snapshots_written > 0) {
+    std::printf("wrote %u monitor snapshots to %s\n", result.snapshots_written,
+                config.snapshot_dir.c_str());
+  }
+  if (!config.prometheus_path.empty()) {
+    std::printf("wrote Prometheus exposition to %s\n", config.prometheus_path.c_str());
+  }
+  if (log_json != nullptr) {
+    log::close_json_sink();
+    std::printf("wrote JSONL log to %s\n", log_json);
+  }
+  return 0;
+}
+
 int cmd_datasets() {
   std::printf("%-10s %10s %10s %9s   %s\n", "name", "#samples", "#features", "#classes",
               "description");
@@ -422,7 +558,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "hdc — hyperdimensional learning on (simulated) edge accelerators\n"
-                 "commands: train, infer, compile, describe, autotune, datasets\n");
+                 "commands: train, infer, compile, describe, autotune, datasets, serve\n");
     return 2;
   }
   try {
@@ -450,6 +586,9 @@ int main(int argc, char** argv) {
     }
     if (command == "datasets") {
       return cmd_datasets();
+    }
+    if (command == "serve") {
+      return cmd_serve(argc, argv);
     }
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return 2;

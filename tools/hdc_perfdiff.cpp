@@ -1,4 +1,5 @@
-// hdc_perfdiff — perf-regression gate over hdc-bench-v1 JSON files.
+// hdc_perfdiff — perf-regression gate over hdc-bench-v1 JSON files (and
+// hdc-monitor-v1 serve snapshots, which embed the same flat metrics map).
 //
 //   hdc_perfdiff <baseline.json> <candidate.json> [--threshold F]
 //   hdc_perfdiff --baselines <dir> <candidate.json|candidate-dir>... [--threshold F]
@@ -275,13 +276,20 @@ std::optional<BenchFile> load_bench_json(const std::string& path) {
     std::fprintf(stderr, "error: %s is not valid JSON\n", path.c_str());
     return std::nullopt;
   }
-  if (!doc->has("schema") || doc->at("schema").string != "hdc-bench-v1") {
-    std::fprintf(stderr, "error: %s is not an hdc-bench-v1 file\n", path.c_str());
+  // Two accepted schemas: bench telemetry and live-monitor snapshots. A
+  // monitor snapshot embeds the same flat `metrics` map (bench-entry shape),
+  // so everything downstream of the schema check is shared.
+  const std::string schema = doc->has("schema") ? doc->at("schema").string : "";
+  if (schema != "hdc-bench-v1" && schema != "hdc-monitor-v1") {
+    std::fprintf(stderr, "error: %s is not an hdc-bench-v1 or hdc-monitor-v1 file\n",
+                 path.c_str());
     return std::nullopt;
   }
   BenchFile file;
   if (doc->has("bench")) {
     file.bench = doc->at("bench").string;
+  } else if (schema == "hdc-monitor-v1") {
+    file.bench = "monitor-snapshot";
   }
   if (!doc->has("metrics") || doc->at("metrics").type != Json::Type::kObject) {
     std::fprintf(stderr, "error: %s has no metrics object\n", path.c_str());
