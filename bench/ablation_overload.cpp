@@ -1,0 +1,213 @@
+// Ablation (robustness): overload protection and graceful degradation on the
+// serve path. One grid over the `hdc serve` loop (PAMAP2 at functional
+// scale): offered load {1x, 2x, 4x} of the full-tier service rate crossed
+// with fault severity {clean, flaky, hostile}, all with the same bounded
+// admission queue, per-request deadline (calibrated to 1.5x the fault-free
+// chunk time) and health state machine.
+//
+// What the grid demonstrates, deterministically:
+//   - under sustained overload the p99 latency stays within the configured
+//     deadline: the excess is shed or expired, never served late and never
+//     queued unboundedly;
+//   - backlog pressure and device faults engage the degradation ladder
+//     (reduced-dimension model, then host CPU) instead of failing requests;
+//   - after the hostile detach window ends, the quarantined device returns
+//     to healthy via half-open probing and the degraded-tier fraction decays
+//     back to zero (the recovery section prints the tail).
+//
+// All reported times are simulated; `--json` emits hdc-bench-v1 for the CI
+// perf gate (the chaos-smoke job diffs it against the committed baseline).
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "runtime/serve.hpp"
+
+namespace {
+
+using hdc::SimDuration;
+
+hdc::runtime::ServeConfig base_config(std::uint32_t dim, std::uint32_t chunk_size,
+                                      std::uint32_t serve_chunks) {
+  hdc::runtime::ServeConfig config;
+  config.stream.spec = hdc::data::paper_dataset("PAMAP2");
+  config.stream.spec.seed = 0x5E44E;
+  config.stream.chunk_size = chunk_size;
+  config.learner.dim = dim;
+  config.learner.seed = 11;
+  config.warmup_chunks = 2;
+  config.serve_chunks = serve_chunks;
+  config.online_updates = true;
+  config.model_refresh_chunks = 4;
+  config.admission.queue_capacity = 3;
+  // Longer than the inter-chunk gap so a quarantined device actually rides
+  // the host tier before its half-open probe (see DESIGN.md).
+  config.health.probe_interval = SimDuration::millis(30);
+  return config;
+}
+
+struct Severity {
+  const char* label;
+  void (*apply)(hdc::tpu::FaultProfile&);
+};
+
+void apply_clean(hdc::tpu::FaultProfile&) {}
+
+void apply_flaky(hdc::tpu::FaultProfile& faults) {
+  faults.transfer_corrupt_prob = 0.05;
+  faults.transfer_nak_prob = 0.10;
+  faults.seed = 7;
+}
+
+void apply_hostile(hdc::tpu::FaultProfile& faults) {
+  faults.detach_at = {SimDuration::seconds(0.03)};
+  faults.reattach_after = SimDuration::seconds(0.02);
+  faults.seed = 7;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hdc::bench::apply_threads_flag(argc, argv);
+  using namespace hdc;
+
+  const std::uint32_t dim = bench::arg_u32(argc, argv, "--dim", 256);
+  const std::uint32_t chunk_size = bench::arg_u32(argc, argv, "--chunk-size", 48);
+  const std::uint32_t serve_chunks = bench::arg_u32(argc, argv, "--chunks", 16);
+  bench::BenchReporter reporter(argc, argv, "ablation_overload");
+  reporter.workload("dim", dim);
+  reporter.workload("chunk_size", chunk_size);
+  reporter.workload("serve_chunks", serve_chunks);
+  reporter.workload("dataset", std::string("PAMAP2"));
+
+  bench::print_header("Ablation: overload protection and degradation ladder (PAMAP2)");
+
+  const runtime::CoDesignFramework framework;
+
+  // Calibrate the per-request deadline from a fault-free closed-loop run so
+  // the grid scales with the cost model instead of hard-coding seconds.
+  runtime::ServeConfig calibration = base_config(dim, chunk_size, serve_chunks);
+  const runtime::ServeResult reference = serve(framework, calibration);
+  const SimDuration mean_chunk =
+      reference.t_end * (1.0 / static_cast<double>(serve_chunks));
+  const SimDuration deadline = mean_chunk * 1.5;
+  std::printf("(functional, d = %u, %u chunks of %u; deadline = 1.5x mean chunk = %s;\n"
+              " queue capacity 3, probe interval 30 ms; all times simulated)\n\n",
+              dim, serve_chunks, chunk_size, deadline.to_string().c_str());
+  reporter.sim_seconds("calibration.mean_chunk_s", mean_chunk);
+
+  const Severity severities[] = {
+      {"clean", apply_clean},
+      {"flaky", apply_flaky},
+      {"hostile", apply_hostile},
+  };
+  const double loads[] = {1.0, 2.0, 4.0};
+
+  std::printf("%-6s %-8s %9s %9s %9s %9s %6s %6s %-9s\n", "load", "faults", "p99",
+              "shed", "degraded", "accuracy", "quar", "probe", "final");
+  bench::print_rule(80);
+  for (const double load : loads) {
+    for (const Severity& severity : severities) {
+      runtime::ServeConfig config = base_config(dim, chunk_size, serve_chunks);
+      config.admission.offered_load = load;
+      config.admission.deadline = deadline;
+      severity.apply(config.faults);
+      const runtime::ServeResult result = serve(framework, config);
+
+      const std::uint64_t offered =
+          static_cast<std::uint64_t>(serve_chunks) * chunk_size;
+      const double shed_fraction =
+          static_cast<double>(result.shed_samples + result.expired_samples) /
+          static_cast<double>(offered);
+      const double degraded_fraction =
+          result.samples_served == 0
+              ? 0.0
+              : static_cast<double>(result.degraded_samples) /
+                    static_cast<double>(result.samples_served);
+      const bool healthy = result.final_health == runtime::DeviceHealth::kHealthy;
+      const double p99_s = result.final_snapshot.latency_p99_s;
+
+      char load_label[8];
+      std::snprintf(load_label, sizeof(load_label), "%.0fx", load);
+      std::printf("%-6s %-8s %9s %8.1f%% %8.1f%% %8.2f%% %6llu %6llu %-9s\n",
+                  load_label, severity.label,
+                  SimDuration::seconds(p99_s).to_string().c_str(),
+                  100.0 * shed_fraction, 100.0 * degraded_fraction,
+                  100.0 * result.lifetime_accuracy,
+                  static_cast<unsigned long long>(result.quarantines),
+                  static_cast<unsigned long long>(result.probes),
+                  runtime::health_name(result.final_health));
+
+      const std::string prefix =
+          "load" + std::to_string(static_cast<int>(load)) + "_" + severity.label + ".";
+      reporter.sim_seconds(prefix + "p99_s", SimDuration::seconds(p99_s));
+      reporter.sim_ratio(prefix + "shed_fraction", shed_fraction,
+                         /*higher_is_better=*/false);
+      reporter.sim_ratio(prefix + "degraded_fraction", degraded_fraction,
+                         /*higher_is_better=*/false);
+      reporter.sim_accuracy(prefix + "accuracy", result.lifetime_accuracy);
+      reporter.info(prefix + "quarantines", static_cast<double>(result.quarantines));
+      reporter.info(prefix + "probes", static_cast<double>(result.probes));
+      reporter.info(prefix + "final_healthy", healthy ? 1.0 : 0.0);
+
+      if (p99_s > deadline.to_seconds()) {
+        std::printf("!! p99 exceeded the configured deadline — overload protection "
+                    "regressed\n");
+        return 1;
+      }
+      if (!healthy && load <= 2.0) {
+        std::printf("!! device never recovered from %s faults at load %.0fx\n",
+                    severity.label, load);
+        return 1;
+      }
+    }
+  }
+
+  // ---- recovery tail: hostile detach at nominal load ----------------------
+  // The acceptance walk: quarantine -> host tier -> half-open probe ->
+  // healthy, with the degraded-tier fraction decaying to zero by the tail.
+  runtime::ServeConfig recovery = base_config(dim, chunk_size, serve_chunks);
+  recovery.admission.offered_load = 1.0;
+  recovery.admission.deadline = deadline;
+  apply_hostile(recovery.faults);
+  const runtime::ServeResult tail = serve(framework, recovery);
+
+  std::uint64_t tail_degraded = 0;
+  std::uint64_t tail_samples = 0;
+  const std::size_t tail_start = tail.chunks.size() >= 4 ? tail.chunks.size() - 4 : 0;
+  for (std::size_t i = tail_start; i < tail.chunks.size(); ++i) {
+    tail_samples += tail.chunks[i].samples;
+    if (tail.chunks[i].tier != runtime::ServeTier::kFull) {
+      tail_degraded += tail.chunks[i].samples;
+    }
+  }
+  const double tail_fraction =
+      tail_samples == 0
+          ? 0.0
+          : static_cast<double>(tail_degraded) / static_cast<double>(tail_samples);
+  const SimDuration recovered_at =
+      tail.health_transitions.empty() ? SimDuration() : tail.health_transitions.back().at;
+
+  std::printf("\nrecovery (hostile, 1x): %llu quarantines, %llu probes, healthy again "
+              "at %s;\n  degraded fraction over the last 4 chunks: %.1f%%\n",
+              static_cast<unsigned long long>(tail.quarantines),
+              static_cast<unsigned long long>(tail.probes),
+              recovered_at.to_string().c_str(), 100.0 * tail_fraction);
+  reporter.sim_ratio("recovery.tail_degraded_fraction", tail_fraction,
+                     /*higher_is_better=*/false);
+  reporter.sim_seconds("recovery.healthy_at_s", recovered_at);
+  reporter.info("recovery.quarantines", static_cast<double>(tail.quarantines));
+  reporter.info("recovery.probes", static_cast<double>(tail.probes));
+  if (tail.quarantines == 0 || tail.probes == 0 ||
+      tail.final_health != runtime::DeviceHealth::kHealthy || tail_fraction != 0.0) {
+    std::printf("!! recovery ladder did not complete\n");
+    return 1;
+  }
+
+  std::printf("\nShedding keeps the p99 inside the deadline at every load; the ladder\n"
+              "absorbs faults (reduced tier, then host) and probing un-quarantines\n"
+              "the device once the detach window passes.\n");
+  reporter.write();
+  return 0;
+}

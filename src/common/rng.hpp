@@ -46,6 +46,30 @@ class Rng {
   /// Derive an independent stream (for per-sub-model generators).
   Rng split();
 
+  /// Opaque serializable generator state, so checkpoint/restore can resume a
+  /// draw sequence mid-stream bit-identically.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool has_spare_gaussian = false;
+    float spare_gaussian = 0.0F;
+  };
+  State state() const {
+    State snapshot;
+    for (int i = 0; i < 4; ++i) {
+      snapshot.s[i] = state_[i];
+    }
+    snapshot.has_spare_gaussian = has_spare_gaussian_;
+    snapshot.spare_gaussian = spare_gaussian_;
+    return snapshot;
+  }
+  void set_state(const State& snapshot) {
+    for (int i = 0; i < 4; ++i) {
+      state_[i] = snapshot.s[i];
+    }
+    has_spare_gaussian_ = snapshot.has_spare_gaussian;
+    spare_gaussian_ = snapshot.spare_gaussian;
+  }
+
   // UniformRandomBitGenerator interface so <algorithm> shuffles work.
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ULL; }

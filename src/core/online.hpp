@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "common/byte_io.hpp"
 #include "core/config.hpp"
 #include "core/encoder.hpp"
 #include "core/model.hpp"
@@ -36,6 +37,10 @@ class WindowedRate {
   double rate() const;
   void reset();
 
+  /// Exact-state round-trip (ring contents, fill, head) for checkpoints.
+  void serialize(ByteWriter& writer) const;
+  static WindowedRate deserialize(ByteReader& reader);
+
  private:
   std::vector<std::uint8_t> ring_;
   std::uint64_t filled_ = 0;   ///< min(samples added, capacity)
@@ -58,6 +63,9 @@ struct OnlineStats {
   }
   /// Error rate over the last min(samples_seen, error_window) samples.
   double windowed_error_rate() const { return recent.rate(); }
+
+  void serialize(ByteWriter& writer) const;
+  static OnlineStats deserialize(ByteReader& reader);
 };
 
 /// Adaptive online HDC learner in the style of OnlineHD (cited by the paper
@@ -108,7 +116,15 @@ class OnlineLearner {
 
   void reset_stats();
 
+  /// Exact-state round-trip — config, base hypervectors, class hypervectors
+  /// and the prequential counters — so a serve checkpoint restores the
+  /// learner mid-stream bit-identically.
+  void serialize(ByteWriter& writer) const;
+  static OnlineLearner deserialize(ByteReader& reader);
+
  private:
+  OnlineLearner(OnlineConfig config, Encoder encoder, HdModel model, OnlineStats stats);
+
   OnlineConfig config_;
   Encoder encoder_;
   HdModel model_;

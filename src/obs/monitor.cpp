@@ -201,7 +201,8 @@ void MonitorConfig::validate() const {
   HDC_CHECK(slo_error_budget > 0.0 && slo_error_budget <= 1.0,
             "SLO error budget must be in (0, 1]");
   HDC_CHECK(alarm_burn_rate >= 0.0 && alarm_error_rate >= 0.0 &&
-                alarm_fallback_rate >= 0.0 && alarm_drift_score >= 0.0,
+                alarm_fallback_rate >= 0.0 && alarm_drift_score >= 0.0 &&
+                alarm_shed_rate >= 0.0,
             "alarm thresholds must be non-negative");
 }
 
@@ -221,6 +222,10 @@ ServingMonitor::ServingMonitor(MonitorConfig config)
       transport_samples_(config.window),
       fallback_samples_(config.window),
       retries_(config.window),
+      offered_(config.window),
+      shed_(config.window),
+      expired_(config.window),
+      degraded_(config.window),
       margin_(config.window),
       class_counts_(config.window, std::vector<std::uint64_t>(config.num_classes, 0)),
       ewma_latency_(tau_short_s_),
@@ -230,7 +235,8 @@ ServingMonitor::ServingMonitor(MonitorConfig config)
       alarm_latency_("latency_slo", config.alarm_burn_rate),
       alarm_error_("error_rate", config.alarm_error_rate),
       alarm_fallback_("fallback_rate", config.alarm_fallback_rate),
-      alarm_drift_("drift", config.alarm_drift_score) {
+      alarm_drift_("drift", config.alarm_drift_score),
+      alarm_shed_("shed_rate", config.alarm_shed_rate) {
   config_.validate();
 }
 
@@ -269,6 +275,55 @@ void ServingMonitor::record_transport(SimDuration at, std::uint64_t samples,
   evaluate_alarms(at);
 }
 
+void ServingMonitor::record_admission(SimDuration at, std::uint64_t offered_samples,
+                                      std::uint64_t shed_samples,
+                                      std::uint64_t expired_samples,
+                                      std::uint64_t degraded_samples) {
+  offered_.add(at, offered_samples);
+  shed_.add(at, shed_samples);
+  expired_.add(at, expired_samples);
+  degraded_.add(at, degraded_samples);
+  shed_total_ += shed_samples;
+  expired_total_ += expired_samples;
+  degraded_total_ += degraded_samples;
+  evaluate_alarms(at);
+}
+
+void ServingMonitor::set_quarantined(bool quarantined, SimDuration at) {
+  if (quarantined == quarantined_) {
+    return;
+  }
+  quarantined_ = quarantined;
+  if (quarantined) {
+    suppressed_this_quarantine_ = 0;
+    return;
+  }
+  // Recovery: re-emit one fire per suppressed alarm whose condition still
+  // holds, stamped at the recovery time; fire-then-clear pairs that happened
+  // wholly inside the quarantine were already cancelled in dispatch_event.
+  std::uint64_t replayed = 0;
+  for (const AlarmEvent& pending : pending_fires_) {
+    const ThresholdAlarm* alarm = find_alarm(pending.alarm);
+    if (alarm != nullptr && alarm->firing()) {
+      AlarmEvent event = pending;
+      event.at = at;
+      event.value = alarm->last_value();
+      push_event(event);
+      ++replayed;
+    }
+  }
+  pending_fires_.clear();
+  if (suppressed_this_quarantine_ > 0) {
+    char message[160];
+    std::snprintf(message, sizeof(message),
+                  "alarm=quarantine event=summary suppressed=%llu replayed=%llu t_s=%.9g",
+                  static_cast<unsigned long long>(suppressed_this_quarantine_),
+                  static_cast<unsigned long long>(replayed), at.to_seconds());
+    HDC_LOG_WARN << message;
+  }
+  suppressed_this_quarantine_ = 0;
+}
+
 double ServingMonitor::windowed_accuracy(SimDuration now) {
   const std::uint64_t s = samples_.sum(now);
   if (s == 0) {
@@ -299,6 +354,21 @@ double ServingMonitor::fallback_rate(SimDuration now) {
                : static_cast<double>(fallback_samples_.sum(now)) / static_cast<double>(s);
 }
 
+double ServingMonitor::shed_rate(SimDuration now) {
+  const std::uint64_t offered = offered_.sum(now);
+  return offered == 0
+             ? 0.0
+             : static_cast<double>(shed_.sum(now) + expired_.sum(now)) /
+                   static_cast<double>(offered);
+}
+
+double ServingMonitor::degraded_fraction(SimDuration now) {
+  const std::uint64_t served = transport_samples_.sum(now);
+  return served == 0
+             ? 0.0
+             : static_cast<double>(degraded_.sum(now)) / static_cast<double>(served);
+}
+
 double ServingMonitor::drift_score() const {
   if (margin_reference_.empty() || ewma_margin_.empty()) {
     return 0.0;
@@ -314,21 +384,47 @@ double ServingMonitor::drift_score() const {
 void ServingMonitor::evaluate_alarms(SimDuration now) {
   const std::uint64_t in_window = samples_.sum(now);
   if (in_window >= config_.min_samples) {
-    if (auto event = alarm_latency_.update(now, slo_burn_rate(now))) {
-      push_event(*event);
-    }
-    if (auto event = alarm_error_.update(now, windowed_error_rate(now))) {
-      push_event(*event);
-    }
-    if (auto event = alarm_drift_.update(now, drift_score())) {
-      push_event(*event);
-    }
+    dispatch_event(alarm_latency_.update(now, slo_burn_rate(now)));
+    dispatch_event(alarm_error_.update(now, windowed_error_rate(now)));
+    dispatch_event(alarm_drift_.update(now, drift_score()));
   }
   if (transport_samples_.sum(now) >= config_.min_samples) {
-    if (auto event = alarm_fallback_.update(now, fallback_rate(now))) {
-      push_event(*event);
+    dispatch_event(alarm_fallback_.update(now, fallback_rate(now)));
+  }
+  if (offered_.sum(now) >= config_.min_samples) {
+    dispatch_event(alarm_shed_.update(now, shed_rate(now)));
+  }
+}
+
+void ServingMonitor::dispatch_event(std::optional<AlarmEvent> event) {
+  if (!event.has_value()) {
+    return;
+  }
+  if (!quarantined_) {
+    push_event(*event);
+    return;
+  }
+  if (event->fired) {
+    ++suppressed_fires_total_;
+    ++suppressed_this_quarantine_;
+    for (AlarmEvent& pending : pending_fires_) {
+      if (pending.alarm == event->alarm) {
+        pending = *event;
+        return;
+      }
+    }
+    pending_fires_.push_back(*event);
+    return;
+  }
+  for (auto it = pending_fires_.begin(); it != pending_fires_.end(); ++it) {
+    if (it->alarm == event->alarm) {
+      // Fire and clear both happened inside the quarantine: net silence.
+      pending_fires_.erase(it);
+      return;
     }
   }
+  // The matching fire predates the quarantine, so its clear stays exact.
+  push_event(*event);
 }
 
 void ServingMonitor::push_event(const AlarmEvent& event) {
@@ -343,7 +439,7 @@ void ServingMonitor::push_event(const AlarmEvent& event) {
 
 const ThresholdAlarm* ServingMonitor::find_alarm(std::string_view name) const {
   for (const ThresholdAlarm* alarm :
-       {&alarm_latency_, &alarm_error_, &alarm_fallback_, &alarm_drift_}) {
+       {&alarm_latency_, &alarm_error_, &alarm_fallback_, &alarm_drift_, &alarm_shed_}) {
     if (alarm->name() == name) {
       return alarm;
     }
@@ -402,6 +498,15 @@ MonitorSnapshot ServingMonitor::snapshot(SimDuration now) {
   snap.drift_margin_reference = margin_reference_.value();
   snap.drift_margin_current = ewma_margin_.value();
 
+  snap.offered_samples = offered_.sum(now);
+  snap.shed_rate = shed_rate(now);
+  snap.degraded_fraction = degraded_fraction(now);
+  snap.shed_total = shed_total_;
+  snap.expired_total = expired_total_;
+  snap.degraded_total = degraded_total_;
+  snap.quarantined = quarantined_;
+  snap.suppressed_alarms_total = suppressed_fires_total_;
+
   snap.class_counts.assign(config_.num_classes, 0);
   class_counts_.advance_to(now);
   for (const auto& slot : class_counts_.slots()) {
@@ -411,7 +516,7 @@ MonitorSnapshot ServingMonitor::snapshot(SimDuration now) {
   }
 
   for (const ThresholdAlarm* alarm :
-       {&alarm_latency_, &alarm_error_, &alarm_fallback_, &alarm_drift_}) {
+       {&alarm_latency_, &alarm_error_, &alarm_fallback_, &alarm_drift_, &alarm_shed_}) {
     snap.alarms.push_back(MonitorSnapshot::AlarmState{
         alarm->name(), alarm->firing(), alarm->fired_total(), alarm->last_value(),
         alarm->threshold()});
@@ -498,6 +603,17 @@ std::string MonitorSnapshot::to_json() const {
   append_field(out, "margin_current", drift_margin_current, true);
   out += "}";
 
+  out += ",\"admission\":{\"offered\":" + std::to_string(offered_samples);
+  append_field(out, "shed_rate", shed_rate, true);
+  append_field(out, "degraded_fraction", degraded_fraction, true);
+  out += ",\"shed_total\":" + std::to_string(shed_total) +
+         ",\"expired_total\":" + std::to_string(expired_total) +
+         ",\"degraded_total\":" + std::to_string(degraded_total) +
+         ",\"quarantined\":";
+  out += quarantined ? "true" : "false";
+  out += ",\"suppressed_alarms_total\":" + std::to_string(suppressed_alarms_total);
+  out += "}";
+
   out += ",\"classes\":[";
   for (std::size_t c = 0; c < class_counts.size(); ++c) {
     if (c > 0) {
@@ -539,6 +655,10 @@ std::string MonitorSnapshot::to_json() const {
   append_gate_metric(out, "window.fallback_rate", fallback_rate, "fraction", "sim",
                      "lower", true);
   append_gate_metric(out, "slo.burn_rate", slo_burn_rate, "x", "sim", "lower", true);
+  append_gate_metric(out, "window.shed_rate", shed_rate, "fraction", "sim", "lower",
+                     true);
+  append_gate_metric(out, "window.degraded_fraction", degraded_fraction, "fraction",
+                     "sim", "lower", true);
   append_gate_metric(out, "window.samples", static_cast<double>(window_samples), "",
                      "info", "higher", true);
   append_gate_metric(out, "drift.score", drift_score, "fraction", "info", "lower", true);
@@ -622,6 +742,30 @@ std::string MonitorSnapshot::to_prometheus() const {
   prom_header(out, "hdc_serve_retry_rate", "gauge",
               "Windowed device retries per transported sample");
   prom_line(out, "hdc_serve_retry_rate", "", retry_rate);
+  prom_header(out, "hdc_serve_shed_rate", "gauge",
+              "Windowed fraction of offered samples shed or expired");
+  prom_line(out, "hdc_serve_shed_rate", "", shed_rate);
+  prom_header(out, "hdc_serve_degraded_fraction", "gauge",
+              "Windowed fraction of served samples on a degraded ladder tier");
+  prom_line(out, "hdc_serve_degraded_fraction", "", degraded_fraction);
+  prom_header(out, "hdc_serve_shed_samples_total", "counter",
+              "Samples shed by admission control (lifetime)");
+  prom_line(out, "hdc_serve_shed_samples_total", "", static_cast<double>(shed_total));
+  prom_header(out, "hdc_serve_expired_samples_total", "counter",
+              "Samples expired on their deadline (lifetime)");
+  prom_line(out, "hdc_serve_expired_samples_total", "",
+            static_cast<double>(expired_total));
+  prom_header(out, "hdc_serve_degraded_samples_total", "counter",
+              "Samples served on a degraded ladder tier (lifetime)");
+  prom_line(out, "hdc_serve_degraded_samples_total", "",
+            static_cast<double>(degraded_total));
+  prom_header(out, "hdc_serve_quarantined", "gauge",
+              "1 while the device is quarantined");
+  prom_line(out, "hdc_serve_quarantined", "", quarantined ? 1.0 : 0.0);
+  prom_header(out, "hdc_serve_suppressed_alarms_total", "counter",
+              "Alarm fire edges suppressed during quarantine (lifetime)");
+  prom_line(out, "hdc_serve_suppressed_alarms_total", "",
+            static_cast<double>(suppressed_alarms_total));
 
   prom_header(out, "hdc_serve_class_predictions", "gauge",
               "Windowed predictions per class");

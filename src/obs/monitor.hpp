@@ -223,6 +223,9 @@ struct MonitorConfig {
   double alarm_error_rate = 0.5;
   double alarm_fallback_rate = 0.25;
   double alarm_drift_score = 0.35;
+  /// Windowed fraction of offered samples shed or expired by admission
+  /// control before the "shed_rate" alarm fires.
+  double alarm_shed_rate = 0.5;
   /// Windowed samples required before error/drift alarms are evaluated, so a
   /// cold window cannot fire on its first mistake.
   std::uint64_t min_samples = 32;
@@ -272,6 +275,16 @@ struct MonitorSnapshot {
   double drift_margin_reference = 0.0;
   double drift_margin_current = 0.0;
 
+  // admission / degradation ladder
+  std::uint64_t offered_samples = 0;   ///< windowed samples offered for admission
+  double shed_rate = 0.0;              ///< windowed (shed + expired) / offered
+  double degraded_fraction = 0.0;      ///< windowed degraded-tier / served samples
+  std::uint64_t shed_total = 0;        ///< lifetime samples shed by admission
+  std::uint64_t expired_total = 0;     ///< lifetime samples expired on deadline
+  std::uint64_t degraded_total = 0;    ///< lifetime samples served on degraded tiers
+  bool quarantined = false;            ///< device quarantined at snapshot time
+  std::uint64_t suppressed_alarms_total = 0;  ///< fire edges swallowed in quarantine
+
   std::vector<std::uint64_t> class_counts;  ///< windowed predictions per class
 
   struct AlarmState {
@@ -297,9 +310,11 @@ struct MonitorSnapshot {
 /// monitor cannot change a prediction, model state, or simulated timing.
 ///
 /// Alarms ("latency_slo" on SLO burn rate, "error_rate", "fallback_rate",
-/// "drift" on margin collapse) are edge-triggered; each edge is appended to
-/// `events()` and emitted into the structured log (grep/jq-able through
-/// `log::set_json_sink`).
+/// "drift" on margin collapse, "shed_rate" on admission shedding) are
+/// edge-triggered; each edge is appended to `events()` and emitted into the
+/// structured log (grep/jq-able through `log::set_json_sink`). While the
+/// serving layer marks the device quarantined, fire edges are suppressed and
+/// summarized instead of re-firing (see `set_quarantined`).
 class ServingMonitor {
  public:
   explicit ServingMonitor(MonitorConfig config);
@@ -322,6 +337,24 @@ class ServingMonitor {
   void record_transport(SimDuration at, std::uint64_t samples,
                         std::uint64_t cpu_fallback_samples, std::uint64_t retries);
 
+  /// Admission-control and degradation-ladder outcome of one arrival/service
+  /// event: how many samples were offered, shed outright, expired on their
+  /// deadline, and served on a degraded (non-full) ladder tier.
+  void record_admission(SimDuration at, std::uint64_t offered_samples,
+                        std::uint64_t shed_samples, std::uint64_t expired_samples,
+                        std::uint64_t degraded_samples);
+
+  /// Device-quarantine gate for alarm edges (suppress-and-summarize): while
+  /// quarantined, alarm *fire* edges are swallowed (counted, not emitted);
+  /// a fire-then-clear wholly inside the quarantine nets to silence, while
+  /// the clear of a pre-quarantine fire is still emitted exactly. Leaving
+  /// quarantine re-emits one fire per still-firing suppressed alarm, stamped
+  /// at the recovery time, plus a summary log line. Purely observational —
+  /// it gates which events are emitted, never what the alarms compute.
+  void set_quarantined(bool quarantined, SimDuration at);
+  bool quarantined() const noexcept { return quarantined_; }
+  std::uint64_t suppressed_fires_total() const noexcept { return suppressed_fires_total_; }
+
   // ---- windowed views (advance the window to `now`, then read) ----
   std::uint64_t window_samples(SimDuration now) { return latency_.count(now); }
   double windowed_accuracy(SimDuration now);
@@ -333,6 +366,10 @@ class ServingMonitor {
   double slo_violation_fraction(SimDuration now);
   double slo_burn_rate(SimDuration now);
   double fallback_rate(SimDuration now);
+  /// Windowed (shed + expired) / offered; 0 while nothing was offered.
+  double shed_rate(SimDuration now);
+  /// Windowed degraded-tier fraction of served samples.
+  double degraded_fraction(SimDuration now);
   /// Margin-collapse drift score: relative collapse of the windowed margin
   /// against the slow-EWMA reference, in [0, 1].
   double drift_score() const;
@@ -350,6 +387,8 @@ class ServingMonitor {
  private:
   void evaluate_alarms(SimDuration now);
   void push_event(const AlarmEvent& event);
+  /// Routes an alarm edge through the quarantine gate (see set_quarantined).
+  void dispatch_event(std::optional<AlarmEvent> event);
   const ThresholdAlarm* find_alarm(std::string_view name) const;
 
   MonitorConfig config_;
@@ -363,6 +402,10 @@ class ServingMonitor {
   SlidingCounter transport_samples_;
   SlidingCounter fallback_samples_;
   SlidingCounter retries_;
+  SlidingCounter offered_;
+  SlidingCounter shed_;
+  SlidingCounter expired_;
+  SlidingCounter degraded_;
   SlidingMean margin_;
   detail::BucketRing<std::vector<std::uint64_t>> class_counts_;
 
@@ -375,10 +418,19 @@ class ServingMonitor {
   ThresholdAlarm alarm_error_;
   ThresholdAlarm alarm_fallback_;
   ThresholdAlarm alarm_drift_;
+  ThresholdAlarm alarm_shed_;
   std::vector<AlarmEvent> events_;
+
+  bool quarantined_ = false;
+  std::vector<AlarmEvent> pending_fires_;  ///< fires suppressed in quarantine
+  std::uint64_t suppressed_fires_total_ = 0;
+  std::uint64_t suppressed_this_quarantine_ = 0;
 
   std::uint64_t samples_total_ = 0;
   std::uint64_t errors_total_ = 0;
+  std::uint64_t shed_total_ = 0;
+  std::uint64_t expired_total_ = 0;
+  std::uint64_t degraded_total_ = 0;
 };
 
 }  // namespace hdc::obs

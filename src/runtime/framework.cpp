@@ -335,6 +335,110 @@ CoDesignFramework::InferOutcome CoDesignFramework::infer_tpu(
   return outcome;
 }
 
+CoDesignFramework::LoweredModel CoDesignFramework::lower_classifier(
+    const core::TrainedClassifier& classifier, const data::Dataset& representative,
+    const std::string& name) const {
+  const nn::Graph graph = nn::build_inference_graph(classifier, name);
+  lite::LiteModel float_model = lite::build_float_model(graph);
+  const lite::LiteModel quantized = lite::quantize_model(
+      float_model, representative_rows(representative), config_.quantize);
+  const tpu::EdgeTpuCompiler compiler(config_.systolic, config_.sram_bytes);
+  tpu::CompiledModel compiled = compiler.compile(quantized);
+  return LoweredModel{std::move(float_model), std::move(compiled)};
+}
+
+ServingEndpoint::ServingEndpoint(const CoDesignFramework& framework,
+                                 const tpu::FaultProfile& faults, RetryPolicy policy)
+    : framework_(framework),
+      policy_(policy),
+      device_(framework.config().systolic, framework.config().link,
+              framework.config().sram_bytes),
+      cpu_(framework.config().host) {
+  faults.validate();
+  policy_.validate();
+  device_.set_trace(framework.trace_context());
+  device_.set_fault_injector(tpu::FaultInjector(faults));
+}
+
+void ServingEndpoint::deploy(ServeTier tier, const core::TrainedClassifier& classifier,
+                             const data::Dataset& representative) {
+  HDC_CHECK(tier != ServeTier::kHost,
+            "the host tier shares the reduced tier's model; deploy kReduced instead");
+  const char* name = tier == ServeTier::kFull ? "serve_full" : "serve_reduced";
+  CoDesignFramework::LoweredModel lowered =
+      framework_.lower_classifier(classifier, representative, name);
+  // Upload rides the one-time-load convention (uncharged, like infer_tpu's).
+  device_.load(lowered.compiled);
+  tiers_[static_cast<std::size_t>(tier)] = std::move(lowered);
+}
+
+bool ServingEndpoint::deployed(ServeTier tier) const noexcept {
+  const std::size_t slot = tier == ServeTier::kFull ? 0 : 1;
+  return tiers_[slot].has_value();
+}
+
+ServingEndpoint::BatchOutcome ServingEndpoint::infer(ServeTier tier,
+                                                     const tensor::MatrixF& inputs,
+                                                     SimDuration start,
+                                                     SimDuration sample_deadline) {
+  const std::size_t slot = tier == ServeTier::kFull ? 0 : 1;
+  HDC_CHECK(tiers_[slot].has_value(), "serving tier has no deployed model");
+  const CoDesignFramework::LoweredModel& model = *tiers_[slot];
+
+  BatchOutcome outcome;
+  if (tier == ServeTier::kHost) {
+    // Host tier: the reduced float model on the CPU. The device is not
+    // touched — its clock, SRAM and detach schedule sit idle until a probe.
+    auto [result, time] = cpu_.run(model.float_model, inputs, tpu::ExecutionMode::kFunctional,
+                                   framework_.trace_context());
+    HDC_CHECK(result.has_classes, "inference model must end in ARG_MAX");
+    outcome.predictions.assign(result.classes.begin(), result.classes.end());
+    outcome.report.cpu_fallback_time = time;
+    outcome.report.cpu_samples = inputs.rows();
+    outcome.total = time;
+    return outcome;
+  }
+
+  // Sync the device clock forward to the service start: idle gaps between
+  // chunks are real simulated time the detach/reattach schedule sees.
+  if (device_.clock() < start) {
+    device_.advance_clock(start - device_.clock());
+  }
+  // Residency tracks the active tier; swaps are uncharged by the deploy
+  // convention (the result of load is discarded).
+  device_.load(model.compiled);
+
+  RetryPolicy policy = policy_;
+  policy.sample_deadline = sample_deadline;
+  ResilientExecutor executor(&device_, cpu_, policy);
+  executor.set_trace(framework_.trace_context());
+  tpu::InvokeOptions options;
+  options.mode = tpu::ExecutionMode::kFunctional;
+  options.interactive = true;
+  ResilientExecutor::Outcome run = executor.run(model.compiled, model.float_model, inputs,
+                                                options);
+  HDC_CHECK(run.result.has_classes, "inference model must end in ARG_MAX");
+  outcome.predictions.assign(run.result.classes.begin(), run.result.classes.end());
+  outcome.report = run.report;
+  outcome.total = run.report.total();
+  return outcome;
+}
+
+SimDuration ServingEndpoint::nominal_per_sample(ServeTier tier) const {
+  const std::size_t slot = tier == ServeTier::kFull ? 0 : 1;
+  HDC_CHECK(tiers_[slot].has_value(), "serving tier has no deployed model");
+  const CoDesignFramework::LoweredModel& model = *tiers_[slot];
+  if (tier == ServeTier::kHost) {
+    return cpu_.per_sample_time(model.float_model);
+  }
+  tpu::InvokeOptions options;
+  options.mode = tpu::ExecutionMode::kFunctional;
+  options.interactive = true;
+  return device_
+      .per_sample_cost(model.compiled, options, framework_.config().host.host_cost_model())
+      .total();
+}
+
 CoDesignFramework::InferOutcome CoDesignFramework::infer_tpu_resilient(
     const core::TrainedClassifier& classifier, const data::Dataset& test,
     const data::Dataset& representative, const tpu::FaultProfile& faults,

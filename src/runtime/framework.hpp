@@ -1,6 +1,9 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/bagging.hpp"
@@ -11,6 +14,7 @@
 #include "platform/profiles.hpp"
 #include "lite/quantize.hpp"
 #include "runtime/cost.hpp"
+#include "runtime/health.hpp"
 #include "runtime/report.hpp"
 #include "runtime/resilient.hpp"
 #include "tpu/compiler.hpp"
@@ -100,6 +104,22 @@ class CoDesignFramework {
                          const data::Dataset& test,
                          const data::Dataset& representative) const;
 
+  /// A classifier lowered through the deployment pipeline: the float wide-NN
+  /// model (the exact CPU-fallback model) plus its quantized, compiled
+  /// accelerator image. The same lowering sequence `infer_tpu` /
+  /// `infer_tpu_resilient` perform inline, exposed so a long-lived serving
+  /// endpoint can lower once and re-deploy across model refreshes.
+  struct LoweredModel {
+    lite::LiteModel float_model;
+    tpu::CompiledModel compiled;
+  };
+
+  /// Lowers `classifier` for deployment: wide-NN graph -> float model ->
+  /// int8 quantization against `representative` -> accelerator compile.
+  LoweredModel lower_classifier(const core::TrainedClassifier& classifier,
+                                const data::Dataset& representative,
+                                const std::string& name = "hdc_inference") const;
+
   /// Fault-tolerant TPU inference: same model pipeline as `infer_tpu`, but
   /// the device draws faults from `faults` and the batch is driven by a
   /// `ResilientExecutor` (bounded retry, exponential backoff, CPU fallback).
@@ -127,6 +147,63 @@ class CoDesignFramework {
   SystemConfig config_;
   CostModel cost_;
   obs::TraceContext* trace_ = nullptr;
+};
+
+/// A long-lived serving endpoint: one persistent accelerator device shared
+/// across every chunk of a serving session, with a *tiered* model ladder
+/// deployed on it.
+///
+///   kFull     full-dimension model on the accelerator
+///   kReduced  reduced-dimension (LDC-style) model on the accelerator
+///   kHost     reduced float model on the host CPU (device not touched)
+///
+/// Keeping the device alive across chunks is what makes device health
+/// meaningful: detach schedules, SRAM state and the fault injector's RNG
+/// stream persist, so a quarantined device really is the *same* device the
+/// probe later re-tries. Model deploys/swaps ride the one-time-upload
+/// convention of `infer_tpu` — never charged to serving time — so tier
+/// switches change *which* model runs, not the cost of loading it.
+class ServingEndpoint {
+ public:
+  ServingEndpoint(const CoDesignFramework& framework, const tpu::FaultProfile& faults,
+                  RetryPolicy policy);
+
+  /// Lowers and installs the model for `tier` (kHost shares kReduced's
+  /// lowered model and needs no deploy). Upload is uncharged by convention.
+  void deploy(ServeTier tier, const core::TrainedClassifier& classifier,
+              const data::Dataset& representative);
+
+  bool deployed(ServeTier tier) const noexcept;
+
+  struct BatchOutcome {
+    std::vector<std::uint32_t> predictions;
+    SimDuration total;  ///< simulated service time for the batch
+    ResilienceReport report;
+  };
+
+  /// Serves one chunk on `tier` starting at simulated time `start` (the
+  /// device clock is synced forward to it — idle gaps between chunks are
+  /// real time the detach schedule sees). `sample_deadline` bounds each
+  /// sample's retry loop (zero = unbounded); host-tier batches never touch
+  /// the device and cannot fault.
+  BatchOutcome infer(ServeTier tier, const tensor::MatrixF& inputs, SimDuration start,
+                     SimDuration sample_deadline);
+
+  /// Nominal fault-free per-sample service time for a tier (the admission
+  /// deadline check prices queued work with this).
+  SimDuration nominal_per_sample(ServeTier tier) const;
+
+  tpu::EdgeTpuDevice& device() noexcept { return device_; }
+  const tpu::EdgeTpuDevice& device() const noexcept { return device_; }
+
+ private:
+  const CoDesignFramework& framework_;
+  RetryPolicy policy_;
+  tpu::EdgeTpuDevice device_;
+  platform::CpuExecutor cpu_;
+  /// Lowered models for the device tiers (kHost reuses kReduced's float
+  /// model on the CPU).
+  std::array<std::optional<CoDesignFramework::LoweredModel>, 2> tiers_;
 };
 
 }  // namespace hdc::runtime

@@ -18,6 +18,20 @@ void RetryPolicy::validate() const {
   HDC_CHECK(max_backoff >= initial_backoff,
             "backoff ceiling must be at least the initial backoff");
   HDC_CHECK(circuit_breaker_threshold >= 1, "circuit breaker threshold must be positive");
+  HDC_CHECK(sample_deadline >= SimDuration(),
+            "per-sample deadline must be non-negative (0 disables the watchdog)");
+}
+
+ResilienceReport& ResilienceReport::operator+=(const ResilienceReport& other) {
+  device_stats += other.device_stats;
+  cpu_fallback_time += other.cpu_fallback_time;
+  tpu_samples += other.tpu_samples;
+  cpu_samples += other.cpu_samples;
+  shed_samples += other.shed_samples;
+  expired_samples += other.expired_samples;
+  degraded_samples += other.degraded_samples;
+  circuit_opened = circuit_opened || other.circuit_opened;
+  return *this;
 }
 
 ResilientExecutor::ResilientExecutor(tpu::EdgeTpuDevice* device, platform::CpuExecutor cpu,
@@ -95,9 +109,26 @@ ResilientExecutor::Outcome ResilientExecutor::run(const tpu::CompiledModel& comp
     std::copy_n(inputs.row(row).data(), inputs.cols(), one.data());
 
     bool done = false;
+    SimDuration sample_spent;  // device time + backoff this sample consumed
     SimDuration backoff = policy_.initial_backoff;
     for (std::uint32_t attempt = 0; attempt < policy_.max_attempts && !done; ++attempt) {
       if (attempt > 0) {
+        if (!policy_.sample_deadline.is_zero() &&
+            sample_spent + backoff > policy_.sample_deadline) {
+          // Deadline watchdog: the remaining budget cannot cover another
+          // backoff sleep, so the sample abandons the device mid-retry
+          // without charging the sleep and completes on the CPU instead.
+          outcome.report.device_stats.deadline_abandons += 1;
+          outcome.report.expired_samples += 1;
+          if (trace_ != nullptr) {
+            trace_->instant(obs::Track::kExecutor, "resilient.deadline_abandon",
+                            {{"sample", row}, {"attempt", attempt}});
+            if (obs::MetricsRegistry* metrics = trace_->metrics()) {
+              metrics->counter("resilient.deadline_abandons").add(1);
+            }
+          }
+          break;
+        }
         // Exponential backoff between attempts, charged in simulated time so
         // a reattaching device can actually come back within the window.
         outcome.report.device_stats.invoke_retries += 1;
@@ -113,6 +144,7 @@ ResilientExecutor::Outcome ResilientExecutor::run(const tpu::CompiledModel& comp
             metrics->histogram("resilient.backoff").observe(backoff);
           }
         }
+        sample_spent += backoff;
         backoff = std::min(backoff * policy_.backoff_multiplier, policy_.max_backoff);
       }
       try {
@@ -124,6 +156,7 @@ ResilientExecutor::Outcome ResilientExecutor::run(const tpu::CompiledModel& comp
         done = true;
       } catch (const tpu::DeviceFault& fault) {
         outcome.report.device_stats += fault.charged_stats();
+        sample_spent += fault.charged_stats().total();
         ++consecutive_failures;
         if (trace_ != nullptr) {
           trace_->instant(obs::Track::kExecutor, "resilient.device_fault",

@@ -27,19 +27,36 @@ struct RetryPolicy {
   /// Consecutive failed device attempts (across samples) after which the
   /// circuit opens and every remaining sample routes to the CPU in bulk.
   std::uint32_t circuit_breaker_threshold = 5;
+  /// Per-sample simulated-time budget for the retry loop. Before charging a
+  /// backoff sleep, the executor checks whether the sample's spent time plus
+  /// that sleep would exhaust the budget; if so the watchdog abandons the
+  /// device (no further backoff is charged) and the sample completes on the
+  /// CPU immediately. Zero = unbounded (the legacy behaviour). Only the
+  /// faulty path consults it — the fault-free batch fast path is untouched.
+  SimDuration sample_deadline;
 
   void validate() const;
 };
 
-/// What a resilient batch cost and where its samples actually ran.
+/// What a resilient batch cost and where its samples actually ran. The
+/// shed/expired/degraded counters are filled by the serving layers above the
+/// executor (admission queue, degradation ladder); the executor itself only
+/// sets `expired_samples` for watchdog-abandoned retry sequences. The
+/// report forms a monoid under `operator+=`, so per-chunk reports fold into
+/// session totals.
 struct ResilienceReport {
   tpu::ExecutionStats device_stats;  ///< all device-side work incl. failed attempts
   SimDuration cpu_fallback_time;     ///< host time for samples the CPU completed
   std::uint64_t tpu_samples = 0;
   std::uint64_t cpu_samples = 0;
+  std::uint64_t shed_samples = 0;      ///< dropped by admission control, never served
+  std::uint64_t expired_samples = 0;   ///< deadline exhausted (queue wait or watchdog)
+  std::uint64_t degraded_samples = 0;  ///< served on a degraded ladder tier
   bool circuit_opened = false;
 
   SimDuration total() const { return device_stats.total() + cpu_fallback_time; }
+
+  ResilienceReport& operator+=(const ResilienceReport& other);
 };
 
 /// Fault-tolerant invoke path: drives the (fault-injectable) Edge TPU device

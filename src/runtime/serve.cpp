@@ -1,13 +1,22 @@
 #include "runtime/serve.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <deque>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <optional>
+#include <string>
 #include <utility>
 
+#include "common/byte_io.hpp"
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "core/serialize.hpp"
 
 namespace hdc::runtime {
 
@@ -39,7 +48,271 @@ class LogClockScope {
   LogClockScope& operator=(const LogClockScope&) = delete;
 };
 
+/// A chunk admitted to the serving queue but not yet served.
+struct PendingChunk {
+  std::uint32_t index = 0;  ///< offered-chunk index
+  SimDuration arrival;
+  data::Dataset data;
+};
+
+/// A monitor admission record buffered until the (lazily sized) monitor
+/// exists; replayed in order at construction.
+struct AdmissionRecord {
+  SimDuration at;
+  std::uint64_t offered = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t degraded = 0;
+};
+
+// ---- serve checkpoint ("HDSV") ---------------------------------------------
+//
+// magic + version + config fingerprint + progress + both learners + health
+// state machine + fault-injector RNG + pending queue (indices only; chunk
+// data is re-derived by deterministic stream replay) + result accumulators,
+// closed by a CRC32 trailer. Monitor state is deliberately NOT serialized:
+// the monitor is observational (result-invariant) and restarts cold on
+// resume, so per-chunk monitor-derived telemetry (windowed accuracy, drift
+// score) is excluded from the checkpoint too — which is what makes a
+// checkpoint written after resume byte-identical to the uninterrupted run's.
+
+constexpr std::uint32_t kServeMagic = 0x56534448;  // "HDSV" little-endian
+constexpr std::uint32_t kServeVersion = 1;
+
+/// Everything a resumed session restores before re-entering the loop.
+struct RestoredState {
+  std::uint32_t next_arrival = 0;
+  SimDuration now;
+  double warmup_accuracy = 0.0;
+  std::uint32_t served_count = 0;
+  std::optional<core::OnlineLearner> full;
+  std::optional<core::OnlineLearner> reduced;
+  /// The classifiers actually deployed on the endpoint (frozen at the last
+  /// refresh — generally *behind* the live learners).
+  std::optional<core::TrainedClassifier> deployed_full;
+  std::optional<core::TrainedClassifier> deployed_reduced;
+  std::optional<DeviceHealthTracker> health;
+  Rng::State rng{};
+  std::vector<std::pair<std::uint32_t, SimDuration>> queue;  ///< (index, arrival)
+
+  std::vector<std::uint32_t> predictions;
+  std::vector<ServeResult::ChunkStats> chunks;
+  std::array<ServeResult::TierStats, 3> tiers{};
+  std::uint64_t shed_samples = 0;
+  std::uint64_t expired_samples = 0;
+  std::uint64_t degraded_samples = 0;
+  std::uint32_t shed_chunks = 0;
+  std::uint32_t expired_chunks = 0;
+  std::uint64_t correct_total = 0;
+  std::uint64_t samples_served = 0;
+  std::uint32_t snapshots_written = 0;
+  std::uint32_t checkpoints_written = 0;
+};
+
+void write_fingerprint(ByteWriter& w, const ServeConfig& config) {
+  const data::SyntheticSpec& spec = config.stream.spec;
+  w.write<std::uint32_t>(spec.features);
+  w.write<std::uint32_t>(spec.classes);
+  w.write<std::uint32_t>(spec.samples);
+  w.write<std::uint32_t>(spec.latent_dim);
+  w.write<std::uint64_t>(spec.seed);
+  w.write<float>(spec.class_separation);
+  w.write<float>(spec.noise_sigma);
+  w.write<float>(spec.warp_strength);
+  w.write<std::uint32_t>(config.stream.chunk_size);
+  w.write<std::uint32_t>(config.stream.drift_start_chunk);
+  w.write<std::uint32_t>(config.stream.drift_duration_chunks);
+  w.write<std::uint32_t>(config.learner.dim);
+  w.write<std::uint64_t>(config.learner.seed);
+  w.write<float>(config.learner.learning_rate);
+  w.write<std::uint8_t>(static_cast<std::uint8_t>(config.learner.similarity));
+  w.write<std::uint32_t>(config.learner.error_window);
+  w.write<std::uint32_t>(config.warmup_chunks);
+  w.write<std::uint32_t>(config.serve_chunks);
+  w.write<std::uint8_t>(config.online_updates ? 1 : 0);
+  w.write<std::uint32_t>(config.model_refresh_chunks);
+  w.write<std::uint32_t>(config.effective_reduced_dim());
+  w.write<double>(config.admission.offered_load);
+  w.write<std::uint32_t>(config.admission.queue_capacity);
+  w.write<std::uint8_t>(static_cast<std::uint8_t>(config.admission.policy));
+  w.write<double>(config.admission.deadline.to_seconds());
+  w.write<std::uint32_t>(config.admission.degrade_backlog);
+  w.write<std::uint32_t>(config.health.degrade_after_faults);
+  w.write<std::uint32_t>(config.health.quarantine_after_faults);
+  w.write<std::uint32_t>(config.health.recover_after_successes);
+  w.write<double>(config.health.probe_interval.to_seconds());
+  w.write<std::uint32_t>(config.health.probe_successes);
+}
+
+template <typename T>
+void check_fingerprint_field(T got, T expected, const char* field) {
+  HDC_CHECK(got == expected,
+            std::string("checkpoint does not match this serving config: '") + field +
+                "' was " + std::to_string(got) + " when the checkpoint was written but "
+                "is " + std::to_string(expected) + " now; resume with the original "
+                "stream/learner/admission configuration");
+}
+
+void read_fingerprint(ByteReader& r, const ServeConfig& config) {
+  const data::SyntheticSpec& spec = config.stream.spec;
+  check_fingerprint_field(r.read<std::uint32_t>(), spec.features, "features");
+  check_fingerprint_field(r.read<std::uint32_t>(), spec.classes, "classes");
+  check_fingerprint_field(r.read<std::uint32_t>(), spec.samples, "samples");
+  check_fingerprint_field(r.read<std::uint32_t>(), spec.latent_dim, "latent_dim");
+  check_fingerprint_field(r.read<std::uint64_t>(), spec.seed, "stream seed");
+  check_fingerprint_field(r.read<float>(), spec.class_separation, "class_separation");
+  check_fingerprint_field(r.read<float>(), spec.noise_sigma, "noise_sigma");
+  check_fingerprint_field(r.read<float>(), spec.warp_strength, "warp_strength");
+  check_fingerprint_field(r.read<std::uint32_t>(), config.stream.chunk_size, "chunk_size");
+  check_fingerprint_field(r.read<std::uint32_t>(), config.stream.drift_start_chunk,
+                          "drift_start_chunk");
+  check_fingerprint_field(r.read<std::uint32_t>(), config.stream.drift_duration_chunks,
+                          "drift_duration_chunks");
+  check_fingerprint_field(r.read<std::uint32_t>(), config.learner.dim, "learner dim");
+  check_fingerprint_field(r.read<std::uint64_t>(), config.learner.seed, "learner seed");
+  check_fingerprint_field(r.read<float>(), config.learner.learning_rate, "learning_rate");
+  check_fingerprint_field(r.read<std::uint8_t>(),
+                          static_cast<std::uint8_t>(config.learner.similarity),
+                          "similarity");
+  check_fingerprint_field(r.read<std::uint32_t>(), config.learner.error_window,
+                          "error_window");
+  check_fingerprint_field(r.read<std::uint32_t>(), config.warmup_chunks, "warmup_chunks");
+  check_fingerprint_field(r.read<std::uint32_t>(), config.serve_chunks, "serve_chunks");
+  check_fingerprint_field(r.read<std::uint8_t>(),
+                          static_cast<std::uint8_t>(config.online_updates ? 1 : 0),
+                          "online_updates");
+  check_fingerprint_field(r.read<std::uint32_t>(), config.model_refresh_chunks,
+                          "model_refresh_chunks");
+  check_fingerprint_field(r.read<std::uint32_t>(), config.effective_reduced_dim(),
+                          "reduced_dim");
+  check_fingerprint_field(r.read<double>(), config.admission.offered_load, "offered_load");
+  check_fingerprint_field(r.read<std::uint32_t>(), config.admission.queue_capacity,
+                          "queue_capacity");
+  check_fingerprint_field(r.read<std::uint8_t>(),
+                          static_cast<std::uint8_t>(config.admission.policy), "shed policy");
+  check_fingerprint_field(r.read<double>(), config.admission.deadline.to_seconds(),
+                          "deadline");
+  check_fingerprint_field(r.read<std::uint32_t>(), config.admission.degrade_backlog,
+                          "degrade_backlog");
+  check_fingerprint_field(r.read<std::uint32_t>(), config.health.degrade_after_faults,
+                          "degrade_after_faults");
+  check_fingerprint_field(r.read<std::uint32_t>(), config.health.quarantine_after_faults,
+                          "quarantine_after_faults");
+  check_fingerprint_field(r.read<std::uint32_t>(), config.health.recover_after_successes,
+                          "recover_after_successes");
+  check_fingerprint_field(r.read<double>(), config.health.probe_interval.to_seconds(),
+                          "probe_interval");
+  check_fingerprint_field(r.read<std::uint32_t>(), config.health.probe_successes,
+                          "probe_successes");
+}
+
+void write_chunk_stats(ByteWriter& w, const ServeResult::ChunkStats& c) {
+  w.write<std::uint32_t>(c.index);
+  w.write<double>(c.t_end.to_seconds());
+  w.write<std::uint64_t>(c.samples);
+  w.write<double>(c.chunk_accuracy);
+  // windowed_accuracy / drift_score are monitor-derived and intentionally
+  // excluded (the monitor restarts cold on resume).
+  w.write<std::uint64_t>(c.fallback_samples);
+  w.write<std::uint8_t>(c.circuit_opened ? 1 : 0);
+  w.write<std::uint8_t>(static_cast<std::uint8_t>(c.tier));
+  w.write<double>(c.queue_wait.to_seconds());
+  w.write<std::uint8_t>(static_cast<std::uint8_t>(c.health));
+}
+
+ServeResult::ChunkStats read_chunk_stats(ByteReader& r) {
+  ServeResult::ChunkStats c;
+  c.index = r.read<std::uint32_t>();
+  c.t_end = SimDuration::seconds(r.read<double>());
+  c.samples = r.read<std::uint64_t>();
+  c.chunk_accuracy = r.read<double>();
+  c.fallback_samples = r.read<std::uint64_t>();
+  c.circuit_opened = r.read<std::uint8_t>() != 0;
+  const auto tier = r.read<std::uint8_t>();
+  HDC_CHECK(tier <= static_cast<std::uint8_t>(ServeTier::kHost),
+            "serialized serve tier out of range");
+  c.tier = static_cast<ServeTier>(tier);
+  c.queue_wait = SimDuration::seconds(r.read<double>());
+  const auto health = r.read<std::uint8_t>();
+  HDC_CHECK(health <= static_cast<std::uint8_t>(DeviceHealth::kProbing),
+            "serialized device health out of range");
+  c.health = static_cast<DeviceHealth>(health);
+  return c;
+}
+
+RestoredState read_checkpoint(const std::string& path, const ServeConfig& config) {
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  HDC_CHECK(bytes.size() > sizeof(std::uint32_t) * 3,
+            "serve checkpoint '" + path + "' is too small to be valid");
+  const std::size_t payload_size = bytes.size() - sizeof(std::uint32_t);
+  std::uint32_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, bytes.data() + payload_size, sizeof(stored_checksum));
+  HDC_CHECK(crc32(bytes.data(), payload_size) == stored_checksum,
+            "serve checkpoint '" + path + "' failed its checksum (corrupted or truncated)");
+
+  ByteReader r(std::span<const std::uint8_t>(bytes.data(), payload_size));
+  HDC_CHECK(r.read<std::uint32_t>() == kServeMagic,
+            "'" + path + "' is not an HDSV serve checkpoint");
+  HDC_CHECK(r.read<std::uint32_t>() == kServeVersion,
+            "unsupported serve checkpoint version in '" + path + "'");
+  read_fingerprint(r, config);
+
+  RestoredState state;
+  state.next_arrival = r.read<std::uint32_t>();
+  state.now = SimDuration::seconds(r.read<double>());
+  state.warmup_accuracy = r.read<double>();
+  state.served_count = r.read<std::uint32_t>();
+  state.full = core::OnlineLearner::deserialize(r);
+  state.reduced = core::OnlineLearner::deserialize(r);
+  state.deployed_full = core::deserialize_classifier(r.read_vector<std::uint8_t>());
+  state.deployed_reduced = core::deserialize_classifier(r.read_vector<std::uint8_t>());
+  state.health = DeviceHealthTracker::deserialize(r, config.health);
+  for (auto& word : state.rng.s) {
+    word = r.read<std::uint64_t>();
+  }
+  state.rng.has_spare_gaussian = r.read<std::uint8_t>() != 0;
+  state.rng.spare_gaussian = r.read<float>();
+
+  const auto queued = r.read<std::uint32_t>();
+  HDC_CHECK(queued <= config.admission.queue_capacity,
+            "serve checkpoint queue exceeds the configured capacity");
+  for (std::uint32_t i = 0; i < queued; ++i) {
+    const auto index = r.read<std::uint32_t>();
+    const SimDuration arrival = SimDuration::seconds(r.read<double>());
+    HDC_CHECK(index < state.next_arrival, "serve checkpoint queue index out of range");
+    state.queue.emplace_back(index, arrival);
+  }
+
+  state.predictions = r.read_vector<std::uint32_t>();
+  const auto chunk_count = r.read<std::uint32_t>();
+  HDC_CHECK(chunk_count <= config.serve_chunks, "serve checkpoint has too many chunks");
+  state.chunks.reserve(chunk_count);
+  for (std::uint32_t i = 0; i < chunk_count; ++i) {
+    state.chunks.push_back(read_chunk_stats(r));
+  }
+  for (auto& tier : state.tiers) {
+    tier.samples = r.read<std::uint64_t>();
+    tier.errors = r.read<std::uint64_t>();
+    tier.service_time = SimDuration::seconds(r.read<double>());
+  }
+  state.shed_samples = r.read<std::uint64_t>();
+  state.expired_samples = r.read<std::uint64_t>();
+  state.degraded_samples = r.read<std::uint64_t>();
+  state.shed_chunks = r.read<std::uint32_t>();
+  state.expired_chunks = r.read<std::uint32_t>();
+  state.correct_total = r.read<std::uint64_t>();
+  state.samples_served = r.read<std::uint64_t>();
+  state.snapshots_written = r.read<std::uint32_t>();
+  state.checkpoints_written = r.read<std::uint32_t>();
+  HDC_CHECK(r.exhausted(), "trailing bytes after serve checkpoint payload");
+  return state;
+}
+
 }  // namespace
+
+std::uint32_t ServeConfig::effective_reduced_dim() const {
+  return reduced_dim != 0 ? reduced_dim : std::max<std::uint32_t>(64, learner.dim / 8);
+}
 
 void ServeConfig::validate() const {
   stream.validate();
@@ -50,6 +323,10 @@ void ServeConfig::validate() const {
   HDC_CHECK(learner.dim > 0, "learner dimension must be positive");
   faults.validate();
   retry.validate();
+  admission.validate();
+  health.validate();
+  HDC_CHECK(checkpoint_every_chunks == 0 || !checkpoint_path.empty(),
+            "a checkpoint interval needs a checkpoint path to write to");
   // The monitor config is completed (num_classes, auto window/SLO) at serve
   // time and validated by the ServingMonitor constructor.
 }
@@ -58,24 +335,103 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
   config.validate();
   const data::SyntheticSpec& spec = config.stream.spec;
 
-  data::DriftStream stream(config.stream);
-  core::OnlineLearner learner(spec.features, spec.classes, config.learner);
+  std::optional<RestoredState> restored;
+  if (!config.resume_from.empty()) {
+    restored = read_checkpoint(config.resume_from, config);
+  }
+  const bool fresh = !restored.has_value();
 
-  // ---- warmup: train the host learner, keep chunk 0 as calibration set ----
+  data::DriftStream stream(config.stream);
+  core::OnlineConfig reduced_config = config.learner;
+  reduced_config.dim = config.effective_reduced_dim();
+  core::OnlineLearner learner(spec.features, spec.classes, config.learner);
+  core::OnlineLearner reduced_learner(spec.features, spec.classes, reduced_config);
+
+  // ---- warmup: train both ladder learners, keep chunk 0 as calibration ----
+  // On resume the stream still replays the warmup chunks (its RNG must reach
+  // the same position) but the learners come from the checkpoint instead.
   data::Dataset representative;
   double warmup_accuracy_sum = 0.0;
   for (std::uint32_t w = 0; w < config.warmup_chunks; ++w) {
     data::Dataset chunk = stream.next_chunk();
-    warmup_accuracy_sum += learner.learn_batch(chunk);
+    if (fresh) {
+      warmup_accuracy_sum += learner.learn_batch(chunk);
+      reduced_learner.learn_batch(chunk);
+    }
     if (w == 0) {
       representative = std::move(chunk);
     }
   }
 
-  core::TrainedClassifier classifier = learner.freeze();
+  std::deque<PendingChunk> queue;
+  std::uint32_t next_arrival = 0;
+  if (restored.has_value()) {
+    learner = std::move(*restored->full);
+    reduced_learner = std::move(*restored->reduced);
+    next_arrival = restored->next_arrival;
+    // Replay the offered chunks the interrupted session already generated:
+    // the stream is deterministic, so the queued chunks' data is re-derived
+    // by index (shed/served chunks are consumed and discarded).
+    std::map<std::uint32_t, SimDuration> queued;
+    for (const auto& [index, arrival] : restored->queue) {
+      queued.emplace(index, arrival);
+    }
+    for (std::uint32_t k = 0; k < next_arrival; ++k) {
+      data::Dataset chunk = stream.next_chunk();
+      const auto it = queued.find(k);
+      if (it != queued.end()) {
+        queue.push_back(PendingChunk{k, it->second, std::move(chunk)});
+      }
+    }
+  }
+
+  // The deployed classifiers lag the live learners between refreshes, so they
+  // are checkpointed (and restored) separately — resuming with a fresh
+  // `learner.freeze()` would serve a newer model than the uninterrupted run.
+  core::TrainedClassifier deployed_full = restored.has_value()
+                                              ? std::move(*restored->deployed_full)
+                                              : learner.freeze();
+  core::TrainedClassifier deployed_reduced = restored.has_value()
+                                                 ? std::move(*restored->deployed_reduced)
+                                                 : reduced_learner.freeze();
+
+  ServingEndpoint endpoint(framework, config.faults, config.retry);
+  endpoint.deploy(ServeTier::kFull, deployed_full, representative);
+  endpoint.deploy(ServeTier::kReduced, deployed_reduced, representative);
+
+  DeviceHealthTracker health = restored.has_value() ? std::move(*restored->health)
+                                                    : DeviceHealthTracker(config.health);
+  if (restored.has_value()) {
+    tpu::FaultInjector* injector = endpoint.device().fault_injector();
+    if (injector != nullptr) {
+      injector->set_rng_state(restored->rng);
+    }
+  }
 
   ServeResult result;
-  result.warmup_accuracy = warmup_accuracy_sum / config.warmup_chunks;
+  result.warmup_accuracy =
+      fresh ? warmup_accuracy_sum / config.warmup_chunks : restored->warmup_accuracy;
+
+  std::uint64_t correct_total = 0;
+  std::uint64_t samples_served = 0;
+  std::uint32_t served_count = 0;
+  SimDuration now;
+  if (restored.has_value()) {
+    result.predictions = std::move(restored->predictions);
+    result.chunks = std::move(restored->chunks);
+    result.tiers = restored->tiers;
+    result.shed_samples = restored->shed_samples;
+    result.expired_samples = restored->expired_samples;
+    result.degraded_samples = restored->degraded_samples;
+    result.shed_chunks = restored->shed_chunks;
+    result.expired_chunks = restored->expired_chunks;
+    result.snapshots_written = restored->snapshots_written;
+    result.checkpoints_written = restored->checkpoints_written;
+    correct_total = restored->correct_total;
+    samples_served = restored->samples_served;
+    served_count = restored->served_count;
+    now = restored->now;
+  }
 
   if (!config.snapshot_dir.empty()) {
     std::filesystem::create_directories(config.snapshot_dir);
@@ -83,47 +439,167 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
 
   // Constructed after the first served chunk when the window span or the SLO
   // target is auto-sized (both derive from simulated chunk timings, so the
-  // monitor stays deterministic).
+  // monitor stays deterministic). Admission events that happen earlier are
+  // buffered and replayed in order at construction.
   std::optional<obs::ServingMonitor> monitor;
+  std::vector<AdmissionRecord> pending_admission;
 
-  SimDuration now;
-  double log_clock = 0.0;
+  double log_clock = now.to_seconds();
   LogClockScope log_scope(&log_clock);
-  for (std::uint32_t i = 0; i < config.serve_chunks; ++i) {
-    const data::Dataset chunk = stream.next_chunk();
 
-    ResilienceReport report;
-    const CoDesignFramework::InferOutcome outcome = framework.infer_tpu_resilient(
-        classifier, chunk, representative, config.faults, config.retry, &report);
+  const bool open_loop = config.admission.offered_load > 0.0;
+  SimDuration arrival_period;
+  if (open_loop) {
+    // Offered load is a multiple of the full-tier service rate: load L means
+    // chunks arrive L times faster than the fault-free full model serves them.
+    arrival_period =
+        endpoint.nominal_per_sample(ServeTier::kFull) *
+        (static_cast<double>(config.stream.chunk_size) / config.admission.offered_load);
+  }
+
+  const auto record_admission = [&](SimDuration at, std::uint64_t offered,
+                                    std::uint64_t shed, std::uint64_t expired,
+                                    std::uint64_t degraded) {
+    if (monitor.has_value()) {
+      log_clock = at.to_seconds();
+      monitor->record_admission(at, offered, shed, expired, degraded);
+    } else {
+      pending_admission.push_back({at, offered, shed, expired, degraded});
+    }
+  };
+
+  const auto sync_quarantine = [&](SimDuration at) {
+    if (monitor.has_value()) {
+      log_clock = at.to_seconds();
+      monitor->set_quarantined(health.state() == DeviceHealth::kQuarantined, at);
+    }
+  };
+
+  const auto build_checkpoint = [&]() {
+    ByteWriter w;
+    w.write<std::uint32_t>(kServeMagic);
+    w.write<std::uint32_t>(kServeVersion);
+    write_fingerprint(w, config);
+    w.write<std::uint32_t>(next_arrival);
+    w.write<double>(now.to_seconds());
+    w.write<double>(result.warmup_accuracy);
+    w.write<std::uint32_t>(served_count);
+    learner.serialize(w);
+    reduced_learner.serialize(w);
+    w.write_vector(core::serialize_classifier(deployed_full));
+    w.write_vector(core::serialize_classifier(deployed_reduced));
+    health.serialize(w);
+    Rng::State rng{};
+    if (const tpu::FaultInjector* injector = endpoint.device().fault_injector()) {
+      rng = injector->rng_state();
+    }
+    for (const std::uint64_t word : rng.s) {
+      w.write<std::uint64_t>(word);
+    }
+    w.write<std::uint8_t>(rng.has_spare_gaussian ? 1 : 0);
+    w.write<float>(rng.spare_gaussian);
+    w.write<std::uint32_t>(static_cast<std::uint32_t>(queue.size()));
+    for (const PendingChunk& item : queue) {
+      w.write<std::uint32_t>(item.index);
+      w.write<double>(item.arrival.to_seconds());
+    }
+    w.write_vector(result.predictions);
+    w.write<std::uint32_t>(static_cast<std::uint32_t>(result.chunks.size()));
+    for (const auto& chunk : result.chunks) {
+      write_chunk_stats(w, chunk);
+    }
+    for (const auto& tier : result.tiers) {
+      w.write<std::uint64_t>(tier.samples);
+      w.write<std::uint64_t>(tier.errors);
+      w.write<double>(tier.service_time.to_seconds());
+    }
+    w.write<std::uint64_t>(result.shed_samples);
+    w.write<std::uint64_t>(result.expired_samples);
+    w.write<std::uint64_t>(result.degraded_samples);
+    w.write<std::uint32_t>(result.shed_chunks);
+    w.write<std::uint32_t>(result.expired_chunks);
+    w.write<std::uint64_t>(correct_total);
+    w.write<std::uint64_t>(samples_served);
+    w.write<std::uint32_t>(result.snapshots_written);
+    w.write<std::uint32_t>(result.checkpoints_written + 1);
+    const std::uint32_t checksum = crc32(w.bytes().data(), w.size());
+    w.write<std::uint32_t>(checksum);
+    return w.take();
+  };
+
+  const auto serve_one = [&](PendingChunk&& item) {
+    const SimDuration start = std::max(now, item.arrival);
+    const SimDuration wait = start - item.arrival;
+    const std::size_t n = item.data.num_samples();
+
+    // Pick the ladder tier: device health first, then backlog pressure. A
+    // quarantined device whose probe interval elapsed flips to probing here.
+    const ServeTier tier =
+        health.admit_tier(start, queue.size(), config.admission.degrade_backlog);
+    sync_quarantine(start);
+
+    const SimDuration deadline = config.admission.deadline;
+    if (!deadline.is_zero()) {
+      // Expire unserved when even the first sample cannot complete within
+      // its remaining budget (the deadline is measured from chunk arrival).
+      // The check itself is admission bookkeeping and costs no simulated time.
+      const SimDuration nominal = endpoint.nominal_per_sample(tier);
+      if (wait + nominal > deadline) {
+        result.expired_samples += n;
+        ++result.expired_chunks;
+        record_admission(start, n, 0, n, 0);
+        return;
+      }
+    }
+    const SimDuration budget = deadline.is_zero() ? SimDuration() : deadline - wait;
+
+    ServingEndpoint::BatchOutcome outcome =
+        endpoint.infer(tier, item.data.features, start, budget);
+    const SimDuration per_sample = outcome.total * (1.0 / static_cast<double>(n));
+    SimDuration chunk_end = start + outcome.total;
+
+    if (tier != ServeTier::kHost) {
+      // Any retry, fallback sample or circuit trip marks the batch faulty
+      // for the health machine; the monitor never feeds back into this.
+      const bool faulty = outcome.report.circuit_opened || outcome.report.cpu_samples > 0 ||
+                          outcome.report.device_stats.invoke_retries > 0;
+      health.on_batch(chunk_end, faulty, outcome.report.circuit_opened);
+    }
 
     if (!monitor.has_value()) {
       obs::MonitorConfig mc = config.monitor;
       mc.num_classes = spec.classes;
       if (mc.window.span.is_zero()) {
-        mc.window.span = outcome.timings.total * 4.0;
+        mc.window.span = outcome.total * 4.0;
       }
       if (mc.window.buckets == 0) {
         mc.window.buckets = 16;
       }
       if (mc.slo_latency.is_zero()) {
-        mc.slo_latency = outcome.timings.per_sample * 1.5;
+        mc.slo_latency = per_sample * 1.5;
       }
       monitor.emplace(mc);
+      for (const AdmissionRecord& rec : pending_admission) {
+        monitor->record_admission(rec.at, rec.offered, rec.shed, rec.expired, rec.degraded);
+      }
+      pending_admission.clear();
     }
+    sync_quarantine(chunk_end);
 
     // Per-sample records: completion times spread uniformly across the
-    // chunk's simulated duration, margins from the host scoring model.
-    const std::size_t n = chunk.num_samples();
-    const SimDuration per_sample = outcome.timings.per_sample;
+    // chunk's simulated duration, latency includes the admission-queue wait,
+    // margins from the host scoring model.
     std::uint64_t host_errors = 0;
+    std::uint64_t chunk_correct = 0;
     for (std::size_t j = 0; j < n; ++j) {
       const std::uint32_t predicted = outcome.predictions[j];
-      const std::uint32_t label = chunk.labels[j];
-      const core::OnlineLearner::Decision decision = learner.decide(chunk.features.row(j));
+      const std::uint32_t label = item.data.labels[j];
+      const core::OnlineLearner::Decision decision =
+          learner.decide(item.data.features.row(j));
 
       obs::ServingMonitor::Sample sample;
-      sample.at = now + per_sample * static_cast<double>(j + 1);
-      sample.latency = per_sample;
+      sample.at = start + per_sample * static_cast<double>(j + 1);
+      sample.latency = wait + per_sample;
       sample.predicted = predicted;
       sample.correct = predicted == label;
       sample.margin = decision.margin();
@@ -131,17 +607,23 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
       monitor->record(sample);
 
       if (config.online_updates) {
-        if (learner.learn(chunk.features.row(j), label) != label) {
+        if (learner.learn(item.data.features.row(j), label) != label) {
           ++host_errors;
         }
+        // The reduced-tier learner adapts on the same pass; its update cost
+        // piggybacks on the full learner's charged update below (a documented
+        // simplification that keeps fault-free timings identical to serving
+        // without the ladder).
+        reduced_learner.learn(item.data.features.row(j), label);
       }
       result.predictions.push_back(predicted);
+      chunk_correct += predicted == label ? 1 : 0;
     }
 
-    SimDuration chunk_end = now + outcome.timings.total;
     log_clock = chunk_end.to_seconds();
-    monitor->record_transport(chunk_end, n, report.cpu_samples,
-                              report.device_stats.invoke_retries);
+    monitor->record_transport(chunk_end, n, outcome.report.cpu_samples,
+                              outcome.report.device_stats.invoke_retries);
+    record_admission(chunk_end, n, 0, 0, tier != ServeTier::kFull ? n : 0);
 
     // Host-side class-hypervector updates are real simulated work; price
     // them with the same cost machinery the trainers use. Monitoring itself
@@ -155,27 +637,44 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
     }
     now = chunk_end;
 
+    auto& tier_stats = result.tiers[static_cast<std::size_t>(tier)];
+    tier_stats.samples += n;
+    tier_stats.errors += n - chunk_correct;
+    tier_stats.service_time += outcome.total;
+    if (tier != ServeTier::kFull) {
+      result.degraded_samples += n;
+    }
+    correct_total += chunk_correct;
+    samples_served += n;
+    ++served_count;
+
     if (config.online_updates && config.model_refresh_chunks > 0 &&
-        (i + 1) % config.model_refresh_chunks == 0) {
-      // Redeploy the adapted learner. The accelerator model is rebuilt and
-      // re-quantized every chunk by the resilient path, so a refresh swaps
-      // the weights without additional simulated cost here.
-      classifier = learner.freeze();
+        served_count % config.model_refresh_chunks == 0) {
+      // Redeploy both adapted learners. Model swaps ride the uncharged
+      // one-time-upload convention, so a refresh moves no simulated time.
+      deployed_full = learner.freeze();
+      deployed_reduced = reduced_learner.freeze();
+      endpoint.deploy(ServeTier::kFull, deployed_full, representative);
+      endpoint.deploy(ServeTier::kReduced, deployed_reduced, representative);
     }
 
     ServeResult::ChunkStats stats;
-    stats.index = i;
+    stats.index = item.index;
     stats.t_end = now;
     stats.samples = n;
-    stats.chunk_accuracy = outcome.accuracy;
+    stats.chunk_accuracy =
+        n == 0 ? 0.0 : static_cast<double>(chunk_correct) / static_cast<double>(n);
     stats.windowed_accuracy = monitor->windowed_accuracy(now);
     stats.drift_score = monitor->drift_score();
-    stats.fallback_samples = report.cpu_samples;
-    stats.circuit_opened = report.circuit_opened;
+    stats.fallback_samples = outcome.report.cpu_samples;
+    stats.circuit_opened = outcome.report.circuit_opened;
+    stats.tier = tier;
+    stats.queue_wait = wait;
+    stats.health = health.state();
     result.chunks.push_back(stats);
 
     const bool interval_due = config.snapshot_every_chunks > 0 &&
-                              (i + 1) % config.snapshot_every_chunks == 0;
+                              served_count % config.snapshot_every_chunks == 0;
     if (interval_due) {
       const obs::MonitorSnapshot snap = monitor->snapshot(now);
       if (!config.snapshot_dir.empty()) {
@@ -187,13 +686,109 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
         write_text_file(config.prometheus_path, snap.to_prometheus());
       }
     }
+
+    if (!config.checkpoint_path.empty() && config.checkpoint_every_chunks > 0 &&
+        served_count % config.checkpoint_every_chunks == 0) {
+      // Latest-wins at the configured path (crash recovery resumes from it)
+      // plus a numbered history file, so any intermediate cut stays
+      // addressable for audits and resume tests.
+      const std::vector<std::uint8_t> bytes = build_checkpoint();
+      write_file(config.checkpoint_path, bytes);
+      char suffix[16];
+      std::snprintf(suffix, sizeof(suffix), ".%04u", served_count);
+      write_file(config.checkpoint_path + suffix, bytes);
+      ++result.checkpoints_written;
+    }
+  };
+
+  if (!open_loop) {
+    // Closed loop: each chunk arrives exactly when the previous one finished
+    // — no queue, no shedding, the legacy serving schedule.
+    while (next_arrival < config.serve_chunks) {
+      data::Dataset chunk = stream.next_chunk();
+      const std::uint32_t index = next_arrival++;
+      serve_one(PendingChunk{index, now, std::move(chunk)});
+    }
+  } else {
+    // Open loop: arrivals on a fixed schedule, a bounded queue in front of
+    // the endpoint, deterministic shedding when it overflows. Arrivals due
+    // at or before the next service start are admitted first, so queue
+    // occupancy (and shedding) is an exact function of simulated time.
+    while (next_arrival < config.serve_chunks || !queue.empty()) {
+      bool admit = false;
+      if (next_arrival < config.serve_chunks) {
+        if (queue.empty()) {
+          admit = true;
+        } else {
+          const SimDuration next_at =
+              arrival_period * static_cast<double>(next_arrival);
+          const SimDuration service_start = std::max(now, queue.front().arrival);
+          admit = next_at <= service_start;
+        }
+      }
+      if (admit) {
+        const SimDuration arrival = arrival_period * static_cast<double>(next_arrival);
+        data::Dataset chunk = stream.next_chunk();
+        const std::uint32_t index = next_arrival++;
+        if (queue.size() >= config.admission.queue_capacity) {
+          if (config.admission.policy == ShedPolicy::kRejectNewest) {
+            result.shed_samples += chunk.num_samples();
+            ++result.shed_chunks;
+            record_admission(arrival, chunk.num_samples(), chunk.num_samples(), 0, 0);
+            continue;  // the arriving chunk is refused
+          }
+          // kDropOldest: the stalest queued chunk makes room.
+          PendingChunk dropped = std::move(queue.front());
+          queue.pop_front();
+          result.shed_samples += dropped.data.num_samples();
+          ++result.shed_chunks;
+          record_admission(arrival, dropped.data.num_samples(),
+                           dropped.data.num_samples(), 0, 0);
+        }
+        queue.push_back(PendingChunk{index, arrival, std::move(chunk)});
+      } else {
+        PendingChunk item = std::move(queue.front());
+        queue.pop_front();
+        serve_one(std::move(item));
+      }
+    }
+  }
+
+  if (!monitor.has_value()) {
+    // Degenerate session: every offered chunk was shed or expired before a
+    // single one was served, so the auto-sizing never saw a chunk timing.
+    obs::MonitorConfig mc = config.monitor;
+    mc.num_classes = spec.classes;
+    if (mc.window.span.is_zero()) {
+      mc.window.span = SimDuration::millis(1);
+    }
+    if (mc.window.buckets == 0) {
+      mc.window.buckets = 16;
+    }
+    if (mc.slo_latency.is_zero()) {
+      mc.slo_latency = SimDuration::micros(100);
+    }
+    monitor.emplace(mc);
+    for (const AdmissionRecord& rec : pending_admission) {
+      monitor->record_admission(rec.at, rec.offered, rec.shed, rec.expired, rec.degraded);
+    }
+    pending_admission.clear();
   }
 
   result.final_snapshot = monitor->snapshot(now);
   result.events = monitor->events();
   result.t_end = now;
-  result.samples_served = monitor->samples_total();
-  result.lifetime_accuracy = result.final_snapshot.lifetime_accuracy;
+  // Lifetime totals come from the serve accumulators, not the monitor: a
+  // resumed session's monitor is cold and only saw the post-resume tail.
+  result.samples_served = samples_served;
+  result.lifetime_accuracy =
+      samples_served == 0
+          ? 0.0
+          : static_cast<double>(correct_total) / static_cast<double>(samples_served);
+  result.final_health = health.state();
+  result.health_transitions = health.transitions();
+  result.quarantines = health.quarantines();
+  result.probes = health.probes_attempted();
 
   if (!config.snapshot_dir.empty()) {
     ++result.snapshots_written;
@@ -205,11 +800,16 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
   if (!config.prometheus_path.empty()) {
     write_text_file(config.prometheus_path, result.final_snapshot.to_prometheus());
   }
+  if (!config.checkpoint_path.empty()) {
+    write_file(config.checkpoint_path, build_checkpoint());
+    ++result.checkpoints_written;
+  }
 
   log_clock = now.to_seconds();
   HDC_LOG_INFO << "serve: " << result.samples_served << " samples over "
                << result.t_end.to_string() << " simulated, lifetime accuracy "
-               << result.lifetime_accuracy;
+               << result.lifetime_accuracy << ", final device health "
+               << health_name(result.final_health);
   return result;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -9,15 +10,22 @@
 #include "core/online.hpp"
 #include "obs/monitor.hpp"
 #include "runtime/framework.hpp"
+#include "runtime/health.hpp"
 #include "runtime/resilient.hpp"
 #include "tpu/faults.hpp"
 
 namespace hdc::runtime {
 
 /// Configuration of a live serving session: a `data::DriftStream` pumped
-/// chunk by chunk through the fault-tolerant TPU inference path with
-/// prequential evaluation, optional host-side online updates, and a
+/// chunk by chunk through a persistent fault-tolerant accelerator endpoint
+/// with prequential evaluation, optional host-side online updates, and a
 /// `obs::ServingMonitor` watching every served sample.
+///
+/// Overload protection: chunks arrive on an open-loop schedule set by
+/// `admission.offered_load`, wait in a bounded queue (shedding when full),
+/// carry per-request deadlines, and are served on a tiered degradation
+/// ladder (full TPU model / reduced-dimension TPU model / host CPU) chosen
+/// by the device health state machine and the backlog.
 struct ServeConfig {
   data::StreamConfig stream;     ///< task shape, chunking, drift schedule
   core::OnlineConfig learner;    ///< host learner (dim/seed/lr/similarity)
@@ -38,6 +46,30 @@ struct ServeConfig {
   tpu::FaultProfile faults;  ///< default: fault-free device
   RetryPolicy retry;
 
+  /// Overload protection: arrival rate, queue bound, shed policy, deadline.
+  /// The default (offered_load = 0) is the closed loop: each chunk arrives
+  /// exactly when the previous one finished, no queue builds, nothing is
+  /// shed — bit-identical to serving without admission control.
+  AdmissionConfig admission;
+  /// Device health state machine thresholds (degrade / quarantine / probe).
+  HealthConfig health;
+  /// Dimension of the reduced-tier (LDC-style) fallback model trained next
+  /// to the full learner during warmup. 0 = auto: max(64, learner.dim / 8).
+  std::uint32_t reduced_dim = 0;
+
+  // ---- checkpoint / restore ------------------------------------------------
+  /// Binary serve checkpoint ("HDSV"): models, online-learner counters,
+  /// health state, admission queue and fault-injector RNG. Written every
+  /// `checkpoint_every_chunks` served chunks (latest-wins at this path,
+  /// plus a numbered `<path>.NNNN` history copy per interval) and at the
+  /// end of the run. Empty = no checkpoints.
+  std::string checkpoint_path;
+  std::uint32_t checkpoint_every_chunks = 0;
+  /// Resume a previous session from this checkpoint: the stream fast-forwards
+  /// deterministically and serving continues mid-stream, byte-identical to a
+  /// run that was never interrupted. Empty = start fresh.
+  std::string resume_from;
+
   /// Monitor thresholds/window. `monitor.num_classes` is filled from the
   /// stream spec; `monitor.window.span == 0` auto-sizes the window to 4x the
   /// first served chunk's simulated duration, and `monitor.slo_latency == 0`
@@ -55,26 +87,47 @@ struct ServeConfig {
   /// and at the end of the run. Empty = disabled.
   std::string prometheus_path;
 
+  /// Effective reduced-tier dimension after the auto rule.
+  std::uint32_t effective_reduced_dim() const;
+
   void validate() const;
 };
 
 /// What one serving session produced. `predictions` and `t_end` depend only
-/// on the stream/learner/fault configuration — never on monitor thresholds,
-/// window sizing, or exporters (result-invariance, pinned by tests).
+/// on the stream/learner/fault/admission configuration — never on monitor
+/// thresholds, window sizing, or exporters (result-invariance, pinned by
+/// tests).
 struct ServeResult {
-  /// Per-chunk digest, in serve order.
+  /// Per-chunk digest, in serve order. Shed and expired chunks do not get an
+  /// entry (they were never served); `index` is the offered-chunk index, so
+  /// gaps in it are exactly the dropped chunks.
   struct ChunkStats {
-    std::uint32_t index = 0;        ///< served-chunk index (warmup not counted)
+    std::uint32_t index = 0;        ///< offered-chunk index (warmup not counted)
     SimDuration t_end;              ///< simulated clock after the chunk (incl. updates)
     std::uint64_t samples = 0;
-    double chunk_accuracy = 0.0;    ///< TPU predictions vs labels, this chunk
+    double chunk_accuracy = 0.0;    ///< served predictions vs labels, this chunk
     double windowed_accuracy = 0.0;
     double drift_score = 0.0;
     std::uint64_t fallback_samples = 0;
     bool circuit_opened = false;
+    ServeTier tier = ServeTier::kFull;  ///< ladder tier the chunk ran on
+    SimDuration queue_wait;             ///< admission-queue wait before service
+    DeviceHealth health = DeviceHealth::kHealthy;  ///< device state after the chunk
   };
 
-  std::vector<std::uint32_t> predictions;  ///< all served TPU predictions, in order
+  /// Per-tier prequential telemetry (samples, errors, service time).
+  struct TierStats {
+    std::uint64_t samples = 0;
+    std::uint64_t errors = 0;
+    SimDuration service_time;
+    double accuracy() const {
+      return samples == 0
+                 ? 0.0
+                 : 1.0 - static_cast<double>(errors) / static_cast<double>(samples);
+    }
+  };
+
+  std::vector<std::uint32_t> predictions;  ///< all served predictions, in order
   std::vector<ChunkStats> chunks;
   obs::MonitorSnapshot final_snapshot;
   std::vector<obs::AlarmEvent> events;     ///< every alarm edge, in order
@@ -84,11 +137,26 @@ struct ServeResult {
   double lifetime_accuracy = 0.0;
   double warmup_accuracy = 0.0;            ///< prequential accuracy of the warmup pass
   std::uint32_t snapshots_written = 0;
+
+  // ---- overload / degradation telemetry -----------------------------------
+  std::array<TierStats, 3> tiers{};        ///< indexed by ServeTier
+  std::uint64_t shed_samples = 0;          ///< dropped by the admission queue
+  std::uint64_t expired_samples = 0;       ///< deadline exceeded before service
+  std::uint64_t degraded_samples = 0;      ///< served on tier > kFull
+  std::uint32_t shed_chunks = 0;
+  std::uint32_t expired_chunks = 0;
+  DeviceHealth final_health = DeviceHealth::kHealthy;
+  std::vector<DeviceHealthTracker::Transition> health_transitions;
+  std::uint64_t quarantines = 0;
+  std::uint64_t probes = 0;
+  std::uint32_t checkpoints_written = 0;
 };
 
 /// Runs the serving session to completion. Deterministic: a fixed
 /// `ServeConfig` (and `framework` system config) reproduces bit-identical
-/// predictions, simulated timings, alarm edges and snapshot bytes.
+/// predictions, simulated timings, health transitions, alarm edges and
+/// snapshot/checkpoint bytes. Resuming from a mid-stream checkpoint yields
+/// the same bytes as the uninterrupted run.
 ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config);
 
 }  // namespace hdc::runtime

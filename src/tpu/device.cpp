@@ -29,6 +29,7 @@ ExecutionStats& ExecutionStats::operator+=(const ExecutionStats& other) {
   device_detaches += other.device_detaches;
   invoke_retries += other.invoke_retries;
   fallback_samples += other.fallback_samples;
+  deadline_abandons += other.deadline_abandons;
   return *this;
 }
 

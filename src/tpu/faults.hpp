@@ -103,6 +103,13 @@ class FaultInjector {
   /// Restores the seed so the exact same schedule replays.
   void reset();
 
+  /// Generator state for serve checkpoint/restore: restoring it mid-stream
+  /// makes the post-resume fault schedule bit-identical to an uninterrupted
+  /// run (detach schedules need no state — they are pure functions of the
+  /// profile and the device clock).
+  Rng::State rng_state() const noexcept { return rng_.state(); }
+  void set_rng_state(const Rng::State& state) { rng_.set_state(state); }
+
  private:
   void record_fault(const char* name, std::uint64_t count = 1) const;
 

@@ -44,6 +44,9 @@ struct ExecutionStats {
   std::uint64_t device_detaches = 0;   ///< invocations lost to a detached device
   std::uint64_t invoke_retries = 0;    ///< executor-level invocation retries
   std::uint64_t fallback_samples = 0;  ///< samples completed on the host CPU instead
+  /// Retry sequences the executor's deadline watchdog abandoned because the
+  /// sample's remaining simulated-time budget could not cover another backoff.
+  std::uint64_t deadline_abandons = 0;
 
   /// End-to-end simulated time. Serial invocations sum the stage fields:
   /// `device_compute + host_compute + transfer + weight_upload +

@@ -148,4 +148,36 @@ TEST_F(CliTest, MalformedTraceCapWarnsButRunSucceeds) {
   EXPECT_TRUE(fs::exists(path("cap.trace.json")));
 }
 
+TEST_F(CliTest, ServeRejectsInvalidOverloadFlags) {
+  const std::string base = "serve PAMAP2 --chunks 2 --chunk-size 16 --dim 128 --warmup 1 ";
+
+  auto expect_rejected = [&](const std::string& flags, const char* fragment) {
+    const auto result = run_cli(base + flags);
+    EXPECT_EQ(result.exit_code, 1) << flags << "\n" << result.output;
+    EXPECT_NE(result.output.find("error:"), std::string::npos) << result.output;
+    EXPECT_NE(result.output.find(fragment), std::string::npos)
+        << flags << " should explain itself:\n"
+        << result.output;
+  };
+
+  expect_rejected("--deadline-us 0", "positive number of microseconds");
+  expect_rejected("--deadline-us -5", "positive number of microseconds");
+  expect_rejected("--queue-chunks 0", "must be at least 1");
+  expect_rejected("--offered-load -1", "must be non-negative");
+  expect_rejected("--probe-interval-us 0", "half-open probes");
+  expect_rejected("--reduced-dim 0", "must be positive");
+  expect_rejected("--shed-policy keep-some", "reject-newest");
+}
+
+TEST_F(CliTest, ServeOverloadSmokeReportsAdmissionAndHealth) {
+  const auto result = run_cli(
+      "serve PAMAP2 --chunks 4 --chunk-size 16 --dim 128 --warmup 1 "
+      "--offered-load 2 --queue-chunks 2 --shed-policy drop-oldest");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("admission:"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("final device health: healthy"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("tier "), std::string::npos) << result.output;
+}
+
 }  // namespace

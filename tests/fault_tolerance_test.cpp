@@ -415,6 +415,71 @@ TEST_F(FaultInjectionTest, BackoffIsClampedAtMaxBackoff) {
   EXPECT_EQ(outcome.report.tpu_samples, 0U);
 }
 
+TEST_F(FaultInjectionTest, DeadlineWatchdogAbandonsRetriesWithinBudget) {
+  tpu::FaultProfile profile;
+  profile.detach_at.push_back(SimDuration());  // detached at t = 0, forever
+
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff = SimDuration::micros(100);
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff = SimDuration::millis(1);
+  policy.circuit_breaker_threshold = 100;
+  policy.sample_deadline = SimDuration::micros(500);
+
+  tensor::MatrixF one = random_inputs(1, 24, 99);
+  tpu::EdgeTpuDevice device;
+  device.load(compiled_);
+  device.set_fault_injector(tpu::FaultInjector(profile));
+  ResilientExecutor executor(&device, platform::CpuExecutor(platform::host_cpu_profile()),
+                             policy);
+  const auto outcome = executor.run(compiled_, float_model_, one, options_);
+
+  // Without the watchdog this run charges 100 us + 8 x 1 ms of backoff (see
+  // BackoffIsClampedAtMaxBackoff). With a 500 us budget only the first sleep
+  // fits: the second would blow the deadline, so the watchdog abandons the
+  // device without charging it and the sample completes on the CPU.
+  EXPECT_EQ(outcome.report.device_stats.deadline_abandons, 1U);
+  EXPECT_EQ(outcome.report.expired_samples, 1U);
+  EXPECT_EQ(outcome.report.cpu_samples, 1U);
+  EXPECT_EQ(outcome.report.tpu_samples, 0U);
+  EXPECT_LE(outcome.report.device_stats.retry_backoff.to_seconds(),
+            policy.sample_deadline.to_seconds());
+  EXPECT_LT(outcome.report.device_stats.invoke_retries, 9U);
+  EXPECT_FALSE(outcome.report.circuit_opened);
+  // The batch still finishes full-length with the fallback prediction.
+  ASSERT_EQ(outcome.result.classes.size(), 1U);
+}
+
+TEST_F(FaultInjectionTest, ZeroDeadlineKeepsLegacyUnboundedRetries) {
+  tpu::FaultProfile profile;
+  profile.detach_at.push_back(SimDuration());
+
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff = SimDuration::micros(100);
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff = SimDuration::millis(1);
+  policy.circuit_breaker_threshold = 100;
+  ASSERT_TRUE(policy.sample_deadline.is_zero());  // the default: no watchdog
+
+  tensor::MatrixF one = random_inputs(1, 24, 99);
+  tpu::EdgeTpuDevice device;
+  device.load(compiled_);
+  device.set_fault_injector(tpu::FaultInjector(profile));
+  ResilientExecutor executor(&device, platform::CpuExecutor(platform::host_cpu_profile()),
+                             policy);
+  const auto outcome = executor.run(compiled_, float_model_, one, options_);
+
+  // All nine retries run and charge their full clamped backoff.
+  const SimDuration expected = SimDuration::micros(100) + SimDuration::millis(1) * 8.0;
+  EXPECT_EQ(outcome.report.device_stats.deadline_abandons, 0U);
+  EXPECT_EQ(outcome.report.expired_samples, 0U);
+  EXPECT_EQ(outcome.report.device_stats.invoke_retries, 9U);
+  EXPECT_DOUBLE_EQ(outcome.report.device_stats.retry_backoff.to_seconds(),
+                   expected.to_seconds());
+}
+
 TEST_F(FaultInjectionTest, PermanentDetachTripsBreakerAndFinishesOnCpu) {
   auto [clean_result, clean_stats] = clean_invoke();
   const std::vector<std::int32_t> cpu_classes = cpu_reference();
@@ -492,7 +557,63 @@ TEST_F(FaultInjectionTest, RetryPolicyValidation) {
   p = {};
   p.max_backoff = SimDuration::micros(1);  // below the initial backoff
   EXPECT_THROW(p.validate(), Error);
+  p = {};
+  p.sample_deadline = SimDuration::micros(-1);
+  EXPECT_THROW(p.validate(), Error);
   EXPECT_NO_THROW(RetryPolicy{}.validate());
+}
+
+TEST(ResilienceReportTest, FoldIsAMonoidOverEveryCounter) {
+  ResilienceReport a;
+  a.device_stats.device_compute = SimDuration::micros(10);
+  a.device_stats.invoke_retries = 2;
+  a.device_stats.deadline_abandons = 1;
+  a.cpu_fallback_time = SimDuration::micros(3);
+  a.tpu_samples = 40;
+  a.cpu_samples = 8;
+  a.shed_samples = 5;
+  a.expired_samples = 2;
+  a.degraded_samples = 16;
+  a.circuit_opened = false;
+
+  ResilienceReport b;
+  b.device_stats.device_compute = SimDuration::micros(7);
+  b.device_stats.invoke_retries = 1;
+  b.device_stats.deadline_abandons = 3;
+  b.cpu_fallback_time = SimDuration::micros(2);
+  b.tpu_samples = 30;
+  b.cpu_samples = 18;
+  b.shed_samples = 1;
+  b.expired_samples = 9;
+  b.degraded_samples = 4;
+  b.circuit_opened = true;
+
+  ResilienceReport sum = a;
+  sum += b;
+  EXPECT_EQ(sum.device_stats.invoke_retries, 3U);
+  EXPECT_EQ(sum.device_stats.deadline_abandons, 4U);
+  EXPECT_DOUBLE_EQ(sum.device_stats.device_compute.to_seconds(),
+                   SimDuration::micros(17).to_seconds());
+  EXPECT_DOUBLE_EQ(sum.cpu_fallback_time.to_seconds(),
+                   SimDuration::micros(5).to_seconds());
+  EXPECT_EQ(sum.tpu_samples, 70U);
+  EXPECT_EQ(sum.cpu_samples, 26U);
+  EXPECT_EQ(sum.shed_samples, 6U);
+  EXPECT_EQ(sum.expired_samples, 11U);
+  EXPECT_EQ(sum.degraded_samples, 20U);
+  EXPECT_TRUE(sum.circuit_opened);
+
+  // Folding the identity changes nothing (the empty report is neutral), and
+  // circuit_opened is sticky in either operand order.
+  ResilienceReport with_identity = sum;
+  with_identity += ResilienceReport{};
+  EXPECT_EQ(with_identity.tpu_samples, sum.tpu_samples);
+  EXPECT_EQ(with_identity.expired_samples, sum.expired_samples);
+  EXPECT_TRUE(with_identity.circuit_opened);
+  ResilienceReport reversed = b;
+  reversed += a;
+  EXPECT_TRUE(reversed.circuit_opened);
+  EXPECT_EQ(reversed.degraded_samples, sum.degraded_samples);
 }
 
 // ------------------------------------------------- framework end-to-end ----

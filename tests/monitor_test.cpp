@@ -271,6 +271,96 @@ TEST(ServingMonitorTest, SnapshotJsonIsWellFormedAndStable) {
   EXPECT_NE(prom.find("# TYPE hdc_serve_samples_total counter"), std::string::npos);
 }
 
+TEST(ServingMonitorTest, ShedRateAlarmFiresOnAdmissionShedding) {
+  MonitorConfig cfg = monitor_config();
+  cfg.alarm_shed_rate = 0.5;
+  ServingMonitor monitor(cfg);
+  monitor.record_admission(SimDuration::seconds(0.1), 8, 0, 0, 0);
+  EXPECT_FALSE(monitor.alarm_firing("shed_rate"));
+  // 8 of the next 8 offered samples are shed: windowed shed rate 0.5.
+  monitor.record_admission(SimDuration::seconds(0.2), 8, 6, 2, 0);
+  EXPECT_DOUBLE_EQ(monitor.shed_rate(SimDuration::seconds(0.2)), 0.5);
+  monitor.record_admission(SimDuration::seconds(0.3), 8, 8, 0, 0);
+  EXPECT_TRUE(monitor.alarm_firing("shed_rate"));
+  MonitorSnapshot snap = monitor.snapshot(SimDuration::seconds(0.3));
+  EXPECT_EQ(snap.shed_total, 14U);
+  EXPECT_EQ(snap.expired_total, 2U);
+  EXPECT_EQ(snap.offered_samples, 24U);
+}
+
+TEST(ServingMonitorTest, DegradedFractionTracksLadderTiers) {
+  // The serving loop reports each batch twice: transport health (the served
+  // denominator) and its admission/ladder outcome.
+  ServingMonitor monitor(monitor_config());
+  monitor.record_transport(SimDuration::seconds(0.1), 8, 0, 0);
+  monitor.record_admission(SimDuration::seconds(0.1), 8, 0, 0, 8);
+  monitor.record_transport(SimDuration::seconds(0.2), 8, 0, 0);
+  monitor.record_admission(SimDuration::seconds(0.2), 8, 0, 0, 0);
+  // 8 of 16 served samples ran on a degraded tier.
+  EXPECT_DOUBLE_EQ(monitor.degraded_fraction(SimDuration::seconds(0.2)), 0.5);
+  MonitorSnapshot snap = monitor.snapshot(SimDuration::seconds(0.2));
+  EXPECT_EQ(snap.degraded_total, 8U);
+}
+
+TEST(ServingMonitorTest, QuarantineSuppressesFiresAndReplaysOnRecovery) {
+  ServingMonitor monitor(monitor_config());
+  monitor.set_quarantined(true, SimDuration::seconds(0.05));
+  ASSERT_TRUE(monitor.quarantined());
+  // 8 straight errors trip the error-rate alarm, but the device is
+  // quarantined: the fire edge is swallowed (counted, not emitted).
+  for (int i = 0; i < 8; ++i) {
+    monitor.record(sample_at(0.1 + 0.01 * i, 0, false));
+  }
+  EXPECT_TRUE(monitor.alarm_firing("error_rate"));  // the alarm still computes
+  EXPECT_TRUE(monitor.events().empty());            // ...but stays silent
+  EXPECT_EQ(monitor.suppressed_fires_total(), 1U);
+
+  // Leaving quarantine re-emits the still-firing alarm, stamped at recovery.
+  monitor.set_quarantined(false, SimDuration::seconds(0.3));
+  ASSERT_EQ(monitor.events().size(), 1U);
+  EXPECT_EQ(monitor.events()[0].alarm, "error_rate");
+  EXPECT_TRUE(monitor.events()[0].fired);
+  EXPECT_EQ(monitor.events()[0].at, SimDuration::seconds(0.3));
+}
+
+TEST(ServingMonitorTest, FireAndClearInsideQuarantineNetsToSilence) {
+  ServingMonitor monitor(monitor_config());
+  monitor.set_quarantined(true, SimDuration::seconds(0.05));
+  for (int i = 0; i < 8; ++i) {
+    monitor.record(sample_at(0.1 + 0.01 * i, 0, false));  // fire (suppressed)
+  }
+  for (int i = 0; i < 24; ++i) {
+    monitor.record(sample_at(0.2 + 0.01 * i, 0, true));  // recovers: clear
+  }
+  EXPECT_FALSE(monitor.alarm_firing("error_rate"));
+  monitor.set_quarantined(false, SimDuration::seconds(0.6));
+  // The whole episode happened inside the quarantine: net silence, though
+  // the suppression itself is still accounted.
+  EXPECT_TRUE(monitor.events().empty());
+  EXPECT_EQ(monitor.suppressed_fires_total(), 1U);
+}
+
+TEST(ServingMonitorTest, ClearOfPreQuarantineFireIsEmittedExactly) {
+  ServingMonitor monitor(monitor_config());
+  for (int i = 0; i < 8; ++i) {
+    monitor.record(sample_at(0.1 + 0.01 * i, 0, false));
+  }
+  ASSERT_EQ(monitor.events().size(), 1U);  // fire emitted before quarantine
+
+  monitor.set_quarantined(true, SimDuration::seconds(0.19));
+  for (int i = 0; i < 24; ++i) {
+    monitor.record(sample_at(0.2 + 0.01 * i, 0, true));
+  }
+  // The matching fire predates the quarantine, so its clear stays exact —
+  // operators must see the recovery of an alarm they saw fire.
+  ASSERT_EQ(monitor.events().size(), 2U);
+  EXPECT_EQ(monitor.events()[1].alarm, "error_rate");
+  EXPECT_FALSE(monitor.events()[1].fired);
+  monitor.set_quarantined(false, SimDuration::seconds(0.6));
+  EXPECT_EQ(monitor.events().size(), 2U);  // nothing to replay
+  EXPECT_EQ(monitor.suppressed_fires_total(), 0U);
+}
+
 TEST(ServingMonitorTest, InvalidConfigsRejected) {
   MonitorConfig cfg = monitor_config();
   cfg.num_classes = 0;
@@ -329,7 +419,7 @@ TEST(ServeTest, ServesAllChunksWithSaneTelemetry) {
   const auto& snap = result.final_snapshot;
   EXPECT_EQ(snap.samples_total, result.samples_served);
   EXPECT_GT(snap.latency_p50_s, 0.0);
-  EXPECT_EQ(snap.alarms.size(), 4U);
+  EXPECT_EQ(snap.alarms.size(), 5U);  // + shed_rate since admission control
 }
 
 TEST(ServeTest, MonitorConfigurationCannotChangeResults) {

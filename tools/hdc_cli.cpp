@@ -431,6 +431,10 @@ int cmd_serve(int argc, char** argv) {
                  "           [--drift-start N] [--drift-duration N]\n"
                  "           [--fault-profile spec] [--window-span S] [--slo-ms MS]\n"
                  "           [--alarm-drift F] [--alarm-error F] [--alarm-burn F]\n"
+                 "           [--deadline-us US] [--queue-chunks N]\n"
+                 "           [--shed-policy reject-newest|drop-oldest] [--offered-load F]\n"
+                 "           [--probe-interval-us US] [--reduced-dim N]\n"
+                 "           [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n"
                  "           [--snapshot-dir DIR] [--snapshot-every N] [--prom FILE]\n"
                  "           [--log-json FILE]\n");
     return 2;
@@ -440,6 +444,56 @@ int cmd_serve(int argc, char** argv) {
   config.stream.spec = data::paper_dataset(argv[2]);
   config.stream.spec.seed =
       static_cast<std::uint64_t>(std::atoll(arg_value(argc, argv, "--seed", "42")));
+  // Overload-protection flags. Explicit zero/negative values are user error
+  // and rejected with actionable messages (omit the flag for the default).
+  const char* deadline_us = arg_value(argc, argv, "--deadline-us", nullptr);
+  if (deadline_us != nullptr) {
+    const double us = std::atof(deadline_us);
+    HDC_CHECK(us > 0.0,
+              "--deadline-us must be a positive number of microseconds (omit the "
+              "flag to serve without per-request deadlines)");
+    config.admission.deadline = SimDuration::micros(us);
+  }
+  const char* queue_chunks = arg_value(argc, argv, "--queue-chunks", nullptr);
+  if (queue_chunks != nullptr) {
+    const int chunks = std::atoi(queue_chunks);
+    HDC_CHECK(chunks > 0,
+              "--queue-chunks must be at least 1: the admission queue needs room "
+              "for the chunk being served (shedding starts when it overflows)");
+    config.admission.queue_capacity = static_cast<std::uint32_t>(chunks);
+  }
+  const char* shed_policy = arg_value(argc, argv, "--shed-policy", nullptr);
+  if (shed_policy != nullptr) {
+    config.admission.policy = runtime::parse_shed_policy(shed_policy);
+  }
+  const char* offered_load = arg_value(argc, argv, "--offered-load", nullptr);
+  if (offered_load != nullptr) {
+    const double load = std::atof(offered_load);
+    HDC_CHECK(load >= 0.0,
+              "--offered-load must be non-negative (0 = closed loop: each chunk "
+              "arrives when the previous one finished)");
+    config.admission.offered_load = load;
+  }
+  const char* probe_us = arg_value(argc, argv, "--probe-interval-us", nullptr);
+  if (probe_us != nullptr) {
+    const double us = std::atof(probe_us);
+    HDC_CHECK(us > 0.0,
+              "--probe-interval-us must be a positive number of microseconds: it "
+              "spaces the half-open probes that let a quarantined device recover");
+    config.health.probe_interval = SimDuration::micros(us);
+  }
+  const char* reduced_dim = arg_value(argc, argv, "--reduced-dim", nullptr);
+  if (reduced_dim != nullptr) {
+    const int dim = std::atoi(reduced_dim);
+    HDC_CHECK(dim > 0,
+              "--reduced-dim must be positive (omit the flag for the automatic "
+              "max(64, dim/8) reduced-tier dimension)");
+    config.reduced_dim = static_cast<std::uint32_t>(dim);
+  }
+  config.checkpoint_path = arg_value(argc, argv, "--checkpoint", "");
+  config.checkpoint_every_chunks = static_cast<std::uint32_t>(
+      std::atoi(arg_value(argc, argv, "--checkpoint-every", "0")));
+  config.resume_from = arg_value(argc, argv, "--resume", "");
   config.stream.chunk_size =
       static_cast<std::uint32_t>(std::atoi(arg_value(argc, argv, "--chunk-size", "128")));
   const char* drift_start = arg_value(argc, argv, "--drift-start", nullptr);
@@ -504,11 +558,14 @@ int cmd_serve(int argc, char** argv) {
 
   const runtime::ServeResult result = runtime::serve(framework, config);
 
-  std::printf("%6s %9s %9s %7s %s\n", "chunk", "accuracy", "windowed", "drift", "flags");
+  std::printf("%6s %9s %9s %7s %-8s %-11s %s\n", "chunk", "accuracy", "windowed",
+              "drift", "tier", "health", "flags");
   for (const auto& chunk : result.chunks) {
-    std::printf("%6u %8.2f%% %8.2f%% %7.3f %s%s\n", chunk.index,
+    std::printf("%6u %8.2f%% %8.2f%% %7.3f %-8s %-11s %s%s\n", chunk.index,
                 100.0 * chunk.chunk_accuracy, 100.0 * chunk.windowed_accuracy,
-                chunk.drift_score, chunk.fallback_samples > 0 ? "fallback " : "",
+                chunk.drift_score, runtime::tier_name(chunk.tier),
+                runtime::health_name(chunk.health),
+                chunk.fallback_samples > 0 ? "fallback " : "",
                 chunk.circuit_opened ? "circuit-open" : "");
   }
 
@@ -516,13 +573,39 @@ int cmd_serve(int argc, char** argv) {
   std::printf("served %llu samples over %s simulated (warmup prequential %.2f%%)\n",
               static_cast<unsigned long long>(result.samples_served),
               result.t_end.to_string().c_str(), 100.0 * result.warmup_accuracy);
+  // Lifetime accuracy comes from the serve accumulators, not the monitor
+  // snapshot: a resumed session's monitor is cold and only saw the tail.
   std::printf("lifetime accuracy %.2f%%, windowed %.2f%%, latency p50/p95/p99 %s/%s/%s\n",
-              100.0 * snap.lifetime_accuracy, 100.0 * snap.windowed_accuracy,
+              100.0 * result.lifetime_accuracy, 100.0 * snap.windowed_accuracy,
               SimDuration::seconds(snap.latency_p50_s).to_string().c_str(),
               SimDuration::seconds(snap.latency_p95_s).to_string().c_str(),
               SimDuration::seconds(snap.latency_p99_s).to_string().c_str());
   std::printf("SLO burn rate %.2f, drift score %.3f\n", snap.slo_burn_rate,
               snap.drift_score);
+  std::printf("admission: %u shed + %u expired chunks (%llu + %llu samples), "
+              "%llu degraded samples\n",
+              result.shed_chunks, result.expired_chunks,
+              static_cast<unsigned long long>(result.shed_samples),
+              static_cast<unsigned long long>(result.expired_samples),
+              static_cast<unsigned long long>(result.degraded_samples));
+  for (std::size_t t = 0; t < result.tiers.size(); ++t) {
+    const auto& tier = result.tiers[t];
+    if (tier.samples == 0) {
+      continue;
+    }
+    std::printf("tier %-8s %8llu samples, accuracy %.2f%%, service %s\n",
+                runtime::tier_name(static_cast<runtime::ServeTier>(t)),
+                static_cast<unsigned long long>(tier.samples), 100.0 * tier.accuracy(),
+                tier.service_time.to_string().c_str());
+  }
+  std::printf("final device health: %s (%llu quarantines, %llu probes)\n",
+              runtime::health_name(result.final_health),
+              static_cast<unsigned long long>(result.quarantines),
+              static_cast<unsigned long long>(result.probes));
+  if (result.checkpoints_written > 0) {
+    std::printf("wrote %u serve checkpoints to %s\n", result.checkpoints_written,
+                config.checkpoint_path.c_str());
+  }
   for (const auto& alarm : snap.alarms) {
     std::printf("alarm %-12s fired %llux%s\n", alarm.name.c_str(),
                 static_cast<unsigned long long>(alarm.fired_total),
