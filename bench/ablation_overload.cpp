@@ -150,6 +150,18 @@ int main(int argc, char** argv) {
       reporter.info(prefix + "quarantines", static_cast<double>(result.quarantines));
       reporter.info(prefix + "probes", static_cast<double>(result.probes));
       reporter.info(prefix + "final_healthy", healthy ? 1.0 : 0.0);
+      // Latency-attribution waterfall (session-wide stage fractions): gate
+      // the stages that overload protection is supposed to keep in check —
+      // queue wait and host-fallback share down, device share up.
+      reporter.sim_ratio(prefix + "attribution.queue_wait_fraction",
+                         result.attribution_total.fraction(obs::Stage::kQueueWait),
+                         /*higher_is_better=*/false);
+      reporter.sim_ratio(prefix + "attribution.device_fraction",
+                         result.attribution_total.fraction(obs::Stage::kDevice),
+                         /*higher_is_better=*/true);
+      reporter.sim_ratio(prefix + "attribution.host_fraction",
+                         result.attribution_total.fraction(obs::Stage::kHost),
+                         /*higher_is_better=*/false);
 
       if (p99_s > deadline.to_seconds()) {
         std::printf("!! p99 exceeded the configured deadline — overload protection "

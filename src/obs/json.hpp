@@ -39,4 +39,13 @@ inline void append_json_number(std::string& out, double value) {
   out += buf;
 }
 
+/// Appends a double with round-trip precision (%.17g). Used where downstream
+/// tools re-verify bit-exact arithmetic (request-trace attribution records);
+/// the shorter %.9g form stays the default for human-facing telemetry.
+inline void append_json_number_exact(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
 }  // namespace hdc::obs::detail

@@ -228,6 +228,8 @@ ServingMonitor::ServingMonitor(MonitorConfig config)
       degraded_(config.window),
       margin_(config.window),
       class_counts_(config.window, std::vector<std::uint64_t>(config.num_classes, 0)),
+      slowest_(config.window, SlowestSlot{}),
+      attribution_(config.window, std::array<double, kNumStages>{}),
       ewma_latency_(tau_short_s_),
       ewma_margin_(tau_short_s_),
       ewma_accuracy_(tau_short_s_),
@@ -257,6 +259,11 @@ void ServingMonitor::record(const Sample& sample) {
   }
   margin_.add(sample.at, sample.margin);
   ++class_counts_.at(sample.at)[sample.predicted];
+  SlowestSlot& slow = slowest_.at(sample.at);
+  if (sample.latency.to_seconds() > slow.latency_s) {
+    slow.latency_s = sample.latency.to_seconds();
+    slow.request_id = sample.request_id;
+  }
 
   ewma_latency_.observe(sample.at, sample.latency.to_seconds());
   ewma_margin_.observe(sample.at, sample.margin);
@@ -264,6 +271,38 @@ void ServingMonitor::record(const Sample& sample) {
   margin_reference_.observe(sample.at, sample.margin);
 
   evaluate_alarms(sample.at);
+}
+
+void ServingMonitor::record_attribution(SimDuration at,
+                                        const RequestAttribution& attribution) {
+  std::array<double, kNumStages>& slot = attribution_.at(at);
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    slot[i] += attribution.stages[i].to_seconds();
+  }
+}
+
+std::int64_t ServingMonitor::slowest_request_id(SimDuration now) {
+  slowest_.advance_to(now);
+  double worst = -1.0;
+  std::int64_t id = -1;
+  for (const SlowestSlot& slot : slowest_.slots()) {
+    if (slot.latency_s > worst) {
+      worst = slot.latency_s;
+      id = slot.request_id;
+    }
+  }
+  return id;
+}
+
+std::array<double, kNumStages> ServingMonitor::windowed_attribution_s(SimDuration now) {
+  attribution_.advance_to(now);
+  std::array<double, kNumStages> sums{};
+  for (const auto& slot : attribution_.slots()) {
+    for (std::size_t i = 0; i < kNumStages; ++i) {
+      sums[i] += slot[i];
+    }
+  }
+  return sums;
 }
 
 void ServingMonitor::record_transport(SimDuration at, std::uint64_t samples,
@@ -382,17 +421,26 @@ double ServingMonitor::drift_score() const {
 }
 
 void ServingMonitor::evaluate_alarms(SimDuration now) {
+  // Every edge produced at `now` carries the windowed slowest request id, so
+  // alarm lines link straight to a retained exemplar chain.
+  const std::int64_t exemplar = slowest_request_id(now);
+  const auto tag = [&](std::optional<AlarmEvent> event) {
+    if (event.has_value()) {
+      event->exemplar_request_id = exemplar;
+    }
+    dispatch_event(std::move(event));
+  };
   const std::uint64_t in_window = samples_.sum(now);
   if (in_window >= config_.min_samples) {
-    dispatch_event(alarm_latency_.update(now, slo_burn_rate(now)));
-    dispatch_event(alarm_error_.update(now, windowed_error_rate(now)));
-    dispatch_event(alarm_drift_.update(now, drift_score()));
+    tag(alarm_latency_.update(now, slo_burn_rate(now)));
+    tag(alarm_error_.update(now, windowed_error_rate(now)));
+    tag(alarm_drift_.update(now, drift_score()));
   }
   if (transport_samples_.sum(now) >= config_.min_samples) {
-    dispatch_event(alarm_fallback_.update(now, fallback_rate(now)));
+    tag(alarm_fallback_.update(now, fallback_rate(now)));
   }
   if (offered_.sum(now) >= config_.min_samples) {
-    dispatch_event(alarm_shed_.update(now, shed_rate(now)));
+    tag(alarm_shed_.update(now, shed_rate(now)));
   }
 }
 
@@ -429,12 +477,17 @@ void ServingMonitor::dispatch_event(std::optional<AlarmEvent> event) {
 
 void ServingMonitor::push_event(const AlarmEvent& event) {
   events_.push_back(event);
-  char message[160];
+  char message[192];
   std::snprintf(message, sizeof(message),
                 "alarm=%s event=%s value=%.6g threshold=%.6g t_s=%.9g",
                 event.alarm.c_str(), event.fired ? "fire" : "clear", event.value,
                 event.threshold, event.at.to_seconds());
-  HDC_LOG_WARN << message;
+  std::string line = message;
+  if (event.exemplar_request_id >= 0) {
+    line += " exemplar=";
+    line += std::to_string(event.exemplar_request_id);
+  }
+  HDC_LOG_WARN << line;
 }
 
 const ThresholdAlarm* ServingMonitor::find_alarm(std::string_view name) const {
@@ -506,6 +559,18 @@ MonitorSnapshot ServingMonitor::snapshot(SimDuration now) {
   snap.degraded_total = degraded_total_;
   snap.quarantined = quarantined_;
   snap.suppressed_alarms_total = suppressed_fires_total_;
+
+  const std::array<double, kNumStages> attribution = windowed_attribution_s(now);
+  double attribution_total = 0.0;
+  for (const double stage_s : attribution) {
+    attribution_total += stage_s;
+  }
+  snap.attribution_total_s = attribution_total;
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    snap.attribution_fractions[i] =
+        attribution_total == 0.0 ? 0.0 : attribution[i] / attribution_total;
+  }
+  snap.exemplar_request_id = slowest_request_id(now);
 
   snap.class_counts.assign(config_.num_classes, 0);
   class_counts_.advance_to(now);
@@ -582,6 +647,7 @@ std::string MonitorSnapshot::to_json() const {
   append_field(out, "margin", margin_mean, true);
   append_field(out, "fallback_rate", fallback_rate, true);
   append_field(out, "retry_rate", retry_rate, true);
+  out += ",\"exemplar_request_id\":" + std::to_string(exemplar_request_id);
   out += "}";
 
   out += ",\"ewma\":{";
@@ -601,6 +667,15 @@ std::string MonitorSnapshot::to_json() const {
   append_field(out, "score", drift_score, false);
   append_field(out, "margin_reference", drift_margin_reference, true);
   append_field(out, "margin_current", drift_margin_current, true);
+  out += "}";
+
+  out += ",\"attribution\":{";
+  append_field(out, "total_s", attribution_total_s, false);
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const std::string key =
+        std::string(stage_name(static_cast<Stage>(i))) + "_fraction";
+    append_field(out, key.c_str(), attribution_fractions[i], true);
+  }
   out += "}";
 
   out += ",\"admission\":{\"offered\":" + std::to_string(offered_samples);
@@ -662,6 +737,26 @@ std::string MonitorSnapshot::to_json() const {
   append_gate_metric(out, "window.samples", static_cast<double>(window_samples), "",
                      "info", "higher", true);
   append_gate_metric(out, "drift.score", drift_score, "fraction", "info", "lower", true);
+  // Attribution fractions: waste stages (queue wait, backoff, host fallback)
+  // gate as simulated-time regressions; the useful-work split is report-only.
+  append_gate_metric(out, "attribution.queue_wait_fraction",
+                     attribution_fractions[static_cast<std::size_t>(Stage::kQueueWait)],
+                     "fraction", "sim", "lower", true);
+  append_gate_metric(out, "attribution.backoff_fraction",
+                     attribution_fractions[static_cast<std::size_t>(Stage::kBackoff)],
+                     "fraction", "sim", "lower", true);
+  append_gate_metric(out, "attribution.host_fraction",
+                     attribution_fractions[static_cast<std::size_t>(Stage::kHost)],
+                     "fraction", "sim", "lower", true);
+  append_gate_metric(out, "attribution.transfer_fraction",
+                     attribution_fractions[static_cast<std::size_t>(Stage::kTransfer)],
+                     "fraction", "info", "lower", true);
+  append_gate_metric(out, "attribution.device_fraction",
+                     attribution_fractions[static_cast<std::size_t>(Stage::kDevice)],
+                     "fraction", "info", "higher", true);
+  append_gate_metric(out, "attribution.update_fraction",
+                     attribution_fractions[static_cast<std::size_t>(Stage::kUpdate)],
+                     "fraction", "info", "lower", true);
   double drift_fired = 0.0;
   for (const AlarmState& alarm : alarms) {
     if (alarm.name == "drift") {
@@ -766,6 +861,19 @@ std::string MonitorSnapshot::to_prometheus() const {
               "Alarm fire edges suppressed during quarantine (lifetime)");
   prom_line(out, "hdc_serve_suppressed_alarms_total", "",
             static_cast<double>(suppressed_alarms_total));
+
+  prom_header(out, "hdc_serve_attribution_fraction", "gauge",
+              "Windowed latency attribution fraction per stage");
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    char labels[64];
+    std::snprintf(labels, sizeof(labels), "stage=\"%s\"",
+                  stage_name(static_cast<Stage>(i)));
+    prom_line(out, "hdc_serve_attribution_fraction", labels, attribution_fractions[i]);
+  }
+  prom_header(out, "hdc_serve_exemplar_request_id", "gauge",
+              "Request id of the slowest sample in the window (-1 = empty)");
+  prom_line(out, "hdc_serve_exemplar_request_id", "",
+            static_cast<double>(exemplar_request_id));
 
   prom_header(out, "hdc_serve_class_predictions", "gauge",
               "Windowed predictions per class");

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/sim_time.hpp"
+#include "obs/request_trace.hpp"
 
 namespace hdc::obs {
 
@@ -178,6 +179,11 @@ struct AlarmEvent {
   SimDuration at;
   double value = 0.0;
   double threshold = 0.0;
+  /// Request id of the slowest sample in the window when the edge was
+  /// produced (-1 when the window was empty). Exemplar capture retains the
+  /// full span chain for tail requests, so this id links the alarm line
+  /// directly to a concrete causal trace (`hdc_traceq --req <id>`).
+  std::int64_t exemplar_request_id = -1;
 };
 
 /// Edge-triggered threshold alarm: fires once when the value crosses the
@@ -285,6 +291,14 @@ struct MonitorSnapshot {
   bool quarantined = false;            ///< device quarantined at snapshot time
   std::uint64_t suppressed_alarms_total = 0;  ///< fire edges swallowed in quarantine
 
+  // latency attribution (windowed stage-waterfall fractions; see
+  // obs/request_trace.hpp for the stage taxonomy)
+  double attribution_total_s = 0.0;  ///< windowed sum of attributed seconds
+  std::array<double, kNumStages> attribution_fractions{};
+  /// Request id of the slowest sample in the window (-1 = empty window);
+  /// resolvable to a full span chain via the exemplar store / hdc_traceq.
+  std::int64_t exemplar_request_id = -1;
+
   std::vector<std::uint64_t> class_counts;  ///< windowed predictions per class
 
   struct AlarmState {
@@ -329,8 +343,16 @@ class ServingMonitor {
     std::uint32_t predicted = 0;
     bool correct = false;
     double margin = 0.0;  ///< top1 - top2 similarity of the scoring model
+    /// Request (offered chunk) the sample belongs to; -1 = untracked. Feeds
+    /// the windowed slowest-request exemplar id on alarms and snapshots.
+    std::int64_t request_id = -1;
   };
   void record(const Sample& sample);
+
+  /// One request's stage-grouped latency attribution (durations already
+  /// summed per stage by `RequestTrace::finalize`), stamped at the request's
+  /// completion time. Aggregated into windowed stage-waterfall fractions.
+  void record_attribution(SimDuration at, const RequestAttribution& attribution);
 
   /// Batch-level transport health (the resilient executor reports fallback
   /// and retry counts per batch, not per sample).
@@ -373,6 +395,10 @@ class ServingMonitor {
   /// Margin-collapse drift score: relative collapse of the windowed margin
   /// against the slow-EWMA reference, in [0, 1].
   double drift_score() const;
+  /// Request id of the slowest sample currently in the window (-1 = empty).
+  std::int64_t slowest_request_id(SimDuration now);
+  /// Windowed per-stage attributed seconds (index = obs::Stage).
+  std::array<double, kNumStages> windowed_attribution_s(SimDuration now);
 
   std::uint64_t samples_total() const noexcept { return samples_total_; }
   std::uint64_t errors_total() const noexcept { return errors_total_; }
@@ -408,6 +434,14 @@ class ServingMonitor {
   SlidingCounter degraded_;
   SlidingMean margin_;
   detail::BucketRing<std::vector<std::uint64_t>> class_counts_;
+  /// Per-bucket slowest sample (latency + request id) for exemplar linking.
+  struct SlowestSlot {
+    double latency_s = -1.0;
+    std::int64_t request_id = -1;
+  };
+  detail::BucketRing<SlowestSlot> slowest_;
+  /// Per-bucket attributed seconds by stage.
+  detail::BucketRing<std::array<double, kNumStages>> attribution_;
 
   Ewma ewma_latency_;
   Ewma ewma_margin_;

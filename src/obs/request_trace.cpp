@@ -1,0 +1,212 @@
+#include "obs/request_trace.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace hdc::obs {
+
+const char* stage_name(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kQueueWait: return "queue_wait";
+    case Stage::kBackoff: return "backoff";
+    case Stage::kTransfer: return "transfer";
+    case Stage::kDevice: return "device";
+    case Stage::kDeviceHost: return "device_host";
+    case Stage::kHost: return "host";
+    case Stage::kUpdate: return "update";
+    case Stage::kOther: return "other";
+  }
+  return "unknown";
+}
+
+const char* outcome_name(RequestOutcome outcome) noexcept {
+  switch (outcome) {
+    case RequestOutcome::kServed: return "served";
+    case RequestOutcome::kShed: return "shed";
+    case RequestOutcome::kExpired: return "expired";
+  }
+  return "unknown";
+}
+
+const char* exemplar_reason_name(ExemplarReason reason) noexcept {
+  switch (reason) {
+    case ExemplarReason::kShed: return "shed";
+    case ExemplarReason::kExpired: return "expired";
+    case ExemplarReason::kTierFallback: return "tier_fallback";
+    case ExemplarReason::kTailLatency: return "tail_latency";
+  }
+  return "unknown";
+}
+
+SimDuration RequestAttribution::total() const {
+  // Fixed index order with kOther last: this replays the accumulation order
+  // finalize() used to compute the kOther residual, so the final add is
+  // partial + (latency - partial) == latency bit-exactly (Sterbenz lemma —
+  // the operands of the last add differ by at most the span-grouping
+  // rounding, far inside the [1/2, 2] ratio the lemma needs).
+  SimDuration sum;
+  for (std::size_t i = 0; i < kNumStages; ++i) sum += stages[i];
+  return sum;
+}
+
+double RequestAttribution::fraction(Stage s) const {
+  const double denom = total().to_seconds();
+  if (denom == 0.0) return 0.0;
+  return (*this)[s].to_seconds() / denom;
+}
+
+RequestAttribution& RequestAttribution::operator+=(const RequestAttribution& other) {
+  for (std::size_t i = 0; i < kNumStages; ++i) stages[i] += other.stages[i];
+  return *this;
+}
+
+void RequestTrace::begin(std::uint64_t id, SimDuration arrival_time) {
+  request_id = id;
+  arrival = arrival_time;
+  cursor = arrival_time;
+}
+
+void RequestTrace::append(Stage stage, SimDuration duration, std::uint32_t sample,
+                          std::uint32_t attempt) {
+  spans.push_back(StageSpan{stage, cursor, duration, sample, attempt});
+  cursor += duration;
+}
+
+void RequestTrace::finalize(SimDuration end_time) {
+  end = end_time;
+  RequestAttribution grouped{};
+  for (const StageSpan& span : spans) {
+    grouped[span.stage] += span.duration;
+  }
+  grouped[Stage::kOther] = SimDuration();
+  SimDuration partial;
+  for (std::size_t i = 0; i + 1 < kNumStages; ++i) partial += grouped.stages[i];
+  grouped[Stage::kOther] = (end - arrival) - partial;
+  attribution = grouped;
+}
+
+std::size_t RequestTrace::approx_bytes() const {
+  return sizeof(RequestTrace) + spans.size() * sizeof(StageSpan);
+}
+
+void ExemplarConfig::validate() const {
+  if (max_bytes == 0) {
+    throw Error("ExemplarConfig.max_bytes must be positive");
+  }
+  if (max_per_reason == 0) {
+    throw Error("ExemplarConfig.max_per_reason must be positive");
+  }
+}
+
+ExemplarStore::ExemplarStore(ExemplarConfig config) : config_(config) {
+  config_.validate();
+}
+
+void ExemplarStore::evict_front() {
+  const RequestExemplar& victim = exemplars_.front();
+  bytes_ -= victim.trace.approx_bytes();
+  --per_reason_[static_cast<std::size_t>(victim.reason)];
+  exemplars_.pop_front();
+  ++evicted_;
+}
+
+void ExemplarStore::evict_oldest_of(ExemplarReason reason) {
+  for (std::size_t i = 0; i < exemplars_.size(); ++i) {
+    if (exemplars_[i].reason != reason) continue;
+    bytes_ -= exemplars_[i].trace.approx_bytes();
+    --per_reason_[static_cast<std::size_t>(reason)];
+    exemplars_.erase(exemplars_.begin() + static_cast<std::ptrdiff_t>(i));
+    ++evicted_;
+    return;
+  }
+}
+
+bool ExemplarStore::offer(ExemplarReason reason, RequestTrace trace) {
+  ++offered_;
+  const std::size_t size = trace.approx_bytes();
+  if (size > config_.max_bytes) {
+    return false;  // can never fit, even alone — drop whole, never truncate
+  }
+  if (per_reason_[static_cast<std::size_t>(reason)] >= config_.max_per_reason) {
+    evict_oldest_of(reason);
+  }
+  while (bytes_ + size > config_.max_bytes && !exemplars_.empty()) {
+    evict_front();
+  }
+  bytes_ += size;
+  if (bytes_ > peak_bytes_) peak_bytes_ = bytes_;
+  ++per_reason_[static_cast<std::size_t>(reason)];
+  exemplars_.push_back(RequestExemplar{reason, std::move(trace)});
+  return true;
+}
+
+const RequestTrace* ExemplarStore::find(std::uint64_t request_id) const {
+  for (const RequestExemplar& exemplar : exemplars_) {
+    if (exemplar.trace.request_id == request_id) return &exemplar.trace;
+  }
+  return nullptr;
+}
+
+std::string request_trace_json(const RequestTrace& trace, const char* reason) {
+  using detail::append_json_number_exact;
+  using detail::append_json_string;
+  std::string out;
+  out += "{\"schema\":\"hdc-request-trace-v1\",\"request_id\":";
+  out += std::to_string(trace.request_id);
+  out += ",\"outcome\":";
+  append_json_string(out, outcome_name(trace.outcome));
+  if (reason != nullptr) {
+    out += ",\"reason\":";
+    append_json_string(out, reason);
+  }
+  out += ",\"tier\":";
+  out += std::to_string(static_cast<unsigned>(trace.tier));
+  out += ",\"samples\":";
+  out += std::to_string(trace.samples);
+  out += ",\"faulty\":";
+  out += trace.faulty ? "true" : "false";
+  out += ",\"arrival_s\":";
+  append_json_number_exact(out, trace.arrival.to_seconds());
+  out += ",\"end_s\":";
+  append_json_number_exact(out, trace.end.to_seconds());
+  out += ",\"latency_s\":";
+  append_json_number_exact(out, trace.latency().to_seconds());
+  out += ",\"attribution\":{";
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    if (i != 0) out += ',';
+    append_json_string(out, stage_name(static_cast<Stage>(i)));
+    out += ':';
+    append_json_number_exact(out, trace.attribution.stages[i].to_seconds());
+  }
+  out += "},\"spans\":[";
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    const StageSpan& span = trace.spans[i];
+    if (i != 0) out += ',';
+    out += "{\"stage\":";
+    append_json_string(out, stage_name(span.stage));
+    out += ",\"start_s\":";
+    append_json_number_exact(out, span.start.to_seconds());
+    out += ",\"dur_s\":";
+    append_json_number_exact(out, span.duration.to_seconds());
+    out += ",\"sample\":";
+    out += std::to_string(span.sample);
+    out += ",\"attempt\":";
+    out += std::to_string(span.attempt);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ExemplarStore::to_jsonl() const {
+  std::string out;
+  for (const RequestExemplar& exemplar : exemplars_) {
+    out += request_trace_json(exemplar.trace, exemplar_reason_name(exemplar.reason));
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hdc::obs

@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/logging.hpp"
 #include "obs/json.hpp"
 
 namespace hdc::obs {
@@ -17,9 +18,15 @@ void append_timestamp(std::string& out, SimDuration t) {
   out += buf;
 }
 
-void append_args(std::string& out, const std::vector<TraceArg>& args) {
+void append_args(std::string& out, const std::vector<TraceArg>& args,
+                 std::int64_t request_id) {
   out += ",\"args\":{";
   bool first = true;
+  if (request_id >= 0) {
+    out += "\"req\":";
+    out += std::to_string(request_id);
+    first = false;
+  }
   for (const auto& arg : args) {
     if (!first) {
       out.push_back(',');
@@ -58,8 +65,15 @@ TraceContext::TraceContext(TraceConfig config) : config_(config) {
 void TraceContext::push(TraceEvent event) {
   if (events_.size() >= config_.max_events) {
     ++dropped_;
+    if (!drop_warned_) {
+      drop_warned_ = true;
+      HDC_LOG_WARN << "trace: event cap of " << config_.max_events
+                   << " reached; further events are counted but not recorded "
+                      "(raise --trace-cap / TraceConfig.max_events)";
+    }
     return;
   }
+  event.request_id = request_id_;
   events_.push_back(std::move(event));
 }
 
@@ -138,8 +152,8 @@ void TraceContext::write_chrome_trace(std::ostream& os) const {
     out += ",\"pid\":";
     out += std::to_string(static_cast<int>(event.track) + 1);
     out += ",\"tid\":0";
-    if (!event.args.empty()) {
-      append_args(out, event.args);
+    if (!event.args.empty() || event.request_id >= 0) {
+      append_args(out, event.args, event.request_id);
     }
     out.push_back('}');
   }

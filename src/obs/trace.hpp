@@ -58,13 +58,18 @@ struct TraceEvent {
   SimDuration start;
   SimDuration duration;  ///< zero for instants
   std::vector<TraceArg> args;
+  /// Request the event belongs to (-1 outside any request scope). Stamped by
+  /// `TraceContext::push` from the active `begin_request` scope and exported
+  /// as a `"req"` arg, so a request's causal chain can be reassembled across
+  /// host/link/device/executor tracks.
+  std::int64_t request_id = -1;
 };
 
 struct TraceConfig {
   /// Hard cap on recorded events. Paper-scale runs (60k samples through the
   /// per-sample fault path) would otherwise emit multi-GB traces; beyond the
-  /// cap events are counted in `dropped()` and silently discarded, and the
-  /// export notes the truncation.
+  /// cap events are counted in `dropped()` and discarded (a one-time WARN
+  /// fires on the first drop), and the export notes the truncation.
   std::size_t max_events = 1u << 20;
 };
 
@@ -91,6 +96,17 @@ class TraceContext {
   SimDuration now() const noexcept { return now_; }
   void set_now(SimDuration t) noexcept { now_ = t; }
   void advance(SimDuration d) noexcept { now_ += d; }
+
+  // ---- request scoping ----
+  /// Opens a request scope: every event pushed until `end_request` is stamped
+  /// with `id`. Scopes do not nest (a new begin replaces the active id) —
+  /// the serve loop handles one request at a time.
+  void begin_request(std::uint64_t id) noexcept {
+    request_id_ = static_cast<std::int64_t>(id);
+  }
+  void end_request() noexcept { request_id_ = -1; }
+  /// Active request id, -1 when outside any request scope.
+  std::int64_t active_request() const noexcept { return request_id_; }
 
   /// Records [now, now + duration) and advances the cursor.
   void span(Track track, std::string_view name, SimDuration duration,
@@ -135,7 +151,9 @@ class TraceContext {
   TraceConfig config_;
   std::vector<TraceEvent> events_;
   std::size_t dropped_ = 0;
+  bool drop_warned_ = false;
   SimDuration now_;
+  std::int64_t request_id_ = -1;
   MetricsRegistry* metrics_ = nullptr;
 };
 

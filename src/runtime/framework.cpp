@@ -7,6 +7,7 @@
 #include "lite/quantize.hpp"
 #include "nn/wide_nn.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
 #include "obs/trace.hpp"
 
 namespace hdc::runtime {
@@ -380,11 +381,16 @@ bool ServingEndpoint::deployed(ServeTier tier) const noexcept {
 ServingEndpoint::BatchOutcome ServingEndpoint::infer(ServeTier tier,
                                                      const tensor::MatrixF& inputs,
                                                      SimDuration start,
-                                                     SimDuration sample_deadline) {
+                                                     SimDuration sample_deadline,
+                                                     obs::RequestTrace* request) {
   const std::size_t slot = tier == ServeTier::kFull ? 0 : 1;
   HDC_CHECK(tiers_[slot].has_value(), "serving tier has no deployed model");
   const CoDesignFramework::LoweredModel& model = *tiers_[slot];
 
+  if (request != nullptr) {
+    // Service spans start at the admission decision, after any queue wait.
+    request->cursor = start;
+  }
   BatchOutcome outcome;
   if (tier == ServeTier::kHost) {
     // Host tier: the reduced float model on the CPU. The device is not
@@ -393,6 +399,9 @@ ServingEndpoint::BatchOutcome ServingEndpoint::infer(ServeTier tier,
                                    framework_.trace_context());
     HDC_CHECK(result.has_classes, "inference model must end in ARG_MAX");
     outcome.predictions.assign(result.classes.begin(), result.classes.end());
+    if (request != nullptr) {
+      request->append(obs::Stage::kHost, time);
+    }
     outcome.report.cpu_fallback_time = time;
     outcome.report.cpu_samples = inputs.rows();
     outcome.total = time;
@@ -405,8 +414,23 @@ ServingEndpoint::BatchOutcome ServingEndpoint::infer(ServeTier tier,
     device_.advance_clock(start - device_.clock());
   }
   // Residency tracks the active tier; swaps are uncharged by the deploy
-  // convention (the result of load is discarded).
-  device_.load(model.compiled);
+  // convention (the result of load is discarded). The upload span is
+  // recorded outside the request scope with the cursor pinned: an uncharged
+  // swap is endpoint state management, not part of this request's causal
+  // chain, and advancing the cursor would misplace the charged spans that
+  // follow (a resumed session redoes the swap a warm one already did).
+  if (obs::TraceContext* trace = framework_.trace_context()) {
+    const std::int64_t active = trace->active_request();
+    const SimDuration cursor = trace->now();
+    trace->end_request();
+    device_.load(model.compiled);
+    trace->set_now(cursor);
+    if (active >= 0) {
+      trace->begin_request(static_cast<std::uint64_t>(active));
+    }
+  } else {
+    device_.load(model.compiled);
+  }
 
   RetryPolicy policy = policy_;
   policy.sample_deadline = sample_deadline;
@@ -416,7 +440,7 @@ ServingEndpoint::BatchOutcome ServingEndpoint::infer(ServeTier tier,
   options.mode = tpu::ExecutionMode::kFunctional;
   options.interactive = true;
   ResilientExecutor::Outcome run = executor.run(model.compiled, model.float_model, inputs,
-                                                options);
+                                                options, request);
   HDC_CHECK(run.result.has_classes, "inference model must end in ARG_MAX");
   outcome.predictions.assign(run.result.classes.begin(), run.result.classes.end());
   outcome.report = run.report;

@@ -23,6 +23,7 @@
 
 namespace hdc::obs {
 class TraceContext;
+struct RequestTrace;
 }  // namespace hdc::obs
 
 namespace hdc::runtime {
@@ -185,9 +186,11 @@ class ServingEndpoint {
   /// device clock is synced forward to it — idle gaps between chunks are
   /// real time the detach schedule sees). `sample_deadline` bounds each
   /// sample's retry loop (zero = unbounded); host-tier batches never touch
-  /// the device and cannot fault.
+  /// the device and cannot fault. When `request` is non-null the batch's
+  /// stage spans (transfer / MXU / backoff / host) are appended to its
+  /// causal chain — purely observational, never feeds back into timings.
   BatchOutcome infer(ServeTier tier, const tensor::MatrixF& inputs, SimDuration start,
-                     SimDuration sample_deadline);
+                     SimDuration sample_deadline, obs::RequestTrace* request = nullptr);
 
   /// Nominal fault-free per-sample service time for a tier (the admission
   /// deadline check prices queued work with this).

@@ -6,10 +6,47 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
 #include "obs/trace.hpp"
 #include "tpu/faults.hpp"
 
 namespace hdc::runtime {
+namespace {
+
+/// Copies one invoke's stage durations into a request's causal chain. The
+/// per-invoke `retry_backoff` is always zero here (backoff is charged — and
+/// appended — by the retry loop itself), but is forwarded defensively.
+void append_stats_spans(obs::RequestTrace& request, const tpu::ExecutionStats& stats,
+                        std::uint32_t sample, std::uint32_t attempt) {
+  using obs::Stage;
+  if (!stats.retry_backoff.is_zero()) {
+    request.append(Stage::kBackoff, stats.retry_backoff, sample, attempt);
+  }
+  if (!stats.pipelined_makespan.is_zero()) {
+    // Overlapped streaming: the per-stage fields double-count overlapped
+    // work, so attribute the makespan (compute-bound by construction) to the
+    // device stage and only the serial weight upload to transfer.
+    if (!stats.weight_upload.is_zero()) {
+      request.append(Stage::kTransfer, stats.weight_upload, sample, attempt);
+    }
+    request.append(Stage::kDevice, stats.pipelined_makespan, sample, attempt);
+    return;
+  }
+  if (!stats.transfer.is_zero()) {
+    request.append(Stage::kTransfer, stats.transfer, sample, attempt);
+  }
+  if (!stats.weight_upload.is_zero()) {
+    request.append(Stage::kTransfer, stats.weight_upload, sample, attempt);
+  }
+  if (!stats.device_compute.is_zero()) {
+    request.append(Stage::kDevice, stats.device_compute, sample, attempt);
+  }
+  if (!stats.host_compute.is_zero()) {
+    request.append(Stage::kDeviceHost, stats.host_compute, sample, attempt);
+  }
+}
+
+}  // namespace
 
 void RetryPolicy::validate() const {
   HDC_CHECK(max_attempts >= 1, "at least one device attempt per sample is required");
@@ -44,7 +81,8 @@ ResilientExecutor::ResilientExecutor(tpu::EdgeTpuDevice* device, platform::CpuEx
 ResilientExecutor::Outcome ResilientExecutor::run(const tpu::CompiledModel& compiled,
                                                   const lite::LiteModel& cpu_fallback,
                                                   const tensor::MatrixF& inputs,
-                                                  const tpu::InvokeOptions& options) {
+                                                  const tpu::InvokeOptions& options,
+                                                  obs::RequestTrace* request) {
   const std::size_t num_samples = inputs.rows();
   HDC_CHECK(num_samples > 0, "resilient run over zero samples");
   const tpu::HostCostModel host = cpu_.profile().host_cost_model();
@@ -60,6 +98,9 @@ ResilientExecutor::Outcome ResilientExecutor::run(const tpu::CompiledModel& comp
     outcome.result = std::move(result);
     outcome.report.device_stats = stats;
     outcome.report.tpu_samples = num_samples;
+    if (request != nullptr) {
+      append_stats_spans(*request, stats, 0, 0);
+    }
     return outcome;
   }
 
@@ -90,6 +131,9 @@ ResilientExecutor::Outcome ResilientExecutor::run(const tpu::CompiledModel& comp
     std::copy_n(inputs.row(begin).data(), count * inputs.cols(), rows.data());
     auto [result, time] = cpu_.run(cpu_fallback, rows, options.mode, trace_);
     append_rows(result);
+    if (request != nullptr) {
+      request->append(obs::Stage::kHost, time, static_cast<std::uint32_t>(begin), 0);
+    }
     outcome.report.cpu_fallback_time += time;
     outcome.report.cpu_samples += count;
     outcome.report.device_stats.fallback_samples += count;
@@ -134,6 +178,10 @@ ResilientExecutor::Outcome ResilientExecutor::run(const tpu::CompiledModel& comp
         outcome.report.device_stats.invoke_retries += 1;
         outcome.report.device_stats.retry_backoff += backoff;
         device_->advance_clock(backoff);
+        if (request != nullptr) {
+          request->append(obs::Stage::kBackoff, backoff,
+                          static_cast<std::uint32_t>(row), attempt);
+        }
         if (trace_ != nullptr) {
           trace_->instant(obs::Track::kExecutor, "resilient.retry",
                           {{"sample", row}, {"attempt", attempt}});
@@ -150,12 +198,19 @@ ResilientExecutor::Outcome ResilientExecutor::run(const tpu::CompiledModel& comp
       try {
         auto [result, stats] = device_->invoke(compiled, one, options, host);
         outcome.report.device_stats += stats;
+        if (request != nullptr) {
+          append_stats_spans(*request, stats, static_cast<std::uint32_t>(row), attempt);
+        }
         append_rows(result);
         outcome.report.tpu_samples += 1;
         consecutive_failures = 0;
         done = true;
       } catch (const tpu::DeviceFault& fault) {
         outcome.report.device_stats += fault.charged_stats();
+        if (request != nullptr) {
+          append_stats_spans(*request, fault.charged_stats(),
+                             static_cast<std::uint32_t>(row), attempt);
+        }
         sample_spent += fault.charged_stats().total();
         ++consecutive_failures;
         if (trace_ != nullptr) {

@@ -9,6 +9,7 @@
 
 namespace hdc::obs {
 class TraceContext;
+struct RequestTrace;
 }  // namespace hdc::obs
 
 namespace hdc::runtime {
@@ -90,8 +91,15 @@ class ResilientExecutor {
   /// Runs `inputs` through `compiled` on the device; samples the device
   /// cannot complete run through `cpu_fallback` (the float model the all-CPU
   /// path executes, so fallback predictions match that path exactly).
+  ///
+  /// When `request` is non-null, every stage the batch passes through —
+  /// transfer, MXU compute, per-attempt retry backoff, CPU fallback — is
+  /// appended to the request's causal chain (purely observational: the chain
+  /// copies durations the cost models already charged, so attaching it never
+  /// changes results or timings).
   Outcome run(const tpu::CompiledModel& compiled, const lite::LiteModel& cpu_fallback,
-              const tensor::MatrixF& inputs, const tpu::InvokeOptions& options);
+              const tensor::MatrixF& inputs, const tpu::InvokeOptions& options,
+              obs::RequestTrace* request = nullptr);
 
  private:
   tpu::EdgeTpuDevice* device_;

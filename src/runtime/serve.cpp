@@ -17,6 +17,7 @@
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "core/serialize.hpp"
+#include "obs/trace.hpp"
 
 namespace hdc::runtime {
 
@@ -77,7 +78,9 @@ struct AdmissionRecord {
 // checkpoint written after resume byte-identical to the uninterrupted run's.
 
 constexpr std::uint32_t kServeMagic = 0x56534448;  // "HDSV" little-endian
-constexpr std::uint32_t kServeVersion = 1;
+// v2: appended the per-request latency-attribution accumulators (8 stage
+// sums + requests_traced) after `checkpoints_written`.
+constexpr std::uint32_t kServeVersion = 2;
 
 /// Everything a resumed session restores before re-entering the loop.
 struct RestoredState {
@@ -107,6 +110,8 @@ struct RestoredState {
   std::uint64_t samples_served = 0;
   std::uint32_t snapshots_written = 0;
   std::uint32_t checkpoints_written = 0;
+  obs::RequestAttribution attribution_total;
+  std::uint64_t requests_traced = 0;
 };
 
 void write_fingerprint(ByteWriter& w, const ServeConfig& config) {
@@ -304,6 +309,10 @@ RestoredState read_checkpoint(const std::string& path, const ServeConfig& config
   state.samples_served = r.read<std::uint64_t>();
   state.snapshots_written = r.read<std::uint32_t>();
   state.checkpoints_written = r.read<std::uint32_t>();
+  for (auto& stage : state.attribution_total.stages) {
+    stage = SimDuration::seconds(r.read<double>());
+  }
+  state.requests_traced = r.read<std::uint64_t>();
   HDC_CHECK(r.exhausted(), "trailing bytes after serve checkpoint payload");
   return state;
 }
@@ -427,6 +436,8 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
     result.expired_chunks = restored->expired_chunks;
     result.snapshots_written = restored->snapshots_written;
     result.checkpoints_written = restored->checkpoints_written;
+    result.attribution_total = restored->attribution_total;
+    result.requests_traced = restored->requests_traced;
     correct_total = restored->correct_total;
     samples_served = restored->samples_served;
     served_count = restored->served_count;
@@ -472,6 +483,29 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
     if (monitor.has_value()) {
       log_clock = at.to_seconds();
       monitor->set_quarantined(health.state() == DeviceHealth::kQuarantined, at);
+    }
+  };
+
+  // ---- per-request causal tracing ----------------------------------------
+  // A request is one offered chunk; its id is the offered-chunk index, which
+  // is stable across checkpoint/resume. Request traces are observational in
+  // exactly the monitor's sense: they read the simulated durations the serve
+  // path already computed and never move `now`, so attaching them cannot
+  // change predictions, timings, or checkpoint bytes (beyond the two
+  // checkpointed attribution accumulators, which are themselves derived).
+  obs::ExemplarStore exemplar_store(config.exemplars);
+  obs::TraceContext* const trace = framework.trace_context();
+
+  const auto finish_request = [&](obs::RequestTrace&& rt,
+                                  std::optional<obs::ExemplarReason> reason) {
+    result.attribution_total += rt.attribution;
+    ++result.requests_traced;
+    if (reason.has_value()) {
+      exemplar_store.offer(*reason, rt);
+    }
+    result.requests.push_back(std::move(rt));
+    if (trace != nullptr) {
+      trace->end_request();
     }
   };
 
@@ -522,6 +556,10 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
     w.write<std::uint64_t>(samples_served);
     w.write<std::uint32_t>(result.snapshots_written);
     w.write<std::uint32_t>(result.checkpoints_written + 1);
+    for (const SimDuration& stage : result.attribution_total.stages) {
+      w.write<double>(stage.to_seconds());
+    }
+    w.write<std::uint64_t>(result.requests_traced);
     const std::uint32_t checksum = crc32(w.bytes().data(), w.size());
     w.write<std::uint32_t>(checksum);
     return w.take();
@@ -532,11 +570,33 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
     const SimDuration wait = start - item.arrival;
     const std::size_t n = item.data.num_samples();
 
+    obs::RequestTrace rt;
+    rt.begin(item.index, item.arrival);
+    rt.samples = n;
+    if (!wait.is_zero()) {
+      rt.append(obs::Stage::kQueueWait, wait);
+    }
+    if (trace != nullptr) {
+      // Open the causal scope for this request: every span the executor /
+      // device / link layers emit below is stamped with this id.
+      trace->set_now(item.arrival);
+      trace->begin_request(item.index);
+      if (!wait.is_zero()) {
+        trace->span(obs::Track::kExecutor, "serve.queue_wait", wait,
+                    {{"samples", n}});
+      }
+    }
+
     // Pick the ladder tier: device health first, then backlog pressure. A
     // quarantined device whose probe interval elapsed flips to probing here.
     const ServeTier tier =
         health.admit_tier(start, queue.size(), config.admission.degrade_backlog);
     sync_quarantine(start);
+    if (trace != nullptr) {
+      trace->instant_at(obs::Track::kExecutor, "serve.admit_tier", start,
+                        {{"tier", tier_name(tier)},
+                         {"queue_depth", queue.size()}});
+    }
 
     const SimDuration deadline = config.admission.deadline;
     if (!deadline.is_zero()) {
@@ -548,13 +608,22 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
         result.expired_samples += n;
         ++result.expired_chunks;
         record_admission(start, n, 0, n, 0);
+        rt.outcome = obs::RequestOutcome::kExpired;
+        rt.tier = static_cast<std::uint8_t>(tier);
+        rt.finalize(start);
+        if (trace != nullptr) {
+          trace->instant_at(obs::Track::kExecutor, "serve.expired", start,
+                            {{"wait_us", wait.to_seconds() * 1e6},
+                             {"deadline_us", deadline.to_seconds() * 1e6}});
+        }
+        finish_request(std::move(rt), obs::ExemplarReason::kExpired);
         return;
       }
     }
     const SimDuration budget = deadline.is_zero() ? SimDuration() : deadline - wait;
 
     ServingEndpoint::BatchOutcome outcome =
-        endpoint.infer(tier, item.data.features, start, budget);
+        endpoint.infer(tier, item.data.features, start, budget, &rt);
     const SimDuration per_sample = outcome.total * (1.0 / static_cast<double>(n));
     SimDuration chunk_end = start + outcome.total;
 
@@ -600,6 +669,7 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
       obs::ServingMonitor::Sample sample;
       sample.at = start + per_sample * static_cast<double>(j + 1);
       sample.latency = wait + per_sample;
+      sample.request_id = static_cast<std::int64_t>(item.index);
       sample.predicted = predicted;
       sample.correct = predicted == label;
       sample.margin = decision.margin();
@@ -628,14 +698,43 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
     // Host-side class-hypervector updates are real simulated work; price
     // them with the same cost machinery the trainers use. Monitoring itself
     // is never charged — attaching it cannot move the clock.
+    SimDuration update_cost;
     if (config.online_updates) {
       const double update_fraction =
           n == 0 ? 0.0 : static_cast<double>(host_errors) / static_cast<double>(n);
-      chunk_end += framework.cost_model().update_phase(
+      update_cost = framework.cost_model().update_phase(
           n, config.learner.dim, spec.classes, 1, update_fraction,
           framework.config().host);
+      chunk_end += update_cost;
     }
     now = chunk_end;
+
+    if (!update_cost.is_zero()) {
+      rt.append(obs::Stage::kUpdate, update_cost);
+      if (trace != nullptr) {
+        trace->span_at(obs::Track::kHost, "serve.online_update", now - update_cost,
+                       update_cost, {{"samples", n}});
+      }
+    }
+    rt.outcome = obs::RequestOutcome::kServed;
+    rt.tier = static_cast<std::uint8_t>(tier);
+    rt.faulty = outcome.report.circuit_opened || outcome.report.cpu_samples > 0 ||
+                outcome.report.device_stats.invoke_retries > 0;
+    rt.finalize(now);
+    monitor->record_attribution(now, rt.attribution);
+
+    // Tail-based retention: keep the full chain only when this request left
+    // the full tier (or spilled samples to the host) or its per-sample
+    // latency reaches the windowed p99 at its own completion time. The
+    // slowest request in any window always qualifies, so alarm exemplar ids
+    // resolve to retained chains (barring later eviction under the bound).
+    std::optional<obs::ExemplarReason> reason;
+    if (tier != ServeTier::kFull || outcome.report.cpu_samples > 0) {
+      reason = obs::ExemplarReason::kTierFallback;
+    } else if (wait + per_sample >= monitor->latency_quantile(now, 0.99)) {
+      reason = obs::ExemplarReason::kTailLatency;
+    }
+    finish_request(std::move(rt), reason);
 
     auto& tier_stats = result.tiers[static_cast<std::size_t>(tier)];
     tier_stats.samples += n;
@@ -735,6 +834,18 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
             result.shed_samples += chunk.num_samples();
             ++result.shed_chunks;
             record_admission(arrival, chunk.num_samples(), chunk.num_samples(), 0, 0);
+            obs::RequestTrace rt;
+            rt.begin(index, arrival);
+            rt.samples = chunk.num_samples();
+            rt.outcome = obs::RequestOutcome::kShed;
+            rt.finalize(arrival);  // refused on arrival: zero latency
+            if (trace != nullptr) {
+              trace->begin_request(index);
+              trace->instant_at(obs::Track::kExecutor, "serve.shed", arrival,
+                                {{"policy", "reject_newest"},
+                                 {"queue_depth", queue.size()}});
+            }
+            finish_request(std::move(rt), obs::ExemplarReason::kShed);
             continue;  // the arriving chunk is refused
           }
           // kDropOldest: the stalest queued chunk makes room.
@@ -744,6 +855,22 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
           ++result.shed_chunks;
           record_admission(arrival, dropped.data.num_samples(),
                            dropped.data.num_samples(), 0, 0);
+          obs::RequestTrace rt;
+          rt.begin(dropped.index, dropped.arrival);
+          rt.samples = dropped.data.num_samples();
+          rt.outcome = obs::RequestOutcome::kShed;
+          if (arrival > dropped.arrival) {
+            // Time the victim sat queued before being dropped.
+            rt.append(obs::Stage::kQueueWait, arrival - dropped.arrival);
+          }
+          rt.finalize(arrival);
+          if (trace != nullptr) {
+            trace->begin_request(dropped.index);
+            trace->instant_at(obs::Track::kExecutor, "serve.shed", arrival,
+                              {{"policy", "drop_oldest"},
+                               {"queue_depth", queue.size()}});
+          }
+          finish_request(std::move(rt), obs::ExemplarReason::kShed);
         }
         queue.push_back(PendingChunk{index, arrival, std::move(chunk)});
       } else {
@@ -805,11 +932,36 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
     ++result.checkpoints_written;
   }
 
+  result.exemplar_records.assign(exemplar_store.exemplars().begin(),
+                                 exemplar_store.exemplars().end());
+  result.exemplar_bytes = exemplar_store.approx_bytes();
+  result.exemplar_bytes_peak = exemplar_store.peak_bytes();
+  result.exemplars_evicted = exemplar_store.evicted();
+  if (trace != nullptr) {
+    result.trace_events = trace->size();
+    result.trace_dropped = trace->dropped();
+  }
+  std::string exemplar_path = config.exemplar_path;
+  if (exemplar_path.empty() && !config.snapshot_dir.empty()) {
+    exemplar_path =
+        (std::filesystem::path(config.snapshot_dir) / "exemplars.jsonl").string();
+  }
+  if (!exemplar_path.empty()) {
+    write_text_file(exemplar_path, exemplar_store.to_jsonl());
+  }
+
   log_clock = now.to_seconds();
   HDC_LOG_INFO << "serve: " << result.samples_served << " samples over "
                << result.t_end.to_string() << " simulated, lifetime accuracy "
                << result.lifetime_accuracy << ", final device health "
-               << health_name(result.final_health);
+               << health_name(result.final_health) << ", "
+               << result.requests_traced << " requests traced, "
+               << result.exemplar_records.size() << " exemplars ("
+               << result.exemplar_bytes << " bytes, peak "
+               << result.exemplar_bytes_peak << ")"
+               << (result.trace_dropped > 0
+                       ? ", trace events dropped: " + std::to_string(result.trace_dropped)
+                       : std::string());
   return result;
 }
 

@@ -87,6 +87,17 @@ struct ServeConfig {
   /// and at the end of the run. Empty = disabled.
   std::string prometheus_path;
 
+  // ---- per-request tracing (strictly observational, like the monitor) ----
+  /// Bounds for tail-based exemplar capture: full span chains are kept only
+  /// for requests that are shed, expired, served off the full tier, or land
+  /// at/above the windowed p99 — under this hard memory bound. Not part of
+  /// the checkpoint fingerprint (exemplars restart cold on resume, like the
+  /// monitor).
+  obs::ExemplarConfig exemplars;
+  /// Retained exemplar chains as `hdc-request-trace-v1` JSONL. Empty = write
+  /// `<snapshot_dir>/exemplars.jsonl` when a snapshot dir is set, else skip.
+  std::string exemplar_path;
+
   /// Effective reduced-tier dimension after the auto rule.
   std::uint32_t effective_reduced_dim() const;
 
@@ -150,6 +161,25 @@ struct ServeResult {
   std::uint64_t quarantines = 0;
   std::uint64_t probes = 0;
   std::uint32_t checkpoints_written = 0;
+
+  // ---- per-request causal tracing & latency attribution -------------------
+  /// Every offered request's causal chain (served, shed and expired alike),
+  /// in offered order. On resume this holds only the post-resume requests
+  /// (like the monitor, request records restart cold); the attribution
+  /// accumulators below are checkpointed and cover the whole session.
+  std::vector<obs::RequestTrace> requests;
+  /// Stage-grouped durations summed over the whole session (checkpointed).
+  obs::RequestAttribution attribution_total;
+  std::uint64_t requests_traced = 0;
+  /// Retained tail-based exemplars, bounded by `ServeConfig::exemplars`.
+  std::vector<obs::RequestExemplar> exemplar_records;
+  std::size_t exemplar_bytes = 0;       ///< retained-chain footprint at the end
+  std::size_t exemplar_bytes_peak = 0;  ///< peak footprint (never exceeds the bound)
+  std::uint64_t exemplars_evicted = 0;
+  /// TraceContext accounting when the framework has a tracer attached
+  /// (`--trace`): events recorded / dropped at the event cap.
+  std::size_t trace_events = 0;
+  std::size_t trace_dropped = 0;
 };
 
 /// Runs the serving session to completion. Deterministic: a fixed

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -18,6 +20,8 @@
 #include "common/error.hpp"
 #include "common/sim_time.hpp"
 #include "data/synthetic.hpp"
+#include "obs/request_trace.hpp"
+#include "obs/trace.hpp"
 #include "runtime/framework.hpp"
 #include "runtime/health.hpp"
 #include "runtime/serve.hpp"
@@ -482,6 +486,219 @@ TEST(ServeCheckpointTest, ResumeRejectsMismatchedConfigAndCorruptBytes) {
     FAIL() << "expected a checksum failure";
   } catch (const Error& error) {
     EXPECT_NE(std::string(error.what()).find("checksum"), std::string::npos);
+  }
+
+  fs::remove_all(dir);
+}
+
+// -------------------------- per-request tracing / latency attribution ----
+
+/// The acceptance scenario: sustained 2x overload *and* a detach window, so
+/// one run exercises every request path — served on the full tier, served
+/// degraded, host fallback, shed, and deadline-expired.
+ServeConfig overloaded_faulty_config(const CoDesignFramework& framework) {
+  ServeConfig base = serve_config();
+  const ServeResult reference = serve(framework, base);
+  const SimDuration mean_chunk =
+      reference.t_end * (1.0 / static_cast<double>(base.serve_chunks));
+
+  ServeConfig config = recovery_config();
+  config.admission.offered_load = 2.0;
+  config.admission.queue_capacity = 3;
+  config.admission.deadline = mean_chunk * 1.5;
+  return config;
+}
+
+TEST(ServeTraceTest, AttributionSumsExactlyToLatencyOnEveryPath) {
+  const CoDesignFramework framework;
+  const ServeConfig config = overloaded_faulty_config(framework);
+  const ServeResult result = serve(framework, config);
+
+  // Every offered chunk — served, shed or expired — produced a request record.
+  ASSERT_EQ(result.requests.size(), config.serve_chunks);
+  EXPECT_EQ(result.requests_traced, config.serve_chunks);
+
+  bool served = false, shed = false, expired = false;
+  bool degraded = false, faulty = false;
+  obs::RequestAttribution recomputed;
+  for (const auto& request : result.requests) {
+    // The invariant under test: stage durations sum *bit-exactly* (not
+    // approximately) to the measured end-to-end latency, on every path.
+    EXPECT_EQ(request.attribution.total(), request.latency())
+        << "request " << request.request_id;
+    EXPECT_GE(request.end, request.arrival);
+    switch (request.outcome) {
+      case obs::RequestOutcome::kServed:
+        served = true;
+        degraded = degraded || request.tier != 0;
+        break;
+      case obs::RequestOutcome::kShed:
+        shed = true;
+        break;
+      case obs::RequestOutcome::kExpired:
+        expired = true;
+        break;
+    }
+    faulty = faulty || request.faulty;
+    recomputed += request.attribution;
+  }
+  EXPECT_TRUE(served);
+  EXPECT_TRUE(shed);
+  EXPECT_TRUE(expired);
+  EXPECT_TRUE(degraded);
+  EXPECT_TRUE(faulty);
+
+  // The session-wide accumulator (the one that gets checkpointed) is exactly
+  // the per-request sum.
+  for (std::size_t i = 0; i < obs::kNumStages; ++i) {
+    EXPECT_EQ(result.attribution_total.stages[i], recomputed.stages[i])
+        << obs::stage_name(static_cast<obs::Stage>(i));
+  }
+}
+
+TEST(ServeTraceTest, ExemplarsStayBoundedAndAlarmExemplarsResolve) {
+  const CoDesignFramework framework;
+  const ServeConfig config = overloaded_faulty_config(framework);
+  const ServeResult result = serve(framework, config);
+
+  // The overloaded faulty run retains exemplars, and their peak footprint
+  // honors the configured hard bound.
+  ASSERT_FALSE(result.exemplar_records.empty());
+  EXPECT_LE(result.exemplar_bytes, result.exemplar_bytes_peak);
+  EXPECT_LE(result.exemplar_bytes_peak, config.exemplars.max_bytes);
+
+  // At least one alarm edge carries an exemplar request id, and every id any
+  // alarm carries resolves to a retained full span chain.
+  ASSERT_FALSE(result.events.empty());
+  bool resolved_any = false;
+  for (const auto& event : result.events) {
+    if (event.exemplar_request_id < 0) {
+      continue;
+    }
+    bool found = false;
+    for (const auto& exemplar : result.exemplar_records) {
+      found = found || exemplar.trace.request_id ==
+                           static_cast<std::uint64_t>(event.exemplar_request_id);
+    }
+    EXPECT_TRUE(found) << "alarm '" << event.alarm << "' exemplar "
+                       << event.exemplar_request_id << " not retained";
+    resolved_any = true;
+  }
+  EXPECT_TRUE(resolved_any);
+
+  // A tight bound forces deterministic eviction, still never exceeds the cap,
+  // and — exemplars being strictly observational — cannot change the run.
+  ServeConfig tight = config;
+  tight.exemplars.max_bytes = 1024;
+  const ServeResult bounded = serve(framework, tight);
+  EXPECT_LE(bounded.exemplar_bytes_peak, tight.exemplars.max_bytes);
+  EXPECT_GT(bounded.exemplars_evicted, 0U);
+  EXPECT_EQ(bounded.predictions, result.predictions);
+  EXPECT_EQ(bounded.t_end, result.t_end);
+}
+
+TEST(ServeCheckpointTest, ResumedTraceMatchesUninterruptedRunsSpans) {
+  const fs::path dir = fs::temp_directory_path() / "hdc_serve_trace_ckpt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  ServeConfig full = recovery_config();
+  full.checkpoint_path = (dir / "full.ck").string();
+  full.checkpoint_every_chunks = 6;
+  obs::TraceContext full_trace;
+  CoDesignFramework full_framework;
+  full_framework.set_trace(&full_trace);
+  const ServeResult uninterrupted = serve(full_framework, full);
+
+  ServeConfig resumed_config = recovery_config();
+  resumed_config.resume_from = (dir / "full.ck.0006").string();
+  obs::TraceContext resumed_trace;
+  CoDesignFramework resumed_framework;
+  resumed_framework.set_trace(&resumed_trace);
+  const ServeResult resumed = serve(resumed_framework, resumed_config);
+  EXPECT_EQ(resumed.predictions, uninterrupted.predictions);
+
+  // The requests the resumed session processed (the post-resume suffix).
+  std::set<std::int64_t> resumed_ids;
+  for (const auto& event : resumed_trace.events()) {
+    if (event.request_id >= 0) {
+      resumed_ids.insert(event.request_id);
+    }
+  }
+  ASSERT_FALSE(resumed_ids.empty());
+
+  // Their request-scoped span subsequence must be identical to the
+  // uninterrupted run's — same names, tracks, absolute simulated start times
+  // and durations, in the same order.
+  const auto request_events = [&resumed_ids](const obs::TraceContext& trace) {
+    std::vector<const obs::TraceEvent*> out;
+    for (const auto& event : trace.events()) {
+      if (event.request_id >= 0 && resumed_ids.count(event.request_id) > 0) {
+        out.push_back(&event);
+      }
+    }
+    return out;
+  };
+  const auto full_events = request_events(full_trace);
+  const auto resumed_events = request_events(resumed_trace);
+  if (full_events.size() != resumed_events.size()) {
+    std::map<std::int64_t, int> full_counts, resumed_counts;
+    for (const auto* e : full_events) ++full_counts[e->request_id];
+    for (const auto* e : resumed_events) ++resumed_counts[e->request_id];
+    for (const auto& [id, n] : resumed_counts) {
+      if (full_counts[id] != n) {
+        std::fprintf(stderr, "id %lld: full=%d resumed=%d\n",
+                     static_cast<long long>(id), full_counts[id], n);
+        for (const auto* e : full_events)
+          if (e->request_id == id)
+            std::fprintf(stderr, "  full: %s @%g dur=%g\n", e->name.c_str(),
+                         e->start.to_seconds(), e->duration.to_seconds());
+        for (const auto* e : resumed_events)
+          if (e->request_id == id)
+            std::fprintf(stderr, "  resumed: %s @%g dur=%g\n", e->name.c_str(),
+                         e->start.to_seconds(), e->duration.to_seconds());
+      }
+    }
+  }
+  ASSERT_EQ(full_events.size(), resumed_events.size());
+  for (std::size_t i = 0; i < full_events.size(); ++i) {
+    EXPECT_EQ(full_events[i]->name, resumed_events[i]->name) << "event " << i;
+    EXPECT_EQ(full_events[i]->track, resumed_events[i]->track) << "event " << i;
+    EXPECT_EQ(full_events[i]->start, resumed_events[i]->start) << "event " << i;
+    EXPECT_EQ(full_events[i]->duration, resumed_events[i]->duration)
+        << "event " << i;
+    EXPECT_EQ(full_events[i]->request_id, resumed_events[i]->request_id)
+        << "event " << i;
+  }
+
+  // The request records agree span-for-span too.
+  ASSERT_FALSE(resumed.requests.empty());
+  std::map<std::uint64_t, const obs::RequestTrace*> full_by_id;
+  for (const auto& request : uninterrupted.requests) {
+    full_by_id[request.request_id] = &request;
+  }
+  for (const auto& request : resumed.requests) {
+    const auto it = full_by_id.find(request.request_id);
+    ASSERT_NE(it, full_by_id.end()) << "request " << request.request_id;
+    const obs::RequestTrace& reference = *it->second;
+    EXPECT_EQ(request.outcome, reference.outcome);
+    EXPECT_EQ(request.arrival, reference.arrival);
+    EXPECT_EQ(request.end, reference.end);
+    ASSERT_EQ(request.spans.size(), reference.spans.size());
+    for (std::size_t i = 0; i < request.spans.size(); ++i) {
+      EXPECT_EQ(request.spans[i].stage, reference.spans[i].stage);
+      EXPECT_EQ(request.spans[i].start, reference.spans[i].start);
+      EXPECT_EQ(request.spans[i].duration, reference.spans[i].duration);
+    }
+  }
+
+  // The checkpointed attribution accumulators cover the whole session: the
+  // resumed run restores the pre-cut sums and lands on the same totals.
+  EXPECT_EQ(resumed.requests_traced, uninterrupted.requests_traced);
+  for (std::size_t i = 0; i < obs::kNumStages; ++i) {
+    EXPECT_EQ(resumed.attribution_total.stages[i],
+              uninterrupted.attribution_total.stages[i])
+        << obs::stage_name(static_cast<obs::Stage>(i));
   }
 
   fs::remove_all(dir);

@@ -271,6 +271,77 @@ TEST(ServingMonitorTest, SnapshotJsonIsWellFormedAndStable) {
   EXPECT_NE(prom.find("# TYPE hdc_serve_samples_total counter"), std::string::npos);
 }
 
+TEST(ServingMonitorTest, AttributionAggregatesIntoSnapshotAndExporters) {
+  ServingMonitor monitor(monitor_config());
+  obs::RequestAttribution attribution;
+  attribution[obs::Stage::kQueueWait] = SimDuration::millis(1);
+  attribution[obs::Stage::kDevice] = SimDuration::millis(2);
+  attribution[obs::Stage::kHost] = SimDuration::millis(1);
+  for (int i = 0; i < 4; ++i) {
+    ServingMonitor::Sample s = sample_at(0.1 + 0.01 * i, 0, true);
+    s.request_id = i;
+    monitor.record(s);
+    monitor.record_attribution(s.at, attribution);
+  }
+
+  const SimDuration now = SimDuration::seconds(0.2);
+  MonitorSnapshot snap = monitor.snapshot(now);
+  EXPECT_DOUBLE_EQ(snap.attribution_total_s, 4 * 0.004);
+  EXPECT_DOUBLE_EQ(
+      snap.attribution_fractions[static_cast<std::size_t>(obs::Stage::kQueueWait)], 0.25);
+  EXPECT_DOUBLE_EQ(
+      snap.attribution_fractions[static_cast<std::size_t>(obs::Stage::kDevice)], 0.5);
+  EXPECT_DOUBLE_EQ(
+      snap.attribution_fractions[static_cast<std::size_t>(obs::Stage::kHost)], 0.25);
+  double fraction_sum = 0.0;
+  for (const double fraction : snap.attribution_fractions) {
+    fraction_sum += fraction;
+  }
+  EXPECT_DOUBLE_EQ(fraction_sum, 1.0);
+
+  // All four samples share one latency, so "slowest in window" is the
+  // earliest recorded — a deterministic tie-break the exemplar id inherits.
+  EXPECT_EQ(snap.exemplar_request_id, monitor.slowest_request_id(now));
+  EXPECT_GE(snap.exemplar_request_id, 0);
+
+  // Both exporters carry the attribution waterfall and the exemplar id.
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"attribution\""), std::string::npos);
+  EXPECT_NE(json.find("\"attribution.queue_wait_fraction\""), std::string::npos);
+  EXPECT_NE(json.find("\"exemplar_request_id\""), std::string::npos);
+  const std::string prom = snap.to_prometheus();
+  EXPECT_NE(prom.find("hdc_serve_attribution_fraction{stage=\"device\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("hdc_serve_exemplar_request_id"), std::string::npos);
+}
+
+TEST(ServingMonitorTest, AlarmEdgesCarryTheSlowestRequestAsExemplar) {
+  MonitorConfig cfg = monitor_config();
+  cfg.slo_error_budget = 0.1;
+  ServingMonitor monitor(cfg);
+  // Samples 5..7 blow the SLO (3/8 over a 10% budget = burn 3.75, past the
+  // 2.0 alarm threshold) with sample 6 the slowest; the latency alarm's edge
+  // must point at it so the operator can pull its full span chain.
+  for (int i = 0; i < 8; ++i) {
+    double latency_s = 0.0005;
+    if (i == 5) latency_s = 0.002;
+    if (i == 6) latency_s = 0.004;
+    if (i == 7) latency_s = 0.003;
+    ServingMonitor::Sample s = sample_at(0.1 + 0.01 * i, 0, true, latency_s);
+    s.request_id = 100 + i;
+    monitor.record(s);
+  }
+  ASSERT_TRUE(monitor.alarm_firing("latency_slo"));
+  bool saw_fire = false;
+  for (const auto& event : monitor.events()) {
+    if (event.alarm == "latency_slo" && event.fired) {
+      saw_fire = true;
+      EXPECT_EQ(event.exemplar_request_id, 106);
+    }
+  }
+  EXPECT_TRUE(saw_fire);
+}
+
 TEST(ServingMonitorTest, ShedRateAlarmFiresOnAdmissionShedding) {
   MonitorConfig cfg = monitor_config();
   cfg.alarm_shed_rate = 0.5;
@@ -524,7 +595,9 @@ TEST(ServeTest, SnapshotsAreByteIdenticalAcrossRuns) {
     names.push_back(entry.path().filename().string());
   }
   std::sort(names.begin(), names.end());
-  ASSERT_EQ(names.size(), 3U);  // 2 interval snapshots + final
+  // 2 interval snapshots + final + exemplars.jsonl, all byte-identical.
+  ASSERT_EQ(names.size(), 4U);
+  EXPECT_NE(std::find(names.begin(), names.end(), "exemplars.jsonl"), names.end());
   for (const auto& name : names) {
     const std::string a = read_file(dir_a / name);
     const std::string b = read_file(dir_b / name);

@@ -18,10 +18,13 @@
 #include <string>
 #include <vector>
 
+#include "../tools/json_min.hpp"
+#include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "data/synthetic.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/request_trace.hpp"
 #include "obs/trace.hpp"
 #include "runtime/framework.hpp"
 #include "runtime/report.hpp"
@@ -294,6 +297,198 @@ TEST(TraceContextTest, JsonStringEscaping) {
     }
   }
   EXPECT_TRUE(found);
+}
+
+TEST(TraceContextTest, RequestScopeStampsEventsAndExportsReqArg) {
+  obs::TraceContext trace;
+  trace.span(obs::Track::kHost, "outside.before", SimDuration::micros(1));
+  trace.begin_request(7);
+  trace.span(obs::Track::kDevice, "inside.compute", SimDuration::micros(2));
+  trace.instant(obs::Track::kExecutor, "inside.mark");
+  trace.end_request();
+  trace.span(obs::Track::kHost, "outside.after", SimDuration::micros(1));
+
+  ASSERT_EQ(trace.events().size(), 4u);
+  EXPECT_EQ(trace.events()[0].request_id, -1);
+  EXPECT_EQ(trace.events()[1].request_id, 7);
+  EXPECT_EQ(trace.events()[2].request_id, 7);
+  EXPECT_EQ(trace.events()[3].request_id, -1);
+  EXPECT_EQ(trace.active_request(), -1);
+
+  // The export stamps a "req" arg on exactly the scoped events, so request
+  // chains can be reassembled from the Chrome trace (hdc_traceq does).
+  Json doc = JsonParser(trace.chrome_trace_json()).parse();
+  int with_req = 0, without_req = 0;
+  for (const auto& event : doc.at("traceEvents").array) {
+    const std::string& ph = event.at("ph").string;
+    if (ph != "X" && ph != "i") {
+      continue;
+    }
+    if (event.has("args") && event.at("args").has("req")) {
+      ++with_req;
+      EXPECT_EQ(event.at("args").at("req").number, 7.0);
+    } else {
+      ++without_req;
+    }
+  }
+  EXPECT_EQ(with_req, 2);
+  EXPECT_EQ(without_req, 2);
+}
+
+TEST(TraceContextTest, EventCapWarnsOnceInsteadOfSilentlyDropping) {
+  const std::filesystem::path sink =
+      std::filesystem::temp_directory_path() / "hdc_trace_drop_warn.jsonl";
+  std::filesystem::remove(sink);
+  log::set_json_sink(sink.string());
+
+  obs::TraceConfig config;
+  config.max_events = 1;
+  obs::TraceContext trace(config);
+  for (int i = 0; i < 4; ++i) {
+    trace.span(obs::Track::kHost, "s", SimDuration::micros(1));
+  }
+  log::close_json_sink();
+  EXPECT_EQ(trace.dropped(), 3u);
+
+  // Exactly one warning for the whole run — the first drop announces the
+  // truncation (with the remedy), the rest stay quiet.
+  std::ifstream in(sink);
+  std::string line;
+  int cap_warnings = 0;
+  while (std::getline(in, line)) {
+    if (line.find("event cap") != std::string::npos) {
+      ++cap_warnings;
+    }
+  }
+  EXPECT_EQ(cap_warnings, 1);
+  std::filesystem::remove(sink);
+}
+
+TEST(TraceContextTest, HostileNamesRoundTripThroughToolsParser) {
+  // The adversarial case: quotes, backslashes, raw control bytes, UTF-8,
+  // and text that *looks* like an escape. Round-trip through the same
+  // parser the offline tools use (tools/json_min.hpp), not the exporter's
+  // own inverse, so both sides of the contract are exercised.
+  const std::string hostile =
+      "\"quoted\" back\\slash\nnewline\rret\ttab \x01\x1f ctrl "
+      "\xE2\x9C\x93 utf8 literal \\u0041 not-an-escape";
+  obs::TraceContext trace;
+  trace.begin_request(3);
+  trace.span(obs::Track::kLink, hostile, SimDuration::micros(5),
+             {{hostile, hostile}});
+  trace.end_request();
+
+  const std::optional<tools::Json> doc =
+      tools::JsonParser(trace.chrome_trace_json()).parse();
+  ASSERT_TRUE(doc.has_value());
+  bool found = false;
+  for (const auto& event : doc->at("traceEvents").array) {
+    if (event.at("ph").string != "X") {
+      continue;
+    }
+    found = true;
+    EXPECT_EQ(event.at("name").string, hostile);
+    EXPECT_EQ(event.at("args").at(hostile).string, hostile);
+    EXPECT_EQ(event.at("args").at("req").number, 3.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Request traces and the exemplar store
+// ---------------------------------------------------------------------------
+
+TEST(RequestTraceTest, FinalizeMakesStagesSumExactlyToLatency) {
+  obs::RequestTrace request;
+  request.begin(42, SimDuration::seconds(0.1));
+  // Awkward magnitudes on purpose: thirds and sevenths accumulate rounding
+  // that a naive "sum whatever order" would expose as a ULP mismatch.
+  request.append(obs::Stage::kQueueWait, SimDuration::seconds(1e-3 / 3.0));
+  request.append(obs::Stage::kTransfer, SimDuration::seconds(7e-7 / 3.0));
+  for (std::uint32_t i = 0; i < 48; ++i) {
+    request.append(obs::Stage::kDevice, SimDuration::seconds(2.29167e-6), i);
+    request.append(obs::Stage::kHost, SimDuration::seconds(3.2e-8 / 7.0), i);
+  }
+  request.append(obs::Stage::kUpdate, SimDuration::seconds(4.6064e-5));
+  // End strictly past the cursor: the slack lands in kOther.
+  request.finalize(request.cursor + SimDuration::seconds(1e-9));
+
+  EXPECT_EQ(request.attribution.total(), request.latency());
+  EXPECT_GT(request.attribution[obs::Stage::kOther].to_seconds(), 0.0);
+
+  // The JSONL record re-verifies downstream: %.17g survives the round trip,
+  // so the parsed stage values still sum exactly to the parsed latency when
+  // replayed in the canonical stage order.
+  const std::optional<tools::Json> doc =
+      tools::JsonParser(obs::request_trace_json(request, "tail_latency")).parse();
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->str_or("schema", ""), "hdc-request-trace-v1");
+  EXPECT_EQ(doc->num_or("request_id", -1.0), 42.0);
+  const tools::Json& attribution = doc->at("attribution");
+  double replayed = 0.0;
+  for (std::size_t i = 0; i < obs::kNumStages; ++i) {
+    replayed += attribution.num_or(obs::stage_name(static_cast<obs::Stage>(i)), 0.0);
+  }
+  EXPECT_EQ(replayed, doc->num_or("latency_s", -1.0));
+}
+
+TEST(ExemplarStoreTest, EnforcesByteBoundAndPerReasonCap) {
+  obs::RequestTrace chain;
+  chain.begin(0, SimDuration());
+  chain.append(obs::Stage::kDevice, SimDuration::micros(1));
+  chain.finalize(chain.cursor);
+  const std::size_t chain_bytes = chain.approx_bytes();
+
+  obs::ExemplarConfig config;
+  config.max_bytes = chain_bytes * 3 + chain_bytes / 2;  // room for 3 chains
+  config.max_per_reason = 2;
+  obs::ExemplarStore store(config);
+
+  const auto offer = [&](std::uint64_t id, obs::ExemplarReason reason) {
+    obs::RequestTrace copy = chain;
+    copy.request_id = id;
+    const bool stored = store.offer(reason, std::move(copy));
+    // The hard bound holds after every single offer, not just at the end.
+    EXPECT_LE(store.approx_bytes(), config.max_bytes);
+    EXPECT_LE(store.peak_bytes(), config.max_bytes);
+    return stored;
+  };
+
+  EXPECT_TRUE(offer(1, obs::ExemplarReason::kTailLatency));
+  EXPECT_TRUE(offer(2, obs::ExemplarReason::kTailLatency));
+  // Per-reason cap: the oldest tail exemplar makes room for the newest.
+  EXPECT_TRUE(offer(3, obs::ExemplarReason::kTailLatency));
+  EXPECT_EQ(store.find(1), nullptr);
+  EXPECT_NE(store.find(2), nullptr);
+  EXPECT_NE(store.find(3), nullptr);
+  EXPECT_EQ(store.evicted(), 1u);
+
+  // Byte bound: a fourth chain of a different reason evicts the global
+  // oldest until it fits.
+  EXPECT_TRUE(offer(4, obs::ExemplarReason::kShed));
+  EXPECT_TRUE(offer(5, obs::ExemplarReason::kShed));
+  EXPECT_EQ(store.find(2), nullptr);
+  EXPECT_EQ(store.retained(), 3u);
+  EXPECT_EQ(store.offered(), 5u);
+
+  // A chain that cannot fit even into an empty store is refused whole.
+  obs::RequestTrace oversized = chain;
+  oversized.request_id = 6;
+  oversized.spans.resize(config.max_bytes / sizeof(obs::StageSpan) + 1);
+  EXPECT_FALSE(store.offer(obs::ExemplarReason::kExpired, std::move(oversized)));
+  EXPECT_EQ(store.find(6), nullptr);
+
+  // The JSONL export has one parseable record per retained exemplar.
+  std::istringstream lines(store.to_jsonl());
+  std::string line;
+  std::size_t records = 0;
+  while (std::getline(lines, line)) {
+    const std::optional<tools::Json> doc = tools::JsonParser(line).parse();
+    ASSERT_TRUE(doc.has_value()) << line;
+    EXPECT_EQ(doc->str_or("schema", ""), "hdc-request-trace-v1");
+    ++records;
+  }
+  EXPECT_EQ(records, store.retained());
 }
 
 TEST(TraceContextTest, TrackNamesAreDistinct) {

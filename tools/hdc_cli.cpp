@@ -18,7 +18,9 @@
 //             [--fault-profile spec] [--window-span S] [--slo-ms MS]
 //             [--alarm-drift F] [--alarm-error F] [--alarm-burn F]
 //             [--snapshot-dir DIR] [--snapshot-every N] [--prom FILE]
-//             [--log-json FILE]
+//             [--log-json FILE] [--trace FILE] [--exemplars FILE]
+//   hdc trace analyze <trace.json|exemplars.jsonl> [--top N] [--req ID]
+//             [--assert-attribution]
 //
 // `hdc serve` pumps a synthetic drift stream (one of the Table-I presets)
 // through the fault-tolerant TPU inference path with prequential evaluation
@@ -68,6 +70,7 @@
 #include "runtime/framework.hpp"
 #include "runtime/serve.hpp"
 #include "tpu/compiler.hpp"
+#include "traceq_lib.hpp"
 
 namespace {
 
@@ -436,7 +439,9 @@ int cmd_serve(int argc, char** argv) {
                  "           [--probe-interval-us US] [--reduced-dim N]\n"
                  "           [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n"
                  "           [--snapshot-dir DIR] [--snapshot-every N] [--prom FILE]\n"
-                 "           [--log-json FILE]\n");
+                 "           [--log-json FILE] [--trace FILE] [--trace-cap N]\n"
+                 "           [--metrics FILE] [--profile FILE]\n"
+                 "           [--exemplars FILE] [--exemplar-bytes N]\n");
     return 2;
   }
 
@@ -537,6 +542,16 @@ int cmd_serve(int argc, char** argv) {
       static_cast<std::uint32_t>(std::atoi(arg_value(argc, argv, "--snapshot-every", "0")));
   config.prometheus_path = arg_value(argc, argv, "--prom", "");
 
+  config.exemplar_path = arg_value(argc, argv, "--exemplars", "");
+  const char* exemplar_bytes = arg_value(argc, argv, "--exemplar-bytes", nullptr);
+  if (exemplar_bytes != nullptr) {
+    std::uint64_t bytes = 0;
+    HDC_CHECK(parse_u64_strict(exemplar_bytes, &bytes) && bytes > 0,
+              "--exemplar-bytes must be a positive byte budget for retained "
+              "exemplar span chains");
+    config.exemplars.max_bytes = static_cast<std::size_t>(bytes);
+  }
+
   const char* log_json = arg_value(argc, argv, "--log-json", nullptr);
   if (log_json != nullptr) {
     const auto parent = std::filesystem::path(log_json).parent_path();
@@ -546,7 +561,9 @@ int cmd_serve(int argc, char** argv) {
     log::set_json_sink(log_json);
   }
 
-  const runtime::CoDesignFramework framework;
+  const TraceSession session(argc, argv);
+  runtime::CoDesignFramework framework;
+  framework.set_trace(session.trace());
   std::printf("serving %s: %u warmup + %u serve chunks of %u samples (d=%u%s)\n",
               config.stream.spec.name.c_str(), config.warmup_chunks, config.serve_chunks,
               config.stream.chunk_size, config.learner.dim,
@@ -602,6 +619,38 @@ int cmd_serve(int argc, char** argv) {
               runtime::health_name(result.final_health),
               static_cast<unsigned long long>(result.quarantines),
               static_cast<unsigned long long>(result.probes));
+  if (result.requests_traced > 0) {
+    std::printf("latency attribution over %llu requests:",
+                static_cast<unsigned long long>(result.requests_traced));
+    for (std::size_t s = 0; s < obs::kNumStages; ++s) {
+      const auto stage = static_cast<obs::Stage>(s);
+      std::printf(" %s %.1f%%", obs::stage_name(stage),
+                  100.0 * result.attribution_total.fraction(stage));
+    }
+    std::printf("\n");
+  }
+  std::printf("exemplars: %zu retained (%zu bytes, peak %zu), %llu evicted",
+              result.exemplar_records.size(), result.exemplar_bytes,
+              result.exemplar_bytes_peak,
+              static_cast<unsigned long long>(result.exemplars_evicted));
+  {
+    std::string exemplar_out = config.exemplar_path;
+    if (exemplar_out.empty() && !config.snapshot_dir.empty()) {
+      exemplar_out =
+          (std::filesystem::path(config.snapshot_dir) / "exemplars.jsonl").string();
+    }
+    if (!exemplar_out.empty()) {
+      std::printf(" -> %s", exemplar_out.c_str());
+    }
+  }
+  std::printf("\n");
+  if (session.trace() != nullptr) {
+    // trace_dropped > 0 means the event cap truncated mid-serve; the same
+    // condition fires the one-time WARN and the truncation note on export.
+    std::printf("trace: %zu events recorded, %zu dropped%s\n", result.trace_events,
+                result.trace_dropped,
+                result.trace_dropped > 0 ? " (raise --trace-cap)" : "");
+  }
   if (result.checkpoints_written > 0) {
     std::printf("wrote %u serve checkpoints to %s\n", result.checkpoints_written,
                 config.checkpoint_path.c_str());
@@ -622,7 +671,19 @@ int cmd_serve(int argc, char** argv) {
     log::close_json_sink();
     std::printf("wrote JSONL log to %s\n", log_json);
   }
-  return 0;
+  return session.finish() ? 0 : 1;
+}
+
+/// `hdc trace analyze <file> [options]` — the hdc_traceq analysis inline.
+int cmd_trace(int argc, char** argv) {
+  if (argc < 3 || std::string(argv[2]) != "analyze") {
+    std::fprintf(stderr,
+                 "usage: hdc trace analyze <trace.json|exemplars.jsonl> [--top N]\n"
+                 "           [--req ID] [--assert-attribution]\n");
+    return 2;
+  }
+  const std::vector<std::string> args(argv + 3, argv + argc);
+  return tools::traceq::run(args, "hdc trace analyze");
 }
 
 int cmd_datasets() {
@@ -641,7 +702,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "hdc — hyperdimensional learning on (simulated) edge accelerators\n"
-                 "commands: train, infer, compile, describe, autotune, datasets, serve\n");
+                 "commands: train, infer, compile, describe, autotune, datasets, serve, "
+                 "trace\n");
     return 2;
   }
   try {
@@ -672,6 +734,9 @@ int main(int argc, char** argv) {
     }
     if (command == "serve") {
       return cmd_serve(argc, argv);
+    }
+    if (command == "trace") {
+      return cmd_trace(argc, argv);
     }
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return 2;

@@ -19,7 +19,6 @@
 // is reported but never gated — new benches land before their baseline does.
 
 #include <algorithm>
-#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -31,222 +30,12 @@
 #include <string>
 #include <vector>
 
+#include "json_min.hpp"
+
 namespace {
 
-// ---- minimal JSON parser (objects/arrays/strings/numbers/bools/null) ----
-
-struct Json {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<Json> array;
-  std::map<std::string, Json> object;
-
-  bool has(const std::string& key) const { return object.contains(key); }
-  const Json& at(const std::string& key) const { return object.at(key); }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  std::optional<Json> parse() {
-    skip_ws();
-    std::optional<Json> value = parse_value();
-    if (!value) {
-      return std::nullopt;
-    }
-    skip_ws();
-    if (pos_ != text_.size()) {
-      return std::nullopt;  // trailing garbage
-    }
-    return value;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  bool consume(char c) {
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool consume_literal(std::string_view literal) {
-    if (text_.substr(pos_, literal.size()) == literal) {
-      pos_ += literal.size();
-      return true;
-    }
-    return false;
-  }
-
-  std::optional<Json> parse_value() {
-    skip_ws();
-    if (pos_ >= text_.size()) {
-      return std::nullopt;
-    }
-    const char c = text_[pos_];
-    if (c == '{') {
-      return parse_object();
-    }
-    if (c == '[') {
-      return parse_array();
-    }
-    if (c == '"') {
-      return parse_string();
-    }
-    Json value;
-    if (consume_literal("null")) {
-      return value;
-    }
-    if (consume_literal("true")) {
-      value.type = Json::Type::kBool;
-      value.boolean = true;
-      return value;
-    }
-    if (consume_literal("false")) {
-      value.type = Json::Type::kBool;
-      return value;
-    }
-    return parse_number();
-  }
-
-  std::optional<Json> parse_object() {
-    if (!consume('{')) {
-      return std::nullopt;
-    }
-    Json value;
-    value.type = Json::Type::kObject;
-    skip_ws();
-    if (consume('}')) {
-      return value;
-    }
-    for (;;) {
-      skip_ws();
-      std::optional<Json> key = parse_string();
-      if (!key) {
-        return std::nullopt;
-      }
-      skip_ws();
-      if (!consume(':')) {
-        return std::nullopt;
-      }
-      std::optional<Json> member = parse_value();
-      if (!member) {
-        return std::nullopt;
-      }
-      value.object.emplace(key->string, std::move(*member));
-      skip_ws();
-      if (consume('}')) {
-        return value;
-      }
-      if (!consume(',')) {
-        return std::nullopt;
-      }
-    }
-  }
-
-  std::optional<Json> parse_array() {
-    if (!consume('[')) {
-      return std::nullopt;
-    }
-    Json value;
-    value.type = Json::Type::kArray;
-    skip_ws();
-    if (consume(']')) {
-      return value;
-    }
-    for (;;) {
-      std::optional<Json> element = parse_value();
-      if (!element) {
-        return std::nullopt;
-      }
-      value.array.push_back(std::move(*element));
-      skip_ws();
-      if (consume(']')) {
-        return value;
-      }
-      if (!consume(',')) {
-        return std::nullopt;
-      }
-    }
-  }
-
-  std::optional<Json> parse_string() {
-    if (!consume('"')) {
-      return std::nullopt;
-    }
-    Json value;
-    value.type = Json::Type::kString;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') {
-        return value;
-      }
-      if (c == '\\') {
-        if (pos_ >= text_.size()) {
-          return std::nullopt;
-        }
-        const char escaped = text_[pos_++];
-        switch (escaped) {
-          case '"': value.string.push_back('"'); break;
-          case '\\': value.string.push_back('\\'); break;
-          case '/': value.string.push_back('/'); break;
-          case 'n': value.string.push_back('\n'); break;
-          case 'r': value.string.push_back('\r'); break;
-          case 't': value.string.push_back('\t'); break;
-          case 'u':
-            if (pos_ + 4 > text_.size()) {
-              return std::nullopt;
-            }
-            pos_ += 4;  // escaped control characters are never compared here
-            value.string.push_back('?');
-            break;
-          default: return std::nullopt;
-        }
-      } else {
-        value.string.push_back(c);
-      }
-    }
-    return std::nullopt;
-  }
-
-  std::optional<Json> parse_number() {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) {
-      return std::nullopt;
-    }
-    Json value;
-    value.type = Json::Type::kNumber;
-    try {
-      value.number = std::stod(std::string(text_.substr(start, pos_ - start)));
-    } catch (...) {
-      return std::nullopt;
-    }
-    return value;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
+using hdc::tools::Json;
+using hdc::tools::JsonParser;
 
 // ---- bench JSON model ----
 

@@ -1,0 +1,25 @@
+// hdc_traceq — query tool over the simulator's trace outputs.
+//
+//   hdc_traceq <trace.json|exemplars.jsonl> [--top N] [--req ID]
+//              [--assert-attribution]
+//
+// Accepts Chrome trace-event JSON (`--trace` output; request chains are
+// reassembled from the "req" arg) and hdc-request-trace-v1 exemplar JSONL
+// (the serve loop's tail-based exemplar capture). Reports per-stage
+// aggregates with critical-path shares, top-K slowest requests as ASCII
+// waterfalls, and single-request span-chain dumps; `--assert-attribution`
+// turns the per-request exactness invariant (stage durations sum bit-exactly
+// to measured latency) into a CI check. Exit codes: 0 pass, 1 violation or
+// request not found, 2 usage/parse error.
+//
+// The same analysis is reachable as `hdc trace analyze`.
+
+#include <string>
+#include <vector>
+
+#include "traceq_lib.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return hdc::tools::traceq::run(args, "hdc_traceq");
+}
