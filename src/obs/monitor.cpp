@@ -589,6 +589,285 @@ MonitorSnapshot ServingMonitor::snapshot(SimDuration now) {
   return snap;
 }
 
+// ------------------------------------- monitor checkpoint round-trip --------
+//
+// Every number below is written raw (doubles bit-exact through ByteWriter),
+// so a restored monitor's subsequent windows, EWMAs, alarm edges and
+// snapshots are byte-identical to a monitor that was never serialized.
+
+namespace {
+
+void write_duration(ByteWriter& w, SimDuration d) { w.write<double>(d.to_seconds()); }
+SimDuration read_duration(ByteReader& r) {
+  return SimDuration::seconds(r.read<double>());
+}
+
+void write_ewma(ByteWriter& w, const Ewma& ewma) {
+  const Ewma::State state = ewma.state();
+  w.write<double>(state.value);
+  write_duration(w, state.last);
+  w.write<std::uint8_t>(state.seeded ? 1 : 0);
+}
+
+void read_ewma(ByteReader& r, Ewma& ewma) {
+  Ewma::State state;
+  state.value = r.read<double>();
+  state.last = read_duration(r);
+  state.seeded = r.read<std::uint8_t>() != 0;
+  ewma.set_state(state);
+}
+
+void write_alarm(ByteWriter& w, const ThresholdAlarm& alarm) {
+  w.write<std::uint8_t>(alarm.firing() ? 1 : 0);
+  w.write<double>(alarm.last_value());
+  w.write<std::uint64_t>(alarm.fired_total());
+}
+
+void read_alarm(ByteReader& r, ThresholdAlarm& alarm) {
+  const bool firing = r.read<std::uint8_t>() != 0;
+  const double last_value = r.read<double>();
+  const auto fired_total = r.read<std::uint64_t>();
+  alarm.restore(firing, last_value, fired_total);
+}
+
+void write_event(ByteWriter& w, const AlarmEvent& event) {
+  w.write_string(event.alarm);
+  w.write<std::uint8_t>(event.fired ? 1 : 0);
+  write_duration(w, event.at);
+  w.write<double>(event.value);
+  w.write<double>(event.threshold);
+  w.write<std::int64_t>(event.exemplar_request_id);
+}
+
+AlarmEvent read_event(ByteReader& r) {
+  AlarmEvent event;
+  event.alarm = r.read_string();
+  event.fired = r.read<std::uint8_t>() != 0;
+  event.at = read_duration(r);
+  event.value = r.read<double>();
+  event.threshold = r.read<double>();
+  event.exemplar_request_id = r.read<std::int64_t>();
+  return event;
+}
+
+void write_events(ByteWriter& w, const std::vector<AlarmEvent>& events) {
+  w.write<std::uint32_t>(static_cast<std::uint32_t>(events.size()));
+  for (const AlarmEvent& event : events) {
+    write_event(w, event);
+  }
+}
+
+std::vector<AlarmEvent> read_events(ByteReader& r) {
+  const auto count = r.read<std::uint32_t>();
+  std::vector<AlarmEvent> events;
+  events.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    events.push_back(read_event(r));
+  }
+  return events;
+}
+
+}  // namespace
+
+void SlidingCounter::serialize(ByteWriter& writer) const {
+  writer.write<std::uint64_t>(ring_.cursor());
+  writer.write_vector(ring_.slots());
+}
+
+void SlidingCounter::restore(ByteReader& reader) {
+  ring_.set_cursor(reader.read<std::uint64_t>());
+  std::vector<std::uint64_t> slots = reader.read_vector<std::uint64_t>();
+  HDC_CHECK(slots.size() == ring_.slots().size(),
+            "serialized sliding-counter window shape does not match the config");
+  ring_.slots_mutable() = std::move(slots);
+}
+
+void SlidingMean::serialize(ByteWriter& writer) const {
+  writer.write<std::uint64_t>(ring_.cursor());
+  for (const Slot& slot : ring_.slots()) {
+    writer.write<double>(slot.sum);
+    writer.write<std::uint64_t>(slot.count);
+  }
+}
+
+void SlidingMean::restore(ByteReader& reader) {
+  ring_.set_cursor(reader.read<std::uint64_t>());
+  for (Slot& slot : ring_.slots_mutable()) {
+    slot.sum = reader.read<double>();
+    slot.count = reader.read<std::uint64_t>();
+  }
+}
+
+void SlidingHistogram::serialize(ByteWriter& writer) const {
+  writer.write<std::uint64_t>(ring_.cursor());
+  for (const Slot& slot : ring_.slots()) {
+    for (const std::uint64_t bin : slot.bins) {
+      writer.write<std::uint64_t>(bin);
+    }
+    writer.write<std::uint64_t>(slot.count);
+    writer.write<double>(slot.sum_s);
+    writer.write<double>(slot.min_s);
+    writer.write<double>(slot.max_s);
+  }
+}
+
+void SlidingHistogram::restore(ByteReader& reader) {
+  ring_.set_cursor(reader.read<std::uint64_t>());
+  for (Slot& slot : ring_.slots_mutable()) {
+    for (std::uint64_t& bin : slot.bins) {
+      bin = reader.read<std::uint64_t>();
+    }
+    slot.count = reader.read<std::uint64_t>();
+    slot.sum_s = reader.read<double>();
+    slot.min_s = reader.read<double>();
+    slot.max_s = reader.read<double>();
+  }
+}
+
+void ServingMonitor::serialize(ByteWriter& writer) const {
+  // Resolved config first: deserialize reconstructs the monitor from it, so
+  // auto-sized windows/SLOs round-trip without re-deriving them.
+  writer.write<std::uint32_t>(config_.num_classes);
+  write_duration(writer, config_.window.span);
+  writer.write<std::uint64_t>(static_cast<std::uint64_t>(config_.window.buckets));
+  writer.write<double>(config_.ewma_tau_short_s);
+  writer.write<double>(config_.ewma_tau_long_s);
+  write_duration(writer, config_.slo_latency);
+  writer.write<double>(config_.slo_error_budget);
+  writer.write<double>(config_.alarm_burn_rate);
+  writer.write<double>(config_.alarm_error_rate);
+  writer.write<double>(config_.alarm_fallback_rate);
+  writer.write<double>(config_.alarm_drift_score);
+  writer.write<double>(config_.alarm_shed_rate);
+  writer.write<std::uint64_t>(config_.min_samples);
+
+  latency_.serialize(writer);
+  samples_.serialize(writer);
+  errors_.serialize(writer);
+  slo_violations_.serialize(writer);
+  transport_samples_.serialize(writer);
+  fallback_samples_.serialize(writer);
+  retries_.serialize(writer);
+  offered_.serialize(writer);
+  shed_.serialize(writer);
+  expired_.serialize(writer);
+  degraded_.serialize(writer);
+  margin_.serialize(writer);
+
+  writer.write<std::uint64_t>(class_counts_.cursor());
+  for (const std::vector<std::uint64_t>& slot : class_counts_.slots()) {
+    writer.write_vector(slot);
+  }
+  writer.write<std::uint64_t>(slowest_.cursor());
+  for (const SlowestSlot& slot : slowest_.slots()) {
+    writer.write<double>(slot.latency_s);
+    writer.write<std::int64_t>(slot.request_id);
+  }
+  writer.write<std::uint64_t>(attribution_.cursor());
+  for (const auto& slot : attribution_.slots()) {
+    for (const double stage_s : slot) {
+      writer.write<double>(stage_s);
+    }
+  }
+
+  write_ewma(writer, ewma_latency_);
+  write_ewma(writer, ewma_margin_);
+  write_ewma(writer, ewma_accuracy_);
+  write_ewma(writer, margin_reference_);
+
+  write_alarm(writer, alarm_latency_);
+  write_alarm(writer, alarm_error_);
+  write_alarm(writer, alarm_fallback_);
+  write_alarm(writer, alarm_drift_);
+  write_alarm(writer, alarm_shed_);
+  write_events(writer, events_);
+
+  writer.write<std::uint8_t>(quarantined_ ? 1 : 0);
+  write_events(writer, pending_fires_);
+  writer.write<std::uint64_t>(suppressed_fires_total_);
+  writer.write<std::uint64_t>(suppressed_this_quarantine_);
+
+  writer.write<std::uint64_t>(samples_total_);
+  writer.write<std::uint64_t>(errors_total_);
+  writer.write<std::uint64_t>(shed_total_);
+  writer.write<std::uint64_t>(expired_total_);
+  writer.write<std::uint64_t>(degraded_total_);
+}
+
+ServingMonitor ServingMonitor::deserialize(ByteReader& reader) {
+  MonitorConfig config;
+  config.num_classes = reader.read<std::uint32_t>();
+  config.window.span = read_duration(reader);
+  config.window.buckets = static_cast<std::size_t>(reader.read<std::uint64_t>());
+  config.ewma_tau_short_s = reader.read<double>();
+  config.ewma_tau_long_s = reader.read<double>();
+  config.slo_latency = read_duration(reader);
+  config.slo_error_budget = reader.read<double>();
+  config.alarm_burn_rate = reader.read<double>();
+  config.alarm_error_rate = reader.read<double>();
+  config.alarm_fallback_rate = reader.read<double>();
+  config.alarm_drift_score = reader.read<double>();
+  config.alarm_shed_rate = reader.read<double>();
+  config.min_samples = reader.read<std::uint64_t>();
+
+  ServingMonitor monitor(config);
+  monitor.latency_.restore(reader);
+  monitor.samples_.restore(reader);
+  monitor.errors_.restore(reader);
+  monitor.slo_violations_.restore(reader);
+  monitor.transport_samples_.restore(reader);
+  monitor.fallback_samples_.restore(reader);
+  monitor.retries_.restore(reader);
+  monitor.offered_.restore(reader);
+  monitor.shed_.restore(reader);
+  monitor.expired_.restore(reader);
+  monitor.degraded_.restore(reader);
+  monitor.margin_.restore(reader);
+
+  monitor.class_counts_.set_cursor(reader.read<std::uint64_t>());
+  for (std::vector<std::uint64_t>& slot : monitor.class_counts_.slots_mutable()) {
+    std::vector<std::uint64_t> counts = reader.read_vector<std::uint64_t>();
+    HDC_CHECK(counts.size() == slot.size(),
+              "serialized class-count window does not match num_classes");
+    slot = std::move(counts);
+  }
+  monitor.slowest_.set_cursor(reader.read<std::uint64_t>());
+  for (SlowestSlot& slot : monitor.slowest_.slots_mutable()) {
+    slot.latency_s = reader.read<double>();
+    slot.request_id = reader.read<std::int64_t>();
+  }
+  monitor.attribution_.set_cursor(reader.read<std::uint64_t>());
+  for (auto& slot : monitor.attribution_.slots_mutable()) {
+    for (double& stage_s : slot) {
+      stage_s = reader.read<double>();
+    }
+  }
+
+  read_ewma(reader, monitor.ewma_latency_);
+  read_ewma(reader, monitor.ewma_margin_);
+  read_ewma(reader, monitor.ewma_accuracy_);
+  read_ewma(reader, monitor.margin_reference_);
+
+  read_alarm(reader, monitor.alarm_latency_);
+  read_alarm(reader, monitor.alarm_error_);
+  read_alarm(reader, monitor.alarm_fallback_);
+  read_alarm(reader, monitor.alarm_drift_);
+  read_alarm(reader, monitor.alarm_shed_);
+  monitor.events_ = read_events(reader);
+
+  monitor.quarantined_ = reader.read<std::uint8_t>() != 0;
+  monitor.pending_fires_ = read_events(reader);
+  monitor.suppressed_fires_total_ = reader.read<std::uint64_t>();
+  monitor.suppressed_this_quarantine_ = reader.read<std::uint64_t>();
+
+  monitor.samples_total_ = reader.read<std::uint64_t>();
+  monitor.errors_total_ = reader.read<std::uint64_t>();
+  monitor.shed_total_ = reader.read<std::uint64_t>();
+  monitor.expired_total_ = reader.read<std::uint64_t>();
+  monitor.degraded_total_ = reader.read<std::uint64_t>();
+  return monitor;
+}
+
 // ------------------------------------------------------ MonitorSnapshot ----
 
 namespace {
@@ -742,9 +1021,15 @@ std::string MonitorSnapshot::to_json() const {
   append_gate_metric(out, "attribution.queue_wait_fraction",
                      attribution_fractions[static_cast<std::size_t>(Stage::kQueueWait)],
                      "fraction", "sim", "lower", true);
+  append_gate_metric(out, "attribution.batch_wait_fraction",
+                     attribution_fractions[static_cast<std::size_t>(Stage::kBatchWait)],
+                     "fraction", "sim", "lower", true);
   append_gate_metric(out, "attribution.backoff_fraction",
                      attribution_fractions[static_cast<std::size_t>(Stage::kBackoff)],
                      "fraction", "sim", "lower", true);
+  append_gate_metric(out, "attribution.swap_fraction",
+                     attribution_fractions[static_cast<std::size_t>(Stage::kSwap)],
+                     "fraction", "info", "lower", true);
   append_gate_metric(out, "attribution.host_fraction",
                      attribution_fractions[static_cast<std::size_t>(Stage::kHost)],
                      "fraction", "sim", "lower", true);

@@ -5,8 +5,10 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/byte_io.hpp"
 #include "common/sim_time.hpp"
 #include "obs/request_trace.hpp"
 
@@ -63,6 +65,13 @@ class BucketRing {
 
   const std::vector<Slot>& slots() const noexcept { return slots_; }
 
+  // ---- exact-state round-trip hooks (serve checkpoint) ----
+  std::uint64_t cursor() const noexcept { return cursor_; }
+  void set_cursor(std::uint64_t cursor) noexcept { cursor_ = cursor; }
+  /// Mutable slot access for checkpoint restore; the caller must preserve
+  /// the slot count (the window shape is part of the monitor config).
+  std::vector<Slot>& slots_mutable() noexcept { return slots_; }
+
  private:
   std::uint64_t absolute_bucket(SimDuration t) const {
     const double w = config_.bucket_width().to_seconds();
@@ -88,6 +97,9 @@ class SlidingCounter {
   /// Events per simulated second over the window span.
   double rate(SimDuration now) { return static_cast<double>(sum(now)) / span_.to_seconds(); }
 
+  void serialize(ByteWriter& writer) const;
+  void restore(ByteReader& reader);
+
  private:
   detail::BucketRing<std::uint64_t> ring_;
   SimDuration span_;
@@ -106,6 +118,9 @@ class SlidingMean {
   std::uint64_t count(SimDuration now);
   /// Windowed mean; 0 when the window is empty.
   double mean(SimDuration now);
+
+  void serialize(ByteWriter& writer) const;
+  void restore(ByteReader& reader);
 
  private:
   struct Slot {
@@ -138,6 +153,9 @@ class SlidingHistogram {
   /// observed per-window [min, max]. Zero when the window is empty.
   SimDuration quantile(SimDuration now, double q);
 
+  void serialize(ByteWriter& writer) const;
+  void restore(ByteReader& reader);
+
  private:
   struct Slot {
     std::array<std::uint64_t, kBins> bins{};
@@ -163,6 +181,20 @@ class Ewma {
   void observe(SimDuration t, double value);
   bool empty() const noexcept { return !seeded_; }
   double value() const noexcept { return value_; }
+
+  /// Exact-state round-trip (value, last observation time, seeded flag) for
+  /// the serve checkpoint; tau comes from the reconstructed config.
+  struct State {
+    double value = 0.0;
+    SimDuration last;
+    bool seeded = false;
+  };
+  State state() const noexcept { return State{value_, last_, seeded_}; }
+  void set_state(const State& state) noexcept {
+    value_ = state.value;
+    last_ = state.last;
+    seeded_ = state.seeded;
+  }
 
  private:
   double tau_s_;
@@ -202,6 +234,14 @@ class ThresholdAlarm {
   bool firing() const noexcept { return firing_; }
   double last_value() const noexcept { return last_value_; }
   std::uint64_t fired_total() const noexcept { return fired_total_; }
+
+  /// Exact-state restore (serve checkpoint); name/threshold come from the
+  /// reconstructed config.
+  void restore(bool firing, double last_value, std::uint64_t fired_total) noexcept {
+    firing_ = firing;
+    last_value_ = last_value;
+    fired_total_ = fired_total;
+  }
 
  private:
   std::string name_;
@@ -409,6 +449,14 @@ class ServingMonitor {
   std::uint64_t alarm_fired_total(std::string_view name) const;
 
   MonitorSnapshot snapshot(SimDuration now);
+
+  /// Exact-state round-trip for the serve checkpoint: resolved config, every
+  /// sliding window (rings, cursors, slots), EWMAs, alarm states, the alarm
+  /// event history and quarantine-gate state, and the lifetime totals.
+  /// Restoring yields a monitor whose subsequent alarm edges and snapshots
+  /// are byte-identical to one that was never serialized.
+  void serialize(ByteWriter& writer) const;
+  static ServingMonitor deserialize(ByteReader& reader);
 
  private:
   void evaluate_alarms(SimDuration now);

@@ -10,7 +10,9 @@ namespace hdc::obs {
 const char* stage_name(Stage stage) noexcept {
   switch (stage) {
     case Stage::kQueueWait: return "queue_wait";
+    case Stage::kBatchWait: return "batch_wait";
     case Stage::kBackoff: return "backoff";
+    case Stage::kSwap: return "swap";
     case Stage::kTransfer: return "transfer";
     case Stage::kDevice: return "device";
     case Stage::kDeviceHost: return "device_host";

@@ -31,7 +31,9 @@ namespace hdc::obs {
 /// sum-to-latency invariant exact (see `RequestTrace::finalize`).
 enum class Stage : std::uint8_t {
   kQueueWait = 0,   ///< admission queue wait before service starts
+  kBatchWait,       ///< router hold while a micro-batch coalesces on a device
   kBackoff,         ///< retry backoff charged between device attempts
+  kSwap,            ///< model swap: weight upload to make a tenant resident
   kTransfer,        ///< USB transfer + weight streaming/upload
   kDevice,          ///< MXU compute on the simulated TPU
   kDeviceHost,      ///< host-partition ops inside the device pipeline
@@ -40,7 +42,7 @@ enum class Stage : std::uint8_t {
   kOther,           ///< residual (latency minus all recorded stages)
 };
 
-inline constexpr std::size_t kNumStages = 8;
+inline constexpr std::size_t kNumStages = 10;
 
 const char* stage_name(Stage stage) noexcept;
 

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "obs/monitor.hpp"
+#include "obs/request_trace.hpp"
+#include "runtime/health.hpp"
+#include "runtime/serve.hpp"
+
+namespace hdc::runtime {
+
+/// Fleet serving: one router fanning a multi-tenant open-loop request stream
+/// across N simulated Edge TPUs (`ServeConfig::fleet`).
+///
+/// Each tenant owns an independent drifting stream and a model trained on
+/// its own warmup prefix; each device is a full simulated accelerator (MXU +
+/// USB link + parameter SRAM + fault injector + health state machine) with a
+/// bounded admission queue in front of it. The router places every arriving
+/// chunk on a device (`PlacementPolicy`), coalesces queued same-tenant
+/// chunks into dynamic micro-batches (up to `batch_max_chunks`, held at most
+/// `batch_max_age` past the head's arrival), and pays the tenant-model swap
+/// — a charged weight upload, unlike single-device serving's uncharged
+/// deploys — exactly when a batch lands on a device whose SRAM holds a
+/// different tenant's parameters.
+///
+/// Batched invocations run the pipelined streaming path (double-buffered
+/// link/compute overlap, no per-sample interactive round trip), which is
+/// what amortizes the per-invoke USB overhead; unbatched fleets
+/// (`batch_max_chunks == 1`) use the same interactive invoke as
+/// single-device serving. Predictions are bit-identical either way — the
+/// functional math is per-sample — so batching is a pure latency/throughput
+/// trade, pinned by tests.
+///
+/// Determinism: a fixed `ServeConfig` reproduces bit-identical placements,
+/// batch compositions, predictions, simulated timings, health transitions
+/// and alarm edges. The fleet layer serves frozen per-tenant models (no
+/// online updates) and does not checkpoint.
+///
+/// The degradation ladder collapses to device/host in fleet mode: only one
+/// model per tenant is lowered, so a `kReduced` admission verdict runs the
+/// full model on the device (still counted degraded — the verdict reflects
+/// backlog/health pressure) and `kHost` runs the tenant's float model on the
+/// CPU, never touching the device.
+struct FleetShardResult {
+  std::uint32_t device_index = 0;
+
+  std::uint64_t requests_served = 0;
+  std::uint64_t samples_served = 0;
+  std::uint64_t shed_requests = 0;
+  std::uint64_t expired_requests = 0;
+  std::uint64_t degraded_requests = 0;
+
+  std::uint64_t batches = 0;  ///< device/host invocations dispatched
+  /// Parameter-cache telemetry: one lookup per dispatched batch; a miss is a
+  /// charged tenant-model swap (hits + swaps == lookups).
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t swaps = 0;
+  SimDuration swap_time;  ///< total charged weight-upload time
+
+  SimDuration busy;   ///< simulated service time (swap + batch service)
+  SimDuration t_end;  ///< completion of this shard's last batch
+
+  DeviceHealth final_health = DeviceHealth::kHealthy;
+  std::uint64_t quarantines = 0;
+  std::uint64_t probes = 0;
+
+  obs::MonitorSnapshot final_snapshot;  ///< per-shard SLO view (hdc-monitor-v1)
+
+  double mean_batch_chunks() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(requests_served) /
+                              static_cast<double>(batches);
+  }
+  double cache_hit_rate() const {
+    return cache_lookups == 0 ? 0.0
+                              : static_cast<double>(cache_hits) /
+                                    static_cast<double>(cache_lookups);
+  }
+};
+
+/// What one fleet session produced. Conservation invariant (pinned by
+/// tests): offered == served + shed + expired, in requests and in samples.
+struct FleetResult {
+  std::vector<FleetShardResult> shards;
+
+  /// Served predictions concatenated in offered-request order (shed and
+  /// expired requests contribute nothing).
+  std::vector<std::uint32_t> predictions;
+  /// Every offered request's causal chain (served, shed, expired alike), in
+  /// offered order; attribution is bit-exact per request.
+  std::vector<obs::RequestTrace> requests;
+
+  std::uint64_t offered_requests = 0;
+  std::uint64_t served_requests = 0;
+  std::uint64_t shed_requests = 0;
+  std::uint64_t expired_requests = 0;
+  std::uint64_t offered_samples = 0;
+  std::uint64_t samples_served = 0;
+  std::uint64_t shed_samples = 0;
+  std::uint64_t expired_samples = 0;
+  std::uint64_t degraded_samples = 0;
+
+  std::uint64_t batches = 0;
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t swaps = 0;
+  double cache_hit_rate = 0.0;
+  double mean_batch_chunks = 0.0;
+
+  SimDuration t_end;  ///< completion of the last batch fleet-wide
+  double lifetime_accuracy = 0.0;
+
+  /// Fleet-aggregate monitor (all shards' samples in one window) and its
+  /// alarm edge history; per-shard snapshots live in `shards`.
+  obs::MonitorSnapshot fleet_snapshot;
+  std::vector<obs::AlarmEvent> events;
+
+  obs::RequestAttribution attribution_total;
+  std::uint64_t requests_traced = 0;
+  std::vector<obs::RequestExemplar> exemplar_records;
+};
+
+/// Runs a fleet serving session to completion. Uses `config.stream` /
+/// `config.learner` / `config.warmup_chunks` for each tenant's model,
+/// `config.serve_chunks` as the *total* offered request count across the
+/// fleet, `config.admission` per device queue (offered_load stays in
+/// single-device full-tier service-rate units and must be positive — the
+/// fleet router is open-loop only), and `config.fleet` for the fleet shape.
+FleetResult serve_fleet(const CoDesignFramework& framework, const ServeConfig& config);
+
+}  // namespace hdc::runtime

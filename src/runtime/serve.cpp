@@ -70,17 +70,23 @@ struct AdmissionRecord {
 //
 // magic + version + config fingerprint + progress + both learners + health
 // state machine + fault-injector RNG + pending queue (indices only; chunk
-// data is re-derived by deterministic stream replay) + result accumulators,
-// closed by a CRC32 trailer. Monitor state is deliberately NOT serialized:
-// the monitor is observational (result-invariant) and restarts cold on
-// resume, so per-chunk monitor-derived telemetry (windowed accuracy, drift
-// score) is excluded from the checkpoint too — which is what makes a
-// checkpoint written after resume byte-identical to the uninterrupted run's.
+// data is re-derived by deterministic stream replay) + result accumulators +
+// the serving monitor's exact state, closed by a CRC32 trailer. The monitor
+// is observational (result-invariant), but its windows/EWMAs/alarm edges are
+// part of the run's *telemetry* contract: serializing it makes a resumed
+// run's alarm lines, snapshots, and per-chunk monitor-derived fields
+// (windowed accuracy, drift score) byte-identical to the uninterrupted
+// run's. Exemplar span chains and raw request records stay cold on resume —
+// they are bounded debugging artifacts, not accumulators, and re-warm
+// deterministically.
 
 constexpr std::uint32_t kServeMagic = 0x56534448;  // "HDSV" little-endian
-// v2: appended the per-request latency-attribution accumulators (8 stage
-// sums + requests_traced) after `checkpoints_written`.
-constexpr std::uint32_t kServeVersion = 2;
+// v2: appended the per-request latency-attribution accumulators (stage sums
+// + requests_traced) after `checkpoints_written`.
+// v3: per-chunk windowed_accuracy/drift_score joined ChunkStats, and the
+// full serving-monitor state (windows, EWMAs, alarms, event history,
+// quarantine gate, lifetime totals) is appended after `requests_traced`.
+constexpr std::uint32_t kServeVersion = 3;
 
 /// Everything a resumed session restores before re-entering the loop.
 struct RestoredState {
@@ -112,6 +118,9 @@ struct RestoredState {
   std::uint32_t checkpoints_written = 0;
   obs::RequestAttribution attribution_total;
   std::uint64_t requests_traced = 0;
+  /// The serving monitor exactly as it was at checkpoint time (absent when
+  /// the interrupted run never served a chunk, so no monitor existed yet).
+  std::optional<obs::ServingMonitor> monitor;
 };
 
 void write_fingerprint(ByteWriter& w, const ServeConfig& config) {
@@ -216,8 +225,8 @@ void write_chunk_stats(ByteWriter& w, const ServeResult::ChunkStats& c) {
   w.write<double>(c.t_end.to_seconds());
   w.write<std::uint64_t>(c.samples);
   w.write<double>(c.chunk_accuracy);
-  // windowed_accuracy / drift_score are monitor-derived and intentionally
-  // excluded (the monitor restarts cold on resume).
+  w.write<double>(c.windowed_accuracy);
+  w.write<double>(c.drift_score);
   w.write<std::uint64_t>(c.fallback_samples);
   w.write<std::uint8_t>(c.circuit_opened ? 1 : 0);
   w.write<std::uint8_t>(static_cast<std::uint8_t>(c.tier));
@@ -231,6 +240,8 @@ ServeResult::ChunkStats read_chunk_stats(ByteReader& r) {
   c.t_end = SimDuration::seconds(r.read<double>());
   c.samples = r.read<std::uint64_t>();
   c.chunk_accuracy = r.read<double>();
+  c.windowed_accuracy = r.read<double>();
+  c.drift_score = r.read<double>();
   c.fallback_samples = r.read<std::uint64_t>();
   c.circuit_opened = r.read<std::uint8_t>() != 0;
   const auto tier = r.read<std::uint8_t>();
@@ -313,11 +324,39 @@ RestoredState read_checkpoint(const std::string& path, const ServeConfig& config
     stage = SimDuration::seconds(r.read<double>());
   }
   state.requests_traced = r.read<std::uint64_t>();
+  if (r.read<std::uint8_t>() != 0) {
+    state.monitor = obs::ServingMonitor::deserialize(r);
+  }
   HDC_CHECK(r.exhausted(), "trailing bytes after serve checkpoint payload");
   return state;
 }
 
 }  // namespace
+
+const char* placement_name(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kCacheAware: return "cache-aware";
+    case PlacementPolicy::kRoundRobin: return "round-robin";
+    case PlacementPolicy::kLeastLoaded: return "least-loaded";
+  }
+  return "unknown";
+}
+
+PlacementPolicy parse_placement_policy(const std::string& name) {
+  if (name == "cache-aware") return PlacementPolicy::kCacheAware;
+  if (name == "round-robin") return PlacementPolicy::kRoundRobin;
+  if (name == "least-loaded") return PlacementPolicy::kLeastLoaded;
+  throw Error("unknown placement policy '" + name +
+              "' (expected cache-aware, round-robin or least-loaded)");
+}
+
+void FleetConfig::validate() const {
+  HDC_CHECK(num_devices >= 1, "a fleet needs at least one device");
+  HDC_CHECK(num_tenants >= 1, "a fleet needs at least one tenant");
+  HDC_CHECK(tenant_skew >= 0.0, "tenant_skew must be non-negative");
+  HDC_CHECK(batch_max_chunks >= 1, "batch_max_chunks must be at least 1");
+  HDC_CHECK(!(batch_max_age < SimDuration()), "batch_max_age must be non-negative");
+}
 
 std::uint32_t ServeConfig::effective_reduced_dim() const {
   return reduced_dim != 0 ? reduced_dim : std::max<std::uint32_t>(64, learner.dim / 8);
@@ -334,6 +373,7 @@ void ServeConfig::validate() const {
   retry.validate();
   admission.validate();
   health.validate();
+  fleet.validate();
   HDC_CHECK(checkpoint_every_chunks == 0 || !checkpoint_path.empty(),
             "a checkpoint interval needs a checkpoint path to write to");
   // The monitor config is completed (num_classes, auto window/SLO) at serve
@@ -454,6 +494,14 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
   // buffered and replayed in order at construction.
   std::optional<obs::ServingMonitor> monitor;
   std::vector<AdmissionRecord> pending_admission;
+  if (restored.has_value() && restored->monitor.has_value()) {
+    // Resume with the interrupted run's monitor exactly as checkpointed —
+    // windows, EWMAs, alarm edge states, event history, quarantine gate —
+    // so subsequent alarm lines and snapshots are byte-identical to the
+    // uninterrupted run's. The lazy auto-sizing path below is skipped
+    // because the monitor already exists.
+    monitor.emplace(std::move(*restored->monitor));
+  }
 
   double log_clock = now.to_seconds();
   LogClockScope log_scope(&log_clock);
@@ -560,6 +608,10 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
       w.write<double>(stage.to_seconds());
     }
     w.write<std::uint64_t>(result.requests_traced);
+    w.write<std::uint8_t>(monitor.has_value() ? 1 : 0);
+    if (monitor.has_value()) {
+      monitor->serialize(w);
+    }
     const std::uint32_t checksum = crc32(w.bytes().data(), w.size());
     w.write<std::uint32_t>(checksum);
     return w.take();
@@ -905,8 +957,9 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
   result.final_snapshot = monitor->snapshot(now);
   result.events = monitor->events();
   result.t_end = now;
-  // Lifetime totals come from the serve accumulators, not the monitor: a
-  // resumed session's monitor is cold and only saw the post-resume tail.
+  // Lifetime totals come from the serve accumulators; the monitor (restored
+  // warm from the checkpoint since HDSV v3) agrees, but the accumulators are
+  // the source of truth for results.
   result.samples_served = samples_served;
   result.lifetime_accuracy =
       samples_served == 0

@@ -16,6 +16,49 @@
 
 namespace hdc::runtime {
 
+/// How the fleet router picks a device for an arriving tenant request.
+enum class PlacementPolicy : std::uint8_t {
+  /// Route to the device whose on-chip SRAM already holds the tenant's model
+  /// (the parameter cache is single-active-model, so residency is tenant
+  /// stickiness); fall back to least-loaded when no device has it warm or
+  /// the warm device's queue is full. Maximizes cache hit rate under skew.
+  kCacheAware = 0,
+  /// Request index modulo device count — the cache-oblivious baseline.
+  kRoundRobin = 1,
+  /// Fewest queued samples (ties: earlier-free device, then lowest index).
+  kLeastLoaded = 2,
+};
+
+const char* placement_name(PlacementPolicy policy);
+/// Parses "cache-aware" / "round-robin" / "least-loaded" (CLI `--placement`).
+PlacementPolicy parse_placement_policy(const std::string& name);
+
+/// Multi-device fleet serving: N simulated Edge TPUs behind one router, a
+/// multi-tenant request stream, dynamic micro-batching and cache-aware
+/// placement. Consumed by `serve_fleet` (runtime/router.hpp); plain `serve`
+/// ignores it.
+struct FleetConfig {
+  std::uint32_t num_devices = 1;
+  std::uint32_t num_tenants = 1;
+  /// Zipf exponent of tenant popularity (weight of tenant k ∝ (k+1)^-skew);
+  /// 0 = uniform. Skewed traffic is what makes cache-aware placement beat
+  /// round-robin on parameter-cache hit rate.
+  double tenant_skew = 0.0;
+  /// Micro-batch cap: queued same-tenant chunks coalesced into one device
+  /// invocation (1 = unbatched FCFS). Batched invocations stream through the
+  /// pipelined path, amortizing the per-invoke USB overhead.
+  std::uint32_t batch_max_chunks = 1;
+  /// Age bound: a head-of-queue request is dispatched no later than this
+  /// long after its arrival even if the batch is not full, bounding the
+  /// batching hold under light load.
+  SimDuration batch_max_age = SimDuration::micros(200);
+  PlacementPolicy placement = PlacementPolicy::kCacheAware;
+  /// Seed of the arrival tenant sequence (independent of stream/model seeds).
+  std::uint64_t seed = 0xF1EE7D01ULL;
+
+  void validate() const;
+};
+
 /// Configuration of a live serving session: a `data::DriftStream` pumped
 /// chunk by chunk through a persistent fault-tolerant accelerator endpoint
 /// with prequential evaluation, optional host-side online updates, and a
@@ -53,6 +96,9 @@ struct ServeConfig {
   AdmissionConfig admission;
   /// Device health state machine thresholds (degrade / quarantine / probe).
   HealthConfig health;
+  /// Multi-device fleet shape (devices, tenants, batching, placement). Only
+  /// `serve_fleet` reads it; single-device `serve` ignores it entirely.
+  FleetConfig fleet;
   /// Dimension of the reduced-tier (LDC-style) fallback model trained next
   /// to the full learner during warmup. 0 = auto: max(64, learner.dim / 8).
   std::uint32_t reduced_dim = 0;

@@ -8,8 +8,9 @@ namespace hdc::tpu {
 
 /// Per-sample stage costs of the host -> accelerator -> host stream:
 /// host-side preparation (quantize/dequantize/argmax), the input transfer,
-/// device compute, and the output transfer. USB 3.0 is dual-simplex, so the
-/// inbound and outbound pipes are independent resources.
+/// device compute, and the output transfer. The USB link is half-duplex
+/// (one shared bus; see device.cpp), so the inbound and outbound transfers
+/// contend for a single link resource and serialize against each other.
 struct StageTimes {
   SimDuration host;
   SimDuration link_in;
@@ -28,15 +29,15 @@ struct PipelineResult {
 };
 
 /// Discrete-event simulation of the sample stream. With `double_buffered`
-/// the four resources (host core, inbound pipe, accelerator, outbound pipe)
+/// the three resources (host core, shared half-duplex link, accelerator)
 /// overlap across consecutive samples — each resource serves jobs FIFO, one
 /// at a time; without it every sample runs its four stages to completion
 /// before the next starts (the synchronous TFLite Invoke() loop).
 ///
 /// In steady state the double-buffered makespan grows by the slowest single
-/// resource per sample — max(host, link_in, device, link_out) — which is the
-/// bottleneck bound the device cost model quotes; this simulator is the
-/// ground truth it is tested against.
+/// resource per sample — max(host, link_in + link_out, device), the link
+/// carrying both directions — which is the bottleneck bound the device cost
+/// model quotes; this simulator is the ground truth it is tested against.
 PipelineResult simulate_stream(const StageTimes& per_sample, std::uint64_t samples,
                                bool double_buffered);
 

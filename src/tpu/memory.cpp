@@ -37,6 +37,12 @@ bool OnChipMemory::lookup(const std::string& model_id) const {
 
 bool OnChipMemory::make_resident(const std::string& model_id, std::uint64_t bytes) {
   HDC_CHECK(!model_id.empty(), "model id must be non-empty");
+  if (is_resident(model_id)) {
+    // Warm no-op: re-asserting residency of the model that already owns the
+    // cache must not count evictions/insertions — those counters feed the
+    // parameter-cache hit-rate signal that cache-aware placement routes on.
+    return true;
+  }
   if (!fits(bytes)) {
     // Rejected admission must not flush the cache: the previously resident
     // model stays warm, so its next invocation costs no re-upload.

@@ -435,6 +435,34 @@ TEST(ServeCheckpointTest, ResumeIsByteIdenticalToUninterruptedRun) {
     EXPECT_EQ(resumed.health_transitions[i].at, uninterrupted.health_transitions[i].at);
   }
 
+  // The monitor rides in the checkpoint (HDSV v3), so the resumed run's
+  // telemetry is the uninterrupted run's: the full alarm-edge history —
+  // including edges fired *before* the cut — and the final snapshot must
+  // match byte-for-byte, not just statistically.
+  ASSERT_EQ(resumed.events.size(), uninterrupted.events.size());
+  for (std::size_t i = 0; i < resumed.events.size(); ++i) {
+    EXPECT_EQ(resumed.events[i].alarm, uninterrupted.events[i].alarm) << "event " << i;
+    EXPECT_EQ(resumed.events[i].fired, uninterrupted.events[i].fired) << "event " << i;
+    EXPECT_EQ(resumed.events[i].at, uninterrupted.events[i].at) << "event " << i;
+    EXPECT_EQ(resumed.events[i].value, uninterrupted.events[i].value) << "event " << i;
+    EXPECT_EQ(resumed.events[i].threshold, uninterrupted.events[i].threshold)
+        << "event " << i;
+    EXPECT_EQ(resumed.events[i].exemplar_request_id,
+              uninterrupted.events[i].exemplar_request_id)
+        << "event " << i;
+  }
+  EXPECT_EQ(resumed.final_snapshot.to_json(), uninterrupted.final_snapshot.to_json());
+  // Per-chunk monitor-derived telemetry is checkpointed too (v3), so the
+  // windowed-accuracy/drift columns agree across the cut as well.
+  ASSERT_EQ(resumed.chunks.size(), uninterrupted.chunks.size());
+  for (std::size_t i = 0; i < resumed.chunks.size(); ++i) {
+    EXPECT_EQ(resumed.chunks[i].windowed_accuracy,
+              uninterrupted.chunks[i].windowed_accuracy)
+        << "chunk entry " << i;
+    EXPECT_EQ(resumed.chunks[i].drift_score, uninterrupted.chunks[i].drift_score)
+        << "chunk entry " << i;
+  }
+
   // Byte-identity of the checkpoints themselves: the later periodic cut and
   // the final one must not betray that the resumed session ever restarted.
   const std::string periodic_full = read_binary(dir / "full.ck.0012");

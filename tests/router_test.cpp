@@ -1,0 +1,339 @@
+// Tests for the fleet router (src/runtime/router): determinism of the
+// multi-device serving loop, bit-identity of predictions across the
+// batched/unbatched paths, the offered == served + shed + expired
+// conservation invariant under overload, cache-aware placement's hit-rate
+// advantage over round-robin under skewed tenant traffic, per-request
+// latency-attribution exactness through the router/batching stages, and
+// fleet/shard accounting consistency.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/sim_time.hpp"
+#include "data/synthetic.hpp"
+#include "obs/request_trace.hpp"
+#include "runtime/framework.hpp"
+#include "runtime/router.hpp"
+#include "runtime/serve.hpp"
+
+namespace hdc::runtime {
+namespace {
+
+/// Small-but-real fleet: two devices, three tenants, mild skew, micro-batches
+/// of up to four chunks, open-loop at 2x the single-device full-tier rate.
+ServeConfig fleet_config() {
+  ServeConfig config;
+  config.stream.spec = data::paper_dataset("PAMAP2");
+  config.stream.spec.seed = 0xF1EE7;
+  config.stream.chunk_size = 32;
+  config.learner.dim = 256;
+  config.learner.seed = 11;
+  config.warmup_chunks = 2;
+  config.serve_chunks = 24;  // total offered requests across the fleet
+  config.admission.offered_load = 2.0;
+  config.admission.queue_capacity = 8;
+  config.fleet.num_devices = 2;
+  config.fleet.num_tenants = 3;
+  config.fleet.tenant_skew = 0.8;
+  config.fleet.batch_max_chunks = 4;
+  return config;
+}
+
+void expect_shard_equal(const FleetShardResult& a, const FleetShardResult& b) {
+  EXPECT_EQ(a.device_index, b.device_index);
+  EXPECT_EQ(a.requests_served, b.requests_served);
+  EXPECT_EQ(a.samples_served, b.samples_served);
+  EXPECT_EQ(a.shed_requests, b.shed_requests);
+  EXPECT_EQ(a.expired_requests, b.expired_requests);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.cache_lookups, b.cache_lookups);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.swaps, b.swaps);
+  EXPECT_EQ(a.swap_time, b.swap_time);
+  EXPECT_EQ(a.busy, b.busy);
+  EXPECT_EQ(a.t_end, b.t_end);
+  EXPECT_EQ(a.final_health, b.final_health);
+}
+
+TEST(FleetServeTest, IdenticalConfigsReproduceBitIdenticalFleets) {
+  const CoDesignFramework framework;
+  const ServeConfig config = fleet_config();
+
+  const FleetResult first = serve_fleet(framework, config);
+  const FleetResult second = serve_fleet(framework, config);
+
+  EXPECT_EQ(first.predictions, second.predictions);
+  EXPECT_EQ(first.t_end, second.t_end);
+  EXPECT_EQ(first.served_requests, second.served_requests);
+  EXPECT_EQ(first.shed_requests, second.shed_requests);
+  EXPECT_EQ(first.expired_requests, second.expired_requests);
+  EXPECT_EQ(first.batches, second.batches);
+  EXPECT_EQ(first.swaps, second.swaps);
+  EXPECT_EQ(first.lifetime_accuracy, second.lifetime_accuracy);
+  EXPECT_EQ(first.events.size(), second.events.size());
+
+  ASSERT_EQ(first.shards.size(), second.shards.size());
+  for (std::size_t s = 0; s < first.shards.size(); ++s) {
+    expect_shard_equal(first.shards[s], second.shards[s]);
+  }
+
+  ASSERT_EQ(first.requests.size(), second.requests.size());
+  for (std::size_t r = 0; r < first.requests.size(); ++r) {
+    EXPECT_EQ(first.requests[r].outcome, second.requests[r].outcome);
+    EXPECT_EQ(first.requests[r].arrival, second.requests[r].arrival);
+    EXPECT_EQ(first.requests[r].end, second.requests[r].end);
+    EXPECT_EQ(first.requests[r].attribution.total(),
+              second.requests[r].attribution.total());
+  }
+}
+
+TEST(FleetServeTest, BatchingPreservesPredictionsBitExactly) {
+  const CoDesignFramework framework;
+
+  // Ample queue and no deadline, fault-free: every offered request is served
+  // under both configurations, so the prediction streams are comparable
+  // end to end.
+  ServeConfig unbatched = fleet_config();
+  unbatched.admission.queue_capacity = 64;
+  unbatched.fleet.batch_max_chunks = 1;
+
+  ServeConfig batched = unbatched;
+  batched.fleet.batch_max_chunks = 8;
+
+  const FleetResult one = serve_fleet(framework, unbatched);
+  const FleetResult many = serve_fleet(framework, batched);
+
+  EXPECT_EQ(one.served_requests, one.offered_requests);
+  EXPECT_EQ(many.served_requests, many.offered_requests);
+
+  // Batching is a pure latency/throughput trade: the functional math is
+  // per-sample, so coalescing chunks into one invocation must not move a
+  // single prediction.
+  EXPECT_EQ(one.predictions, many.predictions);
+  EXPECT_EQ(one.lifetime_accuracy, many.lifetime_accuracy);
+}
+
+TEST(FleetServeTest, HighLoadCoalescesBatchesAndFinishesSooner) {
+  const CoDesignFramework framework;
+
+  // One device, one tenant, a deep queue, and a 40x offered load: the queue
+  // builds while batches serve, so the router has same-tenant runs to
+  // coalesce.
+  ServeConfig batched = fleet_config();
+  batched.serve_chunks = 32;
+  batched.admission.offered_load = 40.0;
+  batched.admission.queue_capacity = 64;
+  batched.fleet.num_devices = 1;
+  batched.fleet.num_tenants = 1;
+  batched.fleet.tenant_skew = 0.0;
+  batched.fleet.batch_max_chunks = 8;
+
+  ServeConfig unbatched = batched;
+  unbatched.fleet.batch_max_chunks = 1;
+
+  const FleetResult many = serve_fleet(framework, batched);
+  const FleetResult one = serve_fleet(framework, unbatched);
+
+  ASSERT_EQ(many.served_requests, many.offered_requests);
+  ASSERT_EQ(one.served_requests, one.offered_requests);
+
+  // Real coalescing happened: fewer device invocations than requests, and a
+  // mean batch meaningfully above one chunk.
+  EXPECT_LT(many.batches, many.served_requests);
+  EXPECT_GT(many.mean_batch_chunks, 1.5);
+  EXPECT_EQ(one.batches, one.served_requests);
+
+  // Amortizing the per-invoke overhead through the pipelined path drains the
+  // same offered stream sooner.
+  EXPECT_LT(many.t_end, one.t_end);
+}
+
+TEST(FleetServeTest, OverloadConservesEveryOfferedRequestAndSample) {
+  const CoDesignFramework framework;
+
+  // Calibrate a per-request deadline from a fault-free run so the overload
+  // scenario scales with the cost model instead of hard-coding seconds.
+  ServeConfig base = fleet_config();
+  const FleetResult reference = serve_fleet(framework, base);
+  ASSERT_GT(reference.served_requests, 0U);
+  const SimDuration mean_request =
+      reference.t_end * (1.0 / static_cast<double>(reference.served_requests));
+
+  // One unbatched device at 6x load: the interactive invoke path cannot keep
+  // up, so the bounded queue must shed (and the deadline expire) requests.
+  ServeConfig over = fleet_config();
+  over.admission.offered_load = 6.0;
+  over.admission.queue_capacity = 2;
+  over.admission.deadline = mean_request * 1.5;
+  over.fleet.num_devices = 1;
+  over.fleet.batch_max_chunks = 1;
+  const FleetResult result = serve_fleet(framework, over);
+
+  EXPECT_EQ(result.offered_requests,
+            static_cast<std::uint64_t>(over.serve_chunks));
+  EXPECT_EQ(result.offered_samples,
+            static_cast<std::uint64_t>(over.serve_chunks) * over.stream.chunk_size);
+
+  // Conservation: every offered request (and every sample) is accounted for
+  // exactly once — served, shed, or expired.
+  EXPECT_EQ(result.served_requests + result.shed_requests + result.expired_requests,
+            result.offered_requests);
+  EXPECT_EQ(result.samples_served + result.shed_samples + result.expired_samples,
+            result.offered_samples);
+  EXPECT_GT(result.shed_requests + result.expired_requests, 0U);
+  EXPECT_GT(result.served_requests, 0U);
+
+  // The same ledger balances shard by shard.
+  std::uint64_t shard_served = 0, shard_shed = 0, shard_expired = 0;
+  for (const FleetShardResult& shard : result.shards) {
+    shard_served += shard.requests_served;
+    shard_shed += shard.shed_requests;
+    shard_expired += shard.expired_requests;
+  }
+  EXPECT_EQ(shard_served, result.served_requests);
+  EXPECT_EQ(shard_shed, result.shed_requests);
+  EXPECT_EQ(shard_expired, result.expired_requests);
+}
+
+TEST(FleetServeTest, CacheAwarePlacementBeatsRoundRobinUnderSkew) {
+  const CoDesignFramework framework;
+
+  // More tenants than devices and strongly skewed popularity: round-robin
+  // scatters each tenant across all shards (a swap almost every batch) while
+  // cache-aware placement keeps hot tenants pinned to the shard already
+  // holding their parameters.
+  ServeConfig config = fleet_config();
+  config.serve_chunks = 48;
+  config.admission.offered_load = 3.0;
+  config.fleet.num_devices = 4;
+  config.fleet.num_tenants = 6;
+  config.fleet.tenant_skew = 1.5;
+  config.fleet.batch_max_chunks = 4;
+
+  config.fleet.placement = PlacementPolicy::kCacheAware;
+  const FleetResult cache_aware = serve_fleet(framework, config);
+  config.fleet.placement = PlacementPolicy::kRoundRobin;
+  const FleetResult round_robin = serve_fleet(framework, config);
+
+  // Parameter-cache telemetry balances: every dispatched batch either hit in
+  // SRAM or paid a charged swap.
+  EXPECT_EQ(cache_aware.cache_hits + cache_aware.swaps, cache_aware.cache_lookups);
+  EXPECT_EQ(round_robin.cache_hits + round_robin.swaps, round_robin.cache_lookups);
+  ASSERT_GT(cache_aware.cache_lookups, 0U);
+  ASSERT_GT(round_robin.cache_lookups, 0U);
+
+  EXPECT_GT(cache_aware.cache_hit_rate, round_robin.cache_hit_rate);
+}
+
+TEST(FleetServeTest, AttributionSumsBitExactlyThroughRouterStages) {
+  const CoDesignFramework framework;
+
+  // Overloaded and deadline-bound so the trace set mixes served, shed, and
+  // expired outcomes — attribution must be exact for all three shapes.
+  ServeConfig base = fleet_config();
+  const FleetResult reference = serve_fleet(framework, base);
+  const SimDuration mean_request =
+      reference.t_end * (1.0 / static_cast<double>(reference.served_requests));
+
+  ServeConfig over = fleet_config();
+  over.admission.offered_load = 5.0;
+  over.admission.queue_capacity = 3;
+  over.admission.deadline = mean_request * 2.0;
+  const FleetResult result = serve_fleet(framework, over);
+
+  ASSERT_EQ(result.requests.size(), result.offered_requests);
+  std::uint64_t served = 0, shed = 0, expired = 0;
+  for (const obs::RequestTrace& rt : result.requests) {
+    // The invariant the hdc_traceq --assert-attribution gate checks: summing
+    // the stage ledger in fixed order reproduces the latency bit-exactly,
+    // including the kBatchWait and kSwap stages only the router emits.
+    EXPECT_EQ(rt.attribution.total(), rt.latency());
+    switch (rt.outcome) {
+      case obs::RequestOutcome::kServed: ++served; break;
+      case obs::RequestOutcome::kShed: ++shed; break;
+      case obs::RequestOutcome::kExpired: ++expired; break;
+    }
+  }
+  EXPECT_EQ(served, result.served_requests);
+  EXPECT_EQ(shed, result.shed_requests);
+  EXPECT_EQ(expired, result.expired_requests);
+
+  // At least one served batch waited behind another (the router actually
+  // queued work under 5x overload), so kBatchWait/kQueueWait carry time.
+  const SimDuration waited =
+      result.attribution_total[obs::Stage::kQueueWait] +
+      result.attribution_total[obs::Stage::kBatchWait];
+  EXPECT_GT(waited.to_seconds(), 0.0);
+}
+
+TEST(FleetServeTest, ShardAccountingSumsToFleetTotals) {
+  const CoDesignFramework framework;
+  ServeConfig config = fleet_config();
+  config.fleet.num_devices = 3;
+  const FleetResult result = serve_fleet(framework, config);
+
+  std::uint64_t samples = 0, batches = 0, lookups = 0, hits = 0, swaps = 0;
+  SimDuration latest;
+  for (const FleetShardResult& shard : result.shards) {
+    samples += shard.samples_served;
+    batches += shard.batches;
+    lookups += shard.cache_lookups;
+    hits += shard.cache_hits;
+    swaps += shard.swaps;
+    latest = std::max(latest, shard.t_end);
+  }
+  EXPECT_EQ(samples, result.samples_served);
+  EXPECT_EQ(batches, result.batches);
+  EXPECT_EQ(lookups, result.cache_lookups);
+  EXPECT_EQ(hits, result.cache_hits);
+  EXPECT_EQ(swaps, result.swaps);
+  EXPECT_EQ(latest, result.t_end);
+
+  // One prediction per served sample, and the fleet monitor saw all of them.
+  EXPECT_EQ(result.predictions.size(), result.samples_served);
+  EXPECT_EQ(result.fleet_snapshot.samples_total, result.samples_served);
+}
+
+TEST(FleetConfigTest, ValidationRejectsDegenerateShapes) {
+  FleetConfig fleet;
+  fleet.num_devices = 0;
+  EXPECT_THROW(fleet.validate(), Error);
+  fleet = {};
+  fleet.num_tenants = 0;
+  EXPECT_THROW(fleet.validate(), Error);
+  fleet = {};
+  fleet.tenant_skew = -0.5;
+  EXPECT_THROW(fleet.validate(), Error);
+  fleet = {};
+  fleet.batch_max_chunks = 0;
+  EXPECT_THROW(fleet.validate(), Error);
+  fleet = {};
+  fleet.batch_max_age = SimDuration::micros(-1);
+  EXPECT_THROW(fleet.validate(), Error);
+  EXPECT_NO_THROW(FleetConfig{}.validate());
+
+  EXPECT_EQ(parse_placement_policy("cache-aware"), PlacementPolicy::kCacheAware);
+  EXPECT_EQ(parse_placement_policy("round-robin"), PlacementPolicy::kRoundRobin);
+  EXPECT_EQ(parse_placement_policy("least-loaded"), PlacementPolicy::kLeastLoaded);
+  EXPECT_THROW(parse_placement_policy("sticky"), Error);
+
+  // The fleet router is open-loop only and serves frozen models: a closed
+  // loop, online updates, or a checkpoint path are config errors.
+  const CoDesignFramework framework;
+  ServeConfig closed = fleet_config();
+  closed.admission.offered_load = 0.0;
+  EXPECT_THROW(serve_fleet(framework, closed), Error);
+  ServeConfig online = fleet_config();
+  online.online_updates = true;
+  EXPECT_THROW(serve_fleet(framework, online), Error);
+  ServeConfig ckpt = fleet_config();
+  ckpt.checkpoint_path = "fleet.hdsv";
+  EXPECT_THROW(serve_fleet(framework, ckpt), Error);
+}
+
+}  // namespace
+}  // namespace hdc::runtime

@@ -66,8 +66,10 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
+#include "obs/request_trace.hpp"
 #include "runtime/autotune.hpp"
 #include "runtime/framework.hpp"
+#include "runtime/router.hpp"
 #include "runtime/serve.hpp"
 #include "tpu/compiler.hpp"
 #include "traceq_lib.hpp"
@@ -441,7 +443,12 @@ int cmd_serve(int argc, char** argv) {
                  "           [--snapshot-dir DIR] [--snapshot-every N] [--prom FILE]\n"
                  "           [--log-json FILE] [--trace FILE] [--trace-cap N]\n"
                  "           [--metrics FILE] [--profile FILE]\n"
-                 "           [--exemplars FILE] [--exemplar-bytes N]\n");
+                 "           [--exemplars FILE] [--exemplar-bytes N]\n"
+                 "       fleet mode (requires --offered-load > 0):\n"
+                 "           [--devices N] [--tenants N] [--skew F]\n"
+                 "           [--batch-max N] [--batch-age-us US]\n"
+                 "           [--placement cache-aware|round-robin|least-loaded]\n"
+                 "           [--requests FILE]\n");
     return 2;
   }
 
@@ -494,6 +501,36 @@ int cmd_serve(int argc, char** argv) {
               "--reduced-dim must be positive (omit the flag for the automatic "
               "max(64, dim/8) reduced-tier dimension)");
     config.reduced_dim = static_cast<std::uint32_t>(dim);
+  }
+  // Fleet flags: any of them (or --devices alone) switches the command to
+  // the multi-device router (`serve_fleet`) instead of single-device serve.
+  const bool fleet_mode = arg_value(argc, argv, "--devices", nullptr) != nullptr ||
+                          arg_value(argc, argv, "--tenants", nullptr) != nullptr ||
+                          arg_value(argc, argv, "--batch-max", nullptr) != nullptr ||
+                          arg_value(argc, argv, "--placement", nullptr) != nullptr;
+  {
+    const int devices = std::atoi(arg_value(argc, argv, "--devices", "1"));
+    HDC_CHECK(devices >= 1, "--devices must be at least 1");
+    config.fleet.num_devices = static_cast<std::uint32_t>(devices);
+    const int tenants = std::atoi(arg_value(argc, argv, "--tenants", "1"));
+    HDC_CHECK(tenants >= 1, "--tenants must be at least 1");
+    config.fleet.num_tenants = static_cast<std::uint32_t>(tenants);
+    const double skew = std::atof(arg_value(argc, argv, "--skew", "0"));
+    HDC_CHECK(skew >= 0.0, "--skew must be a non-negative Zipf exponent");
+    config.fleet.tenant_skew = skew;
+    const int batch_max = std::atoi(arg_value(argc, argv, "--batch-max", "1"));
+    HDC_CHECK(batch_max >= 1, "--batch-max must be at least 1 (1 = unbatched)");
+    config.fleet.batch_max_chunks = static_cast<std::uint32_t>(batch_max);
+    const char* batch_age = arg_value(argc, argv, "--batch-age-us", nullptr);
+    if (batch_age != nullptr) {
+      const double us = std::atof(batch_age);
+      HDC_CHECK(us >= 0.0, "--batch-age-us must be a non-negative microsecond hold");
+      config.fleet.batch_max_age = SimDuration::micros(us);
+    }
+    const char* placement = arg_value(argc, argv, "--placement", nullptr);
+    if (placement != nullptr) {
+      config.fleet.placement = runtime::parse_placement_policy(placement);
+    }
   }
   config.checkpoint_path = arg_value(argc, argv, "--checkpoint", "");
   config.checkpoint_every_chunks = static_cast<std::uint32_t>(
@@ -571,6 +608,84 @@ int cmd_serve(int argc, char** argv) {
   if (config.stream.drift_start_chunk != UINT32_MAX) {
     std::printf("drift: starts at stream chunk %u over %u chunks\n",
                 config.stream.drift_start_chunk, config.stream.drift_duration_chunks);
+  }
+
+  if (fleet_mode) {
+    std::printf("fleet: %u devices, %u tenants (skew %.2f), batch-max %u (age %s), "
+                "placement %s\n",
+                config.fleet.num_devices, config.fleet.num_tenants,
+                config.fleet.tenant_skew, config.fleet.batch_max_chunks,
+                config.fleet.batch_max_age.to_string().c_str(),
+                runtime::placement_name(config.fleet.placement));
+    const runtime::FleetResult result = runtime::serve_fleet(framework, config);
+
+    std::printf("%6s %8s %8s %6s %6s %8s %8s %-11s\n", "shard", "served", "batches",
+                "mean", "hit%", "swaps", "p99", "health");
+    for (const auto& shard : result.shards) {
+      std::printf("%6u %8llu %8llu %6.2f %5.1f%% %8llu %8s %-11s\n", shard.device_index,
+                  static_cast<unsigned long long>(shard.requests_served),
+                  static_cast<unsigned long long>(shard.batches),
+                  shard.mean_batch_chunks(), 100.0 * shard.cache_hit_rate(),
+                  static_cast<unsigned long long>(shard.swaps),
+                  SimDuration::seconds(shard.final_snapshot.latency_p99_s)
+                      .to_string()
+                      .c_str(),
+                  runtime::health_name(shard.final_health));
+    }
+    const auto& snap = result.fleet_snapshot;
+    std::printf("fleet served %llu/%llu requests (%llu shed, %llu expired) over %s "
+                "simulated\n",
+                static_cast<unsigned long long>(result.served_requests),
+                static_cast<unsigned long long>(result.offered_requests),
+                static_cast<unsigned long long>(result.shed_requests),
+                static_cast<unsigned long long>(result.expired_requests),
+                result.t_end.to_string().c_str());
+    std::printf("lifetime accuracy %.2f%%, cache hit rate %.1f%% (%llu swaps), mean "
+                "batch %.2f chunks\n",
+                100.0 * result.lifetime_accuracy, 100.0 * result.cache_hit_rate,
+                static_cast<unsigned long long>(result.swaps),
+                result.mean_batch_chunks);
+    std::printf("fleet latency p50/p95/p99 %s/%s/%s, SLO burn rate %.2f\n",
+                SimDuration::seconds(snap.latency_p50_s).to_string().c_str(),
+                SimDuration::seconds(snap.latency_p95_s).to_string().c_str(),
+                SimDuration::seconds(snap.latency_p99_s).to_string().c_str(),
+                snap.slo_burn_rate);
+    if (result.requests_traced > 0) {
+      std::printf("latency attribution over %llu requests:",
+                  static_cast<unsigned long long>(result.requests_traced));
+      for (std::size_t s = 0; s < obs::kNumStages; ++s) {
+        const auto stage = static_cast<obs::Stage>(s);
+        std::printf(" %s %.1f%%", obs::stage_name(stage),
+                    100.0 * result.attribution_total.fraction(stage));
+      }
+      std::printf("\n");
+    }
+    for (const auto& alarm : snap.alarms) {
+      std::printf("alarm %-12s fired %llux%s\n", alarm.name.c_str(),
+                  static_cast<unsigned long long>(alarm.fired_total),
+                  alarm.firing ? " (still firing)" : "");
+    }
+    const char* requests_path = arg_value(argc, argv, "--requests", nullptr);
+    if (requests_path != nullptr) {
+      // Every offered request's causal chain as hdc-request-trace-v1 JSONL
+      // (feed to `hdc_traceq --assert-attribution` to audit exactness).
+      std::ofstream out(requests_path, std::ios::binary | std::ios::trunc);
+      HDC_CHECK(out.good(), std::string("cannot open '") + requests_path + "'");
+      for (const auto& rt : result.requests) {
+        out << obs::request_trace_json(rt, nullptr) << '\n';
+      }
+      std::printf("wrote %zu request traces to %s\n", result.requests.size(),
+                  requests_path);
+    }
+    if (!config.snapshot_dir.empty()) {
+      std::printf("wrote fleet + %zu shard snapshots to %s\n", result.shards.size(),
+                  config.snapshot_dir.c_str());
+    }
+    if (log_json != nullptr) {
+      log::close_json_sink();
+      std::printf("wrote JSONL log to %s\n", log_json);
+    }
+    return session.finish() ? 0 : 1;
   }
 
   const runtime::ServeResult result = runtime::serve(framework, config);

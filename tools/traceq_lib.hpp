@@ -68,8 +68,8 @@ struct TraceFile {
 /// prefix order.
 inline const std::vector<std::string>& canonical_stage_order() {
   static const std::vector<std::string> kOrder = {
-      "queue_wait", "backoff", "transfer", "device",
-      "device_host", "host",   "update",   "other"};
+      "queue_wait", "batch_wait", "backoff", "swap", "transfer",
+      "device",     "device_host", "host",   "update", "other"};
   return kOrder;
 }
 
