@@ -241,6 +241,11 @@ int main(int argc, char** argv) {
   reporter.sim_ratio("burst.throughput_sps", throughput_sps(big),
                      /*higher_is_better=*/true);
   reporter.sim_seconds("burst.t_end_s", big.t_end);
+  // Fleet-aggregate model-quality telemetry (deterministic, gated
+  // direction-aware; separation is per-tenant, so only outcome/calibration
+  // metrics exist at the aggregate).
+  reporter.sim_accuracy("burst.model.accuracy", big.fleet_model.window_accuracy);
+  reporter.metric("burst.model.ece", big.fleet_model.ece, "fraction", "sim", "lower");
   if (samples_per_invoke < 1024.0) {
     std::printf("!! burst coalescing collapsed (%.0f samples/invoke < 1024)\n",
                 samples_per_invoke);

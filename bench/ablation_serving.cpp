@@ -165,6 +165,13 @@ int main(int argc, char** argv) {
     reporter.sim_accuracy(prefix + "frozen_end_windowed", frozen_end);
     reporter.sim_accuracy(prefix + "online_end_windowed", online_end);
     reporter.sim_seconds(prefix + "total_s", frozen.result.t_end);
+    // Model-quality telemetry (deterministic, gated direction-aware: higher
+    // accuracy/separation is better, lower calibration error is better).
+    const auto& model = frozen.result.final_model;
+    reporter.sim_accuracy(prefix + "model.accuracy", model.window_accuracy);
+    reporter.metric(prefix + "model.ece", model.ece, "fraction", "sim", "lower");
+    reporter.metric(prefix + "model.separation_min", model.separation_min, "fraction",
+                    "sim", "higher");
     reporter.info(prefix + "drift_fires", static_cast<double>(frozen.drift_fires));
     if (frozen.detection_delay_s >= 0.0) {
       reporter.info(prefix + "detection_delay_s", frozen.detection_delay_s, "s");

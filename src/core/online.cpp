@@ -113,8 +113,17 @@ std::uint32_t OnlineLearner::predict(std::span<const float> sample) const {
   return model_.predict(encoder_.encode(sample), config_.similarity);
 }
 
+std::vector<float> OnlineLearner::encode(std::span<const float> sample) const {
+  return encoder_.encode(sample);
+}
+
 OnlineLearner::Decision OnlineLearner::decide(std::span<const float> sample) const {
-  const auto scores = model_.scores(encoder_.encode(sample), config_.similarity);
+  return decide_encoded(encoder_.encode(sample));
+}
+
+OnlineLearner::Decision OnlineLearner::decide_encoded(
+    std::span<const float> encoded) const {
+  const auto scores = model_.scores(encoded, config_.similarity);
   Decision decision;
   decision.predicted = static_cast<std::uint32_t>(tensor::argmax(scores));
   decision.top1 = scores[decision.predicted];

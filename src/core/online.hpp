@@ -111,6 +111,15 @@ class OnlineLearner {
   };
   Decision decide(std::span<const float> sample) const;
 
+  /// The encoded hypervector `decide`/`learn` score against the class
+  /// vectors. Exposed so observability layers (per-dimension
+  /// discriminability in obs/model_stats.hpp) can reuse the encoding the
+  /// serving path already needs instead of paying a second projection.
+  std::vector<float> encode(std::span<const float> sample) const;
+
+  /// `decide` on a pre-encoded hypervector (see `encode`).
+  Decision decide_encoded(std::span<const float> encoded) const;
+
   /// Freezes the current state into a deployable classifier (copy).
   TrainedClassifier freeze() const;
 

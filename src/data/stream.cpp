@@ -10,6 +10,13 @@ void StreamConfig::validate() const {
   spec.validate();
   HDC_CHECK(chunk_size > 0, "stream chunks must be non-empty");
   HDC_CHECK(drift_duration_chunks > 0, "drift duration must be positive");
+  if (has_label_swap()) {
+    HDC_CHECK(drift_swap_a != UINT32_MAX && drift_swap_b != UINT32_MAX,
+              "label-swap drift needs both classes of the pair");
+    HDC_CHECK(drift_swap_a != drift_swap_b, "label-swap classes must differ");
+    HDC_CHECK(drift_swap_a < spec.classes && drift_swap_b < spec.classes,
+              "label-swap class out of range");
+  }
 }
 
 DriftStream::DriftStream(StreamConfig config) : config_(config), rng_(config.spec.seed) {
@@ -52,13 +59,30 @@ Dataset DriftStream::next_chunk() {
   chunk.features = tensor::MatrixF(config_.chunk_size, spec.features);
   chunk.labels.resize(config_.chunk_size);
 
+  // Label-swap drift is abrupt: it engages the moment drift begins and stays
+  // (relabeling has no meaningful "partial" state, unlike prototype morphs).
+  // It replaces the prototype morph rather than compounding with it — the
+  // feature distribution stays stationary so the confusion matrix
+  // concentrates on exactly the swapped pair, which is what the
+  // `confusion_pair` alarm and dimension-attribution docs demonstrate.
+  const bool swap_active = config_.has_label_swap() && mix > 0.0F;
+  const float proto_mix = config_.has_label_swap() ? 0.0F : mix;
+
   std::vector<float> latent(r);
   for (std::uint32_t i = 0; i < config_.chunk_size; ++i) {
     const auto label = static_cast<std::uint32_t>(rng_.next_below(spec.classes));
-    chunk.labels[i] = label;
+    std::uint32_t emitted = label;
+    if (swap_active) {
+      if (label == config_.drift_swap_a) {
+        emitted = config_.drift_swap_b;
+      } else if (label == config_.drift_swap_b) {
+        emitted = config_.drift_swap_a;
+      }
+    }
+    chunk.labels[i] = emitted;
     for (std::uint32_t j = 0; j < r; ++j) {
-      const float prototype =
-          (1.0F - mix) * prototypes_a_(label, j) + mix * prototypes_b_(label, j);
+      const float prototype = (1.0F - proto_mix) * prototypes_a_(label, j) +
+                              proto_mix * prototypes_b_(label, j);
       latent[j] = prototype * spec.class_separation + spec.noise_sigma * rng_.gaussian();
     }
     auto row = chunk.features.row(i);

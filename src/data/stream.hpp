@@ -17,6 +17,19 @@ struct StreamConfig {
   std::uint32_t drift_start_chunk = UINT32_MAX;
   /// Chunks over which the class prototypes morph to a new concept.
   std::uint32_t drift_duration_chunks = 10;
+  /// Label-swap drift: once drift begins, samples generated from class
+  /// `drift_swap_a`'s concept are emitted with label `drift_swap_b` and vice
+  /// versa (abrupt relabeling, persists for the rest of the stream). A model
+  /// trained pre-drift keeps predicting the generative class, so the
+  /// confusion matrix concentrates on exactly this pair — the scenario the
+  /// model-quality monitor's "confusion_pair" alarm names. UINT32_MAX on
+  /// both = disabled.
+  std::uint32_t drift_swap_a = UINT32_MAX;
+  std::uint32_t drift_swap_b = UINT32_MAX;
+
+  bool has_label_swap() const {
+    return drift_swap_a != UINT32_MAX || drift_swap_b != UINT32_MAX;
+  }
 
   void validate() const;
 };

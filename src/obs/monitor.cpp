@@ -180,14 +180,23 @@ void Ewma::observe(SimDuration t, double value) {
 
 std::optional<AlarmEvent> ThresholdAlarm::update(SimDuration t, double value) {
   last_value_ = value;
+  const auto edge = [&](bool fired) {
+    AlarmEvent event;
+    event.alarm = name_;
+    event.fired = fired;
+    event.at = t;
+    event.value = value;
+    event.threshold = threshold_;
+    return event;
+  };
   if (!firing_ && value > threshold_) {
     firing_ = true;
     ++fired_total_;
-    return AlarmEvent{name_, /*fired=*/true, t, value, threshold_};
+    return edge(true);
   }
   if (firing_ && value <= threshold_) {
     firing_ = false;
-    return AlarmEvent{name_, /*fired=*/false, t, value, threshold_};
+    return edge(false);
   }
   return std::nullopt;
 }
@@ -329,38 +338,20 @@ void ServingMonitor::record_admission(SimDuration at, std::uint64_t offered_samp
 }
 
 void ServingMonitor::set_quarantined(bool quarantined, SimDuration at) {
-  if (quarantined == quarantined_) {
-    return;
-  }
-  quarantined_ = quarantined;
-  if (quarantined) {
-    suppressed_this_quarantine_ = 0;
-    return;
-  }
-  // Recovery: re-emit one fire per suppressed alarm whose condition still
-  // holds, stamped at the recovery time; fire-then-clear pairs that happened
-  // wholly inside the quarantine were already cancelled in dispatch_event.
-  std::uint64_t replayed = 0;
-  for (const AlarmEvent& pending : pending_fires_) {
-    const ThresholdAlarm* alarm = find_alarm(pending.alarm);
-    if (alarm != nullptr && alarm->firing()) {
-      AlarmEvent event = pending;
-      event.at = at;
-      event.value = alarm->last_value();
-      push_event(event);
-      ++replayed;
-    }
-  }
-  pending_fires_.clear();
-  if (suppressed_this_quarantine_ > 0) {
-    char message[160];
-    std::snprintf(message, sizeof(message),
-                  "alarm=quarantine event=summary suppressed=%llu replayed=%llu t_s=%.9g",
-                  static_cast<unsigned long long>(suppressed_this_quarantine_),
-                  static_cast<unsigned long long>(replayed), at.to_seconds());
-    HDC_LOG_WARN << message;
-  }
-  suppressed_this_quarantine_ = 0;
+  gate_.set_quarantined(
+      quarantined, at,
+      [this](std::string_view name) { return find_alarm(name); },
+      [this](const AlarmEvent& event) { push_event(event); });
+}
+
+void detail::log_quarantine_summary(std::uint64_t suppressed, std::uint64_t replayed,
+                                    SimDuration at) {
+  char message[160];
+  std::snprintf(message, sizeof(message),
+                "alarm=quarantine event=summary suppressed=%llu replayed=%llu t_s=%.9g",
+                static_cast<unsigned long long>(suppressed),
+                static_cast<unsigned long long>(replayed), at.to_seconds());
+  HDC_LOG_WARN << message;
 }
 
 double ServingMonitor::windowed_accuracy(SimDuration now) {
@@ -445,38 +436,15 @@ void ServingMonitor::evaluate_alarms(SimDuration now) {
 }
 
 void ServingMonitor::dispatch_event(std::optional<AlarmEvent> event) {
-  if (!event.has_value()) {
-    return;
-  }
-  if (!quarantined_) {
-    push_event(*event);
-    return;
-  }
-  if (event->fired) {
-    ++suppressed_fires_total_;
-    ++suppressed_this_quarantine_;
-    for (AlarmEvent& pending : pending_fires_) {
-      if (pending.alarm == event->alarm) {
-        pending = *event;
-        return;
-      }
-    }
-    pending_fires_.push_back(*event);
-    return;
-  }
-  for (auto it = pending_fires_.begin(); it != pending_fires_.end(); ++it) {
-    if (it->alarm == event->alarm) {
-      // Fire and clear both happened inside the quarantine: net silence.
-      pending_fires_.erase(it);
-      return;
-    }
-  }
-  // The matching fire predates the quarantine, so its clear stays exact.
-  push_event(*event);
+  gate_.dispatch(std::move(event), [this](const AlarmEvent& e) { push_event(e); });
 }
 
 void ServingMonitor::push_event(const AlarmEvent& event) {
   events_.push_back(event);
+  log_alarm_event(event);
+}
+
+void log_alarm_event(const AlarmEvent& event) {
   char message[192];
   std::snprintf(message, sizeof(message),
                 "alarm=%s event=%s value=%.6g threshold=%.6g t_s=%.9g",
@@ -486,6 +454,10 @@ void ServingMonitor::push_event(const AlarmEvent& event) {
   if (event.exemplar_request_id >= 0) {
     line += " exemplar=";
     line += std::to_string(event.exemplar_request_id);
+  }
+  if (!event.detail.empty()) {
+    line += " detail=";
+    line += event.detail;
   }
   HDC_LOG_WARN << line;
 }
@@ -557,8 +529,8 @@ MonitorSnapshot ServingMonitor::snapshot(SimDuration now) {
   snap.shed_total = shed_total_;
   snap.expired_total = expired_total_;
   snap.degraded_total = degraded_total_;
-  snap.quarantined = quarantined_;
-  snap.suppressed_alarms_total = suppressed_fires_total_;
+  snap.quarantined = gate_.quarantined();
+  snap.suppressed_alarms_total = gate_.suppressed_total();
 
   const std::array<double, kNumStages> attribution = windowed_attribution_s(now);
   double attribution_total = 0.0;
@@ -630,16 +602,19 @@ void read_alarm(ByteReader& r, ThresholdAlarm& alarm) {
   alarm.restore(firing, last_value, fired_total);
 }
 
-void write_event(ByteWriter& w, const AlarmEvent& event) {
+}  // namespace
+
+void detail::write_alarm_event(ByteWriter& w, const AlarmEvent& event) {
   w.write_string(event.alarm);
   w.write<std::uint8_t>(event.fired ? 1 : 0);
   write_duration(w, event.at);
   w.write<double>(event.value);
   w.write<double>(event.threshold);
   w.write<std::int64_t>(event.exemplar_request_id);
+  w.write_string(event.detail);
 }
 
-AlarmEvent read_event(ByteReader& r) {
+AlarmEvent detail::read_alarm_event(ByteReader& r) {
   AlarmEvent event;
   event.alarm = r.read_string();
   event.fired = r.read<std::uint8_t>() != 0;
@@ -647,27 +622,42 @@ AlarmEvent read_event(ByteReader& r) {
   event.value = r.read<double>();
   event.threshold = r.read<double>();
   event.exemplar_request_id = r.read<std::int64_t>();
+  event.detail = r.read_string();
   return event;
 }
 
-void write_events(ByteWriter& w, const std::vector<AlarmEvent>& events) {
+void detail::write_alarm_events(ByteWriter& w, const std::vector<AlarmEvent>& events) {
   w.write<std::uint32_t>(static_cast<std::uint32_t>(events.size()));
   for (const AlarmEvent& event : events) {
-    write_event(w, event);
+    write_alarm_event(w, event);
   }
 }
 
-std::vector<AlarmEvent> read_events(ByteReader& r) {
+std::vector<AlarmEvent> detail::read_alarm_events(ByteReader& r) {
   const auto count = r.read<std::uint32_t>();
   std::vector<AlarmEvent> events;
   events.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    events.push_back(read_event(r));
+    events.push_back(read_alarm_event(r));
   }
   return events;
 }
 
-}  // namespace
+// ------------------------------------------------------- QuarantineGate ----
+
+void QuarantineGate::serialize(ByteWriter& writer) const {
+  writer.write<std::uint8_t>(quarantined_ ? 1 : 0);
+  detail::write_alarm_events(writer, pending_fires_);
+  writer.write<std::uint64_t>(suppressed_total_);
+  writer.write<std::uint64_t>(suppressed_this_quarantine_);
+}
+
+void QuarantineGate::restore(ByteReader& reader) {
+  quarantined_ = reader.read<std::uint8_t>() != 0;
+  pending_fires_ = detail::read_alarm_events(reader);
+  suppressed_total_ = reader.read<std::uint64_t>();
+  suppressed_this_quarantine_ = reader.read<std::uint64_t>();
+}
 
 void SlidingCounter::serialize(ByteWriter& writer) const {
   writer.write<std::uint64_t>(ring_.cursor());
@@ -780,12 +770,9 @@ void ServingMonitor::serialize(ByteWriter& writer) const {
   write_alarm(writer, alarm_fallback_);
   write_alarm(writer, alarm_drift_);
   write_alarm(writer, alarm_shed_);
-  write_events(writer, events_);
+  detail::write_alarm_events(writer, events_);
 
-  writer.write<std::uint8_t>(quarantined_ ? 1 : 0);
-  write_events(writer, pending_fires_);
-  writer.write<std::uint64_t>(suppressed_fires_total_);
-  writer.write<std::uint64_t>(suppressed_this_quarantine_);
+  gate_.serialize(writer);
 
   writer.write<std::uint64_t>(samples_total_);
   writer.write<std::uint64_t>(errors_total_);
@@ -853,12 +840,9 @@ ServingMonitor ServingMonitor::deserialize(ByteReader& reader) {
   read_alarm(reader, monitor.alarm_fallback_);
   read_alarm(reader, monitor.alarm_drift_);
   read_alarm(reader, monitor.alarm_shed_);
-  monitor.events_ = read_events(reader);
+  monitor.events_ = detail::read_alarm_events(reader);
 
-  monitor.quarantined_ = reader.read<std::uint8_t>() != 0;
-  monitor.pending_fires_ = read_events(reader);
-  monitor.suppressed_fires_total_ = reader.read<std::uint64_t>();
-  monitor.suppressed_this_quarantine_ = reader.read<std::uint64_t>();
+  monitor.gate_.restore(reader);
 
   monitor.samples_total_ = reader.read<std::uint64_t>();
   monitor.errors_total_ = reader.read<std::uint64_t>();
@@ -993,6 +977,12 @@ std::string MonitorSnapshot::to_json() const {
   }
   out += "}";
 
+  // Model-quality section (obs/model_stats.hpp), pre-rendered by the owner.
+  if (!model_json.empty()) {
+    out += ",\"model\":";
+    out += model_json;
+  }
+
   // Flat gate map in the hdc-bench-v1 entry shape: `hdc_perfdiff` diffs a
   // snapshot against a committed baseline exactly like a bench JSON.
   out += ",\"metrics\":{";
@@ -1050,6 +1040,7 @@ std::string MonitorSnapshot::to_json() const {
   }
   append_gate_metric(out, "alarms.drift.fired_total", drift_fired, "", "info", "lower",
                      true);
+  out += model_metrics_json;  // ",\"model.x\":{...}" entries (possibly empty)
   out += "}}";
   return out;
 }
@@ -1183,6 +1174,7 @@ std::string MonitorSnapshot::to_prometheus() const {
     prom_line(out, "hdc_serve_alarm_fired_total", labels,
               static_cast<double>(alarm.fired_total));
   }
+  out += model_prometheus;  // hdc_model_* families (possibly empty)
   return out;
 }
 

@@ -216,7 +216,16 @@ struct AlarmEvent {
   /// full span chain for tail requests, so this id links the alarm line
   /// directly to a concrete causal trace (`hdc_traceq --req <id>`).
   std::int64_t exemplar_request_id = -1;
+  /// Free-form culprit tag ("class=3", "pair=2->5"); empty for alarms whose
+  /// signal has no per-entity argmax. Appended to the structured log line as
+  /// ` detail=...` and carried through checkpoints.
+  std::string detail;
 };
+
+/// Emits the canonical `alarm=... event=fire|clear ...` WARN line for one
+/// edge (shared by ServingMonitor and ModelQualityStats so log consumers see
+/// one grammar).
+void log_alarm_event(const AlarmEvent& event);
 
 /// Edge-triggered threshold alarm: fires once when the value crosses the
 /// threshold, stays silent while the condition holds, and clears once when
@@ -249,6 +258,110 @@ class ThresholdAlarm {
   bool firing_ = false;
   double last_value_ = 0.0;
   std::uint64_t fired_total_ = 0;
+};
+
+namespace detail {
+/// Alarm-event wire format shared by ServingMonitor, ModelQualityStats and
+/// the quarantine gate (serve checkpoint).
+void write_alarm_event(ByteWriter& writer, const AlarmEvent& event);
+AlarmEvent read_alarm_event(ByteReader& reader);
+void write_alarm_events(ByteWriter& writer, const std::vector<AlarmEvent>& events);
+std::vector<AlarmEvent> read_alarm_events(ByteReader& reader);
+/// The `alarm=quarantine event=summary ...` WARN emitted on recovery.
+void log_quarantine_summary(std::uint64_t suppressed, std::uint64_t replayed, SimDuration at);
+}  // namespace detail
+
+/// Device-quarantine gate for alarm edges (suppress-and-summarize), shared
+/// by `ServingMonitor` and `ModelQualityStats`: while quarantined, alarm
+/// *fire* edges are swallowed (counted, not emitted); a fire-then-clear
+/// wholly inside the quarantine nets to silence, while the clear of a
+/// pre-quarantine fire is still emitted exactly. Leaving quarantine re-emits
+/// one fire per still-firing suppressed alarm, stamped at the recovery time,
+/// plus a summary log line. Purely observational — it gates which events are
+/// emitted, never what the alarms compute.
+class QuarantineGate {
+ public:
+  bool quarantined() const noexcept { return quarantined_; }
+  std::uint64_t suppressed_total() const noexcept { return suppressed_total_; }
+
+  /// Routes one alarm edge. `emit(const AlarmEvent&)` appends to the owner's
+  /// event history / structured log.
+  template <typename Emit>
+  void dispatch(std::optional<AlarmEvent> event, Emit&& emit) {
+    if (!event.has_value()) {
+      return;
+    }
+    if (!quarantined_) {
+      emit(*event);
+      return;
+    }
+    if (event->fired) {
+      // Swallow the fire but remember it (latest edge wins per alarm) so
+      // recovery can replay still-firing conditions once.
+      ++suppressed_total_;
+      ++suppressed_this_quarantine_;
+      for (AlarmEvent& pending : pending_fires_) {
+        if (pending.alarm == event->alarm) {
+          pending = *event;
+          return;
+        }
+      }
+      pending_fires_.push_back(*event);
+      return;
+    }
+    // Clear edge: if it closes a suppressed fire, the pair nets to silence;
+    // otherwise it clears a pre-quarantine fire and is emitted exactly.
+    for (auto it = pending_fires_.begin(); it != pending_fires_.end(); ++it) {
+      if (it->alarm == event->alarm) {
+        pending_fires_.erase(it);
+        return;
+      }
+    }
+    emit(*event);
+  }
+
+  /// Entering quarantine arms suppression; leaving replays one fire per
+  /// still-firing suppressed alarm (`find(name)` resolves the owner's
+  /// `ThresholdAlarm*`, null = unknown) and logs the summary line.
+  template <typename FindAlarm, typename Emit>
+  void set_quarantined(bool quarantined, SimDuration at, FindAlarm&& find, Emit&& emit) {
+    if (quarantined == quarantined_) {
+      return;
+    }
+    quarantined_ = quarantined;
+    if (quarantined_) {
+      suppressed_this_quarantine_ = 0;
+      return;
+    }
+    std::uint64_t replayed = 0;
+    for (const AlarmEvent& pending : pending_fires_) {
+      const ThresholdAlarm* alarm = find(std::string_view(pending.alarm));
+      if (alarm != nullptr && alarm->firing()) {
+        AlarmEvent event = pending;
+        event.at = at;
+        event.value = alarm->last_value();
+        emit(event);
+        ++replayed;
+      }
+    }
+    pending_fires_.clear();
+    if (suppressed_this_quarantine_ > 0) {
+      detail::log_quarantine_summary(suppressed_this_quarantine_, replayed, at);
+    }
+    suppressed_this_quarantine_ = 0;
+  }
+
+  /// Exact-state round-trip (serve checkpoint). Byte layout is the historic
+  /// ServingMonitor quarantine block: quarantined u8, pending fire events,
+  /// suppressed_total u64, suppressed_this_quarantine u64.
+  void serialize(ByteWriter& writer) const;
+  void restore(ByteReader& reader);
+
+ private:
+  bool quarantined_ = false;
+  std::vector<AlarmEvent> pending_fires_;  ///< fires suppressed in quarantine
+  std::uint64_t suppressed_total_ = 0;
+  std::uint64_t suppressed_this_quarantine_ = 0;
 };
 
 /// Everything the live monitor watches, with thresholds for the alarms.
@@ -350,6 +463,16 @@ struct MonitorSnapshot {
   };
   std::vector<AlarmState> alarms;
 
+  /// Model-quality section (see obs/model_stats.hpp), pre-rendered by the
+  /// owning serving loop and spliced verbatim: `model_json` becomes the
+  /// snapshot's `"model"` object, `model_metrics_json` is a run of
+  /// `,"model.x":{...}` entries appended inside the flat `metrics` map, and
+  /// `model_prometheus` is appended to the text exposition. All empty when
+  /// no model-quality monitor is attached.
+  std::string model_json;
+  std::string model_metrics_json;
+  std::string model_prometheus;
+
   /// hdc-monitor-v1 JSON. Contains the nested telemetry plus a flat
   /// `metrics` map in the hdc-bench-v1 entry shape, so `hdc_perfdiff` can
   /// gate a snapshot exactly like a bench JSON.
@@ -414,8 +537,8 @@ class ServingMonitor {
   /// at the recovery time, plus a summary log line. Purely observational —
   /// it gates which events are emitted, never what the alarms compute.
   void set_quarantined(bool quarantined, SimDuration at);
-  bool quarantined() const noexcept { return quarantined_; }
-  std::uint64_t suppressed_fires_total() const noexcept { return suppressed_fires_total_; }
+  bool quarantined() const noexcept { return gate_.quarantined(); }
+  std::uint64_t suppressed_fires_total() const noexcept { return gate_.suppressed_total(); }
 
   // ---- windowed views (advance the window to `now`, then read) ----
   std::uint64_t window_samples(SimDuration now) { return latency_.count(now); }
@@ -503,10 +626,7 @@ class ServingMonitor {
   ThresholdAlarm alarm_shed_;
   std::vector<AlarmEvent> events_;
 
-  bool quarantined_ = false;
-  std::vector<AlarmEvent> pending_fires_;  ///< fires suppressed in quarantine
-  std::uint64_t suppressed_fires_total_ = 0;
-  std::uint64_t suppressed_this_quarantine_ = 0;
+  QuarantineGate gate_;
 
   std::uint64_t samples_total_ = 0;
   std::uint64_t errors_total_ = 0;

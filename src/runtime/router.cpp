@@ -276,6 +276,11 @@ FleetResult serve_fleet(const CoDesignFramework& framework, const ServeConfig& c
   std::vector<std::vector<std::uint32_t>> preds(total_offered);
   obs::ExemplarStore exemplar_store(config.exemplars);
   LazyMonitor fleet_monitor;
+  // Model quality: one fleet-wide aggregate (outcomes/calibration only —
+  // tenants encode with different seeds, so cross-tenant dimensions are not
+  // comparable and `dim` stays 0) plus one full instance per tenant.
+  std::optional<obs::ModelQualityStats> fleet_stats;
+  std::vector<std::optional<obs::ModelQualityStats>> tenant_stats(fleet.num_tenants);
   std::uint64_t correct_total = 0;
 
   double log_clock = 0.0;
@@ -304,6 +309,22 @@ FleetResult serve_fleet(const CoDesignFramework& framework, const ServeConfig& c
       mc.slo_latency = per_sample * 1.5;
     }
     return mc;
+  };
+
+  // Shares the fleet monitor's resolved window and lifecycle. Each tenant
+  // instance sees its own frozen scorer model once (frozen fleet = one
+  // observe_model each, no refreshes).
+  const auto init_model_stats = [&](const obs::WindowConfig& window) {
+    obs::ModelStatsConfig msc = config.model_stats;
+    msc.num_classes = spec.classes;
+    msc.window = window;
+    msc.dim = 0;
+    fleet_stats.emplace(msc);
+    msc.dim = config.learner.dim;
+    for (std::uint32_t t = 0; t < fleet.num_tenants; ++t) {
+      tenant_stats[t].emplace(msc);
+      tenant_stats[t]->observe_model(tenants[t].scorer.model().class_hypervectors());
+    }
   };
 
   // ---- placement -----------------------------------------------------------
@@ -506,9 +527,12 @@ FleetResult serve_fleet(const CoDesignFramework& framework, const ServeConfig& c
                                             (1.0 / static_cast<double>(n_total))));
     }
     if (!fleet_monitor.monitor.has_value()) {
-      fleet_monitor.init(monitor_config(swap_upload + service_total,
-                                        (swap_upload + service_total) *
-                                            (1.0 / static_cast<double>(n_total))));
+      const obs::MonitorConfig mc =
+          monitor_config(swap_upload + service_total,
+                         (swap_upload + service_total) *
+                             (1.0 / static_cast<double>(n_total)));
+      fleet_monitor.init(mc);
+      init_model_stats(mc.window);
     }
     shard.monitor.monitor->set_quarantined(
         shard.health.state() == DeviceHealth::kQuarantined, end);
@@ -536,8 +560,10 @@ FleetResult serve_fleet(const CoDesignFramework& framework, const ServeConfig& c
       for (std::size_t j = 0; j < n; ++j, ++g) {
         const std::uint32_t predicted = predictions[g];
         const std::uint32_t label = req.data.labels[j];
+        const std::vector<float> encoded =
+            tenant.scorer.encode(req.data.features.row(j));
         const core::OnlineLearner::Decision decision =
-            tenant.scorer.decide(req.data.features.row(j));
+            tenant.scorer.decide_encoded(encoded);
         obs::ServingMonitor::Sample sample;
         sample.at = service_start + per_sample * static_cast<double>(g + 1);
         sample.latency = member_latency_base + per_sample;
@@ -548,6 +574,20 @@ FleetResult serve_fleet(const CoDesignFramework& framework, const ServeConfig& c
         log_clock = sample.at.to_seconds();
         shard.monitor.monitor->record(sample);
         fleet_monitor.monitor->record(sample);
+
+        // Served samples only, into both the aggregate and this tenant's
+        // instance; dimensions go to the tenant alone (its own encoder).
+        obs::ModelQualityStats::Sample msample;
+        msample.at = sample.at;
+        msample.predicted = predicted;
+        msample.label = label;
+        msample.top1 = static_cast<double>(decision.top1);
+        msample.request_id = static_cast<std::int64_t>(req.id);
+        fleet_stats->record(msample);
+        obs::ModelQualityStats& tstats = *tenant_stats[tenant_index];
+        tstats.record(msample);
+        tstats.record_dimensions(sample.at, label, encoded);
+
         member_correct += predicted == label ? 1 : 0;
         preds[req.id].push_back(predicted);
       }
@@ -683,6 +723,9 @@ FleetResult serve_fleet(const CoDesignFramework& framework, const ServeConfig& c
   if (!fleet_monitor.monitor.has_value()) {
     fleet_monitor.init(degenerate_config());
   }
+  if (!fleet_stats.has_value()) {
+    init_model_stats(degenerate_config().window);
+  }
 
   SimDuration t_end;
   for (const auto& shard : shards) {
@@ -730,6 +773,42 @@ FleetResult serve_fleet(const CoDesignFramework& framework, const ServeConfig& c
 
   result.fleet_snapshot = fleet_monitor.monitor->snapshot(t_end);
   result.events = fleet_monitor.monitor->events();
+
+  result.fleet_model = fleet_stats->snapshot(t_end);
+  result.model_events = fleet_stats->events();
+  result.tenant_models.reserve(fleet.num_tenants);
+  std::uint64_t tenant_sample_sum = 0;
+  for (std::uint32_t t = 0; t < fleet.num_tenants; ++t) {
+    result.tenant_models.push_back(tenant_stats[t]->snapshot(t_end));
+    tenant_sample_sum += result.tenant_models.back().samples_total;
+  }
+  HDC_CHECK(result.fleet_model.samples_total == result.samples_served,
+            "model-quality conservation violated: aggregate samples != served");
+  HDC_CHECK(tenant_sample_sum == result.samples_served,
+            "model-quality conservation violated: tenant samples don't sum to served");
+
+  // The fleet snapshot's `model` object is the aggregate with the per-tenant
+  // views spliced in as a `tenants` array (the aggregate to_json always ends
+  // in '}'); gates and Prometheus carry the aggregate only.
+  {
+    std::string model_json = result.fleet_model.to_json();
+    model_json.pop_back();
+    model_json += ",\"tenants\":[";
+    for (std::uint32_t t = 0; t < fleet.num_tenants; ++t) {
+      if (t > 0) {
+        model_json += ',';
+      }
+      model_json += "{\"tenant\":";
+      model_json += std::to_string(t);
+      model_json += ",\"model\":";
+      model_json += result.tenant_models[t].to_json();
+      model_json += '}';
+    }
+    model_json += "]}";
+    result.fleet_snapshot.model_json = std::move(model_json);
+    result.fleet_snapshot.model_metrics_json = result.fleet_model.metrics_json();
+    result.fleet_snapshot.model_prometheus = result.fleet_model.to_prometheus();
+  }
 
   result.predictions.reserve(static_cast<std::size_t>(result.samples_served));
   for (const auto& chunk_preds : preds) {

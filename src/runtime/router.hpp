@@ -118,6 +118,17 @@ struct FleetResult {
   obs::MonitorSnapshot fleet_snapshot;
   std::vector<obs::AlarmEvent> events;
 
+  /// Fleet-aggregate model quality (outcomes/calibration only — tenants
+  /// encode with different seeds, so cross-tenant dimension stats are
+  /// meaningless and `dim` is 0) plus one full per-tenant view each
+  /// (dimension discriminability against that tenant's own encoder).
+  /// Conservation: the aggregate's samples_total == samples_served and the
+  /// per-tenant samples_total sum to it.
+  obs::ModelStatsSnapshot fleet_model;
+  std::vector<obs::ModelStatsSnapshot> tenant_models;
+  /// Model alarm edges from the fleet aggregate, separate from `events`.
+  std::vector<obs::AlarmEvent> model_events;
+
   obs::RequestAttribution attribution_total;
   std::uint64_t requests_traced = 0;
   std::vector<obs::RequestExemplar> exemplar_records;

@@ -17,6 +17,7 @@
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "core/serialize.hpp"
+#include "obs/json.hpp"
 #include "obs/trace.hpp"
 
 namespace hdc::runtime {
@@ -86,7 +87,11 @@ constexpr std::uint32_t kServeMagic = 0x56534448;  // "HDSV" little-endian
 // v3: per-chunk windowed_accuracy/drift_score joined ChunkStats, and the
 // full serving-monitor state (windows, EWMAs, alarms, event history,
 // quarantine gate, lifetime totals) is appended after `requests_traced`.
-constexpr std::uint32_t kServeVersion = 3;
+// v4: the config fingerprint gained the stream's label-swap drift pair,
+// alarm events carry a `detail` string on the wire, and the model-quality
+// monitor (obs/model_stats.hpp: confusion/calibration/dimension state) is
+// appended after the serving monitor.
+constexpr std::uint32_t kServeVersion = 4;
 
 /// Everything a resumed session restores before re-entering the loop.
 struct RestoredState {
@@ -121,6 +126,8 @@ struct RestoredState {
   /// The serving monitor exactly as it was at checkpoint time (absent when
   /// the interrupted run never served a chunk, so no monitor existed yet).
   std::optional<obs::ServingMonitor> monitor;
+  /// Model-quality monitor state (same lazy lifecycle as `monitor`).
+  std::optional<obs::ModelQualityStats> model_stats;
 };
 
 void write_fingerprint(ByteWriter& w, const ServeConfig& config) {
@@ -136,6 +143,8 @@ void write_fingerprint(ByteWriter& w, const ServeConfig& config) {
   w.write<std::uint32_t>(config.stream.chunk_size);
   w.write<std::uint32_t>(config.stream.drift_start_chunk);
   w.write<std::uint32_t>(config.stream.drift_duration_chunks);
+  w.write<std::uint32_t>(config.stream.drift_swap_a);
+  w.write<std::uint32_t>(config.stream.drift_swap_b);
   w.write<std::uint32_t>(config.learner.dim);
   w.write<std::uint64_t>(config.learner.seed);
   w.write<float>(config.learner.learning_rate);
@@ -167,57 +176,54 @@ void check_fingerprint_field(T got, T expected, const char* field) {
                 "stream/learner/admission configuration");
 }
 
-void read_fingerprint(ByteReader& r, const ServeConfig& config) {
+/// Traverses the fingerprint. Strict mode (config != nullptr) matches every
+/// field against the resuming config; relaxed mode (nullptr, used by
+/// `checkpoint_model_stats_json`) reads and discards — every field is a
+/// fixed-size scalar, so the traversal needs no configuration.
+void read_fingerprint(ByteReader& r, const ServeConfig* maybe_config) {
+  const ServeConfig defaults;
+  const ServeConfig& config = maybe_config != nullptr ? *maybe_config : defaults;
+  const bool strict = maybe_config != nullptr;
+  const auto field = [&](auto expected, const char* name) {
+    const auto got = r.read<decltype(expected)>();
+    if (strict) {
+      check_fingerprint_field(got, expected, name);
+    }
+  };
   const data::SyntheticSpec& spec = config.stream.spec;
-  check_fingerprint_field(r.read<std::uint32_t>(), spec.features, "features");
-  check_fingerprint_field(r.read<std::uint32_t>(), spec.classes, "classes");
-  check_fingerprint_field(r.read<std::uint32_t>(), spec.samples, "samples");
-  check_fingerprint_field(r.read<std::uint32_t>(), spec.latent_dim, "latent_dim");
-  check_fingerprint_field(r.read<std::uint64_t>(), spec.seed, "stream seed");
-  check_fingerprint_field(r.read<float>(), spec.class_separation, "class_separation");
-  check_fingerprint_field(r.read<float>(), spec.noise_sigma, "noise_sigma");
-  check_fingerprint_field(r.read<float>(), spec.warp_strength, "warp_strength");
-  check_fingerprint_field(r.read<std::uint32_t>(), config.stream.chunk_size, "chunk_size");
-  check_fingerprint_field(r.read<std::uint32_t>(), config.stream.drift_start_chunk,
-                          "drift_start_chunk");
-  check_fingerprint_field(r.read<std::uint32_t>(), config.stream.drift_duration_chunks,
-                          "drift_duration_chunks");
-  check_fingerprint_field(r.read<std::uint32_t>(), config.learner.dim, "learner dim");
-  check_fingerprint_field(r.read<std::uint64_t>(), config.learner.seed, "learner seed");
-  check_fingerprint_field(r.read<float>(), config.learner.learning_rate, "learning_rate");
-  check_fingerprint_field(r.read<std::uint8_t>(),
-                          static_cast<std::uint8_t>(config.learner.similarity),
-                          "similarity");
-  check_fingerprint_field(r.read<std::uint32_t>(), config.learner.error_window,
-                          "error_window");
-  check_fingerprint_field(r.read<std::uint32_t>(), config.warmup_chunks, "warmup_chunks");
-  check_fingerprint_field(r.read<std::uint32_t>(), config.serve_chunks, "serve_chunks");
-  check_fingerprint_field(r.read<std::uint8_t>(),
-                          static_cast<std::uint8_t>(config.online_updates ? 1 : 0),
-                          "online_updates");
-  check_fingerprint_field(r.read<std::uint32_t>(), config.model_refresh_chunks,
-                          "model_refresh_chunks");
-  check_fingerprint_field(r.read<std::uint32_t>(), config.effective_reduced_dim(),
-                          "reduced_dim");
-  check_fingerprint_field(r.read<double>(), config.admission.offered_load, "offered_load");
-  check_fingerprint_field(r.read<std::uint32_t>(), config.admission.queue_capacity,
-                          "queue_capacity");
-  check_fingerprint_field(r.read<std::uint8_t>(),
-                          static_cast<std::uint8_t>(config.admission.policy), "shed policy");
-  check_fingerprint_field(r.read<double>(), config.admission.deadline.to_seconds(),
-                          "deadline");
-  check_fingerprint_field(r.read<std::uint32_t>(), config.admission.degrade_backlog,
-                          "degrade_backlog");
-  check_fingerprint_field(r.read<std::uint32_t>(), config.health.degrade_after_faults,
-                          "degrade_after_faults");
-  check_fingerprint_field(r.read<std::uint32_t>(), config.health.quarantine_after_faults,
-                          "quarantine_after_faults");
-  check_fingerprint_field(r.read<std::uint32_t>(), config.health.recover_after_successes,
-                          "recover_after_successes");
-  check_fingerprint_field(r.read<double>(), config.health.probe_interval.to_seconds(),
-                          "probe_interval");
-  check_fingerprint_field(r.read<std::uint32_t>(), config.health.probe_successes,
-                          "probe_successes");
+  field(spec.features, "features");
+  field(spec.classes, "classes");
+  field(spec.samples, "samples");
+  field(spec.latent_dim, "latent_dim");
+  field(spec.seed, "stream seed");
+  field(spec.class_separation, "class_separation");
+  field(spec.noise_sigma, "noise_sigma");
+  field(spec.warp_strength, "warp_strength");
+  field(config.stream.chunk_size, "chunk_size");
+  field(config.stream.drift_start_chunk, "drift_start_chunk");
+  field(config.stream.drift_duration_chunks, "drift_duration_chunks");
+  field(config.stream.drift_swap_a, "drift_swap_a");
+  field(config.stream.drift_swap_b, "drift_swap_b");
+  field(config.learner.dim, "learner dim");
+  field(config.learner.seed, "learner seed");
+  field(config.learner.learning_rate, "learning_rate");
+  field(static_cast<std::uint8_t>(config.learner.similarity), "similarity");
+  field(config.learner.error_window, "error_window");
+  field(config.warmup_chunks, "warmup_chunks");
+  field(config.serve_chunks, "serve_chunks");
+  field(static_cast<std::uint8_t>(config.online_updates ? 1 : 0), "online_updates");
+  field(config.model_refresh_chunks, "model_refresh_chunks");
+  field(config.effective_reduced_dim(), "reduced_dim");
+  field(config.admission.offered_load, "offered_load");
+  field(config.admission.queue_capacity, "queue_capacity");
+  field(static_cast<std::uint8_t>(config.admission.policy), "shed policy");
+  field(config.admission.deadline.to_seconds(), "deadline");
+  field(config.admission.degrade_backlog, "degrade_backlog");
+  field(config.health.degrade_after_faults, "degrade_after_faults");
+  field(config.health.quarantine_after_faults, "quarantine_after_faults");
+  field(config.health.recover_after_successes, "recover_after_successes");
+  field(config.health.probe_interval.to_seconds(), "probe_interval");
+  field(config.health.probe_successes, "probe_successes");
 }
 
 void write_chunk_stats(ByteWriter& w, const ServeResult::ChunkStats& c) {
@@ -256,7 +262,12 @@ ServeResult::ChunkStats read_chunk_stats(ByteReader& r) {
   return c;
 }
 
-RestoredState read_checkpoint(const std::string& path, const ServeConfig& config) {
+/// Parses an HDSV checkpoint. Strict mode (config != nullptr, the resume
+/// path) additionally matches the fingerprint and bounds queue/chunk counts
+/// against the configuration; relaxed mode (nullptr) only verifies the
+/// structural invariants (magic, version, CRC, exact payload traversal) —
+/// enough for inspection tools that have no ServeConfig in hand.
+RestoredState read_checkpoint(const std::string& path, const ServeConfig* config) {
   const std::vector<std::uint8_t> bytes = read_file(path);
   HDC_CHECK(bytes.size() > sizeof(std::uint32_t) * 3,
             "serve checkpoint '" + path + "' is too small to be valid");
@@ -282,7 +293,8 @@ RestoredState read_checkpoint(const std::string& path, const ServeConfig& config
   state.reduced = core::OnlineLearner::deserialize(r);
   state.deployed_full = core::deserialize_classifier(r.read_vector<std::uint8_t>());
   state.deployed_reduced = core::deserialize_classifier(r.read_vector<std::uint8_t>());
-  state.health = DeviceHealthTracker::deserialize(r, config.health);
+  state.health = DeviceHealthTracker::deserialize(
+      r, config != nullptr ? config->health : HealthConfig{});
   for (auto& word : state.rng.s) {
     word = r.read<std::uint64_t>();
   }
@@ -290,7 +302,7 @@ RestoredState read_checkpoint(const std::string& path, const ServeConfig& config
   state.rng.spare_gaussian = r.read<float>();
 
   const auto queued = r.read<std::uint32_t>();
-  HDC_CHECK(queued <= config.admission.queue_capacity,
+  HDC_CHECK(config == nullptr || queued <= config->admission.queue_capacity,
             "serve checkpoint queue exceeds the configured capacity");
   for (std::uint32_t i = 0; i < queued; ++i) {
     const auto index = r.read<std::uint32_t>();
@@ -301,7 +313,8 @@ RestoredState read_checkpoint(const std::string& path, const ServeConfig& config
 
   state.predictions = r.read_vector<std::uint32_t>();
   const auto chunk_count = r.read<std::uint32_t>();
-  HDC_CHECK(chunk_count <= config.serve_chunks, "serve checkpoint has too many chunks");
+  HDC_CHECK(config == nullptr || chunk_count <= config->serve_chunks,
+            "serve checkpoint has too many chunks");
   state.chunks.reserve(chunk_count);
   for (std::uint32_t i = 0; i < chunk_count; ++i) {
     state.chunks.push_back(read_chunk_stats(r));
@@ -326,6 +339,9 @@ RestoredState read_checkpoint(const std::string& path, const ServeConfig& config
   state.requests_traced = r.read<std::uint64_t>();
   if (r.read<std::uint8_t>() != 0) {
     state.monitor = obs::ServingMonitor::deserialize(r);
+  }
+  if (r.read<std::uint8_t>() != 0) {
+    state.model_stats = obs::ModelQualityStats::deserialize(r);
   }
   HDC_CHECK(r.exhausted(), "trailing bytes after serve checkpoint payload");
   return state;
@@ -386,7 +402,7 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
 
   std::optional<RestoredState> restored;
   if (!config.resume_from.empty()) {
-    restored = read_checkpoint(config.resume_from, config);
+    restored = read_checkpoint(config.resume_from, &config);
   }
   const bool fresh = !restored.has_value();
 
@@ -493,6 +509,7 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
   // monitor stays deterministic). Admission events that happen earlier are
   // buffered and replayed in order at construction.
   std::optional<obs::ServingMonitor> monitor;
+  std::optional<obs::ModelQualityStats> model_stats;
   std::vector<AdmissionRecord> pending_admission;
   if (restored.has_value() && restored->monitor.has_value()) {
     // Resume with the interrupted run's monitor exactly as checkpointed —
@@ -501,6 +518,9 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
     // uninterrupted run's. The lazy auto-sizing path below is skipped
     // because the monitor already exists.
     monitor.emplace(std::move(*restored->monitor));
+  }
+  if (restored.has_value() && restored->model_stats.has_value()) {
+    model_stats.emplace(std::move(*restored->model_stats));
   }
 
   double log_clock = now.to_seconds();
@@ -528,10 +548,29 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
   };
 
   const auto sync_quarantine = [&](SimDuration at) {
+    const bool quarantined = health.state() == DeviceHealth::kQuarantined;
     if (monitor.has_value()) {
       log_clock = at.to_seconds();
-      monitor->set_quarantined(health.state() == DeviceHealth::kQuarantined, at);
+      monitor->set_quarantined(quarantined, at);
     }
+    if (model_stats.has_value()) {
+      log_clock = at.to_seconds();
+      model_stats->set_quarantined(quarantined, at);
+    }
+  };
+
+  /// Monitor snapshot with the model-quality section spliced in: the
+  /// `model` object, the flat `model.*` gate entries and the `hdc_model_*`
+  /// Prometheus families all ride inside the one hdc-monitor-v1 document.
+  const auto take_snapshot = [&](SimDuration at) {
+    obs::MonitorSnapshot snap = monitor->snapshot(at);
+    if (model_stats.has_value()) {
+      const obs::ModelStatsSnapshot ms = model_stats->snapshot(at);
+      snap.model_json = ms.to_json();
+      snap.model_metrics_json = ms.metrics_json();
+      snap.model_prometheus = ms.to_prometheus();
+    }
+    return snap;
   };
 
   // ---- per-request causal tracing ----------------------------------------
@@ -611,6 +650,10 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
     w.write<std::uint8_t>(monitor.has_value() ? 1 : 0);
     if (monitor.has_value()) {
       monitor->serialize(w);
+    }
+    w.write<std::uint8_t>(model_stats.has_value() ? 1 : 0);
+    if (model_stats.has_value()) {
+      model_stats->serialize(w);
     }
     const std::uint32_t checksum = crc32(w.bytes().data(), w.size());
     w.write<std::uint32_t>(checksum);
@@ -704,6 +747,16 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
         monitor->record_admission(rec.at, rec.offered, rec.shed, rec.expired, rec.degraded);
       }
       pending_admission.clear();
+
+      // The model-quality monitor shares the serving monitor's lifecycle and
+      // (resolved) window, and sees the classifier actually deployed on the
+      // endpoint first.
+      obs::ModelStatsConfig msc = config.model_stats;
+      msc.num_classes = spec.classes;
+      msc.dim = config.learner.dim;
+      msc.window = mc.window;
+      model_stats.emplace(msc);
+      model_stats->observe_model(deployed_full.model.class_hypervectors());
     }
     sync_quarantine(chunk_end);
 
@@ -715,8 +768,10 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
     for (std::size_t j = 0; j < n; ++j) {
       const std::uint32_t predicted = outcome.predictions[j];
       const std::uint32_t label = item.data.labels[j];
-      const core::OnlineLearner::Decision decision =
-          learner.decide(item.data.features.row(j));
+      // Encode once; the decision and the per-dimension discriminability
+      // window both consume the same hypervector.
+      const std::vector<float> encoded = learner.encode(item.data.features.row(j));
+      const core::OnlineLearner::Decision decision = learner.decide_encoded(encoded);
 
       obs::ServingMonitor::Sample sample;
       sample.at = start + per_sample * static_cast<double>(j + 1);
@@ -727,6 +782,17 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
       sample.margin = decision.margin();
       log_clock = sample.at.to_seconds();
       monitor->record(sample);
+
+      // Served samples only — shed/expired chunks never reach this loop, so
+      // confusion row sums stay exactly equal to per-class served counts.
+      obs::ModelQualityStats::Sample msample;
+      msample.at = sample.at;
+      msample.predicted = predicted;
+      msample.label = label;
+      msample.top1 = static_cast<double>(decision.top1);
+      msample.request_id = static_cast<std::int64_t>(item.index);
+      model_stats->record(msample);
+      model_stats->record_dimensions(sample.at, label, encoded);
 
       if (config.online_updates) {
         if (learner.learn(item.data.features.row(j), label) != label) {
@@ -805,6 +871,14 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
       // one-time-upload convention, so a refresh moves no simulated time.
       deployed_full = learner.freeze();
       deployed_reduced = reduced_learner.freeze();
+      // Boundary validation: a refresh (either ladder tier) must never change
+      // the class count mid-stream — the monitors' per-class state would
+      // silently mis-index otherwise. observe_model re-checks shape itself.
+      HDC_CHECK(deployed_full.num_classes() == spec.classes,
+                "model refresh changed the full-tier class count mid-stream");
+      HDC_CHECK(deployed_reduced.num_classes() == spec.classes,
+                "model refresh changed the reduced-tier class count mid-stream");
+      model_stats->observe_model(deployed_full.model.class_hypervectors());
       endpoint.deploy(ServeTier::kFull, deployed_full, representative);
       endpoint.deploy(ServeTier::kReduced, deployed_reduced, representative);
     }
@@ -827,7 +901,7 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
     const bool interval_due = config.snapshot_every_chunks > 0 &&
                               served_count % config.snapshot_every_chunks == 0;
     if (interval_due) {
-      const obs::MonitorSnapshot snap = monitor->snapshot(now);
+      const obs::MonitorSnapshot snap = take_snapshot(now);
       if (!config.snapshot_dir.empty()) {
         ++result.snapshots_written;
         write_text_file(snapshot_path(config.snapshot_dir, result.snapshots_written),
@@ -952,10 +1026,21 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
       monitor->record_admission(rec.at, rec.offered, rec.shed, rec.expired, rec.degraded);
     }
     pending_admission.clear();
+
+    obs::ModelStatsConfig msc = config.model_stats;
+    msc.num_classes = spec.classes;
+    msc.dim = config.learner.dim;
+    msc.window = mc.window;
+    model_stats.emplace(msc);
+    model_stats->observe_model(deployed_full.model.class_hypervectors());
   }
 
-  result.final_snapshot = monitor->snapshot(now);
+  result.final_snapshot = take_snapshot(now);
   result.events = monitor->events();
+  if (model_stats.has_value()) {
+    result.final_model = model_stats->snapshot(now);
+    result.model_events = model_stats->events();
+  }
   result.t_end = now;
   // Lifetime totals come from the serve accumulators; the monitor (restored
   // warm from the checkpoint since HDSV v3) agrees, but the accumulators are
@@ -1016,6 +1101,23 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
                        ? ", trace events dropped: " + std::to_string(result.trace_dropped)
                        : std::string());
   return result;
+}
+
+std::string checkpoint_model_stats_json(const std::string& path) {
+  RestoredState state = read_checkpoint(path, nullptr);
+  HDC_CHECK(state.model_stats.has_value(),
+            "checkpoint '" + path +
+                "' carries no model-quality state (the interrupted run never "
+                "served a chunk)");
+  const obs::ModelStatsSnapshot snap = state.model_stats->snapshot(state.now);
+  std::string out = "{\"schema\":\"hdc-modelstats-v1\",\"t_s\":";
+  obs::detail::append_json_number(out, state.now.to_seconds());
+  out += ",\"lifetime\":{\"samples\":";
+  out += std::to_string(state.samples_served);
+  out += "},\"model\":";
+  out += snap.to_json();
+  out += "}";
+  return out;
 }
 
 }  // namespace hdc::runtime

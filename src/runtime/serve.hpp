@@ -8,6 +8,7 @@
 #include "common/sim_time.hpp"
 #include "data/stream.hpp"
 #include "core/online.hpp"
+#include "obs/model_stats.hpp"
 #include "obs/monitor.hpp"
 #include "runtime/framework.hpp"
 #include "runtime/health.hpp"
@@ -123,6 +124,12 @@ struct ServeConfig {
   /// from simulated values, so they stay deterministic.
   obs::MonitorConfig monitor;
 
+  /// Model-quality monitor thresholds/bins (obs/model_stats.hpp). The serve
+  /// layer fills `num_classes` from the stream spec, `dim` from the learner
+  /// and `window` from the resolved monitor window; only the tunables
+  /// (alarm thresholds, bin counts) are read from here.
+  obs::ModelStatsConfig model_stats;
+
   // ---- exporters (strictly write-only; never feed back into serving) ----
   /// Directory for periodic `monitor_snapshot_NNNN.json` +
   /// `monitor_snapshot_final.json` (hdc-monitor-v1). Empty = no snapshots.
@@ -188,6 +195,11 @@ struct ServeResult {
   std::vector<ChunkStats> chunks;
   obs::MonitorSnapshot final_snapshot;
   std::vector<obs::AlarmEvent> events;     ///< every alarm edge, in order
+  /// Final model-quality view (confusion, calibration, dimension
+  /// discriminability) and the model alarm edges, kept separate from the
+  /// serving-monitor `events` so existing consumers see an unchanged stream.
+  obs::ModelStatsSnapshot final_model;
+  std::vector<obs::AlarmEvent> model_events;
 
   SimDuration t_end;                       ///< final simulated clock
   std::uint64_t samples_served = 0;
@@ -234,5 +246,14 @@ struct ServeResult {
 /// snapshot/checkpoint bytes. Resuming from a mid-stream checkpoint yields
 /// the same bytes as the uninterrupted run.
 ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config);
+
+/// Reads the model-quality section out of an HDSV checkpoint without the
+/// original `ServeConfig` (magic/version/CRC still verified; the config
+/// fingerprint is skipped instead of matched). Returns a deterministic
+/// `{"schema":"hdc-modelstats-v1",...}` JSON document with the embedded
+/// `model` object at the checkpoint's simulated time — what `hdc_modelq`
+/// and `hdc model inspect` consume. Throws `hdc::Error` if the checkpoint
+/// predates model stats (HDSV < 4) or carries none.
+std::string checkpoint_model_stats_json(const std::string& path);
 
 }  // namespace hdc::runtime

@@ -477,6 +477,79 @@ TEST(ServeCheckpointTest, ResumeIsByteIdenticalToUninterruptedRun) {
   fs::remove_all(dir);
 }
 
+TEST(ServeOverloadTest, ModelConservationCountsServedSamplesOnly) {
+  // The model-quality monitor's conservation contract under pressure: shed
+  // and expired requests never reach record(), so the confusion-matrix row
+  // sums track the *served* per-class counts exactly — not the offered ones.
+  const CoDesignFramework framework;
+  ServeConfig base = serve_config();
+  const ServeResult reference = serve(framework, base);
+  const SimDuration mean_chunk =
+      reference.t_end * (1.0 / static_cast<double>(base.serve_chunks));
+
+  ServeConfig over = serve_config();
+  over.admission.offered_load = 2.0;
+  over.admission.queue_capacity = 3;
+  over.admission.deadline = mean_chunk * 1.5;
+  const ServeResult result = serve(framework, over);
+  ASSERT_GT(result.shed_samples + result.expired_samples, 0U);
+
+  const obs::ModelStatsSnapshot& model = result.final_model;
+  EXPECT_EQ(model.samples_total, result.samples_served);
+  EXPECT_LT(model.samples_total,
+            static_cast<std::uint64_t>(over.serve_chunks) * over.stream.chunk_size);
+  std::uint64_t served_sum = 0;
+  for (std::uint32_t r = 0; r < model.num_classes; ++r) {
+    std::uint64_t row = 0;
+    for (std::uint32_t c = 0; c < model.num_classes; ++c) {
+      row += model.confusion[r * model.num_classes + c];
+    }
+    EXPECT_EQ(row, model.class_served[r]) << "row " << r;
+    served_sum += row;
+  }
+  EXPECT_EQ(served_sum, model.samples_total);
+}
+
+TEST(ServeCheckpointTest, ModelStatsResumeIsByteIdentical) {
+  // The model-quality block rides the HDSV checkpoint (v4): a run resumed
+  // from a mid-stream cut renders the same model JSON, gate entries and
+  // Prometheus families byte-for-byte, and the checkpoint inspector's
+  // hdc-modelstats-v1 wrapper agrees across the restart.
+  const CoDesignFramework framework;
+  const fs::path dir = fs::temp_directory_path() / "hdc_serve_ckpt_model";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  ServeConfig full = recovery_config();
+  full.checkpoint_path = (dir / "full.ck").string();
+  full.checkpoint_every_chunks = 6;
+  const ServeResult uninterrupted = serve(framework, full);
+
+  ServeConfig resumed_config = recovery_config();
+  resumed_config.checkpoint_path = (dir / "resumed.ck").string();
+  resumed_config.checkpoint_every_chunks = 6;
+  resumed_config.resume_from = (dir / "full.ck.0006").string();
+  const ServeResult resumed = serve(framework, resumed_config);
+
+  EXPECT_EQ(resumed.final_model.to_json(), uninterrupted.final_model.to_json());
+  EXPECT_EQ(resumed.final_model.metrics_json(), uninterrupted.final_model.metrics_json());
+  EXPECT_EQ(resumed.final_model.to_prometheus(),
+            uninterrupted.final_model.to_prometheus());
+
+  // Model alarm-edge history survives the cut, including pre-cut edges.
+  ASSERT_EQ(resumed.model_events.size(), uninterrupted.model_events.size());
+  for (std::size_t i = 0; i < resumed.model_events.size(); ++i) {
+    EXPECT_EQ(resumed.model_events[i].alarm, uninterrupted.model_events[i].alarm);
+    EXPECT_EQ(resumed.model_events[i].at, uninterrupted.model_events[i].at);
+    EXPECT_EQ(resumed.model_events[i].detail, uninterrupted.model_events[i].detail);
+  }
+
+  EXPECT_EQ(checkpoint_model_stats_json((dir / "full.ck").string()),
+            checkpoint_model_stats_json((dir / "resumed.ck").string()));
+
+  fs::remove_all(dir);
+}
+
 TEST(ServeCheckpointTest, ResumeRejectsMismatchedConfigAndCorruptBytes) {
   const CoDesignFramework framework;
   const fs::path dir = fs::temp_directory_path() / "hdc_serve_ckpt_guard";

@@ -271,6 +271,46 @@ TEST(ServingMonitorTest, SnapshotJsonIsWellFormedAndStable) {
   EXPECT_NE(prom.find("# TYPE hdc_serve_samples_total counter"), std::string::npos);
 }
 
+TEST(ServingMonitorTest, ModelSpliceRendersIntoEveryExporter) {
+  ServingMonitor monitor(monitor_config());
+  for (int i = 0; i < 4; ++i) {
+    monitor.record(sample_at(0.1 + 0.01 * i, 0, true));
+  }
+  MonitorSnapshot snap = monitor.snapshot(SimDuration::seconds(0.2));
+
+  // Without an attached model-quality monitor there is no model section.
+  EXPECT_EQ(snap.to_json().find("\"model\""), std::string::npos);
+
+  // The owning serve loop pre-renders the three splice strings; the snapshot
+  // places them verbatim: the model object before the flat metrics map, the
+  // gate entries inside it, the hdc_model_* families after hdc_serve_*.
+  snap.model_json = "{\"samples\":4}";
+  snap.model_metrics_json =
+      ",\"model.accuracy\":{\"value\":1,\"unit\":\"fraction\",\"kind\":\"sim\","
+      "\"better\":\"higher\"}";
+  snap.model_prometheus = "# TYPE hdc_model_samples_total counter\n"
+                          "hdc_model_samples_total 4\n";
+  const std::string json = snap.to_json();
+  const std::size_t model_pos = json.find("\"model\":{\"samples\":4}");
+  const std::size_t metrics_pos = json.find("\"metrics\":");
+  ASSERT_NE(model_pos, std::string::npos);
+  ASSERT_NE(metrics_pos, std::string::npos);
+  EXPECT_LT(model_pos, metrics_pos);
+  const std::size_t gate_pos = json.find("\"model.accuracy\":{\"value\":1,");
+  ASSERT_NE(gate_pos, std::string::npos);
+  EXPECT_GT(gate_pos, metrics_pos);  // spliced inside the metrics map
+
+  const std::string prom = snap.to_prometheus();
+  const std::size_t serve_pos = prom.find("hdc_serve_samples_total");
+  const std::size_t model_fam_pos = prom.find("hdc_model_samples_total 4");
+  ASSERT_NE(serve_pos, std::string::npos);
+  ASSERT_NE(model_fam_pos, std::string::npos);
+  EXPECT_LT(serve_pos, model_fam_pos);
+  // The windowed per-class prediction family predates the model splice and
+  // keeps exporting alongside it.
+  EXPECT_NE(prom.find("hdc_serve_class_predictions{class=\"0\"} 4"), std::string::npos);
+}
+
 TEST(ServingMonitorTest, AttributionAggregatesIntoSnapshotAndExporters) {
   ServingMonitor monitor(monitor_config());
   obs::RequestAttribution attribution;
@@ -606,6 +646,91 @@ TEST(ServeTest, SnapshotsAreByteIdenticalAcrossRuns) {
   }
   fs::remove_all(dir_a);
   fs::remove_all(dir_b);
+}
+
+TEST(ServeTest, ModelQualityTelemetryRidesTheServeLoop) {
+  const CoDesignFramework framework;
+  const ServeResult result = serve(framework, serve_config());
+  const obs::ModelStatsSnapshot& model = result.final_model;
+
+  // Conservation triple on the lifetime counts: every confusion row sums to
+  // its class's served count, and the served counts sum to the sample total,
+  // which equals the serve loop's own served-sample accumulator exactly.
+  ASSERT_EQ(model.num_classes, 5U);  // PAMAP2
+  EXPECT_EQ(model.samples_total, result.samples_served);
+  std::uint64_t served_sum = 0;
+  for (std::uint32_t r = 0; r < model.num_classes; ++r) {
+    std::uint64_t row = 0;
+    for (std::uint32_t c = 0; c < model.num_classes; ++c) {
+      row += model.confusion[r * model.num_classes + c];
+    }
+    EXPECT_EQ(row, model.class_served[r]) << "row " << r;
+    served_sum += model.class_served[r];
+  }
+  EXPECT_EQ(served_sum, model.samples_total);
+  std::uint64_t bins = 0;
+  for (const auto& bin : model.calibration) {
+    bins += bin.count;
+  }
+  EXPECT_EQ(bins, model.samples_total);
+
+  // The deployed classifier was observed (health populated, dim stats live).
+  EXPECT_GE(model.model_refreshes, 1U);
+  EXPECT_GT(model.norm_min, 0.0);
+  EXPECT_GT(model.separation_min, 0.0);
+  EXPECT_EQ(model.dim, 256U);
+  EXPECT_GT(model.dim_window_samples, 0U);
+  EXPECT_FALSE(model.bottom_dims.empty());
+
+  // The splice reached all three exporters of the final snapshot.
+  const std::string json = result.final_snapshot.to_json();
+  EXPECT_NE(json.find("\"model\":{\"samples\":" +
+                      std::to_string(model.samples_total)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"model.accuracy\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"model.ece\":{"), std::string::npos);
+  const std::string prom = result.final_snapshot.to_prometheus();
+  EXPECT_NE(prom.find("hdc_model_samples_total"), std::string::npos);
+  EXPECT_NE(prom.find("hdc_model_class_served_total{class=\"0\"}"), std::string::npos);
+  EXPECT_NE(prom.find("hdc_serve_class_predictions{class=\"0\"}"), std::string::npos);
+
+  // Model-quality monitoring is strictly observational: results match the
+  // invariance contract checked above, and the monitor itself saw exactly
+  // the served samples.
+  EXPECT_EQ(result.final_snapshot.samples_total, model.samples_total);
+}
+
+TEST(ServeTest, LabelSwapDriftFiresConfusionPairAlarmNamingThePair) {
+  const CoDesignFramework framework;
+  ServeConfig config = serve_config();
+  config.serve_chunks = 14;
+  config.stream.drift_start_chunk = 6;  // stream chunks, warmup included
+  config.stream.drift_duration_chunks = 2;
+  config.stream.drift_swap_a = 1;
+  config.stream.drift_swap_b = 3;
+  config.model_stats.min_class_samples = 8;
+  const ServeResult result = serve(framework, config);
+
+  // The confusion-pair alarm fired and named exactly the swapped pair
+  // (either direction — both rows collapse identically).
+  bool saw_pair = false;
+  for (const auto& event : result.model_events) {
+    if (event.alarm != "confusion_pair" || !event.fired) {
+      continue;
+    }
+    saw_pair = true;
+    EXPECT_TRUE(event.detail == "pair=1->3" || event.detail == "pair=3->1")
+        << event.detail;
+  }
+  EXPECT_TRUE(saw_pair);
+
+  // The windowed top confusable pair is the swap itself.
+  const obs::ModelStatsSnapshot& model = result.final_model;
+  ASSERT_FALSE(model.top_pairs.empty());
+  const auto& top = model.top_pairs.front();
+  const bool is_swap = (top.actual == 1 && top.predicted == 3) ||
+                       (top.actual == 3 && top.predicted == 1);
+  EXPECT_TRUE(is_swap) << "top pair " << top.actual << "->" << top.predicted;
 }
 
 TEST(ServeTest, InvalidConfigsRejected) {

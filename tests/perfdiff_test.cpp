@@ -206,6 +206,52 @@ TEST_F(PerfdiffTest, MonitorSnapshotInfoOnlyChangesPass) {
   EXPECT_EQ(run_perfdiff(base + " " + cand).exit_code, 0);
 }
 
+std::string model_metrics_json(double accuracy, double ece, double separation_min) {
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"schema\":\"hdc-monitor-v1\",\"t_s\":1.5,"
+      "\"lifetime\":{\"samples\":640,\"errors\":64,\"accuracy\":0.9},"
+      "\"metrics\":{"
+      "\"model.accuracy\":{\"value\":%.9g,\"unit\":\"fraction\",\"kind\":\"sim\","
+      "\"better\":\"higher\"},"
+      "\"model.ece\":{\"value\":%.9g,\"unit\":\"fraction\",\"kind\":\"sim\","
+      "\"better\":\"lower\"},"
+      "\"model.separation_min\":{\"value\":%.9g,\"unit\":\"fraction\",\"kind\":\"sim\","
+      "\"better\":\"higher\"},"
+      "\"model.samples\":{\"value\":640,\"unit\":\"\",\"kind\":\"info\","
+      "\"better\":\"higher\"}"
+      "}}",
+      accuracy, ece, separation_min);
+  return std::string(buf) + "\n";
+}
+
+TEST_F(PerfdiffTest, ModelQualityMetricsGateDirectionAware) {
+  // The model.* entries the model-quality monitor splices into snapshots are
+  // gated like any sim metric, each respecting its own direction.
+  const auto base = write("model_base.json", model_metrics_json(0.90, 0.10, 0.5));
+
+  // Windowed model accuracy collapsing gates (higher-is-better).
+  const auto acc = write("model_acc.json", model_metrics_json(0.75, 0.10, 0.5));
+  const auto acc_result = run_perfdiff(base + " " + acc);
+  EXPECT_EQ(acc_result.exit_code, 1) << acc_result.output;
+  EXPECT_NE(acc_result.output.find("model.accuracy"), std::string::npos);
+
+  // Calibration error growing gates (lower-is-better).
+  const auto ece = write("model_ece.json", model_metrics_json(0.90, 0.20, 0.5));
+  const auto ece_result = run_perfdiff(base + " " + ece);
+  EXPECT_EQ(ece_result.exit_code, 1) << ece_result.output;
+  EXPECT_NE(ece_result.output.find("model.ece"), std::string::npos);
+
+  // Class vectors collapsing toward each other gates (higher-is-better).
+  const auto sep = write("model_sep.json", model_metrics_json(0.90, 0.10, 0.2));
+  EXPECT_EQ(run_perfdiff(base + " " + sep).exit_code, 1);
+
+  // Improvements in every direction pass.
+  const auto better = write("model_better.json", model_metrics_json(0.95, 0.05, 0.7));
+  EXPECT_EQ(run_perfdiff(base + " " + better).exit_code, 0);
+}
+
 TEST_F(PerfdiffTest, MalformedInputsExitWithUsageError) {
   const auto good = write("good.json", bench_json(1.0, 0.9, 5.0));
   const auto garbage = write("garbage.json", "this is not json\n");

@@ -298,6 +298,42 @@ TEST(FleetServeTest, ShardAccountingSumsToFleetTotals) {
   EXPECT_EQ(result.fleet_snapshot.samples_total, result.samples_served);
 }
 
+TEST(FleetServeTest, TenantModelStatsSumExactlyToTheFleetAggregate) {
+  const CoDesignFramework framework;
+  ServeConfig config = fleet_config();
+  const FleetResult result = serve_fleet(framework, config);
+
+  // The fleet aggregate counts every served sample, and the per-tenant
+  // monitors partition it exactly — same conservation triple hdc_modelq
+  // gates on the emitted snapshot.
+  EXPECT_EQ(result.fleet_model.samples_total, result.samples_served);
+  EXPECT_EQ(result.fleet_model.dim, 0U);  // cross-tenant dims are meaningless
+  ASSERT_EQ(result.tenant_models.size(), config.fleet.num_tenants);
+  std::uint64_t tenant_sum = 0;
+  for (const obs::ModelStatsSnapshot& tenant : result.tenant_models) {
+    std::uint64_t served_sum = 0;
+    for (std::uint32_t r = 0; r < tenant.num_classes; ++r) {
+      std::uint64_t row = 0;
+      for (std::uint32_t c = 0; c < tenant.num_classes; ++c) {
+        row += tenant.confusion[r * tenant.num_classes + c];
+      }
+      EXPECT_EQ(row, tenant.class_served[r]);
+      served_sum += row;
+    }
+    EXPECT_EQ(served_sum, tenant.samples_total);
+    // Per-tenant monitors see that tenant's own encoder: dim stats are live.
+    EXPECT_EQ(tenant.dim, config.learner.dim);
+    tenant_sum += tenant.samples_total;
+  }
+  EXPECT_EQ(tenant_sum, result.fleet_model.samples_total);
+
+  // The fleet snapshot splices the aggregate plus a tenants array.
+  const std::string json = result.fleet_snapshot.to_json();
+  EXPECT_NE(json.find("\"model\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"tenants\":[{\"tenant\":0,"), std::string::npos);
+  EXPECT_NE(json.find("\"model.accuracy\":{"), std::string::npos);
+}
+
 TEST(FleetConfigTest, ValidationRejectsDegenerateShapes) {
   FleetConfig fleet;
   fleet.num_devices = 0;

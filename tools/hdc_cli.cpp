@@ -21,6 +21,8 @@
 //             [--log-json FILE] [--trace FILE] [--exemplars FILE]
 //   hdc trace analyze <trace.json|exemplars.jsonl> [--top N] [--req ID]
 //             [--assert-attribution]
+//   hdc model inspect <snapshot.json|checkpoint> [--tenant N]
+//             [--assert-conservation]
 //
 // `hdc serve` pumps a synthetic drift stream (one of the Table-I presets)
 // through the fault-tolerant TPU inference path with prequential evaluation
@@ -72,6 +74,7 @@
 #include "runtime/router.hpp"
 #include "runtime/serve.hpp"
 #include "tpu/compiler.hpp"
+#include "modelq_lib.hpp"
 #include "traceq_lib.hpp"
 
 namespace {
@@ -433,9 +436,10 @@ int cmd_serve(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: hdc serve <dataset> [--chunks N] [--chunk-size N] [--warmup N]\n"
                  "           [--dim N] [--seed S] [--online] [--refresh N]\n"
-                 "           [--drift-start N] [--drift-duration N]\n"
+                 "           [--drift-start N] [--drift-duration N] [--swap-classes A,B]\n"
                  "           [--fault-profile spec] [--window-span S] [--slo-ms MS]\n"
                  "           [--alarm-drift F] [--alarm-error F] [--alarm-burn F]\n"
+                 "           [--alarm-class-error F] [--alarm-confusion-pair F]\n"
                  "           [--deadline-us US] [--queue-chunks N]\n"
                  "           [--shed-policy reject-newest|drop-oldest] [--offered-load F]\n"
                  "           [--probe-interval-us US] [--reduced-dim N]\n"
@@ -544,6 +548,20 @@ int cmd_serve(int argc, char** argv) {
   }
   config.stream.drift_duration_chunks = static_cast<std::uint32_t>(
       std::atoi(arg_value(argc, argv, "--drift-duration", "10")));
+  const char* swap_classes = arg_value(argc, argv, "--swap-classes", nullptr);
+  if (swap_classes != nullptr) {
+    // Label-swap drift: "A,B" — from drift onset, class A's samples are
+    // emitted labeled B and vice versa (features unchanged). The confusion
+    // matrix concentrates on exactly this pair; see docs/OBSERVABILITY.md.
+    int a = -1;
+    int b = -1;
+    const int parsed = std::sscanf(swap_classes, "%d,%d", &a, &b);
+    HDC_CHECK(parsed == 2 && a >= 0 && b >= 0 && a != b,
+              "--swap-classes expects two distinct non-negative class indices "
+              "'A,B' (e.g. --swap-classes 2,5)");
+    config.stream.drift_swap_a = static_cast<std::uint32_t>(a);
+    config.stream.drift_swap_b = static_cast<std::uint32_t>(b);
+  }
 
   config.learner.dim =
       static_cast<std::uint32_t>(std::atoi(arg_value(argc, argv, "--dim", "2048")));
@@ -573,6 +591,10 @@ int cmd_serve(int argc, char** argv) {
       std::atof(arg_value(argc, argv, "--alarm-error", "0.5"));
   config.monitor.alarm_burn_rate =
       std::atof(arg_value(argc, argv, "--alarm-burn", "2.0"));
+  config.model_stats.alarm_class_error_rate =
+      std::atof(arg_value(argc, argv, "--alarm-class-error", "0.75"));
+  config.model_stats.alarm_confusion_pair =
+      std::atof(arg_value(argc, argv, "--alarm-confusion-pair", "0.5"));
 
   config.snapshot_dir = arg_value(argc, argv, "--snapshot-dir", "");
   config.snapshot_every_chunks =
@@ -789,6 +811,18 @@ int cmd_serve(int argc, char** argv) {
   return session.finish() ? 0 : 1;
 }
 
+/// `hdc model inspect <file> [options]` — the hdc_modelq analysis inline.
+int cmd_model(int argc, char** argv) {
+  if (argc < 3 || std::string(argv[2]) != "inspect") {
+    std::fprintf(stderr,
+                 "usage: hdc model inspect <snapshot.json|checkpoint> [--tenant N]\n"
+                 "           [--assert-conservation]\n");
+    return 2;
+  }
+  const std::vector<std::string> args(argv + 3, argv + argc);
+  return tools::modelq::run(args, "hdc model inspect");
+}
+
 /// `hdc trace analyze <file> [options]` — the hdc_traceq analysis inline.
 int cmd_trace(int argc, char** argv) {
   if (argc < 3 || std::string(argv[2]) != "analyze") {
@@ -818,7 +852,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "hdc — hyperdimensional learning on (simulated) edge accelerators\n"
                  "commands: train, infer, compile, describe, autotune, datasets, serve, "
-                 "trace\n");
+                 "trace, model\n");
     return 2;
   }
   try {
@@ -852,6 +886,9 @@ int main(int argc, char** argv) {
     }
     if (command == "trace") {
       return cmd_trace(argc, argv);
+    }
+    if (command == "model") {
+      return cmd_model(argc, argv);
     }
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return 2;

@@ -1,0 +1,24 @@
+// hdc_modelq — model-quality inspection over the simulator's telemetry.
+//
+//   hdc_modelq <snapshot.json|checkpoint> [--tenant N] [--assert-conservation]
+//
+// Accepts hdc-monitor-v1 snapshots carrying a `model` section (single-device
+// and fleet forms), hdc-modelstats-v1 documents, and raw HDSV serve
+// checkpoints (sniffed by magic). Prints confusion tables, per-class
+// recall/precision, confusable pairs, the calibration curve with ECE,
+// class-vector health and the bottom-K discriminability dimensions;
+// `--assert-conservation` turns the exact counting invariants (confusion row
+// sums == per-class served counts, calibration bins sum to the sample total)
+// into a CI check. Exit codes: 0 pass, 1 violation, 2 usage/parse error.
+//
+// The same analysis is reachable as `hdc model inspect`.
+
+#include <string>
+#include <vector>
+
+#include "modelq_lib.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return hdc::tools::modelq::run(args, "hdc_modelq");
+}

@@ -1,0 +1,415 @@
+// Model-quality inspection library shared by the standalone `hdc_modelq`
+// binary and the `hdc model inspect` subcommand. Reads any of the three
+// artifacts that carry a model-quality section:
+//
+//   * hdc-monitor-v1 snapshots with a `model` object (the serve loop's
+//     `monitor_snapshot_*.json`, or the fleet router's
+//     `fleet_snapshot_final.json`, whose model object additionally carries a
+//     per-tenant `tenants` array);
+//   * hdc-modelstats-v1 wrappers (what `checkpoint_model_stats_json` emits);
+//   * raw HDSV serve checkpoints (sniffed by magic; the embedded
+//     model-quality state is snapshotted at the checkpoint's simulated time).
+//
+// Prints the windowed confusion table, per-class recall/precision, top
+// confusable pairs, the calibration curve with ECE, class-vector health and
+// the bottom-K discriminability dimensions. `--assert-conservation` turns
+// the exact counting invariants into a CI check:
+//
+//   * every lifetime confusion row sums exactly to that class's served count;
+//   * the served counts sum exactly to the model's sample total;
+//   * the calibration bin counts sum exactly to the sample total;
+//   * the windowed confusion cells sum exactly to the windowed sample count;
+//   * when the enclosing monitor snapshot (or checkpoint wrapper) reports a
+//     lifetime sample total, it equals the model's exactly;
+//   * in fleet snapshots, every tenant satisfies all of the above and the
+//     tenant totals sum exactly to the aggregate's.
+//
+// Exit codes: 0 pass, 1 conservation violation or tenant not found, 2
+// usage/parse error.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_min.hpp"
+#include "runtime/serve.hpp"
+
+namespace hdc::tools::modelq {
+
+struct Options {
+  std::string path;
+  bool assert_conservation = false;
+  long tenant = -1;  ///< -1 = aggregate / single-session view
+};
+
+inline int usage(const char* invocation) {
+  std::fprintf(stderr,
+               "usage: %s <snapshot.json|checkpoint> [--tenant N]\n"
+               "          [--assert-conservation]\n"
+               "\n"
+               "Inspects the model-quality section of an hdc-monitor-v1\n"
+               "snapshot, an hdc-modelstats-v1 document, or an HDSV serve\n"
+               "checkpoint: confusion table, per-class recall/precision,\n"
+               "confusable pairs, calibration (ECE), class-vector health and\n"
+               "the least-discriminative dimensions.\n"
+               "\n"
+               "  --tenant N              inspect tenant N's model (fleet\n"
+               "                          snapshots only)\n"
+               "  --assert-conservation   verify the exact counting\n"
+               "                          invariants; exit 1 on violation\n",
+               invocation);
+  return 2;
+}
+
+// ---- tolerant readers ------------------------------------------------------
+// JSON numbers arrive as doubles; every count the simulator emits is far
+// below 2^53, so the integer round-trips are exact (which is what makes
+// "exact conservation" checkable from JSON at all).
+
+inline unsigned long long as_u64(const Json& v) {
+  return v.type == Json::Type::kNumber ? static_cast<unsigned long long>(v.number) : 0ULL;
+}
+
+inline unsigned long long u64_or(const Json& obj, const std::string& key) {
+  const auto it = obj.object.find(key);
+  return it != obj.object.end() ? as_u64(it->second) : 0ULL;
+}
+
+inline std::vector<unsigned long long> u64_array(const Json& obj, const std::string& key) {
+  std::vector<unsigned long long> out;
+  const auto it = obj.object.find(key);
+  if (it != obj.object.end() && it->second.type == Json::Type::kArray) {
+    out.reserve(it->second.array.size());
+    for (const Json& v : it->second.array) {
+      out.push_back(as_u64(v));
+    }
+  }
+  return out;
+}
+
+/// Row-major C x C matrix from `[[...],...]` (missing/ragged rows read as 0).
+inline std::vector<unsigned long long> u64_matrix(const Json& obj, const std::string& key,
+                                                  std::size_t classes) {
+  std::vector<unsigned long long> out(classes * classes, 0ULL);
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end() || it->second.type != Json::Type::kArray) {
+    return out;
+  }
+  const auto& rows = it->second.array;
+  for (std::size_t r = 0; r < rows.size() && r < classes; ++r) {
+    if (rows[r].type != Json::Type::kArray) {
+      continue;
+    }
+    for (std::size_t c = 0; c < rows[r].array.size() && c < classes; ++c) {
+      out[r * classes + c] = as_u64(rows[r].array[c]);
+    }
+  }
+  return out;
+}
+
+// ---- conservation ----------------------------------------------------------
+
+struct Report {
+  std::size_t checks = 0;
+  std::vector<std::string> violations;
+
+  void expect(bool ok, const std::string& what) {
+    ++checks;
+    if (!ok) {
+      violations.push_back(what);
+    }
+  }
+};
+
+/// Runs the per-model invariants; `label` prefixes violation messages
+/// ("aggregate", "tenant 3", ...).
+inline void check_model(const Json& model, const std::string& label, Report& rep) {
+  const auto classes = static_cast<std::size_t>(model.num_or("classes", 0.0));
+  const unsigned long long samples = u64_or(model, "samples");
+  const std::vector<unsigned long long> confusion = u64_matrix(model, "confusion", classes);
+  const std::vector<unsigned long long> served = u64_array(model, "class_served");
+
+  rep.expect(served.size() == classes,
+             label + ": class_served has " + std::to_string(served.size()) +
+                 " entries for " + std::to_string(classes) + " classes");
+  unsigned long long served_sum = 0;
+  for (std::size_t r = 0; r < classes; ++r) {
+    unsigned long long row = 0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      row += confusion[r * classes + c];
+    }
+    const unsigned long long expected = r < served.size() ? served[r] : 0ULL;
+    rep.expect(row == expected, label + ": confusion row " + std::to_string(r) +
+                                    " sums to " + std::to_string(row) + " but class " +
+                                    std::to_string(r) + " served " +
+                                    std::to_string(expected) + " samples");
+    served_sum += expected;
+  }
+  rep.expect(served_sum == samples, label + ": class_served sums to " +
+                                        std::to_string(served_sum) + " but samples is " +
+                                        std::to_string(samples));
+
+  unsigned long long bins_sum = 0;
+  if (model.has("calibration") && model.at("calibration").has("bins")) {
+    for (const Json& bin : model.at("calibration").at("bins").array) {
+      bins_sum += u64_or(bin, "count");
+    }
+  }
+  rep.expect(bins_sum == samples, label + ": calibration bins sum to " +
+                                      std::to_string(bins_sum) + " but samples is " +
+                                      std::to_string(samples));
+
+  if (model.has("window")) {
+    const Json& window = model.at("window");
+    const unsigned long long window_samples = u64_or(window, "samples");
+    const std::vector<unsigned long long> wconf = u64_matrix(window, "confusion", classes);
+    unsigned long long wsum = 0;
+    for (const unsigned long long cell : wconf) {
+      wsum += cell;
+    }
+    rep.expect(wsum == window_samples,
+               label + ": windowed confusion sums to " + std::to_string(wsum) +
+                   " but window.samples is " + std::to_string(window_samples));
+  }
+}
+
+// ---- rendering -------------------------------------------------------------
+
+inline void print_model(const Json& model, const std::string& heading) {
+  const auto classes = static_cast<std::size_t>(model.num_or("classes", 0.0));
+  std::printf("%s: %llu samples, %zu classes, dim %llu\n", heading.c_str(),
+              u64_or(model, "samples"), classes, u64_or(model, "dim"));
+
+  if (model.has("window")) {
+    const Json& window = model.at("window");
+    std::printf("\nwindow: %llu samples, accuracy %.4f\n", u64_or(window, "samples"),
+                window.num_or("accuracy", 0.0));
+    const std::vector<unsigned long long> wconf = u64_matrix(window, "confusion", classes);
+    // Confusion table (rows = true label); wide tasks print the pair list
+    // below instead of an unreadable matrix.
+    if (classes > 0 && classes <= 16) {
+      std::printf("confusion (rows = true label):\n      ");
+      for (std::size_t c = 0; c < classes; ++c) {
+        std::printf("%7zu", c);
+      }
+      std::printf("\n");
+      for (std::size_t r = 0; r < classes; ++r) {
+        std::printf("  %3zu ", r);
+        for (std::size_t c = 0; c < classes; ++c) {
+          std::printf("%7llu", wconf[r * classes + c]);
+        }
+        std::printf("\n");
+      }
+    }
+    const auto recall = window.object.find("recall");
+    const auto precision = window.object.find("precision");
+    if (recall != window.object.end() && precision != window.object.end()) {
+      std::printf("per-class (windowed):\n  class   recall precision\n");
+      for (std::size_t c = 0; c < classes; ++c) {
+        const double rec = c < recall->second.array.size()
+                               ? recall->second.array[c].number : 0.0;
+        const double prec = c < precision->second.array.size()
+                                ? precision->second.array[c].number : 0.0;
+        std::printf("  %5zu %8.4f %9.4f\n", c, rec, prec);
+      }
+    }
+    if (window.has("top_pairs") && !window.at("top_pairs").array.empty()) {
+      std::printf("top confusable pairs (windowed):\n");
+      for (const Json& pair : window.at("top_pairs").array) {
+        std::printf("  true %llu -> predicted %llu: %llu samples (%.1f%% of class)\n",
+                    u64_or(pair, "actual"), u64_or(pair, "predicted"),
+                    u64_or(pair, "count"), pair.num_or("fraction", 0.0) * 100.0);
+      }
+    }
+  }
+
+  if (model.has("calibration")) {
+    const Json& cal = model.at("calibration");
+    std::printf("\ncalibration: ECE %.4f\n", cal.num_or("ece", 0.0));
+    if (cal.has("bins")) {
+      std::printf("  bin  count  correct  mean_conf  accuracy\n");
+      const auto& bins = cal.at("bins").array;
+      for (std::size_t i = 0; i < bins.size(); ++i) {
+        const unsigned long long count = u64_or(bins[i], "count");
+        const unsigned long long correct = u64_or(bins[i], "correct");
+        const double acc =
+            count == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(count);
+        std::printf("  %3zu %6llu %8llu %10.4f %9.4f\n", i, count, correct,
+                    bins[i].num_or("mean_confidence", 0.0), acc);
+      }
+    }
+  }
+
+  if (model.has("health")) {
+    const Json& health = model.at("health");
+    std::printf("\nclass-vector health: norm min %.4g mean %.4g, saturation %.4f, "
+                "separation min %.4f mean %.4f, %llu refreshes\n",
+                health.num_or("norm_min", 0.0), health.num_or("norm_mean", 0.0),
+                health.num_or("saturation_fraction", 0.0),
+                health.num_or("separation_min", 0.0),
+                health.num_or("separation_mean", 0.0), u64_or(health, "refreshes"));
+  }
+
+  if (model.has("dims")) {
+    const Json& dims = model.at("dims");
+    std::printf("\ndimension discriminability: %llu windowed samples, mean score %.4f\n",
+                u64_or(dims, "window_samples"), dims.num_or("score_mean", 0.0));
+    if (dims.has("bottom") && !dims.at("bottom").array.empty()) {
+      std::printf("bottom dimensions (DistHD-style regeneration candidates):\n");
+      for (const Json& d : dims.at("bottom").array) {
+        std::printf("  dim %5llu  score %.6f\n", u64_or(d, "dim"), d.num_or("score", 0.0));
+      }
+    }
+  }
+
+  if (model.has("alarms")) {
+    std::printf("\nalarms:\n");
+    for (const auto& [name, alarm] : model.at("alarms").object) {
+      const auto firing = alarm.object.find("firing");
+      const std::string detail = alarm.str_or("detail", "");
+      std::printf("  %-16s %s fired_total=%llu value=%.4f threshold=%.4f%s%s\n",
+                  name.c_str(),
+                  firing != alarm.object.end() && firing->second.boolean ? "FIRING"
+                                                                         : "clear ",
+                  u64_or(alarm, "fired_total"), alarm.num_or("value", 0.0),
+                  alarm.num_or("threshold", 0.0), detail.empty() ? "" : " detail=",
+                  detail.c_str());
+    }
+  }
+}
+
+// ---- entry point -----------------------------------------------------------
+
+inline int run(const std::vector<std::string>& args, const char* invocation) {
+  Options opts;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--assert-conservation") {
+      opts.assert_conservation = true;
+    } else if (arg == "--tenant") {
+      if (i + 1 >= args.size()) {
+        return usage(invocation);
+      }
+      opts.tenant = std::strtol(args[++i].c_str(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(invocation);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", invocation, arg.c_str());
+      return usage(invocation);
+    } else if (opts.path.empty()) {
+      opts.path = arg;
+    } else {
+      return usage(invocation);
+    }
+  }
+  if (opts.path.empty()) {
+    return usage(invocation);
+  }
+
+  std::ifstream in(opts.path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "%s: cannot read '%s'\n", invocation, opts.path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+
+  // HDSV checkpoints are sniffed by magic and converted to the
+  // hdc-modelstats-v1 wrapper via the relaxed checkpoint reader.
+  if (text.size() >= 4 && text.compare(0, 4, "HDSV") == 0) {
+    try {
+      text = runtime::checkpoint_model_stats_json(opts.path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", invocation, e.what());
+      return 2;
+    }
+  }
+
+  const std::optional<Json> doc = JsonParser(text).parse();
+  if (!doc || doc->type != Json::Type::kObject) {
+    std::fprintf(stderr, "%s: '%s' is not valid JSON\n", invocation, opts.path.c_str());
+    return 2;
+  }
+  const std::string schema = doc->str_or("schema", "");
+  if (!doc->has("model")) {
+    std::fprintf(stderr,
+                 "%s: '%s' (schema '%s') carries no model section — serve with "
+                 "model-quality monitoring enabled\n",
+                 invocation, opts.path.c_str(), schema.c_str());
+    return 2;
+  }
+  const Json& model = doc->at("model");
+  const bool has_monitor_total =
+      doc->has("lifetime") && doc->at("lifetime").has("samples");
+  const unsigned long long monitor_total =
+      has_monitor_total ? u64_or(doc->at("lifetime"), "samples") : 0ULL;
+
+  const Json* selected = &model;
+  std::string heading = schema == "hdc-modelstats-v1" ? "model (checkpoint)" : "model";
+  if (opts.tenant >= 0) {
+    selected = nullptr;
+    if (model.has("tenants")) {
+      for (const Json& entry : model.at("tenants").array) {
+        if (static_cast<long>(entry.num_or("tenant", -1.0)) == opts.tenant &&
+            entry.has("model")) {
+          selected = &entry.at("model");
+        }
+      }
+    }
+    if (selected == nullptr) {
+      std::fprintf(stderr, "%s: no tenant %ld in '%s'\n", invocation, opts.tenant,
+                   opts.path.c_str());
+      return 1;
+    }
+    heading = "tenant " + std::to_string(opts.tenant);
+  }
+  std::printf("%s  t_s=%.9g\n", opts.path.c_str(), doc->num_or("t_s", 0.0));
+  print_model(*selected, heading);
+
+  if (!opts.assert_conservation) {
+    return 0;
+  }
+
+  Report rep;
+  check_model(model, model.has("tenants") ? "aggregate" : "model", rep);
+  rep.expect(!has_monitor_total || monitor_total == u64_or(model, "samples"),
+             "monitor lifetime.samples (" + std::to_string(monitor_total) +
+                 ") != model samples (" + std::to_string(u64_or(model, "samples")) + ")");
+  if (model.has("tenants")) {
+    unsigned long long tenant_sum = 0;
+    for (const Json& entry : model.at("tenants").array) {
+      if (!entry.has("model")) {
+        continue;
+      }
+      const std::string label = "tenant " + std::to_string(static_cast<long long>(
+                                                entry.num_or("tenant", -1.0)));
+      check_model(entry.at("model"), label, rep);
+      tenant_sum += u64_or(entry.at("model"), "samples");
+    }
+    rep.expect(tenant_sum == u64_or(model, "samples"),
+               "tenant samples sum to " + std::to_string(tenant_sum) +
+                   " but the aggregate served " +
+                   std::to_string(u64_or(model, "samples")));
+  }
+
+  if (rep.violations.empty()) {
+    std::printf("\nconservation: PASS (%zu checks)\n", rep.checks);
+    return 0;
+  }
+  std::printf("\nconservation: FAIL (%zu of %zu checks)\n", rep.violations.size(),
+              rep.checks);
+  for (const std::string& violation : rep.violations) {
+    std::printf("  VIOLATION: %s\n", violation.c_str());
+  }
+  return 1;
+}
+
+}  // namespace hdc::tools::modelq
