@@ -135,6 +135,17 @@ int main(int argc, char** argv) {
     reporter.sim_ratio(prefix + "batch_wait_fraction",
                        result.attribution_total.fraction(obs::Stage::kBatchWait),
                        /*higher_is_better=*/false);
+    // Lifetime joules per served inference, gated lower-is-better: batching
+    // should amortize the per-invoke link/host energy, so a coalescing
+    // regression shows up here before it shows up in throughput.
+    reporter.metric(prefix + "energy.joules_per_inference",
+                    result.samples_served == 0
+                        ? 0.0
+                        : result.fleet_energy.total_joules() /
+                              static_cast<double>(result.samples_served),
+                    "J", "sim", "lower");
+    reporter.info(prefix + "energy.total_joules",
+                  result.fleet_energy.total_joules(), "J");
   }
 
   const double speedup = unbatched_single == 0.0 ? 0.0 : batched_fleet / unbatched_single;
@@ -246,6 +257,13 @@ int main(int argc, char** argv) {
   // metrics exist at the aggregate).
   reporter.sim_accuracy("burst.model.accuracy", big.fleet_model.window_accuracy);
   reporter.metric("burst.model.ece", big.fleet_model.ece, "fraction", "sim", "lower");
+  reporter.metric("burst.energy.joules_per_inference",
+                  big.samples_served == 0
+                      ? 0.0
+                      : big.fleet_energy.total_joules() /
+                            static_cast<double>(big.samples_served),
+                  "J", "sim", "lower");
+  reporter.info("burst.energy.total_joules", big.fleet_energy.total_joules(), "J");
   if (samples_per_invoke < 1024.0) {
     std::printf("!! burst coalescing collapsed (%.0f samples/invoke < 1024)\n",
                 samples_per_invoke);

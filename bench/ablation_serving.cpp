@@ -176,6 +176,19 @@ int main(int argc, char** argv) {
     if (frozen.detection_delay_s >= 0.0) {
       reporter.info(prefix + "detection_delay_s", frozen.detection_delay_s, "s");
     }
+    // Energy telemetry: lifetime joules per served inference is the gated
+    // figure (lower is better — an encoder or batching regression that burns
+    // more energy per sample fails the perf gate even if accuracy holds);
+    // totals and the watts EWMA ride along as info.
+    const auto& energy = frozen.result.final_energy;
+    const double jpi =
+        frozen.result.samples_served == 0
+            ? 0.0
+            : energy.total_joules() /
+                  static_cast<double>(frozen.result.samples_served);
+    reporter.metric(prefix + "energy.joules_per_inference", jpi, "J", "sim", "lower");
+    reporter.info(prefix + "energy.total_joules", energy.total_joules(), "J");
+    reporter.info(prefix + "energy.watts_ewma", energy.watts_ewma, "W");
   }
 
   std::printf("\nA short window reacts within a chunk but never settles; a long one\n"

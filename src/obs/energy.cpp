@@ -1,0 +1,487 @@
+#include "obs/energy.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace hdc::obs {
+
+namespace {
+
+constexpr const char* kEnergyBudgetAlarm = "energy_budget";
+
+}  // namespace
+
+const char* component_name(EnergyComponent component) noexcept {
+  switch (component) {
+    case EnergyComponent::kMxuActive: return "mxu_active";
+    case EnergyComponent::kUsbLink: return "usb_link";
+    case EnergyComponent::kSramSwap: return "sram_swap";
+    case EnergyComponent::kHostBusy: return "host_busy";
+    case EnergyComponent::kRetryWaste: return "retry_waste";
+    case EnergyComponent::kIdle: return "idle";
+  }
+  return "unknown";
+}
+
+EnergyComponent stage_component(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kDevice: return EnergyComponent::kMxuActive;
+    case Stage::kTransfer: return EnergyComponent::kUsbLink;
+    case Stage::kSwap: return EnergyComponent::kSramSwap;
+    case Stage::kDeviceHost:
+    case Stage::kHost:
+    case Stage::kUpdate: return EnergyComponent::kHostBusy;
+    case Stage::kBackoff: return EnergyComponent::kRetryWaste;
+    case Stage::kQueueWait:
+    case Stage::kBatchWait:
+    case Stage::kOther: return EnergyComponent::kIdle;
+  }
+  return EnergyComponent::kIdle;
+}
+
+RequestEnergy attribute_energy(const RequestAttribution& attribution,
+                               const PowerProfile& profile) {
+  RequestEnergy energy;
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const Stage stage = static_cast<Stage>(i);
+    const double joules =
+        profile.stage_watts(stage) * attribution.stages[i].to_seconds();
+    energy.stage_pj[i] = static_cast<std::int64_t>(std::llround(joules * 1e12));
+  }
+  return energy;
+}
+
+void EnergyConfig::validate() const {
+  profile.validate();
+  window.validate();
+  HDC_CHECK(ewma_tau_s >= 0.0, "energy EWMA time constant must be >= 0");
+}
+
+EnergyAccountant::EnergyAccountant(EnergyConfig config)
+    : config_(config),
+      window_(config.window, WindowSlot{}),
+      watts_ewma_(config.ewma_tau_s > 0.0 ? config.ewma_tau_s
+                                          : config.window.span.to_seconds() / 4.0),
+      budget_alarm_(kEnergyBudgetAlarm, config.alarm_joules_per_inference) {
+  config_.validate();
+}
+
+RequestEnergy EnergyAccountant::record(const Request& request) {
+  const RequestEnergy energy = attribute_energy(request.attribution, config_.profile);
+  const std::int64_t total = energy.total_pj();
+
+  total_pj_ += total;
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    stage_pj_[i] += energy.stage_pj[i];
+  }
+  switch (request.outcome) {
+    case RequestOutcome::kServed: served_pj_ += total; break;
+    case RequestOutcome::kShed: shed_pj_ += total; break;
+    case RequestOutcome::kExpired: expired_pj_ += total; break;
+  }
+  if (request.degraded && request.outcome == RequestOutcome::kServed) {
+    degraded_pj_ += total;
+  }
+  ++requests_total_;
+  samples_served_ += request.outcome == RequestOutcome::kServed ? request.samples : 0;
+
+  WindowSlot& slot = window_.at(request.at);
+  slot.pj += total;
+  if (request.outcome == RequestOutcome::kServed) {
+    slot.samples += request.samples;
+  }
+
+  const double elapsed_s = request.attribution.total().to_seconds();
+  if (elapsed_s > 0.0) {
+    watts_ewma_.observe(request.at,
+                        static_cast<double>(total) * 1e-12 / elapsed_s);
+  }
+
+  if (config_.alarm_joules_per_inference > 0.0) {
+    std::int64_t window_pj = 0;
+    std::uint64_t window_samples = 0;
+    for (const WindowSlot& s : window_.slots()) {
+      window_pj += s.pj;
+      window_samples += s.samples;
+    }
+    if (window_samples >= config_.min_samples) {
+      const double jpi = static_cast<double>(window_pj) * 1e-12 /
+                         static_cast<double>(window_samples);
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "jpi=%.6g", jpi);
+      budget_detail_ = buf;
+      std::optional<AlarmEvent> event = budget_alarm_.update(request.at, jpi);
+      if (event.has_value()) {
+        event->exemplar_request_id = request.request_id;
+        event->detail = budget_detail_;
+      }
+      gate_.dispatch(std::move(event),
+                     [this](const AlarmEvent& e) { push_event(e); });
+    }
+  }
+  return energy;
+}
+
+void EnergyAccountant::set_quarantined(bool quarantined, SimDuration at) {
+  gate_.set_quarantined(
+      quarantined, at,
+      [this](std::string_view name) { return find_alarm(name); },
+      [this](const AlarmEvent& event) { push_event(event); });
+}
+
+void EnergyAccountant::push_event(const AlarmEvent& event) {
+  events_.push_back(event);
+  log_alarm_event(event);
+}
+
+const ThresholdAlarm* EnergyAccountant::find_alarm(std::string_view name) const {
+  return budget_alarm_.name() == name ? &budget_alarm_ : nullptr;
+}
+
+EnergySnapshot EnergyAccountant::snapshot(SimDuration now) {
+  EnergySnapshot snap;
+  snap.at = now;
+  snap.profile = config_.profile;
+
+  snap.total_pj = total_pj_;
+  snap.stage_pj = stage_pj_;
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const std::size_t c =
+        static_cast<std::size_t>(stage_component(static_cast<Stage>(i)));
+    snap.component_pj[c] += stage_pj_[i];
+  }
+  snap.served_pj = served_pj_;
+  snap.shed_pj = shed_pj_;
+  snap.expired_pj = expired_pj_;
+  snap.degraded_pj = degraded_pj_;
+  snap.requests_total = requests_total_;
+  snap.samples_served = samples_served_;
+
+  window_.advance_to(now);
+  for (const WindowSlot& slot : window_.slots()) {
+    snap.window_pj += slot.pj;
+    snap.window_samples += slot.samples;
+  }
+  snap.window_joules_per_inference =
+      snap.window_samples == 0
+          ? 0.0
+          : static_cast<double>(snap.window_pj) * 1e-12 /
+                static_cast<double>(snap.window_samples);
+
+  snap.watts_ewma = watts_ewma_.value();
+
+  snap.energy_budget.name = budget_alarm_.name();
+  snap.energy_budget.firing = budget_alarm_.firing();
+  snap.energy_budget.fired_total = budget_alarm_.fired_total();
+  snap.energy_budget.value = budget_alarm_.last_value();
+  snap.energy_budget.threshold = budget_alarm_.threshold();
+  snap.energy_budget.detail = budget_detail_;
+  snap.quarantined = gate_.quarantined();
+  snap.suppressed_alarms_total = gate_.suppressed_total();
+  return snap;
+}
+
+// -------------------------------------- checkpoint round-trip ---------------
+
+namespace {
+
+void write_alarm_state(ByteWriter& w, const ThresholdAlarm& alarm) {
+  w.write<std::uint8_t>(alarm.firing() ? 1 : 0);
+  w.write<double>(alarm.last_value());
+  w.write<std::uint64_t>(alarm.fired_total());
+}
+
+void read_alarm_state(ByteReader& r, ThresholdAlarm& alarm) {
+  const bool firing = r.read<std::uint8_t>() != 0;
+  const double last_value = r.read<double>();
+  const auto fired_total = r.read<std::uint64_t>();
+  alarm.restore(firing, last_value, fired_total);
+}
+
+void write_ewma(ByteWriter& w, const Ewma& ewma) {
+  const Ewma::State state = ewma.state();
+  w.write<double>(state.value);
+  w.write<double>(state.last.to_seconds());
+  w.write<std::uint8_t>(state.seeded ? 1 : 0);
+}
+
+void read_ewma(ByteReader& r, Ewma& ewma) {
+  Ewma::State state;
+  state.value = r.read<double>();
+  state.last = SimDuration::seconds(r.read<double>());
+  state.seeded = r.read<std::uint8_t>() != 0;
+  ewma.set_state(state);
+}
+
+}  // namespace
+
+void EnergyAccountant::serialize(ByteWriter& writer) const {
+  writer.write<double>(config_.profile.idle_watts);
+  writer.write<double>(config_.profile.mxu_active_watts);
+  writer.write<double>(config_.profile.link_watts);
+  writer.write<double>(config_.profile.sram_write_watts);
+  writer.write<double>(config_.profile.host_busy_watts);
+  writer.write<double>(config_.profile.backoff_watts);
+  writer.write<double>(config_.window.span.to_seconds());
+  writer.write<std::uint64_t>(static_cast<std::uint64_t>(config_.window.buckets));
+  writer.write<double>(config_.alarm_joules_per_inference);
+  writer.write<std::uint64_t>(config_.min_samples);
+  writer.write<double>(config_.ewma_tau_s);
+
+  writer.write<std::uint64_t>(window_.cursor());
+  for (const WindowSlot& slot : window_.slots()) {
+    writer.write<std::int64_t>(slot.pj);
+    writer.write<std::uint64_t>(slot.samples);
+  }
+
+  writer.write<std::int64_t>(total_pj_);
+  for (const std::int64_t pj : stage_pj_) {
+    writer.write<std::int64_t>(pj);
+  }
+  writer.write<std::int64_t>(served_pj_);
+  writer.write<std::int64_t>(shed_pj_);
+  writer.write<std::int64_t>(expired_pj_);
+  writer.write<std::int64_t>(degraded_pj_);
+  writer.write<std::uint64_t>(requests_total_);
+  writer.write<std::uint64_t>(samples_served_);
+
+  write_ewma(writer, watts_ewma_);
+  write_alarm_state(writer, budget_alarm_);
+  writer.write_string(budget_detail_);
+  detail::write_alarm_events(writer, events_);
+  gate_.serialize(writer);
+}
+
+EnergyAccountant EnergyAccountant::deserialize(ByteReader& reader) {
+  EnergyConfig config;
+  config.profile.idle_watts = reader.read<double>();
+  config.profile.mxu_active_watts = reader.read<double>();
+  config.profile.link_watts = reader.read<double>();
+  config.profile.sram_write_watts = reader.read<double>();
+  config.profile.host_busy_watts = reader.read<double>();
+  config.profile.backoff_watts = reader.read<double>();
+  config.window.span = SimDuration::seconds(reader.read<double>());
+  config.window.buckets = static_cast<std::size_t>(reader.read<std::uint64_t>());
+  config.alarm_joules_per_inference = reader.read<double>();
+  config.min_samples = reader.read<std::uint64_t>();
+  config.ewma_tau_s = reader.read<double>();
+
+  EnergyAccountant accountant(config);
+  accountant.window_.set_cursor(reader.read<std::uint64_t>());
+  for (WindowSlot& slot : accountant.window_.slots_mutable()) {
+    slot.pj = reader.read<std::int64_t>();
+    slot.samples = reader.read<std::uint64_t>();
+  }
+
+  accountant.total_pj_ = reader.read<std::int64_t>();
+  for (std::int64_t& pj : accountant.stage_pj_) {
+    pj = reader.read<std::int64_t>();
+  }
+  accountant.served_pj_ = reader.read<std::int64_t>();
+  accountant.shed_pj_ = reader.read<std::int64_t>();
+  accountant.expired_pj_ = reader.read<std::int64_t>();
+  accountant.degraded_pj_ = reader.read<std::int64_t>();
+  accountant.requests_total_ = reader.read<std::uint64_t>();
+  accountant.samples_served_ = reader.read<std::uint64_t>();
+
+  read_ewma(reader, accountant.watts_ewma_);
+  read_alarm_state(reader, accountant.budget_alarm_);
+  accountant.budget_detail_ = reader.read_string();
+  accountant.events_ = detail::read_alarm_events(reader);
+  accountant.gate_.restore(reader);
+  return accountant;
+}
+
+// --------------------------------------------- snapshot rendering -----------
+
+namespace {
+
+void append_field(std::string& out, const char* key, double value, bool leading_comma) {
+  if (leading_comma) {
+    out.push_back(',');
+  }
+  detail::append_json_string(out, key);
+  out.push_back(':');
+  detail::append_json_number(out, value);
+}
+
+/// Picojoule ledgers render as exact integers (no float formatting) so
+/// `hdc_energyq --assert-conservation` re-verifies sums without parsing slop;
+/// |pj| stays far below 2^53, so a double-based JSON parser recovers the
+/// integer exactly.
+void append_pj(std::string& out, const char* key, std::int64_t pj, bool leading_comma) {
+  if (leading_comma) {
+    out.push_back(',');
+  }
+  detail::append_json_string(out, key);
+  out.push_back(':');
+  out += std::to_string(pj);
+}
+
+void prom_line(std::string& out, const char* family, const std::string& labels,
+               double value) {
+  char buf[224];
+  if (labels.empty()) {
+    std::snprintf(buf, sizeof(buf), "%s %.9g\n", family, value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s{%s} %.9g\n", family, labels.c_str(), value);
+  }
+  out += buf;
+}
+
+void prom_header(std::string& out, const char* family, const char* type,
+                 const char* help) {
+  out += "# HELP ";
+  out += family;
+  out.push_back(' ');
+  out += help;
+  out += "\n# TYPE ";
+  out += family;
+  out.push_back(' ');
+  out += type;
+  out.push_back('\n');
+}
+
+void append_gate_metric(std::string& out, const char* name, double value,
+                        const char* unit, const char* kind, const char* better) {
+  out.push_back(',');
+  detail::append_json_string(out, name);
+  out += ":{\"value\":";
+  detail::append_json_number(out, value);
+  out += ",\"unit\":";
+  detail::append_json_string(out, unit);
+  out += ",\"kind\":";
+  detail::append_json_string(out, kind);
+  out += ",\"better\":";
+  detail::append_json_string(out, better);
+  out.push_back('}');
+}
+
+}  // namespace
+
+std::string EnergySnapshot::to_json() const {
+  std::string out;
+  out += "{\"schema\":\"hdc-energy-v1\"";
+  append_pj(out, "total_pj", total_pj, true);
+  append_field(out, "total_joules", total_joules(), true);
+
+  out += ",\"profile\":{";
+  append_field(out, "idle_watts", profile.idle_watts, false);
+  append_field(out, "mxu_active_watts", profile.mxu_active_watts, true);
+  append_field(out, "link_watts", profile.link_watts, true);
+  append_field(out, "sram_write_watts", profile.sram_write_watts, true);
+  append_field(out, "host_busy_watts", profile.host_busy_watts, true);
+  append_field(out, "backoff_watts", profile.backoff_watts, true);
+  out += "}";
+
+  out += ",\"stages\":{";
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    append_pj(out, stage_name(static_cast<Stage>(i)), stage_pj[i], i > 0);
+  }
+  out += "}";
+
+  out += ",\"components\":{";
+  for (std::size_t i = 0; i < kNumEnergyComponents; ++i) {
+    append_pj(out, component_name(static_cast<EnergyComponent>(i)), component_pj[i],
+              i > 0);
+  }
+  out += "}";
+
+  out += ",\"outcomes\":{";
+  append_pj(out, "served_pj", served_pj, false);
+  append_pj(out, "shed_pj", shed_pj, true);
+  append_pj(out, "expired_pj", expired_pj, true);
+  append_pj(out, "degraded_pj", degraded_pj, true);
+  out += "}";
+
+  out += ",\"requests\":" + std::to_string(requests_total);
+  out += ",\"samples_served\":" + std::to_string(samples_served);
+
+  out += ",\"window\":{";
+  append_pj(out, "pj", window_pj, false);
+  out += ",\"samples\":" + std::to_string(window_samples);
+  append_field(out, "joules_per_inference", window_joules_per_inference, true);
+  out += "}";
+
+  append_field(out, "watts_ewma", watts_ewma, true);
+
+  out += ",\"alarms\":{";
+  detail::append_json_string(out, energy_budget.name);
+  out += ":{\"firing\":";
+  out += energy_budget.firing ? "true" : "false";
+  out += ",\"fired_total\":" + std::to_string(energy_budget.fired_total);
+  append_field(out, "value", energy_budget.value, true);
+  append_field(out, "threshold", energy_budget.threshold, true);
+  out += ",\"detail\":";
+  detail::append_json_string(out, energy_budget.detail);
+  out += "}}";
+
+  out += ",\"quarantined\":";
+  out += quarantined ? "true" : "false";
+  out += ",\"suppressed_alarms_total\":" + std::to_string(suppressed_alarms_total);
+  out += "}";
+  return out;
+}
+
+std::string EnergySnapshot::metrics_json() const {
+  std::string out;
+  append_gate_metric(out, "energy.joules_per_inference", window_joules_per_inference,
+                     "J", "sim", "lower");
+  append_gate_metric(out, "energy.total_joules", total_joules(), "J", "info", "lower");
+  append_gate_metric(out, "energy.watts_ewma", watts_ewma, "W", "info", "lower");
+  append_gate_metric(out, "energy.alarms.energy_budget.fired_total",
+                     static_cast<double>(energy_budget.fired_total), "", "info",
+                     "lower");
+  return out;
+}
+
+std::string EnergySnapshot::to_prometheus() const {
+  std::string out;
+  prom_header(out, "hdc_energy_joules_total", "counter",
+              "Total attributed energy (lifetime, simulated)");
+  prom_line(out, "hdc_energy_joules_total", "", total_joules());
+  prom_header(out, "hdc_energy_component_joules_total", "counter",
+              "Attributed energy per hardware component (lifetime, simulated)");
+  for (std::size_t i = 0; i < kNumEnergyComponents; ++i) {
+    prom_line(out, "hdc_energy_component_joules_total",
+              "component=\"" +
+                  std::string(component_name(static_cast<EnergyComponent>(i))) + "\"",
+              static_cast<double>(component_pj[i]) * 1e-12);
+  }
+  prom_header(out, "hdc_energy_stage_joules_total", "counter",
+              "Attributed energy per request stage (lifetime, simulated)");
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    prom_line(out, "hdc_energy_stage_joules_total",
+              "stage=\"" + std::string(stage_name(static_cast<Stage>(i))) + "\"",
+              static_cast<double>(stage_pj[i]) * 1e-12);
+  }
+  prom_header(out, "hdc_energy_outcome_joules_total", "counter",
+              "Attributed energy per request outcome (lifetime, simulated)");
+  prom_line(out, "hdc_energy_outcome_joules_total", "outcome=\"served\"",
+            static_cast<double>(served_pj) * 1e-12);
+  prom_line(out, "hdc_energy_outcome_joules_total", "outcome=\"shed\"",
+            static_cast<double>(shed_pj) * 1e-12);
+  prom_line(out, "hdc_energy_outcome_joules_total", "outcome=\"expired\"",
+            static_cast<double>(expired_pj) * 1e-12);
+  prom_header(out, "hdc_energy_joules_per_inference", "gauge",
+              "Windowed joules per served inference (all-outcome numerator)");
+  prom_line(out, "hdc_energy_joules_per_inference", "", window_joules_per_inference);
+  prom_header(out, "hdc_energy_watts", "gauge",
+              "EWMA of per-request average power draw");
+  prom_line(out, "hdc_energy_watts", "", watts_ewma);
+  prom_header(out, "hdc_energy_alarm_firing", "gauge",
+              "1 while the energy alarm condition holds");
+  prom_line(out, "hdc_energy_alarm_firing", "alarm=\"" + energy_budget.name + "\"",
+            energy_budget.firing ? 1.0 : 0.0);
+  prom_header(out, "hdc_energy_alarm_fired_total", "counter",
+              "Edge-triggered energy alarm fire count");
+  prom_line(out, "hdc_energy_alarm_fired_total",
+            "alarm=\"" + energy_budget.name + "\"",
+            static_cast<double>(energy_budget.fired_total));
+  return out;
+}
+
+}  // namespace hdc::obs

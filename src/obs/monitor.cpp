@@ -983,6 +983,12 @@ std::string MonitorSnapshot::to_json() const {
     out += model_json;
   }
 
+  // Energy section (obs/energy.hpp), pre-rendered by the owner.
+  if (!energy_json.empty()) {
+    out += ",\"energy\":";
+    out += energy_json;
+  }
+
   // Flat gate map in the hdc-bench-v1 entry shape: `hdc_perfdiff` diffs a
   // snapshot against a committed baseline exactly like a bench JSON.
   out += ",\"metrics\":{";
@@ -1040,7 +1046,8 @@ std::string MonitorSnapshot::to_json() const {
   }
   append_gate_metric(out, "alarms.drift.fired_total", drift_fired, "", "info", "lower",
                      true);
-  out += model_metrics_json;  // ",\"model.x\":{...}" entries (possibly empty)
+  out += model_metrics_json;   // ",\"model.x\":{...}" entries (possibly empty)
+  out += energy_metrics_json;  // ",\"energy.x\":{...}" entries (possibly empty)
   out += "}}";
   return out;
 }
@@ -1174,7 +1181,8 @@ std::string MonitorSnapshot::to_prometheus() const {
     prom_line(out, "hdc_serve_alarm_fired_total", labels,
               static_cast<double>(alarm.fired_total));
   }
-  out += model_prometheus;  // hdc_model_* families (possibly empty)
+  out += model_prometheus;   // hdc_model_* families (possibly empty)
+  out += energy_prometheus;  // hdc_energy_* families (possibly empty)
   return out;
 }
 

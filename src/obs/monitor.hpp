@@ -473,6 +473,14 @@ struct MonitorSnapshot {
   std::string model_metrics_json;
   std::string model_prometheus;
 
+  /// Energy section (see obs/energy.hpp), spliced the same way: `energy_json`
+  /// becomes the snapshot's `"energy"` object, `energy_metrics_json` a run of
+  /// `,"energy.x":{...}` gate entries, `energy_prometheus` the `hdc_energy_*`
+  /// families. All empty when no energy accountant is attached.
+  std::string energy_json;
+  std::string energy_metrics_json;
+  std::string energy_prometheus;
+
   /// hdc-monitor-v1 JSON. Contains the nested telemetry plus a flat
   /// `metrics` map in the hdc-bench-v1 entry shape, so `hdc_perfdiff` can
   /// gate a snapshot exactly like a bench JSON.

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdio>
 
+#include "obs/energy.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -103,6 +104,22 @@ ProfileReport compute_profile(const TraceContext& trace, const MetricsRegistry& 
     report.pool_busy_fraction = pool->busy_fraction(pool_lanes);
   }
 
+  // ---- derived energy (default power profile, informational) ----
+  {
+    const PowerProfile profile;
+    report.energy_mxu_joules = report.mxu_busy.to_seconds() * profile.mxu_active_watts;
+    report.energy_link_joules = report.link_busy.to_seconds() * profile.link_watts;
+    report.energy_host_joules = report.host_busy.to_seconds() * profile.host_busy_watts;
+    const double idle_s =
+        std::max(0.0, interval_s - (report.mxu_busy + report.link_busy +
+                                    report.host_busy)
+                                       .to_seconds());
+    report.energy_idle_joules = idle_s * profile.idle_watts;
+    report.energy_total_joules = report.energy_mxu_joules + report.energy_link_joules +
+                                 report.energy_host_joules + report.energy_idle_joules;
+    report.energy_watts_avg = ratio(report.energy_total_joules, interval_s);
+  }
+
   // ---- resilient executor ----
   report.executor_invocations = counter_or_zero(metrics, "tpu.invocations");
   report.executor_retries = counter_or_zero(metrics, "resilient.invoke_retries");
@@ -178,6 +195,13 @@ std::string ProfileReport::to_json() const {
   field("wall_s", pool.wall_seconds);
   field("busy_fraction", pool_busy_fraction);
   field("speedup", pool_speedup, false);
+  out += "},\"energy\":{";
+  field("mxu_joules", energy_mxu_joules);
+  field("link_joules", energy_link_joules);
+  field("host_joules", energy_host_joules);
+  field("idle_joules", energy_idle_joules);
+  field("total_joules", energy_total_joules);
+  field("watts_avg", energy_watts_avg, false);
   out += "},\"executor\":{";
   ufield("invocations", executor_invocations);
   ufield("retries", executor_retries);
@@ -262,6 +286,20 @@ std::string ProfileReport::to_table() const {
     row("host thread pool", value);
   } else {
     row("host thread pool", "no fanned-out regions");
+  }
+
+  {
+    char value[128];
+    std::snprintf(value, sizeof(value),
+                  "%.3g J total (mxu %.3g, link %.3g, host %.3g, idle %.3g)",
+                  energy_total_joules, energy_mxu_joules, energy_link_joules,
+                  energy_host_joules, energy_idle_joules);
+    row("energy (default profile)", value);
+  }
+  {
+    char value[64];
+    std::snprintf(value, sizeof(value), "%.3g W average", energy_watts_avg);
+    row("power", value);
   }
 
   {

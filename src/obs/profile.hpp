@@ -66,6 +66,19 @@ struct ProfileReport {
   double pool_busy_fraction = 0.0;  ///< busy / (wall * lanes)
   double pool_speedup = 0.0;        ///< busy / wall (achieved parallel speedup)
 
+  // ---- derived energy (informational) ----
+  // Coarse component joules at the *default* `PowerProfile`: each traced
+  // track's busy time priced at its stage watts, plus idle watts for the
+  // un-busy remainder of the interval. This is a profiler-level estimate
+  // (tracks can overlap under pipelining) and is NOT part of the exact
+  // picojoule conservation contract — that lives in `obs::EnergyAccountant`.
+  double energy_mxu_joules = 0.0;   ///< mxu_busy * mxu_active_watts
+  double energy_link_joules = 0.0;  ///< link_busy * usb_link_watts
+  double energy_host_joules = 0.0;  ///< host_busy * host_busy_watts
+  double energy_idle_joules = 0.0;  ///< max(0, interval - busy) * idle_watts
+  double energy_total_joules = 0.0;
+  double energy_watts_avg = 0.0;  ///< total / interval
+
   // ---- resilient executor ----
   std::uint64_t executor_invocations = 0;  ///< tpu.invocations
   std::uint64_t executor_retries = 0;      ///< resilient.invoke_retries

@@ -4,13 +4,21 @@
 
 namespace hdc::platform {
 
+void EnergyModel::validate() const {
+  HDC_CHECK(tpu_active_watts > 0.0, "EnergyModel: tpu_active_watts must be > 0");
+  HDC_CHECK(host_idle_fraction >= 0.0 && host_idle_fraction <= 1.0,
+            "EnergyModel: host_idle_fraction must be in [0, 1]");
+}
+
 EnergyReport EnergyModel::cpu_task(const PlatformProfile& cpu, SimDuration busy) const {
+  validate();
   cpu.validate();
   HDC_CHECK(busy.to_seconds() >= 0.0, "negative task time");
   return EnergyReport{cpu.power_watts * busy.to_seconds(), busy};
 }
 
 EnergyReport EnergyModel::codesign_training(const runtime::TrainTimings& timings) const {
+  validate();
   host.validate();
   const double encode_watts = tpu_active_watts + host.power_watts * host_idle_fraction;
   const double host_watts = host.power_watts;
@@ -20,6 +28,7 @@ EnergyReport EnergyModel::codesign_training(const runtime::TrainTimings& timings
 }
 
 EnergyReport EnergyModel::codesign_inference(SimDuration busy) const {
+  validate();
   host.validate();
   const double watts = tpu_active_watts + host.power_watts * host_idle_fraction;
   return EnergyReport{watts * busy.to_seconds(), busy};

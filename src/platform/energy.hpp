@@ -24,6 +24,11 @@ struct EnergyModel {
   double tpu_active_watts = 2.0;    ///< Edge TPU USB accelerator, busy
   double host_idle_fraction = 0.3;  ///< host draw while the TPU does the work
 
+  /// Rejects non-physical configurations (the accelerator must draw power
+  /// when active; the idle fraction is a fraction). Called by every pricing
+  /// entry point alongside `host.validate()`.
+  void validate() const;
+
   /// Everything on one CPU at its active power.
   EnergyReport cpu_task(const PlatformProfile& cpu, SimDuration busy) const;
 

@@ -283,8 +283,40 @@ FleetResult serve_fleet(const CoDesignFramework& framework, const ServeConfig& c
   std::vector<std::optional<obs::ModelQualityStats>> tenant_stats(fleet.num_tenants);
   std::uint64_t correct_total = 0;
 
+  // Energy: one fleet-wide accountant (lazily sized off the fleet monitor's
+  // resolved window, pending records replayed in order) plus plain integer
+  // picojoule ledgers per shard and per tenant. The ledgers fold the *same*
+  // deterministic `attribute_energy` atoms the accountant records, so they
+  // sum bit-exactly to the fleet total on every outcome path.
+  std::optional<obs::EnergyAccountant> fleet_energy;
+  std::vector<obs::EnergyAccountant::Request> pending_energy;
+  std::vector<std::int64_t> tenant_energy(fleet.num_tenants, 0);
+
   double log_clock = 0.0;
   LogClockScope log_scope(&log_clock);
+
+  /// Charges a finalized request's energy to its shard and tenant ledgers
+  /// and to the fleet accountant (or the pending buffer before lazy init).
+  /// Must run after `rt.finalize` and before `finish_request` moves `rt`.
+  const auto record_energy = [&](Shard& shard, std::uint32_t tenant_index,
+                                 const obs::RequestTrace& rt) {
+    obs::EnergyAccountant::Request ereq;
+    ereq.at = rt.end;
+    ereq.attribution = rt.attribution;
+    ereq.outcome = rt.outcome;
+    ereq.samples = rt.outcome == obs::RequestOutcome::kServed ? rt.samples : 0;
+    ereq.degraded = rt.tier != 0;
+    ereq.request_id = static_cast<std::int64_t>(rt.request_id);
+    const std::int64_t pj =
+        obs::attribute_energy(rt.attribution, config.energy.profile).total_pj();
+    shard.result.energy_pj += pj;
+    tenant_energy[tenant_index] += pj;
+    if (fleet_energy.has_value()) {
+      fleet_energy->record(ereq);
+    } else {
+      pending_energy.push_back(std::move(ereq));
+    }
+  };
 
   const auto finish_request = [&](obs::RequestTrace&& rt,
                                   std::optional<obs::ExemplarReason> reason) {
@@ -427,6 +459,7 @@ FleetResult serve_fleet(const CoDesignFramework& framework, const ServeConfig& c
         rt.outcome = obs::RequestOutcome::kExpired;
         rt.tier = static_cast<std::uint8_t>(tier);
         rt.finalize(td);
+        record_energy(shard, tenant_index, rt);
         finish_request(std::move(rt), obs::ExemplarReason::kExpired);
       } else {
         live.push_back(std::move(req));
@@ -533,6 +566,13 @@ FleetResult serve_fleet(const CoDesignFramework& framework, const ServeConfig& c
                              (1.0 / static_cast<double>(n_total)));
       fleet_monitor.init(mc);
       init_model_stats(mc.window);
+      obs::EnergyConfig ec = config.energy;
+      ec.window = mc.window;
+      fleet_energy.emplace(ec);
+      for (const obs::EnergyAccountant::Request& req : pending_energy) {
+        fleet_energy->record(req);
+      }
+      pending_energy.clear();
     }
     shard.monitor.monitor->set_quarantined(
         shard.health.state() == DeviceHealth::kQuarantined, end);
@@ -611,6 +651,7 @@ FleetResult serve_fleet(const CoDesignFramework& framework, const ServeConfig& c
                  shard.monitor.monitor->latency_quantile(end, 0.99)) {
         reason = obs::ExemplarReason::kTailLatency;
       }
+      record_energy(shard, tenant_index, rt);
       finish_request(std::move(rt), reason);
     }
 
@@ -678,6 +719,7 @@ FleetResult serve_fleet(const CoDesignFramework& framework, const ServeConfig& c
         rt.samples = n;
         rt.outcome = obs::RequestOutcome::kShed;
         rt.finalize(arrival);  // refused on arrival: zero latency
+        record_energy(shard, tenant, rt);
         finish_request(std::move(rt), obs::ExemplarReason::kShed);
         continue;
       }
@@ -699,6 +741,7 @@ FleetResult serve_fleet(const CoDesignFramework& framework, const ServeConfig& c
         rt.append(obs::Stage::kQueueWait, arrival - dropped.arrival);
       }
       rt.finalize(arrival);
+      record_energy(shard, dropped.tenant, rt);
       finish_request(std::move(rt), obs::ExemplarReason::kShed);
     }
     shard.queued_samples += n;
@@ -725,6 +768,15 @@ FleetResult serve_fleet(const CoDesignFramework& framework, const ServeConfig& c
   }
   if (!fleet_stats.has_value()) {
     init_model_stats(degenerate_config().window);
+  }
+  if (!fleet_energy.has_value()) {
+    obs::EnergyConfig ec = config.energy;
+    ec.window = degenerate_config().window;
+    fleet_energy.emplace(ec);
+    for (const obs::EnergyAccountant::Request& req : pending_energy) {
+      fleet_energy->record(req);
+    }
+    pending_energy.clear();
   }
 
   SimDuration t_end;
@@ -787,6 +839,22 @@ FleetResult serve_fleet(const CoDesignFramework& framework, const ServeConfig& c
   HDC_CHECK(tenant_sample_sum == result.samples_served,
             "model-quality conservation violated: tenant samples don't sum to served");
 
+  result.fleet_energy = fleet_energy->snapshot(t_end);
+  result.energy_events = fleet_energy->events();
+  result.tenant_energy_pj = std::move(tenant_energy);
+  std::int64_t shard_energy_sum = 0;
+  for (const FleetShardResult& shard : result.shards) {
+    shard_energy_sum += shard.energy_pj;
+  }
+  std::int64_t tenant_energy_sum = 0;
+  for (const std::int64_t pj : result.tenant_energy_pj) {
+    tenant_energy_sum += pj;
+  }
+  HDC_CHECK(shard_energy_sum == result.fleet_energy.total_pj,
+            "energy conservation violated: shard ledgers don't sum to fleet total");
+  HDC_CHECK(tenant_energy_sum == result.fleet_energy.total_pj,
+            "energy conservation violated: tenant ledgers don't sum to fleet total");
+
   // The fleet snapshot's `model` object is the aggregate with the per-tenant
   // views spliced in as a `tenants` array (the aggregate to_json always ends
   // in '}'); gates and Prometheus carry the aggregate only.
@@ -808,6 +876,28 @@ FleetResult serve_fleet(const CoDesignFramework& framework, const ServeConfig& c
     result.fleet_snapshot.model_json = std::move(model_json);
     result.fleet_snapshot.model_metrics_json = result.fleet_model.metrics_json();
     result.fleet_snapshot.model_prometheus = result.fleet_model.to_prometheus();
+  }
+
+  // Same splice shape for energy: the aggregate ledger with the per-tenant
+  // picojoule totals appended as a `tenants` array.
+  {
+    std::string energy_json = result.fleet_energy.to_json();
+    energy_json.pop_back();
+    energy_json += ",\"tenants\":[";
+    for (std::uint32_t t = 0; t < fleet.num_tenants; ++t) {
+      if (t > 0) {
+        energy_json += ',';
+      }
+      energy_json += "{\"tenant\":";
+      energy_json += std::to_string(t);
+      energy_json += ",\"total_pj\":";
+      energy_json += std::to_string(result.tenant_energy_pj[t]);
+      energy_json += '}';
+    }
+    energy_json += "]}";
+    result.fleet_snapshot.energy_json = std::move(energy_json);
+    result.fleet_snapshot.energy_metrics_json = result.fleet_energy.metrics_json();
+    result.fleet_snapshot.energy_prometheus = result.fleet_energy.to_prometheus();
   }
 
   result.predictions.reserve(static_cast<std::size_t>(result.samples_served));
@@ -848,7 +938,7 @@ FleetResult serve_fleet(const CoDesignFramework& framework, const ServeConfig& c
                << " chunks), cache hit rate " << result.cache_hit_rate
                << ", lifetime accuracy " << result.lifetime_accuracy << ", shed "
                << result.shed_requests << " / expired " << result.expired_requests
-               << " requests";
+               << " requests, energy " << result.fleet_energy.total_joules() << " J";
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/sim_time.hpp"
+#include "obs/energy.hpp"
 #include "obs/monitor.hpp"
 #include "obs/request_trace.hpp"
 #include "runtime/health.hpp"
@@ -69,6 +70,11 @@ struct FleetShardResult {
 
   obs::MonitorSnapshot final_snapshot;  ///< per-shard SLO view (hdc-monitor-v1)
 
+  /// Total simulated energy attributed to this shard's requests, in integer
+  /// picojoules (expired/shed requests placed here included). Shard ledgers
+  /// HDC_CHECK-sum to the fleet accountant's total.
+  std::int64_t energy_pj = 0;
+
   double mean_batch_chunks() const {
     return batches == 0 ? 0.0
                         : static_cast<double>(requests_served) /
@@ -132,6 +138,16 @@ struct FleetResult {
   obs::RequestAttribution attribution_total;
   std::uint64_t requests_traced = 0;
   std::vector<obs::RequestExemplar> exemplar_records;
+
+  /// Fleet-aggregate energy ledger (all requests, every outcome path) and
+  /// its budget-alarm edge history. Conservation (pinned by HDC_CHECK): the
+  /// per-shard `energy_pj` ledgers and the per-tenant ledgers below each sum
+  /// bit-exactly to `fleet_energy.total_pj`.
+  obs::EnergySnapshot fleet_energy;
+  /// Per-tenant energy in picojoules, indexed by tenant id. Shed requests
+  /// (which know their tenant) are charged to it; sums to the fleet total.
+  std::vector<std::int64_t> tenant_energy_pj;
+  std::vector<obs::AlarmEvent> energy_events;
 };
 
 /// Runs a fleet serving session to completion. Uses `config.stream` /

@@ -91,7 +91,10 @@ constexpr std::uint32_t kServeMagic = 0x56534448;  // "HDSV" little-endian
 // alarm events carry a `detail` string on the wire, and the model-quality
 // monitor (obs/model_stats.hpp: confusion/calibration/dimension state) is
 // appended after the serving monitor.
-constexpr std::uint32_t kServeVersion = 4;
+// v5: the energy accountant (obs/energy.hpp: integer-picojoule ledgers,
+// joules-per-inference window, watts EWMA, energy_budget alarm state) is
+// appended after the model-quality monitor, with the same u8 presence flag.
+constexpr std::uint32_t kServeVersion = 5;
 
 /// Everything a resumed session restores before re-entering the loop.
 struct RestoredState {
@@ -128,6 +131,8 @@ struct RestoredState {
   std::optional<obs::ServingMonitor> monitor;
   /// Model-quality monitor state (same lazy lifecycle as `monitor`).
   std::optional<obs::ModelQualityStats> model_stats;
+  /// Energy accountant state (same lazy lifecycle as `monitor`).
+  std::optional<obs::EnergyAccountant> energy;
 };
 
 void write_fingerprint(ByteWriter& w, const ServeConfig& config) {
@@ -343,6 +348,9 @@ RestoredState read_checkpoint(const std::string& path, const ServeConfig* config
   if (r.read<std::uint8_t>() != 0) {
     state.model_stats = obs::ModelQualityStats::deserialize(r);
   }
+  if (r.read<std::uint8_t>() != 0) {
+    state.energy = obs::EnergyAccountant::deserialize(r);
+  }
   HDC_CHECK(r.exhausted(), "trailing bytes after serve checkpoint payload");
   return state;
 }
@@ -510,7 +518,9 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
   // buffered and replayed in order at construction.
   std::optional<obs::ServingMonitor> monitor;
   std::optional<obs::ModelQualityStats> model_stats;
+  std::optional<obs::EnergyAccountant> energy;
   std::vector<AdmissionRecord> pending_admission;
+  std::vector<obs::EnergyAccountant::Request> pending_energy;
   if (restored.has_value() && restored->monitor.has_value()) {
     // Resume with the interrupted run's monitor exactly as checkpointed —
     // windows, EWMAs, alarm edge states, event history, quarantine gate —
@@ -521,6 +531,9 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
   }
   if (restored.has_value() && restored->model_stats.has_value()) {
     model_stats.emplace(std::move(*restored->model_stats));
+  }
+  if (restored.has_value() && restored->energy.has_value()) {
+    energy.emplace(std::move(*restored->energy));
   }
 
   double log_clock = now.to_seconds();
@@ -557,6 +570,10 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
       log_clock = at.to_seconds();
       model_stats->set_quarantined(quarantined, at);
     }
+    if (energy.has_value()) {
+      log_clock = at.to_seconds();
+      energy->set_quarantined(quarantined, at);
+    }
   };
 
   /// Monitor snapshot with the model-quality section spliced in: the
@@ -569,6 +586,12 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
       snap.model_json = ms.to_json();
       snap.model_metrics_json = ms.metrics_json();
       snap.model_prometheus = ms.to_prometheus();
+    }
+    if (energy.has_value()) {
+      const obs::EnergySnapshot es = energy->snapshot(at);
+      snap.energy_json = es.to_json();
+      snap.energy_metrics_json = es.metrics_json();
+      snap.energy_prometheus = es.to_prometheus();
     }
     return snap;
   };
@@ -587,6 +610,22 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
                                   std::optional<obs::ExemplarReason> reason) {
     result.attribution_total += rt.attribution;
     ++result.requests_traced;
+    // Energy rides the finalized attribution on every outcome path — shed and
+    // expired requests burned real (queue-wait) joules too. Buffered until
+    // the lazily sized accountant exists, like admission records.
+    obs::EnergyAccountant::Request ereq;
+    ereq.at = rt.end;
+    ereq.attribution = rt.attribution;
+    ereq.outcome = rt.outcome;
+    ereq.samples = rt.outcome == obs::RequestOutcome::kServed ? rt.samples : 0;
+    ereq.degraded = rt.tier != 0;
+    ereq.request_id = static_cast<std::int64_t>(rt.request_id);
+    if (energy.has_value()) {
+      log_clock = rt.end.to_seconds();
+      energy->record(ereq);
+    } else {
+      pending_energy.push_back(ereq);
+    }
     if (reason.has_value()) {
       exemplar_store.offer(*reason, rt);
     }
@@ -654,6 +693,10 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
     w.write<std::uint8_t>(model_stats.has_value() ? 1 : 0);
     if (model_stats.has_value()) {
       model_stats->serialize(w);
+    }
+    w.write<std::uint8_t>(energy.has_value() ? 1 : 0);
+    if (energy.has_value()) {
+      energy->serialize(w);
     }
     const std::uint32_t checksum = crc32(w.bytes().data(), w.size());
     w.write<std::uint32_t>(checksum);
@@ -757,6 +800,17 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
       msc.window = mc.window;
       model_stats.emplace(msc);
       model_stats->observe_model(deployed_full.model.class_hypervectors());
+
+      // The energy accountant shares the resolved monitor window; requests
+      // finished before this point (shed/expired ahead of the first served
+      // chunk) are replayed in order.
+      obs::EnergyConfig ec = config.energy;
+      ec.window = mc.window;
+      energy.emplace(ec);
+      for (const obs::EnergyAccountant::Request& req : pending_energy) {
+        energy->record(req);
+      }
+      pending_energy.clear();
     }
     sync_quarantine(chunk_end);
 
@@ -1033,6 +1087,14 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
     msc.window = mc.window;
     model_stats.emplace(msc);
     model_stats->observe_model(deployed_full.model.class_hypervectors());
+
+    obs::EnergyConfig ec = config.energy;
+    ec.window = mc.window;
+    energy.emplace(ec);
+    for (const obs::EnergyAccountant::Request& req : pending_energy) {
+      energy->record(req);
+    }
+    pending_energy.clear();
   }
 
   result.final_snapshot = take_snapshot(now);
@@ -1040,6 +1102,10 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
   if (model_stats.has_value()) {
     result.final_model = model_stats->snapshot(now);
     result.model_events = model_stats->events();
+  }
+  if (energy.has_value()) {
+    result.final_energy = energy->snapshot(now);
+    result.energy_events = energy->events();
   }
   result.t_end = now;
   // Lifetime totals come from the serve accumulators; the monitor (restored
@@ -1115,6 +1181,23 @@ std::string checkpoint_model_stats_json(const std::string& path) {
   out += ",\"lifetime\":{\"samples\":";
   out += std::to_string(state.samples_served);
   out += "},\"model\":";
+  out += snap.to_json();
+  out += "}";
+  return out;
+}
+
+std::string checkpoint_energy_json(const std::string& path) {
+  RestoredState state = read_checkpoint(path, nullptr);
+  HDC_CHECK(state.energy.has_value(),
+            "checkpoint '" + path +
+                "' carries no energy state (the interrupted run never served "
+                "a chunk)");
+  const obs::EnergySnapshot snap = state.energy->snapshot(state.now);
+  std::string out = "{\"schema\":\"hdc-energystats-v1\",\"t_s\":";
+  obs::detail::append_json_number(out, state.now.to_seconds());
+  out += ",\"lifetime\":{\"samples\":";
+  out += std::to_string(state.samples_served);
+  out += "},\"energy\":";
   out += snap.to_json();
   out += "}";
   return out;

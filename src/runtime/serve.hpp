@@ -8,6 +8,7 @@
 #include "common/sim_time.hpp"
 #include "data/stream.hpp"
 #include "core/online.hpp"
+#include "obs/energy.hpp"
 #include "obs/model_stats.hpp"
 #include "obs/monitor.hpp"
 #include "runtime/framework.hpp"
@@ -130,6 +131,12 @@ struct ServeConfig {
   /// (alarm thresholds, bin counts) are read from here.
   obs::ModelStatsConfig model_stats;
 
+  /// Energy accountant power profile / alarm threshold (obs/energy.hpp). The
+  /// serve layer fills `window` from the resolved monitor window; only the
+  /// tunables (profile watts, `alarm_joules_per_inference`, `min_samples`)
+  /// are read from here.
+  obs::EnergyConfig energy;
+
   // ---- exporters (strictly write-only; never feed back into serving) ----
   /// Directory for periodic `monitor_snapshot_NNNN.json` +
   /// `monitor_snapshot_final.json` (hdc-monitor-v1). Empty = no snapshots.
@@ -200,6 +207,17 @@ struct ServeResult {
   /// serving-monitor `events` so existing consumers see an unchanged stream.
   obs::ModelStatsSnapshot final_model;
   std::vector<obs::AlarmEvent> model_events;
+  /// Final energy view (stage/component/outcome picojoule ledgers, windowed
+  /// joules-per-inference, watts EWMA) and the energy alarm edges. Exact
+  /// conservation contract: stage and component ledgers sum to `total_pj`,
+  /// served + shed + expired == total, and re-pricing each `requests` entry's
+  /// attribution under `config.energy.profile` and summing the integer atoms
+  /// reproduces `final_energy.stage_pj` bit-exactly on fresh runs (pricing
+  /// happens per request, so summing *durations* first would round
+  /// differently; on resume `requests` restarts cold while the ledgers cover
+  /// the whole session).
+  obs::EnergySnapshot final_energy;
+  std::vector<obs::AlarmEvent> energy_events;
 
   SimDuration t_end;                       ///< final simulated clock
   std::uint64_t samples_served = 0;
@@ -255,5 +273,13 @@ ServeResult serve(const CoDesignFramework& framework, const ServeConfig& config)
 /// and `hdc model inspect` consume. Throws `hdc::Error` if the checkpoint
 /// predates model stats (HDSV < 4) or carries none.
 std::string checkpoint_model_stats_json(const std::string& path);
+
+/// Reads the energy section out of an HDSV checkpoint without the original
+/// `ServeConfig` (magic/version/CRC still verified). Returns a deterministic
+/// `{"schema":"hdc-energystats-v1",...}` JSON document with the embedded
+/// `energy` object at the checkpoint's simulated time — what `hdc_energyq`
+/// and `hdc energy inspect` consume. Throws `hdc::Error` if the checkpoint
+/// predates energy accounting (HDSV < 5) or carries none.
+std::string checkpoint_energy_json(const std::string& path);
 
 }  // namespace hdc::runtime

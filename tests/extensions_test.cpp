@@ -240,6 +240,37 @@ TEST(EnergyTest, ZeroTimeHasZeroAverageWatts) {
   EXPECT_EQ(report.average_watts(), 0.0);
 }
 
+TEST(EnergyTest, NonPhysicalModelsAreRejected) {
+  // Every pricing entry point validates: the accelerator must draw power
+  // when active, and the idle fraction is a fraction.
+  platform::EnergyModel model;
+  model.tpu_active_watts = 0.0;
+  EXPECT_THROW(model.validate(), Error);
+  EXPECT_THROW(model.codesign_inference(SimDuration::seconds(1)), Error);
+
+  model = platform::EnergyModel{};
+  model.tpu_active_watts = -2.0;
+  EXPECT_THROW(model.validate(), Error);
+
+  model = platform::EnergyModel{};
+  model.host_idle_fraction = -0.1;
+  EXPECT_THROW(model.validate(), Error);
+
+  model = platform::EnergyModel{};
+  model.host_idle_fraction = 1.5;
+  EXPECT_THROW(model.validate(), Error);
+  runtime::TrainTimings timings;
+  timings.encode = SimDuration::seconds(1);
+  EXPECT_THROW(model.codesign_training(timings), Error);
+
+  // Boundary values are physical and accepted.
+  model = platform::EnergyModel{};
+  model.host_idle_fraction = 0.0;
+  EXPECT_NO_THROW(model.validate());
+  model.host_idle_fraction = 1.0;
+  EXPECT_NO_THROW(model.validate());
+}
+
 // ---------------------------------------------------------------- noise ----
 
 TEST(NoiseTest, StuckAtZeroHitsExactFraction) {

@@ -1,0 +1,353 @@
+// Energy-ledger inspection library shared by the standalone `hdc_energyq`
+// binary and the `hdc energy inspect` subcommand. Reads any of the three
+// artifacts that carry an hdc-energy-v1 section:
+//
+//   * hdc-monitor-v1 snapshots with an `energy` object (the serve loop's
+//     `monitor_snapshot_*.json`, or the fleet router's
+//     `fleet_snapshot_final.json`, whose energy object additionally carries a
+//     per-tenant `tenants` array of picojoule ledgers);
+//   * hdc-energystats-v1 wrappers (what `checkpoint_energy_json` emits);
+//   * raw HDSV serve checkpoints (sniffed by magic; the embedded energy
+//     accountant is snapshotted at the checkpoint's simulated time).
+//
+// Prints the component/stage/outcome joule breakdowns, the windowed
+// joules-per-inference figure, the watts EWMA and the energy-budget alarm
+// state. `--assert-conservation` turns the exact integer-picojoule
+// invariants into a CI check:
+//
+//   * the ten stage ledgers sum exactly to the total;
+//   * the six component ledgers sum exactly to the total (same atoms,
+//     regrouped);
+//   * served + shed + expired energy sums exactly to the total;
+//   * degraded energy never exceeds served energy (degraded requests were
+//     served);
+//   * the windowed energy never exceeds the lifetime total and the windowed
+//     sample count never exceeds the lifetime served count;
+//   * when the wrapper reports a lifetime served-sample total, it equals the
+//     energy ledger's exactly;
+//   * in fleet snapshots, the per-tenant picojoule totals sum exactly to the
+//     aggregate's.
+//
+// All ledgers are integer picojoules far below 2^53, so the double-based
+// JSON parser recovers them exactly — which is what makes "exact
+// conservation" checkable from JSON at all.
+//
+// Exit codes: 0 pass, 1 conservation violation or tenant not found, 2
+// usage/parse error.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_min.hpp"
+#include "runtime/serve.hpp"
+
+namespace hdc::tools::energyq {
+
+struct Options {
+  std::string path;
+  bool assert_conservation = false;
+  long tenant = -1;  ///< -1 = aggregate view
+};
+
+inline int usage(const char* invocation) {
+  std::fprintf(stderr,
+               "usage: %s <snapshot.json|checkpoint> [--tenant N]\n"
+               "          [--assert-conservation]\n"
+               "\n"
+               "Inspects the energy section of an hdc-monitor-v1 snapshot, an\n"
+               "hdc-energystats-v1 document, or an HDSV serve checkpoint:\n"
+               "component/stage/outcome joule ledgers, windowed joules per\n"
+               "inference, the watts EWMA and the energy_budget alarm.\n"
+               "\n"
+               "  --tenant N              print tenant N's energy total (fleet\n"
+               "                          snapshots only)\n"
+               "  --assert-conservation   verify the exact picojoule\n"
+               "                          invariants; exit 1 on violation\n",
+               invocation);
+  return 2;
+}
+
+// ---- tolerant readers ------------------------------------------------------
+
+inline long long as_i64(const Json& v) {
+  return v.type == Json::Type::kNumber ? static_cast<long long>(v.number) : 0LL;
+}
+
+inline long long i64_or(const Json& obj, const std::string& key) {
+  const auto it = obj.object.find(key);
+  return it != obj.object.end() ? as_i64(it->second) : 0LL;
+}
+
+// ---- conservation ----------------------------------------------------------
+
+struct Report {
+  std::size_t checks = 0;
+  std::vector<std::string> violations;
+
+  void expect(bool ok, const std::string& what) {
+    ++checks;
+    if (!ok) {
+      violations.push_back(what);
+    }
+  }
+};
+
+/// Runs the exact-invariant suite over one hdc-energy-v1 object.
+/// `monitor_samples` (when >= 0) is the enclosing wrapper's lifetime
+/// served-sample count, cross-checked against the ledger's.
+inline void check_energy(const Json& energy, long long monitor_samples, Report& rep) {
+  const long long total = i64_or(energy, "total_pj");
+
+  long long stage_sum = 0;
+  if (energy.has("stages") && energy.at("stages").type == Json::Type::kObject) {
+    for (const auto& [stage, pj] : energy.at("stages").object) {
+      (void)stage;
+      stage_sum += as_i64(pj);
+    }
+  }
+  rep.expect(stage_sum == total, "stage ledgers sum to " + std::to_string(stage_sum) +
+                                     " pJ but total_pj is " + std::to_string(total));
+
+  long long component_sum = 0;
+  if (energy.has("components") && energy.at("components").type == Json::Type::kObject) {
+    for (const auto& [component, pj] : energy.at("components").object) {
+      (void)component;
+      component_sum += as_i64(pj);
+    }
+  }
+  rep.expect(component_sum == total,
+             "component ledgers sum to " + std::to_string(component_sum) +
+                 " pJ but total_pj is " + std::to_string(total));
+
+  long long served = 0;
+  long long shed = 0;
+  long long expired = 0;
+  long long degraded = 0;
+  if (energy.has("outcomes")) {
+    const Json& outcomes = energy.at("outcomes");
+    served = i64_or(outcomes, "served_pj");
+    shed = i64_or(outcomes, "shed_pj");
+    expired = i64_or(outcomes, "expired_pj");
+    degraded = i64_or(outcomes, "degraded_pj");
+  }
+  rep.expect(served + shed + expired == total,
+             "outcome ledgers sum to " + std::to_string(served + shed + expired) +
+                 " pJ but total_pj is " + std::to_string(total));
+  rep.expect(degraded <= served, "degraded energy (" + std::to_string(degraded) +
+                                     " pJ) exceeds served energy (" +
+                                     std::to_string(served) + " pJ)");
+
+  const long long samples_served = i64_or(energy, "samples_served");
+  if (energy.has("window")) {
+    const Json& window = energy.at("window");
+    const long long window_pj = i64_or(window, "pj");
+    const long long window_samples = i64_or(window, "samples");
+    rep.expect(window_pj >= 0 && window_pj <= total,
+               "windowed energy (" + std::to_string(window_pj) +
+                   " pJ) outside [0, total_pj=" + std::to_string(total) + "]");
+    rep.expect(window_samples <= samples_served,
+               "windowed samples (" + std::to_string(window_samples) +
+                   ") exceed lifetime served samples (" +
+                   std::to_string(samples_served) + ")");
+  }
+
+  rep.expect(monitor_samples < 0 || monitor_samples == samples_served,
+             "wrapper lifetime.samples (" + std::to_string(monitor_samples) +
+                 ") != energy samples_served (" + std::to_string(samples_served) + ")");
+
+  if (energy.has("tenants") && energy.at("tenants").type == Json::Type::kArray) {
+    long long tenant_sum = 0;
+    for (const Json& entry : energy.at("tenants").array) {
+      tenant_sum += i64_or(entry, "total_pj");
+    }
+    rep.expect(tenant_sum == total,
+               "tenant ledgers sum to " + std::to_string(tenant_sum) +
+                   " pJ but the fleet total is " + std::to_string(total));
+  }
+}
+
+// ---- rendering -------------------------------------------------------------
+
+inline void print_energy(const Json& energy) {
+  const long long total = i64_or(energy, "total_pj");
+  const double total_j = static_cast<double>(total) * 1e-12;
+  std::printf("energy: %.6g J total over %lld requests (%lld served samples)\n",
+              total_j, i64_or(energy, "requests"), i64_or(energy, "samples_served"));
+
+  if (energy.has("profile")) {
+    const Json& p = energy.at("profile");
+    std::printf("profile: idle %.3g W, mxu %.3g W, link %.3g W, sram %.3g W, "
+                "host %.3g W, backoff %.3g W\n",
+                p.num_or("idle_watts", 0.0), p.num_or("mxu_active_watts", 0.0),
+                p.num_or("link_watts", 0.0), p.num_or("sram_write_watts", 0.0),
+                p.num_or("host_busy_watts", 0.0), p.num_or("backoff_watts", 0.0));
+  }
+
+  const auto section = [&](const char* key, const char* heading) {
+    if (!energy.has(key) || energy.at(key).type != Json::Type::kObject) {
+      return;
+    }
+    std::printf("%s:\n", heading);
+    for (const auto& [name, pj] : energy.at(key).object) {
+      const long long v = as_i64(pj);
+      const double share =
+          total > 0 ? static_cast<double>(v) / static_cast<double>(total) : 0.0;
+      std::printf("  %-14s %14.6g J %7.2f%%\n", name.c_str(),
+                  static_cast<double>(v) * 1e-12, 100.0 * share);
+    }
+  };
+  section("components", "components");
+  section("stages", "stages");
+  section("outcomes", "outcomes");
+
+  if (energy.has("window")) {
+    const Json& window = energy.at("window");
+    std::printf("window: %.6g J over %lld served samples (%.6g J/inference)\n",
+                static_cast<double>(i64_or(window, "pj")) * 1e-12,
+                i64_or(window, "samples"),
+                window.num_or("joules_per_inference", 0.0));
+  }
+  std::printf("watts ewma: %.6g W\n", energy.num_or("watts_ewma", 0.0));
+
+  if (energy.has("alarms")) {
+    for (const auto& [name, alarm] : energy.at("alarms").object) {
+      const auto firing = alarm.object.find("firing");
+      const std::string detail = alarm.str_or("detail", "");
+      std::printf("alarm %-14s %s fired_total=%lld value=%.6g threshold=%.6g%s%s\n",
+                  name.c_str(),
+                  firing != alarm.object.end() && firing->second.boolean ? "FIRING"
+                                                                         : "clear ",
+                  i64_or(alarm, "fired_total"), alarm.num_or("value", 0.0),
+                  alarm.num_or("threshold", 0.0), detail.empty() ? "" : " detail=",
+                  detail.c_str());
+    }
+  }
+
+  if (energy.has("tenants") && energy.at("tenants").type == Json::Type::kArray) {
+    std::printf("tenants:\n");
+    for (const Json& entry : energy.at("tenants").array) {
+      const long long pj = i64_or(entry, "total_pj");
+      const double share =
+          total > 0 ? static_cast<double>(pj) / static_cast<double>(total) : 0.0;
+      std::printf("  tenant %-4lld %14.6g J %7.2f%%\n", i64_or(entry, "tenant"),
+                  static_cast<double>(pj) * 1e-12, 100.0 * share);
+    }
+  }
+}
+
+// ---- entry point -----------------------------------------------------------
+
+inline int run(const std::vector<std::string>& args, const char* invocation) {
+  Options opts;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--assert-conservation") {
+      opts.assert_conservation = true;
+    } else if (arg == "--tenant") {
+      if (i + 1 >= args.size()) {
+        return usage(invocation);
+      }
+      opts.tenant = std::strtol(args[++i].c_str(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(invocation);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", invocation, arg.c_str());
+      return usage(invocation);
+    } else if (opts.path.empty()) {
+      opts.path = arg;
+    } else {
+      return usage(invocation);
+    }
+  }
+  if (opts.path.empty()) {
+    return usage(invocation);
+  }
+
+  std::ifstream in(opts.path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "%s: cannot read '%s'\n", invocation, opts.path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+
+  // HDSV checkpoints are sniffed by magic and converted to the
+  // hdc-energystats-v1 wrapper via the relaxed checkpoint reader.
+  if (text.size() >= 4 && text.compare(0, 4, "HDSV") == 0) {
+    try {
+      text = runtime::checkpoint_energy_json(opts.path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", invocation, e.what());
+      return 2;
+    }
+  }
+
+  const std::optional<Json> doc = JsonParser(text).parse();
+  if (!doc || doc->type != Json::Type::kObject) {
+    std::fprintf(stderr, "%s: '%s' is not valid JSON\n", invocation, opts.path.c_str());
+    return 2;
+  }
+  const std::string schema = doc->str_or("schema", "");
+  if (!doc->has("energy")) {
+    std::fprintf(stderr,
+                 "%s: '%s' (schema '%s') carries no energy section — serve with "
+                 "energy accounting enabled\n",
+                 invocation, opts.path.c_str(), schema.c_str());
+    return 2;
+  }
+  const Json& energy = doc->at("energy");
+  const long long monitor_samples =
+      doc->has("lifetime") && doc->at("lifetime").has("samples")
+          ? i64_or(doc->at("lifetime"), "samples")
+          : -1LL;
+
+  std::printf("%s  t_s=%.9g\n", opts.path.c_str(), doc->num_or("t_s", 0.0));
+  if (opts.tenant >= 0) {
+    bool found = false;
+    if (energy.has("tenants") && energy.at("tenants").type == Json::Type::kArray) {
+      for (const Json& entry : energy.at("tenants").array) {
+        if (static_cast<long>(entry.num_or("tenant", -1.0)) == opts.tenant) {
+          std::printf("tenant %ld: %.6g J (%lld pJ)\n", opts.tenant,
+                      static_cast<double>(i64_or(entry, "total_pj")) * 1e-12,
+                      i64_or(entry, "total_pj"));
+          found = true;
+        }
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "%s: no tenant %ld in '%s'\n", invocation, opts.tenant,
+                   opts.path.c_str());
+      return 1;
+    }
+  } else {
+    print_energy(energy);
+  }
+
+  if (!opts.assert_conservation) {
+    return 0;
+  }
+
+  Report rep;
+  check_energy(energy, monitor_samples, rep);
+  if (rep.violations.empty()) {
+    std::printf("\nconservation: PASS (%zu checks)\n", rep.checks);
+    return 0;
+  }
+  std::printf("\nconservation: FAIL (%zu of %zu checks)\n", rep.violations.size(),
+              rep.checks);
+  for (const std::string& violation : rep.violations) {
+    std::printf("  VIOLATION: %s\n", violation.c_str());
+  }
+  return 1;
+}
+
+}  // namespace hdc::tools::energyq

@@ -23,6 +23,8 @@
 //             [--assert-attribution]
 //   hdc model inspect <snapshot.json|checkpoint> [--tenant N]
 //             [--assert-conservation]
+//   hdc energy inspect <snapshot.json|checkpoint> [--tenant N]
+//             [--assert-conservation]
 //
 // `hdc serve` pumps a synthetic drift stream (one of the Table-I presets)
 // through the fault-tolerant TPU inference path with prequential evaluation
@@ -74,6 +76,7 @@
 #include "runtime/router.hpp"
 #include "runtime/serve.hpp"
 #include "tpu/compiler.hpp"
+#include "energyq_lib.hpp"
 #include "modelq_lib.hpp"
 #include "traceq_lib.hpp"
 
@@ -440,6 +443,7 @@ int cmd_serve(int argc, char** argv) {
                  "           [--fault-profile spec] [--window-span S] [--slo-ms MS]\n"
                  "           [--alarm-drift F] [--alarm-error F] [--alarm-burn F]\n"
                  "           [--alarm-class-error F] [--alarm-confusion-pair F]\n"
+                 "           [--alarm-energy-jpi J]\n"
                  "           [--deadline-us US] [--queue-chunks N]\n"
                  "           [--shed-policy reject-newest|drop-oldest] [--offered-load F]\n"
                  "           [--probe-interval-us US] [--reduced-dim N]\n"
@@ -595,6 +599,10 @@ int cmd_serve(int argc, char** argv) {
       std::atof(arg_value(argc, argv, "--alarm-class-error", "0.75"));
   config.model_stats.alarm_confusion_pair =
       std::atof(arg_value(argc, argv, "--alarm-confusion-pair", "0.5"));
+  // Energy-budget alarm: fires while windowed joules per served inference
+  // exceed the threshold (0 = disabled, accounting still runs).
+  config.energy.alarm_joules_per_inference =
+      std::atof(arg_value(argc, argv, "--alarm-energy-jpi", "0"));
 
   config.snapshot_dir = arg_value(argc, argv, "--snapshot-dir", "");
   config.snapshot_every_chunks =
@@ -672,6 +680,13 @@ int cmd_serve(int argc, char** argv) {
                 SimDuration::seconds(snap.latency_p95_s).to_string().c_str(),
                 SimDuration::seconds(snap.latency_p99_s).to_string().c_str(),
                 snap.slo_burn_rate);
+    std::printf("energy=%.6gJ joules_per_inference=%.6g watts_ewma=%.6g "
+                "budget_fired=%llu\n",
+                result.fleet_energy.total_joules(),
+                result.fleet_energy.window_joules_per_inference,
+                result.fleet_energy.watts_ewma,
+                static_cast<unsigned long long>(
+                    result.fleet_energy.energy_budget.fired_total));
     if (result.requests_traced > 0) {
       std::printf("latency attribution over %llu requests:",
                   static_cast<unsigned long long>(result.requests_traced));
@@ -736,6 +751,13 @@ int cmd_serve(int argc, char** argv) {
               SimDuration::seconds(snap.latency_p99_s).to_string().c_str());
   std::printf("SLO burn rate %.2f, drift score %.3f\n", snap.slo_burn_rate,
               snap.drift_score);
+  std::printf("energy=%.6gJ joules_per_inference=%.6g watts_ewma=%.6g "
+              "budget_fired=%llu\n",
+              result.final_energy.total_joules(),
+              result.final_energy.window_joules_per_inference,
+              result.final_energy.watts_ewma,
+              static_cast<unsigned long long>(
+                  result.final_energy.energy_budget.fired_total));
   std::printf("admission: %u shed + %u expired chunks (%llu + %llu samples), "
               "%llu degraded samples\n",
               result.shed_chunks, result.expired_chunks,
@@ -823,6 +845,18 @@ int cmd_model(int argc, char** argv) {
   return tools::modelq::run(args, "hdc model inspect");
 }
 
+/// `hdc energy inspect <file> [options]` — the hdc_energyq analysis inline.
+int cmd_energy(int argc, char** argv) {
+  if (argc < 3 || std::string(argv[2]) != "inspect") {
+    std::fprintf(stderr,
+                 "usage: hdc energy inspect <snapshot.json|checkpoint> [--tenant N]\n"
+                 "           [--assert-conservation]\n");
+    return 2;
+  }
+  const std::vector<std::string> args(argv + 3, argv + argc);
+  return tools::energyq::run(args, "hdc energy inspect");
+}
+
 /// `hdc trace analyze <file> [options]` — the hdc_traceq analysis inline.
 int cmd_trace(int argc, char** argv) {
   if (argc < 3 || std::string(argv[2]) != "analyze") {
@@ -852,7 +886,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "hdc — hyperdimensional learning on (simulated) edge accelerators\n"
                  "commands: train, infer, compile, describe, autotune, datasets, serve, "
-                 "trace, model\n");
+                 "trace, model, energy\n");
     return 2;
   }
   try {
@@ -889,6 +923,9 @@ int main(int argc, char** argv) {
     }
     if (command == "model") {
       return cmd_model(argc, argv);
+    }
+    if (command == "energy") {
+      return cmd_energy(argc, argv);
     }
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return 2;

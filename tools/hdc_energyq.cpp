@@ -1,0 +1,24 @@
+// hdc_energyq — energy-ledger inspection over the simulator's telemetry.
+//
+//   hdc_energyq <snapshot.json|checkpoint> [--tenant N] [--assert-conservation]
+//
+// Accepts hdc-monitor-v1 snapshots carrying an `energy` section (single-device
+// and fleet forms), hdc-energystats-v1 documents, and raw HDSV serve
+// checkpoints (sniffed by magic). Prints the component/stage/outcome joule
+// ledgers, windowed joules-per-inference, the watts EWMA and the
+// energy_budget alarm state; `--assert-conservation` turns the exact
+// integer-picojoule invariants (stage/component/outcome ledgers sum to the
+// total, tenant ledgers sum to the fleet total) into a CI check. Exit codes:
+// 0 pass, 1 violation, 2 usage/parse error.
+//
+// The same analysis is reachable as `hdc energy inspect`.
+
+#include <string>
+#include <vector>
+
+#include "energyq_lib.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return hdc::tools::energyq::run(args, "hdc_energyq");
+}

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "json_min.hpp"
+#include "obs/energy.hpp"
 
 namespace hdc::tools::traceq {
 
@@ -71,6 +72,31 @@ inline const std::vector<std::string>& canonical_stage_order() {
       "queue_wait", "batch_wait", "backoff", "swap", "transfer",
       "device",     "device_host", "host",   "update", "other"};
   return kOrder;
+}
+
+/// Watts drawn in a named attribution stage at the *default*
+/// `obs::PowerProfile` (canonical names map onto `obs::Stage` by position;
+/// unknown names — Chrome span labels — price at idle watts). The derived
+/// joules columns are informational estimates; the exact integer-picojoule
+/// contract lives in the serving path's `EnergyAccountant`.
+inline double stage_watts_by_name(const std::string& stage) {
+  const obs::PowerProfile profile;
+  const std::vector<std::string>& order = canonical_stage_order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == stage) {
+      return profile.stage_watts(static_cast<obs::Stage>(i));
+    }
+  }
+  return profile.idle_watts;
+}
+
+/// A request's total attributed energy at the default power profile.
+inline double request_energy_joules(const RequestRec& rec) {
+  double joules = 0.0;
+  for (const auto& [stage, seconds] : rec.attribution) {
+    joules += stage_watts_by_name(stage) * seconds;
+  }
+  return joules;
 }
 
 /// Sums a request's attribution in canonical stage order (unknown stages
@@ -335,10 +361,11 @@ inline void print_waterfall(const RequestRec& rec, std::FILE* out) {
   constexpr int kWidth = 40;
   std::fprintf(out,
                "request %lld: outcome=%s tier=%lld samples=%llu faulty=%d "
-               "latency=%sus%s%s\n",
+               "latency=%sus energy=%.4gJ%s%s\n",
                rec.id, rec.outcome.empty() ? "?" : rec.outcome.c_str(), rec.tier,
                rec.samples, rec.faulty ? 1 : 0, format_us(rec.latency_s).c_str(),
-               rec.reason.empty() ? "" : " reason=", rec.reason.c_str());
+               request_energy_joules(rec), rec.reason.empty() ? "" : " reason=",
+               rec.reason.c_str());
   for (const auto& [stage, seconds] : ordered_attribution(rec.attribution)) {
     if (seconds == 0.0) {
       continue;
@@ -451,18 +478,22 @@ inline int run(const std::vector<std::string>& args, const char* invocation) {
   for (const auto& [stage, a] : agg) {
     agg_keys.emplace(stage, a.total_s);
   }
-  std::printf("\n%-22s %9s %14s %14s %14s %8s\n", "stage", "requests", "total_us",
-              "mean_us", "max_us", "share");
+  std::printf("\n%-22s %9s %14s %14s %14s %8s %12s\n", "stage", "requests", "total_us",
+              "mean_us", "max_us", "share", "energy_J");
+  double energy_sum = 0.0;
   for (const auto& [stage, total] : ordered_attribution(agg_keys)) {
     (void)total;
     const StageAgg& a = agg.at(stage);
     const double mean =
         a.requests > 0 ? a.total_s / static_cast<double>(a.requests) : 0.0;
     const double share = latency_sum > 0.0 ? a.total_s / latency_sum : 0.0;
-    std::printf("%-22s %9zu %14s %14s %14s %7.2f%%\n", stage.c_str(), a.requests,
+    const double joules = stage_watts_by_name(stage) * a.total_s;
+    energy_sum += joules;
+    std::printf("%-22s %9zu %14s %14s %14s %7.2f%% %12.4g\n", stage.c_str(), a.requests,
                 format_us(a.total_s).c_str(), format_us(mean).c_str(),
-                format_us(a.max_s).c_str(), 100.0 * share);
+                format_us(a.max_s).c_str(), 100.0 * share, joules);
   }
+  std::printf("attributed energy at the default power profile: %.6g J\n", energy_sum);
 
   if (top > 0) {
     std::printf("\ntop %zu slowest requests:\n", top);
